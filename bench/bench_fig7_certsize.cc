@@ -1,0 +1,69 @@
+// Regenerates Figure 7: decomposition of a NOPE certificate chain, the raw
+// and SAN-encoded proof sizes, and the DCE chain size for comparison.
+#include <cstdio>
+
+#include "src/core/nope.h"
+
+using namespace nope;
+
+int main() {
+  Rng rng(7001);
+  CtLog log1(1, &rng), log2(2, &rng);
+  CertificateAuthority ca("lets-encrypt-sim", {&log1, &log2}, &rng);
+
+  // Toy-suite pipeline issues a real proof-bearing certificate.
+  DnssecHierarchy dns(CryptoSuite::Toy(), 7002);
+  dns.AddZone(DnsName::FromString("org"));
+  DnsName domain = DnsName::FromString("nope-tools.org");
+  dns.AddZone(domain);
+  EcdsaKeyPair tls_key = GenerateEcdsaKey(&rng);
+
+  fprintf(stderr, "[setup] one-time Groth16 trusted setup (demo profile)...\n");
+  NopeDeployment deployment = NopeTrustedSetup(&dns, domain, StatementOptions::Full(), &rng);
+  auto issued = IssueCertificate(&deployment, &dns, &ca, domain, tls_key.pub.Encode(),
+                                 1750000000, &rng, /*with_nope=*/true);
+  if (!issued.has_value()) {
+    fprintf(stderr, "issuance failed\n");
+    return 1;
+  }
+  const CertificateChain& chain = issued->chain;
+
+  auto leaf_sizes = chain.leaf.SizeBreakdown();
+  size_t leaf_total = chain.leaf.Serialize().size();
+  size_t intermediate_total = chain.intermediate.Serialize().size();
+  size_t chain_total = leaf_total + intermediate_total;
+
+  // DCE comparison at REAL scale (P-256 + RSA-2048 root), as shipped per
+  // RFC 9102.
+  DnssecHierarchy real_dns(CryptoSuite::Real(), 7003);
+  real_dns.AddZone(DnsName::FromString("org"));
+  real_dns.AddZone(domain);
+  DceBundle dce = BuildDceBundle(&real_dns, domain, tls_key.pub.Encode());
+  size_t dce_size = dce.Serialize().size();
+
+  printf("=== Figure 7: certificate chain decomposition (NOPE cert for %s) ===\n\n",
+         domain.ToString().c_str());
+  auto row = [&](const char* name, size_t bytes) {
+    printf("  %-28s %6zu B   %5.1f%%\n", name, bytes, 100.0 * bytes / chain_total);
+  };
+  row("Certificate Chain", chain_total);
+  row("Intermediate Certificate", intermediate_total);
+  row("Subscriber Certificate", leaf_total);
+  row("  Certificate metadata", leaf_sizes["metadata"]);
+  row("  Subject name", leaf_sizes["subject_name"]);
+  row("  Subject public key", leaf_sizes["subject_public_key"]);
+  row("  Extensions (SAN total)", leaf_sizes["san_extension"]);
+  row("  OCSP", leaf_sizes["ocsp"]);
+  row("  SCT", leaf_sizes["sct"]);
+  row("  Signature", leaf_sizes["signature"]);
+  row("Raw NOPE proof", 128);
+  row("Encoded NOPE proof (SANs)", leaf_sizes["nope_proof_encoded"]);
+  row("DCE chain (real suite)", dce_size);
+
+  printf("\nPaper reference points: raw proof 128 B (5.0%%), encoded 248 B (9.7%%),\n");
+  printf("DCE 5870 B (229.8%% of a 2554 B chain). Shape check: the encoded proof\n");
+  printf("adds ~%.0f%% to the chain; DCE costs %.1fx the whole chain.\n",
+         100.0 * leaf_sizes["nope_proof_encoded"] / chain_total,
+         static_cast<double>(dce_size) / chain_total);
+  return 0;
+}

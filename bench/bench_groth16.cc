@@ -1,0 +1,114 @@
+// Google-benchmark microbenches for the Groth16 back-end (§2.3): setup,
+// prove, and verify across circuit sizes, plus proof (de)serialization and
+// the underlying pairing. Verifies the paper's structural claims: proof size
+// and verification time are independent of statement size; proving scales
+// ~m log m.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "src/groth16/groth16.h"
+
+namespace nope {
+namespace {
+
+ConstraintSystem SyntheticCircuit(size_t n) {
+  ConstraintSystem cs;
+  Var pub = cs.AddPublicInput(Fr::FromU64(2));
+  Fr acc_val = Fr::FromU64(2);
+  Var acc = cs.AddWitness(acc_val);
+  cs.EnforceEqual(LC(acc), LC(pub));
+  for (size_t i = 1; i < n; ++i) {
+    Fr next_val = acc_val * acc_val;
+    Var next = cs.AddWitness(next_val);
+    cs.Enforce(LC(acc), LC(acc), LC(next));
+    acc = next;
+    acc_val = next_val;
+  }
+  return cs;
+}
+
+struct Fixture {
+  ConstraintSystem cs;
+  groth16::ProvingKey pk;
+  groth16::Proof proof;
+  std::vector<Fr> pub;
+
+  explicit Fixture(size_t n) : cs(SyntheticCircuit(n)) {
+    Rng rng(42);
+    pk = groth16::Setup(cs, &rng);
+    proof = groth16::Prove(pk, cs, &rng);
+    pub = {cs.ValueOf(1)};
+  }
+};
+
+Fixture& CachedFixture(size_t n) {
+  static std::map<size_t, std::unique_ptr<Fixture>>* cache =
+      new std::map<size_t, std::unique_ptr<Fixture>>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    it = cache->emplace(n, std::make_unique<Fixture>(n)).first;
+  }
+  return *it->second;
+}
+
+void BM_Groth16Prove(benchmark::State& state) {
+  Fixture& f = CachedFixture(static_cast<size_t>(state.range(0)));
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(groth16::Prove(f.pk, f.cs, &rng));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Groth16Prove)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 14)->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Groth16Verify(benchmark::State& state) {
+  // Verification time must be independent of circuit size (§2.3).
+  Fixture& f = CachedFixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(groth16::Verify(f.pk.vk, f.pub, f.proof));
+  }
+}
+BENCHMARK(BM_Groth16Verify)->Arg(1 << 10)->Arg(1 << 14)->Unit(benchmark::kMillisecond);
+
+void BM_ProofSerialize(benchmark::State& state) {
+  Fixture& f = CachedFixture(1 << 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.proof.ToBytes());  // always exactly 128 bytes
+  }
+}
+BENCHMARK(BM_ProofSerialize);
+
+void BM_ProofDeserialize(benchmark::State& state) {
+  Fixture& f = CachedFixture(1 << 10);
+  Bytes encoded = f.proof.ToBytes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(groth16::Proof::FromBytes(encoded));
+  }
+}
+BENCHMARK(BM_ProofDeserialize)->Unit(benchmark::kMicrosecond);
+
+void BM_Pairing(benchmark::State& state) {
+  G1 p = G1Generator().ScalarMul(BigUInt(12345));
+  G2 q = G2Generator().ScalarMul(BigUInt(67890));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Pairing(p, q));
+  }
+}
+BENCHMARK(BM_Pairing)->Unit(benchmark::kMillisecond);
+
+void BM_MillerLoop(benchmark::State& state) {
+  G1 p = G1Generator().ScalarMul(BigUInt(12345));
+  G2 q = G2Generator().ScalarMul(BigUInt(67890));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MillerLoop(p, q));
+  }
+}
+BENCHMARK(BM_MillerLoop)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace nope
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Micro-benchmarks for the §4 / Appendix B parsing primitives: measured
+// constraint counts for mask, slice, and scan across input sizes, compared
+// against the paper's published cost formulas.
+#include <cstdio>
+#include <functional>
+
+#include "src/r1cs/parse_gadgets.h"
+
+using namespace nope;
+
+namespace {
+
+std::vector<LC> ToLcs(const std::vector<Var>& vars) {
+  std::vector<LC> out;
+  for (Var v : vars) {
+    out.emplace_back(v);
+  }
+  return out;
+}
+
+using GadgetFn = std::function<void(ConstraintSystem*, const std::vector<LC>&)>;
+
+size_t CostOf(size_t len, const GadgetFn& fn) {
+  ConstraintSystem cs;
+  std::vector<Var> arr = AllocateBytesUnchecked(&cs, Bytes(len, 7));
+  size_t before = cs.NumConstraints();
+  fn(&cs, ToLcs(arr));
+  return cs.NumConstraints() - before;
+}
+
+}  // namespace
+
+int main() {
+  printf("=== Parsing primitives: constraints vs. input size (paper §4.3, App. B) ===\n\n");
+
+  printf("mask<L> (zero bytes beyond a dynamic length):\n");
+  printf("  %6s %12s %12s %18s %14s\n", "L", "naive", "NOPE", "paper naive ~", "paper NOPE");
+  for (size_t len : {16u, 64u, 256u, 1024u}) {
+    LC cut = LC::Constant(Fr::FromU64(len / 2));
+    size_t naive = CostOf(len, [&](ConstraintSystem* cs, const std::vector<LC>& a) {
+      MaskNaive(cs, a, cut);
+    });
+    size_t fast = CostOf(len, [&](ConstraintSystem* cs, const std::vector<LC>& a) {
+      MaskNope(cs, a, cut);
+    });
+    printf("  %6zu %12zu %12zu %18zu %14zu\n", len, naive, fast, MaskNaiveCostFormula(len),
+           MaskNopeCostFormula(len));
+  }
+
+  printf("\nslice<M, L=32> (extract 32 bytes at a dynamic offset):\n");
+  printf("  %6s %12s %12s %14s %14s\n", "M", "naive (M*L)", "NOPE", "NOPE packed", "ratio");
+  for (size_t len : {64u, 256u, 1024u}) {
+    LC start = LC::Constant(Fr::FromU64(len / 4));
+    size_t naive = CostOf(len, [&](ConstraintSystem* cs, const std::vector<LC>& a) {
+      SliceNaive(cs, a, start, 32);
+    });
+    size_t fast = CostOf(len, [&](ConstraintSystem* cs, const std::vector<LC>& a) {
+      SliceNope(cs, a, start, 32);
+    });
+    size_t packed = CostOf(len, [&](ConstraintSystem* cs, const std::vector<LC>& a) {
+      SliceNopePacked(cs, a, start, 32);
+    });
+    printf("  %6zu %12zu %12zu %14zu %13.1fx\n", len, naive, fast, packed,
+           static_cast<double>(naive) / fast);
+  }
+
+  printf("\nscan<M> (validate a record start in a length-prefixed stream):\n");
+  printf("  %6s %12s %16s\n", "M", "constraints", "per byte");
+  for (size_t len : {32u, 128u, 512u}) {
+    // Byte stream of back-to-back 4-byte records after a 2-byte header.
+    Bytes msg(len, 0);
+    msg[0] = 'h';
+    msg[1] = 'h';
+    for (size_t i = 2; i + 3 < len; i += 4) {
+      msg[i] = 4;
+      msg[i + 1] = 1;
+    }
+    ConstraintSystem cs;
+    std::vector<Var> arr = AllocateBytesUnchecked(&cs, msg);
+    Var start = cs.AddWitness(Fr::FromU64(2));
+    size_t before = cs.NumConstraints();
+    ScanRecords(&cs, ToLcs(arr), LC(start), LC::Constant(Fr::FromU64(2)));
+    size_t cost = cs.NumConstraints() - before;
+    printf("  %6zu %12zu %15.1f\n", len, cost, static_cast<double>(cost) / len);
+  }
+  printf("\n  (The paper reports 4 constraints/byte for its scan; ours measures ~6\n"
+         "  because the counter-reset ternary and explicit booleanity each cost a\n"
+         "  constraint in our compiler. Same linear shape.)\n");
+
+  printf("\nsuffixSum: 0 constraints at any size (linear forms are free, §4.3).\n");
+  {
+    ConstraintSystem cs;
+    std::vector<Var> arr = AllocateBytesUnchecked(&cs, Bytes(1024, 1));
+    size_t before = cs.NumConstraints();
+    SuffixSum(&cs, arr);
+    printf("  measured at L=1024: %zu constraints\n", cs.NumConstraints() - before);
+  }
+  return 0;
+}

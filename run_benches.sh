@@ -1,0 +1,9 @@
+#!/bin/bash
+cd /root/repo
+for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "===== $b ====="
+    $b 2>&1
+    echo
+  fi
+done

@@ -1,0 +1,172 @@
+#include "src/base/bytes.h"
+
+#include <stdexcept>
+
+namespace nope {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  throw std::invalid_argument("invalid hex digit");
+}
+}  // namespace
+
+std::string EncodeHex(const Bytes& data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Bytes DecodeHex(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("odd-length hex string");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<uint8_t>((HexValue(hex[i]) << 4) | HexValue(hex[i + 1])));
+  }
+  return out;
+}
+
+void AppendU8(Bytes* out, uint8_t v) { out->push_back(v); }
+
+void AppendU16(Bytes* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+void AppendU32(Bytes* out, uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void AppendU64(Bytes* out, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void AppendBytes(Bytes* out, const Bytes& data) {
+  out->insert(out->end(), data.begin(), data.end());
+}
+
+namespace {
+void CheckAvailable(const Bytes& in, size_t pos, size_t n) {
+  if (pos + n > in.size()) {
+    throw std::out_of_range("read past end of buffer");
+  }
+}
+}  // namespace
+
+uint8_t ReadU8(const Bytes& in, size_t* pos) {
+  CheckAvailable(in, *pos, 1);
+  return in[(*pos)++];
+}
+
+uint16_t ReadU16(const Bytes& in, size_t* pos) {
+  CheckAvailable(in, *pos, 2);
+  uint16_t v = static_cast<uint16_t>((in[*pos] << 8) | in[*pos + 1]);
+  *pos += 2;
+  return v;
+}
+
+uint32_t ReadU32(const Bytes& in, size_t* pos) {
+  CheckAvailable(in, *pos, 4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | in[*pos + i];
+  }
+  *pos += 4;
+  return v;
+}
+
+uint64_t ReadU64(const Bytes& in, size_t* pos) {
+  CheckAvailable(in, *pos, 8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | in[*pos + i];
+  }
+  *pos += 8;
+  return v;
+}
+
+Bytes ReadBytes(const Bytes& in, size_t* pos, size_t n) {
+  CheckAvailable(in, *pos, n);
+  Bytes out(in.begin() + static_cast<ptrdiff_t>(*pos),
+            in.begin() + static_cast<ptrdiff_t>(*pos + n));
+  *pos += n;
+  return out;
+}
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  if (bound == 0) {
+    throw std::invalid_argument("NextBelow bound must be non-zero");
+  }
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = bound * (UINT64_MAX / bound);
+  uint64_t v;
+  do {
+    v = NextU64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+Bytes Rng::NextBytes(size_t n) {
+  Bytes out(n);
+  size_t i = 0;
+  while (i < n) {
+    uint64_t v = NextU64();
+    for (int b = 0; b < 8 && i < n; ++b, ++i) {
+      out[i] = static_cast<uint8_t>(v >> (8 * b));
+    }
+  }
+  return out;
+}
+
+}  // namespace nope

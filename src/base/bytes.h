@@ -1,0 +1,49 @@
+// Basic byte-buffer utilities shared across the NOPE library.
+#ifndef SRC_BASE_BYTES_H_
+#define SRC_BASE_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nope {
+
+using Bytes = std::vector<uint8_t>;
+
+// Hex encoding/decoding. DecodeHex throws std::invalid_argument on bad input.
+std::string EncodeHex(const Bytes& data);
+Bytes DecodeHex(const std::string& hex);
+
+// Appends big-endian fixed-width integers; used by wire formats throughout.
+void AppendU8(Bytes* out, uint8_t v);
+void AppendU16(Bytes* out, uint16_t v);
+void AppendU32(Bytes* out, uint32_t v);
+void AppendU64(Bytes* out, uint64_t v);
+void AppendBytes(Bytes* out, const Bytes& data);
+
+// Big-endian reads; throw std::out_of_range when the buffer is too short.
+uint8_t ReadU8(const Bytes& in, size_t* pos);
+uint16_t ReadU16(const Bytes& in, size_t* pos);
+uint32_t ReadU32(const Bytes& in, size_t* pos);
+uint64_t ReadU64(const Bytes& in, size_t* pos);
+Bytes ReadBytes(const Bytes& in, size_t* pos, size_t n);
+
+// Deterministic pseudo-random generator (xoshiro256**). Not cryptographically
+// secure; used for reproducible test fixtures, simulation noise, and key
+// generation in the simulated hierarchy.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+  // Uniform in [0, bound). bound must be non-zero.
+  uint64_t NextBelow(uint64_t bound);
+  Bytes NextBytes(size_t n);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace nope
+
+#endif  // SRC_BASE_BYTES_H_

@@ -1,0 +1,33 @@
+#include "src/base/hmac.h"
+
+#include "src/base/sha256.h"
+
+namespace nope {
+
+Bytes HmacSha256(const Bytes& key, const Bytes& message) {
+  Bytes k = key;
+  if (k.size() > Sha256::kBlockSize) {
+    k = Sha256::Hash(k);
+  }
+  k.resize(Sha256::kBlockSize, 0);
+
+  Bytes inner_pad(Sha256::kBlockSize);
+  Bytes outer_pad(Sha256::kBlockSize);
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    inner_pad[i] = k[i] ^ 0x36;
+    outer_pad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(inner_pad);
+  inner.Update(message);
+  auto inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(outer_pad);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  auto digest = outer.Finish();
+  return Bytes(digest.begin(), digest.end());
+}
+
+}  // namespace nope

@@ -1,0 +1,13 @@
+// HMAC-SHA256 (RFC 2104), used by RFC 6979 deterministic ECDSA nonces.
+#ifndef SRC_BASE_HMAC_H_
+#define SRC_BASE_HMAC_H_
+
+#include "src/base/bytes.h"
+
+namespace nope {
+
+Bytes HmacSha256(const Bytes& key, const Bytes& message);
+
+}  // namespace nope
+
+#endif  // SRC_BASE_HMAC_H_

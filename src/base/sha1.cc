@@ -1,0 +1,74 @@
+#include "src/base/sha1.h"
+
+#include <cstring>
+
+namespace nope {
+
+namespace {
+uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+}  // namespace
+
+Bytes Sha1Hash(const Bytes& data) {
+  uint32_t h[5] = {0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0};
+
+  Bytes msg = data;
+  uint64_t bit_len = static_cast<uint64_t>(data.size()) * 8;
+  msg.push_back(0x80);
+  while (msg.size() % 64 != 56) {
+    msg.push_back(0);
+  }
+  for (int i = 0; i < 8; ++i) {
+    msg.push_back(static_cast<uint8_t>(bit_len >> (56 - 8 * i)));
+  }
+
+  for (size_t block = 0; block < msg.size(); block += 64) {
+    uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<uint32_t>(msg[block + 4 * i]) << 24) |
+             (static_cast<uint32_t>(msg[block + 4 * i + 1]) << 16) |
+             (static_cast<uint32_t>(msg[block + 4 * i + 2]) << 8) | msg[block + 4 * i + 3];
+    }
+    for (int i = 16; i < 80; ++i) {
+      w[i] = Rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int i = 0; i < 80; ++i) {
+      uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5A827999;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDC;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6;
+      }
+      uint32_t temp = Rotl(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = Rotl(b, 30);
+      b = a;
+      a = temp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+
+  Bytes out(20);
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<uint8_t>(h[i] >> 24);
+    out[4 * i + 1] = static_cast<uint8_t>(h[i] >> 16);
+    out[4 * i + 2] = static_cast<uint8_t>(h[i] >> 8);
+    out[4 * i + 3] = static_cast<uint8_t>(h[i]);
+  }
+  return out;
+}
+
+}  // namespace nope

@@ -1,0 +1,16 @@
+// SHA-1 (FIPS 180-4). Present only because DNSSEC DS digest type 1 is SHA-1;
+// the hierarchy simulator defaults to SHA-256 (type 2), matching modern
+// deployment (§2.2 of the paper notes SHA-1 is almost entirely unused).
+#ifndef SRC_BASE_SHA1_H_
+#define SRC_BASE_SHA1_H_
+
+#include "src/base/bytes.h"
+
+namespace nope {
+
+// One-shot SHA-1; returns a 20-byte digest.
+Bytes Sha1Hash(const Bytes& data);
+
+}  // namespace nope
+
+#endif  // SRC_BASE_SHA1_H_

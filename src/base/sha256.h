@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4). Used for DNSSEC DS digests, RRSIG message digests,
+// PKCS#1 v1.5 DigestInfo, certificate fingerprints, and CT Merkle hashing.
+#ifndef SRC_BASE_SHA256_H_
+#define SRC_BASE_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/base/bytes.h"
+
+namespace nope {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256();
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  std::array<uint8_t, kDigestSize> Finish();
+
+  // One-shot convenience.
+  static Bytes Hash(const Bytes& data);
+
+  // Exposes the compression function for the R1CS gadget's test oracle:
+  // state is 8 words, block is 64 bytes.
+  static void Compress(uint32_t state[8], const uint8_t block[64]);
+
+ private:
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace nope
+
+#endif  // SRC_BASE_SHA256_H_

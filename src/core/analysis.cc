@@ -1,0 +1,127 @@
+#include "src/core/analysis.h"
+
+#include <sstream>
+
+namespace nope {
+
+const char* AuthSchemeName(AuthScheme scheme) {
+  switch (scheme) {
+    case AuthScheme::kDv:
+      return "DV";
+    case AuthScheme::kDvPlus:
+      return "DV+";
+    case AuthScheme::kDce:
+      return "DCE";
+    case AuthScheme::kNope:
+      return "NOPE";
+  }
+  return "?";
+}
+
+const char* DetectionTimeName(DetectionTime detection) {
+  switch (detection) {
+    case DetectionTime::kNotApplicable:
+      return "-";
+    case DetectionTime::kWithinMmd:
+      return "<=24h";
+    case DetectionTime::kAfterMmd:
+      return ">24h";
+    case DetectionTime::kNever:
+      return "inf";
+  }
+  return "?";
+}
+
+AnalysisOutcome Analyze(AuthScheme scheme, const AttackerModel& a) {
+  AnalysisOutcome out;
+
+  // Can the attacker obtain a rogue CA-signed certificate? Either directly
+  // (CA attacker) or by defeating DNS-based domain validation. For DV+ the
+  // CA additionally demands DNSSEC proofs, so network-level DNS tampering
+  // alone is insufficient.
+  bool rogue_cert_dv = a.ca || a.legacy_dns;
+  bool rogue_cert_dv_plus = a.ca || (a.legacy_dns && a.dnssec);
+
+  switch (scheme) {
+    case AuthScheme::kDv:
+      out.impersonated = rogue_cert_dv;
+      break;
+    case AuthScheme::kDvPlus:
+      out.impersonated = rogue_cert_dv_plus;
+      break;
+    case AuthScheme::kDce:
+      // No certificates involved: forged DNSSEC records alone suffice.
+      out.impersonated = a.dnssec;
+      break;
+    case AuthScheme::kNope:
+      // Belt and suspenders: both a rogue certificate and a forged DNSSEC
+      // chain (for the embedded proof) are required.
+      out.impersonated = rogue_cert_dv && a.dnssec;
+      break;
+  }
+
+  if (out.impersonated) {
+    if (scheme == AuthScheme::kDce) {
+      out.detection = DetectionTime::kNever;  // no transparency for DNSSEC
+    } else {
+      out.detection = a.ct ? DetectionTime::kAfterMmd : DetectionTime::kWithinMmd;
+    }
+  }
+
+  // Revocation: DCE has none; certificate schemes can revoke unless the
+  // issuing CA itself is compromised and refuses.
+  if (scheme == AuthScheme::kDce) {
+    out.revocable = false;
+  } else {
+    out.revocable = !a.ca;
+  }
+  return out;
+}
+
+std::vector<MatrixRow> BuildFigure3Matrix() {
+  std::vector<MatrixRow> rows;
+  // The paper orders rows by (dnssec, ct, ca, legacy_dns) ascending.
+  for (int dnssec = 0; dnssec < 2; ++dnssec) {
+    for (int ct = 0; ct < 2; ++ct) {
+      for (int ca = 0; ca < 2; ++ca) {
+        for (int legacy = 0; legacy < 2; ++legacy) {
+          // The paper's 16 rows skip the {legacy=0, ca=1} duplicates? No —
+          // it lists legacy/ca combinations {-,-},{x,-},{-,x},{x,x}.
+          MatrixRow row;
+          row.attacker = {legacy != 0, ca != 0, ct != 0, dnssec != 0};
+          for (int s = 0; s < 4; ++s) {
+            row.outcomes[s] = Analyze(static_cast<AuthScheme>(s), row.attacker);
+          }
+          rows.push_back(row);
+        }
+      }
+    }
+  }
+  return rows;
+}
+
+std::string RenderFigure3(const std::vector<MatrixRow>& matrix) {
+  std::ostringstream out;
+  out << "LegacyDNS CA CT DNSSEC | Impersonated (DV DV+ DCE NOPE) | "
+         "TimeToDetect (DV DV+ DCE NOPE) | Revocable (DV DV+ DCE NOPE)\n";
+  for (const MatrixRow& row : matrix) {
+    auto flag = [](bool b) { return b ? "x" : "-"; };
+    out << "    " << flag(row.attacker.legacy_dns) << "      " << flag(row.attacker.ca) << "  "
+        << flag(row.attacker.ct) << "    " << flag(row.attacker.dnssec) << "   |";
+    for (int s = 0; s < 4; ++s) {
+      out << "  " << (row.outcomes[s].impersonated ? "Yes" : "No");
+    }
+    out << "  |";
+    for (int s = 0; s < 4; ++s) {
+      out << "  " << DetectionTimeName(row.outcomes[s].detection);
+    }
+    out << "  |";
+    for (int s = 0; s < 4; ++s) {
+      out << "  " << (row.outcomes[s].revocable ? "Yes" : "No");
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace nope

@@ -1,0 +1,61 @@
+// Security analysis engine reproducing Figure 3 (§3.1, §3.3): for each of
+// the 16 subsets of {legacy-DNS, CA, CT, DNSSEC} attacker capabilities and
+// each scheme in {DV, DV+, DCE, NOPE}, whether domain impersonation
+// succeeds, how long detection takes, and whether revocation is possible.
+#ifndef SRC_CORE_ANALYSIS_H_
+#define SRC_CORE_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+namespace nope {
+
+struct AttackerModel {
+  bool legacy_dns = false;  // tamper with CA<->domain DNS resolution
+  bool ca = false;          // obtain arbitrary CA signatures
+  bool ct = false;          // obtain SCTs without logging
+  bool dnssec = false;      // forge DNSSEC records for the target domain
+};
+
+enum class AuthScheme { kDv, kDvPlus, kDce, kNope };
+const char* AuthSchemeName(AuthScheme scheme);
+
+enum class DetectionTime {
+  kNotApplicable,  // no successful impersonation to detect
+  kWithinMmd,      // <= 24h: rogue cert must enter CT logs
+  kAfterMmd,       // > 24h: CT attacker withheld logging
+  kNever,          // no transparency mechanism exists (DCE)
+};
+const char* DetectionTimeName(DetectionTime detection);
+
+struct AnalysisOutcome {
+  bool impersonated = false;
+  DetectionTime detection = DetectionTime::kNotApplicable;
+  bool revocable = false;
+};
+
+// Derives the outcome from the capability logic of §3.3:
+//  * DV falls to a legacy-DNS or CA attacker; DV+ additionally requires
+//    forged DNSSEC before legacy DNS helps; DCE falls to a DNSSEC attacker
+//    alone; NOPE requires BOTH a certificate-side attacker (legacy DNS or
+//    CA) AND a DNSSEC attacker.
+//  * Detection is bounded by the CT maximum merge delay unless the CT log
+//    itself is compromised; DCE has no transparency at all.
+//  * Revocation fails exactly when the issuing CA is the attacker (it can
+//    refuse to revoke); DCE has no revocation mechanism.
+AnalysisOutcome Analyze(AuthScheme scheme, const AttackerModel& attacker);
+
+struct MatrixRow {
+  AttackerModel attacker;
+  AnalysisOutcome outcomes[4];  // indexed by AuthScheme
+};
+
+// All 16 attacker subsets in the paper's row order.
+std::vector<MatrixRow> BuildFigure3Matrix();
+
+// Formats the matrix in the same layout as the paper's Figure 3.
+std::string RenderFigure3(const std::vector<MatrixRow>& matrix);
+
+}  // namespace nope
+
+#endif  // SRC_CORE_ANALYSIS_H_

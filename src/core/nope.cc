@@ -1,0 +1,201 @@
+#include "src/core/nope.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace nope {
+
+namespace {
+
+// Figure 5 latency model (seconds). Proof generation is measured; the ACME
+// legs use the paper's observed/defaulted values (Certbot's 30 s propagation
+// delay; §8.2).
+constexpr double kAcmeInitiationSeconds = 1.4;
+constexpr double kDnsPropagationSeconds = 30.0;
+constexpr double kAcmeVerificationSeconds = 4.6;
+
+StatementParams ShapeFor(const CryptoSuite& suite, const DnsName& domain,
+                         StatementOptions options) {
+  StatementParams params;
+  params.suite = &suite;
+  params.num_levels = domain.NumLabels() - 1;
+  size_t wire = domain.ToWire().size();
+  params.max_name_len = std::max<size_t>(32, ((wire + 15) / 16) * 16);
+  params.options = options;
+  return params;
+}
+
+}  // namespace
+
+StatementWitness BuildWitness(DnssecHierarchy* dns, const DnsName& domain,
+                              const Bytes& tls_public_key, const std::string& ca_name,
+                              uint64_t expected_issuance_time) {
+  Zone* zone = dns->Find(domain);
+  if (zone == nullptr) {
+    throw std::invalid_argument("domain is not a zone: " + domain.ToString());
+  }
+  StatementWitness witness;
+  witness.chain = dns->BuildChain(domain);
+  witness.leaf_ksk_private_key = zone->ksk().ec_priv;
+  witness.tls_key_digest = TlsKeyDigest(tls_public_key);
+  witness.ca_name_digest = CaNameDigest(ca_name);
+  witness.truncated_ts = TruncateTimestamp(expected_issuance_time);
+  return witness;
+}
+
+// NOPE-managed (App. A): the domain owner writes the binding digest into a
+// TXT record on D and has the (managed) provider ZSK-sign it; the witness
+// additionally carries D's own DNSKEY RRset.
+static void PopulateManagedWitness(DnssecHierarchy* dns, const DnsName& domain,
+                                   StatementWitness* witness) {
+  Bytes binding = ManagedBinding(dns->suite(), witness->tls_key_digest,
+                                 witness->ca_name_digest, witness->truncated_ts);
+  std::string value(binding.begin(), binding.end());
+  auto existing = dns->QueryTxt(domain);
+  if (std::find(existing.begin(), existing.end(), value) == existing.end()) {
+    dns->SetTxt(domain, value);
+  }
+  witness->managed_txt = dns->SignedTxt(domain);
+  Zone* zone = dns->Find(domain);
+  witness->managed_dnskey = zone->Sign(zone->DnskeyRrset(), dns->rng());
+}
+
+NopeDeployment NopeTrustedSetup(DnssecHierarchy* dns, const DnsName& domain,
+                                StatementOptions options, Rng* rng) {
+  NopeDeployment deployment;
+  deployment.params = ShapeFor(dns->suite(), domain, options);
+  deployment.root_zsk = dns->root().ZskRdata();
+
+  // A sample witness shapes the matrices; its values are irrelevant to the
+  // keys (the toxic waste is sampled and dropped inside Setup).
+  StatementWitness sample =
+      BuildWitness(dns, domain, Bytes(65, 0x04), "setup-sample", 1700000000);
+  if (options.managed_mode) {
+    PopulateManagedWitness(dns, domain, &sample);
+  }
+  ConstraintSystem cs;
+  BuildNopeStatement(&cs, deployment.params, sample);
+  deployment.pk = groth16::Setup(cs, rng);
+  return deployment;
+}
+
+NopeProofBundle GenerateNopeProof(const NopeDeployment& deployment, DnssecHierarchy* dns,
+                                  const DnsName& domain, const Bytes& tls_public_key,
+                                  const std::string& ca_name, uint64_t expected_issuance_time,
+                                  Rng* rng) {
+  auto start = std::chrono::steady_clock::now();
+  StatementWitness witness =
+      BuildWitness(dns, domain, tls_public_key, ca_name, expected_issuance_time);
+  if (deployment.params.options.managed_mode) {
+    PopulateManagedWitness(dns, domain, &witness);
+  }
+  ConstraintSystem cs;
+  BuildNopeStatement(&cs, deployment.params, witness);
+  NopeProofBundle bundle;
+  bundle.proof = groth16::Prove(deployment.pk, cs, rng);
+  bundle.sans = EncodeProofSans(bundle.proof.ToBytes(), domain);
+  bundle.proof_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return bundle;
+}
+
+std::optional<IssuanceResult> IssueCertificate(const NopeDeployment* deployment,
+                                               DnssecHierarchy* dns, CertificateAuthority* ca,
+                                               const DnsName& domain,
+                                               const Bytes& tls_public_key, uint64_t now,
+                                               Rng* rng, bool with_nope) {
+  IssuanceResult result;
+  CertificateSigningRequest csr;
+  csr.subject = domain;
+  csr.public_key = tls_public_key;
+
+  if (with_nope) {
+    if (deployment == nullptr) {
+      throw std::invalid_argument("NOPE issuance needs a deployment");
+    }
+    NopeProofBundle bundle =
+        GenerateNopeProof(*deployment, dns, domain, tls_public_key, ca->organization(), now, rng);
+    csr.sans = bundle.sans;
+    result.timeline.proof_generation_s = bundle.proof_seconds;
+  }
+
+  // ACME DNS-01 (Fig. 2 steps 3-7).
+  AcmeOrder order = ca->NewOrder(csr);
+  result.timeline.acme_initiation_s = kAcmeInitiationSeconds;
+  dns->SetTxt(domain.Child("_acme-challenge"), order.challenge_token);
+  result.timeline.dns_propagation_s = kDnsPropagationSeconds;
+  auto resolver = [dns](const DnsName& name) { return dns->QueryTxt(name); };
+  std::optional<Certificate> cert = ca->FinalizeOrder(order, csr, resolver, now);
+  result.timeline.acme_verification_s = kAcmeVerificationSeconds;
+  if (!cert.has_value()) {
+    return std::nullopt;
+  }
+  result.chain = CertificateChain{*cert, ca->intermediate()};
+  return result;
+}
+
+const char* NopeVerifyStatusName(NopeVerifyStatus status) {
+  switch (status) {
+    case NopeVerifyStatus::kOk:
+      return "ok";
+    case NopeVerifyStatus::kLegacyFailure:
+      return "legacy-failure";
+    case NopeVerifyStatus::kNoNopeProof:
+      return "no-nope-proof";
+    case NopeVerifyStatus::kBadProofEncoding:
+      return "bad-proof-encoding";
+    case NopeVerifyStatus::kProofRejected:
+      return "proof-rejected";
+    case NopeVerifyStatus::kTimestampMismatch:
+      return "timestamp-mismatch";
+  }
+  return "unknown";
+}
+
+NopeClientResult NopeClientVerify(const NopeDeployment& deployment,
+                                  const CertificateChain& chain, const TrustStore& trust,
+                                  const DnsName& domain, uint64_t now,
+                                  const OcspResponse* stapled_ocsp) {
+  NopeClientResult result;
+  result.legacy = LegacyVerifyChain(chain, trust, domain, now, stapled_ocsp);
+  if (result.legacy != LegacyStatus::kOk) {
+    result.status = NopeVerifyStatus::kLegacyFailure;
+    return result;
+  }
+
+  std::optional<Bytes> proof_bytes = DecodeProofSans(chain.leaf.body.sans, domain);
+  if (!proof_bytes.has_value()) {
+    result.status = NopeVerifyStatus::kNoNopeProof;
+    return result;
+  }
+  groth16::Proof proof;
+  try {
+    proof = groth16::Proof::FromBytes(*proof_bytes);
+  } catch (const std::invalid_argument&) {
+    result.status = NopeVerifyStatus::kBadProofEncoding;
+    return result;
+  }
+
+  // SCT timestamps must corroborate the certificate's issuance time: a
+  // compromised CA that backdates not_before to reuse an old proof would
+  // diverge from the CT-controlled SCTs (§3.2).
+  for (const Sct& sct : chain.leaf.body.scts) {
+    uint64_t lo = std::min(sct.timestamp, chain.leaf.body.not_before);
+    uint64_t hi = std::max(sct.timestamp, chain.leaf.body.not_before);
+    if (hi - lo > 600) {
+      result.status = NopeVerifyStatus::kTimestampMismatch;
+      return result;
+    }
+  }
+
+  uint64_t ts = TruncateTimestamp(chain.leaf.body.not_before);
+  std::vector<Fr> pub = NopePublicInputs(
+      deployment.params, domain, TlsKeyDigest(chain.leaf.body.subject_public_key),
+      CaNameDigest(chain.leaf.body.issuer_organization), ts);
+  result.status = groth16::Verify(deployment.vk(), pub, proof) ? NopeVerifyStatus::kOk
+                                                               : NopeVerifyStatus::kProofRejected;
+  return result;
+}
+
+}  // namespace nope

@@ -1,0 +1,96 @@
+// End-to-end NOPE: trusted setup, the server-side proving tool (Fig. 2 steps
+// 1-7), and the NOPE-aware client (steps 8-11).
+#ifndef SRC_CORE_NOPE_H_
+#define SRC_CORE_NOPE_H_
+
+#include <optional>
+
+#include "src/core/statement.h"
+#include "src/groth16/groth16.h"
+#include "src/pki/san_encoding.h"
+#include "src/tls/handshake.h"
+
+namespace nope {
+
+// One proof-system deployment: a statement shape plus its Groth16 keys. The
+// root ZSK (trust anchor) is baked into the circuit at setup, mirroring the
+// hard-coded DNSSEC root key.
+struct NopeDeployment {
+  StatementParams params;
+  DnskeyRdata root_zsk;
+  groth16::ProvingKey pk;
+
+  const groth16::VerifyingKey& vk() const { return pk.vk; }
+};
+
+// Runs the one-time trusted setup for the statement shape that fits
+// `domain` inside `dns`. The sample witness only shapes the matrices; the
+// resulting keys verify proofs for any witness of the same shape.
+NopeDeployment NopeTrustedSetup(DnssecHierarchy* dns, const DnsName& domain,
+                                StatementOptions options, Rng* rng);
+
+// Builds the statement witness for `domain` against the current hierarchy.
+StatementWitness BuildWitness(DnssecHierarchy* dns, const DnsName& domain,
+                              const Bytes& tls_public_key, const std::string& ca_name,
+                              uint64_t expected_issuance_time);
+
+// Fig. 2 steps 1-2: produce the proof and its SAN encoding.
+struct NopeProofBundle {
+  groth16::Proof proof;
+  std::vector<std::string> sans;
+  double proof_seconds = 0;  // measured wall-clock proving time
+};
+NopeProofBundle GenerateNopeProof(const NopeDeployment& deployment, DnssecHierarchy* dns,
+                                  const DnsName& domain, const Bytes& tls_public_key,
+                                  const std::string& ca_name, uint64_t expected_issuance_time,
+                                  Rng* rng);
+
+// Fig. 2 steps 3-7 (plus 1-2 when with_nope): the whole issuance pipeline
+// against the simulated CA, with the Figure 5 latency model.
+struct IssuanceTimeline {
+  double proof_generation_s = 0;   // measured
+  double acme_initiation_s = 0;    // modeled
+  double dns_propagation_s = 0;    // modeled (Certbot default: 30 s)
+  double acme_verification_s = 0;  // modeled
+  double total() const {
+    return proof_generation_s + acme_initiation_s + dns_propagation_s + acme_verification_s;
+  }
+};
+struct IssuanceResult {
+  CertificateChain chain;
+  IssuanceTimeline timeline;
+};
+std::optional<IssuanceResult> IssueCertificate(const NopeDeployment* deployment,
+                                               DnssecHierarchy* dns, CertificateAuthority* ca,
+                                               const DnsName& domain,
+                                               const Bytes& tls_public_key, uint64_t now,
+                                               Rng* rng, bool with_nope);
+
+// --- Client side --------------------------------------------------------------
+
+enum class NopeVerifyStatus {
+  kOk,
+  kLegacyFailure,
+  kNoNopeProof,
+  kBadProofEncoding,
+  kProofRejected,
+  kTimestampMismatch,  // certificate TS vs SCT cross-check (§3.2)
+};
+const char* NopeVerifyStatusName(NopeVerifyStatus status);
+
+struct NopeClientResult {
+  NopeVerifyStatus status;
+  LegacyStatus legacy;
+};
+
+// Full NOPE-aware client verification: legacy checks, proof extraction from
+// the SANs, N/TS binding, SCT-timestamp cross-check, and Groth16
+// verification.
+NopeClientResult NopeClientVerify(const NopeDeployment& deployment,
+                                  const CertificateChain& chain, const TrustStore& trust,
+                                  const DnsName& domain, uint64_t now,
+                                  const OcspResponse* stapled_ocsp);
+
+}  // namespace nope
+
+#endif  // SRC_CORE_NOPE_H_

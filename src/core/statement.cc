@@ -1,0 +1,609 @@
+#include "src/core/statement.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "src/base/sha256.h"
+#include "src/r1cs/ecdsa_gadget.h"
+#include "src/r1cs/mimc_gadget.h"
+#include "src/r1cs/rsa_gadget.h"
+#include "src/r1cs/sha256_gadget.h"
+
+namespace nope {
+
+namespace {
+
+constexpr size_t kChunk = 16;
+
+// Shared context for the per-buffer builders.
+struct Ctx {
+  ConstraintSystem* cs;
+  const StatementParams* params;
+  const CryptoSuite* suite;
+  StatementOptions opt;
+  std::unique_ptr<EcGadget> ec;
+  size_t kb;         // EC public key bytes (x || y)
+  size_t sig_coord;  // signature r/s width in bytes
+
+  std::vector<LC> Slice(const std::vector<LC>& arr, const LC& start, size_t len) {
+    return opt.use_nope_parsing ? SliceNope(cs, arr, start, len)
+                                : SliceNaive(cs, arr, start, len);
+  }
+  std::vector<LC> Mask(const std::vector<LC>& arr, const LC& len) {
+    return opt.use_nope_parsing ? MaskNope(cs, arr, len) : MaskNaive(cs, arr, len);
+  }
+  // 32 digest byte LCs of the masked buffer.
+  std::vector<LC> Hash(const std::vector<LC>& masked, const LC& len) {
+    if (suite->kind == CryptoSuite::Kind::kReal) {
+      return Sha256DynamicGadget(cs, masked, len);
+    }
+    std::vector<LC> digest = MimcDynamicGadget(cs, masked, len);
+    std::vector<LC> padded;
+    padded.push_back(LC());  // leading zero byte (Digest32 front-pads MiMC)
+    padded.insert(padded.end(), digest.begin(), digest.end());
+    return padded;
+  }
+  ModularGadget::Num DigestScalar(const std::vector<LC>& digest32) {
+    ModularGadget& fn = ec->scalar_field();
+    ModularGadget::Num wide = fn.FromBytesBe(digest32);
+    ModularGadget::Num z = fn.Alloc(fn.ValueOfMod(wide));
+    fn.EnforceEqualMod(wide, z);
+    return z;
+  }
+  void EqualBytes(const std::vector<LC>& a, const std::vector<LC>& b) {
+    if (a.size() != b.size()) {
+      throw std::logic_error("EqualBytes length mismatch");
+    }
+    if (opt.use_misc_optimizations) {
+      // Packed 16-byte chunk comparison (linear packing is free).
+      for (size_t i = 0; i < a.size(); i += kChunk) {
+        LC pa, pb;
+        Fr power = Fr::One();
+        size_t end = std::min(i + kChunk, a.size());
+        for (size_t j = end; j-- > i;) {
+          pa = pa + a[j] * power;
+          pb = pb + b[j] * power;
+          power = power * Fr::FromU64(256);
+        }
+        cs->EnforceEqual(pa, pb);
+      }
+    } else {
+      for (size_t i = 0; i < a.size(); ++i) {
+        cs->EnforceEqual(a[i], b[i]);
+      }
+    }
+  }
+  void EqualConstByte(const LC& a, uint8_t v) {
+    cs->EnforceEqual(a, LC::Constant(Fr::FromU64(v)));
+  }
+
+  // Builds an on-curve point from key bytes (x || y slices of a checked
+  // buffer).
+  EcGadget::Point PointFromKeyBytes(const std::vector<LC>& key_bytes,
+                                    const NativeCurve::Pt& value) {
+    size_t coord = kb / 2;
+    std::vector<LC> xb(key_bytes.begin(), key_bytes.begin() + coord);
+    std::vector<LC> yb(key_bytes.begin() + coord, key_bytes.end());
+    EcGadget::Point p;
+    p.x = ec->field().FromBytesBe(xb);
+    p.y = ec->field().FromBytesBe(yb);
+    p.value = value;
+    ec->EnforceOnCurve(p);
+    return p;
+  }
+
+  // Witnesses an ECDSA signature (r || s wire form) in the scalar field.
+  std::pair<ModularGadget::Num, ModularGadget::Num> AllocSignature(const Bytes& wire) {
+    ModularGadget& fn = ec->scalar_field();
+    Bytes rb(wire.begin(), wire.begin() + sig_coord);
+    Bytes sb(wire.begin() + sig_coord, wire.end());
+    return {fn.Alloc(BigUInt::FromBytes(rb)), fn.Alloc(BigUInt::FromBytes(sb))};
+  }
+
+  void VerifyEcdsa(const EcGadget::Point& key, const std::vector<LC>& digest32,
+                   const Bytes& sig_wire) {
+    auto [r, s] = AllocSignature(sig_wire);
+    ModularGadget::Num z = DigestScalar(digest32);
+    EnforceEcdsaVerify(ec.get(), key, z, r, s,
+                       opt.use_glv_msm ? EcdsaMsmMode::kGlvMsm : EcdsaMsmMode::k256Msm);
+  }
+};
+
+struct AllocatedBuffer {
+  std::vector<LC> bytes;   // padded to suite max, range-checked
+  std::vector<LC> masked;  // zeroed beyond len
+  LC len;
+};
+
+AllocatedBuffer AllocBuffer(Ctx* ctx, const Bytes& buffer, const LC& len_lc, size_t max_size) {
+  if (buffer.size() > max_size) {
+    throw std::length_error("signing buffer exceeds shape bound");
+  }
+  Bytes padded = buffer;
+  padded.resize(max_size, 0);
+  AllocatedBuffer out;
+  std::vector<Var> vars = AllocateBytes(ctx->cs, padded);
+  for (Var v : vars) {
+    out.bytes.emplace_back(v);
+  }
+  out.len = len_lc;
+  out.masked = ctx->Mask(out.bytes, out.len);
+  return out;
+}
+
+struct DnskeyParse {
+  std::vector<LC> zsk_key_bytes;
+  std::vector<LC> ksk_key_bytes;
+  EcGadget::Point zsk_point;
+  EcGadget::Point ksk_point;
+};
+
+NativeCurve::Pt PointFromWire(const CryptoSuite& suite, const Bytes& key_bytes) {
+  size_t coord = suite.EcCoordBytes();
+  return NativeCurve::Pt{
+      BigUInt::FromBytes(Bytes(key_bytes.begin(), key_bytes.begin() + coord)),
+      BigUInt::FromBytes(Bytes(key_bytes.begin() + coord, key_bytes.end())), false};
+}
+
+// S_DNSKEY.P + S_DNSKEY.S + (implicitly) S_KSK.H inputs: parses zone C's
+// DNSKEY canonical signing buffer, binds its names to the domain suffix at
+// name_off, extracts the ZSK and KSK, and verifies the KSK's RRSIG.
+DnskeyParse ProcessDnskeyBuffer(Ctx* ctx, const SignedRrset& dnskey,
+                                const std::vector<LC>& d_bytes, const LC& name_off,
+                                const LC& snl) {
+  size_t max_name = ctx->params->max_name_len;
+  size_t kb = ctx->kb;
+  Bytes buffer = BuildSigningBuffer(dnskey.rrsig, dnskey.rrset);
+
+  // len = 18 + snl (signer) + 2 * [snl + 10 + 4] + 2*kb, all affine in snl.
+  LC len = snl * Fr::FromU64(3) +
+           LC::Constant(Fr::FromU64(18 + 2 * (10 + 4) + 2 * kb));
+  size_t max_size = 18 + 3 * max_name + 2 * (10 + 4) + 2 * kb;
+  AllocatedBuffer buf = AllocBuffer(ctx, buffer, len, max_size);
+
+  // Type covered == DNSKEY(48), algorithm == suite ECDSA.
+  ctx->EqualConstByte(buf.bytes[0], 0);
+  ctx->EqualConstByte(buf.bytes[1], static_cast<uint8_t>(RrType::kDnskey));
+  ctx->EqualConstByte(buf.bytes[2], ctx->suite->ecdsa_algorithm);
+
+  // Signer and first owner name must equal the domain suffix at name_off.
+  std::vector<LC> expected = ctx->Slice(d_bytes, name_off, max_name);
+  std::vector<LC> expected_masked = ctx->Mask(expected, snl);
+  std::vector<LC> signer = ctx->Slice(buf.bytes, LC::Constant(Fr::FromU64(18)), max_name);
+  ctx->EqualBytes(ctx->Mask(signer, snl), expected_masked);
+  std::vector<LC> owner = ctx->Slice(buf.bytes, snl + LC::Constant(Fr::FromU64(18)), max_name);
+  ctx->EqualBytes(ctx->Mask(owner, snl), expected_masked);
+
+  // RR1 (ZSK — canonical order puts flags 0x0100 first): flags/proto/alg.
+  LC rr1_meta = snl * Fr::FromU64(2) + LC::Constant(Fr::FromU64(18 + 10));
+  std::vector<LC> zsk_meta = ctx->Slice(buf.bytes, rr1_meta, 4);
+  ctx->EqualConstByte(zsk_meta[0], 0x01);
+  ctx->EqualConstByte(zsk_meta[1], 0x00);
+  ctx->EqualConstByte(zsk_meta[2], kDnskeyProtocol);
+  ctx->EqualConstByte(zsk_meta[3], ctx->suite->ecdsa_algorithm);
+  std::vector<LC> zsk_key = ctx->Slice(buf.bytes, rr1_meta + LC::Constant(Fr::FromU64(4)), kb);
+
+  // RR2 (KSK, flags 0x0101).
+  LC rr2_meta = snl * Fr::FromU64(3) + LC::Constant(Fr::FromU64(18 + 10 + 4 + 10)) +
+                LC::Constant(Fr::FromU64(kb));
+  std::vector<LC> ksk_meta = ctx->Slice(buf.bytes, rr2_meta, 4);
+  ctx->EqualConstByte(ksk_meta[0], 0x01);
+  ctx->EqualConstByte(ksk_meta[1], 0x01);
+  ctx->EqualConstByte(ksk_meta[2], kDnskeyProtocol);
+  ctx->EqualConstByte(ksk_meta[3], ctx->suite->ecdsa_algorithm);
+  std::vector<LC> ksk_key = ctx->Slice(buf.bytes, rr2_meta + LC::Constant(Fr::FromU64(4)), kb);
+
+  // Native values for the hint machinery.
+  DnskeyRdata zsk_rdata, ksk_rdata;
+  for (const Bytes& rdata : dnskey.rrset.rdatas) {
+    DnskeyRdata key = DnskeyRdata::Decode(rdata);
+    (key.IsKsk() ? ksk_rdata : zsk_rdata) = key;
+  }
+
+  DnskeyParse out;
+  out.zsk_key_bytes = zsk_key;
+  out.ksk_key_bytes = ksk_key;
+  out.zsk_point = ctx->PointFromKeyBytes(zsk_key, PointFromWire(*ctx->suite, zsk_rdata.public_key));
+  out.ksk_point = ctx->PointFromKeyBytes(ksk_key, PointFromWire(*ctx->suite, ksk_rdata.public_key));
+
+  // S_DNSKEY.S: the buffer's digest is ECDSA-signed by the KSK.
+  std::vector<LC> digest = ctx->Hash(buf.masked, buf.len);
+  ctx->VerifyEcdsa(out.ksk_point, digest, dnskey.rrsig.signature);
+  return out;
+}
+
+// S_DS.P + S_KSK.H + S_DS.S: parses zone C's DS canonical signing buffer
+// (owner C at owner_off, signer = parent at signer_off), checks that the DS
+// digest commits to child_ksk_rdata_bytes, and verifies the RRSIG with
+// either the parent's ZSK (ECDSA) or the root's RSA ZSK.
+void ProcessDsBuffer(Ctx* ctx, const SignedRrset& ds, const std::vector<LC>& d_bytes,
+                     const LC& owner_off, const LC& owner_snl, const LC& signer_off,
+                     const LC& signer_snl, const std::vector<LC>& child_ksk_rdata,
+                     const EcGadget::Point* parent_zsk, const DnskeyRdata* root_rsa) {
+  size_t max_name = ctx->params->max_name_len;
+  Bytes buffer = BuildSigningBuffer(ds.rrsig, ds.rrset);
+
+  // len = 18 + signer_snl + owner_snl + 10 + 4 + 32.
+  LC len = signer_snl + owner_snl + LC::Constant(Fr::FromU64(18 + 10 + 4 + 32));
+  size_t max_size = 18 + 2 * max_name + 10 + 4 + 32;
+  AllocatedBuffer buf = AllocBuffer(ctx, buffer, len, max_size);
+
+  ctx->EqualConstByte(buf.bytes[0], 0);
+  ctx->EqualConstByte(buf.bytes[1], static_cast<uint8_t>(RrType::kDs));
+
+  // Names.
+  std::vector<LC> signer_expect =
+      ctx->Mask(ctx->Slice(d_bytes, signer_off, max_name), signer_snl);
+  std::vector<LC> signer = ctx->Slice(buf.bytes, LC::Constant(Fr::FromU64(18)), max_name);
+  ctx->EqualBytes(ctx->Mask(signer, signer_snl), signer_expect);
+  std::vector<LC> owner_expect = ctx->Mask(ctx->Slice(d_bytes, owner_off, max_name), owner_snl);
+  std::vector<LC> owner =
+      ctx->Slice(buf.bytes, signer_snl + LC::Constant(Fr::FromU64(18)), max_name);
+  ctx->EqualBytes(ctx->Mask(owner, owner_snl), owner_expect);
+
+  // DS RDATA: [keytag 2][alg 1][digest type 1][digest 32].
+  LC rdata_off = signer_snl + owner_snl + LC::Constant(Fr::FromU64(18 + 10));
+  std::vector<LC> rdata_meta = ctx->Slice(buf.bytes, rdata_off, 4);
+  ctx->EqualConstByte(rdata_meta[2], ctx->suite->ecdsa_algorithm);
+  ctx->EqualConstByte(rdata_meta[3], ctx->suite->ds_digest_type);
+  std::vector<LC> ds_digest = ctx->Slice(buf.bytes, rdata_off + LC::Constant(Fr::FromU64(4)), 32);
+
+  // S_KSK.H: digest of (owner wire name || child KSK RDATA) must equal the
+  // DS digest. The RDATA is placed at the dynamic offset owner_snl.
+  size_t input_max = max_name + child_ksk_rdata.size();
+  std::vector<LC> input = owner_expect;
+  input.resize(input_max);
+  std::vector<LC> placed = PlaceAt(ctx->cs, child_ksk_rdata, owner_snl, input_max);
+  for (size_t i = 0; i < input_max; ++i) {
+    input[i] = input[i] + placed[i];
+  }
+  LC input_len = owner_snl + LC::Constant(Fr::FromU64(child_ksk_rdata.size()));
+  std::vector<LC> computed_digest = ctx->Hash(input, input_len);
+  ctx->EqualBytes(computed_digest, ds_digest);
+
+  // S_DS.S: verify the RRSIG over the buffer.
+  std::vector<LC> digest = ctx->Hash(buf.masked, buf.len);
+  if (parent_zsk != nullptr) {
+    ctx->VerifyEcdsa(*parent_zsk, digest, ds.rrsig.signature);
+  } else {
+    // Root: RSA (algorithm byte 2 of the RRSIG prefix).
+    ctx->EqualConstByte(buf.bytes[2], ctx->suite->rsa_algorithm);
+    size_t pos = 0;
+    uint8_t exp_len = ReadU8(root_rsa->public_key, &pos);
+    Bytes exp = ReadBytes(root_rsa->public_key, &pos, exp_len);
+    Bytes modulus = ReadBytes(root_rsa->public_key, &pos, root_rsa->public_key.size() - pos);
+    if (BigUInt::FromBytes(exp) != BigUInt(65537)) {
+      throw std::invalid_argument("root RSA exponent must be 65537");
+    }
+    ModularGadget rsa(ctx->cs, BigUInt::FromBytes(modulus));
+    ModularGadget::Num sig = rsa.Alloc(BigUInt::FromBytes(ds.rrsig.signature));
+    ModularGadget::Num em = BuildPkcs1Em(&rsa, digest);
+    EnforceRsaVerify(&rsa, sig, em,
+                     ctx->opt.use_nope_crypto ? RsaTechnique::kNope : RsaTechnique::kNaive);
+  }
+}
+
+// Allocates the 72 bytes (T_digest || N_digest || TS) and binds them to the
+// public inputs. Shared by the straw-man design row and managed mode.
+std::vector<LC> BindTntBytes(Ctx* ctx, const StatementWitness& witness,
+                             const std::vector<Var>& pub_vars, size_t name_chunks) {
+  ConstraintSystem* cs = ctx->cs;
+  Bytes tnt = witness.tls_key_digest;
+  AppendBytes(&tnt, witness.ca_name_digest);
+  AppendU64(&tnt, witness.truncated_ts);
+  std::vector<Var> tnt_vars = AllocateBytes(cs, tnt);
+  std::vector<LC> tnt_lcs;
+  for (Var v : tnt_vars) {
+    tnt_lcs.emplace_back(v);
+  }
+  std::vector<LC> tnt_packed = PackBytes(tnt_vars, kChunk);
+  for (size_t i = 0; i < 4; ++i) {
+    cs->EnforceEqual(tnt_packed[i], LC(pub_vars[name_chunks + i]));
+  }
+  LC ts_value;
+  for (size_t i = 64; i < 72; ++i) {
+    ts_value = ts_value * Fr::FromU64(256) + tnt_lcs[i];
+  }
+  cs->EnforceEqual(ts_value, LC(pub_vars[name_chunks + 4]));
+  return tnt_lcs;
+}
+
+// Appendix A, S_TXT: the TXT RRset on D contains a record whose data is the
+// binding digest, and the RRset's RRSIG is validated by D's ZSK. The record
+// is located by an unrolled walk of the length-prefixed RR stream (the
+// "scan" recipe of Appendix B.2 applied to real RR framing).
+void ProcessManagedTxt(Ctx* ctx, const SignedRrset& txt, const std::vector<LC>& d_bytes,
+                       const LC& snl, const EcGadget::Point& leaf_zsk,
+                       const std::vector<LC>& binding) {
+  constexpr size_t kMaxTxtRecords = 4;
+  ConstraintSystem* cs = ctx->cs;
+  size_t max_name = ctx->params->max_name_len;
+  if (txt.rrset.rdatas.size() > kMaxTxtRecords) {
+    throw std::length_error("too many TXT records for the managed statement");
+  }
+  Bytes buffer = BuildSigningBuffer(txt.rrsig, txt.rrset);
+
+  // Dynamic total length (depends on every record's rdlen), witnessed and
+  // pinned below to the walked offsets.
+  size_t max_size = 18 + max_name + kMaxTxtRecords * (max_name + 10 + 34);
+  Var len_var = cs->AddWitness(Fr::FromU64(buffer.size()));
+  {
+    size_t bits = 1;
+    while ((size_t{1} << bits) < max_size + 1) {
+      ++bits;
+    }
+    ToBits(cs, LC(len_var), bits);
+  }
+  AllocatedBuffer buf = AllocBuffer(ctx, buffer, LC(len_var), max_size);
+
+  // Type covered == TXT(16); signer == D.
+  ctx->EqualConstByte(buf.bytes[0], 0);
+  ctx->EqualConstByte(buf.bytes[1], static_cast<uint8_t>(RrType::kTxt));
+  std::vector<LC> expected =
+      ctx->Mask(ctx->Slice(d_bytes, LC(), max_name), snl);
+  std::vector<LC> signer = ctx->Slice(buf.masked, LC::Constant(Fr::FromU64(18)), max_name);
+  ctx->EqualBytes(ctx->Mask(signer, snl), expected);
+
+  // Walk the records: off_0 = 18 + snl; off_{k+1} = off_k + snl + 10 + rdlen_k.
+  std::vector<LC> offsets(kMaxTxtRecords + 1);
+  offsets[0] = snl + LC::Constant(Fr::FromU64(18));
+  for (size_t k = 0; k < kMaxTxtRecords; ++k) {
+    std::vector<LC> rdlen =
+        ctx->Slice(buf.masked, offsets[k] + snl + LC::Constant(Fr::FromU64(8)), 2);
+    offsets[k + 1] = offsets[k] + snl + LC::Constant(Fr::FromU64(10)) +
+                     rdlen[0] * Fr::FromU64(256) + rdlen[1];
+  }
+
+  // The witnessed length must be one of the walked record boundaries
+  // (nrec in [1, kMaxTxtRecords]).
+  size_t nrec = txt.rrset.rdatas.size();
+  Var nrec_var = cs->AddWitness(Fr::FromU64(nrec));
+  std::vector<Var> nrec_ind = Indicator(cs, LC(nrec_var), kMaxTxtRecords + 1);
+  cs->EnforceEqual(LC(nrec_ind[0]), LC());  // at least one record
+  LC len_from_walk;
+  for (size_t n = 1; n <= kMaxTxtRecords; ++n) {
+    Fr pv = cs->ValueOf(nrec_ind[n]) * cs->Eval(offsets[n]);
+    Var p = cs->AddWitness(pv);
+    cs->Enforce(LC(nrec_ind[n]), offsets[n], LC(p));
+    len_from_walk = len_from_walk + LC(p);
+  }
+  cs->EnforceEqual(LC(len_var), len_from_walk);
+
+  // Select the record carrying the binding.
+  Bytes binding_native = ctx->suite->Digest32({});  // placeholder, fixed below
+  binding_native.clear();
+  for (const LC& b : binding) {
+    binding_native.push_back(
+        static_cast<uint8_t>(cs->Eval(b).ToBigUInt().LowU64()));
+  }
+  Bytes want_rdata;
+  want_rdata.push_back(32);
+  AppendBytes(&want_rdata, binding_native);
+  size_t selected = kMaxTxtRecords;
+  {
+    Rrset canonical = txt.rrset.Canonical();
+    for (size_t k = 0; k < canonical.rdatas.size(); ++k) {
+      if (canonical.rdatas[k] == want_rdata) {
+        selected = k;
+        break;
+      }
+    }
+  }
+  LC selected_off;
+  LC bit_sum;
+  for (size_t k = 0; k < kMaxTxtRecords; ++k) {
+    Var b = cs->AddWitness(k == selected ? Fr::One() : Fr::Zero());
+    cs->EnforceBoolean(b);
+    bit_sum = bit_sum + LC(b);
+    Fr pv = cs->ValueOf(b) * cs->Eval(offsets[k]);
+    Var p = cs->AddWitness(pv);
+    cs->Enforce(LC(b), offsets[k], LC(p));
+    selected_off = selected_off + LC(p);
+  }
+  cs->EnforceEqual(bit_sum, LC::Constant(Fr::One()));
+
+  // Selected record's RDATA must be [0x20][binding].
+  std::vector<LC> rdata =
+      ctx->Slice(buf.masked, selected_off + snl + LC::Constant(Fr::FromU64(10)), 33);
+  ctx->EqualConstByte(rdata[0], 32);
+  for (size_t i = 0; i < 32; ++i) {
+    cs->EnforceEqual(rdata[1 + i], binding[i]);
+  }
+
+  // S_TXT.S: the RRSIG over the buffer validates under D's ZSK.
+  std::vector<LC> digest = ctx->Hash(buf.masked, buf.len);
+  ctx->VerifyEcdsa(leaf_zsk, digest, txt.rrsig.signature);
+}
+
+}  // namespace
+
+Bytes ManagedBinding(const CryptoSuite& suite, const Bytes& tls_key_digest,
+                     const Bytes& ca_name_digest, uint64_t truncated_ts) {
+  Bytes tnt = tls_key_digest;
+  AppendBytes(&tnt, ca_name_digest);
+  AppendU64(&tnt, truncated_ts);
+  return suite.Digest32(tnt);
+}
+
+Bytes TlsKeyDigest(const Bytes& tls_public_key) { return Sha256::Hash(tls_public_key); }
+
+Bytes CaNameDigest(const std::string& organization) {
+  return Sha256::Hash(Bytes(organization.begin(), organization.end()));
+}
+
+uint64_t TruncateTimestamp(uint64_t unix_seconds) { return unix_seconds / 600; }
+
+std::vector<Fr> NopePublicInputs(const StatementParams& params, const DnsName& domain,
+                                 const Bytes& tls_key_digest, const Bytes& ca_name_digest,
+                                 uint64_t truncated_ts) {
+  Bytes wire = domain.Canonical().ToWire();
+  if (wire.size() > params.max_name_len) {
+    throw std::length_error("domain exceeds max_name_len");
+  }
+  wire.resize(params.max_name_len, 0);
+  std::vector<Fr> out = PackBytesValues(wire, kChunk);
+  std::vector<Fr> t_chunks = PackBytesValues(tls_key_digest, kChunk);
+  std::vector<Fr> n_chunks = PackBytesValues(ca_name_digest, kChunk);
+  out.insert(out.end(), t_chunks.begin(), t_chunks.end());
+  out.insert(out.end(), n_chunks.begin(), n_chunks.end());
+  out.push_back(Fr::FromU64(truncated_ts));
+  return out;
+}
+
+size_t BuildNopeStatement(ConstraintSystem* cs, const StatementParams& params,
+                          const StatementWitness& witness) {
+  const ChainOfTrust& chain = witness.chain;
+  if (chain.levels.size() != params.num_levels) {
+    throw std::invalid_argument("chain depth does not match statement params");
+  }
+
+  Ctx ctx;
+  ctx.cs = cs;
+  ctx.params = &params;
+  ctx.suite = params.suite;
+  ctx.opt = params.options;
+  ctx.ec = std::make_unique<EcGadget>(cs, params.suite->curve,
+                                      params.options.use_nope_crypto
+                                          ? EcGadget::Technique::kNopeHints
+                                          : EcGadget::Technique::kNaive);
+  ctx.kb = 2 * params.suite->EcCoordBytes();
+  ctx.sig_coord = (params.suite->curve.n.BitLength() + 7) / 8;
+
+  // --- Public inputs ---------------------------------------------------------
+  std::vector<Fr> pub = NopePublicInputs(params, chain.domain, witness.tls_key_digest,
+                                         witness.ca_name_digest, witness.truncated_ts);
+  std::vector<Var> pub_vars;
+  pub_vars.reserve(pub.size());
+  for (const Fr& v : pub) {
+    pub_vars.push_back(cs->AddPublicInput(v));
+  }
+  size_t name_chunks = params.max_name_len / kChunk + (params.max_name_len % kChunk ? 1 : 0);
+
+  // --- Domain bytes bound to the public packing ------------------------------
+  Bytes d_wire = chain.domain.Canonical().ToWire();
+  Bytes d_padded = d_wire;
+  d_padded.resize(params.max_name_len, 0);
+  std::vector<Var> d_vars = AllocateBytes(cs, d_padded);
+  std::vector<LC> d_bytes;
+  for (Var v : d_vars) {
+    d_bytes.emplace_back(v);
+  }
+  std::vector<LC> d_packed = PackBytes(d_vars, kChunk);
+  for (size_t i = 0; i < name_chunks; ++i) {
+    cs->EnforceEqual(d_packed[i], LC(pub_vars[i]));
+  }
+
+  // --- Ancestor name offsets: offset_{i+1} = offset_i + 1 + label_len_i ------
+  size_t depth = params.num_levels + 1;  // C_0 = D .. C_L, then root
+  std::vector<LC> offsets(depth + 1);
+  std::vector<LC> snls(depth + 1);
+  offsets[0] = LC();  // 0
+  LC d_len = LC::Constant(Fr::FromU64(d_wire.size()));
+  snls[0] = d_len;
+  for (size_t i = 0; i + 1 <= depth; ++i) {
+    std::vector<LC> label_len = ctx.Slice(d_bytes, offsets[i], 1);
+    offsets[i + 1] = offsets[i] + label_len[0] + LC::Constant(Fr::One());
+    snls[i + 1] = snls[i] - label_len[0] - LC::Constant(Fr::One());
+  }
+  // Terminal: C_depth must be the root (the final zero byte of D's wire).
+  std::vector<LC> terminal = ctx.Slice(d_bytes, offsets[depth], 1);
+  cs->EnforceEqual(terminal[0], LC());
+  cs->EnforceEqual(snls[depth], LC::Constant(Fr::One()));
+
+  // --- (T || N || TS) digest, needed by the straw-man design row and by
+  // managed mode's TXT binding.
+  std::vector<LC> tnt_digest;
+  if (params.options.managed_mode || !params.options.use_signature_of_knowledge) {
+    std::vector<LC> tnt_lcs = BindTntBytes(&ctx, witness, pub_vars, name_chunks);
+    LC tnt_len = LC::Constant(Fr::FromU64(tnt_lcs.size()));
+    std::vector<LC> padded = tnt_lcs;
+    padded.resize(((tnt_lcs.size() + kChunk - 1) / kChunk) * kChunk);
+    tnt_digest = ctx.Hash(padded, tnt_len);
+  }
+
+  // --- Leaf: either KSK knowledge (standard NOPE) or the TXT binding
+  // (NOPE-managed, Appendix A).
+  std::vector<LC> leaf_ksk_rdata_lcs;
+  if (!params.options.managed_mode) {
+    Bytes leaf_ksk_rdata = chain.leaf_ksk.Encode();
+    std::vector<Var> ksk_rdata_vars = AllocateBytes(cs, leaf_ksk_rdata);
+    for (Var v : ksk_rdata_vars) {
+      leaf_ksk_rdata_lcs.emplace_back(v);
+    }
+    // Pin the RDATA header: flags 257, protocol 3, suite ECDSA algorithm.
+    ctx.EqualConstByte(leaf_ksk_rdata_lcs[0], 0x01);
+    ctx.EqualConstByte(leaf_ksk_rdata_lcs[1], 0x01);
+    ctx.EqualConstByte(leaf_ksk_rdata_lcs[2], kDnskeyProtocol);
+    ctx.EqualConstByte(leaf_ksk_rdata_lcs[3], ctx.suite->ecdsa_algorithm);
+    std::vector<LC> leaf_key_bytes(leaf_ksk_rdata_lcs.begin() + 4, leaf_ksk_rdata_lcs.end());
+    EcGadget::Point leaf_ksk = ctx.PointFromKeyBytes(
+        leaf_key_bytes, PointFromWire(*ctx.suite, chain.leaf_ksk.public_key));
+    EnforceKnowledgeOfPrivateKey(ctx.ec.get(), leaf_ksk, witness.leaf_ksk_private_key);
+
+    // Straw-man design (ablation): explicit in-circuit signature over
+    // (T || N || TS) by the leaf KSK instead of the signature of knowledge.
+    if (!params.options.use_signature_of_knowledge) {
+      Bytes tnt = witness.tls_key_digest;
+      AppendBytes(&tnt, witness.ca_name_digest);
+      AppendU64(&tnt, witness.truncated_ts);
+      Rng sign_rng(0x5759);
+      Bytes digest_native = ctx.suite->Digest32(tnt);
+      ToyEcdsaSignature sig =
+          ToyEcdsaSign(ctx.suite->curve, witness.leaf_ksk_private_key, digest_native, &sign_rng);
+      Bytes sig_wire = sig.r.ToBytes(ctx.sig_coord);
+      AppendBytes(&sig_wire, sig.s.ToBytes(ctx.sig_coord));
+      ctx.VerifyEcdsa(leaf_ksk, tnt_digest, sig_wire);
+    }
+  }
+
+  // --- Ancestor DNSKEY parses (C_1 .. C_L) ------------------------------------
+  std::vector<DnskeyParse> parses;
+  for (size_t a = 1; a <= params.num_levels; ++a) {
+    parses.push_back(
+        ProcessDnskeyBuffer(&ctx, chain.levels[a - 1].dnskey, d_bytes, offsets[a], snls[a]));
+  }
+
+  // --- Managed mode: parse D's own DNSKEY RRset and bind the TXT record.
+  if (params.options.managed_mode) {
+    DnskeyParse leaf_parse =
+        ProcessDnskeyBuffer(&ctx, witness.managed_dnskey, d_bytes, offsets[0], snls[0]);
+    ProcessManagedTxt(&ctx, witness.managed_txt, d_bytes, snls[0], leaf_parse.zsk_point,
+                      tnt_digest);
+    // The leaf DS commits to the KSK extracted from D's own DNSKEY RRset.
+    leaf_ksk_rdata_lcs.clear();
+    leaf_ksk_rdata_lcs.push_back(LC::Constant(Fr::FromU64(0x01)));
+    leaf_ksk_rdata_lcs.push_back(LC::Constant(Fr::FromU64(0x01)));
+    leaf_ksk_rdata_lcs.push_back(LC::Constant(Fr::FromU64(kDnskeyProtocol)));
+    leaf_ksk_rdata_lcs.push_back(LC::Constant(Fr::FromU64(ctx.suite->ecdsa_algorithm)));
+    leaf_ksk_rdata_lcs.insert(leaf_ksk_rdata_lcs.end(), leaf_parse.ksk_key_bytes.begin(),
+                              leaf_parse.ksk_key_bytes.end());
+  }
+
+  // --- DS checks, leaf upward --------------------------------------------------
+  // Leaf DS (C_0): signer C_1 (or root when there are no levels).
+  DnskeyRdata root_zsk = chain.root_zsk;
+  {
+    const EcGadget::Point* verifier =
+        params.num_levels > 0 ? &parses[0].zsk_point : nullptr;
+    ProcessDsBuffer(&ctx, chain.leaf_ds, d_bytes, offsets[0], snls[0], offsets[1], snls[1],
+                    leaf_ksk_rdata_lcs, verifier, verifier == nullptr ? &root_zsk : nullptr);
+  }
+  // DS of C_a for a = 1..L: child KSK RDATA rebuilt from the extracted bytes.
+  for (size_t a = 1; a <= params.num_levels; ++a) {
+    std::vector<LC> child_rdata;
+    child_rdata.push_back(LC::Constant(Fr::FromU64(0x01)));
+    child_rdata.push_back(LC::Constant(Fr::FromU64(0x01)));
+    child_rdata.push_back(LC::Constant(Fr::FromU64(kDnskeyProtocol)));
+    child_rdata.push_back(LC::Constant(Fr::FromU64(ctx.suite->ecdsa_algorithm)));
+    child_rdata.insert(child_rdata.end(), parses[a - 1].ksk_key_bytes.begin(),
+                       parses[a - 1].ksk_key_bytes.end());
+    const EcGadget::Point* verifier = a < params.num_levels ? &parses[a].zsk_point : nullptr;
+    ProcessDsBuffer(&ctx, chain.levels[a - 1].ds, d_bytes, offsets[a], snls[a], offsets[a + 1],
+                    snls[a + 1], child_rdata, verifier, verifier == nullptr ? &root_zsk : nullptr);
+  }
+
+  return pub.size();
+}
+
+}  // namespace nope

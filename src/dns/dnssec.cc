@@ -1,0 +1,389 @@
+#include "src/dns/dnssec.h"
+
+#include <stdexcept>
+
+#include "src/base/sha256.h"
+#include "src/r1cs/mimc_gadget.h"
+
+namespace nope {
+
+const CryptoSuite& CryptoSuite::Real() {
+  static const CryptoSuite suite = [] {
+    CryptoSuite s;
+    s.kind = Kind::kReal;
+    s.curve = CurveSpec::P256();
+    s.rsa_bits = 2048;
+    s.max_signing_buffer = 1024;
+    s.rsa_algorithm = kAlgRsaSha256;
+    s.ecdsa_algorithm = kAlgEcdsaP256Sha256;
+    s.ds_digest_type = kDigestSha256;
+    return s;
+  }();
+  return suite;
+}
+
+const CryptoSuite& CryptoSuite::Toy() {
+  static const CryptoSuite suite = [] {
+    CryptoSuite s;
+    s.kind = Kind::kToy;
+    s.curve = FindToyCurve(42);
+    s.rsa_bits = 512;
+    s.max_signing_buffer = 192;
+    s.rsa_algorithm = kAlgToyRsa;
+    s.ecdsa_algorithm = kAlgToyEcdsa;
+    s.ds_digest_type = kDigestToy;
+    return s;
+  }();
+  return suite;
+}
+
+Bytes CryptoSuite::Digest32(const Bytes& buffer) const {
+  if (kind == Kind::kReal) {
+    return Sha256::Hash(buffer);
+  }
+  Bytes digest = MimcHashBytes(buffer);
+  Bytes out(1, 0);  // front-pad the 31-byte MiMC digest to 32 bytes
+  AppendBytes(&out, digest);
+  return out;
+}
+
+size_t CryptoSuite::EcCoordBytes() const { return (curve.p.BitLength() + 7) / 8; }
+
+uint8_t ZoneKey::Algorithm(const CryptoSuite& suite) const {
+  return is_rsa ? suite.rsa_algorithm : suite.ecdsa_algorithm;
+}
+
+Bytes ZoneKey::PublicKeyWire(const CryptoSuite& suite) const {
+  if (is_rsa) {
+    // RFC 3110: [exponent length][exponent][modulus].
+    Bytes exp = rsa.pub.e.ToBytes();
+    Bytes out;
+    AppendU8(&out, static_cast<uint8_t>(exp.size()));
+    AppendBytes(&out, exp);
+    AppendBytes(&out, rsa.pub.n.ToBytes(rsa.pub.ModulusBytes()));
+    return out;
+  }
+  size_t coord = suite.EcCoordBytes();
+  Bytes out = ec_pub.x.ToBytes(coord);
+  AppendBytes(&out, ec_pub.y.ToBytes(coord));
+  return out;
+}
+
+Bytes ZoneKey::SignBuffer(const CryptoSuite& suite, const Bytes& buffer, Rng* rng) const {
+  Bytes digest = suite.Digest32(buffer);
+  if (is_rsa) {
+    return RsaSignDigest32(rsa, digest);
+  }
+  ToyEcdsaSignature sig = ToyEcdsaSign(suite.curve, ec_priv, digest, rng);
+  size_t coord = (suite.curve.n.BitLength() + 7) / 8;
+  Bytes out = sig.r.ToBytes(coord);
+  AppendBytes(&out, sig.s.ToBytes(coord));
+  return out;
+}
+
+bool VerifyWithDnskey(const CryptoSuite& suite, const DnskeyRdata& key, const Bytes& buffer,
+                      const Bytes& signature) {
+  Bytes digest = suite.Digest32(buffer);
+  if (key.algorithm == suite.rsa_algorithm) {
+    size_t pos = 0;
+    uint8_t exp_len = ReadU8(key.public_key, &pos);
+    Bytes exp = ReadBytes(key.public_key, &pos, exp_len);
+    Bytes modulus = ReadBytes(key.public_key, &pos, key.public_key.size() - pos);
+    RsaPublicKey pub{BigUInt::FromBytes(modulus), BigUInt::FromBytes(exp)};
+    return RsaVerifyDigest32(pub, digest, signature);
+  }
+  if (key.algorithm == suite.ecdsa_algorithm) {
+    size_t coord = suite.EcCoordBytes();
+    if (key.public_key.size() != 2 * coord) {
+      return false;
+    }
+    NativeCurve::Pt pub{
+        BigUInt::FromBytes(Bytes(key.public_key.begin(), key.public_key.begin() + coord)),
+        BigUInt::FromBytes(Bytes(key.public_key.begin() + coord, key.public_key.end())), false};
+    NativeCurve curve(suite.curve);
+    if (!curve.IsOnCurve(pub)) {
+      return false;
+    }
+    size_t sig_coord = (suite.curve.n.BitLength() + 7) / 8;
+    if (signature.size() != 2 * sig_coord) {
+      return false;
+    }
+    ToyEcdsaSignature sig{
+        BigUInt::FromBytes(Bytes(signature.begin(), signature.begin() + sig_coord)),
+        BigUInt::FromBytes(Bytes(signature.begin() + sig_coord, signature.end()))};
+    return ToyEcdsaVerify(suite.curve, pub, digest, sig);
+  }
+  return false;
+}
+
+Zone::Zone(const DnsName& name, const CryptoSuite& suite, Rng* rng, bool rsa_zsk)
+    : name_(name), suite_(&suite) {
+  NativeCurve curve(suite.curve);
+  auto make_ec_key = [&] {
+    ZoneKey key;
+    key.is_rsa = false;
+    key.ec_priv = BigUInt::RandomBelow(rng, suite.curve.n - BigUInt(1)) + BigUInt(1);
+    key.ec_pub = curve.ScalarMul(key.ec_priv, curve.Generator());
+    return key;
+  };
+  ksk_ = make_ec_key();
+  if (rsa_zsk) {
+    zsk_.is_rsa = true;
+    zsk_.rsa = GenerateRsaKey(rng, suite.rsa_bits);
+  } else {
+    zsk_ = make_ec_key();
+  }
+}
+
+DnskeyRdata Zone::KskRdata() const {
+  return DnskeyRdata{kDnskeyFlagsKsk, kDnskeyProtocol, ksk_.Algorithm(*suite_),
+                     ksk_.PublicKeyWire(*suite_)};
+}
+
+DnskeyRdata Zone::ZskRdata() const {
+  return DnskeyRdata{kDnskeyFlagsZsk, kDnskeyProtocol, zsk_.Algorithm(*suite_),
+                     zsk_.PublicKeyWire(*suite_)};
+}
+
+Rrset Zone::DnskeyRrset() const {
+  Rrset out{name_, RrType::kDnskey, 3600, {}};
+  out.rdatas.push_back(ZskRdata().Encode());
+  out.rdatas.push_back(KskRdata().Encode());
+  return out;
+}
+
+SignedRrset Zone::Sign(const Rrset& rrset, Rng* rng) const {
+  bool with_ksk = rrset.type == RrType::kDnskey;
+  const ZoneKey& key = with_ksk ? ksk_ : zsk_;
+  DnskeyRdata key_rdata = with_ksk ? KskRdata() : ZskRdata();
+
+  RrsigRdata rrsig;
+  rrsig.type_covered = static_cast<uint16_t>(rrset.type);
+  rrsig.algorithm = key.Algorithm(*suite_);
+  rrsig.labels = static_cast<uint8_t>(rrset.name.NumLabels());
+  rrsig.original_ttl = rrset.ttl;
+  rrsig.inception = 1700000000;   // fixed simulation epoch
+  rrsig.expiration = 1800000000;
+  rrsig.key_tag = ComputeKeyTag(key_rdata.Encode());
+  rrsig.signer = name_;
+
+  Bytes buffer = BuildSigningBuffer(rrsig, rrset);
+  if (buffer.size() > suite_->max_signing_buffer) {
+    throw std::length_error("signing buffer exceeds suite bound");
+  }
+  rrsig.signature = key.SignBuffer(*suite_, buffer, rng);
+  return SignedRrset{rrset.Canonical(), rrsig};
+}
+
+DsRdata Zone::MakeDsForChild(const Zone& child) const {
+  Bytes child_ksk = child.KskRdata().Encode();
+  Bytes input = BuildDsDigestInput(child.name(), child_ksk);
+  DsRdata ds;
+  ds.key_tag = ComputeKeyTag(child_ksk);
+  ds.algorithm = child.ksk().Algorithm(*suite_);
+  ds.digest_type = suite_->ds_digest_type;
+  ds.digest = suite_->Digest32(input);
+  return ds;
+}
+
+DnssecHierarchy::DnssecHierarchy(const CryptoSuite& suite, uint64_t seed)
+    : suite_(&suite), rng_(seed) {
+  zones_.emplace(DnsName::Root(),
+                 std::make_unique<Zone>(DnsName::Root(), suite, &rng_, /*rsa_zsk=*/true));
+}
+
+Zone& DnssecHierarchy::AddZone(const DnsName& name) {
+  if (zones_.count(name) != 0) {
+    return *zones_.at(name);
+  }
+  if (zones_.count(name.Parent()) == 0) {
+    throw std::invalid_argument("parent zone does not exist: " + name.Parent().ToString());
+  }
+  auto zone = std::make_unique<Zone>(name, *suite_, &rng_, /*rsa_zsk=*/false);
+  Zone& ref = *zone;
+  zones_.emplace(name, std::move(zone));
+  return ref;
+}
+
+Zone* DnssecHierarchy::Find(const DnsName& name) {
+  auto it = zones_.find(name);
+  return it == zones_.end() ? nullptr : it->second.get();
+}
+
+const Zone* DnssecHierarchy::Find(const DnsName& name) const {
+  auto it = zones_.find(name);
+  return it == zones_.end() ? nullptr : it->second.get();
+}
+
+ChainOfTrust DnssecHierarchy::BuildChain(const DnsName& domain) {
+  Zone* leaf = Find(domain);
+  if (leaf == nullptr) {
+    throw std::invalid_argument("domain is not a zone: " + domain.ToString());
+  }
+  ChainOfTrust chain;
+  chain.domain = domain;
+  chain.leaf_ksk = leaf->KskRdata();
+  chain.root_zsk = root().ZskRdata();
+
+  // D's DS RRset lives in the parent and is ZSK-signed there.
+  Zone* parent = Find(domain.Parent());
+  if (parent == nullptr) {
+    throw std::invalid_argument("parent zone missing");
+  }
+  Rrset leaf_ds_set{domain, RrType::kDs, 3600, {parent->MakeDsForChild(*leaf).Encode()}};
+  chain.leaf_ds = parent->Sign(leaf_ds_set, &rng_);
+
+  // Ancestor levels: C = parent(D), ..., up to (but excluding) the root.
+  for (DnsName c = domain.Parent(); !c.IsRoot(); c = c.Parent()) {
+    Zone* zone_c = Find(c);
+    Zone* zone_p = Find(c.Parent());
+    if (zone_c == nullptr || zone_p == nullptr) {
+      throw std::invalid_argument("broken hierarchy at " + c.ToString());
+    }
+    ChainLink link;
+    link.zone = c;
+    link.dnskey = zone_c->Sign(zone_c->DnskeyRrset(), &rng_);
+    Rrset ds_set{c, RrType::kDs, 3600, {zone_p->MakeDsForChild(*zone_c).Encode()}};
+    link.ds = zone_p->Sign(ds_set, &rng_);
+    chain.levels.push_back(link);
+  }
+  return chain;
+}
+
+void DnssecHierarchy::SetTxt(const DnsName& name, const std::string& value) {
+  txt_.emplace(name, value);
+}
+
+std::vector<std::string> DnssecHierarchy::QueryTxt(const DnsName& name) const {
+  std::vector<std::string> out;
+  auto [begin, end] = txt_.equal_range(name);
+  for (auto it = begin; it != end; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+SignedRrset DnssecHierarchy::SignedTxt(const DnsName& zone_name) {
+  Zone* zone = Find(zone_name);
+  if (zone == nullptr) {
+    throw std::invalid_argument("not a zone: " + zone_name.ToString());
+  }
+  Rrset set{zone_name, RrType::kTxt, 300, {}};
+  for (const std::string& value : QueryTxt(zone_name)) {
+    set.rdatas.push_back(TxtRdata(value));
+  }
+  if (set.rdatas.empty()) {
+    throw std::invalid_argument("no TXT records at " + zone_name.ToString());
+  }
+  return zone->Sign(set, &rng_);
+}
+
+namespace {
+
+bool VerifySignedRrset(const CryptoSuite& suite, const SignedRrset& signed_set,
+                       const DnskeyRdata& key) {
+  if (signed_set.rrsig.type_covered != static_cast<uint16_t>(signed_set.rrset.type)) {
+    return false;
+  }
+  if (signed_set.rrsig.key_tag != ComputeKeyTag(key.Encode())) {
+    return false;
+  }
+  Bytes buffer = BuildSigningBuffer(signed_set.rrsig, signed_set.rrset);
+  return VerifyWithDnskey(suite, key, buffer, signed_set.rrsig.signature);
+}
+
+// Extracts the ZSK and KSK rdatas from a DNSKEY RRset.
+bool SplitDnskeys(const Rrset& rrset, DnskeyRdata* zsk, DnskeyRdata* ksk) {
+  bool have_zsk = false;
+  bool have_ksk = false;
+  for (const Bytes& rdata : rrset.rdatas) {
+    DnskeyRdata key = DnskeyRdata::Decode(rdata);
+    if (key.IsKsk() && !have_ksk) {
+      *ksk = key;
+      have_ksk = true;
+    } else if (!key.IsKsk() && !have_zsk) {
+      *zsk = key;
+      have_zsk = true;
+    }
+  }
+  return have_zsk && have_ksk;
+}
+
+bool DsMatchesKey(const CryptoSuite& suite, const DnsName& owner, const DsRdata& ds,
+                  const DnskeyRdata& key) {
+  if (ds.key_tag != ComputeKeyTag(key.Encode()) || ds.algorithm != key.algorithm) {
+    return false;
+  }
+  Bytes input = BuildDsDigestInput(owner, key.Encode());
+  return ds.digest == suite.Digest32(input);
+}
+
+}  // namespace
+
+bool ValidateChain(const CryptoSuite& suite, const ChainOfTrust& chain,
+                   const DnskeyRdata& trust_anchor) {
+  // Walk top-down: the trust anchor must validate the deepest level's DS.
+  DnskeyRdata current_zsk = trust_anchor;
+
+  // levels are leaf-parent first; process from the root side.
+  for (size_t i = chain.levels.size(); i-- > 0;) {
+    const ChainLink& link = chain.levels[i];
+    // DS RRset for link.zone signed by the parent's ZSK (current_zsk).
+    if (link.ds.rrset.name != link.zone || link.ds.rrset.type != RrType::kDs) {
+      return false;
+    }
+    if (!VerifySignedRrset(suite, link.ds, current_zsk)) {
+      return false;
+    }
+    // DNSKEY RRset of link.zone, signed by its KSK; the KSK must match DS.
+    DnskeyRdata zsk, ksk;
+    if (link.dnskey.rrset.name != link.zone || !SplitDnskeys(link.dnskey.rrset, &zsk, &ksk)) {
+      return false;
+    }
+    if (link.ds.rrset.rdatas.size() != 1 ||
+        !DsMatchesKey(suite, link.zone, DsRdata::Decode(link.ds.rrset.rdatas[0]), ksk)) {
+      return false;
+    }
+    if (!VerifySignedRrset(suite, link.dnskey, ksk)) {
+      return false;
+    }
+    current_zsk = zsk;
+  }
+
+  // Finally, the leaf's DS RRset signed by the leaf's parent's ZSK, and the
+  // DS must commit to the leaf KSK.
+  if (chain.leaf_ds.rrset.name != chain.domain || chain.leaf_ds.rrset.type != RrType::kDs) {
+    return false;
+  }
+  if (!VerifySignedRrset(suite, chain.leaf_ds, current_zsk)) {
+    return false;
+  }
+  if (chain.leaf_ds.rrset.rdatas.size() != 1 ||
+      !DsMatchesKey(suite, chain.domain, DsRdata::Decode(chain.leaf_ds.rrset.rdatas[0]),
+                    chain.leaf_ksk)) {
+    return false;
+  }
+  return true;
+}
+
+Bytes SerializeDceChain(const ChainOfTrust& chain) {
+  Bytes out;
+  auto append_signed = [&out](const SignedRrset& s) {
+    for (const Bytes& rdata : s.rrset.rdatas) {
+      ResourceRecord rr{s.rrset.name, s.rrset.type, s.rrset.ttl, rdata};
+      AppendBytes(&out, rr.CanonicalWire());
+    }
+    ResourceRecord sig_rr{s.rrset.name, RrType::kRrsig, s.rrset.ttl, s.rrsig.Encode()};
+    AppendBytes(&out, sig_rr.CanonicalWire());
+  };
+  append_signed(chain.leaf_ds);
+  for (const ChainLink& link : chain.levels) {
+    append_signed(link.dnskey);
+    append_signed(link.ds);
+  }
+  // Root DNSKEY rdata (trust anchor reference).
+  AppendBytes(&out, chain.root_zsk.Encode());
+  return out;
+}
+
+}  // namespace nope

@@ -1,0 +1,160 @@
+// DNSSEC zones, keys, signing, and the simulated hierarchy.
+//
+// The paper's experiments run against the real DNS root and a registered
+// domain; here the hierarchy (root -> TLD -> second-level domain) is
+// simulated in-process with the same key structure (Fig. 1): each zone has a
+// KSK that signs its DNSKEY RRset and a ZSK that signs everything else,
+// and a DS record in the parent carries a digest of the child's KSK.
+//
+// Two crypto suites parameterize everything:
+//  * kReal — RSA-2048 root ZSK + ECDSA P-256 elsewhere with SHA-256 digests,
+//    the paper's pessimistic measurement configuration (§8). Used for native
+//    validation (the DCE baseline) and for paper-scale constraint counting.
+//  * kToy — a small prime-order curve, 512-bit RSA, and the MiMC stand-in
+//    hash, so the complete NOPE pipeline (chain -> Groth16 proof ->
+//    certificate -> client) runs end-to-end in seconds.
+#ifndef SRC_DNS_DNSSEC_H_
+#define SRC_DNS_DNSSEC_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/dns/records.h"
+#include "src/r1cs/toy_curve.h"
+#include "src/sig/rsa.h"
+
+namespace nope {
+
+struct CryptoSuite {
+  enum class Kind { kReal, kToy };
+
+  Kind kind;
+  CurveSpec curve;
+  size_t rsa_bits;
+  // Upper bound on signing-buffer length; fixes the toy hash's padding and
+  // the circuit's buffer size.
+  size_t max_signing_buffer;
+  uint8_t rsa_algorithm;
+  uint8_t ecdsa_algorithm;
+  uint8_t ds_digest_type;
+
+  static const CryptoSuite& Real();
+  static const CryptoSuite& Toy();
+
+  // 32-byte digest of a signing buffer (SHA-256, or front-padded MiMC).
+  Bytes Digest32(const Bytes& buffer) const;
+  size_t EcCoordBytes() const;
+};
+
+// One DNSSEC key (KSK or ZSK), RSA or ECDSA depending on role and suite.
+struct ZoneKey {
+  bool is_rsa = false;
+  RsaPrivateKey rsa;
+  BigUInt ec_priv;
+  NativeCurve::Pt ec_pub;
+
+  uint8_t Algorithm(const CryptoSuite& suite) const;
+  // DNSKEY RDATA public key field: RFC 3110 framing for RSA, x||y for ECDSA.
+  Bytes PublicKeyWire(const CryptoSuite& suite) const;
+  Bytes SignBuffer(const CryptoSuite& suite, const Bytes& buffer, Rng* rng) const;
+};
+
+// Verification against a DNSKEY RDATA (used by the DCE/legacy validator).
+bool VerifyWithDnskey(const CryptoSuite& suite, const DnskeyRdata& key, const Bytes& buffer,
+                      const Bytes& signature);
+
+struct SignedRrset {
+  Rrset rrset;
+  RrsigRdata rrsig;
+};
+
+class Zone {
+ public:
+  Zone(const DnsName& name, const CryptoSuite& suite, Rng* rng, bool rsa_zsk);
+
+  const DnsName& name() const { return name_; }
+  const ZoneKey& ksk() const { return ksk_; }
+  const ZoneKey& zsk() const { return zsk_; }
+
+  DnskeyRdata KskRdata() const;
+  DnskeyRdata ZskRdata() const;
+  Rrset DnskeyRrset() const;
+
+  // Signs an RRset (DNSKEY RRsets with the KSK, everything else with the
+  // ZSK), producing a complete RRSIG.
+  SignedRrset Sign(const Rrset& rrset, Rng* rng) const;
+
+  // DS RDATA for a child zone's KSK, to be placed (and ZSK-signed) here.
+  DsRdata MakeDsForChild(const Zone& child) const;
+
+ private:
+  DnsName name_;
+  const CryptoSuite* suite_;
+  ZoneKey ksk_;
+  ZoneKey zsk_;
+};
+
+// One level of the NOPE chain: zone C's DNSKEY RRset (KSK-signed) and C's DS
+// RRset in the parent (parent-ZSK-signed).
+struct ChainLink {
+  DnsName zone;
+  SignedRrset dnskey;
+  SignedRrset ds;
+};
+
+// Everything S_NOPE consumes (§3.2): the DS chain for domain D from its
+// parent up to the root, plus D's own DS RRset and KSK.
+struct ChainOfTrust {
+  DnsName domain;
+  DnskeyRdata leaf_ksk;          // D's KSK (public part)
+  SignedRrset leaf_ds;           // D's DS RRset in the parent zone
+  // Ancestor levels ordered leaf-parent first, ending at the root's child.
+  std::vector<ChainLink> levels;
+  DnskeyRdata root_zsk;          // trust anchor (public input to the proof)
+};
+
+class DnssecHierarchy {
+ public:
+  DnssecHierarchy(const CryptoSuite& suite, uint64_t seed);
+
+  const CryptoSuite& suite() const { return *suite_; }
+  Rng* rng() { return &rng_; }
+
+  // Creates a zone whose parent already exists; returns it. The root exists
+  // from construction (RSA ZSK, per the paper's measurement setup).
+  Zone& AddZone(const DnsName& name);
+  Zone* Find(const DnsName& name);
+  const Zone* Find(const DnsName& name) const;
+  Zone& root() { return *zones_.at(DnsName::Root()); }
+
+  // The full chain of trust for `domain` (which must be a zone here).
+  ChainOfTrust BuildChain(const DnsName& domain);
+
+  // Unauthenticated TXT records (ACME challenges live here).
+  void SetTxt(const DnsName& name, const std::string& value);
+  std::vector<std::string> QueryTxt(const DnsName& name) const;
+  // TXT RRset signed by the owner zone's ZSK (used by NOPE-managed).
+  SignedRrset SignedTxt(const DnsName& zone_name);
+
+ private:
+  const CryptoSuite* suite_;
+  Rng rng_;
+  std::map<DnsName, std::unique_ptr<Zone>> zones_;
+  std::multimap<DnsName, std::string> txt_;
+};
+
+// Native validation of a chain of trust against a trust anchor — what a DCE
+// client does with a server-supplied chain (§2.2). Returns false on any
+// broken signature, digest, or linkage.
+bool ValidateChain(const CryptoSuite& suite, const ChainOfTrust& chain,
+                   const DnskeyRdata& trust_anchor);
+
+// Serialized size of the full chain as DCE would ship it in the TLS
+// handshake (RFC 9102-style: all RRsets + RRSIGs + DNSKEY RRsets).
+Bytes SerializeDceChain(const ChainOfTrust& chain);
+
+}  // namespace nope
+
+#endif  // SRC_DNS_DNSSEC_H_

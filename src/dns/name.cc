@@ -1,0 +1,142 @@
+#include "src/dns/name.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nope {
+
+namespace {
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+}  // namespace
+
+DnsName DnsName::FromString(const std::string& dotted) {
+  DnsName out;
+  if (dotted.empty() || dotted == ".") {
+    return out;
+  }
+  std::string rest = dotted;
+  if (rest.back() == '.') {
+    rest.pop_back();
+  }
+  size_t start = 0;
+  while (start <= rest.size()) {
+    size_t dot = rest.find('.', start);
+    std::string label =
+        dot == std::string::npos ? rest.substr(start) : rest.substr(start, dot - start);
+    if (label.empty() || label.size() > 63) {
+      throw std::invalid_argument("invalid DNS label: '" + label + "'");
+    }
+    out.labels_.push_back(label);
+    if (dot == std::string::npos) {
+      break;
+    }
+    start = dot + 1;
+  }
+  return out;
+}
+
+Bytes DnsName::ToWire() const {
+  Bytes out;
+  for (const std::string& label : labels_) {
+    out.push_back(static_cast<uint8_t>(label.size()));
+    out.insert(out.end(), label.begin(), label.end());
+  }
+  out.push_back(0);
+  return out;
+}
+
+DnsName DnsName::FromWire(const Bytes& wire, size_t* pos) {
+  DnsName out;
+  while (true) {
+    uint8_t len = ReadU8(wire, pos);
+    if (len == 0) {
+      break;
+    }
+    if (len > 63) {
+      throw std::invalid_argument("label too long in wire name");
+    }
+    Bytes label = ReadBytes(wire, pos, len);
+    out.labels_.emplace_back(label.begin(), label.end());
+  }
+  return out;
+}
+
+DnsName DnsName::Canonical() const {
+  DnsName out;
+  for (const std::string& label : labels_) {
+    out.labels_.push_back(Lower(label));
+  }
+  return out;
+}
+
+std::string DnsName::ToString() const {
+  if (labels_.empty()) {
+    return ".";
+  }
+  std::string out;
+  for (const std::string& label : labels_) {
+    out += label;
+    out += '.';
+  }
+  return out;
+}
+
+DnsName DnsName::Parent() const {
+  if (labels_.empty()) {
+    throw std::logic_error("the root has no parent");
+  }
+  DnsName out = *this;
+  out.labels_.erase(out.labels_.begin());
+  return out;
+}
+
+DnsName DnsName::Child(const std::string& label) const {
+  DnsName out;
+  out.labels_.push_back(label);
+  out.labels_.insert(out.labels_.end(), labels_.begin(), labels_.end());
+  return out;
+}
+
+bool DnsName::IsSubdomainOf(const DnsName& ancestor) const {
+  if (ancestor.labels_.size() > labels_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < ancestor.labels_.size(); ++i) {
+    if (Lower(labels_[labels_.size() - 1 - i]) !=
+        Lower(ancestor.labels_[ancestor.labels_.size() - 1 - i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DnsName::operator==(const DnsName& o) const {
+  if (labels_.size() != o.labels_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (Lower(labels_[i]) != Lower(o.labels_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DnsName::operator<(const DnsName& o) const {
+  size_t n = std::min(labels_.size(), o.labels_.size());
+  for (size_t i = 0; i < n; ++i) {
+    std::string a = Lower(labels_[labels_.size() - 1 - i]);
+    std::string b = Lower(o.labels_[o.labels_.size() - 1 - i]);
+    if (a != b) {
+      return a < b;
+    }
+  }
+  return labels_.size() < o.labels_.size();
+}
+
+}  // namespace nope

@@ -1,0 +1,55 @@
+// DNS domain names: label lists with wire-format encoding and the canonical
+// (lowercased) form used by DNSSEC signing (RFC 4034 §6).
+#ifndef SRC_DNS_NAME_H_
+#define SRC_DNS_NAME_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+
+namespace nope {
+
+class DnsName {
+ public:
+  DnsName() = default;  // the root "."
+
+  // Parses dotted notation ("example.com" or "example.com."). Throws
+  // std::invalid_argument on empty labels or labels over 63 bytes.
+  static DnsName FromString(const std::string& dotted);
+  static DnsName Root() { return DnsName(); }
+
+  // RFC 1035 wire format: length-prefixed labels, terminating zero byte.
+  Bytes ToWire() const;
+  static DnsName FromWire(const Bytes& wire, size_t* pos);
+
+  // Canonical form: labels lowercased (RFC 4034 §6.2).
+  DnsName Canonical() const;
+
+  std::string ToString() const;  // dotted, with trailing dot
+
+  size_t NumLabels() const { return labels_.size(); }
+  bool IsRoot() const { return labels_.empty(); }
+
+  // The parent domain (drops the leftmost label); parent of the root throws.
+  DnsName Parent() const;
+  // Prepends a label (child of this domain).
+  DnsName Child(const std::string& label) const;
+  // True if this name is `ancestor` or a descendant of it.
+  bool IsSubdomainOf(const DnsName& ancestor) const;
+
+  bool operator==(const DnsName& o) const;
+  bool operator!=(const DnsName& o) const { return !(*this == o); }
+  // Canonical DNSSEC ordering (RFC 4034 §6.1): by label from the right,
+  // case-insensitive byte comparison.
+  bool operator<(const DnsName& o) const;
+
+  const std::vector<std::string>& labels() const { return labels_; }
+
+ private:
+  std::vector<std::string> labels_;  // leftmost label first
+};
+
+}  // namespace nope
+
+#endif  // SRC_DNS_NAME_H_

@@ -1,0 +1,139 @@
+#include "src/dns/records.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nope {
+
+Bytes ResourceRecord::CanonicalWire() const {
+  Bytes out = name.Canonical().ToWire();
+  AppendU16(&out, static_cast<uint16_t>(type));
+  AppendU16(&out, kClassIn);
+  AppendU32(&out, ttl);
+  AppendU16(&out, static_cast<uint16_t>(rdata.size()));
+  AppendBytes(&out, rdata);
+  return out;
+}
+
+Bytes DnskeyRdata::Encode() const {
+  Bytes out;
+  AppendU16(&out, flags);
+  AppendU8(&out, protocol);
+  AppendU8(&out, algorithm);
+  AppendBytes(&out, public_key);
+  return out;
+}
+
+DnskeyRdata DnskeyRdata::Decode(const Bytes& rdata) {
+  size_t pos = 0;
+  DnskeyRdata out;
+  out.flags = ReadU16(rdata, &pos);
+  out.protocol = ReadU8(rdata, &pos);
+  out.algorithm = ReadU8(rdata, &pos);
+  out.public_key = ReadBytes(rdata, &pos, rdata.size() - pos);
+  return out;
+}
+
+Bytes DsRdata::Encode() const {
+  Bytes out;
+  AppendU16(&out, key_tag);
+  AppendU8(&out, algorithm);
+  AppendU8(&out, digest_type);
+  AppendBytes(&out, digest);
+  return out;
+}
+
+DsRdata DsRdata::Decode(const Bytes& rdata) {
+  size_t pos = 0;
+  DsRdata out;
+  out.key_tag = ReadU16(rdata, &pos);
+  out.algorithm = ReadU8(rdata, &pos);
+  out.digest_type = ReadU8(rdata, &pos);
+  out.digest = ReadBytes(rdata, &pos, rdata.size() - pos);
+  return out;
+}
+
+Bytes RrsigRdata::EncodePrefix() const {
+  Bytes out;
+  AppendU16(&out, type_covered);
+  AppendU8(&out, algorithm);
+  AppendU8(&out, labels);
+  AppendU32(&out, original_ttl);
+  AppendU32(&out, expiration);
+  AppendU32(&out, inception);
+  AppendU16(&out, key_tag);
+  AppendBytes(&out, signer.Canonical().ToWire());
+  return out;
+}
+
+Bytes RrsigRdata::Encode() const {
+  Bytes out = EncodePrefix();
+  AppendBytes(&out, signature);
+  return out;
+}
+
+RrsigRdata RrsigRdata::Decode(const Bytes& rdata) {
+  size_t pos = 0;
+  RrsigRdata out;
+  out.type_covered = ReadU16(rdata, &pos);
+  out.algorithm = ReadU8(rdata, &pos);
+  out.labels = ReadU8(rdata, &pos);
+  out.original_ttl = ReadU32(rdata, &pos);
+  out.expiration = ReadU32(rdata, &pos);
+  out.inception = ReadU32(rdata, &pos);
+  out.key_tag = ReadU16(rdata, &pos);
+  out.signer = DnsName::FromWire(rdata, &pos);
+  out.signature = ReadBytes(rdata, &pos, rdata.size() - pos);
+  return out;
+}
+
+Bytes TxtRdata(const std::string& text) {
+  if (text.size() > 255) {
+    throw std::invalid_argument("TXT string too long");
+  }
+  Bytes out;
+  out.push_back(static_cast<uint8_t>(text.size()));
+  out.insert(out.end(), text.begin(), text.end());
+  return out;
+}
+
+std::string TxtRdataToString(const Bytes& rdata) {
+  size_t pos = 0;
+  uint8_t len = ReadU8(rdata, &pos);
+  Bytes data = ReadBytes(rdata, &pos, len);
+  return std::string(data.begin(), data.end());
+}
+
+Rrset Rrset::Canonical() const {
+  Rrset out = *this;
+  out.name = name.Canonical();
+  std::sort(out.rdatas.begin(), out.rdatas.end());
+  return out;
+}
+
+Bytes BuildSigningBuffer(const RrsigRdata& rrsig, const Rrset& rrset) {
+  Bytes out = rrsig.EncodePrefix();
+  Rrset canonical = rrset.Canonical();
+  for (const Bytes& rdata : canonical.rdatas) {
+    ResourceRecord rr{canonical.name, canonical.type, rrsig.original_ttl, rdata};
+    AppendBytes(&out, rr.CanonicalWire());
+  }
+  return out;
+}
+
+uint16_t ComputeKeyTag(const Bytes& dnskey_rdata) {
+  uint32_t acc = 0;
+  for (size_t i = 0; i < dnskey_rdata.size(); ++i) {
+    acc += (i & 1) ? dnskey_rdata[i] : static_cast<uint32_t>(dnskey_rdata[i]) << 8;
+  }
+  acc += (acc >> 16) & 0xffff;
+  return static_cast<uint16_t>(acc & 0xffff);
+}
+
+Bytes BuildDsDigestInput(const DnsName& owner, const Bytes& dnskey_rdata) {
+  Bytes out = owner.Canonical().ToWire();
+  AppendBytes(&out, dnskey_rdata);
+  return out;
+}
+
+}  // namespace nope

@@ -1,0 +1,118 @@
+// DNSSEC resource records (RFC 4034): DNSKEY, DS, RRSIG, TXT — the four
+// types the paper's statement manipulates (§2.2) — plus RRset canonical
+// ordering, signing buffers, key tags, and DS digests.
+#ifndef SRC_DNS_RECORDS_H_
+#define SRC_DNS_RECORDS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/dns/name.h"
+
+namespace nope {
+
+enum class RrType : uint16_t {
+  kTxt = 16,
+  kDs = 43,
+  kRrsig = 46,
+  kDnskey = 48,
+};
+
+constexpr uint16_t kClassIn = 1;
+constexpr uint16_t kDnskeyFlagsZsk = 256;
+constexpr uint16_t kDnskeyFlagsKsk = 257;
+constexpr uint8_t kDnskeyProtocol = 3;
+
+// DNSSEC algorithm numbers. 8/13 are the real RSASHA256 / ECDSAP256SHA256;
+// 253/254 are the RFC 4034 private-use range, used by the demo ("toy")
+// crypto suite.
+constexpr uint8_t kAlgRsaSha256 = 8;
+constexpr uint8_t kAlgEcdsaP256Sha256 = 13;
+constexpr uint8_t kAlgToyRsa = 253;
+constexpr uint8_t kAlgToyEcdsa = 254;
+
+// DS digest types: 2 = SHA-256 (real suite), 252 = MiMC stand-in (toy suite).
+constexpr uint8_t kDigestSha256 = 2;
+constexpr uint8_t kDigestToy = 252;
+
+struct ResourceRecord {
+  DnsName name;
+  RrType type;
+  uint32_t ttl = 3600;
+  Bytes rdata;
+
+  // Canonical wire form used in signing buffers: name | type | class | ttl |
+  // rdlength | rdata.
+  Bytes CanonicalWire() const;
+};
+
+// Typed RDATA builders/parsers ------------------------------------------------
+
+struct DnskeyRdata {
+  uint16_t flags;  // 256 ZSK, 257 KSK
+  uint8_t protocol = kDnskeyProtocol;
+  uint8_t algorithm;
+  Bytes public_key;
+
+  Bytes Encode() const;
+  static DnskeyRdata Decode(const Bytes& rdata);
+  bool IsKsk() const { return flags & 1; }
+};
+
+struct DsRdata {
+  uint16_t key_tag;
+  uint8_t algorithm;
+  uint8_t digest_type;
+  Bytes digest;
+
+  Bytes Encode() const;
+  static DsRdata Decode(const Bytes& rdata);
+};
+
+struct RrsigRdata {
+  uint16_t type_covered;
+  uint8_t algorithm;
+  uint8_t labels;
+  uint32_t original_ttl;
+  uint32_t expiration;  // unix time
+  uint32_t inception;   // unix time
+  uint16_t key_tag;
+  DnsName signer;
+  Bytes signature;
+
+  Bytes Encode() const;
+  static RrsigRdata Decode(const Bytes& rdata);
+  // RDATA with the signature field empty — the prefix of the signing buffer.
+  Bytes EncodePrefix() const;
+};
+
+Bytes TxtRdata(const std::string& text);
+std::string TxtRdataToString(const Bytes& rdata);
+
+// RRsets ------------------------------------------------------------------------
+
+struct Rrset {
+  DnsName name;
+  RrType type;
+  uint32_t ttl = 3600;
+  std::vector<Bytes> rdatas;
+
+  // Canonical order (RFC 4034 §6.3): rdatas sorted as byte strings.
+  Rrset Canonical() const;
+};
+
+// The exact byte string an RRSIG signs (RFC 4034 §3.1.8.1):
+// RRSIG_RDATA_prefix || canonical RR(1) || ... || canonical RR(n).
+Bytes BuildSigningBuffer(const RrsigRdata& rrsig, const Rrset& rrset);
+
+// RFC 4034 Appendix B key tag over a DNSKEY RDATA.
+uint16_t ComputeKeyTag(const Bytes& dnskey_rdata);
+
+// DS digest input: owner name wire || DNSKEY RDATA (RFC 4034 §5.1.4); the
+// caller applies the suite's digest function.
+Bytes BuildDsDigestInput(const DnsName& owner, const Bytes& dnskey_rdata);
+
+}  // namespace nope
+
+#endif  // SRC_DNS_RECORDS_H_

@@ -1,0 +1,148 @@
+#include "src/ec/bn254.h"
+
+namespace nope {
+
+namespace {
+
+// BN parameter x for alt_bn128; the ate loop count is 6x+2.
+const char* kBnXDecimal = "4965661367192848881";
+
+const BigUInt& AteLoopCount() {
+  static const BigUInt s =
+      BigUInt::FromDecimal(kBnXDecimal) * BigUInt(6) + BigUInt(2);
+  return s;
+}
+
+// Hard part exponent of the final exponentiation: (p^4 - p^2 + 1) / r.
+// The division is exact for BN curves.
+const BigUInt& HardExponent() {
+  static const BigUInt h = [] {
+    BigUInt p = Fq::params().modulus_big;
+    BigUInt p2 = p * p;
+    BigUInt p4 = p2 * p2;
+    BigUInt numerator = p4 - p2 + BigUInt(1);
+    return numerator / Bn254Order();
+  }();
+  return h;
+}
+
+// w^2 and w^3 as Fp12 constants, used to untwist G2 points into E(Fp12).
+Fp12 WSquared() {
+  Fp6 v{Fp2::Zero(), Fp2::One(), Fp2::Zero()};
+  return {v, Fp6::Zero()};
+}
+
+Fp12 WCubed() {
+  Fp6 v{Fp2::Zero(), Fp2::One(), Fp2::Zero()};
+  return {Fp6::Zero(), v};
+}
+
+Fp12 EmbedFp2(const Fp2& a) {
+  return {Fp6{a, Fp2::Zero(), Fp2::Zero()}, Fp6::Zero()};
+}
+
+Fp12 EmbedFq(const Fq& a) { return EmbedFp2(Fp2{a, Fq::Zero()}); }
+
+// Affine point on E(Fp12): y^2 = x^3 + 3.
+struct Pt12 {
+  Fp12 x;
+  Fp12 y;
+};
+
+Pt12 Untwist(const G2::Affine& q) {
+  return {EmbedFp2(q.x) * WSquared(), EmbedFp2(q.y) * WCubed()};
+}
+
+// Line through a and b (or tangent when a == b), evaluated at p.
+// Returns the line value; updates *a to a+b (or 2a).
+Fp12 LineAndStep(Pt12* a, const Pt12& b, const Fp12& px, const Fp12& py, bool doubling) {
+  Fp12 lambda;
+  if (doubling) {
+    Fp12 x2 = a->x.Square();
+    lambda = (x2 + x2 + x2) * (a->y + a->y).Inverse();
+  } else {
+    lambda = (b.y - a->y) * (b.x - a->x).Inverse();
+  }
+  Fp12 line = py - a->y - lambda * (px - a->x);
+  Fp12 x3 = lambda.Square() - a->x - b.x;
+  Fp12 y3 = lambda * (a->x - x3) - a->y;
+  a->x = x3;
+  a->y = y3;
+  return line;
+}
+
+}  // namespace
+
+Fp2 Bn254G2Config::B() {
+  static const Fp2 b = Fp2{Fq::FromU64(3), Fq::Zero()} * Xi().Inverse();
+  return b;
+}
+
+const BigUInt& Bn254Order() {
+  static const BigUInt r = Fr::params().modulus_big;
+  return r;
+}
+
+G1 G1Generator() { return G1::FromAffine(Fq::FromU64(1), Fq::FromU64(2)); }
+
+G2 G2Generator() {
+  Fp2 x{Fq::FromBigUInt(BigUInt::FromDecimal(
+            "10857046999023057135944570762232829481370756359578518086990519993285655852781")),
+        Fq::FromBigUInt(BigUInt::FromDecimal(
+            "11559732032986387107991004021392285783925812861821192530917403151452391805634"))};
+  Fp2 y{Fq::FromBigUInt(BigUInt::FromDecimal(
+            "8495653923123431417604973247489272438418190587263600148770280649306958101930")),
+        Fq::FromBigUInt(BigUInt::FromDecimal(
+            "4082367875863433681332203403145435568316851327593401208105741076214120093531"))};
+  return G2::FromAffine(x, y);
+}
+
+Fp12 MillerLoop(const G1& p, const G2& q) {
+  if (p.IsInfinity() || q.IsInfinity()) {
+    return Fp12::One();
+  }
+  G1::Affine pa = p.ToAffine();
+  G2::Affine qa = q.ToAffine();
+  Fp12 px = EmbedFq(pa.x);
+  Fp12 py = EmbedFq(pa.y);
+
+  Pt12 q12 = Untwist(qa);
+  Pt12 t = q12;
+  Fp12 f = Fp12::One();
+
+  const BigUInt& s = AteLoopCount();
+  for (size_t i = s.BitLength() - 1; i-- > 0;) {
+    f = f.Square() * LineAndStep(&t, t, px, py, /*doubling=*/true);
+    if (s.Bit(i)) {
+      f = f * LineAndStep(&t, q12, px, py, /*doubling=*/false);
+    }
+  }
+
+  // Frobenius correction steps of the optimal ate pairing.
+  Pt12 q1{q12.x.Frobenius(1), q12.y.Frobenius(1)};
+  Pt12 q2{q12.x.Frobenius(2), q12.y.Frobenius(2)};
+  f = f * LineAndStep(&t, q1, px, py, /*doubling=*/false);
+  Pt12 neg_q2{q2.x, -q2.y};
+  f = f * LineAndStep(&t, neg_q2, px, py, /*doubling=*/false);
+  return f;
+}
+
+Fp12 FinalExponentiation(const Fp12& f) {
+  // Easy part: f^((p^6 - 1)(p^2 + 1)).
+  Fp12 t = f.Conjugate() * f.Inverse();
+  t = t.Frobenius(2) * t;
+  // Hard part: t^((p^4 - p^2 + 1)/r), computed by plain exponentiation.
+  return t.Pow(HardExponent());
+}
+
+Fp12 Pairing(const G1& p, const G2& q) { return FinalExponentiation(MillerLoop(p, q)); }
+
+bool PairingProductIsOne(const std::vector<std::pair<G1, G2>>& pairs) {
+  Fp12 f = Fp12::One();
+  for (const auto& [p, q] : pairs) {
+    f = f * MillerLoop(p, q);
+  }
+  return FinalExponentiation(f).IsOne();
+}
+
+}  // namespace nope

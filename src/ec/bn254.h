@@ -1,0 +1,48 @@
+// BN254 (alt_bn128) groups G1, G2 and the optimal ate pairing. This is the
+// proof-system curve: Groth16 proofs live in G1/G2 and verification is a
+// product-of-pairings check in Fp12 (§2.3 of the paper).
+#ifndef SRC_EC_BN254_H_
+#define SRC_EC_BN254_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/ec/curve.h"
+#include "src/ff/fp12.h"
+
+namespace nope {
+
+struct Bn254G1Config {
+  using Field = Fq;
+  static Field A() { return Fq::Zero(); }
+  static Field B() { return Fq::FromU64(3); }
+};
+
+struct Bn254G2Config {
+  using Field = Fp2;
+  static Field A() { return Fp2::Zero(); }
+  static Field B();  // 3 / (9 + u), the D-twist constant.
+};
+
+using G1 = EcPoint<Bn254G1Config>;
+using G2 = EcPoint<Bn254G2Config>;
+
+// Group order (same prime as Fr's modulus).
+const BigUInt& Bn254Order();
+
+G1 G1Generator();
+G2 G2Generator();
+
+// Optimal ate pairing e: G1 x G2 -> Fp12. Identity inputs map to 1.
+Fp12 Pairing(const G1& p, const G2& q);
+
+// Miller loop without the final exponentiation (for multi-pairing).
+Fp12 MillerLoop(const G1& p, const G2& q);
+Fp12 FinalExponentiation(const Fp12& f);
+
+// Checks prod_i e(p_i, q_i) == 1, sharing one final exponentiation.
+bool PairingProductIsOne(const std::vector<std::pair<G1, G2>>& pairs);
+
+}  // namespace nope
+
+#endif  // SRC_EC_BN254_H_

@@ -1,0 +1,147 @@
+// Generic short-Weierstrass elliptic-curve arithmetic in Jacobian
+// coordinates, over any field with the Fp-style interface. Instantiated for
+// BN254 G1 (Groth16), BN254 G2 over Fp2, the untwisted curve over Fp12
+// (pairing), and NIST P-256 (DNSSEC ECDSA).
+#ifndef SRC_EC_CURVE_H_
+#define SRC_EC_CURVE_H_
+
+#include <stdexcept>
+
+#include "src/base/biguint.h"
+
+namespace nope {
+
+// Config requirements:
+//   using Field = ...;
+//   static Field A();
+//   static Field B();
+template <typename Config>
+struct EcPoint {
+  using Field = typename Config::Field;
+
+  Field x;
+  Field y;
+  Field z;  // Jacobian; z == 0 encodes the point at infinity.
+
+  static EcPoint Infinity() {
+    return {Field::Zero(), Field::One(), Field::Zero()};
+  }
+
+  static EcPoint FromAffine(const Field& ax, const Field& ay) {
+    return {ax, ay, Field::One()};
+  }
+
+  bool IsInfinity() const { return z.IsZero(); }
+
+  struct Affine {
+    Field x;
+    Field y;
+    bool infinity;
+  };
+
+  Affine ToAffine() const {
+    if (IsInfinity()) {
+      return {Field::Zero(), Field::Zero(), true};
+    }
+    Field zinv = z.Inverse();
+    Field zinv2 = zinv.Square();
+    return {x * zinv2, y * zinv2 * zinv, false};
+  }
+
+  bool Equals(const EcPoint& o) const {
+    if (IsInfinity() || o.IsInfinity()) {
+      return IsInfinity() == o.IsInfinity();
+    }
+    // Cross-multiplied comparison avoids inversions.
+    Field z1z1 = z.Square();
+    Field z2z2 = o.z.Square();
+    if (x * z2z2 != o.x * z1z1) {
+      return false;
+    }
+    return y * z2z2 * o.z == o.y * z1z1 * z;
+  }
+
+  EcPoint Negate() const { return {x, -y, z}; }
+
+  EcPoint Double() const {
+    if (IsInfinity()) {
+      return *this;
+    }
+    Field xx = x.Square();
+    Field yy = y.Square();
+    Field yyyy = yy.Square();
+    Field zz = z.Square();
+    Field s = ((x + yy).Square() - xx - yyyy);
+    s = s + s;
+    Field m = xx + xx + xx + Config::A() * zz.Square();
+    Field t = m.Square() - s - s;
+    Field y3 = m * (s - t) - Eight(yyyy);
+    Field z3 = (y + z).Square() - yy - zz;
+    return {t, y3, z3};
+  }
+
+  EcPoint Add(const EcPoint& o) const {
+    if (IsInfinity()) {
+      return o;
+    }
+    if (o.IsInfinity()) {
+      return *this;
+    }
+    Field z1z1 = z.Square();
+    Field z2z2 = o.z.Square();
+    Field u1 = x * z2z2;
+    Field u2 = o.x * z1z1;
+    Field s1 = y * o.z * z2z2;
+    Field s2 = o.y * z * z1z1;
+    Field h = u2 - u1;
+    Field r = s2 - s1;
+    if (h.IsZero()) {
+      if (r.IsZero()) {
+        return Double();
+      }
+      return Infinity();
+    }
+    r = r + r;
+    Field i = (h + h).Square();
+    Field j = h * i;
+    Field v = u1 * i;
+    Field x3 = r.Square() - j - v - v;
+    Field s1j = s1 * j;
+    Field y3 = r * (v - x3) - s1j - s1j;
+    Field z3 = ((z + o.z).Square() - z1z1 - z2z2) * h;
+    return {x3, y3, z3};
+  }
+
+  EcPoint ScalarMul(const BigUInt& k) const {
+    EcPoint acc = Infinity();
+    for (size_t i = k.BitLength(); i-- > 0;) {
+      acc = acc.Double();
+      if (k.Bit(i)) {
+        acc = acc.Add(*this);
+      }
+    }
+    return acc;
+  }
+
+  bool IsOnCurve() const {
+    if (IsInfinity()) {
+      return true;
+    }
+    // y^2 = x^3 + a x z^4 + b z^6.
+    Field z2 = z.Square();
+    Field z4 = z2.Square();
+    Field z6 = z4 * z2;
+    return y.Square() == x.Square() * x + Config::A() * x * z4 + Config::B() * z6;
+  }
+
+ private:
+  static Field Eight(const Field& v) {
+    Field t = v + v;
+    t = t + t;
+    return t + t;
+  }
+};
+
+}  // namespace nope
+
+#endif  // SRC_EC_CURVE_H_

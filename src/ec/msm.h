@@ -1,0 +1,85 @@
+// Multi-scalar multiplication via Pippenger's bucket method. This dominates
+// Groth16 proving time, which is why the paper's headline prover costs scale
+// with the number of R1CS constraints (§4.1, §8.2).
+#ifndef SRC_EC_MSM_H_
+#define SRC_EC_MSM_H_
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "src/base/biguint.h"
+
+namespace nope {
+
+namespace msm_detail {
+// Extracts `width` bits of k starting at bit `offset` (little-endian bits).
+inline uint64_t WindowBits(const BigUInt& k, size_t offset, size_t width) {
+  uint64_t out = 0;
+  for (size_t b = 0; b < width; ++b) {
+    if (k.Bit(offset + b)) {
+      out |= uint64_t{1} << b;
+    }
+  }
+  return out;
+}
+
+inline size_t PickWindow(size_t n) {
+  if (n < 32) {
+    return 3;
+  }
+  size_t c = 1;
+  while ((size_t{1} << (c + 1)) < n / (c + 1)) {
+    ++c;
+  }
+  return c > 16 ? 16 : c;
+}
+}  // namespace msm_detail
+
+template <typename Point>
+Point Msm(const std::vector<Point>& bases, const std::vector<BigUInt>& scalars) {
+  if (bases.size() != scalars.size()) {
+    throw std::invalid_argument("Msm: bases/scalars size mismatch");
+  }
+  if (bases.empty()) {
+    return Point::Infinity();
+  }
+
+  size_t max_bits = 1;
+  for (const auto& s : scalars) {
+    max_bits = std::max(max_bits, s.BitLength());
+  }
+  size_t c = msm_detail::PickWindow(bases.size());
+  size_t windows = (max_bits + c - 1) / c;
+
+  Point result = Point::Infinity();
+  std::vector<Point> buckets((size_t{1} << c) - 1);
+
+  for (size_t w = windows; w-- > 0;) {
+    for (size_t d = 0; d < c; ++d) {
+      result = result.Double();
+    }
+    for (auto& b : buckets) {
+      b = Point::Infinity();
+    }
+    for (size_t i = 0; i < bases.size(); ++i) {
+      uint64_t idx = msm_detail::WindowBits(scalars[i], w * c, c);
+      if (idx != 0) {
+        buckets[idx - 1] = buckets[idx - 1].Add(bases[i]);
+      }
+    }
+    // Sum of idx * bucket[idx] via running suffix sums.
+    Point running = Point::Infinity();
+    Point window_sum = Point::Infinity();
+    for (size_t idx = buckets.size(); idx-- > 0;) {
+      running = running.Add(buckets[idx]);
+      window_sum = window_sum.Add(running);
+    }
+    result = result.Add(window_sum);
+  }
+  return result;
+}
+
+}  // namespace nope
+
+#endif  // SRC_EC_MSM_H_

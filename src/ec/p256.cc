@@ -1,0 +1,20 @@
+#include "src/ec/p256.h"
+
+namespace nope {
+
+const BigUInt& P256Order() {
+  static const BigUInt n = BigUInt::FromHex(
+      "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+  return n;
+}
+
+P256Point P256Generator() {
+  static const P256Point g = P256Point::FromAffine(
+      P256Fq::FromBigUInt(BigUInt::FromHex(
+          "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296")),
+      P256Fq::FromBigUInt(BigUInt::FromHex(
+          "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5")));
+  return g;
+}
+
+}  // namespace nope

@@ -1,0 +1,262 @@
+// Fixed-width (256-bit, 4x64-limb) prime fields in Montgomery form.
+//
+// One template serves all four moduli the system needs: BN254's base and
+// scalar fields (Groth16 back-end, §2.3 of the paper) and P-256's base field
+// and group order (DNSSEC ECDSA, §5). Multiplication is textbook CIOS, which
+// is valid for any odd modulus below 2^256 (P-256's prime is close to 2^256,
+// so the extra carry limb matters).
+#ifndef SRC_FF_FP_H_
+#define SRC_FF_FP_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/base/biguint.h"
+#include "src/base/bytes.h"
+
+namespace nope {
+
+struct FpParams {
+  std::array<uint64_t, 4> modulus;
+  std::array<uint64_t, 4> r2;   // R^2 mod p, R = 2^256
+  std::array<uint64_t, 4> one;  // R mod p (Montgomery form of 1)
+  uint64_t inv;                 // -p^{-1} mod 2^64
+  BigUInt modulus_big;
+  BigUInt modulus_minus_2;  // exponent for Fermat inversion
+};
+
+FpParams ComputeFpParams(const BigUInt& modulus);
+
+namespace fp_detail {
+using uint128 = unsigned __int128;
+
+inline std::array<uint64_t, 4> ToLimbs(const BigUInt& v) {
+  std::array<uint64_t, 4> out{0, 0, 0, 0};
+  const auto& limbs = v.limbs();
+  for (size_t i = 0; i < limbs.size() && i < 4; ++i) {
+    out[i] = limbs[i];
+  }
+  return out;
+}
+
+inline BigUInt FromLimbs(const std::array<uint64_t, 4>& limbs) {
+  Bytes be(32);
+  for (size_t i = 0; i < 4; ++i) {
+    for (int b = 0; b < 8; ++b) {
+      be[31 - (8 * i + b)] = static_cast<uint8_t>(limbs[i] >> (8 * b));
+    }
+  }
+  return BigUInt::FromBytes(be);
+}
+}  // namespace fp_detail
+
+// Tag must provide: static const char* ModulusDecimal();
+template <typename Tag>
+class Fp {
+ public:
+  Fp() : limbs_{0, 0, 0, 0} {}
+
+  static const FpParams& params() {
+    static const FpParams p = ComputeFpParams(BigUInt::FromDecimal(Tag::ModulusDecimal()));
+    return p;
+  }
+
+  static Fp Zero() { return Fp(); }
+  static Fp One() {
+    Fp out;
+    out.limbs_ = params().one;
+    return out;
+  }
+
+  static Fp FromU64(uint64_t v) { return FromBigUInt(BigUInt(v)); }
+
+  static Fp FromBigUInt(const BigUInt& v) {
+    BigUInt reduced = v % params().modulus_big;
+    Fp out;
+    out.limbs_ = fp_detail::ToLimbs(reduced);
+    out.limbs_ = MontMul(out.limbs_, params().r2);
+    return out;
+  }
+
+  static Fp Random(Rng* rng) {
+    return FromBigUInt(BigUInt::RandomBelow(rng, params().modulus_big));
+  }
+
+  BigUInt ToBigUInt() const {
+    std::array<uint64_t, 4> std_form = MontMul(limbs_, {1, 0, 0, 0});
+    return fp_detail::FromLimbs(std_form);
+  }
+
+  bool IsZero() const { return limbs_[0] == 0 && limbs_[1] == 0 && limbs_[2] == 0 && limbs_[3] == 0; }
+
+  bool operator==(const Fp& o) const { return limbs_ == o.limbs_; }
+  bool operator!=(const Fp& o) const { return !(*this == o); }
+
+  Fp operator+(const Fp& o) const {
+    Fp out;
+    fp_detail::uint128 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      fp_detail::uint128 sum = static_cast<fp_detail::uint128>(limbs_[i]) + o.limbs_[i] + carry;
+      out.limbs_[i] = static_cast<uint64_t>(sum);
+      carry = sum >> 64;
+    }
+    if (carry != 0 || GreaterEqual(out.limbs_, params().modulus)) {
+      SubLimbs(&out.limbs_, params().modulus);
+    }
+    return out;
+  }
+
+  Fp operator-(const Fp& o) const {
+    Fp out = *this;
+    if (GreaterEqual(out.limbs_, o.limbs_)) {
+      SubLimbsFrom(&out.limbs_, o.limbs_);
+    } else {
+      // out = out + p - o
+      std::array<uint64_t, 4> tmp = o.limbs_;
+      // tmp = o - out  (o > out here)
+      SubLimbsFrom(&tmp, out.limbs_);
+      // out = p - tmp
+      out.limbs_ = params().modulus;
+      SubLimbsFrom(&out.limbs_, tmp);
+    }
+    return out;
+  }
+
+  Fp operator-() const { return Zero() - *this; }
+
+  Fp operator*(const Fp& o) const {
+    Fp out;
+    out.limbs_ = MontMul(limbs_, o.limbs_);
+    return out;
+  }
+
+  Fp Square() const { return *this * *this; }
+
+  Fp Double() const { return *this + *this; }
+
+  Fp Pow(const BigUInt& exp) const {
+    Fp result = One();
+    Fp base = *this;
+    for (size_t i = exp.BitLength(); i-- > 0;) {
+      result = result.Square();
+      if (exp.Bit(i)) {
+        result = result * base;
+      }
+    }
+    return result;
+  }
+
+  // Fermat inversion; returns zero for zero input (callers check).
+  Fp Inverse() const { return Pow(params().modulus_minus_2); }
+
+  const std::array<uint64_t, 4>& limbs() const { return limbs_; }
+
+  std::string ToString() const { return ToBigUInt().ToDecimal(); }
+
+ private:
+  static bool GreaterEqual(const std::array<uint64_t, 4>& a, const std::array<uint64_t, 4>& b) {
+    for (int i = 3; i >= 0; --i) {
+      if (a[i] != b[i]) {
+        return a[i] > b[i];
+      }
+    }
+    return true;
+  }
+
+  // a -= b, assuming a >= b.
+  static void SubLimbsFrom(std::array<uint64_t, 4>* a, const std::array<uint64_t, 4>& b) {
+    fp_detail::uint128 borrow = 0;
+    for (int i = 0; i < 4; ++i) {
+      fp_detail::uint128 rhs = static_cast<fp_detail::uint128>(b[i]) + borrow;
+      fp_detail::uint128 lhs = (*a)[i];
+      if (lhs >= rhs) {
+        (*a)[i] = static_cast<uint64_t>(lhs - rhs);
+        borrow = 0;
+      } else {
+        (*a)[i] = static_cast<uint64_t>((static_cast<fp_detail::uint128>(1) << 64) + lhs - rhs);
+        borrow = 1;
+      }
+    }
+  }
+
+  static void SubLimbs(std::array<uint64_t, 4>* a, const std::array<uint64_t, 4>& b) {
+    SubLimbsFrom(a, b);
+  }
+
+  static std::array<uint64_t, 4> MontMul(const std::array<uint64_t, 4>& a,
+                                         const std::array<uint64_t, 4>& b) {
+    using fp_detail::uint128;
+    const FpParams& p = params();
+    uint64_t t[6] = {0, 0, 0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) {
+      // Multiplication step: t += a * b[i].
+      uint128 carry = 0;
+      for (int j = 0; j < 4; ++j) {
+        uint128 cur = static_cast<uint128>(a[j]) * b[i] + t[j] + carry;
+        t[j] = static_cast<uint64_t>(cur);
+        carry = cur >> 64;
+      }
+      uint128 cur = static_cast<uint128>(t[4]) + carry;
+      t[4] = static_cast<uint64_t>(cur);
+      t[5] = static_cast<uint64_t>(cur >> 64);
+
+      // Reduction step: make t divisible by 2^64.
+      uint64_t m = t[0] * p.inv;
+      uint128 red = static_cast<uint128>(m) * p.modulus[0] + t[0];
+      carry = red >> 64;
+      for (int j = 1; j < 4; ++j) {
+        uint128 c2 = static_cast<uint128>(m) * p.modulus[j] + t[j] + carry;
+        t[j - 1] = static_cast<uint64_t>(c2);
+        carry = c2 >> 64;
+      }
+      uint128 c3 = static_cast<uint128>(t[4]) + carry;
+      t[3] = static_cast<uint64_t>(c3);
+      t[4] = t[5] + static_cast<uint64_t>(c3 >> 64);
+    }
+
+    std::array<uint64_t, 4> out = {t[0], t[1], t[2], t[3]};
+    if (t[4] != 0 || GreaterEqual(out, p.modulus)) {
+      SubLimbs(&out, p.modulus);
+    }
+    return out;
+  }
+
+  std::array<uint64_t, 4> limbs_;
+};
+
+// --- Concrete fields -------------------------------------------------------
+
+struct Bn254FqTag {
+  static const char* ModulusDecimal() {
+    return "21888242871839275222246405745257275088696311157297823662689037894645226208583";
+  }
+};
+
+struct Bn254FrTag {
+  static const char* ModulusDecimal() {
+    return "21888242871839275222246405745257275088548364400416034343698204186575808495617";
+  }
+};
+
+struct P256FqTag {
+  static const char* ModulusDecimal() {
+    return "115792089210356248762697446949407573530086143415290314195533631308867097853951";
+  }
+};
+
+struct P256FnTag {
+  static const char* ModulusDecimal() {
+    return "115792089210356248762697446949407573529996955224135760342422259061068512044369";
+  }
+};
+
+using Fq = Fp<Bn254FqTag>;    // BN254 base field
+using Fr = Fp<Bn254FrTag>;    // BN254 scalar field (R1CS constraint field)
+using P256Fq = Fp<P256FqTag>; // P-256 base field
+using P256Fn = Fp<P256FnTag>; // P-256 group order field
+
+}  // namespace nope
+
+#endif  // SRC_FF_FP_H_

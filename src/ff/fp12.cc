@@ -1,0 +1,45 @@
+#include "src/ff/fp12.h"
+
+#include <array>
+
+namespace nope {
+
+namespace {
+
+// Frobenius coefficients gamma_k = xi^(k(p-1)/6) for k = 1..5, computed once.
+const std::array<Fp2, 6>& FrobeniusGammas() {
+  static const std::array<Fp2, 6> gammas = [] {
+    std::array<Fp2, 6> out;
+    out[0] = Fp2::One();
+    BigUInt p = Fq::params().modulus_big;
+    BigUInt step = (p - BigUInt(1)) / BigUInt(6);
+    for (int k = 1; k <= 5; ++k) {
+      out[k] = Xi().Pow(step * BigUInt(static_cast<uint64_t>(k)));
+    }
+    return out;
+  }();
+  return gammas;
+}
+
+Fp2 FrobFp2(const Fp2& x) { return x.Conjugate(); }
+
+Fp6 FrobFp6(const Fp6& x) {
+  const auto& g = FrobeniusGammas();
+  return {FrobFp2(x.c0), FrobFp2(x.c1) * g[2], FrobFp2(x.c2) * g[4]};
+}
+
+}  // namespace
+
+Fp12 Fp12::Frobenius(int power) const {
+  Fp12 out = *this;
+  const auto& g = FrobeniusGammas();
+  for (int i = 0; i < power; ++i) {
+    Fp6 a = FrobFp6(out.c0);
+    Fp6 b = FrobFp6(out.c1);
+    // w^p = gamma_1 * w, so the c1 half picks up a gamma_1 on each Fp2 slot.
+    out = {a, b.ScalarMulFp2(g[1])};
+  }
+  return out;
+}
+
+}  // namespace nope

@@ -1,0 +1,191 @@
+#include "src/groth16/domain.h"
+
+#include <stdexcept>
+
+namespace nope {
+
+namespace {
+
+constexpr size_t kTwoAdicity = 28;
+
+// An element of order exactly 2^28 in Fr*, found once at startup.
+const Fr& TwoAdicRoot() {
+  static const Fr root = [] {
+    BigUInt order_minus_one = Fr::params().modulus_big - BigUInt(1);
+    BigUInt odd_part = order_minus_one >> kTwoAdicity;
+    BigUInt half = BigUInt(1) << (kTwoAdicity - 1);
+    for (uint64_t candidate = 5;; ++candidate) {
+      Fr t = Fr::FromU64(candidate).Pow(odd_part);
+      if (t.Pow(half) != Fr::One()) {
+        return t;
+      }
+    }
+  }();
+  return root;
+}
+
+size_t NextPowerOfTwo(size_t v) {
+  size_t n = 1;
+  while (n < v) {
+    n <<= 1;
+  }
+  return n;
+}
+
+void BitReverse(std::vector<Fr>* a, size_t log_n) {
+  size_t n = a->size();
+  for (size_t i = 0; i < n; ++i) {
+    size_t j = 0;
+    for (size_t b = 0; b < log_n; ++b) {
+      if (i & (size_t{1} << b)) {
+        j |= size_t{1} << (log_n - 1 - b);
+      }
+    }
+    if (i < j) {
+      std::swap((*a)[i], (*a)[j]);
+    }
+  }
+}
+
+void FftInternal(std::vector<Fr>* a, size_t log_n, const Fr& omega) {
+  BitReverse(a, log_n);
+  size_t n = a->size();
+  for (size_t s = 1; s <= log_n; ++s) {
+    size_t m = size_t{1} << s;
+    Fr wm = omega;
+    for (size_t i = 0; i < log_n - s; ++i) {
+      wm = wm.Square();
+    }
+    for (size_t k = 0; k < n; k += m) {
+      Fr w = Fr::One();
+      for (size_t j = 0; j < m / 2; ++j) {
+        Fr t = w * (*a)[k + j + m / 2];
+        Fr u = (*a)[k + j];
+        (*a)[k + j] = u + t;
+        (*a)[k + j + m / 2] = u - t;
+        w = w * wm;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void BatchInvert(std::vector<Fr>* values) {
+  std::vector<Fr> prefix(values->size());
+  Fr acc = Fr::One();
+  for (size_t i = 0; i < values->size(); ++i) {
+    prefix[i] = acc;
+    if (!(*values)[i].IsZero()) {
+      acc = acc * (*values)[i];
+    }
+  }
+  Fr inv = acc.Inverse();
+  for (size_t i = values->size(); i-- > 0;) {
+    if ((*values)[i].IsZero()) {
+      continue;
+    }
+    Fr orig = (*values)[i];
+    (*values)[i] = inv * prefix[i];
+    inv = inv * orig;
+  }
+}
+
+EvaluationDomain::EvaluationDomain(size_t min_size) {
+  size_ = NextPowerOfTwo(std::max<size_t>(min_size, 2));
+  log_size_ = 0;
+  while ((size_t{1} << log_size_) < size_) {
+    ++log_size_;
+  }
+  if (log_size_ > kTwoAdicity) {
+    throw std::length_error("domain exceeds field 2-adicity");
+  }
+  omega_ = TwoAdicRoot();
+  for (size_t i = log_size_; i < kTwoAdicity; ++i) {
+    omega_ = omega_.Square();
+  }
+  omega_inv_ = omega_.Inverse();
+  size_inv_ = Fr::FromU64(size_).Inverse();
+  // Coset shift: any element outside the subgroup of order size_.
+  for (uint64_t candidate = 5;; ++candidate) {
+    Fr g = Fr::FromU64(candidate);
+    if (g.Pow(BigUInt(size_)) != Fr::One()) {
+      shift_ = g;
+      break;
+    }
+  }
+  shift_inv_ = shift_.Inverse();
+}
+
+void EvaluationDomain::Fft(std::vector<Fr>* a) const {
+  if (a->size() != size_) {
+    throw std::invalid_argument("FFT input size mismatch");
+  }
+  FftInternal(a, log_size_, omega_);
+}
+
+void EvaluationDomain::Ifft(std::vector<Fr>* a) const {
+  if (a->size() != size_) {
+    throw std::invalid_argument("IFFT input size mismatch");
+  }
+  FftInternal(a, log_size_, omega_inv_);
+  for (auto& v : *a) {
+    v = v * size_inv_;
+  }
+}
+
+void EvaluationDomain::CosetFft(std::vector<Fr>* a) const {
+  Fr power = Fr::One();
+  for (auto& v : *a) {
+    v = v * power;
+    power = power * shift_;
+  }
+  Fft(a);
+}
+
+void EvaluationDomain::CosetIfft(std::vector<Fr>* a) const {
+  Ifft(a);
+  Fr power = Fr::One();
+  for (auto& v : *a) {
+    v = v * power;
+    power = power * shift_inv_;
+  }
+}
+
+Fr EvaluationDomain::VanishingOnCoset() const {
+  return shift_.Pow(BigUInt(size_)) - Fr::One();
+}
+
+Fr EvaluationDomain::EvaluateVanishing(const Fr& x) const {
+  return x.Pow(BigUInt(size_)) - Fr::One();
+}
+
+std::vector<Fr> EvaluationDomain::LagrangeAt(const Fr& tau) const {
+  // L_j(tau) = Z(tau) * omega^j / (n * (tau - omega^j)).
+  Fr z = EvaluateVanishing(tau);
+  std::vector<Fr> out(size_);
+  if (z.IsZero()) {
+    // tau happens to be a domain point (measure zero but handled): L_j is an
+    // indicator.
+    Fr point = Fr::One();
+    for (size_t j = 0; j < size_; ++j) {
+      out[j] = (point == tau) ? Fr::One() : Fr::Zero();
+      point = point * omega_;
+    }
+    return out;
+  }
+  std::vector<Fr> denoms(size_);
+  Fr point = Fr::One();
+  for (size_t j = 0; j < size_; ++j) {
+    denoms[j] = (tau - point) * Fr::FromU64(size_);
+    out[j] = z * point;
+    point = point * omega_;
+  }
+  BatchInvert(&denoms);
+  for (size_t j = 0; j < size_; ++j) {
+    out[j] = out[j] * denoms[j];
+  }
+  return out;
+}
+
+}  // namespace nope

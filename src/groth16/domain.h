@@ -1,0 +1,50 @@
+// Radix-2 FFT evaluation domains over BN254's scalar field (2-adicity 28).
+// Used by the Groth16 prover's QAP division and by trusted setup.
+#ifndef SRC_GROTH16_DOMAIN_H_
+#define SRC_GROTH16_DOMAIN_H_
+
+#include <vector>
+
+#include "src/ff/fp.h"
+
+namespace nope {
+
+class EvaluationDomain {
+ public:
+  // Rounds min_size up to the next power of two (throws past 2^28).
+  explicit EvaluationDomain(size_t min_size);
+
+  size_t size() const { return size_; }
+  const Fr& omega() const { return omega_; }
+
+  // In-place coefficient <-> evaluation transforms on vectors of size().
+  void Fft(std::vector<Fr>* a) const;
+  void Ifft(std::vector<Fr>* a) const;
+  // Same over the coset shift * H.
+  void CosetFft(std::vector<Fr>* a) const;
+  void CosetIfft(std::vector<Fr>* a) const;
+
+  // Z(x) = x^size - 1 evaluated on the coset (constant across the coset).
+  Fr VanishingOnCoset() const;
+  Fr EvaluateVanishing(const Fr& x) const;
+
+  // The j-th Lagrange basis polynomial of this domain evaluated at tau, for
+  // all j at once (batch-inverted); used by trusted setup.
+  std::vector<Fr> LagrangeAt(const Fr& tau) const;
+
+ private:
+  size_t size_;
+  size_t log_size_;
+  Fr omega_;
+  Fr omega_inv_;
+  Fr size_inv_;
+  Fr shift_;
+  Fr shift_inv_;
+};
+
+// Batch inversion (Montgomery's trick); zero entries are left as zero.
+void BatchInvert(std::vector<Fr>* values);
+
+}  // namespace nope
+
+#endif  // SRC_GROTH16_DOMAIN_H_

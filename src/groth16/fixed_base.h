@@ -1,0 +1,56 @@
+// Windowed fixed-base scalar multiplication. Trusted setup performs hundreds
+// of thousands of multiplications against the two generators, so a one-time
+// table pays for itself immediately.
+#ifndef SRC_GROTH16_FIXED_BASE_H_
+#define SRC_GROTH16_FIXED_BASE_H_
+
+#include <vector>
+
+#include "src/base/biguint.h"
+
+namespace nope {
+
+template <typename Point>
+class FixedBaseTable {
+ public:
+  explicit FixedBaseTable(const Point& base, size_t max_bits = 256, size_t window = 8)
+      : window_(window) {
+    size_t num_windows = (max_bits + window - 1) / window;
+    table_.resize(num_windows);
+    Point window_base = base;
+    for (size_t w = 0; w < num_windows; ++w) {
+      auto& row = table_[w];
+      row.reserve((size_t{1} << window) - 1);
+      Point acc = window_base;
+      for (size_t i = 1; i < (size_t{1} << window); ++i) {
+        row.push_back(acc);
+        acc = acc.Add(window_base);
+      }
+      window_base = acc;  // acc == 2^window * window_base
+    }
+  }
+
+  Point Mul(const BigUInt& scalar) const {
+    Point out = Point::Infinity();
+    for (size_t w = 0; w < table_.size(); ++w) {
+      uint64_t bits = 0;
+      for (size_t b = 0; b < window_; ++b) {
+        if (scalar.Bit(w * window_ + b)) {
+          bits |= uint64_t{1} << b;
+        }
+      }
+      if (bits != 0) {
+        out = out.Add(table_[w][bits - 1]);
+      }
+    }
+    return out;
+  }
+
+ private:
+  size_t window_;
+  std::vector<std::vector<Point>> table_;
+};
+
+}  // namespace nope
+
+#endif  // SRC_GROTH16_FIXED_BASE_H_

@@ -1,0 +1,379 @@
+#include "src/groth16/groth16.h"
+
+#include <stdexcept>
+
+#include "src/ec/msm.h"
+#include "src/groth16/fixed_base.h"
+
+namespace nope {
+namespace groth16 {
+
+namespace {
+
+// --- Point compression ------------------------------------------------------
+
+constexpr uint8_t kFlagInfinity = 0x80;
+constexpr uint8_t kFlagOddY = 0x40;
+
+bool SqrtFq(const Fq& a, Fq* out) {
+  // BN254's p == 3 (mod 4).
+  static const BigUInt exp = (Fq::params().modulus_big + BigUInt(1)) >> 2;
+  Fq r = a.Pow(exp);
+  if (r.Square() != a) {
+    return false;
+  }
+  *out = r;
+  return true;
+}
+
+bool SqrtFp2(const Fp2& a, Fp2* out) {
+  if (a.IsZero()) {
+    *out = Fp2::Zero();
+    return true;
+  }
+  static const BigUInt exp1 = (Fq::params().modulus_big - BigUInt(3)) >> 2;  // (p-3)/4
+  static const BigUInt exp2 = (Fq::params().modulus_big - BigUInt(1)) >> 1;  // (p-1)/2
+  Fp2 a1 = a.Pow(exp1);
+  Fp2 x0 = a1 * a;
+  Fp2 alpha = a1 * x0;
+  Fp2 x;
+  Fp2 minus_one = -Fp2::One();
+  if (alpha == minus_one) {
+    Fp2 u{Fq::Zero(), Fq::One()};
+    x = x0 * u;
+  } else {
+    Fp2 b = (alpha + Fp2::One()).Pow(exp2);
+    x = b * x0;
+  }
+  if (x.Square() != a) {
+    return false;
+  }
+  *out = x;
+  return true;
+}
+
+bool OddParityFq(const Fq& y) { return y.ToBigUInt().Bit(0); }
+
+bool OddParityFp2(const Fp2& y) {
+  if (!y.c0.IsZero()) {
+    return OddParityFq(y.c0);
+  }
+  return OddParityFq(y.c1);
+}
+
+Bytes EncodeG1(const G1& p) {
+  Bytes out(32, 0);
+  auto aff = p.ToAffine();
+  if (aff.infinity) {
+    out[0] = kFlagInfinity;
+    return out;
+  }
+  out = aff.x.ToBigUInt().ToBytes(32);
+  if (OddParityFq(aff.y)) {
+    out[0] |= kFlagOddY;
+  }
+  return out;
+}
+
+G1 DecodeG1(const Bytes& bytes) {
+  if (bytes.size() != 32) {
+    throw std::invalid_argument("G1 encoding must be 32 bytes");
+  }
+  if (bytes[0] & kFlagInfinity) {
+    return G1::Infinity();
+  }
+  Bytes xb = bytes;
+  bool odd = (xb[0] & kFlagOddY) != 0;
+  xb[0] &= 0x3f;
+  Fq x = Fq::FromBigUInt(BigUInt::FromBytes(xb));
+  Fq rhs = x.Square() * x + Fq::FromU64(3);
+  Fq y;
+  if (!SqrtFq(rhs, &y)) {
+    throw std::invalid_argument("G1 x-coordinate not on curve");
+  }
+  if (OddParityFq(y) != odd) {
+    y = -y;
+  }
+  return G1::FromAffine(x, y);
+}
+
+Bytes EncodeG2(const G2& p) {
+  Bytes out(64, 0);
+  auto aff = p.ToAffine();
+  if (aff.infinity) {
+    out[0] = kFlagInfinity;
+    return out;
+  }
+  Bytes c1 = aff.x.c1.ToBigUInt().ToBytes(32);
+  Bytes c0 = aff.x.c0.ToBigUInt().ToBytes(32);
+  std::copy(c1.begin(), c1.end(), out.begin());
+  std::copy(c0.begin(), c0.end(), out.begin() + 32);
+  if (OddParityFp2(aff.y)) {
+    out[0] |= kFlagOddY;
+  }
+  return out;
+}
+
+G2 DecodeG2(const Bytes& bytes) {
+  if (bytes.size() != 64) {
+    throw std::invalid_argument("G2 encoding must be 64 bytes");
+  }
+  if (bytes[0] & kFlagInfinity) {
+    return G2::Infinity();
+  }
+  Bytes c1b(bytes.begin(), bytes.begin() + 32);
+  Bytes c0b(bytes.begin() + 32, bytes.end());
+  bool odd = (c1b[0] & kFlagOddY) != 0;
+  c1b[0] &= 0x3f;
+  Fp2 x{Fq::FromBigUInt(BigUInt::FromBytes(c0b)), Fq::FromBigUInt(BigUInt::FromBytes(c1b))};
+  Fp2 rhs = x.Square() * x + Bn254G2Config::B();
+  Fp2 y;
+  if (!SqrtFp2(rhs, &y)) {
+    throw std::invalid_argument("G2 x-coordinate not on curve");
+  }
+  if (OddParityFp2(y) != odd) {
+    y = -y;
+  }
+  return G2::FromAffine(x, y);
+}
+
+// --- Helpers ----------------------------------------------------------------
+
+std::vector<BigUInt> ToScalars(const std::vector<Fr>& values, size_t begin, size_t end) {
+  std::vector<BigUInt> out;
+  out.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    out.push_back(values[i].ToBigUInt());
+  }
+  return out;
+}
+
+Fr RandomNonZero(Rng* rng) {
+  while (true) {
+    Fr v = Fr::Random(rng);
+    if (!v.IsZero()) {
+      return v;
+    }
+  }
+}
+
+}  // namespace
+
+Bytes Proof::ToBytes() const {
+  Bytes out = EncodeG1(a);
+  Bytes bb = EncodeG2(b);
+  Bytes cb = EncodeG1(c);
+  AppendBytes(&out, bb);
+  AppendBytes(&out, cb);
+  return out;
+}
+
+Proof Proof::FromBytes(const Bytes& bytes) {
+  if (bytes.size() != 128) {
+    throw std::invalid_argument("Groth16 proof must be 128 bytes");
+  }
+  Proof p;
+  p.a = DecodeG1(Bytes(bytes.begin(), bytes.begin() + 32));
+  p.b = DecodeG2(Bytes(bytes.begin() + 32, bytes.begin() + 96));
+  p.c = DecodeG1(Bytes(bytes.begin() + 96, bytes.end()));
+  return p;
+}
+
+ProvingKey Setup(const ConstraintSystem& cs, Rng* rng) {
+  if (cs.mode() != ConstraintSystem::Mode::kCount && !cs.IsSatisfied()) {
+    // Setup does not strictly need a satisfying assignment, but an
+    // unsatisfied system at setup time almost always indicates a gadget bug;
+    // fail fast with context.
+    size_t bad = 0;
+    cs.IsSatisfied(&bad);
+    throw std::invalid_argument("Setup: assignment violates constraint " + std::to_string(bad));
+  }
+  if (cs.mode() == ConstraintSystem::Mode::kCount) {
+    throw std::invalid_argument("Setup requires a materialized (kProve) constraint system");
+  }
+
+  size_t num_public = cs.NumPublic();
+  size_t num_vars = cs.NumVariables();
+  size_t num_constraints = cs.NumConstraints();
+  EvaluationDomain domain(num_constraints + num_public);
+
+  Fr tau = RandomNonZero(rng);
+  Fr alpha = RandomNonZero(rng);
+  Fr beta = RandomNonZero(rng);
+  Fr gamma = RandomNonZero(rng);
+  Fr delta = RandomNonZero(rng);
+  Fr gamma_inv = gamma.Inverse();
+  Fr delta_inv = delta.Inverse();
+
+  std::vector<Fr> lag = domain.LagrangeAt(tau);
+
+  std::vector<Fr> a_tau(num_vars, Fr::Zero());
+  std::vector<Fr> b_tau(num_vars, Fr::Zero());
+  std::vector<Fr> c_tau(num_vars, Fr::Zero());
+  const auto& constraints = cs.constraints();
+  for (size_t j = 0; j < constraints.size(); ++j) {
+    for (const auto& [v, coeff] : constraints[j].a.terms()) {
+      a_tau[v] = a_tau[v] + coeff * lag[j];
+    }
+    for (const auto& [v, coeff] : constraints[j].b.terms()) {
+      b_tau[v] = b_tau[v] + coeff * lag[j];
+    }
+    for (const auto& [v, coeff] : constraints[j].c.terms()) {
+      c_tau[v] = c_tau[v] + coeff * lag[j];
+    }
+  }
+  // Input-consistency rows: public variable i is pinned to evaluation point
+  // num_constraints + i (libsnark's QAP padding), preventing malleation of
+  // public inputs into the witness.
+  for (size_t i = 0; i < num_public; ++i) {
+    a_tau[i] = a_tau[i] + lag[num_constraints + i];
+  }
+
+  FixedBaseTable<G1> t1(G1Generator());
+  FixedBaseTable<G2> t2(G2Generator());
+
+  ProvingKey pk;
+  pk.num_public = num_public;
+  pk.num_constraints = num_constraints;
+  pk.domain_size = domain.size();
+
+  pk.vk.alpha_g1 = t1.Mul(alpha.ToBigUInt());
+  pk.vk.beta_g2 = t2.Mul(beta.ToBigUInt());
+  pk.vk.gamma_g2 = t2.Mul(gamma.ToBigUInt());
+  pk.vk.delta_g2 = t2.Mul(delta.ToBigUInt());
+  pk.beta_g1 = t1.Mul(beta.ToBigUInt());
+  pk.delta_g1 = t1.Mul(delta.ToBigUInt());
+
+  pk.a_query.reserve(num_vars);
+  pk.b_g1_query.reserve(num_vars);
+  pk.b_g2_query.reserve(num_vars);
+  for (size_t i = 0; i < num_vars; ++i) {
+    pk.a_query.push_back(t1.Mul(a_tau[i].ToBigUInt()));
+    pk.b_g1_query.push_back(t1.Mul(b_tau[i].ToBigUInt()));
+    pk.b_g2_query.push_back(t2.Mul(b_tau[i].ToBigUInt()));
+  }
+
+  pk.vk.ic.reserve(num_public);
+  for (size_t i = 0; i < num_public; ++i) {
+    Fr k = (beta * a_tau[i] + alpha * b_tau[i] + c_tau[i]) * gamma_inv;
+    pk.vk.ic.push_back(t1.Mul(k.ToBigUInt()));
+  }
+  pk.l_query.reserve(num_vars - num_public);
+  for (size_t i = num_public; i < num_vars; ++i) {
+    Fr k = (beta * a_tau[i] + alpha * b_tau[i] + c_tau[i]) * delta_inv;
+    pk.l_query.push_back(t1.Mul(k.ToBigUInt()));
+  }
+
+  Fr z_tau = domain.EvaluateVanishing(tau);
+  Fr power = z_tau * delta_inv;
+  pk.h_query.reserve(domain.size() - 1);
+  for (size_t i = 0; i + 1 < domain.size(); ++i) {
+    pk.h_query.push_back(t1.Mul(power.ToBigUInt()));
+    power = power * tau;
+  }
+  return pk;
+}
+
+Proof Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng) {
+  if (cs.mode() != ConstraintSystem::Mode::kProve) {
+    throw std::invalid_argument("Prove requires a materialized constraint system");
+  }
+  size_t bad = 0;
+  if (!cs.IsSatisfied(&bad)) {
+    throw std::invalid_argument("Prove: assignment violates constraint " + std::to_string(bad));
+  }
+  if (cs.NumVariables() != pk.a_query.size() || cs.NumPublic() != pk.num_public) {
+    throw std::invalid_argument("Prove: constraint system does not match proving key");
+  }
+
+  EvaluationDomain domain(pk.num_constraints + pk.num_public);
+  size_t n = domain.size();
+
+  std::vector<Fr> a_vals(n, Fr::Zero());
+  std::vector<Fr> b_vals(n, Fr::Zero());
+  std::vector<Fr> c_vals(n, Fr::Zero());
+  const auto& constraints = cs.constraints();
+  for (size_t j = 0; j < constraints.size(); ++j) {
+    a_vals[j] = cs.Eval(constraints[j].a);
+    b_vals[j] = cs.Eval(constraints[j].b);
+    c_vals[j] = cs.Eval(constraints[j].c);
+  }
+  for (size_t i = 0; i < pk.num_public; ++i) {
+    a_vals[pk.num_constraints + i] = cs.ValueOf(static_cast<Var>(i));
+  }
+
+  domain.Ifft(&a_vals);
+  domain.Ifft(&b_vals);
+  domain.Ifft(&c_vals);
+  domain.CosetFft(&a_vals);
+  domain.CosetFft(&b_vals);
+  domain.CosetFft(&c_vals);
+  Fr z_inv = domain.VanishingOnCoset().Inverse();
+  std::vector<Fr> h(n);
+  for (size_t k = 0; k < n; ++k) {
+    h[k] = (a_vals[k] * b_vals[k] - c_vals[k]) * z_inv;
+  }
+  domain.CosetIfft(&h);
+
+  const std::vector<Fr>& values = cs.values();
+  std::vector<BigUInt> z_all = ToScalars(values, 0, values.size());
+  std::vector<BigUInt> z_wit = ToScalars(values, pk.num_public, values.size());
+  std::vector<BigUInt> h_scalars;
+  h_scalars.reserve(n - 1);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    h_scalars.push_back(h[i].ToBigUInt());
+  }
+
+  Fr r = Fr::Random(rng);
+  Fr s = Fr::Random(rng);
+
+  G1 a = pk.vk.alpha_g1.Add(Msm(pk.a_query, z_all)).Add(pk.delta_g1.ScalarMul(r.ToBigUInt()));
+  G2 b = pk.vk.beta_g2.Add(Msm(pk.b_g2_query, z_all)).Add(pk.vk.delta_g2.ScalarMul(s.ToBigUInt()));
+  G1 b_g1 =
+      pk.beta_g1.Add(Msm(pk.b_g1_query, z_all)).Add(pk.delta_g1.ScalarMul(s.ToBigUInt()));
+
+  G1 c = Msm(pk.l_query, z_wit)
+             .Add(Msm(pk.h_query, h_scalars))
+             .Add(a.ScalarMul(s.ToBigUInt()))
+             .Add(b_g1.ScalarMul(r.ToBigUInt()))
+             .Add(pk.delta_g1.ScalarMul((r * s).ToBigUInt()).Negate());
+
+  return Proof{a, b, c};
+}
+
+bool Verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs, const Proof& proof) {
+  if (public_inputs.size() + 1 != vk.ic.size()) {
+    return false;
+  }
+  if (!proof.a.IsOnCurve() || !proof.b.IsOnCurve() || !proof.c.IsOnCurve()) {
+    return false;
+  }
+  std::vector<G1> bases(vk.ic.begin() + 1, vk.ic.end());
+  std::vector<BigUInt> scalars;
+  scalars.reserve(public_inputs.size());
+  for (const Fr& x : public_inputs) {
+    scalars.push_back(x.ToBigUInt());
+  }
+  G1 ic = vk.ic[0].Add(Msm(bases, scalars));
+
+  // e(A, B) = e(alpha, beta) e(IC, gamma) e(C, delta).
+  return PairingProductIsOne({{proof.a, proof.b},
+                              {ic.Negate(), vk.gamma_g2},
+                              {proof.c.Negate(), vk.delta_g2},
+                              {vk.alpha_g1.Negate(), vk.beta_g2}});
+}
+
+Proof RandomizeProof(const VerifyingKey& vk, const Proof& proof, Rng* rng) {
+  // (A, B, C) -> (t A, t^{-1} B + t^{-1} r delta, C + r A') where A' = t A.
+  Fr t = RandomNonZero(rng);
+  Fr r = Fr::Random(rng);
+  Fr t_inv = t.Inverse();
+  G1 a2 = proof.a.ScalarMul(t.ToBigUInt());
+  G2 b2 = proof.b.ScalarMul(t_inv.ToBigUInt())
+              .Add(vk.delta_g2.ScalarMul((t_inv * r).ToBigUInt()));
+  G1 c2 = proof.c.Add(proof.a.ScalarMul(r.ToBigUInt()));
+  return Proof{a2, b2, c2};
+}
+
+}  // namespace groth16
+}  // namespace nope

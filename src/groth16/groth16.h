@@ -1,0 +1,76 @@
+// Groth16 zkSNARK over BN254 — the paper's proving back-end (§2.3).
+//
+// Proofs are two G1 elements and one G2 element; compressed they serialize to
+// exactly 128 bytes, the size the paper reports embedding in certificates.
+// Verification is a four-pairing product check whose cost is independent of
+// statement size.
+//
+// The trusted setup here is single-party: the toxic waste (tau, alpha, beta,
+// gamma, delta) is sampled and dropped in-process. A production deployment
+// would run an MPC ceremony, which the paper maps onto the DNSSEC root key
+// ceremony.
+#ifndef SRC_GROTH16_GROTH16_H_
+#define SRC_GROTH16_GROTH16_H_
+
+#include <vector>
+
+#include "src/ec/bn254.h"
+#include "src/groth16/domain.h"
+#include "src/r1cs/constraint_system.h"
+
+namespace nope {
+namespace groth16 {
+
+struct Proof {
+  G1 a;
+  G2 b;
+  G1 c;
+
+  // Compressed encoding: 32 (A) + 64 (B) + 32 (C) = 128 bytes.
+  Bytes ToBytes() const;
+  static Proof FromBytes(const Bytes& bytes);  // throws on malformed input
+};
+
+struct VerifyingKey {
+  G1 alpha_g1;
+  G2 beta_g2;
+  G2 gamma_g2;
+  G2 delta_g2;
+  std::vector<G1> ic;  // one per public variable, including the constant 1
+};
+
+struct ProvingKey {
+  VerifyingKey vk;
+  G1 beta_g1;
+  G1 delta_g1;
+  std::vector<G1> a_query;     // [A_i(tau)]1, all variables
+  std::vector<G1> b_g1_query;  // [B_i(tau)]1
+  std::vector<G2> b_g2_query;  // [B_i(tau)]2
+  std::vector<G1> l_query;     // [(beta A_i + alpha B_i + C_i)/delta]1, witness vars
+  std::vector<G1> h_query;     // [tau^i Z(tau)/delta]1, i < domain-1
+  size_t num_public = 0;
+  size_t num_constraints = 0;
+  size_t domain_size = 0;
+};
+
+// Statement-specific one-time setup. The constraint system may carry any
+// satisfying or non-satisfying assignment; only its matrices matter here.
+ProvingKey Setup(const ConstraintSystem& cs, Rng* rng);
+
+// Produces a zero-knowledge proof for the assignment held in cs (which must
+// satisfy the constraints; throws std::invalid_argument otherwise).
+Proof Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng);
+
+// public_inputs excludes the constant 1 (so its length is vk.ic.size() - 1).
+bool Verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs, const Proof& proof);
+
+// Groth16 proofs are re-randomizable: returns a different proof for the same
+// statement that still verifies. This is the proof-malleability the paper's
+// weak-simulation-extractability discussion (§3.2) must contend with; NOPE
+// tolerates it because N and TS are bound inside the statement.
+Proof RandomizeProof(const VerifyingKey& vk, const Proof& proof, Rng* rng);
+
+}  // namespace groth16
+}  // namespace nope
+
+#endif  // SRC_GROTH16_GROTH16_H_

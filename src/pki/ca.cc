@@ -1,0 +1,115 @@
+#include "src/pki/ca.h"
+
+#include <algorithm>
+
+#include "src/base/sha256.h"
+
+namespace nope {
+
+CertificateAuthority::CertificateAuthority(const std::string& organization,
+                                           std::vector<CtLog*> ct_logs, Rng* rng)
+    : organization_(organization),
+      ct_logs_(std::move(ct_logs)),
+      rng_(rng),
+      root_key_(GenerateEcdsaKey(rng)),
+      intermediate_key_(GenerateEcdsaKey(rng)) {
+  CertificateBody body;
+  body.serial = 1;
+  body.issuer_organization = organization_ + " Root";
+  body.subject = DnsName::FromString(organization_ + ".example");
+  body.not_before = 1600000000;
+  body.not_after = 2000000000;
+  body.subject_public_key = intermediate_key_.pub.Encode();
+  body.ocsp_url = "http://ocsp." + organization_ + ".example";
+  intermediate_.body = body;
+  intermediate_.signature = EcdsaSign(root_key_.priv, body.Serialize()).Encode();
+}
+
+AcmeOrder CertificateAuthority::NewOrder(const CertificateSigningRequest& csr) {
+  AcmeOrder order;
+  order.id = next_order_++;
+  order.domain = csr.subject;
+  order.challenge_token = "token-" + EncodeHex(rng_->NextBytes(16));
+  return order;
+}
+
+Certificate CertificateAuthority::SignCertificate(CertificateBody body) const {
+  Certificate cert;
+  cert.body = std::move(body);
+  cert.signature = EcdsaSign(intermediate_key_.priv, cert.body.Serialize()).Encode();
+  return cert;
+}
+
+std::optional<Certificate> CertificateAuthority::FinalizeOrder(
+    const AcmeOrder& order, const CertificateSigningRequest& csr, const TxtResolver& resolver,
+    uint64_t now) {
+  if (order.domain != csr.subject) {
+    return std::nullopt;
+  }
+  // DNS-01: the challenge must appear at _acme-challenge.<domain>. This
+  // query runs over legacy, unauthenticated DNS — the paper's legacy-DNS
+  // attacker wins exactly here.
+  DnsName challenge_name = order.domain.Child("_acme-challenge");
+  std::vector<std::string> values = resolver(challenge_name);
+  if (std::find(values.begin(), values.end(), order.challenge_token) == values.end()) {
+    return std::nullopt;
+  }
+  return IssueWithoutValidation(csr, now, /*log_to_ct=*/true);
+}
+
+Certificate CertificateAuthority::IssueWithoutValidation(const CertificateSigningRequest& csr,
+                                                         uint64_t now, bool log_to_ct) {
+  CertificateBody body;
+  body.serial = next_serial_++;
+  body.issuer_organization = organization_;
+  body.subject = csr.subject;
+  body.sans = csr.sans;
+  body.not_before = now;
+  body.not_after = now + kCertLifetimeSeconds;
+  body.subject_public_key = csr.public_key;
+  body.ocsp_url = "http://ocsp." + organization_ + ".example";
+
+  if (log_to_ct) {
+    Bytes precert = body.Serialize(/*is_precert=*/true);
+    for (CtLog* log : ct_logs_) {
+      body.scts.push_back(log->Submit(precert, now));
+      log->Publish();
+    }
+  }
+  return SignCertificate(std::move(body));
+}
+
+void CertificateAuthority::Revoke(uint64_t serial) { revoked_.insert(serial); }
+
+OcspResponse CertificateAuthority::SignOcsp(uint64_t serial, uint64_t now) const {
+  OcspResponse out;
+  out.serial = serial;
+  out.revoked = IsRevoked(serial);
+  out.produced_at = now;
+  out.next_update = now + kOcspValiditySeconds;
+  Bytes message;
+  AppendU64(&message, out.serial);
+  AppendU8(&message, out.revoked ? 1 : 0);
+  AppendU64(&message, out.produced_at);
+  AppendU64(&message, out.next_update);
+  out.signature = EcdsaSign(intermediate_key_.priv, message).Encode();
+  return out;
+}
+
+bool CertificateAuthority::VerifyOcsp(const OcspResponse& response) const {
+  if (response.signature.size() != 64) {
+    return false;
+  }
+  Bytes message;
+  AppendU64(&message, response.serial);
+  AppendU8(&message, response.revoked ? 1 : 0);
+  AppendU64(&message, response.produced_at);
+  AppendU64(&message, response.next_update);
+  return EcdsaVerify(intermediate_key_.pub, message, EcdsaSignature::Decode(response.signature));
+}
+
+std::vector<uint64_t> CertificateAuthority::CrlSnapshot() const {
+  return std::vector<uint64_t>(revoked_.begin(), revoked_.end());
+}
+
+}  // namespace nope

@@ -1,0 +1,95 @@
+// A certification authority with ACME DNS-01 domain validation (§1, §2.1).
+//
+// The issuance path mirrors Figure 2 steps 3-7: the requester submits a CSR
+// (carrying the NOPE-proof SANs, which the CA treats as opaque names), the CA
+// returns a challenge, the requester posts it as a TXT record, the CA
+// resolves the record through an injectable (attacker-interceptable) DNS
+// resolver, logs a precertificate with the configured CT logs, and issues the
+// final certificate with embedded SCTs. OCSP and CRL revocation are included
+// because NOPE inherits both through the enclosing certificate (§3.2).
+#ifndef SRC_PKI_CA_H_
+#define SRC_PKI_CA_H_
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "src/dns/dnssec.h"
+#include "src/pki/ct_log.h"
+
+namespace nope {
+
+struct CertificateSigningRequest {
+  DnsName subject;
+  std::vector<std::string> sans;  // extra SANs (NOPE proof labels ride here)
+  Bytes public_key;               // TLS key
+};
+
+struct AcmeOrder {
+  uint64_t id = 0;
+  DnsName domain;
+  std::string challenge_token;  // to be posted at _acme-challenge.<domain>
+};
+
+struct OcspResponse {
+  uint64_t serial = 0;
+  bool revoked = false;
+  uint64_t produced_at = 0;
+  uint64_t next_update = 0;  // OCSP responses are valid for days (§2.1)
+  Bytes signature;
+};
+
+// Resolver used for domain validation; attacker models substitute this.
+using TxtResolver = std::function<std::vector<std::string>(const DnsName&)>;
+
+class CertificateAuthority {
+ public:
+  CertificateAuthority(const std::string& organization, std::vector<CtLog*> ct_logs, Rng* rng);
+
+  const std::string& organization() const { return organization_; }
+  // Trust-store entry (the offline root) and the intermediate certificate
+  // that actually signs subscriber certificates.
+  const EcdsaPublicKey& root_public_key() const { return root_key_.pub; }
+  const Certificate& intermediate() const { return intermediate_; }
+  const EcdsaPublicKey& intermediate_public_key() const { return intermediate_key_.pub; }
+
+  AcmeOrder NewOrder(const CertificateSigningRequest& csr);
+
+  // Performs DNS-01 validation through `resolver` and, on success, logs a
+  // precert and issues the certificate. nullopt when validation fails.
+  std::optional<Certificate> FinalizeOrder(const AcmeOrder& order,
+                                           const CertificateSigningRequest& csr,
+                                           const TxtResolver& resolver, uint64_t now);
+
+  // A rogue CA (the paper's "CA attacker") skips validation entirely.
+  Certificate IssueWithoutValidation(const CertificateSigningRequest& csr, uint64_t now,
+                                     bool log_to_ct = true);
+
+  void Revoke(uint64_t serial);
+  bool IsRevoked(uint64_t serial) const { return revoked_.count(serial) > 0; }
+  OcspResponse SignOcsp(uint64_t serial, uint64_t now) const;
+  bool VerifyOcsp(const OcspResponse& response) const;
+  // CRL: the full set of revoked serials (browser-summary style).
+  std::vector<uint64_t> CrlSnapshot() const;
+
+  static constexpr uint64_t kCertLifetimeSeconds = 90ull * 24 * 3600;  // Let's Encrypt-style
+  static constexpr uint64_t kOcspValiditySeconds = 3ull * 24 * 3600;   // 3 days (§2.1)
+
+ private:
+  Certificate SignCertificate(CertificateBody body) const;
+
+  std::string organization_;
+  std::vector<CtLog*> ct_logs_;
+  Rng* rng_;
+  EcdsaKeyPair root_key_;
+  EcdsaKeyPair intermediate_key_;
+  Certificate intermediate_;
+  uint64_t next_serial_ = 1000;
+  uint64_t next_order_ = 1;
+  std::set<uint64_t> revoked_;
+};
+
+}  // namespace nope
+
+#endif  // SRC_PKI_CA_H_

@@ -1,0 +1,162 @@
+#include "src/pki/certificate.h"
+
+#include <stdexcept>
+
+namespace nope {
+
+namespace {
+
+// TLV helpers: tag byte, u16 length, value.
+void AppendTlv(Bytes* out, uint8_t tag, const Bytes& value) {
+  AppendU8(out, tag);
+  AppendU16(out, static_cast<uint16_t>(value.size()));
+  AppendBytes(out, value);
+}
+
+Bytes StringBytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+constexpr uint8_t kTagSerial = 1;
+constexpr uint8_t kTagIssuer = 2;
+constexpr uint8_t kTagSubject = 3;
+constexpr uint8_t kTagSan = 4;
+constexpr uint8_t kTagValidity = 5;
+constexpr uint8_t kTagPublicKey = 6;
+constexpr uint8_t kTagOcsp = 7;
+constexpr uint8_t kTagSct = 8;
+constexpr uint8_t kTagSignature = 9;
+
+Bytes ReadTlv(const Bytes& data, size_t* pos, uint8_t expected_tag) {
+  uint8_t tag = ReadU8(data, pos);
+  if (tag != expected_tag) {
+    throw std::invalid_argument("unexpected TLV tag");
+  }
+  uint16_t len = ReadU16(data, pos);
+  return ReadBytes(data, pos, len);
+}
+
+}  // namespace
+
+Bytes Sct::Serialize() const {
+  Bytes out;
+  AppendU64(&out, log_id);
+  AppendU64(&out, timestamp);
+  AppendU16(&out, static_cast<uint16_t>(signature.size()));
+  AppendBytes(&out, signature);
+  return out;
+}
+
+Sct Sct::Deserialize(const Bytes& data, size_t* pos) {
+  Sct out;
+  out.log_id = ReadU64(data, pos);
+  out.timestamp = ReadU64(data, pos);
+  uint16_t len = ReadU16(data, pos);
+  out.signature = ReadBytes(data, pos, len);
+  return out;
+}
+
+Bytes CertificateBody::Serialize(bool is_precert) const {
+  Bytes out;
+  Bytes serial_bytes;
+  AppendU64(&serial_bytes, serial);
+  AppendTlv(&out, kTagSerial, serial_bytes);
+  AppendTlv(&out, kTagIssuer, StringBytes(issuer_organization));
+  AppendTlv(&out, kTagSubject, subject.ToWire());
+  for (const std::string& san : sans) {
+    AppendTlv(&out, kTagSan, StringBytes(san));
+  }
+  Bytes validity;
+  AppendU64(&validity, not_before);
+  AppendU64(&validity, not_after);
+  AppendTlv(&out, kTagValidity, validity);
+  AppendTlv(&out, kTagPublicKey, subject_public_key);
+  AppendTlv(&out, kTagOcsp, StringBytes(ocsp_url));
+  if (!is_precert) {
+    for (const Sct& sct : scts) {
+      AppendTlv(&out, kTagSct, sct.Serialize());
+    }
+  }
+  return out;
+}
+
+Bytes Certificate::Serialize() const {
+  Bytes out = body.Serialize();
+  AppendTlv(&out, kTagSignature, signature);
+  return out;
+}
+
+Certificate Certificate::Deserialize(const Bytes& data) {
+  Certificate out;
+  size_t pos = 0;
+  Bytes serial_bytes = ReadTlv(data, &pos, kTagSerial);
+  size_t sp = 0;
+  out.body.serial = ReadU64(serial_bytes, &sp);
+  Bytes issuer = ReadTlv(data, &pos, kTagIssuer);
+  out.body.issuer_organization = std::string(issuer.begin(), issuer.end());
+  Bytes subject = ReadTlv(data, &pos, kTagSubject);
+  size_t np = 0;
+  out.body.subject = DnsName::FromWire(subject, &np);
+  // SANs until a different tag shows up.
+  while (pos < data.size() && data[pos] == kTagSan) {
+    Bytes san = ReadTlv(data, &pos, kTagSan);
+    out.body.sans.emplace_back(san.begin(), san.end());
+  }
+  Bytes validity = ReadTlv(data, &pos, kTagValidity);
+  size_t vp = 0;
+  out.body.not_before = ReadU64(validity, &vp);
+  out.body.not_after = ReadU64(validity, &vp);
+  out.body.subject_public_key = ReadTlv(data, &pos, kTagPublicKey);
+  Bytes ocsp = ReadTlv(data, &pos, kTagOcsp);
+  out.body.ocsp_url = std::string(ocsp.begin(), ocsp.end());
+  while (pos < data.size() && data[pos] == kTagSct) {
+    Bytes sct_bytes = ReadTlv(data, &pos, kTagSct);
+    size_t spp = 0;
+    out.body.scts.push_back(Sct::Deserialize(sct_bytes, &spp));
+  }
+  out.signature = ReadTlv(data, &pos, kTagSignature);
+  if (pos != data.size()) {
+    throw std::invalid_argument("trailing bytes after certificate");
+  }
+  return out;
+}
+
+std::map<std::string, size_t> Certificate::SizeBreakdown() const {
+  std::map<std::string, size_t> out;
+  // 3 bytes of TLV overhead per field, counted with the field.
+  Bytes serial_bytes;
+  AppendU64(&serial_bytes, serial_bytes.empty() ? body.serial : 0);
+  out["metadata"] = 3 + 8 + 3 + body.issuer_organization.size() + 3 + 16;  // serial+issuer+validity
+  out["subject_name"] = 3 + body.subject.ToWire().size();
+  out["subject_public_key"] = 3 + body.subject_public_key.size();
+  size_t san_total = 0;
+  size_t nope_san = 0;
+  for (const std::string& san : body.sans) {
+    san_total += 3 + san.size();
+    if (san.rfind("n", 0) == 0 && san.size() > 4 && san[2] == 'p' && san[3] == 'e') {
+      nope_san += 3 + san.size();
+    }
+  }
+  out["san_extension"] = san_total;
+  out["nope_proof_encoded"] = nope_san;
+  out["ocsp"] = 3 + body.ocsp_url.size();
+  size_t sct_total = 0;
+  for (const Sct& sct : body.scts) {
+    sct_total += 3 + sct.Serialize().size();
+  }
+  out["sct"] = sct_total;
+  out["signature"] = 3 + signature.size();
+  out["total"] = Serialize().size();
+  return out;
+}
+
+size_t CertificateChain::TotalSize() const {
+  return leaf.Serialize().size() + intermediate.Serialize().size();
+}
+
+bool VerifyCertificateSignature(const Certificate& cert, const EcdsaPublicKey& issuer_key) {
+  if (cert.signature.size() != 64) {
+    return false;
+  }
+  return EcdsaVerify(issuer_key, cert.body.Serialize(), EcdsaSignature::Decode(cert.signature));
+}
+
+}  // namespace nope

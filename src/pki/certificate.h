@@ -1,0 +1,69 @@
+// X.509-like certificates with a deterministic TLV serialization.
+//
+// The layout mirrors the components the paper's Figure 7 accounts for
+// (metadata, subject name, subject public key, extensions incl. OCSP + SCTs,
+// signature), so the certificate-chain decomposition bench can report the
+// same rows. Signatures are ECDSA P-256 by the issuing CA.
+#ifndef SRC_PKI_CERTIFICATE_H_
+#define SRC_PKI_CERTIFICATE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/dns/name.h"
+#include "src/sig/ecdsa.h"
+
+namespace nope {
+
+// Signed certificate timestamp from a CT log (§2.1): a log's promise to
+// include the (pre)certificate within the maximum merge delay.
+struct Sct {
+  uint64_t log_id = 0;
+  uint64_t timestamp = 0;  // unix seconds
+  Bytes signature;         // log's ECDSA signature over (log_id, ts, leaf hash)
+
+  Bytes Serialize() const;
+  static Sct Deserialize(const Bytes& data, size_t* pos);
+};
+
+struct CertificateBody {
+  uint64_t serial = 0;
+  std::string issuer_organization;  // the CA name N bound into NOPE proofs
+  DnsName subject;
+  std::vector<std::string> sans;  // dNSName SANs; NOPE proofs ride in here (§6)
+  uint64_t not_before = 0;
+  uint64_t not_after = 0;
+  Bytes subject_public_key;  // the TLS key T (SEC1 uncompressed)
+  std::string ocsp_url;      // authority-information-access stand-in
+  std::vector<Sct> scts;
+
+  // The to-be-signed bytes (excludes SCTs when is_precert — CT logs sign the
+  // precertificate before SCTs exist, §2.1).
+  Bytes Serialize(bool is_precert = false) const;
+};
+
+struct Certificate {
+  CertificateBody body;
+  Bytes signature;  // issuer's ECDSA signature over body.Serialize()
+
+  Bytes Serialize() const;
+  static Certificate Deserialize(const Bytes& data);
+
+  // Per-component byte sizes for the Figure 7 decomposition.
+  std::map<std::string, size_t> SizeBreakdown() const;
+};
+
+struct CertificateChain {
+  Certificate leaf;
+  Certificate intermediate;
+
+  size_t TotalSize() const;
+};
+
+// Verifies issuer signature over the body.
+bool VerifyCertificateSignature(const Certificate& cert, const EcdsaPublicKey& issuer_key);
+
+}  // namespace nope
+
+#endif  // SRC_PKI_CERTIFICATE_H_

@@ -1,0 +1,164 @@
+#include "src/pki/ct_log.h"
+
+#include "src/base/sha256.h"
+
+namespace nope {
+
+namespace {
+
+Bytes LeafHash(const Bytes& data) {
+  Bytes in;
+  in.push_back(0x00);
+  AppendBytes(&in, data);
+  return Sha256::Hash(in);
+}
+
+Bytes NodeHash(const Bytes& left, const Bytes& right) {
+  Bytes in;
+  in.push_back(0x01);
+  AppendBytes(&in, left);
+  AppendBytes(&in, right);
+  return Sha256::Hash(in);
+}
+
+// RFC 6962 Merkle tree hash over entries [begin, end).
+Bytes SubtreeHash(const std::vector<Bytes>& leaves, size_t begin, size_t end) {
+  size_t n = end - begin;
+  if (n == 0) {
+    return Sha256::Hash({});
+  }
+  if (n == 1) {
+    return LeafHash(leaves[begin]);
+  }
+  // Split at the largest power of two strictly less than n.
+  size_t k = 1;
+  while (k * 2 < n) {
+    k *= 2;
+  }
+  return NodeHash(SubtreeHash(leaves, begin, begin + k), SubtreeHash(leaves, begin + k, end));
+}
+
+void BuildPath(const std::vector<Bytes>& leaves, size_t begin, size_t end, size_t index,
+               std::vector<Bytes>* path) {
+  size_t n = end - begin;
+  if (n <= 1) {
+    return;
+  }
+  size_t k = 1;
+  while (k * 2 < n) {
+    k *= 2;
+  }
+  if (index < begin + k) {
+    BuildPath(leaves, begin, begin + k, index, path);
+    path->push_back(SubtreeHash(leaves, begin + k, end));
+  } else {
+    BuildPath(leaves, begin + k, end, index, path);
+    path->push_back(SubtreeHash(leaves, begin, begin + k));
+  }
+}
+
+}  // namespace
+
+CtLog::CtLog(uint64_t log_id, Rng* rng) : log_id_(log_id), key_(GenerateEcdsaKey(rng)) {}
+
+Sct CtLog::SignSct(const Bytes& precert, uint64_t now) const {
+  Bytes message;
+  AppendU64(&message, log_id_);
+  AppendU64(&message, now);
+  AppendBytes(&message, LeafHash(precert));
+  Sct sct;
+  sct.log_id = log_id_;
+  sct.timestamp = now;
+  sct.signature = EcdsaSign(key_.priv, message).Encode();
+  return sct;
+}
+
+Sct CtLog::Submit(const Bytes& precert, uint64_t now) {
+  pending_.push_back(precert);
+  return SignSct(precert, now);
+}
+
+void CtLog::Publish() {
+  for (auto& e : pending_) {
+    entries_.push_back(std::move(e));
+  }
+  pending_.clear();
+}
+
+bool CtLog::VerifySct(const Bytes& precert, const Sct& sct) const {
+  if (sct.log_id != log_id_ || sct.signature.size() != 64) {
+    return false;
+  }
+  Bytes message;
+  AppendU64(&message, sct.log_id);
+  AppendU64(&message, sct.timestamp);
+  AppendBytes(&message, LeafHash(precert));
+  return EcdsaVerify(key_.pub, message, EcdsaSignature::Decode(sct.signature));
+}
+
+Bytes CtLog::RootHash() const { return SubtreeHash(entries_, 0, entries_.size()); }
+
+std::optional<CtLog::InclusionProof> CtLog::ProveInclusion(const Bytes& precert) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i] == precert) {
+      InclusionProof proof;
+      proof.index = i;
+      proof.tree_size = entries_.size();
+      BuildPath(entries_, 0, entries_.size(), i, &proof.path);
+      return proof;
+    }
+  }
+  return std::nullopt;
+}
+
+
+
+bool CtLog::VerifyInclusion(const Bytes& root, const Bytes& leaf_data,
+                            const InclusionProof& proof) {
+  // Recompute the root by folding the path: at each level the sibling is on
+  // the right if the remaining index is in the left subtree.
+  Bytes hash = LeafHash(leaf_data);
+  size_t index = proof.index;
+  size_t size = proof.tree_size;
+
+  // Derive fold order by replaying the recursion iteratively.
+  size_t begin = 0;
+  size_t end = size;
+  std::vector<bool> directions;  // true if we went left (sibling right)
+  while (end - begin > 1) {
+    size_t k = 1;
+    while (k * 2 < end - begin) {
+      k *= 2;
+    }
+    if (index < begin + k) {
+      directions.push_back(true);
+      end = begin + k;
+    } else {
+      directions.push_back(false);
+      begin = begin + k;
+    }
+  }
+  if (directions.size() != proof.path.size()) {
+    return false;
+  }
+  // Path was built bottom-up; directions were collected top-down.
+  for (size_t i = 0; i < proof.path.size(); ++i) {
+    bool went_left = directions[directions.size() - 1 - i];
+    const Bytes& sibling = proof.path[i];
+    hash = went_left ? NodeHash(hash, sibling) : NodeHash(sibling, hash);
+  }
+  return hash == root;
+}
+
+std::vector<Bytes> CtLog::EntriesSince(size_t index) const {
+  if (index >= entries_.size()) {
+    return {};
+  }
+  return std::vector<Bytes>(entries_.begin() + static_cast<ptrdiff_t>(index), entries_.end());
+}
+
+Sct CtLog::IssueRogueSct(const Bytes& precert, uint64_t now) const {
+  return SignSct(precert, now);
+}
+
+}  // namespace nope

@@ -1,0 +1,61 @@
+// Certificate Transparency log (§2.1): an append-only Merkle tree (RFC 6962
+// hashing) over precertificates, issuing SCTs that promise inclusion within
+// the maximum merge delay. Also provides the attacker hook the Figure 3
+// analysis needs (an SCT issued without logging).
+#ifndef SRC_PKI_CT_LOG_H_
+#define SRC_PKI_CT_LOG_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/pki/certificate.h"
+
+namespace nope {
+
+constexpr uint64_t kMaxMergeDelaySeconds = 24 * 3600;
+
+class CtLog {
+ public:
+  CtLog(uint64_t log_id, Rng* rng);
+
+  uint64_t log_id() const { return log_id_; }
+  const EcdsaPublicKey& public_key() const { return key_.pub; }
+
+  // Issues an SCT and queues the precert for inclusion at the next publish.
+  Sct Submit(const Bytes& precert, uint64_t now);
+  // Folds pending entries into the tree (operated within the MMD).
+  void Publish();
+
+  bool VerifySct(const Bytes& precert, const Sct& sct) const;
+
+  // Merkle tree interface.
+  size_t TreeSize() const { return entries_.size(); }
+  Bytes RootHash() const;
+  struct InclusionProof {
+    size_t index = 0;
+    size_t tree_size = 0;
+    std::vector<Bytes> path;
+  };
+  std::optional<InclusionProof> ProveInclusion(const Bytes& precert) const;
+  static bool VerifyInclusion(const Bytes& root, const Bytes& leaf_data,
+                              const InclusionProof& proof);
+
+  // Monitor interface: entries appended at or after `index` (how domain
+  // owners detect rogue certificates, §2.1).
+  std::vector<Bytes> EntriesSince(size_t index) const;
+
+  // CT-attacker capability: a valid SCT for a precert that is never logged.
+  Sct IssueRogueSct(const Bytes& precert, uint64_t now) const;
+
+ private:
+  Sct SignSct(const Bytes& precert, uint64_t now) const;
+
+  uint64_t log_id_;
+  EcdsaKeyPair key_;
+  std::vector<Bytes> entries_;
+  std::vector<Bytes> pending_;
+};
+
+}  // namespace nope
+
+#endif  // SRC_PKI_CT_LOG_H_

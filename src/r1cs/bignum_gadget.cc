@@ -1,0 +1,617 @@
+#include <algorithm>
+#include "src/r1cs/bignum_gadget.h"
+
+#include <stdexcept>
+
+#include "src/r1cs/parse_gadgets.h"
+
+namespace nope {
+
+namespace {
+
+size_t CeilLog2(size_t v) {
+  size_t bits = 0;
+  size_t n = 1;
+  while (n < v) {
+    n <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+// Minimal signed big integer for native carry/quotient computation.
+struct SBig {
+  BigUInt mag;
+  bool neg = false;
+
+  static SBig FromBig(const BigUInt& v) { return {v, false}; }
+
+  SBig operator+(const SBig& o) const {
+    if (neg == o.neg) {
+      return {mag + o.mag, neg && !(mag + o.mag).IsZero()};
+    }
+    if (mag >= o.mag) {
+      BigUInt m = mag - o.mag;
+      return {m, neg && !m.IsZero()};
+    }
+    BigUInt m = o.mag - mag;
+    return {m, o.neg && !m.IsZero()};
+  }
+  SBig operator-(const SBig& o) const { return *this + SBig{o.mag, !o.neg}; }
+
+  // Exact division by 2^bits (throws if not exact).
+  SBig DivExactPow2(size_t bits) const {
+    BigUInt shifted = mag >> bits;
+    if ((shifted << bits) != mag) {
+      throw std::logic_error("carry division not exact (witness inconsistency)");
+    }
+    return {shifted, neg && !shifted.IsZero()};
+  }
+
+  size_t BitLength() const { return mag.BitLength(); }
+
+  // Value as Fr (mod r), handling sign.
+  Fr ToFr() const {
+    Fr v = Fr::FromBigUInt(mag);
+    return neg ? -v : v;
+  }
+};
+
+}  // namespace
+
+ModularGadget::ModularGadget(ConstraintSystem* cs, const BigUInt& modulus, size_t limb_bits)
+    : cs_(cs), modulus_(modulus), limb_bits_(limb_bits) {
+  if (limb_bits < 8 || limb_bits > 64) {
+    throw std::invalid_argument("limb_bits must be in [8, 64]");
+  }
+  num_limbs_ = (modulus.BitLength() + limb_bits - 1) / limb_bits;
+}
+
+std::vector<BigUInt> ModularGadget::ToLimbValues(const BigUInt& v, size_t count) const {
+  std::vector<BigUInt> out(count);
+  BigUInt rest = v;
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = rest % (BigUInt(1) << limb_bits_);
+    rest = rest >> limb_bits_;
+  }
+  if (!rest.IsZero()) {
+    throw std::length_error("value does not fit limb count");
+  }
+  return out;
+}
+
+ModularGadget::Num ModularGadget::Constant(const BigUInt& v) const {
+  Num out;
+  auto limbs = ToLimbValues(v % modulus_, num_limbs_);
+  for (const auto& l : limbs) {
+    out.limbs.push_back(LC::Constant(Fr::FromBigUInt(l)));
+  }
+  out.max_bits = limb_bits_;
+  return out;
+}
+
+ModularGadget::Num ModularGadget::AllocWithValue(const BigUInt& v, size_t limbs,
+                                                 size_t bits_per_limb) {
+  Num out;
+  auto vals = ToLimbValues(v, limbs);
+  for (const auto& l : vals) {
+    Var var = cs_->AddWitness(Fr::FromBigUInt(l));
+    ToBits(cs_, LC(var), bits_per_limb);
+    out.limbs.push_back(LC(var));
+  }
+  out.max_bits = bits_per_limb;
+  return out;
+}
+
+ModularGadget::Num ModularGadget::Alloc(const BigUInt& v) {
+  return AllocWithValue(v % modulus_, num_limbs_, limb_bits_);
+}
+
+ModularGadget::Num ModularGadget::AllocNarrow(const BigUInt& v, size_t bits) {
+  size_t limbs = std::max<size_t>(1, (bits + limb_bits_ - 1) / limb_bits_);
+  if (v.BitLength() > bits) {
+    throw std::length_error("AllocNarrow value exceeds bit bound");
+  }
+  // Range check full limbs to limb_bits and the top limb to the residue, so
+  // the value is provably < 2^bits (the GLV transform's soundness needs the
+  // half-size property enforced, not just asserted).
+  Num out;
+  auto vals = ToLimbValues(v, limbs);
+  for (size_t i = 0; i < limbs; ++i) {
+    size_t limb_width = std::min(limb_bits_, bits - i * limb_bits_);
+    Var var = cs_->AddWitness(Fr::FromBigUInt(vals[i]));
+    ToBits(cs_, LC(var), limb_width);
+    out.limbs.push_back(LC(var));
+  }
+  out.max_bits = limb_bits_;
+  return out;
+}
+
+ModularGadget::Num ModularGadget::ShiftLeftBits(const Num& x, size_t bits) const {
+  size_t limb_shift = bits / limb_bits_;
+  size_t bit_shift = bits % limb_bits_;
+  Fr scale = Fr::FromBigUInt(BigUInt(1) << bit_shift);
+  Num out;
+  out.limbs.assign(x.limbs.size() + limb_shift, LC());
+  for (size_t i = 0; i < x.limbs.size(); ++i) {
+    out.limbs[i + limb_shift] = x.limbs[i] * scale;
+  }
+  out.max_bits = x.max_bits + bit_shift;
+  return out;
+}
+
+ModularGadget::Num ModularGadget::FromBytesBe(const std::vector<LC>& bytes) const {
+  if (limb_bits_ % 8 != 0) {
+    throw std::invalid_argument("FromBytesBe requires byte-aligned limbs");
+  }
+  size_t bytes_per_limb = limb_bits_ / 8;
+  Num out;
+  size_t nlimbs = (bytes.size() + bytes_per_limb - 1) / bytes_per_limb;
+  out.limbs.assign(nlimbs, LC());
+  // bytes are big-endian over the whole number.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    size_t pos_from_lsb = bytes.size() - 1 - i;  // byte significance
+    size_t limb = pos_from_lsb / bytes_per_limb;
+    size_t within = pos_from_lsb % bytes_per_limb;
+    out.limbs[limb] =
+        out.limbs[limb] + bytes[i] * Fr::FromBigUInt(BigUInt(1) << (8 * within));
+  }
+  out.max_bits = limb_bits_;
+  return out;
+}
+
+BigUInt ModularGadget::ValueOf(const Num& x) const {
+  BigUInt acc;
+  for (size_t i = x.limbs.size(); i-- > 0;) {
+    acc = (acc << limb_bits_) + cs_->Eval(x.limbs[i]).ToBigUInt();
+  }
+  return acc;
+}
+
+ModularGadget::Num ModularGadget::Add(const Num& x, const Num& y) const {
+  Num out;
+  size_t n = std::max(x.limbs.size(), y.limbs.size());
+  out.limbs.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    LC l;
+    if (i < x.limbs.size()) {
+      l = l + x.limbs[i];
+    }
+    if (i < y.limbs.size()) {
+      l = l + y.limbs[i];
+    }
+    out.limbs[i] = l;
+  }
+  out.max_bits = std::max(x.max_bits, y.max_bits) + 1;
+  return out;
+}
+
+std::vector<BigUInt> ModularGadget::ZeroPadConstant(size_t count, size_t floor_bits) const {
+  count = std::max(count, num_limbs_);
+  floor_bits = std::max(floor_bits, limb_bits_);
+  BigUInt floor_val = BigUInt(1) << floor_bits;
+  std::vector<BigUInt> limbs(count, floor_val);
+  // Current value of the all-floor vector.
+  BigUInt val;
+  for (size_t i = count; i-- > 0;) {
+    val = (val << limb_bits_) + floor_val;
+  }
+  BigUInt adjust = (modulus_ - (val % modulus_)) % modulus_;
+  // Spread `adjust` into the low limbs in base 2^limb_bits.
+  size_t i = 0;
+  while (!adjust.IsZero()) {
+    if (i >= count) {
+      throw std::logic_error("ZeroPadConstant overflow");
+    }
+    limbs[i] = limbs[i] + (adjust % (BigUInt(1) << limb_bits_));
+    adjust = adjust >> limb_bits_;
+    ++i;
+  }
+  return limbs;
+}
+
+ModularGadget::Num ModularGadget::Sub(const Num& x, const Num& y) const {
+  size_t count = std::max({x.limbs.size(), y.limbs.size(), num_limbs_});
+  auto pad = ZeroPadConstant(count, y.max_bits);
+  Num out;
+  out.limbs.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    LC l = LC::Constant(Fr::FromBigUInt(pad[i]));
+    if (i < x.limbs.size()) {
+      l = l + x.limbs[i];
+    }
+    if (i < y.limbs.size()) {
+      l = l - y.limbs[i];
+    }
+    out.limbs[i] = l;
+  }
+  out.max_bits = std::max({x.max_bits, std::max(y.max_bits, limb_bits_) + 2}) + 1;
+  return out;
+}
+
+ModularGadget::Num ModularGadget::ScaleSmall(const Num& x, uint64_t k) const {
+  Num out;
+  Fr kf = Fr::FromU64(k);
+  out.limbs.reserve(x.limbs.size());
+  for (const auto& l : x.limbs) {
+    out.limbs.push_back(l * kf);
+  }
+  size_t extra = 0;
+  while ((uint64_t{1} << extra) < k) {
+    ++extra;
+  }
+  out.max_bits = x.max_bits + extra + 1;
+  return out;
+}
+
+ModularGadget::Num ModularGadget::ReduceViaMatrix(const Num& x) const {
+  // Row i of M is the limb representation of 2^(limb_bits*i) mod q.
+  Num out;
+  out.limbs.assign(num_limbs_, LC());
+  BigUInt power(1);
+  for (size_t i = 0; i < x.limbs.size(); ++i) {
+    auto row = ToLimbValues(power, num_limbs_);
+    for (size_t j = 0; j < num_limbs_; ++j) {
+      if (!row[j].IsZero()) {
+        out.limbs[j] = out.limbs[j] + x.limbs[i] * Fr::FromBigUInt(row[j]);
+      }
+    }
+    power = (power << limb_bits_) % modulus_;
+  }
+  out.max_bits = x.max_bits + limb_bits_ + CeilLog2(std::max<size_t>(x.limbs.size(), 2));
+  if (out.max_bits + limb_bits_ + 4 >= 250) {
+    throw std::logic_error("ReduceViaMatrix: limb bound too large; Normalize first");
+  }
+  return out;
+}
+
+void ModularGadget::EnforceBilinearZero(const std::vector<std::pair<Num, Num>>& products,
+                                        const std::vector<Num>& plus,
+                                        const std::vector<Num>& minus) {
+  // --- Shape bookkeeping ----------------------------------------------------
+  size_t deg = 0;
+  for (const auto& [x, y] : products) {
+    deg = std::max(deg, x.limbs.size() + y.limbs.size() - 2);
+  }
+  for (const auto& t : plus) {
+    deg = std::max(deg, t.limbs.size() - 1);
+  }
+  for (const auto& t : minus) {
+    deg = std::max(deg, t.limbs.size() - 1);
+  }
+
+  // Static magnitude bound (bits) for coefficients of E.
+  size_t mb_e = limb_bits_;  // the pad constant at least
+  size_t minus_bits = limb_bits_;
+  for (const auto& t : minus) {
+    minus_bits = std::max(minus_bits, t.max_bits);
+  }
+  minus_bits += CeilLog2(std::max<size_t>(minus.size() + 1, 2)) + 1;
+  for (const auto& [x, y] : products) {
+    size_t conv = x.max_bits + y.max_bits +
+                  CeilLog2(std::max<size_t>(std::min(x.limbs.size(), y.limbs.size()), 2));
+    mb_e = std::max(mb_e, conv);
+  }
+  for (const auto& t : plus) {
+    mb_e = std::max(mb_e, t.max_bits);
+  }
+  mb_e = std::max(mb_e, minus_bits + 1);
+  mb_e += CeilLog2(products.size() + plus.size() + 2) + 1;
+
+  // --- Native coefficient computation ----------------------------------------
+  // Pad constant ensuring per-coefficient non-negativity against minus terms.
+  auto pad = ZeroPadConstant(deg + 1, minus_bits);
+
+  std::vector<SBig> e(deg + 1);
+  for (size_t k = 0; k <= deg; ++k) {
+    e[k] = SBig::FromBig(pad[k]);
+  }
+  auto limb_vals = [&](const Num& t) {
+    std::vector<BigUInt> vals;
+    vals.reserve(t.limbs.size());
+    for (const auto& l : t.limbs) {
+      vals.push_back(cs_->Eval(l).ToBigUInt());
+    }
+    return vals;
+  };
+  for (const auto& [x, y] : products) {
+    auto xv = limb_vals(x);
+    auto yv = limb_vals(y);
+    for (size_t i = 0; i < xv.size(); ++i) {
+      if (xv[i].IsZero()) {
+        continue;
+      }
+      for (size_t j = 0; j < yv.size(); ++j) {
+        e[i + j] = e[i + j] + SBig::FromBig(xv[i] * yv[j]);
+      }
+    }
+  }
+  for (const auto& t : plus) {
+    auto tv = limb_vals(t);
+    for (size_t i = 0; i < tv.size(); ++i) {
+      e[i] = e[i] + SBig::FromBig(tv[i]);
+    }
+  }
+  for (const auto& t : minus) {
+    auto tv = limb_vals(t);
+    for (size_t i = 0; i < tv.size(); ++i) {
+      e[i] = e[i] - SBig::FromBig(tv[i]);
+    }
+  }
+
+  // Integer value of E and the quotient k = val(E)/q (floor; exact iff the
+  // congruence actually holds — otherwise the carry division below cannot be
+  // satisfied and the resulting system is unsatisfiable, which is intended).
+  BigUInt val_e;
+  for (size_t k = deg + 1; k-- > 0;) {
+    if (e[k].neg) {
+      throw std::logic_error("EnforceBilinearZero: negative coefficient (pad too small)");
+    }
+    val_e = (val_e << limb_bits_) + e[k].mag;
+  }
+  BigUInt quotient = val_e / modulus_;
+
+  // --- Allocate quotient K ----------------------------------------------------
+  size_t k_bits = val_e.BitLength() > modulus_.BitLength()
+                      ? val_e.BitLength() - modulus_.BitLength() + 1
+                      : 1;
+  // Static bound version (soundness must not depend on witness values):
+  size_t static_val_bits = limb_bits_ * deg + mb_e + 1;
+  size_t k_bits_static = static_val_bits > modulus_.BitLength()
+                             ? static_val_bits - modulus_.BitLength() + 1
+                             : 1;
+  k_bits = std::max(k_bits, k_bits_static);
+  size_t nk = (k_bits + limb_bits_ - 1) / limb_bits_;
+  Num kq_num = AllocWithValue(quotient, nk, limb_bits_);
+
+  // Degree can grow through K(T)q(T).
+  size_t deg_kq = nk - 1 + num_limbs_ - 1;
+  size_t d = std::max(deg, deg_kq);
+
+  // --- Native carries ----------------------------------------------------------
+  auto q_limbs = ToLimbValues(modulus_, num_limbs_);
+  auto k_limbs = ToLimbValues(quotient, nk);
+  std::vector<SBig> r(d + 1);
+  for (size_t k = 0; k <= d; ++k) {
+    r[k] = k <= deg ? e[k] : SBig{};
+  }
+  for (size_t i = 0; i < nk; ++i) {
+    if (k_limbs[i].IsZero()) {
+      continue;
+    }
+    for (size_t j = 0; j < num_limbs_; ++j) {
+      r[i + j] = r[i + j] - SBig::FromBig(k_limbs[i] * q_limbs[j]);
+    }
+  }
+  // Synthetic division by (T - B): w_j = (w_{j-1} - R_j) / B.
+  std::vector<SBig> w(d);  // degree d-1
+  SBig prev{};
+  for (size_t j = 0; j < d; ++j) {
+    SBig numer = prev - r[j];
+    w[j] = numer.DivExactPow2(limb_bits_);
+    prev = w[j];
+  }
+  // Consistency: R_d must equal w_{d-1}; guaranteed when val(E) == k*q.
+
+  // --- Allocate carries (offset encoding) --------------------------------------
+  size_t mb_r_static = std::max(mb_e, 2 * limb_bits_ + CeilLog2(std::max<size_t>(nk, 2))) + 1;
+  // Carries satisfy |w_j| <= (|w_{j-1}| + max|R|)/B, whose fixed point is
+  // ~max|R|/(B-1); bound by 2^(mbr - limb_bits + 2).
+  size_t cb = mb_r_static > limb_bits_ ? mb_r_static - limb_bits_ + 2 : 2;
+  Fr offset = Fr::FromBigUInt(BigUInt(1) << cb);
+  std::vector<LC> w_hat(d);
+  for (size_t j = 0; j < d; ++j) {
+    Fr value = w[j].ToFr() + offset;
+    Var v = cs_->AddWitness(value);
+    ToBits(cs_, LC(v), cb + 1);
+    w_hat[j] = LC(v);
+  }
+
+  // --- Evaluation-point constraints ---------------------------------------------
+  // At each point t: sum of product terms (one aux mul each) plus all linear
+  // material must equal K(t)q(t) + W(t)(t - B), with W = W_hat - 2^cb * J.
+  Fr b_fr = Fr::FromBigUInt(BigUInt(1) << limb_bits_);
+  for (size_t pt = 0; pt <= d; ++pt) {
+    Fr t = Fr::FromU64(pt);
+    auto eval_num = [&](const Num& x) {
+      LC acc;
+      Fr power = Fr::One();
+      for (const auto& l : x.limbs) {
+        acc = acc + l * power;
+        power = power * t;
+      }
+      return acc;
+    };
+    auto eval_const = [&](const std::vector<BigUInt>& limbs) {
+      Fr acc = Fr::Zero();
+      Fr power = Fr::One();
+      for (const auto& l : limbs) {
+        acc = acc + Fr::FromBigUInt(l) * power;
+        power = power * t;
+      }
+      return acc;
+    };
+
+    LC lhs;  // everything except the product aux terms
+    for (const auto& term : plus) {
+      lhs = lhs + eval_num(term);
+    }
+    for (const auto& term : minus) {
+      lhs = lhs - eval_num(term);
+    }
+    lhs = lhs + LC::Constant(eval_const(pad));
+
+    // Subtract K(t) * q(t) — q(t) is a constant.
+    Fr q_at_t = eval_const(q_limbs);
+    lhs = lhs - eval_num(kq_num) * q_at_t;
+
+    // Subtract W(t)(t - B) = (W_hat(t) - 2^cb J(t)) (t - B).
+    Fr t_minus_b = t - b_fr;
+    LC w_at_t;
+    Fr power = Fr::One();
+    Fr j_at_t = Fr::Zero();
+    for (size_t j = 0; j < d; ++j) {
+      w_at_t = w_at_t + w_hat[j] * power;
+      j_at_t = j_at_t + power;
+      power = power * t;
+    }
+    lhs = lhs - (w_at_t * t_minus_b);
+    lhs = lhs + LC::Constant(offset * j_at_t * t_minus_b);
+
+    // Product aux terms.
+    for (const auto& [x, y] : products) {
+      LC xe = eval_num(x);
+      LC ye = eval_num(y);
+      Fr mv = cs_->Eval(xe) * cs_->Eval(ye);
+      Var m = cs_->AddWitness(mv);
+      cs_->Enforce(xe, ye, LC(m));
+      lhs = lhs + LC(m);
+    }
+    cs_->EnforceEqual(lhs, LC());
+  }
+}
+
+void ModularGadget::EnforceEqualMod(const Num& x, const Num& y) {
+  EnforceBilinearZero({}, {x}, {y});
+}
+
+void ModularGadget::EnforceZeroMod(const Num& x) { EnforceBilinearZero({}, {x}, {}); }
+
+ModularGadget::Num ModularGadget::MulMod(const Num& x, const Num& y) {
+  BigUInt value = (ValueOf(x) * ValueOf(y)) % modulus_;
+  Num z = Alloc(value);
+  EnforceBilinearZero({{x, y}}, {}, {z});
+  return z;
+}
+
+ModularGadget::Num ModularGadget::NaiveMulMod(const Num& x, const Num& y) {
+  // Schoolbook limb products.
+  size_t nx = x.limbs.size();
+  size_t ny = y.limbs.size();
+  Num z;
+  z.limbs.assign(nx + ny - 1, LC());
+  for (size_t i = 0; i < nx; ++i) {
+    for (size_t j = 0; j < ny; ++j) {
+      Fr pv = cs_->Eval(x.limbs[i]) * cs_->Eval(y.limbs[j]);
+      Var p = cs_->AddWitness(pv);
+      cs_->Enforce(x.limbs[i], y.limbs[j], LC(p));
+      z.limbs[i + j] = z.limbs[i + j] + LC(p);
+    }
+  }
+  z.max_bits = x.max_bits + y.max_bits + CeilLog2(std::max<size_t>(std::min(nx, ny), 2));
+
+  // Explicit quotient/remainder long division, per multiplication — the
+  // pre-NOPE recipe whose cost scales with the bit width of q (§5.1).
+  return NaiveModReduce(z);
+}
+
+ModularGadget::Num ModularGadget::NaiveModReduce(const Num& z) {
+  BigUInt value = ValueOf(z);
+  Num r = Alloc(value % modulus_);
+
+  // Quotient, canonical limbs.
+  size_t static_val_bits = limb_bits_ * (z.limbs.size() - 1) + z.max_bits + 1;
+  size_t k_bits = static_val_bits > modulus_.BitLength()
+                      ? static_val_bits - modulus_.BitLength() + 1
+                      : 1;
+  size_t nk = (k_bits + limb_bits_ - 1) / limb_bits_;
+  BigUInt quotient = value / modulus_;
+  Num k_num = AllocWithValue(quotient, nk, limb_bits_);
+
+  // rhs = k*q + r as limb-wise linear forms (q constant, so free).
+  auto q_limbs = ToLimbValues(modulus_, num_limbs_);
+  size_t len = std::max(z.limbs.size(), nk + num_limbs_ - 1);
+  std::vector<LC> rhs(len);
+  for (size_t i = 0; i < nk; ++i) {
+    for (size_t j = 0; j < num_limbs_; ++j) {
+      if (!q_limbs[j].IsZero()) {
+        rhs[i + j] = rhs[i + j] + k_num.limbs[i] * Fr::FromBigUInt(q_limbs[j]);
+      }
+    }
+  }
+  for (size_t i = 0; i < r.limbs.size(); ++i) {
+    rhs[i] = rhs[i] + r.limbs[i];
+  }
+
+  // Limb-wise carry chain proving val(z) == val(rhs): each carry gets a full
+  // bit decomposition, which is what makes this approach expensive.
+  size_t mb = std::max(z.max_bits, 2 * limb_bits_ + CeilLog2(std::max<size_t>(nk, 2)) + 1) + 1;
+  size_t cb = mb > limb_bits_ ? mb - limb_bits_ + 2 : 2;  // |carry| < 2^cb
+  Fr offset = Fr::FromBigUInt(BigUInt(1) << cb);
+  Fr b_inv = Fr::FromBigUInt(BigUInt(1) << limb_bits_).Inverse();
+
+  auto limb_val = [&](const LC& l) { return cs_->Eval(l).ToBigUInt(); };
+  SBig carry{};
+  LC carry_lc;
+  for (size_t j = 0; j < len; ++j) {
+    LC zj = j < z.limbs.size() ? z.limbs[j] : LC();
+    SBig e = SBig::FromBig(limb_val(zj)) - SBig::FromBig(limb_val(rhs[j]));
+    SBig numer = carry + e;
+    bool last = (j + 1 == len);
+    if (last) {
+      // Final limb: remainder must be zero with no outgoing carry.
+      cs_->EnforceEqual(zj - rhs[j] + carry_lc, LC());
+      break;
+    }
+    carry = numer.DivExactPow2(limb_bits_);
+    Var c_hat = cs_->AddWitness(carry.ToFr() + offset);
+    ToBits(cs_, LC(c_hat), cb + 1);
+    LC c = LC(c_hat) - LC::Constant(offset);
+    // (z_j - rhs_j + carry_in) == c * B.
+    cs_->EnforceEqual((zj - rhs[j] + carry_lc) * b_inv, c);
+    carry_lc = c;
+  }
+  return r;
+}
+
+ModularGadget::Num ModularGadget::Normalize(const Num& x) {
+  Num r = Alloc(ValueOfMod(x));
+  EnforceBilinearZero({}, {x}, {r});
+  return r;
+}
+
+ModularGadget::Num ModularGadget::SelectBit(Var bit, const Num& if1, const Num& if0) {
+  size_t n = std::max(if1.limbs.size(), if0.limbs.size());
+  Fr bv = cs_->ValueOf(bit);
+  Num out;
+  out.limbs.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    LC a = i < if1.limbs.size() ? if1.limbs[i] : LC();
+    LC b = i < if0.limbs.size() ? if0.limbs[i] : LC();
+    LC diff = a - b;
+    Fr tv = bv * cs_->Eval(diff);
+    Var t = cs_->AddWitness(tv);
+    cs_->Enforce(LC(bit), diff, LC(t));
+    out.limbs[i] = b + LC(t);
+  }
+  out.max_bits = std::max(if1.max_bits, if0.max_bits) + 1;
+  return out;
+}
+
+void ModularGadget::EnforceEqualCanonical(const Num& x, const Num& y) {
+  size_t n = std::max(x.limbs.size(), y.limbs.size());
+  for (size_t i = 0; i < n; ++i) {
+    LC a = i < x.limbs.size() ? x.limbs[i] : LC();
+    LC b = i < y.limbs.size() ? y.limbs[i] : LC();
+    cs_->EnforceEqual(a, b);
+  }
+}
+
+Var ModularGadget::IsEqualCanonical(const Num& x, const Num& y) {
+  size_t n = std::max(x.limbs.size(), y.limbs.size());
+  Var all = kOneVar;  // start at constant 1
+  LC acc = LC(kOneVar);
+  for (size_t i = 0; i < n; ++i) {
+    LC a = i < x.limbs.size() ? x.limbs[i] : LC();
+    LC b = i < y.limbs.size() ? y.limbs[i] : LC();
+    Var eq = IsEqual(cs_, a, b);
+    Fr pv = cs_->Eval(acc) * cs_->ValueOf(eq);
+    Var next = cs_->AddWitness(pv);
+    cs_->Enforce(acc, LC(eq), LC(next));
+    acc = LC(next);
+    all = next;
+  }
+  return all;
+}
+
+}  // namespace nope

@@ -1,0 +1,117 @@
+// Non-native big-integer modular arithmetic in R1CS (paper §5.1).
+//
+// Numbers are little-endian vectors of limb linear-combinations with a
+// tracked per-limb magnitude bound (max_bits). The central NOPE ideas all
+// appear here:
+//   * Linear combinations are free, so additions, subtractions (via
+//     offset-by-a-multiple-of-q), and the matrix-M reduction
+//     (ReduceViaMatrix) cost zero constraints.
+//   * Products and congruences are proven with a single carry-polynomial
+//     identity (EnforceBilinearZero) evaluated at fixed points: one R1CS
+//     constraint per evaluation point per product, instead of one modular
+//     reduction per multiplication.
+//   * The "naive" baseline (NaiveMulMod) is the pre-NOPE best-known recipe:
+//     schoolbook limb products plus an explicit quotient/remainder carry
+//     chain per multiplication, whose cost scales with the bit-length of the
+//     modulus. The Figure 6 ablation toggles between the two.
+#ifndef SRC_R1CS_BIGNUM_GADGET_H_
+#define SRC_R1CS_BIGNUM_GADGET_H_
+
+#include <vector>
+
+#include "src/base/biguint.h"
+#include "src/r1cs/constraint_system.h"
+
+namespace nope {
+
+class ModularGadget {
+ public:
+  struct Num {
+    std::vector<LC> limbs;  // little-endian, weight 2^(limb_bits * i)
+    size_t max_bits = 0;    // bound: each limb value < 2^max_bits
+  };
+
+  ModularGadget(ConstraintSystem* cs, const BigUInt& modulus, size_t limb_bits = 32);
+
+  const BigUInt& modulus() const { return modulus_; }
+  size_t limb_bits() const { return limb_bits_; }
+  size_t num_limbs() const { return num_limbs_; }
+  ConstraintSystem* cs() const { return cs_; }
+
+  // Constant embedding; no constraints.
+  Num Constant(const BigUInt& v) const;
+  // Witness allocation in canonical form (reduced mod q, range-checked limbs).
+  Num Alloc(const BigUInt& v);
+  // Witness allocation of a value known to fit in `bits` bits (not reduced);
+  // uses ceil(bits/limb_bits) limbs. Used for half-size GLV scalars.
+  Num AllocNarrow(const BigUInt& v, size_t bits);
+  // Builds a Num view over existing byte variables (big-endian bytes, e.g.
+  // output of a hash gadget); free (packing is linear). Bytes must already be
+  // range-checked by the caller.
+  Num FromBytesBe(const std::vector<LC>& bytes) const;
+
+  // Integer (unreduced) and reduced value of the current assignment.
+  BigUInt ValueOf(const Num& x) const;
+  BigUInt ValueOfMod(const Num& x) const { return ValueOf(x) % modulus_; }
+
+  // Free linear operations.
+  Num Add(const Num& x, const Num& y) const;
+  // x - y, kept non-negative by adding a constant multiple of q (free).
+  Num Sub(const Num& x, const Num& y) const;
+  // Multiply by a small constant; free.
+  Num ScaleSmall(const Num& x, uint64_t k) const;
+  // Multiply by 2^bits (free; limbs shift and scale).
+  Num ShiftLeftBits(const Num& x, size_t bits) const;
+
+  // NOPE matrix-M reduction (§5.1): reshapes any-width x into num_limbs()
+  // limbs preserving the residue class. Zero constraints; max_bits grows by
+  // limb_bits + lg(width).
+  Num ReduceViaMatrix(const Num& x) const;
+
+  // Carry-polynomial congruence (the workhorse):
+  //   sum_i products[i].first * products[i].second
+  //     + sum_j plus[j] - sum_k minus[k]  ==  0 (mod q).
+  // Cost: (#points)*(#products+1) + range checks on the quotient and carries.
+  void EnforceBilinearZero(const std::vector<std::pair<Num, Num>>& products,
+                           const std::vector<Num>& plus, const std::vector<Num>& minus);
+
+  // val(x) == val(y) (mod q); works for lazy (wide/large-limb) operands.
+  void EnforceEqualMod(const Num& x, const Num& y);
+  void EnforceZeroMod(const Num& x);
+
+  // z = x*y mod q in canonical form, via one bilinear congruence.
+  Num MulMod(const Num& x, const Num& y);
+  // Pre-NOPE baseline: schoolbook products + explicit mod (quotient + carry
+  // chain). Same result, many more constraints.
+  Num NaiveMulMod(const Num& x, const Num& y);
+  // The explicit long-division reduction on its own (baseline "mod" whose
+  // cost scales with the modulus bit width).
+  Num NaiveModReduce(const Num& z);
+
+  // Canonical re-randomized form of a lazy value ("clean" in §5.1).
+  Num Normalize(const Num& x);
+
+  // bit ? if1 : if0, limb-wise (operands padded to a common shape).
+  Num SelectBit(Var bit, const Num& if1, const Num& if0);
+
+  // For canonical operands (both < q with range-checked limbs), cheap
+  // limb-wise equality.
+  void EnforceEqualCanonical(const Num& x, const Num& y);
+  // Boolean: 1 iff canonical x == canonical y.
+  Var IsEqualCanonical(const Num& x, const Num& y);
+
+ private:
+  Num AllocWithValue(const BigUInt& v, size_t limbs, size_t bits_per_limb);
+  std::vector<BigUInt> ToLimbValues(const BigUInt& v, size_t count) const;
+  // Constant vector with each limb >= 2^floor_bits and value == 0 mod q.
+  std::vector<BigUInt> ZeroPadConstant(size_t count, size_t floor_bits) const;
+
+  ConstraintSystem* cs_;
+  BigUInt modulus_;
+  size_t limb_bits_;
+  size_t num_limbs_;
+};
+
+}  // namespace nope
+
+#endif  // SRC_R1CS_BIGNUM_GADGET_H_

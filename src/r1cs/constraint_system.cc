@@ -1,0 +1,108 @@
+#include "src/r1cs/constraint_system.h"
+
+#include <stdexcept>
+
+namespace nope {
+
+LinearCombination LinearCombination::Constant(const Fr& c) {
+  LinearCombination lc;
+  if (!c.IsZero()) {
+    lc.terms_.emplace_back(kOneVar, c);
+  }
+  return lc;
+}
+
+LinearCombination& LinearCombination::Add(Var v, const Fr& coeff) {
+  if (!coeff.IsZero()) {
+    terms_.emplace_back(v, coeff);
+  }
+  return *this;
+}
+
+LinearCombination LinearCombination::operator+(const LinearCombination& o) const {
+  LinearCombination out = *this;
+  out.terms_.insert(out.terms_.end(), o.terms_.begin(), o.terms_.end());
+  return out;
+}
+
+LinearCombination LinearCombination::operator-(const LinearCombination& o) const {
+  LinearCombination out = *this;
+  for (const auto& [v, c] : o.terms_) {
+    out.terms_.emplace_back(v, -c);
+  }
+  return out;
+}
+
+LinearCombination LinearCombination::operator*(const Fr& s) const {
+  LinearCombination out;
+  if (s.IsZero()) {
+    return out;
+  }
+  out.terms_.reserve(terms_.size());
+  for (const auto& [v, c] : terms_) {
+    out.terms_.emplace_back(v, c * s);
+  }
+  return out;
+}
+
+ConstraintSystem::ConstraintSystem(Mode mode) : mode_(mode) {
+  values_.push_back(Fr::One());  // variable 0 == 1
+  num_public_ = 1;
+}
+
+Var ConstraintSystem::AddPublicInput(const Fr& value) {
+  if (witness_started_) {
+    throw std::logic_error("public inputs must be allocated before witnesses");
+  }
+  values_.push_back(value);
+  ++num_public_;
+  return static_cast<Var>(values_.size() - 1);
+}
+
+Var ConstraintSystem::AddWitness(const Fr& value) {
+  witness_started_ = true;
+  values_.push_back(value);
+  return static_cast<Var>(values_.size() - 1);
+}
+
+void ConstraintSystem::Enforce(const LC& a, const LC& b, const LC& c) {
+  ++num_constraints_;
+  if (mode_ == Mode::kProve) {
+    constraints_.push_back(Constraint{a, b, c});
+  }
+}
+
+void ConstraintSystem::EnforceEqual(const LC& lhs, const LC& rhs) {
+  Enforce(lhs - rhs, LC(kOneVar), LC());
+}
+
+void ConstraintSystem::EnforceBoolean(Var v) {
+  // v * (v - 1) == 0.
+  Enforce(LC(v), LC(v) - LC(kOneVar), LC());
+}
+
+Fr ConstraintSystem::Eval(const LC& lc) const {
+  Fr acc = Fr::Zero();
+  for (const auto& [v, c] : lc.terms()) {
+    acc = acc + values_[v] * c;
+  }
+  return acc;
+}
+
+bool ConstraintSystem::IsSatisfied(size_t* bad) const {
+  if (mode_ != Mode::kProve) {
+    throw std::logic_error("IsSatisfied requires kProve mode");
+  }
+  for (size_t i = 0; i < constraints_.size(); ++i) {
+    const Constraint& c = constraints_[i];
+    if (Eval(c.a) * Eval(c.b) != Eval(c.c)) {
+      if (bad != nullptr) {
+        *bad = i;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nope

@@ -1,0 +1,482 @@
+#include <algorithm>
+#include "src/r1cs/ec_gadget.h"
+
+#include <stdexcept>
+
+#include "src/r1cs/parse_gadgets.h"
+
+namespace nope {
+
+CurveSpec CurveSpec::P256() {
+  CurveSpec spec;
+  spec.p = BigUInt::FromHex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+  spec.a = spec.p - BigUInt(3);
+  spec.b = BigUInt::FromHex("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b");
+  spec.n = BigUInt::FromHex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+  spec.gx = BigUInt::FromHex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296");
+  spec.gy = BigUInt::FromHex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5");
+  return spec;
+}
+
+// --- NativeCurve -------------------------------------------------------------
+
+bool NativeCurve::IsOnCurve(const Pt& p) const {
+  if (p.infinity) {
+    return true;
+  }
+  BigUInt lhs = p.y.MulMod(p.y, spec_.p);
+  BigUInt rhs = p.x.MulMod(p.x, spec_.p).MulMod(p.x, spec_.p);
+  rhs = rhs.AddMod(spec_.a.MulMod(p.x, spec_.p), spec_.p).AddMod(spec_.b, spec_.p);
+  return lhs == rhs;
+}
+
+NativeCurve::Pt NativeCurve::Negate(const Pt& p) const {
+  if (p.infinity) {
+    return p;
+  }
+  return {p.x, (spec_.p - p.y) % spec_.p, false};
+}
+
+NativeCurve::Pt NativeCurve::Add(const Pt& p, const Pt& q) const {
+  if (p.infinity) {
+    return q;
+  }
+  if (q.infinity) {
+    return p;
+  }
+  if (p.x == q.x) {
+    if (p.y == q.y && !p.y.IsZero()) {
+      return Double(p);
+    }
+    return Infinity();
+  }
+  BigUInt num = q.y.SubMod(p.y, spec_.p);
+  BigUInt den = q.x.SubMod(p.x, spec_.p);
+  BigUInt s = num.MulMod(den.InvMod(spec_.p), spec_.p);
+  BigUInt x3 = s.MulMod(s, spec_.p).SubMod(p.x, spec_.p).SubMod(q.x, spec_.p);
+  BigUInt y3 = s.MulMod(p.x.SubMod(x3, spec_.p), spec_.p).SubMod(p.y, spec_.p);
+  return {x3, y3, false};
+}
+
+NativeCurve::Pt NativeCurve::Double(const Pt& p) const {
+  if (p.infinity || p.y.IsZero()) {
+    return Infinity();
+  }
+  BigUInt num = p.x.MulMod(p.x, spec_.p).MulMod(BigUInt(3), spec_.p).AddMod(spec_.a, spec_.p);
+  BigUInt den = p.y.MulMod(BigUInt(2), spec_.p);
+  BigUInt s = num.MulMod(den.InvMod(spec_.p), spec_.p);
+  BigUInt x3 = s.MulMod(s, spec_.p).SubMod(p.x, spec_.p).SubMod(p.x, spec_.p);
+  BigUInt y3 = s.MulMod(p.x.SubMod(x3, spec_.p), spec_.p).SubMod(p.y, spec_.p);
+  return {x3, y3, false};
+}
+
+NativeCurve::Pt NativeCurve::ScalarMul(const BigUInt& k, const Pt& p) const {
+  Pt acc = Infinity();
+  for (size_t i = k.BitLength(); i-- > 0;) {
+    acc = Double(acc);
+    if (k.Bit(i)) {
+      acc = Add(acc, p);
+    }
+  }
+  return acc;
+}
+
+bool NativeCurve::Equal(const Pt& p, const Pt& q) const {
+  if (p.infinity || q.infinity) {
+    return p.infinity == q.infinity;
+  }
+  return p.x == q.x && p.y == q.y;
+}
+
+bool NativeCurve::AddIsDegenerate(const Pt& p, const Pt& q) const {
+  if (p.infinity || q.infinity) {
+    return true;
+  }
+  return p.x == q.x;
+}
+
+// --- EcGadget ----------------------------------------------------------------
+
+EcGadget::EcGadget(ConstraintSystem* cs, const CurveSpec& spec, Technique technique,
+                   uint64_t aux_seed)
+    : cs_(cs),
+      spec_(spec),
+      native_(spec),
+      field_(cs, spec.p, spec.limb_bits),
+      scalar_field_(cs, spec.n, spec.limb_bits),
+      technique_(technique),
+      aux_seed_(aux_seed) {}
+
+EcGadget::Point EcGadget::AllocPoint(const NativeCurve::Pt& value) {
+  if (value.infinity) {
+    throw std::invalid_argument("cannot allocate the point at infinity");
+  }
+  Point out{field_.Alloc(value.x), field_.Alloc(value.y), value};
+  EnforceOnCurve(out);
+  return out;
+}
+
+EcGadget::Point EcGadget::ConstantPoint(const NativeCurve::Pt& value) const {
+  if (value.infinity) {
+    throw std::invalid_argument("cannot embed the point at infinity");
+  }
+  return Point{field_.Constant(value.x), field_.Constant(value.y), value};
+}
+
+void EcGadget::EnforceOnCurve(const Point& p) {
+  // x^3 + a x + b - y^2 == 0 (mod p).
+  ModularGadget::Num x2 = field_.MulMod(p.x, p.x);
+  ModularGadget::Num neg_y = field_.Sub(field_.Constant(BigUInt()), p.y);
+  field_.EnforceBilinearZero({{x2, p.x}, {field_.Constant(spec_.a), p.x}, {p.y, neg_y}},
+                             {field_.Constant(spec_.b)}, {});
+}
+
+EcGadget::Point EcGadget::Negate(const Point& p) const {
+  Point out{p.x, field_.Sub(field_.Constant(BigUInt()), p.y), native_.Negate(p.value)};
+  return out;
+}
+
+EcGadget::Point EcGadget::Add(const Point& p, const Point& q) {
+  return AddInternal(p, q, /*doubling=*/false);
+}
+
+EcGadget::Point EcGadget::Double(const Point& p) { return AddInternal(p, p, /*doubling=*/true); }
+
+EcGadget::Point EcGadget::AddInternal(const Point& p, const Point& q, bool doubling) {
+  if (!doubling && native_.AddIsDegenerate(p.value, q.value)) {
+    throw std::logic_error("degenerate EC addition in circuit (retry with new aux)");
+  }
+  if (doubling && (p.value.infinity || p.value.y.IsZero())) {
+    throw std::logic_error("degenerate EC doubling in circuit");
+  }
+  if (technique_ == Technique::kNopeHints) {
+    return AddHint(p, q, doubling);
+  }
+  return AddNaive(p, q, doubling);
+}
+
+EcGadget::Point EcGadget::AddHint(const Point& p, const Point& q, bool doubling) {
+  NativeCurve::Pt r_val = doubling ? native_.Double(p.value) : native_.Add(p.value, q.value);
+  // The prover supplies R; constraints check collinearity/tangency plus that
+  // R lies on the curve (§5.2).
+  Point r{field_.Alloc(r_val.x), field_.Alloc(r_val.y), r_val};
+  if (!doubling) {
+    // Rule out the degenerate xP == xQ case (adding inverses or doubling
+    // through the addition law), which would otherwise let the prover pick R
+    // freely: witness an inverse of (xQ - xP).
+    ModularGadget::Num dx = field_.Sub(q.x, p.x);
+    BigUInt dx_val = field_.ValueOfMod(dx);
+    ModularGadget::Num dx_inv = field_.Alloc(dx_val.IsZero() ? BigUInt() : dx_val.InvMod(spec_.p));
+    field_.EnforceBilinearZero({{dx, dx_inv}}, {}, {field_.Constant(BigUInt(1))});
+    // (yQ - yP)(xR - xQ) + (yR + yQ)(xQ - xP) == 0 (mod p).
+    field_.EnforceBilinearZero(
+        {{field_.Sub(q.y, p.y), field_.Sub(r.x, q.x)},
+         {field_.Add(r.y, q.y), field_.Sub(q.x, p.x)}},
+        {}, {});
+  } else {
+    // Rule out yP == 0 (doubling a 2-torsion point).
+    BigUInt y_val = field_.ValueOfMod(p.y);
+    ModularGadget::Num y_inv = field_.Alloc(y_val.IsZero() ? BigUInt() : y_val.InvMod(spec_.p));
+    field_.EnforceBilinearZero({{p.y, y_inv}}, {}, {field_.Constant(BigUInt(1))});
+    // Tangency: (3 xP^2 + a)(xR - xP) + 2 yP (yR + yP) == 0 (mod p), from
+    // yR = -(yP + lambda (xR - xP)). (The paper's §5.2 prints this with a
+    // minus sign; the plus follows from the reflection convention.)
+    ModularGadget::Num x2 = field_.MulMod(p.x, p.x);
+    ModularGadget::Num slope_num = field_.Add(field_.ScaleSmall(x2, 3), field_.Constant(spec_.a));
+    field_.EnforceBilinearZero(
+        {{slope_num, field_.Sub(r.x, p.x)}, {field_.ScaleSmall(p.y, 2), field_.Add(r.y, p.y)}},
+        {}, {});
+  }
+  EnforceOnCurve(r);
+  return r;
+}
+
+EcGadget::Point EcGadget::AddNaive(const Point& p, const Point& q, bool doubling) {
+  // Classic affine formulas with witnessed inverse and a full modular
+  // reduction after every multiplication (the pre-NOPE baseline).
+  const BigUInt& prime = spec_.p;
+  BigUInt num_val, den_val;
+  if (doubling) {
+    num_val = p.value.x.MulMod(p.value.x, prime).MulMod(BigUInt(3), prime).AddMod(spec_.a, prime);
+    den_val = p.value.y.MulMod(BigUInt(2), prime);
+  } else {
+    num_val = q.value.y.SubMod(p.value.y, prime);
+    den_val = q.value.x.SubMod(p.value.x, prime);
+  }
+  BigUInt inv_val = den_val.InvMod(prime);
+
+  ModularGadget::Num den;
+  ModularGadget::Num num;
+  if (doubling) {
+    ModularGadget::Num x2 = field_.NaiveMulMod(p.x, p.x);
+    num = field_.NaiveModReduce(
+        field_.Add(field_.ScaleSmall(x2, 3), field_.Constant(spec_.a)));
+    den = field_.NaiveModReduce(field_.ScaleSmall(p.y, 2));
+  } else {
+    num = field_.NaiveModReduce(field_.Sub(q.y, p.y));
+    den = field_.NaiveModReduce(field_.Sub(q.x, p.x));
+  }
+  ModularGadget::Num inv = field_.Alloc(inv_val);
+  ModularGadget::Num check_one = field_.NaiveMulMod(den, inv);
+  field_.EnforceEqualCanonical(check_one, field_.Constant(BigUInt(1)));
+  ModularGadget::Num lambda = field_.NaiveMulMod(num, inv);
+  ModularGadget::Num l2 = field_.NaiveMulMod(lambda, lambda);
+  ModularGadget::Num x3 = field_.NaiveModReduce(field_.Sub(field_.Sub(l2, p.x), q.x));
+  ModularGadget::Num dx = field_.NaiveModReduce(field_.Sub(p.x, x3));
+  ModularGadget::Num y3 = field_.NaiveModReduce(field_.Sub(field_.NaiveMulMod(lambda, dx), p.y));
+
+  NativeCurve::Pt r_val = doubling ? native_.Double(p.value) : native_.Add(p.value, q.value);
+  return Point{x3, y3, r_val};
+}
+
+EcGadget::Point EcGadget::SelectPoint(Var bit, const Point& if1, const Point& if0) {
+  Point out{field_.SelectBit(bit, if1.x, if0.x), field_.SelectBit(bit, if1.y, if0.y),
+            cs_->ValueOf(bit).IsZero() ? if0.value : if1.value};
+  return out;
+}
+
+void EcGadget::EnforceEqualPoints(const Point& p, const Point& q) {
+  field_.EnforceEqualMod(p.x, q.x);
+  field_.EnforceEqualMod(p.y, q.y);
+}
+
+std::vector<Var> EcGadget::ScalarBitsMsb(const ModularGadget::Num& k, size_t max_bits) {
+  size_t lb = scalar_field_.limb_bits();
+  if (max_bits == 0) {
+    max_bits = k.limbs.size() * lb;
+  }
+  std::vector<Var> bits_lsb;
+  for (size_t i = 0; i < k.limbs.size(); ++i) {
+    size_t width = i * lb >= max_bits ? 0 : std::min(lb, max_bits - i * lb);
+    if (width == 0) {
+      // Limbs beyond the bound must be exactly zero.
+      cs_->EnforceEqual(k.limbs[i], LC());
+      continue;
+    }
+    // Decompose to `width` bits; a wider value makes the system unsatisfiable,
+    // which enforces the claimed bound.
+    std::vector<Var> limb_bits = ToBits(cs_, k.limbs[i], width);
+    bits_lsb.insert(bits_lsb.end(), limb_bits.begin(), limb_bits.end());
+  }
+  std::reverse(bits_lsb.begin(), bits_lsb.end());
+  return bits_lsb;  // now MSB-first
+}
+
+NativeCurve::Pt EcGadget::PickAux(const std::vector<std::vector<bool>>& bit_values,
+                                  const std::vector<NativeCurve::Pt>& point_values,
+                                  size_t nbits) {
+  // The aux point must be a deterministic function of the call site only:
+  // Groth16 setup bakes it into constraint constants, so it cannot depend on
+  // the witness. Degenerate hint chains therefore throw instead of retrying
+  // (probability ~#ops/|group|: negligible at P-256 scale, rare on toy
+  // curves).
+  Rng rng(aux_seed_ ^ (0x9e3779b97f4a7c15ULL * (++aux_counter_)));
+  BigUInt k = BigUInt::RandomBelow(&rng, spec_.n - BigUInt(2)) + BigUInt(1);
+  NativeCurve::Pt aux = native_.ScalarMul(k, native_.Generator());
+
+  // Dry-run to fail fast with a clear error (the circuit would otherwise
+  // throw mid-construction).
+  NativeCurve::Pt acc = aux;
+  for (size_t i = 0; i < nbits; ++i) {
+    if (acc.infinity || acc.y.IsZero()) {
+      throw std::runtime_error("degenerate MSM accumulation (aux collision)");
+    }
+    acc = native_.Double(acc);
+    for (size_t j = 0; j < point_values.size(); ++j) {
+      if (native_.AddIsDegenerate(acc, point_values[j])) {
+        throw std::runtime_error("degenerate MSM accumulation (point collision)");
+      }
+      if (bit_values[j][i]) {
+        acc = native_.Add(acc, point_values[j]);
+      }
+    }
+  }
+  return aux;
+}
+
+EcGadget::Point EcGadget::MsmInternal(const std::vector<std::vector<Var>>& bits_msb,
+                                      const std::vector<Point>& points,
+                                      const NativeCurve::Pt& aux) {
+  size_t nbits = bits_msb.empty() ? 0 : bits_msb[0].size();
+  Point acc = ConstantPoint(aux);
+  for (size_t i = 0; i < nbits; ++i) {
+    acc = Double(acc);
+    for (size_t j = 0; j < points.size(); ++j) {
+      // Unconditionally compute acc + P_j, then select; PickAux guaranteed
+      // the addition is well-defined whether or not the bit is taken.
+      Point sum = Add(acc, points[j]);
+      acc = SelectPoint(bits_msb[j][i], sum, acc);
+    }
+  }
+  return acc;
+}
+
+EcGadget::Point EcGadget::Msm(const std::vector<std::vector<Var>>& bits_msb,
+                              const std::vector<Point>& points) {
+  if (bits_msb.size() != points.size() || points.empty()) {
+    throw std::invalid_argument("Msm shape mismatch");
+  }
+  size_t nbits = bits_msb[0].size();
+  std::vector<std::vector<bool>> bit_values(points.size());
+  std::vector<NativeCurve::Pt> point_values;
+  for (size_t j = 0; j < points.size(); ++j) {
+    if (bits_msb[j].size() != nbits) {
+      throw std::invalid_argument("all scalars must have the same bit width");
+    }
+    for (Var b : bits_msb[j]) {
+      bit_values[j].push_back(!cs_->ValueOf(b).IsZero());
+    }
+    point_values.push_back(points[j].value);
+  }
+  NativeCurve::Pt aux = PickAux(bit_values, point_values, nbits);
+  Point acc = MsmInternal(bits_msb, points, aux);
+
+  // Remove the aux offset: result = acc - 2^nbits * aux.
+  NativeCurve::Pt shift = native_.ScalarMul((BigUInt(1) << nbits) % spec_.n, aux);
+  if (native_.AddIsDegenerate(acc.value, native_.Negate(shift))) {
+    throw std::logic_error("degenerate aux removal; retry with different aux seed");
+  }
+  Point result = Add(acc, ConstantPoint(native_.Negate(shift)));
+  return result;
+}
+
+void EcGadget::EnforceMsmZero(const std::vector<std::vector<Var>>& bits_msb,
+                              const std::vector<Point>& points) {
+  if (bits_msb.size() != points.size() || points.empty() || points.size() > 6) {
+    throw std::invalid_argument("Msm shape mismatch");
+  }
+  size_t m = points.size();
+  size_t nbits = bits_msb[0].size();
+  for (const auto& b : bits_msb) {
+    if (b.size() != nbits) {
+      throw std::invalid_argument("all scalars must have the same bit width");
+    }
+  }
+  std::vector<std::vector<bool>> bit_values(m);
+  std::vector<NativeCurve::Pt> point_values;
+  for (size_t j = 0; j < m; ++j) {
+    for (Var b : bits_msb[j]) {
+      bit_values[j].push_back(!cs_->ValueOf(b).IsZero());
+    }
+    point_values.push_back(points[j].value);
+  }
+
+  // Native subset-sum table; fall back to per-point accumulation if it is
+  // degenerate (possible on toy curves, negligible at P-256 scale).
+  size_t table_size = size_t{1} << m;
+  std::vector<NativeCurve::Pt> table_values(table_size);
+  bool table_ok = true;
+  for (size_t mask = 1; mask < table_size && table_ok; ++mask) {
+    size_t low = mask & (mask - 1);       // mask without its lowest set bit
+    size_t bit = mask ^ low;              // the lowest set bit
+    size_t j = 0;
+    while ((size_t{1} << j) != bit) {
+      ++j;
+    }
+    if (low == 0) {
+      table_values[mask] = point_values[j];
+    } else {
+      if (native_.AddIsDegenerate(table_values[low], point_values[j])) {
+        table_ok = false;
+        break;
+      }
+      table_values[mask] = native_.Add(table_values[low], point_values[j]);
+    }
+  }
+
+  if (!table_ok) {
+    throw std::runtime_error("degenerate MSM subset table (point collision)");
+  }
+
+  // Deterministic per-call-site aux (see PickAux); dry-run the table path.
+  Rng rng(aux_seed_ ^ (0x9e3779b97f4a7c15ULL * (++aux_counter_)));
+  BigUInt k = BigUInt::RandomBelow(&rng, spec_.n - BigUInt(2)) + BigUInt(1);
+  NativeCurve::Pt aux = native_.ScalarMul(k, native_.Generator());
+  {
+    NativeCurve::Pt acc = aux;
+    for (size_t i = 0; i < nbits; ++i) {
+      if (acc.infinity || acc.y.IsZero()) {
+        throw std::runtime_error("degenerate MSM accumulation (aux collision)");
+      }
+      acc = native_.Double(acc);
+      size_t mask = 0;
+      for (size_t j = 0; j < m; ++j) {
+        mask |= static_cast<size_t>(bit_values[j][i]) << j;
+      }
+      const NativeCurve::Pt& sel = table_values[mask == 0 ? 1 : mask];
+      if (native_.AddIsDegenerate(acc, sel)) {
+        throw std::runtime_error("degenerate MSM accumulation (table collision)");
+      }
+      if (mask != 0) {
+        acc = native_.Add(acc, sel);
+      }
+    }
+  }
+
+  // In-circuit table (hint additions).
+  std::vector<Point> table(table_size);
+  for (size_t mask = 1; mask < table_size; ++mask) {
+    size_t low = mask & (mask - 1);
+    size_t bit = mask ^ low;
+    size_t j = 0;
+    while ((size_t{1} << j) != bit) {
+      ++j;
+    }
+    table[mask] = low == 0 ? points[j] : Add(table[low], points[j]);
+  }
+
+  // Shared-table accumulation: one double and one table-add per bit position.
+  Point acc = ConstantPoint(aux);
+  for (size_t i = 0; i < nbits; ++i) {
+    acc = Double(acc);
+    // mask = sum_j bit_j * 2^j, one-hot selected via Indicator.
+    LC mask_lc;
+    for (size_t j = 0; j < m; ++j) {
+      mask_lc = mask_lc + LC(bits_msb[j][i]) * Fr::FromU64(uint64_t{1} << j);
+    }
+    std::vector<Var> sel_ind = Indicator(cs_, mask_lc, table_size);
+
+    // Selected point coordinates (mask 0 selects table[1] as a dummy).
+    auto select_coord = [&](auto coord_of) {
+      size_t limbs = 0;
+      size_t mb = field_.limb_bits();
+      for (size_t mask = 1; mask < table_size; ++mask) {
+        limbs = std::max(limbs, coord_of(table[mask]).limbs.size());
+        mb = std::max(mb, coord_of(table[mask]).max_bits);
+      }
+      ModularGadget::Num out;
+      out.limbs.assign(limbs, LC());
+      for (size_t mask = 0; mask < table_size; ++mask) {
+        const Point& entry = table[mask == 0 ? 1 : mask];
+        const ModularGadget::Num& coord = coord_of(entry);
+        for (size_t l = 0; l < coord.limbs.size(); ++l) {
+          Fr pv = cs_->ValueOf(sel_ind[mask]) * cs_->Eval(coord.limbs[l]);
+          Var p = cs_->AddWitness(pv);
+          cs_->Enforce(LC(sel_ind[mask]), coord.limbs[l], LC(p));
+          out.limbs[l] = out.limbs[l] + LC(p);
+        }
+      }
+      out.max_bits = mb + 1;
+      return out;
+    };
+    size_t mask_val = 0;
+    for (size_t j = 0; j < m; ++j) {
+      mask_val |= static_cast<size_t>(bit_values[j][i]) << j;
+    }
+    Point selected;
+    selected.x = select_coord([](const Point& p) -> const ModularGadget::Num& { return p.x; });
+    selected.y = select_coord([](const Point& p) -> const ModularGadget::Num& { return p.y; });
+    selected.value = table_values[mask_val == 0 ? 1 : mask_val];
+
+    Point sum = Add(acc, selected);
+    Var zero_flag = sel_ind[0];
+    acc = SelectPoint(zero_flag, acc, sum);
+  }
+
+  // If the MSM is zero, the accumulator equals 2^nbits * aux exactly.
+  NativeCurve::Pt expected = native_.ScalarMul((BigUInt(1) << nbits) % spec_.n, aux);
+  field_.EnforceEqualMod(acc.x, field_.Constant(expected.x));
+  field_.EnforceEqualMod(acc.y, field_.Constant(expected.y));
+}
+
+}  // namespace nope

@@ -1,0 +1,141 @@
+#include <algorithm>
+#include "src/r1cs/ecdsa_gadget.h"
+
+#include <stdexcept>
+
+#include "src/r1cs/parse_gadgets.h"
+
+namespace nope {
+
+namespace {
+
+Var ConstantZeroBit(ConstraintSystem* cs) {
+  Var z = cs->AddWitness(Fr::Zero());
+  cs->EnforceEqual(LC(z), LC());
+  return z;
+}
+
+void PadBitsMsb(ConstraintSystem* cs, std::vector<std::vector<Var>>* bit_sets) {
+  size_t max_len = 0;
+  for (const auto& b : *bit_sets) {
+    max_len = std::max(max_len, b.size());
+  }
+  Var zero = ConstantZeroBit(cs);
+  for (auto& b : *bit_sets) {
+    if (b.size() < max_len) {
+      b.insert(b.begin(), max_len - b.size(), zero);
+    }
+  }
+}
+
+}  // namespace
+
+void EnforceEcdsaVerify(EcGadget* ec, const EcGadget::Point& pub_key,
+                        const ModularGadget::Num& z, const ModularGadget::Num& r,
+                        const ModularGadget::Num& s, EcdsaMsmMode mode) {
+  ModularGadget& fn = ec->scalar_field();
+  ModularGadget& fp = ec->field();
+  const CurveSpec& spec = ec->native().spec();
+  const NativeCurve& curve = ec->native();
+
+  BigUInt n = spec.n;
+  BigUInt r_val = fn.ValueOfMod(r);
+  BigUInt s_val = fn.ValueOfMod(s);
+  BigUInt z_val = fn.ValueOfMod(z);
+  if (s_val.IsZero() || r_val.IsZero()) {
+    throw std::invalid_argument("degenerate ECDSA signature");
+  }
+
+  // s * s_inv == 1 (mod n) — also enforces s != 0.
+  BigUInt s_inv_val = s_val.InvMod(n);
+  ModularGadget::Num s_inv = fn.Alloc(s_inv_val);
+  fn.EnforceBilinearZero({{s, s_inv}}, {}, {fn.Constant(BigUInt(1))});
+
+  ModularGadget::Num h0 = fn.MulMod(z, s_inv);
+  ModularGadget::Num h1 = fn.MulMod(r, s_inv);
+  BigUInt h0_val = fn.ValueOfMod(h0);
+  BigUInt h1_val = fn.ValueOfMod(h1);
+
+  // Witness R = h0*G + h1*Q and bind R.x == r (mod n).
+  NativeCurve::Pt r_point =
+      curve.Add(curve.ScalarMul(h0_val, curve.Generator()), curve.ScalarMul(h1_val, pub_key.value));
+  if (r_point.infinity) {
+    throw std::invalid_argument("ECDSA verification hits infinity");
+  }
+  EcGadget::Point rp = ec->AllocPoint(r_point);
+  ModularGadget::Num rx_as_scalar{rp.x.limbs, rp.x.max_bits};
+  fn.EnforceEqualMod(rx_as_scalar, r);
+  (void)fp;
+
+  ConstraintSystem* cs = ec->field().cs();
+  size_t nbits = n.BitLength();
+
+  if (mode == EcdsaMsmMode::k256Msm) {
+    // Full-width check: h0*G + h1*Q - R == 0, as one shared-table MSM.
+    std::vector<std::vector<Var>> bits = {ec->ScalarBitsMsb(h0, nbits),
+                                          ec->ScalarBitsMsb(h1, nbits)};
+    // Constant scalar 1 for the -R term.
+    Var zero = ConstantZeroBit(cs);
+    std::vector<Var> one_bits(nbits, zero);
+    one_bits.back() = kOneVar;
+    bits.push_back(one_bits);
+    ec->EnforceMsmZero(bits, {ec->ConstantPoint(curve.Generator()), pub_key, ec->Negate(rp)});
+    return;
+  }
+
+  // --- GLV / Antipa transform (Appendix C) ----------------------------------
+  auto half_gcd = BigUInt::HalfGcd(n, h1_val);
+  BigUInt v_val = half_gcd.v;
+  BigUInt w_val = half_gcd.w;
+  bool negated = half_gcd.v_negated;  // h1 * v == (negated ? -w : w) (mod n)
+  if (v_val.IsZero()) {
+    v_val = BigUInt(1);
+    w_val = h1_val;
+    negated = false;
+  }
+
+  size_t split = (nbits + 1) / 2;
+  size_t half_bits = split + 2;
+  ModularGadget::Num v_num = fn.AllocNarrow(v_val, half_bits);
+  ModularGadget::Num w_num = fn.AllocNarrow(w_val, half_bits);
+  Var neg_bit = cs->AddWitness(negated ? Fr::One() : Fr::Zero());
+  cs->EnforceBoolean(neg_bit);
+
+  // h1 * v == +-w (mod n).
+  ModularGadget::Num neg_w = fn.Sub(fn.Constant(BigUInt()), w_num);
+  ModularGadget::Num w_signed = fn.SelectBit(neg_bit, neg_w, w_num);
+  fn.EnforceBilinearZero({{h1, v_num}}, {}, {w_signed});
+
+  // h0 * v == v0 + 2^split * v1 (mod n), with v0, v1 half-width.
+  BigUInt t_val = fn.ValueOfMod(h0).MulMod(v_val, n);
+  BigUInt v0_val = t_val % (BigUInt(1) << split);
+  BigUInt v1_val = t_val >> split;
+  ModularGadget::Num v0 = fn.AllocNarrow(v0_val, split);
+  ModularGadget::Num v1 = fn.AllocNarrow(v1_val, nbits - split + 1);
+  ModularGadget::Num composed = fn.Add(v0, fn.ShiftLeftBits(v1, split));
+  fn.EnforceBilinearZero({{h0, v_num}}, {}, {composed});
+
+  NativeCurve::Pt h_point = curve.ScalarMul((BigUInt(1) << split) % n, curve.Generator());
+
+  // Q with the sign of w folded in.
+  EcGadget::Point q_eff = ec->SelectPoint(neg_bit, ec->Negate(pub_key), pub_key);
+
+  // v0*G + v1*H + w*(+-Q) - v*R == 0: one half-width shared-table MSM.
+  std::vector<std::vector<Var>> bits = {
+      ec->ScalarBitsMsb(v0, split), ec->ScalarBitsMsb(v1, nbits - split + 1),
+      ec->ScalarBitsMsb(w_num, half_bits), ec->ScalarBitsMsb(v_num, half_bits)};
+  PadBitsMsb(cs, &bits);
+  ec->EnforceMsmZero(bits, {ec->ConstantPoint(curve.Generator()), ec->ConstantPoint(h_point),
+                            q_eff, ec->Negate(rp)});
+}
+
+void EnforceKnowledgeOfPrivateKey(EcGadget* ec, const EcGadget::Point& pub_key,
+                                  const BigUInt& private_key) {
+  ModularGadget& fn = ec->scalar_field();
+  ModularGadget::Num d = fn.Alloc(private_key);
+  std::vector<std::vector<Var>> bits = {ec->ScalarBitsMsb(d)};
+  EcGadget::Point computed = ec->Msm(bits, {ec->ConstantPoint(ec->native().Generator())});
+  ec->EnforceEqualPoints(computed, pub_key);
+}
+
+}  // namespace nope

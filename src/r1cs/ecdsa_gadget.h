@@ -1,0 +1,38 @@
+// In-circuit ECDSA signature verification (paper §5.3 / Appendix C).
+//
+// Two modes:
+//   * k256Msm — the direct check R == h0*G + h1*Q with full-width scalars.
+//   * kGlvMsm — the Antipa et al. transform: the prover supplies half-size
+//     side information v (found by partial extended Euclid outside the
+//     constraints) and the circuit validates it and checks a half-width MSM
+//     instead, saving ~2x in point operations.
+#ifndef SRC_R1CS_ECDSA_GADGET_H_
+#define SRC_R1CS_ECDSA_GADGET_H_
+
+#include "src/r1cs/ec_gadget.h"
+
+namespace nope {
+
+enum class EcdsaMsmMode { k256Msm, kGlvMsm };
+
+struct EcdsaSignatureWitness {
+  BigUInt r;
+  BigUInt s;
+};
+
+// Enforces that (r, s) is a valid ECDSA signature on digest scalar z under
+// public key Q. `z` must be a canonical Num in ec->scalar_field(); Q a point
+// already on-curve-checked. The caller supplies native values via the Nums'
+// current assignment.
+void EnforceEcdsaVerify(EcGadget* ec, const EcGadget::Point& pub_key,
+                        const ModularGadget::Num& z, const ModularGadget::Num& r,
+                        const ModularGadget::Num& s, EcdsaMsmMode mode);
+
+// Proves knowledge of the private key d for Q (Q == d*G), the paper's
+// S_KSK.K component (§3.2).
+void EnforceKnowledgeOfPrivateKey(EcGadget* ec, const EcGadget::Point& pub_key,
+                                  const BigUInt& private_key);
+
+}  // namespace nope
+
+#endif  // SRC_R1CS_ECDSA_GADGET_H_

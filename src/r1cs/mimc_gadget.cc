@@ -1,0 +1,140 @@
+#include <algorithm>
+#include "src/r1cs/mimc_gadget.h"
+
+#include <stdexcept>
+
+namespace nope {
+
+namespace {
+
+constexpr size_t kRounds = 20;
+
+// Round constants derived from a fixed seed; identical for native and
+// in-circuit evaluation.
+const std::vector<Fr>& RoundConstants() {
+  static const std::vector<Fr> constants = [] {
+    std::vector<Fr> out;
+    Rng rng(0x4d694d43);  // "MiMC"
+    for (size_t i = 0; i < kRounds; ++i) {
+      out.push_back(Fr::Random(&rng));
+    }
+    return out;
+  }();
+  return constants;
+}
+
+Fr PermuteNative(Fr x) {
+  for (size_t i = 0; i < kRounds; ++i) {
+    Fr t = x + RoundConstants()[i];
+    Fr t2 = t.Square();
+    x = t2.Square() * t;  // t^5
+  }
+  return x;
+}
+
+LC PermuteGadget(ConstraintSystem* cs, LC x) {
+  for (size_t i = 0; i < kRounds; ++i) {
+    LC t = x + LC::Constant(RoundConstants()[i]);
+    Fr tv = cs->Eval(t);
+    Var t2 = cs->AddWitness(tv.Square());
+    cs->Enforce(t, t, LC(t2));
+    Var t4 = cs->AddWitness(tv.Square().Square());
+    cs->Enforce(LC(t2), LC(t2), LC(t4));
+    Var t5 = cs->AddWitness(tv.Square().Square() * tv);
+    cs->Enforce(LC(t4), t, LC(t5));
+    x = LC(t5);
+  }
+  return x;
+}
+
+Bytes DigestFromFr(const Fr& state) {
+  // Low 248 bits, big-endian.
+  BigUInt v = state.ToBigUInt() % (BigUInt(1) << (8 * kMimcDigestSize));
+  return v.ToBytes(kMimcDigestSize);
+}
+
+}  // namespace
+
+Bytes MimcHashBytes(const Bytes& data) {
+  Bytes padded = data;
+  while (padded.size() % kMimcChunkSize != 0) {
+    padded.push_back(0);
+  }
+  std::vector<Fr> chunks = PackBytesValues(padded, kMimcChunkSize);
+  Fr state = Fr::Zero();
+  for (const Fr& c : chunks) {
+    state = PermuteNative(state + c);
+  }
+  state = PermuteNative(state + Fr::FromU64(data.size()));
+  return DigestFromFr(state);
+}
+
+std::vector<LC> MimcDynamicGadget(ConstraintSystem* cs, const std::vector<LC>& masked_bytes,
+                                  const LC& len) {
+  // Pack masked bytes into 16-byte chunks (free).
+  std::vector<LC> padded = masked_bytes;
+  while (padded.size() % kMimcChunkSize != 0) {
+    padded.push_back(LC());
+  }
+  size_t max_chunks = padded.size() / kMimcChunkSize;
+
+  // nchunks = ceil(len / 16): witness with a 4-bit slack, then an indicator
+  // plus suffix sums give per-chunk "active" flags (same machinery as mask).
+  uint64_t len_val = cs->Eval(len).ToBigUInt().LowU64();
+  uint64_t nchunks_val = (len_val + kMimcChunkSize - 1) / kMimcChunkSize;
+  Var nchunks = cs->AddWitness(Fr::FromU64(nchunks_val));
+  Var slack = cs->AddWitness(Fr::FromU64(nchunks_val * kMimcChunkSize - len_val));
+  ToBits(cs, LC(slack), 4);  // slack in [0, 16)
+  size_t nbits = 1;
+  while ((size_t{1} << nbits) < max_chunks + 1) {
+    ++nbits;
+  }
+  ToBits(cs, LC(nchunks), nbits);
+  cs->EnforceEqual(LC(nchunks) * Fr::FromU64(kMimcChunkSize), len + LC(slack));
+  // slack < 16 alone allows (nchunks, slack) ambiguity only when len % 16 ==
+  // 0, where slack 0/16 collide; 4-bit slack excludes 16, so nchunks is
+  // uniquely ceil(len/16) except len==0 (slack 0, nchunks 0).
+  std::vector<Var> ind = Indicator(cs, LC(nchunks), max_chunks + 1);
+  std::vector<LC> ind_lc;
+  for (Var v : ind) {
+    ind_lc.emplace_back(v);
+  }
+  std::vector<LC> suffix = SuffixSum(ind_lc);  // active_i = suffix[i+1]
+
+  LC state;
+  for (size_t i = 0; i < max_chunks; ++i) {
+    LC chunk;
+    Fr power = Fr::One();
+    for (size_t j = (i + 1) * kMimcChunkSize; j-- > i * kMimcChunkSize;) {
+      chunk = chunk + padded[j] * power;
+      power = power * Fr::FromU64(256);
+    }
+    LC permuted = PermuteGadget(cs, state + chunk);
+    // state' = active ? permuted : state.
+    LC active = suffix[i + 1];
+    LC diff = permuted - state;
+    Fr tv = cs->Eval(active) * cs->Eval(diff);
+    Var t = cs->AddWitness(tv);
+    cs->Enforce(active, diff, LC(t));
+    state = state + LC(t);
+  }
+  state = PermuteGadget(cs, state + len);
+
+  // Digest = low 248 bits of the state, as 31 big-endian bytes.
+  std::vector<Var> bits = ToBits(cs, state, 254);
+  std::vector<LC> digest(kMimcDigestSize);
+  for (size_t byte = 0; byte < kMimcDigestSize; ++byte) {
+    LC acc;
+    Fr power = Fr::One();
+    // digest[0] is the most significant of the 31 bytes.
+    size_t low_bit = 8 * (kMimcDigestSize - 1 - byte);
+    for (size_t b = 0; b < 8; ++b) {
+      acc = acc + LC(bits[low_bit + b]) * power;
+      power = power.Double();
+    }
+    digest[byte] = acc;
+  }
+  return digest;
+}
+
+}  // namespace nope

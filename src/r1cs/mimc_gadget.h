@@ -1,0 +1,37 @@
+// MiMC-style sponge hash over Fr ("toy hash").
+//
+// The demo crypto suite uses this in place of SHA-256 so that the full NOPE
+// pipeline — DNSSEC chain, proof generation, certificate embedding, client
+// verification — runs end-to-end in seconds inside tests and examples. It is
+// a stand-in with the same interface (byte buffer in, 31-byte digest out),
+// not a cryptographically vetted hash; the paper-scale statement uses the
+// real SHA-256 gadget. x^5 is a permutation of Fr since gcd(5, r-1) == 1.
+//
+// The digest depends only on (bytes, length): exactly ceil(len/16) chunks
+// are absorbed, so the same value hashes identically regardless of how much
+// padding a circuit carries.
+#ifndef SRC_R1CS_MIMC_GADGET_H_
+#define SRC_R1CS_MIMC_GADGET_H_
+
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/r1cs/parse_gadgets.h"
+
+namespace nope {
+
+constexpr size_t kMimcDigestSize = 31;
+constexpr size_t kMimcChunkSize = 16;
+
+// Native hash of `data` (31-byte digest).
+Bytes MimcHashBytes(const Bytes& data);
+
+// In-circuit version over masked byte LCs (zero beyond len). Returns the
+// 31 digest bytes. Cost: ~(max_len/16) * 70 constraints + 254 for the
+// digest decomposition.
+std::vector<LC> MimcDynamicGadget(ConstraintSystem* cs, const std::vector<LC>& masked_bytes,
+                                  const LC& len);
+
+}  // namespace nope
+
+#endif  // SRC_R1CS_MIMC_GADGET_H_

@@ -1,0 +1,342 @@
+#include <algorithm>
+#include "src/r1cs/parse_gadgets.h"
+
+#include <stdexcept>
+
+namespace nope {
+
+namespace {
+
+size_t CeilLog2(size_t v) {
+  size_t bits = 0;
+  size_t n = 1;
+  while (n < v) {
+    n <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::vector<Var> ToBits(ConstraintSystem* cs, const LC& value, size_t nbits) {
+  BigUInt v = cs->Eval(value).ToBigUInt();
+  std::vector<Var> bits;
+  bits.reserve(nbits);
+  LC recomposed;
+  Fr power = Fr::One();
+  for (size_t i = 0; i < nbits; ++i) {
+    Var b = cs->AddWitness(v.Bit(i) ? Fr::One() : Fr::Zero());
+    cs->EnforceBoolean(b);
+    recomposed.Add(b, power);
+    power = power.Double();
+    bits.push_back(b);
+  }
+  cs->EnforceEqual(recomposed, value);
+  return bits;
+}
+
+std::vector<Var> AllocateBytes(ConstraintSystem* cs, const Bytes& data) {
+  std::vector<Var> out;
+  out.reserve(data.size());
+  for (uint8_t b : data) {
+    Var v = cs->AddWitness(Fr::FromU64(b));
+    ToBits(cs, LC(v), 8);
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<Var> AllocateBytesUnchecked(ConstraintSystem* cs, const Bytes& data) {
+  std::vector<Var> out;
+  out.reserve(data.size());
+  for (uint8_t b : data) {
+    out.push_back(cs->AddWitness(Fr::FromU64(b)));
+  }
+  return out;
+}
+
+std::vector<LC> PackBytes(const std::vector<Var>& bytes, size_t chunk_size) {
+  if (chunk_size == 0 || chunk_size > 31) {
+    throw std::invalid_argument("chunk_size must be in [1, 31]");
+  }
+  std::vector<LC> out;
+  for (size_t i = 0; i < bytes.size(); i += chunk_size) {
+    LC chunk;
+    Fr coeff = Fr::One();
+    size_t end = std::min(i + chunk_size, bytes.size());
+    // Big-endian: first byte has the highest weight.
+    for (size_t j = end; j-- > i;) {
+      chunk.Add(bytes[j], coeff);
+      coeff = coeff * Fr::FromU64(256);
+    }
+    out.push_back(chunk);
+  }
+  return out;
+}
+
+std::vector<Fr> PackBytesValues(const Bytes& data, size_t chunk_size) {
+  std::vector<Fr> out;
+  for (size_t i = 0; i < data.size(); i += chunk_size) {
+    Fr acc = Fr::Zero();
+    size_t end = std::min(i + chunk_size, data.size());
+    for (size_t j = i; j < end; ++j) {
+      acc = acc * Fr::FromU64(256) + Fr::FromU64(data[j]);
+    }
+    out.push_back(acc);
+  }
+  return out;
+}
+
+Var MapNonZeroToZero(ConstraintSystem* cs, const LC& x) {
+  Fr xv = cs->Eval(x);
+  Var z = cs->AddWitness(xv.IsZero() ? Fr::One() : Fr::Zero());
+  cs->Enforce(x, LC(z), LC());
+  return z;
+}
+
+std::vector<Var> Indicator(ConstraintSystem* cs, const LC& index, size_t len) {
+  std::vector<Var> res;
+  res.reserve(len);
+  LC sum;
+  for (size_t j = 0; j < len; ++j) {
+    Var z = MapNonZeroToZero(cs, LC::Constant(Fr::FromU64(j)) - index);
+    res.push_back(z);
+    sum.Add(z, Fr::One());
+  }
+  cs->EnforceEqual(sum, LC::Constant(Fr::One()));
+  return res;
+}
+
+std::vector<LC> SuffixSum(const std::vector<LC>& arr) {
+  std::vector<LC> res(arr.size());
+  LC sum;
+  for (size_t i = arr.size(); i-- > 0;) {
+    sum = sum + arr[i];
+    res[i] = sum;
+  }
+  return res;
+}
+
+std::vector<LC> SuffixSum(ConstraintSystem* cs, const std::vector<Var>& arr) {
+  std::vector<LC> lcs;
+  lcs.reserve(arr.size());
+  for (Var v : arr) {
+    lcs.emplace_back(v);
+  }
+  (void)cs;
+  return SuffixSum(lcs);
+}
+
+Var IsEqual(ConstraintSystem* cs, const LC& x, const LC& y) {
+  LC d = x - y;
+  Fr dv = cs->Eval(d);
+  Var z = cs->AddWitness(dv.IsZero() ? Fr::One() : Fr::Zero());
+  Var w = cs->AddWitness(dv.IsZero() ? Fr::Zero() : dv.Inverse());
+  cs->Enforce(d, LC(z), LC());
+  cs->Enforce(d, LC(w), LC::Constant(Fr::One()) - LC(z));
+  return z;
+}
+
+Var IsLessOrEqual(ConstraintSystem* cs, const LC& a, const LC& b, size_t bits) {
+  // c = b - a + 2^bits; the top bit of c is 1 iff a <= b.
+  Fr offset = Fr::FromBigUInt(BigUInt(1) << bits);
+  LC c = b - a + LC::Constant(offset);
+  std::vector<Var> cbits = ToBits(cs, c, bits + 1);
+  return cbits[bits];
+}
+
+std::vector<LC> MaskNaive(ConstraintSystem* cs, const std::vector<LC>& arr, const LC& len) {
+  size_t bits = CeilLog2(arr.size() + 1) + 1;
+  std::vector<LC> res;
+  res.reserve(arr.size());
+  for (size_t i = 0; i < arr.size(); ++i) {
+    // keep iff i < len, i.e. i+1 <= len.
+    Var keep = IsLessOrEqual(cs, LC::Constant(Fr::FromU64(i + 1)), len, bits);
+    Fr prod = cs->Eval(arr[i]) * cs->ValueOf(keep);
+    Var out = cs->AddWitness(prod);
+    cs->Enforce(arr[i], LC(keep), LC(out));
+    res.emplace_back(out);
+  }
+  return res;
+}
+
+std::vector<LC> MaskNope(ConstraintSystem* cs, const std::vector<LC>& arr, const LC& len) {
+  // indicator over [0, L] of `len`, suffix-summed shifted by one: keep[i] = 1
+  // iff len > i. The suffix sums are free linear forms (§4.3).
+  std::vector<Var> ind = Indicator(cs, len, arr.size() + 1);
+  std::vector<LC> ind_lc;
+  ind_lc.reserve(ind.size());
+  for (Var v : ind) {
+    ind_lc.emplace_back(v);
+  }
+  std::vector<LC> suffix = SuffixSum(ind_lc);
+  std::vector<LC> res;
+  res.reserve(arr.size());
+  for (size_t i = 0; i < arr.size(); ++i) {
+    LC keep = suffix[i + 1];
+    Fr prod = cs->Eval(arr[i]) * cs->Eval(keep);
+    Var out = cs->AddWitness(prod);
+    cs->Enforce(arr[i], keep, LC(out));
+    res.emplace_back(out);
+  }
+  return res;
+}
+
+std::vector<LC> CondShift(ConstraintSystem* cs, const std::vector<LC>& arr, size_t shift,
+                          Var flag) {
+  size_t n = arr.size();
+  Fr flag_val = cs->ValueOf(flag);
+  std::vector<LC> res;
+  res.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    LC shifted_minus_cur = (i + shift < n ? arr[i + shift] : LC()) - arr[i];
+    Fr tv = flag_val * cs->Eval(shifted_minus_cur);
+    Var t = cs->AddWitness(tv);
+    cs->Enforce(LC(flag), shifted_minus_cur, LC(t));
+    res.push_back(arr[i] + LC(t));
+  }
+  return res;
+}
+
+std::vector<LC> CondShiftRight(ConstraintSystem* cs, const std::vector<LC>& arr, size_t shift,
+                               Var flag) {
+  size_t n = arr.size();
+  Fr flag_val = cs->ValueOf(flag);
+  std::vector<LC> res;
+  res.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    LC shifted_minus_cur = (i >= shift ? arr[i - shift] : LC()) - arr[i];
+    Fr tv = flag_val * cs->Eval(shifted_minus_cur);
+    Var t = cs->AddWitness(tv);
+    cs->Enforce(LC(flag), shifted_minus_cur, LC(t));
+    res.push_back(arr[i] + LC(t));
+  }
+  return res;
+}
+
+std::vector<LC> PlaceAt(ConstraintSystem* cs, const std::vector<LC>& arr, const LC& offset,
+                        size_t out_len) {
+  size_t nbits = CeilLog2(out_len) + 1;
+  std::vector<Var> bits = ToBits(cs, offset, nbits);
+  std::vector<LC> cur = arr;
+  cur.resize(out_len);
+  for (size_t j = 0; j < nbits; ++j) {
+    cur = CondShiftRight(cs, cur, size_t{1} << j, bits[j]);
+  }
+  return cur;
+}
+
+std::vector<LC> SliceNaive(ConstraintSystem* cs, const std::vector<LC>& arr, const LC& start,
+                           size_t out_len) {
+  size_t m = arr.size();
+  std::vector<Var> ind = Indicator(cs, start, m);
+  std::vector<LC> res;
+  res.reserve(out_len);
+  for (size_t j = 0; j < out_len; ++j) {
+    LC acc;
+    for (size_t k = 0; k + j < m; ++k) {
+      Fr pv = cs->ValueOf(ind[k]) * cs->Eval(arr[k + j]);
+      Var p = cs->AddWitness(pv);
+      cs->Enforce(LC(ind[k]), arr[k + j], LC(p));
+      acc = acc + LC(p);
+    }
+    res.push_back(acc);
+  }
+  return res;
+}
+
+std::vector<LC> SliceNope(ConstraintSystem* cs, const std::vector<LC>& arr, const LC& start,
+                          size_t out_len) {
+  size_t m = arr.size();
+  size_t nbits = CeilLog2(m) + 1;
+  std::vector<Var> bits = ToBits(cs, start, nbits);
+  std::vector<LC> cur = arr;
+  for (size_t j = nbits; j-- > 0;) {
+    // After clearing bits above j, the residual shift is < 2^(j+1); entries
+    // past out_len + 2^(j+1) - 1 can never be reached.
+    size_t reach = out_len + (size_t{1} << (j + 1)) - 1;
+    if (cur.size() > reach) {
+      cur.resize(reach);
+    }
+    cur = CondShift(cs, cur, size_t{1} << j, bits[j]);
+  }
+  cur.resize(out_len);
+  return cur;
+}
+
+std::vector<LC> SliceNopePacked(ConstraintSystem* cs, const std::vector<LC>& arr,
+                                const LC& start, size_t out_len) {
+  constexpr size_t kPackLevels = 4;  // pack up to 16 bytes per field element
+  if (out_len % (size_t{1} << kPackLevels) != 0) {
+    throw std::invalid_argument("packed slice output must be a multiple of 16");
+  }
+  size_t m = arr.size();
+  size_t nbits = CeilLog2(m) + 1;
+  std::vector<Var> bits = ToBits(cs, start, nbits);
+
+  std::vector<LC> cur = arr;
+  size_t bytes_per_elem = 1;
+  for (size_t j = 0; j < nbits; ++j) {
+    // Shift by one element at the current packing granularity (== 2^j bytes).
+    cur = CondShift(cs, cur, 1, bits[j]);
+    if (j < kPackLevels) {
+      // Merge adjacent elements: elem[k] = elem[2k] * 2^(8*bpe) + elem[2k+1]
+      // (big-endian packing). Pure linear form, zero constraints.
+      Fr weight = Fr::FromBigUInt(BigUInt(1) << (8 * bytes_per_elem));
+      std::vector<LC> merged;
+      merged.reserve((cur.size() + 1) / 2);
+      for (size_t k = 0; k + 1 < cur.size(); k += 2) {
+        merged.push_back(cur[k] * weight + cur[k + 1]);
+      }
+      if (cur.size() % 2 == 1) {
+        merged.push_back(cur.back() * weight);
+      }
+      cur = std::move(merged);
+      bytes_per_elem *= 2;
+    }
+  }
+  cur.resize(out_len / bytes_per_elem);
+  return cur;
+}
+
+ScanResult ScanRecords(ConstraintSystem* cs, const std::vector<LC>& msg, const LC& start,
+                       const LC& header_len) {
+  size_t m = msg.size();
+  std::vector<Var> loc = Indicator(cs, start, m);
+
+  LC counter = header_len;
+  Fr counter_val = cs->Eval(header_len);
+  LC len_acc;
+
+  for (size_t i = 0; i < m; ++i) {
+    Fr msg_val = cs->Eval(msg[i]);
+    // z == 0 whenever counter != 0; at record starts the honest prover sets 1.
+    Var z = cs->AddWitness(counter_val.IsZero() ? Fr::One() : Fr::Zero());
+    cs->EnforceBoolean(z);
+    cs->Enforce(counter, LC(z), LC());
+    // start must be the start of a record.
+    cs->Enforce(counter, LC(loc[i]), LC());
+    // len += msg[i] * loc[i].
+    Fr pv = msg_val * cs->ValueOf(loc[i]);
+    Var p = cs->AddWitness(pv);
+    cs->Enforce(msg[i], LC(loc[i]), LC(p));
+    len_acc = len_acc + LC(p);
+    // counter' = counter + z*(msg[i] - counter) - 1.
+    Fr tv = cs->ValueOf(z) * (msg_val - counter_val);
+    Var t = cs->AddWitness(tv);
+    cs->Enforce(LC(z), msg[i] - counter, LC(t));
+    counter = counter + LC(t) - LC::Constant(Fr::One());
+    counter_val = counter_val + tv - Fr::One();
+  }
+
+  ScanResult out;
+  out.length = len_acc;
+  out.at_start = std::move(loc);
+  return out;
+}
+
+size_t MaskNaiveCostFormula(size_t len) { return len * (2 + CeilLog2(len)); }
+size_t MaskNopeCostFormula(size_t len) { return 2 * len + 1; }
+
+}  // namespace nope

@@ -1,0 +1,113 @@
+// String/parsing primitives in R1CS (paper §4.2-§4.3 and Appendix B).
+//
+// Each primitive exists in a "naive" (pre-NOPE best known technique) and a
+// "NOPE" form so the Figure 6 ablation can toggle them:
+//   mask:  naive L*(2+ceil(lg L))  vs  NOPE 2L+1
+//   slice: naive M*L (scan technique) vs NOPE ~M lg M worst case, ~O(M) for
+//          small L, built from condshift; plus a packed variant
+//   scan:  linear pass over a length-prefixed record stream validating a
+//          prover-supplied field start (no prior primitive exists)
+//
+// Arrays are vectors of LCs; callers that need hard range guarantees on array
+// contents range-check them at allocation (AllocateBytes).
+#ifndef SRC_R1CS_PARSE_GADGETS_H_
+#define SRC_R1CS_PARSE_GADGETS_H_
+
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/r1cs/constraint_system.h"
+
+namespace nope {
+
+// --- Allocation / bit helpers ----------------------------------------------
+
+// Allocates witness booleans b_0..b_{n-1} with value == sum b_i 2^i; enforces
+// booleanity and the recomposition. Cost: nbits + 1.
+std::vector<Var> ToBits(ConstraintSystem* cs, const LC& value, size_t nbits);
+
+// Allocates one witness byte per input byte and range-checks it to 8 bits.
+// Cost: 9 per byte.
+std::vector<Var> AllocateBytes(ConstraintSystem* cs, const Bytes& data);
+
+// Allocates without range checks (for arrays whose bytes are later
+// constrained through packing equalities against checked data).
+std::vector<Var> AllocateBytesUnchecked(ConstraintSystem* cs, const Bytes& data);
+
+// Packs bytes big-endian into field elements of chunk_size bytes each
+// (chunk_size <= 31). Zero constraints: the packing is a linear form.
+std::vector<LC> PackBytes(const std::vector<Var>& bytes, size_t chunk_size);
+std::vector<Fr> PackBytesValues(const Bytes& data, size_t chunk_size);
+
+// z with constraint x*z == 0 (paper's mapNonZeroToZero). The witness value is
+// 1 when x == 0 so that indicator() works; soundness does not rely on this.
+Var MapNonZeroToZero(ConstraintSystem* cs, const LC& x);
+
+// res[j] == (j == i) for j in [0, len); enforces exactly one 1. Cost: len+1.
+std::vector<Var> Indicator(ConstraintSystem* cs, const LC& index, size_t len);
+
+// Suffix sums as linear forms: res[i] = sum_{j >= i} arr[j]. Zero constraints.
+std::vector<LC> SuffixSum(const std::vector<LC>& arr);
+std::vector<LC> SuffixSum(ConstraintSystem* cs, const std::vector<Var>& arr);
+
+// Boolean equality/comparison helpers.
+// b == 1 iff Eval(x) == Eval(y). Cost: 3.
+Var IsEqual(ConstraintSystem* cs, const LC& x, const LC& y);
+// b == 1 iff a <= b_value, both known to fit in `bits` bits. Cost: bits+3.
+Var IsLessOrEqual(ConstraintSystem* cs, const LC& a, const LC& b, size_t bits);
+
+// --- mask -------------------------------------------------------------------
+
+// Returns arr with entries at index >= len zeroed.
+// Naive per-element comparison form: ~L*(3+ceil(lg L)) constraints.
+std::vector<LC> MaskNaive(ConstraintSystem* cs, const std::vector<LC>& arr, const LC& len);
+// NOPE form (indicator + suffix sums + products): 2L+1 constraints.
+std::vector<LC> MaskNope(ConstraintSystem* cs, const std::vector<LC>& arr, const LC& len);
+
+// --- condshift / slice ------------------------------------------------------
+
+// res[i] = flag ? arr[i+shift] : arr[i] (flag boolean). Cost: len(arr).
+std::vector<LC> CondShift(ConstraintSystem* cs, const std::vector<LC>& arr, size_t shift,
+                          Var flag);
+// res[i] = flag ? arr[i-shift] : arr[i] (zeros shift in). Cost: len(arr).
+std::vector<LC> CondShiftRight(ConstraintSystem* cs, const std::vector<LC>& arr, size_t shift,
+                               Var flag);
+// Places `arr` at dynamic offset into a zero buffer of length out_len:
+// res[offset + k] = arr[k]. Built from a CondShiftRight chain (~out_len lg).
+std::vector<LC> PlaceAt(ConstraintSystem* cs, const std::vector<LC>& arr, const LC& offset,
+                        size_t out_len);
+
+// Extracts out_len entries of arr starting at dynamic index `start`.
+// Naive (scan/inner-product technique): M*L constraints.
+std::vector<LC> SliceNaive(ConstraintSystem* cs, const std::vector<LC>& arr, const LC& start,
+                           size_t out_len);
+// NOPE condshift chain: <= M lg M + lg M + 2, effectively O(M) for small L.
+std::vector<LC> SliceNope(ConstraintSystem* cs, const std::vector<LC>& arr, const LC& start,
+                          size_t out_len);
+// NOPE packed variant (Appendix B.1): ~2M constraints; output is packed pairs.
+std::vector<LC> SliceNopePacked(ConstraintSystem* cs, const std::vector<LC>& arr,
+                                const LC& start, size_t out_len);
+
+// --- scan -------------------------------------------------------------------
+
+// Record stream layout handled by ScanRecords (the toy RRset of Appendix B.2,
+// which also matches the simplified record framing used by our canonical
+// DNSSEC buffers): a `header_len`-byte header, then records of the form
+//   [1-byte total record length, including this byte][1-byte type][data...].
+// Validates that `start` (witness) is the start of some record and returns
+// the record's length entry as an LC. Cost: ~6 per byte.
+struct ScanResult {
+  LC length;                 // length field of the record at `start`
+  std::vector<Var> at_start; // indicator array over msg positions
+};
+ScanResult ScanRecords(ConstraintSystem* cs, const std::vector<LC>& msg, const LC& start,
+                       const LC& header_len);
+
+// Gadget cost formulas from the paper, used by tests/benches to compare
+// measured counts with the published complexity.
+size_t MaskNaiveCostFormula(size_t len);
+size_t MaskNopeCostFormula(size_t len);
+
+}  // namespace nope
+
+#endif  // SRC_R1CS_PARSE_GADGETS_H_

@@ -1,0 +1,48 @@
+#include <algorithm>
+#include "src/r1cs/rsa_gadget.h"
+
+#include <stdexcept>
+
+#include "src/sig/rsa.h"
+
+namespace nope {
+
+void EnforceRsaVerify(ModularGadget* gadget, const ModularGadget::Num& sig,
+                      const ModularGadget::Num& em, RsaTechnique technique) {
+  // 65537 = 2^16 + 1.
+  ModularGadget::Num acc = sig;
+  for (int i = 0; i < 16; ++i) {
+    acc = technique == RsaTechnique::kNope ? gadget->MulMod(acc, acc)
+                                           : gadget->NaiveMulMod(acc, acc);
+  }
+  if (technique == RsaTechnique::kNope) {
+    // Final multiply-and-compare folded into one congruence.
+    gadget->EnforceBilinearZero({{acc, sig}}, {}, {em});
+  } else {
+    ModularGadget::Num result = gadget->NaiveMulMod(acc, sig);
+    gadget->EnforceEqualCanonical(result, gadget->Normalize(em));
+  }
+}
+
+ModularGadget::Num BuildPkcs1Em(ModularGadget* gadget, const std::vector<LC>& digest_bytes) {
+  if (digest_bytes.size() != 32) {
+    throw std::invalid_argument("expected a 32-byte digest");
+  }
+  size_t em_len = (gadget->modulus().BitLength() + 7) / 8;
+  // Template with a zero digest gives the constant bytes; the digest is then
+  // spliced in as linear terms.
+  Bytes zero_digest(32, 0);
+  Bytes tmpl = Pkcs1V15EncodeSha256(zero_digest, em_len);
+  std::vector<LC> em_bytes;
+  em_bytes.reserve(em_len);
+  for (size_t i = 0; i < em_len; ++i) {
+    if (i + 32 >= em_len) {
+      em_bytes.push_back(digest_bytes[i + 32 - em_len]);
+    } else {
+      em_bytes.push_back(LC::Constant(Fr::FromU64(tmpl[i])));
+    }
+  }
+  return gadget->FromBytesBe(em_bytes);
+}
+
+}  // namespace nope

@@ -1,0 +1,26 @@
+// In-circuit RSASSA-PKCS1-v1_5 verification (e = 65537): sixteen modular
+// squarings and one multiplication, compared against the padded digest.
+// DNSSEC's root ZSK is RSA, so this sits at the top of every NOPE chain.
+#ifndef SRC_R1CS_RSA_GADGET_H_
+#define SRC_R1CS_RSA_GADGET_H_
+
+#include "src/r1cs/bignum_gadget.h"
+
+namespace nope {
+
+enum class RsaTechnique { kNaive, kNope };
+
+// Enforces sig^65537 == em (mod n), where `gadget` is a ModularGadget over
+// the RSA modulus n, `sig` the witnessed signature, and `em` the expected
+// EMSA-PKCS1-v1_5 encoded message (built by the caller from the in-circuit
+// digest bytes plus constant padding).
+void EnforceRsaVerify(ModularGadget* gadget, const ModularGadget::Num& sig,
+                      const ModularGadget::Num& em, RsaTechnique technique);
+
+// Builds the PKCS#1 v1.5 encoded message as a Num: constant padding and
+// DigestInfo, with the 32 digest bytes spliced in. Free (linear).
+ModularGadget::Num BuildPkcs1Em(ModularGadget* gadget, const std::vector<LC>& digest_bytes);
+
+}  // namespace nope
+
+#endif  // SRC_R1CS_RSA_GADGET_H_

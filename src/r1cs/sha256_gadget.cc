@@ -1,0 +1,336 @@
+#include <algorithm>
+#include "src/r1cs/sha256_gadget.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace nope {
+
+namespace {
+
+constexpr uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2};
+
+constexpr uint32_t kInit[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                               0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+// A 32-bit word as big-endian-agnostic little-endian bit LCs (bit 0 = LSB).
+struct W32 {
+  std::array<LC, 32> bits;
+};
+
+W32 ConstantW32(uint32_t v) {
+  W32 w;
+  for (int i = 0; i < 32; ++i) {
+    w.bits[i] = (v >> i) & 1 ? LC::Constant(Fr::One()) : LC();
+  }
+  return w;
+}
+
+LC PackW32(const W32& w) {
+  LC out;
+  Fr power = Fr::One();
+  for (int i = 0; i < 32; ++i) {
+    out = out + w.bits[i] * power;
+    power = power.Double();
+  }
+  return out;
+}
+
+// XOR of two bit LCs: x + y - 2xy. One constraint.
+LC XorBit(ConstraintSystem* cs, const LC& x, const LC& y) {
+  Fr pv = cs->Eval(x) * cs->Eval(y);
+  Var p = cs->AddWitness(pv);
+  cs->Enforce(x, y, LC(p));
+  return x + y - LC(p) * Fr::FromU64(2);
+}
+
+W32 Xor(ConstraintSystem* cs, const W32& a, const W32& b) {
+  W32 out;
+  for (int i = 0; i < 32; ++i) {
+    out.bits[i] = XorBit(cs, a.bits[i], b.bits[i]);
+  }
+  return out;
+}
+
+W32 Rotr(const W32& a, int n) {
+  W32 out;
+  for (int i = 0; i < 32; ++i) {
+    out.bits[i] = a.bits[(i + n) % 32];
+  }
+  return out;
+}
+
+W32 Shr(const W32& a, int n) {
+  W32 out;
+  for (int i = 0; i < 32; ++i) {
+    out.bits[i] = i + n < 32 ? a.bits[i + n] : LC();
+  }
+  return out;
+}
+
+// Sum of word values, reduced mod 2^32 by dropping decomposed carry bits.
+// total_addends bounds the number of 2^32-bounded terms across all packed
+// inputs (packed LCs may themselves be unreduced multi-word sums).
+W32 AddWords(ConstraintSystem* cs, const std::vector<LC>& packed_words, size_t total_addends) {
+  LC sum;
+  for (const LC& w : packed_words) {
+    sum = sum + w;
+  }
+  size_t extra = 0;
+  while ((size_t{1} << extra) < total_addends) {
+    ++extra;
+  }
+  std::vector<Var> bits = ToBits(cs, sum, 32 + extra);
+  W32 out;
+  for (int i = 0; i < 32; ++i) {
+    out.bits[i] = LC(bits[i]);
+  }
+  return out;
+}
+
+// Ch(e, f, g) = e ? f : g, bitwise: e*(f-g) + g. One constraint per bit.
+W32 Choose(ConstraintSystem* cs, const W32& e, const W32& f, const W32& g) {
+  W32 out;
+  for (int i = 0; i < 32; ++i) {
+    LC diff = f.bits[i] - g.bits[i];
+    Fr pv = cs->Eval(e.bits[i]) * cs->Eval(diff);
+    Var p = cs->AddWitness(pv);
+    cs->Enforce(e.bits[i], diff, LC(p));
+    out.bits[i] = LC(p) + g.bits[i];
+  }
+  return out;
+}
+
+// Maj(a, b, c) = ab + ac + bc - 2abc: two constraints per bit.
+W32 Majority(ConstraintSystem* cs, const W32& a, const W32& b, const W32& c) {
+  W32 out;
+  for (int i = 0; i < 32; ++i) {
+    Fr bc = cs->Eval(b.bits[i]) * cs->Eval(c.bits[i]);
+    Var t = cs->AddWitness(bc);
+    cs->Enforce(b.bits[i], c.bits[i], LC(t));
+    LC inner = b.bits[i] + c.bits[i] - LC(t) * Fr::FromU64(2);
+    Fr mv = cs->Eval(a.bits[i]) * cs->Eval(inner);
+    Var m = cs->AddWitness(mv);
+    cs->Enforce(a.bits[i], inner, LC(m));
+    out.bits[i] = LC(m) + LC(t);
+  }
+  return out;
+}
+
+std::array<W32, 8> CompressGadget(ConstraintSystem* cs, const std::array<W32, 8>& state,
+                                  const std::array<W32, 16>& block) {
+  std::array<W32, 64> w;
+  for (int i = 0; i < 16; ++i) {
+    w[i] = block[i];
+  }
+  for (int i = 16; i < 64; ++i) {
+    W32 s0 = Xor(cs, Xor(cs, Rotr(w[i - 15], 7), Rotr(w[i - 15], 18)), Shr(w[i - 15], 3));
+    W32 s1 = Xor(cs, Xor(cs, Rotr(w[i - 2], 17), Rotr(w[i - 2], 19)), Shr(w[i - 2], 10));
+    w[i] = AddWords(cs, {PackW32(w[i - 16]), PackW32(s0), PackW32(w[i - 7]), PackW32(s1)}, 4);
+  }
+
+  W32 a = state[0], b = state[1], c = state[2], d = state[3];
+  W32 e = state[4], f = state[5], g = state[6], h = state[7];
+  for (int i = 0; i < 64; ++i) {
+    W32 s1 = Xor(cs, Xor(cs, Rotr(e, 6), Rotr(e, 11)), Rotr(e, 25));
+    W32 ch = Choose(cs, e, f, g);
+    LC temp1 = PackW32(h) + PackW32(s1) + PackW32(ch) + LC::Constant(Fr::FromU64(kK[i])) +
+               PackW32(w[i]);
+    W32 s0 = Xor(cs, Xor(cs, Rotr(a, 2), Rotr(a, 13)), Rotr(a, 22));
+    W32 maj = Majority(cs, a, b, c);
+    LC temp2 = PackW32(s0) + PackW32(maj);
+    h = g;
+    g = f;
+    f = e;
+    // temp1 is a sum of 5 words and temp2 of 2, so bound the carry widths
+    // accordingly.
+    e = AddWords(cs, {PackW32(d), temp1}, 6);
+    d = c;
+    c = b;
+    b = a;
+    a = AddWords(cs, {temp1, temp2}, 7);
+  }
+
+  std::array<W32, 8> out;
+  const W32* in[8] = {&a, &b, &c, &d, &e, &f, &g, &h};
+  for (int i = 0; i < 8; ++i) {
+    out[i] = AddWords(cs, {PackW32(state[i]), PackW32(*in[i])}, 2);
+  }
+  return out;
+}
+
+// Converts 4 big-endian byte LCs into a word's bit LCs (costs 32+...: one
+// decomposition of the packed value).
+W32 WordFromBytes(ConstraintSystem* cs, const LC& b0, const LC& b1, const LC& b2, const LC& b3) {
+  LC packed = b0 * Fr::FromU64(1 << 24) + b1 * Fr::FromU64(1 << 16) + b2 * Fr::FromU64(1 << 8) +
+              b3;
+  std::vector<Var> bits = ToBits(cs, packed, 32);
+  W32 out;
+  for (int i = 0; i < 32; ++i) {
+    out.bits[i] = LC(bits[i]);
+  }
+  return out;
+}
+
+std::vector<LC> DigestBytes(const std::array<W32, 8>& state) {
+  std::vector<LC> out;
+  out.reserve(32);
+  for (int wi = 0; wi < 8; ++wi) {
+    for (int byte = 3; byte >= 0; --byte) {
+      LC acc;
+      Fr power = Fr::One();
+      for (int bit = 0; bit < 8; ++bit) {
+        acc = acc + state[wi].bits[8 * byte + bit] * power;
+        power = power.Double();
+      }
+      out.push_back(acc);
+    }
+  }
+  return out;
+}
+
+std::array<W32, 8> InitialState() {
+  std::array<W32, 8> st;
+  for (int i = 0; i < 8; ++i) {
+    st[i] = ConstantW32(kInit[i]);
+  }
+  return st;
+}
+
+}  // namespace
+
+std::vector<LC> Sha256FixedGadget(ConstraintSystem* cs, const std::vector<LC>& msg_bytes) {
+  // Classic padding, all positions known at build time.
+  size_t len = msg_bytes.size();
+  size_t total = ((len + 8) / 64 + 1) * 64;
+  std::vector<LC> padded = msg_bytes;
+  padded.resize(total);
+  padded[len] = LC::Constant(Fr::FromU64(0x80));
+  uint64_t bit_len = static_cast<uint64_t>(len) * 8;
+  for (int i = 0; i < 8; ++i) {
+    padded[total - 8 + i] = LC::Constant(Fr::FromU64((bit_len >> (56 - 8 * i)) & 0xff));
+  }
+
+  std::array<W32, 8> state = InitialState();
+  for (size_t block = 0; block < total / 64; ++block) {
+    std::array<W32, 16> words;
+    for (int i = 0; i < 16; ++i) {
+      size_t base = block * 64 + 4 * i;
+      words[i] = WordFromBytes(cs, padded[base], padded[base + 1], padded[base + 2],
+                               padded[base + 3]);
+    }
+    state = CompressGadget(cs, state, words);
+  }
+  return DigestBytes(state);
+}
+
+std::vector<LC> Sha256DynamicGadget(ConstraintSystem* cs, const std::vector<LC>& masked_bytes,
+                                    const LC& len) {
+  size_t max_len = masked_bytes.size();
+  size_t max_blocks = (max_len + 8) / 64 + 1;
+  size_t total = max_blocks * 64;
+
+  // Padding skeleton: 0x80 at position len (indicator), zeros elsewhere, and
+  // the 64-bit message bit length at the tail of the selected final block.
+  std::vector<LC> padded = masked_bytes;
+  padded.resize(total);
+
+  std::vector<Var> end_marker = Indicator(cs, len, max_len + 1);
+  for (size_t i = 0; i <= max_len && i < total; ++i) {
+    padded[i] = padded[i] + LC(end_marker[i]) * Fr::FromU64(0x80);
+  }
+
+  // nblocks - 1 = (len + 8) / 64, witnessed with its remainder.
+  BigUInt len_val = cs->Eval(len).ToBigUInt();
+  uint64_t len_u = len_val.LowU64();
+  if (len_u > max_len) {
+    throw std::invalid_argument("len exceeds buffer");
+  }
+  uint64_t nb_minus1 = (len_u + 8) / 64;
+  Var nb_var = cs->AddWitness(Fr::FromU64(nb_minus1));
+  {
+    uint64_t rem = (len_u + 8) % 64;
+    Var rem_var = cs->AddWitness(Fr::FromU64(rem));
+    ToBits(cs, LC(rem_var), 6);
+    size_t nb_bits = 1;
+    while ((size_t{1} << nb_bits) < max_blocks + 1) {
+      ++nb_bits;
+    }
+    ToBits(cs, LC(nb_var), nb_bits);
+    cs->EnforceEqual(len + LC::Constant(Fr::FromU64(8)),
+                     LC(nb_var) * Fr::FromU64(64) + LC(rem_var));
+  }
+  std::vector<Var> block_sel = Indicator(cs, LC(nb_var), max_blocks);
+
+  // Bit length bytes: len*8 fits in 3 bytes for max_len < 2^21.
+  std::vector<Var> len_bytes;  // big-endian, 3 bytes
+  {
+    uint64_t bits_total = len_u * 8;
+    for (int i = 2; i >= 0; --i) {
+      len_bytes.push_back(cs->AddWitness(Fr::FromU64((bits_total >> (8 * i)) & 0xff)));
+    }
+    LC recompose = LC(len_bytes[0]) * Fr::FromU64(1 << 16) + LC(len_bytes[1]) * Fr::FromU64(1 << 8) +
+                   LC(len_bytes[2]);
+    for (Var b : len_bytes) {
+      ToBits(cs, LC(b), 8);
+    }
+    cs->EnforceEqual(recompose, len * Fr::FromU64(8));
+  }
+  for (size_t k = 0; k < max_blocks; ++k) {
+    size_t tail = (k + 1) * 64 - 3;
+    for (int j = 0; j < 3; ++j) {
+      Fr pv = cs->ValueOf(block_sel[k]) * cs->ValueOf(len_bytes[j]);
+      Var p = cs->AddWitness(pv);
+      cs->Enforce(LC(block_sel[k]), LC(len_bytes[j]), LC(p));
+      padded[tail + j] = padded[tail + j] + LC(p);
+    }
+  }
+
+  // Compress every block, remembering each intermediate state.
+  std::array<W32, 8> state = InitialState();
+  std::vector<std::array<LC, 8>> packed_states;  // after block k, packed words
+  for (size_t block = 0; block < max_blocks; ++block) {
+    std::array<W32, 16> words;
+    for (int i = 0; i < 16; ++i) {
+      size_t base = block * 64 + 4 * i;
+      words[i] =
+          WordFromBytes(cs, padded[base], padded[base + 1], padded[base + 2], padded[base + 3]);
+    }
+    state = CompressGadget(cs, state, words);
+    std::array<LC, 8> packed;
+    for (int i = 0; i < 8; ++i) {
+      packed[i] = PackW32(state[i]);
+    }
+    packed_states.push_back(packed);
+  }
+
+  // Select the state after the final block: word = sum_k sel[k] *
+  // state_k[word].
+  std::array<W32, 8> final_state;
+  for (int wi = 0; wi < 8; ++wi) {
+    LC selected;
+    for (size_t k = 0; k < max_blocks; ++k) {
+      Fr pv = cs->ValueOf(block_sel[k]) * cs->Eval(packed_states[k][wi]);
+      Var p = cs->AddWitness(pv);
+      cs->Enforce(LC(block_sel[k]), packed_states[k][wi], LC(p));
+      selected = selected + LC(p);
+    }
+    std::vector<Var> bits = ToBits(cs, selected, 32);
+    for (int b = 0; b < 32; ++b) {
+      final_state[wi].bits[b] = LC(bits[b]);
+    }
+  }
+  return DigestBytes(final_state);
+}
+
+}  // namespace nope

@@ -1,0 +1,28 @@
+// SHA-256 in R1CS, with dynamic message length.
+//
+// DNSSEC RRSIGs sign SHA-256 digests of canonical buffers whose length is a
+// witness, so the gadget hashes a maximum-length buffer and uses the paper's
+// mask/indicator machinery (§4) to place padding and select the digest after
+// the correct block. The caller must pass a buffer already masked beyond
+// `len` (MaskNope), or use the convenience wrapper that does so.
+#ifndef SRC_R1CS_SHA256_GADGET_H_
+#define SRC_R1CS_SHA256_GADGET_H_
+
+#include <vector>
+
+#include "src/r1cs/parse_gadgets.h"
+
+namespace nope {
+
+// Fixed-length hash: message length known at circuit-build time.
+// Returns 32 digest bytes as LCs. Cost: ~29k constraints per 64-byte block.
+std::vector<LC> Sha256FixedGadget(ConstraintSystem* cs, const std::vector<LC>& msg_bytes);
+
+// Dynamic-length hash of the first `len` bytes of msg_bytes (len witness,
+// len <= msg_bytes.size()). msg_bytes must be zero beyond len.
+std::vector<LC> Sha256DynamicGadget(ConstraintSystem* cs, const std::vector<LC>& masked_bytes,
+                                    const LC& len);
+
+}  // namespace nope
+
+#endif  // SRC_R1CS_SHA256_GADGET_H_

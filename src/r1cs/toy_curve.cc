@@ -1,0 +1,182 @@
+#include "src/r1cs/toy_curve.h"
+
+#include "src/sig/ecdsa.h"
+
+#include <stdexcept>
+
+namespace nope {
+
+namespace {
+
+uint64_t PowModU64(uint64_t base, uint64_t exp, uint64_t mod) {
+  unsigned __int128 result = 1;
+  unsigned __int128 b = base % mod;
+  while (exp > 0) {
+    if (exp & 1) {
+      result = result * b % mod;
+    }
+    b = b * b % mod;
+    exp >>= 1;
+  }
+  return static_cast<uint64_t>(result);
+}
+
+// Legendre symbol via Euler's criterion; returns -1, 0, or 1.
+int Legendre(uint64_t a, uint64_t p) {
+  if (a % p == 0) {
+    return 0;
+  }
+  uint64_t r = PowModU64(a, (p - 1) / 2, p);
+  return r == 1 ? 1 : -1;
+}
+
+}  // namespace
+
+CurveSpec FindToyCurve(uint64_t seed, size_t bits) {
+  if (bits < 10 || bits > 28) {
+    throw std::invalid_argument("toy curve bits must be in [10, 28]");
+  }
+  Rng rng(seed);
+
+  // Prime p == 3 (mod 4) near 2^bits.
+  uint64_t p = (uint64_t{1} << bits) + 3 + 4 * rng.NextBelow(1 << (bits - 4));
+  while (p % 4 != 3 || !IsProbablePrimeU64(p)) {
+    p += p % 4 == 3 ? 4 : 1;
+    while (p % 4 != 3) {
+      ++p;
+    }
+  }
+
+  uint64_t a = p - 3;
+  for (uint64_t b = 1 + rng.NextBelow(p - 1);; b = 1 + rng.NextBelow(p - 1)) {
+    // Discriminant non-zero: 4a^3 + 27b^2 != 0.
+    unsigned __int128 disc = (unsigned __int128)4 * a % p * a % p * a % p;
+    disc = (disc + (unsigned __int128)27 * b % p * b % p) % p;
+    if (disc == 0) {
+      continue;
+    }
+    // Point count: p + 1 + sum_x chi(x^3 + ax + b).
+    int64_t sum = 0;
+    for (uint64_t x = 0; x < p; ++x) {
+      unsigned __int128 rhs = (unsigned __int128)x * x % p * x % p;
+      rhs = (rhs + (unsigned __int128)a * x + b) % p;
+      sum += Legendre(static_cast<uint64_t>(rhs), p);
+    }
+    uint64_t order = p + 1 + sum;
+    if (!IsProbablePrimeU64(order)) {
+      continue;
+    }
+    // Generator: first x with a square rhs; prime order makes any point work.
+    for (uint64_t x = 0;; ++x) {
+      unsigned __int128 rhs128 = (unsigned __int128)x * x % p * x % p;
+      rhs128 = (rhs128 + (unsigned __int128)a * x + b) % p;
+      uint64_t rhs = static_cast<uint64_t>(rhs128);
+      if (Legendre(rhs, p) != 1) {
+        continue;
+      }
+      uint64_t y = PowModU64(rhs, (p + 1) / 4, p);
+      CurveSpec spec;
+      spec.p = BigUInt(p);
+      spec.a = BigUInt(a);
+      spec.b = BigUInt(b);
+      spec.n = BigUInt(order);
+      spec.gx = BigUInt(x);
+      spec.gy = BigUInt(y);
+      spec.limb_bits = 32;
+      return spec;
+    }
+  }
+}
+
+bool IsProbablePrimeU64(uint64_t n) {
+  if (n < 2) {
+    return false;
+  }
+  for (uint64_t d : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull}) {
+    if (n == d) {
+      return true;
+    }
+    if (n % d == 0) {
+      return false;
+    }
+  }
+  uint64_t d = n - 1;
+  int s = 0;
+  while (d % 2 == 0) {
+    d /= 2;
+    ++s;
+  }
+  // Deterministic Miller-Rabin bases for 64-bit integers.
+  for (uint64_t base : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull,
+                        37ull}) {
+    if (base % n == 0) {
+      continue;
+    }
+    uint64_t x = PowModU64(base, d, n);
+    if (x == 1 || x == n - 1) {
+      continue;
+    }
+    bool composite = true;
+    for (int i = 0; i < s - 1; ++i) {
+      x = static_cast<uint64_t>((unsigned __int128)x * x % n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ToyEcdsaSignature ToyEcdsaSign(const CurveSpec& spec, const BigUInt& private_key,
+                               const Bytes& digest, Rng* rng) {
+  NativeCurve curve(spec);
+  BigUInt z = BigUInt::FromBytes(digest) % spec.n;
+  while (true) {
+    BigUInt k = BigUInt::RandomBelow(rng, spec.n - BigUInt(1)) + BigUInt(1);
+    NativeCurve::Pt rp = curve.ScalarMul(k, curve.Generator());
+    if (rp.infinity) {
+      continue;
+    }
+    BigUInt r = rp.x % spec.n;
+    if (r.IsZero()) {
+      continue;
+    }
+    BigUInt s = k.InvMod(spec.n).MulMod(z + r.MulMod(private_key, spec.n), spec.n);
+    if (s.IsZero()) {
+      continue;
+    }
+    return {r, s};
+  }
+}
+
+bool ToyEcdsaVerify(const CurveSpec& spec, const NativeCurve::Pt& public_key,
+                    const Bytes& digest, const ToyEcdsaSignature& sig) {
+  // Fast path: P-256 goes through the Montgomery-field implementation
+  // (~100x quicker than the generic BigUInt affine arithmetic below).
+  static const BigUInt p256_prime = CurveSpec::P256().p;
+  if (spec.p == p256_prime && !public_key.infinity) {
+    EcdsaPublicKey pub{P256Point::FromAffine(P256Fq::FromBigUInt(public_key.x),
+                                             P256Fq::FromBigUInt(public_key.y))};
+    return EcdsaVerifyDigest(pub, digest, EcdsaSignature{sig.r, sig.s});
+  }
+  NativeCurve curve(spec);
+  if (sig.r.IsZero() || sig.s.IsZero() || sig.r >= spec.n || sig.s >= spec.n) {
+    return false;
+  }
+  BigUInt z = BigUInt::FromBytes(digest) % spec.n;
+  BigUInt s_inv = sig.s.InvMod(spec.n);
+  BigUInt h0 = z.MulMod(s_inv, spec.n);
+  BigUInt h1 = sig.r.MulMod(s_inv, spec.n);
+  NativeCurve::Pt rp = curve.Add(curve.ScalarMul(h0, curve.Generator()),
+                                 curve.ScalarMul(h1, public_key));
+  if (rp.infinity) {
+    return false;
+  }
+  return rp.x % spec.n == sig.r;
+}
+
+}  // namespace nope

@@ -1,0 +1,33 @@
+// Small prime-order short-Weierstrass curves for fast end-to-end proving.
+//
+// The EC/ECDSA gadgets are generic over CurveSpec; unit tests and the demo
+// crypto suite instantiate them over a ~2^20 curve found by exhaustive point
+// counting, so a whole ECDSA verification proves in seconds while the exact
+// same gadget code is counted at P-256 scale for the paper's Figure 6.
+#ifndef SRC_R1CS_TOY_CURVE_H_
+#define SRC_R1CS_TOY_CURVE_H_
+
+#include "src/r1cs/ec_gadget.h"
+
+namespace nope {
+
+// Deterministically finds a curve y^2 = x^3 - 3x + b over a prime p near
+// 2^bits (p == 3 mod 4) whose point count is prime. bits must be <= 28.
+CurveSpec FindToyCurve(uint64_t seed, size_t bits = 20);
+
+// Deterministic Miller-Rabin for 64-bit integers.
+bool IsProbablePrimeU64(uint64_t n);
+
+// Generic ECDSA over any CurveSpec with an externally supplied digest.
+struct ToyEcdsaSignature {
+  BigUInt r;
+  BigUInt s;
+};
+ToyEcdsaSignature ToyEcdsaSign(const CurveSpec& spec, const BigUInt& private_key,
+                               const Bytes& digest, Rng* rng);
+bool ToyEcdsaVerify(const CurveSpec& spec, const NativeCurve::Pt& public_key,
+                    const Bytes& digest, const ToyEcdsaSignature& sig);
+
+}  // namespace nope
+
+#endif  // SRC_R1CS_TOY_CURVE_H_

@@ -1,0 +1,217 @@
+#include "src/sig/ecdsa.h"
+
+#include <stdexcept>
+
+#include "src/base/hmac.h"
+#include "src/base/sha256.h"
+
+namespace nope {
+
+namespace {
+
+BigUInt DigestToScalar(const Bytes& digest) {
+  // P-256's order is 256 bits, so the full digest is used (no truncation).
+  return BigUInt::FromBytes(digest) % P256Order();
+}
+
+// sqrt in P-256's base field (p == 3 mod 4): a^((p+1)/4).
+bool SqrtP256(const P256Fq& a, P256Fq* out) {
+  static const BigUInt exp = (P256Fq::params().modulus_big + BigUInt(1)) >> 2;
+  P256Fq r = a.Pow(exp);
+  if (r.Square() != a) {
+    return false;
+  }
+  *out = r;
+  return true;
+}
+
+}  // namespace
+
+Bytes EcdsaPublicKey::Encode() const {
+  auto affine = q.ToAffine();
+  if (affine.infinity) {
+    throw std::invalid_argument("cannot encode point at infinity");
+  }
+  Bytes out;
+  out.push_back(0x04);
+  AppendBytes(&out, affine.x.ToBigUInt().ToBytes(32));
+  AppendBytes(&out, affine.y.ToBigUInt().ToBytes(32));
+  return out;
+}
+
+EcdsaPublicKey EcdsaPublicKey::Decode(const Bytes& encoded) {
+  if (encoded.size() != 65 || encoded[0] != 0x04) {
+    throw std::invalid_argument("bad SEC1 uncompressed point");
+  }
+  Bytes xb(encoded.begin() + 1, encoded.begin() + 33);
+  Bytes yb(encoded.begin() + 33, encoded.end());
+  P256Point p = P256Point::FromAffine(P256Fq::FromBigUInt(BigUInt::FromBytes(xb)),
+                                      P256Fq::FromBigUInt(BigUInt::FromBytes(yb)));
+  if (!p.IsOnCurve()) {
+    throw std::invalid_argument("point not on P-256");
+  }
+  return EcdsaPublicKey{p};
+}
+
+Bytes EcdsaSignature::Encode() const {
+  Bytes out = r.ToBytes(32);
+  AppendBytes(&out, s.ToBytes(32));
+  return out;
+}
+
+EcdsaSignature EcdsaSignature::Decode(const Bytes& encoded) {
+  if (encoded.size() != 64) {
+    throw std::invalid_argument("bad ECDSA signature length");
+  }
+  Bytes rb(encoded.begin(), encoded.begin() + 32);
+  Bytes sb(encoded.begin() + 32, encoded.end());
+  return EcdsaSignature{BigUInt::FromBytes(rb), BigUInt::FromBytes(sb)};
+}
+
+EcdsaKeyPair GenerateEcdsaKey(Rng* rng) {
+  BigUInt d = BigUInt::RandomBelow(rng, P256Order() - BigUInt(1)) + BigUInt(1);
+  P256Point q = P256Generator().ScalarMul(d);
+  return EcdsaKeyPair{EcdsaPrivateKey{d}, EcdsaPublicKey{q}};
+}
+
+BigUInt Rfc6979Nonce(const BigUInt& d, const Bytes& digest) {
+  const BigUInt& n = P256Order();
+  Bytes x = d.ToBytes(32);
+  Bytes h1 = digest;
+
+  Bytes v(32, 0x01);
+  Bytes k(32, 0x00);
+
+  auto concat = [](const Bytes& a, uint8_t sep, const Bytes& b, const Bytes& c) {
+    Bytes out = a;
+    out.push_back(sep);
+    AppendBytes(&out, b);
+    AppendBytes(&out, c);
+    return out;
+  };
+
+  k = HmacSha256(k, concat(v, 0x00, x, h1));
+  v = HmacSha256(k, v);
+  k = HmacSha256(k, concat(v, 0x01, x, h1));
+  v = HmacSha256(k, v);
+
+  while (true) {
+    v = HmacSha256(k, v);
+    BigUInt candidate = BigUInt::FromBytes(v);
+    if (!candidate.IsZero() && candidate < n) {
+      return candidate;
+    }
+    Bytes next = v;
+    next.push_back(0x00);
+    k = HmacSha256(k, next);
+    v = HmacSha256(k, v);
+  }
+}
+
+EcdsaSignature EcdsaSign(const EcdsaPrivateKey& key, const Bytes& message) {
+  const BigUInt& n = P256Order();
+  Bytes digest = Sha256::Hash(message);
+  BigUInt z = DigestToScalar(digest);
+
+  BigUInt k = Rfc6979Nonce(key.d, digest);
+  while (true) {
+    P256Point rp = P256Generator().ScalarMul(k);
+    BigUInt r = rp.ToAffine().x.ToBigUInt() % n;
+    if (!r.IsZero()) {
+      BigUInt s = k.InvMod(n).MulMod(z + r.MulMod(key.d, n), n);
+      if (!s.IsZero()) {
+        return EcdsaSignature{r, s};
+      }
+    }
+    // Vanishing r or s is astronomically unlikely; perturb deterministically.
+    k = (k + BigUInt(1)) % n;
+  }
+}
+
+bool EcdsaVerify(const EcdsaPublicKey& key, const Bytes& message, const EcdsaSignature& sig) {
+  return EcdsaVerifyDigest(key, Sha256::Hash(message), sig);
+}
+
+bool EcdsaVerifyDigest(const EcdsaPublicKey& key, const Bytes& digest32,
+                       const EcdsaSignature& sig) {
+  const BigUInt& n = P256Order();
+  if (sig.r.IsZero() || sig.s.IsZero() || sig.r >= n || sig.s >= n) {
+    return false;
+  }
+  if (key.q.IsInfinity() || !key.q.IsOnCurve()) {
+    return false;
+  }
+  BigUInt z = DigestToScalar(digest32);
+  BigUInt s_inv = sig.s.InvMod(n);
+  BigUInt h0 = z.MulMod(s_inv, n);
+  BigUInt h1 = sig.r.MulMod(s_inv, n);
+  P256Point rp = P256Generator().ScalarMul(h0).Add(key.q.ScalarMul(h1));
+  if (rp.IsInfinity()) {
+    return false;
+  }
+  return rp.ToAffine().x.ToBigUInt() % n == sig.r;
+}
+
+GlvSideInfo ComputeGlvSideInfo(const BigUInt& h1) {
+  const BigUInt& n = P256Order();
+  auto half = BigUInt::HalfGcd(n, h1);
+  // Invariant: h1 * t1 == r1 (mod n) with signed t1; we expose v = |t1| > 0
+  // and w = r1 >= 0 with h1 * v == (h1v_negated ? -w : w) (mod n).
+  GlvSideInfo out;
+  out.v = half.v;
+  out.v_negated = false;
+  out.h1v = half.w;
+  out.h1v_negated = half.v_negated;
+  if (out.v.IsZero()) {
+    // Degenerate h1 (e.g., 0); fall back to the trivial decomposition.
+    out.v = BigUInt(1);
+    out.h1v = h1 % n;
+    out.h1v_negated = false;
+  }
+  return out;
+}
+
+bool EcdsaVerifyGlv(const EcdsaPublicKey& key, const Bytes& message, const EcdsaSignature& sig) {
+  const BigUInt& n = P256Order();
+  if (sig.r.IsZero() || sig.s.IsZero() || sig.r >= n || sig.s >= n) {
+    return false;
+  }
+  BigUInt z = DigestToScalar(Sha256::Hash(message));
+  BigUInt s_inv = sig.s.InvMod(n);
+  BigUInt h0 = z.MulMod(s_inv, n);
+  BigUInt h1 = sig.r.MulMod(s_inv, n);
+
+  GlvSideInfo side = ComputeGlvSideInfo(h1);
+
+  // t = h0 * v mod n, split at 2^128 against the precomputed H = 2^128 G.
+  BigUInt t = h0.MulMod(side.v, n);
+  BigUInt shift = BigUInt(1) << 128;
+  BigUInt v0 = t % shift;
+  BigUInt v1 = t / shift;
+
+  static const P256Point h_point = P256Generator().ScalarMul(BigUInt(1) << 128);
+
+  // Reconstruct R from r (try both square roots).
+  P256Fq rx = P256Fq::FromBigUInt(sig.r);
+  P256Fq rhs = rx.Square() * rx + P256Config::A() * rx + P256Config::B();
+  P256Fq ry;
+  if (!SqrtP256(rhs, &ry)) {
+    return false;
+  }
+
+  P256Point q_term = key.q.ScalarMul(side.h1v);
+  if (side.h1v_negated) {
+    q_term = q_term.Negate();
+  }
+  P256Point lhs = P256Generator().ScalarMul(v0).Add(h_point.ScalarMul(v1)).Add(q_term);
+
+  for (int sign = 0; sign < 2; ++sign) {
+    P256Point r_point = P256Point::FromAffine(rx, sign == 0 ? ry : -ry);
+    if (lhs.Equals(r_point.ScalarMul(side.v))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace nope

@@ -1,0 +1,171 @@
+#include "src/sig/rsa.h"
+
+#include <stdexcept>
+
+#include "src/base/sha256.h"
+
+namespace nope {
+
+namespace {
+
+// Odd primes below 2000, sieved once; used for trial division before the
+// expensive Miller-Rabin rounds.
+const std::vector<uint64_t>& SmallPrimes() {
+  static const std::vector<uint64_t> primes = [] {
+    std::vector<uint64_t> out;
+    std::vector<bool> composite(2000, false);
+    for (uint64_t p = 3; p < 2000; p += 2) {
+      if (!composite[p]) {
+        out.push_back(p);
+        for (uint64_t q = p * p; q < 2000; q += 2 * p) {
+          composite[q] = true;
+        }
+      }
+    }
+    return out;
+  }();
+  return primes;
+}
+
+// DER DigestInfo prefix for SHA-256 (RFC 8017 §9.2 note 1).
+const char* kSha256DigestInfoHex = "3031300d060960864801650304020105000420";
+
+}  // namespace
+
+bool IsProbablePrime(const BigUInt& candidate, Rng* rng, int rounds) {
+  if (candidate < BigUInt(2)) {
+    return false;
+  }
+  if (candidate == BigUInt(2)) {
+    return true;
+  }
+  if (!candidate.IsOdd()) {
+    return false;
+  }
+  for (uint64_t p : SmallPrimes()) {
+    BigUInt sp(p);
+    if (candidate == sp) {
+      return true;
+    }
+    if ((candidate % sp).IsZero()) {
+      return false;
+    }
+  }
+
+  // Write candidate - 1 = d * 2^s.
+  BigUInt minus_one = candidate - BigUInt(1);
+  BigUInt d = minus_one;
+  size_t s = 0;
+  while (!d.IsOdd()) {
+    d = d >> 1;
+    ++s;
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    BigUInt a = BigUInt::RandomBelow(rng, candidate - BigUInt(3)) + BigUInt(2);
+    BigUInt x = a.PowMod(d, candidate);
+    if (x == BigUInt(1) || x == minus_one) {
+      continue;
+    }
+    bool witness = true;
+    for (size_t i = 0; i + 1 < s; ++i) {
+      x = x.MulMod(x, candidate);
+      if (x == minus_one) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RsaPrivateKey GenerateRsaKey(Rng* rng, size_t modulus_bits) {
+  if (modulus_bits < 128 || modulus_bits % 2 != 0) {
+    throw std::invalid_argument("RSA modulus bits must be even and >= 128");
+  }
+  BigUInt e(65537);
+  size_t half = modulus_bits / 2;
+
+  auto gen_prime = [&](size_t bits) {
+    while (true) {
+      BigUInt cand = BigUInt::Random(rng, bits);
+      if (!cand.IsOdd()) {
+        cand = cand + BigUInt(1);
+      }
+      // Incremental search from a random start keeps trial division cheap.
+      for (int step = 0; step < 256; ++step, cand = cand + BigUInt(2)) {
+        if (!IsProbablePrime(cand, rng, 12)) {
+          continue;
+        }
+        // Require gcd(e, p-1) == 1 so d exists.
+        if (BigUInt::Gcd(e, cand - BigUInt(1)) == BigUInt(1)) {
+          return cand;
+        }
+      }
+    }
+  };
+
+  while (true) {
+    BigUInt p = gen_prime(half);
+    BigUInt q = gen_prime(half);
+    if (p == q) {
+      continue;
+    }
+    BigUInt n = p * q;
+    if (n.BitLength() != modulus_bits) {
+      continue;
+    }
+    BigUInt phi = (p - BigUInt(1)) * (q - BigUInt(1));
+    BigUInt d = e.InvMod(phi);
+    return RsaPrivateKey{RsaPublicKey{n, e}, d, p, q};
+  }
+}
+
+Bytes Pkcs1V15EncodeSha256(const Bytes& digest, size_t em_len) {
+  Bytes t = DecodeHex(kSha256DigestInfoHex);
+  AppendBytes(&t, digest);
+  if (em_len < t.size() + 11) {
+    throw std::length_error("PKCS#1 v1.5: modulus too short for digest");
+  }
+  Bytes em;
+  em.reserve(em_len);
+  em.push_back(0x00);
+  em.push_back(0x01);
+  em.insert(em.end(), em_len - t.size() - 3, 0xff);
+  em.push_back(0x00);
+  AppendBytes(&em, t);
+  return em;
+}
+
+Bytes RsaSign(const RsaPrivateKey& key, const Bytes& message) {
+  return RsaSignDigest32(key, Sha256::Hash(message));
+}
+
+Bytes RsaSignDigest32(const RsaPrivateKey& key, const Bytes& digest32) {
+  Bytes em = Pkcs1V15EncodeSha256(digest32, key.pub.ModulusBytes());
+  BigUInt m = BigUInt::FromBytes(em);
+  BigUInt s = m.PowMod(key.d, key.pub.n);
+  return s.ToBytes(key.pub.ModulusBytes());
+}
+
+bool RsaVerify(const RsaPublicKey& key, const Bytes& message, const Bytes& signature) {
+  return RsaVerifyDigest32(key, Sha256::Hash(message), signature);
+}
+
+bool RsaVerifyDigest32(const RsaPublicKey& key, const Bytes& digest32, const Bytes& signature) {
+  if (signature.size() != key.ModulusBytes()) {
+    return false;
+  }
+  BigUInt s = BigUInt::FromBytes(signature);
+  if (s >= key.n) {
+    return false;
+  }
+  BigUInt m = s.PowMod(key.e, key.n);
+  Bytes expected = Pkcs1V15EncodeSha256(digest32, key.ModulusBytes());
+  return m.ToBytes(key.ModulusBytes()) == expected;
+}
+
+}  // namespace nope

@@ -1,0 +1,47 @@
+// RSASSA-PKCS1-v1_5 with SHA-256 (RFC 8017 / RFC 5702), as used by DNSSEC
+// algorithm 8. The simulated root zone's ZSK is RSA-2048, matching the
+// paper's experimental setup (§8: "the root's ZSK ... is always RSA").
+#ifndef SRC_SIG_RSA_H_
+#define SRC_SIG_RSA_H_
+
+#include "src/base/biguint.h"
+#include "src/base/bytes.h"
+
+namespace nope {
+
+struct RsaPublicKey {
+  BigUInt n;
+  BigUInt e;
+
+  size_t ModulusBytes() const { return (n.BitLength() + 7) / 8; }
+  bool operator==(const RsaPublicKey& o) const { return n == o.n && e == o.e; }
+};
+
+struct RsaPrivateKey {
+  RsaPublicKey pub;
+  BigUInt d;
+  BigUInt p;
+  BigUInt q;
+};
+
+// Miller-Rabin primality test (`rounds` random bases plus small-prime sieve).
+bool IsProbablePrime(const BigUInt& candidate, Rng* rng, int rounds = 20);
+
+// Generates an RSA key with a modulus of `modulus_bits` (e = 65537).
+RsaPrivateKey GenerateRsaKey(Rng* rng, size_t modulus_bits);
+
+// EMSA-PKCS1-v1_5 encoding of a SHA-256 digest for an em_len-byte modulus.
+Bytes Pkcs1V15EncodeSha256(const Bytes& digest, size_t em_len);
+
+// Signs/verifies a message (hashes with SHA-256 internally).
+Bytes RsaSign(const RsaPrivateKey& key, const Bytes& message);
+bool RsaVerify(const RsaPublicKey& key, const Bytes& message, const Bytes& signature);
+
+// Same, over a caller-provided 32-byte digest (used by the toy suite, whose
+// digests come from the MiMC stand-in hash rather than SHA-256).
+Bytes RsaSignDigest32(const RsaPrivateKey& key, const Bytes& digest32);
+bool RsaVerifyDigest32(const RsaPublicKey& key, const Bytes& digest32, const Bytes& signature);
+
+}  // namespace nope
+
+#endif  // SRC_SIG_RSA_H_

@@ -1,0 +1,136 @@
+#include "src/tls/handshake.h"
+
+namespace nope {
+
+const char* LegacyStatusName(LegacyStatus status) {
+  switch (status) {
+    case LegacyStatus::kOk:
+      return "ok";
+    case LegacyStatus::kBadChainSignature:
+      return "bad-chain-signature";
+    case LegacyStatus::kExpired:
+      return "expired";
+    case LegacyStatus::kWrongDomain:
+      return "wrong-domain";
+    case LegacyStatus::kInsufficientScts:
+      return "insufficient-scts";
+    case LegacyStatus::kRevoked:
+      return "revoked";
+    case LegacyStatus::kStaleOcsp:
+      return "stale-ocsp";
+  }
+  return "unknown";
+}
+
+LegacyStatus LegacyVerifyChain(const CertificateChain& chain, const TrustStore& trust,
+                               const DnsName& domain, uint64_t now,
+                               const OcspResponse* stapled_ocsp) {
+  if (!VerifyCertificateSignature(chain.intermediate, trust.ca_root)) {
+    return LegacyStatus::kBadChainSignature;
+  }
+  EcdsaPublicKey intermediate_key;
+  try {
+    intermediate_key = EcdsaPublicKey::Decode(chain.intermediate.body.subject_public_key);
+  } catch (const std::invalid_argument&) {
+    return LegacyStatus::kBadChainSignature;
+  }
+  if (!VerifyCertificateSignature(chain.leaf, intermediate_key)) {
+    return LegacyStatus::kBadChainSignature;
+  }
+  const CertificateBody& body = chain.leaf.body;
+  if (now < body.not_before || now > body.not_after) {
+    return LegacyStatus::kExpired;
+  }
+  if (body.subject != domain) {
+    return LegacyStatus::kWrongDomain;
+  }
+  if (body.scts.size() < trust.min_scts) {
+    return LegacyStatus::kInsufficientScts;
+  }
+  if (stapled_ocsp != nullptr) {
+    if (stapled_ocsp->serial != body.serial || stapled_ocsp->next_update < now) {
+      return LegacyStatus::kStaleOcsp;
+    }
+    if (stapled_ocsp->revoked) {
+      return LegacyStatus::kRevoked;
+    }
+  }
+  return LegacyStatus::kOk;
+}
+
+DceBundle BuildDceBundle(DnssecHierarchy* dns, const DnsName& domain, const Bytes& tls_key) {
+  Zone* zone = dns->Find(domain);
+  if (zone == nullptr) {
+    throw std::invalid_argument("domain is not a zone");
+  }
+  DceBundle bundle;
+  bundle.chain = dns->BuildChain(domain);
+  bundle.leaf_dnskey = zone->Sign(zone->DnskeyRrset(), dns->rng());
+  Bytes digest = dns->suite().Digest32(tls_key);
+  Rrset tlsa{domain.Child("_tlsa"), RrType::kTxt, 300, {TxtRdata("tlsa=" + EncodeHex(digest))}};
+  bundle.tlsa = zone->Sign(tlsa, dns->rng());
+  return bundle;
+}
+
+bool DceVerify(const CryptoSuite& suite, const DceBundle& bundle, const DnsName& domain,
+               const Bytes& tls_key, const DnskeyRdata& trust_anchor) {
+  if (bundle.chain.domain != domain) {
+    return false;
+  }
+  if (!ValidateChain(suite, bundle.chain, trust_anchor)) {
+    return false;
+  }
+  // Leaf DNSKEY RRset signed by the (DS-validated) leaf KSK.
+  if (bundle.leaf_dnskey.rrset.name != domain ||
+      bundle.leaf_dnskey.rrset.type != RrType::kDnskey) {
+    return false;
+  }
+  if (bundle.leaf_dnskey.rrsig.key_tag != ComputeKeyTag(bundle.chain.leaf_ksk.Encode())) {
+    return false;
+  }
+  Bytes keys_buffer = BuildSigningBuffer(bundle.leaf_dnskey.rrsig, bundle.leaf_dnskey.rrset);
+  if (!VerifyWithDnskey(suite, bundle.chain.leaf_ksk, keys_buffer,
+                        bundle.leaf_dnskey.rrsig.signature)) {
+    return false;
+  }
+  // Extract the ZSK and verify the TLSA TXT RRset.
+  DnskeyRdata zsk;
+  bool have_zsk = false;
+  for (const Bytes& rdata : bundle.leaf_dnskey.rrset.rdatas) {
+    DnskeyRdata key = DnskeyRdata::Decode(rdata);
+    if (!key.IsKsk()) {
+      zsk = key;
+      have_zsk = true;
+    }
+  }
+  if (!have_zsk) {
+    return false;
+  }
+  if (bundle.tlsa.rrset.name != domain.Child("_tlsa") ||
+      bundle.tlsa.rrset.type != RrType::kTxt || bundle.tlsa.rrset.rdatas.size() != 1) {
+    return false;
+  }
+  Bytes tlsa_buffer = BuildSigningBuffer(bundle.tlsa.rrsig, bundle.tlsa.rrset);
+  if (!VerifyWithDnskey(suite, zsk, tlsa_buffer, bundle.tlsa.rrsig.signature)) {
+    return false;
+  }
+  Bytes digest = suite.Digest32(tls_key);
+  return TxtRdataToString(bundle.tlsa.rrset.rdatas[0]) == "tlsa=" + EncodeHex(digest);
+}
+
+Bytes DceBundle::Serialize() const {
+  Bytes out = SerializeDceChain(chain);
+  auto append_signed = [&out](const SignedRrset& s) {
+    for (const Bytes& rdata : s.rrset.rdatas) {
+      ResourceRecord rr{s.rrset.name, s.rrset.type, s.rrset.ttl, rdata};
+      AppendBytes(&out, rr.CanonicalWire());
+    }
+    ResourceRecord sig{s.rrset.name, RrType::kRrsig, s.rrset.ttl, s.rrsig.Encode()};
+    AppendBytes(&out, sig.CanonicalWire());
+  };
+  append_signed(leaf_dnskey);
+  append_signed(tlsa);
+  return out;
+}
+
+}  // namespace nope

@@ -1,0 +1,59 @@
+// TLS-handshake-time server authentication paths (§8.1): legacy certificate
+// validation and the DCE baseline (RFC 9102-style DNSSEC chain delivery).
+// The NOPE-aware client lives in src/core/nope.h since it needs the proof
+// system's verifying key.
+#ifndef SRC_TLS_HANDSHAKE_H_
+#define SRC_TLS_HANDSHAKE_H_
+
+#include "src/dns/dnssec.h"
+#include "src/pki/ca.h"
+
+namespace nope {
+
+struct TrustStore {
+  EcdsaPublicKey ca_root;
+  size_t min_scts = 1;
+};
+
+enum class LegacyStatus {
+  kOk,
+  kBadChainSignature,
+  kExpired,
+  kWrongDomain,
+  kInsufficientScts,
+  kRevoked,
+  kStaleOcsp,
+};
+
+const char* LegacyStatusName(LegacyStatus status);
+
+// Standard certificate validation: intermediate signed by the trust-store
+// root, leaf signed by the intermediate, validity window, domain match, SCT
+// count, and the stapled OCSP response (if provided).
+LegacyStatus LegacyVerifyChain(const CertificateChain& chain, const TrustStore& trust,
+                               const DnsName& domain, uint64_t now,
+                               const OcspResponse* stapled_ocsp);
+
+// --- DCE (§1, §2.2, RFC 9102) -----------------------------------------------
+
+// What a DCE server staples into the handshake: the DNSSEC chain of trust,
+// the leaf zone's DNSKEY RRset, and a TLSA-like TXT RRset binding the TLS
+// key digest, signed by the leaf ZSK.
+struct DceBundle {
+  ChainOfTrust chain;
+  SignedRrset leaf_dnskey;
+  SignedRrset tlsa;
+
+  Bytes Serialize() const;  // for bandwidth accounting (Fig. 4 / Fig. 7)
+};
+
+DceBundle BuildDceBundle(DnssecHierarchy* dns, const DnsName& domain, const Bytes& tls_key);
+
+// DCE client: validates the whole chain against the trust anchor and checks
+// that the TLSA record commits to the presented TLS key.
+bool DceVerify(const CryptoSuite& suite, const DceBundle& bundle, const DnsName& domain,
+               const Bytes& tls_key, const DnskeyRdata& trust_anchor);
+
+}  // namespace nope
+
+#endif  // SRC_TLS_HANDSHAKE_H_

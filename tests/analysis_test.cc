@@ -1,0 +1,110 @@
+// Checks the analysis engine against the paper's literal Figure 3, row by
+// row, for all 16 attacker subsets and all four schemes.
+#include "src/core/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace nope {
+namespace {
+
+struct PaperRow {
+  bool legacy, ca, ct, dnssec;
+  // Impersonated: DV, DV+, DCE, NOPE.
+  bool imp[4];
+  // Time to detect as strings from the paper ("-", "<=24h", ">24h", "inf").
+  const char* detect[4];
+  // Can be revoked.
+  bool rev[4];
+};
+
+// Figure 3, transcribed from the paper.
+const PaperRow kPaperRows[] = {
+    // legacy ca ct dnssec | DV DV+ DCE NOPE
+    {false, false, false, false, {false, false, false, false},
+     {"-", "-", "-", "-"}, {true, true, false, true}},
+    {true, false, false, false, {true, false, false, false},
+     {"<=24h", "-", "-", "-"}, {true, true, false, true}},
+    {false, true, false, false, {true, true, false, false},
+     {"<=24h", "<=24h", "-", "-"}, {false, false, false, false}},
+    {true, true, false, false, {true, true, false, false},
+     {"<=24h", "<=24h", "-", "-"}, {false, false, false, false}},
+    {false, false, true, false, {false, false, false, false},
+     {"-", "-", "-", "-"}, {true, true, false, true}},
+    {true, false, true, false, {true, false, false, false},
+     {">24h", "-", "-", "-"}, {true, true, false, true}},
+    {false, true, true, false, {true, true, false, false},
+     {">24h", ">24h", "-", "-"}, {false, false, false, false}},
+    {true, true, true, false, {true, true, false, false},
+     {">24h", ">24h", "-", "-"}, {false, false, false, false}},
+    {false, false, false, true, {false, false, true, false},
+     {"-", "-", "inf", "-"}, {true, true, false, true}},
+    {true, false, false, true, {true, true, true, true},
+     {"<=24h", "<=24h", "inf", "<=24h"}, {true, true, false, true}},
+    {false, true, false, true, {true, true, true, true},
+     {"<=24h", "<=24h", "inf", "<=24h"}, {false, false, false, false}},
+    {true, true, false, true, {true, true, true, true},
+     {"<=24h", "<=24h", "inf", "<=24h"}, {false, false, false, false}},
+    {false, false, true, true, {false, false, true, false},
+     {"-", "-", "inf", "-"}, {true, true, false, true}},
+    {true, false, true, true, {true, true, true, true},
+     {">24h", ">24h", "inf", ">24h"}, {true, true, false, true}},
+    {false, true, true, true, {true, true, true, true},
+     {">24h", ">24h", "inf", ">24h"}, {false, false, false, false}},
+    {true, true, true, true, {true, true, true, true},
+     {">24h", ">24h", "inf", ">24h"}, {false, false, false, false}},
+};
+
+class Figure3RowTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Figure3RowTest, MatchesPaper) {
+  const PaperRow& row = kPaperRows[GetParam()];
+  AttackerModel attacker{row.legacy, row.ca, row.ct, row.dnssec};
+  for (int s = 0; s < 4; ++s) {
+    AnalysisOutcome out = Analyze(static_cast<AuthScheme>(s), attacker);
+    EXPECT_EQ(out.impersonated, row.imp[s])
+        << "scheme " << AuthSchemeName(static_cast<AuthScheme>(s));
+    EXPECT_STREQ(DetectionTimeName(out.detection), row.detect[s])
+        << "scheme " << AuthSchemeName(static_cast<AuthScheme>(s));
+    EXPECT_EQ(out.revocable, row.rev[s])
+        << "scheme " << AuthSchemeName(static_cast<AuthScheme>(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSixteenRows, Figure3RowTest, ::testing::Range(0, 16));
+
+TEST(Figure3Properties, NopeDominatesDvAndDce) {
+  // NOPE is impersonated only if both DV (or a CA path) and DCE would be:
+  // strictly-better security than either alone (§3.3).
+  for (const PaperRow& row : kPaperRows) {
+    AttackerModel a{row.legacy, row.ca, row.ct, row.dnssec};
+    bool nope = Analyze(AuthScheme::kNope, a).impersonated;
+    bool dv = Analyze(AuthScheme::kDv, a).impersonated;
+    bool dce = Analyze(AuthScheme::kDce, a).impersonated;
+    EXPECT_LE(nope, dv && dce);
+  }
+}
+
+TEST(Figure3Properties, DceNeverRevocableNorDetectable) {
+  for (const PaperRow& row : kPaperRows) {
+    AttackerModel a{row.legacy, row.ca, row.ct, row.dnssec};
+    AnalysisOutcome out = Analyze(AuthScheme::kDce, a);
+    EXPECT_FALSE(out.revocable);
+    if (out.impersonated) {
+      EXPECT_EQ(out.detection, DetectionTime::kNever);
+    }
+  }
+}
+
+TEST(Figure3Properties, MatrixOrderMatchesPaper) {
+  auto matrix = BuildFigure3Matrix();
+  ASSERT_EQ(matrix.size(), 16u);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(matrix[i].attacker.legacy_dns, kPaperRows[i].legacy) << i;
+    EXPECT_EQ(matrix[i].attacker.ca, kPaperRows[i].ca) << i;
+    EXPECT_EQ(matrix[i].attacker.ct, kPaperRows[i].ct) << i;
+    EXPECT_EQ(matrix[i].attacker.dnssec, kPaperRows[i].dnssec) << i;
+  }
+}
+
+}  // namespace
+}  // namespace nope

@@ -1,0 +1,175 @@
+#include "src/base/biguint.h"
+
+#include <gtest/gtest.h>
+
+namespace nope {
+namespace {
+
+TEST(BigUInt, BasicConstruction) {
+  EXPECT_TRUE(BigUInt().IsZero());
+  EXPECT_EQ(BigUInt(42).LowU64(), 42u);
+  EXPECT_EQ(BigUInt::FromDecimal("0").ToDecimal(), "0");
+  EXPECT_EQ(BigUInt::FromDecimal("123456789012345678901234567890").ToDecimal(),
+            "123456789012345678901234567890");
+  EXPECT_EQ(BigUInt::FromHex("deadbeef").LowU64(), 0xdeadbeefu);
+  EXPECT_EQ(BigUInt::FromHex("0xDEADBEEF").LowU64(), 0xdeadbeefu);
+}
+
+TEST(BigUInt, BytesRoundTrip) {
+  Bytes b = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09};
+  BigUInt v = BigUInt::FromBytes(b);
+  EXPECT_EQ(v.ToBytes(9), b);
+  EXPECT_EQ(v.ToHex(), "10203040506070809");
+}
+
+TEST(BigUInt, AddSub) {
+  BigUInt a = BigUInt::FromHex("ffffffffffffffffffffffffffffffff");
+  BigUInt b = BigUInt(1);
+  BigUInt sum = a + b;
+  EXPECT_EQ(sum.ToHex(), "100000000000000000000000000000000");
+  EXPECT_EQ((sum - b).ToHex(), a.ToHex());
+  EXPECT_EQ((sum - sum).ToDecimal(), "0");
+  EXPECT_THROW(b - a, std::underflow_error);
+}
+
+TEST(BigUInt, MulKnownValue) {
+  BigUInt a = BigUInt::FromDecimal("123456789123456789123456789");
+  BigUInt b = BigUInt::FromDecimal("987654321987654321987654321");
+  EXPECT_EQ((a * b).ToDecimal(),
+            "121932631356500531591068431581771069347203169112635269");
+}
+
+TEST(BigUInt, DivModKnownValue) {
+  BigUInt a = BigUInt::FromDecimal("10000000000000000000000000000000000000001");
+  BigUInt b = BigUInt::FromDecimal("333333333333333");
+  auto dm = a.DivMod(b);
+  EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+  EXPECT_LT(dm.remainder.Compare(b), 0);
+  EXPECT_THROW(a.DivMod(BigUInt()), std::domain_error);
+}
+
+TEST(BigUInt, DivModRandomizedInvariant) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    size_t abits = 1 + rng.NextBelow(700);
+    size_t bbits = 1 + rng.NextBelow(350);
+    BigUInt a = BigUInt::Random(&rng, abits);
+    BigUInt b = BigUInt::Random(&rng, bbits);
+    auto dm = a.DivMod(b);
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+    EXPECT_TRUE(dm.remainder < b);
+  }
+}
+
+TEST(BigUInt, Shifts) {
+  BigUInt a = BigUInt::FromHex("123456789abcdef0");
+  EXPECT_EQ((a << 64).ToHex(), "123456789abcdef00000000000000000");
+  EXPECT_EQ(((a << 67) >> 67).ToHex(), a.ToHex());
+  EXPECT_EQ((a >> 200).ToDecimal(), "0");
+  EXPECT_EQ((a << 3).ToHex(), "91a2b3c4d5e6f780");
+}
+
+TEST(BigUInt, BitAccess) {
+  BigUInt a = BigUInt::FromHex("8000000000000001");
+  EXPECT_TRUE(a.Bit(0));
+  EXPECT_TRUE(a.Bit(63));
+  EXPECT_FALSE(a.Bit(1));
+  EXPECT_FALSE(a.Bit(64));
+  EXPECT_EQ(a.BitLength(), 64u);
+  EXPECT_EQ(BigUInt().BitLength(), 0u);
+}
+
+TEST(BigUInt, PowMod) {
+  BigUInt base(3);
+  BigUInt exp(200);
+  BigUInt mod = BigUInt::FromDecimal("1000000007");
+  // 3^200 mod 1e9+7 computed independently.
+  BigUInt expected(3);
+  BigUInt acc(1);
+  for (int i = 0; i < 200; ++i) {
+    acc = acc.MulMod(expected, mod);
+  }
+  EXPECT_EQ(base.PowMod(exp, mod), acc);
+}
+
+TEST(BigUInt, PowModFermat) {
+  // a^(p-1) == 1 mod p for prime p.
+  BigUInt p = BigUInt::FromDecimal("115792089210356248762697446949407573530086143415290314195533631308867097853951");
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    BigUInt a = BigUInt::RandomBelow(&rng, p - BigUInt(2)) + BigUInt(1);
+    EXPECT_EQ(a.PowMod(p - BigUInt(1), p), BigUInt(1));
+  }
+}
+
+TEST(BigUInt, InvMod) {
+  BigUInt m = BigUInt::FromDecimal("1000000007");
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    BigUInt a = BigUInt::RandomBelow(&rng, m - BigUInt(1)) + BigUInt(1);
+    BigUInt inv = a.InvMod(m);
+    EXPECT_EQ(a.MulMod(inv, m), BigUInt(1));
+  }
+  EXPECT_THROW(BigUInt(6).InvMod(BigUInt(9)), std::domain_error);
+}
+
+TEST(BigUInt, Gcd) {
+  EXPECT_EQ(BigUInt::Gcd(BigUInt(48), BigUInt(36)), BigUInt(12));
+  EXPECT_EQ(BigUInt::Gcd(BigUInt(17), BigUInt(13)), BigUInt(1));
+  EXPECT_EQ(BigUInt::Gcd(BigUInt(), BigUInt(5)), BigUInt(5));
+}
+
+TEST(BigUInt, HalfGcdProducesHalfSizeDecomposition) {
+  // n is the P-256 group order; this mirrors the ECDSA GLV transform usage.
+  BigUInt n = BigUInt::FromHex(
+      "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+  Rng rng(17);
+  BigUInt bound = BigUInt(1) << 129;  // |v|, |w| < 2^(bits/2)+1
+  for (int i = 0; i < 50; ++i) {
+    BigUInt k = BigUInt::RandomBelow(&rng, n);
+    auto half = BigUInt::HalfGcd(n, k);
+    EXPECT_TRUE(half.v < bound) << half.v.ToHex();
+    EXPECT_TRUE(half.w < bound) << half.w.ToHex();
+    EXPECT_FALSE(half.v.IsZero());
+    // Verify k * (+-v) == w (mod n).
+    BigUInt kv = k.MulMod(half.v, n);
+    if (half.v_negated) {
+      kv = (n - kv) % n;
+    }
+    EXPECT_EQ(kv, half.w % n);
+  }
+}
+
+TEST(BigUInt, DecimalHexRoundTrip) {
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    BigUInt a = BigUInt::Random(&rng, 1 + rng.NextBelow(512));
+    EXPECT_EQ(BigUInt::FromDecimal(a.ToDecimal()), a);
+    EXPECT_EQ(BigUInt::FromHex(a.ToHex()), a);
+  }
+}
+
+TEST(BigUInt, ToBytesWidth) {
+  BigUInt a(0x1234);
+  EXPECT_EQ(a.ToBytes(4), (Bytes{0x00, 0x00, 0x12, 0x34}));
+  EXPECT_THROW(a.ToBytes(1), std::length_error);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+  Rng c(43);
+  EXPECT_NE(Rng(42).NextU64(), c.NextU64());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(7), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace nope

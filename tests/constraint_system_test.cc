@@ -1,0 +1,71 @@
+#include "src/r1cs/constraint_system.h"
+
+#include <gtest/gtest.h>
+
+namespace nope {
+namespace {
+
+TEST(ConstraintSystem, ConstantOneIsVariableZero) {
+  ConstraintSystem cs;
+  EXPECT_EQ(cs.NumVariables(), 1u);
+  EXPECT_EQ(cs.NumPublic(), 1u);
+  EXPECT_EQ(cs.ValueOf(kOneVar), Fr::One());
+}
+
+TEST(ConstraintSystem, PublicBeforeWitnessEnforced) {
+  ConstraintSystem cs;
+  cs.AddPublicInput(Fr::FromU64(3));
+  cs.AddWitness(Fr::FromU64(4));
+  EXPECT_THROW(cs.AddPublicInput(Fr::FromU64(5)), std::logic_error);
+}
+
+TEST(ConstraintSystem, SatisfactionDetection) {
+  ConstraintSystem cs;
+  Var x = cs.AddPublicInput(Fr::FromU64(3));
+  Var y = cs.AddWitness(Fr::FromU64(9));
+  cs.Enforce(LC(x), LC(x), LC(y));  // x * x == y
+  EXPECT_TRUE(cs.IsSatisfied());
+
+  cs.SetValueForTest(y, Fr::FromU64(10));
+  size_t bad = 99;
+  EXPECT_FALSE(cs.IsSatisfied(&bad));
+  EXPECT_EQ(bad, 0u);
+}
+
+TEST(ConstraintSystem, LinearCombinationAlgebra) {
+  ConstraintSystem cs;
+  Var x = cs.AddWitness(Fr::FromU64(5));
+  Var y = cs.AddWitness(Fr::FromU64(7));
+  LC lc = LC(x) * Fr::FromU64(2) + LC(y) - LC::Constant(Fr::FromU64(3));
+  EXPECT_EQ(cs.Eval(lc), Fr::FromU64(14));
+  LC zero = LC(x) - LC(x);
+  EXPECT_EQ(cs.Eval(zero), Fr::Zero());
+  EXPECT_TRUE((LC(x) * Fr::Zero()).IsEmpty());
+}
+
+TEST(ConstraintSystem, EnforceEqualAndBoolean) {
+  ConstraintSystem cs;
+  Var b = cs.AddWitness(Fr::One());
+  cs.EnforceBoolean(b);
+  cs.EnforceEqual(LC(b), LC::Constant(Fr::One()));
+  EXPECT_TRUE(cs.IsSatisfied());
+
+  ConstraintSystem cs2;
+  Var nb = cs2.AddWitness(Fr::FromU64(2));
+  cs2.EnforceBoolean(nb);
+  EXPECT_FALSE(cs2.IsSatisfied());
+}
+
+TEST(ConstraintSystem, CountModeTracksWithoutStoring) {
+  ConstraintSystem cs(ConstraintSystem::Mode::kCount);
+  Var x = cs.AddWitness(Fr::FromU64(2));
+  for (int i = 0; i < 100; ++i) {
+    cs.Enforce(LC(x), LC(x), LC::Constant(Fr::FromU64(4)));
+  }
+  EXPECT_EQ(cs.NumConstraints(), 100u);
+  EXPECT_TRUE(cs.constraints().empty());
+  EXPECT_THROW(cs.IsSatisfied(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nope

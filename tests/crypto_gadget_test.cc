@@ -1,0 +1,263 @@
+// ECDSA, RSA, SHA-256, and MiMC gadget tests (satisfiability-level; proving
+// happens in the Groth16 and end-to-end suites).
+#include <gtest/gtest.h>
+
+#include "src/base/sha256.h"
+#include "src/r1cs/ecdsa_gadget.h"
+#include "src/r1cs/mimc_gadget.h"
+#include "src/r1cs/rsa_gadget.h"
+#include "src/r1cs/sha256_gadget.h"
+#include "src/r1cs/toy_curve.h"
+#include "src/sig/rsa.h"
+
+namespace nope {
+namespace {
+
+const CurveSpec& Toy() {
+  static const CurveSpec spec = FindToyCurve(42);
+  return spec;
+}
+
+Bytes Ascii(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+struct ToySignatureFixture {
+  BigUInt priv;
+  NativeCurve::Pt pub;
+  Bytes digest;
+  ToyEcdsaSignature sig;
+};
+
+ToySignatureFixture MakeToySignature(uint64_t seed) {
+  Rng rng(seed);
+  NativeCurve curve(Toy());
+  ToySignatureFixture f;
+  f.priv = BigUInt::RandomBelow(&rng, Toy().n - BigUInt(1)) + BigUInt(1);
+  f.pub = curve.ScalarMul(f.priv, curve.Generator());
+  f.digest = rng.NextBytes(31);
+  f.sig = ToyEcdsaSign(Toy(), f.priv, f.digest, &rng);
+  return f;
+}
+
+class EcdsaGadgetTest : public ::testing::TestWithParam<EcdsaMsmMode> {};
+
+TEST_P(EcdsaGadgetTest, AcceptsValidSignature) {
+  ToySignatureFixture f = MakeToySignature(1001);
+  ASSERT_TRUE(ToyEcdsaVerify(Toy(), f.pub, f.digest, f.sig));
+
+  ConstraintSystem cs;
+  EcGadget ec(&cs, Toy(), EcGadget::Technique::kNopeHints);
+  auto pub = ec.AllocPoint(f.pub);
+  auto z = ec.scalar_field().Alloc(BigUInt::FromBytes(f.digest) % Toy().n);
+  auto r = ec.scalar_field().Alloc(f.sig.r);
+  auto s = ec.scalar_field().Alloc(f.sig.s);
+  EnforceEcdsaVerify(&ec, pub, z, r, s, GetParam());
+  EXPECT_TRUE(cs.IsSatisfied());
+}
+
+TEST_P(EcdsaGadgetTest, RejectsCorruptedDigest) {
+  ToySignatureFixture f = MakeToySignature(1002);
+  ConstraintSystem cs;
+  EcGadget ec(&cs, Toy(), EcGadget::Technique::kNopeHints);
+  auto pub = ec.AllocPoint(f.pub);
+  auto z = ec.scalar_field().Alloc(BigUInt::FromBytes(f.digest) % Toy().n);
+  auto r = ec.scalar_field().Alloc(f.sig.r);
+  auto s = ec.scalar_field().Alloc(f.sig.s);
+  EnforceEcdsaVerify(&ec, pub, z, r, s, GetParam());
+  ASSERT_TRUE(cs.IsSatisfied());
+  // Tamper with the digest scalar's witness after the fact.
+  Var z0 = z.limbs[0].terms()[0].first;
+  cs.SetValueForTest(z0, cs.ValueOf(z0) + Fr::One());
+  EXPECT_FALSE(cs.IsSatisfied());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, EcdsaGadgetTest,
+                         ::testing::Values(EcdsaMsmMode::k256Msm, EcdsaMsmMode::kGlvMsm));
+
+TEST(EcdsaGadget, GlvUsesFewerConstraints) {
+  ToySignatureFixture f = MakeToySignature(1003);
+  auto cost = [&](EcdsaMsmMode mode) {
+    ConstraintSystem cs;
+    EcGadget ec(&cs, Toy(), EcGadget::Technique::kNopeHints);
+    auto pub = ec.AllocPoint(f.pub);
+    auto z = ec.scalar_field().Alloc(BigUInt::FromBytes(f.digest) % Toy().n);
+    auto r = ec.scalar_field().Alloc(f.sig.r);
+    auto s = ec.scalar_field().Alloc(f.sig.s);
+    EnforceEcdsaVerify(&ec, pub, z, r, s, mode);
+    return cs.NumConstraints();
+  };
+  // The half-width transform (Appendix C) should cut the MSM cost.
+  EXPECT_LT(cost(EcdsaMsmMode::kGlvMsm), cost(EcdsaMsmMode::k256Msm));
+}
+
+TEST(EcdsaGadget, KnowledgeOfPrivateKey) {
+  Rng rng(1004);
+  NativeCurve curve(Toy());
+  BigUInt d = BigUInt::RandomBelow(&rng, Toy().n - BigUInt(1)) + BigUInt(1);
+  auto pub_val = curve.ScalarMul(d, curve.Generator());
+
+  ConstraintSystem cs;
+  EcGadget ec(&cs, Toy(), EcGadget::Technique::kNopeHints);
+  auto pub = ec.AllocPoint(pub_val);
+  EnforceKnowledgeOfPrivateKey(&ec, pub, d);
+  EXPECT_TRUE(cs.IsSatisfied());
+}
+
+TEST(RsaGadget, AcceptsValidSignatureToyKey) {
+  Rng rng(1005);
+  RsaPrivateKey key = GenerateRsaKey(&rng, 512);
+  Bytes digest = Sha256::Hash(Ascii("rrsig data"));
+  Bytes sig = RsaSignDigest32(key, digest);
+  ASSERT_TRUE(RsaVerifyDigest32(key.pub, digest, sig));
+
+  for (RsaTechnique tech : {RsaTechnique::kNope, RsaTechnique::kNaive}) {
+    ConstraintSystem cs;
+    ModularGadget g(&cs, key.pub.n);
+    auto sig_num = g.Alloc(BigUInt::FromBytes(sig));
+    std::vector<LC> digest_lcs;
+    for (uint8_t b : digest) {
+      digest_lcs.emplace_back(cs.AddWitness(Fr::FromU64(b)));
+    }
+    auto em = BuildPkcs1Em(&g, digest_lcs);
+    EnforceRsaVerify(&g, sig_num, em, tech);
+    EXPECT_TRUE(cs.IsSatisfied()) << "tech=" << static_cast<int>(tech);
+  }
+}
+
+TEST(RsaGadget, RejectsTamperedSignature) {
+  Rng rng(1006);
+  RsaPrivateKey key = GenerateRsaKey(&rng, 512);
+  Bytes digest = Sha256::Hash(Ascii("data"));
+  Bytes sig = RsaSignDigest32(key, digest);
+
+  ConstraintSystem cs;
+  ModularGadget g(&cs, key.pub.n);
+  auto sig_num = g.Alloc(BigUInt::FromBytes(sig));
+  std::vector<LC> digest_lcs;
+  for (uint8_t b : digest) {
+    digest_lcs.emplace_back(cs.AddWitness(Fr::FromU64(b)));
+  }
+  auto em = BuildPkcs1Em(&g, digest_lcs);
+  EnforceRsaVerify(&g, sig_num, em, RsaTechnique::kNope);
+  ASSERT_TRUE(cs.IsSatisfied());
+  Var s0 = sig_num.limbs[0].terms()[0].first;
+  cs.SetValueForTest(s0, cs.ValueOf(s0) + Fr::One());
+  EXPECT_FALSE(cs.IsSatisfied());
+}
+
+TEST(RsaGadget, NopeCheaperThanNaive) {
+  Rng rng(1007);
+  RsaPrivateKey key = GenerateRsaKey(&rng, 512);
+  Bytes digest = Sha256::Hash(Ascii("x"));
+  Bytes sig = RsaSignDigest32(key, digest);
+  auto cost = [&](RsaTechnique tech) {
+    ConstraintSystem cs;
+    ModularGadget g(&cs, key.pub.n);
+    auto sig_num = g.Alloc(BigUInt::FromBytes(sig));
+    std::vector<LC> digest_lcs;
+    for (uint8_t b : digest) {
+      digest_lcs.emplace_back(cs.AddWitness(Fr::FromU64(b)));
+    }
+    EnforceRsaVerify(&g, sig_num, BuildPkcs1Em(&g, digest_lcs), tech);
+    return cs.NumConstraints();
+  };
+  EXPECT_LT(cost(RsaTechnique::kNope), cost(RsaTechnique::kNaive));
+}
+
+std::vector<LC> ByteLcs(ConstraintSystem* cs, const Bytes& data) {
+  std::vector<LC> out;
+  for (uint8_t b : data) {
+    out.emplace_back(cs->AddWitness(Fr::FromU64(b)));
+  }
+  return out;
+}
+
+Bytes DigestFromLcs(const ConstraintSystem& cs, const std::vector<LC>& digest) {
+  Bytes out;
+  for (const LC& lc : digest) {
+    out.push_back(static_cast<uint8_t>(cs.Eval(lc).ToBigUInt().LowU64()));
+  }
+  return out;
+}
+
+TEST(Sha256Gadget, FixedMatchesNative) {
+  for (size_t len : {0u, 3u, 55u, 56u, 64u, 100u}) {
+    ConstraintSystem cs;
+    Bytes msg;
+    for (size_t i = 0; i < len; ++i) {
+      msg.push_back(static_cast<uint8_t>(i * 13 + 1));
+    }
+    auto digest = Sha256FixedGadget(&cs, ByteLcs(&cs, msg));
+    EXPECT_EQ(DigestFromLcs(cs, digest), Sha256::Hash(msg)) << "len=" << len;
+    EXPECT_TRUE(cs.IsSatisfied()) << "len=" << len;
+  }
+}
+
+TEST(Sha256Gadget, DynamicMatchesNativeAcrossBlockBoundaries) {
+  constexpr size_t kMax = 150;
+  for (size_t len : {0u, 5u, 55u, 56u, 63u, 64u, 119u, 120u, 150u}) {
+    ConstraintSystem cs;
+    Bytes msg;
+    for (size_t i = 0; i < len; ++i) {
+      msg.push_back(static_cast<uint8_t>(i + 7));
+    }
+    Bytes padded = msg;
+    padded.resize(kMax, 0);
+    std::vector<LC> bytes = ByteLcs(&cs, padded);
+    Var len_var = cs.AddWitness(Fr::FromU64(len));
+    auto digest = Sha256DynamicGadget(&cs, bytes, LC(len_var));
+    EXPECT_EQ(DigestFromLcs(cs, digest), Sha256::Hash(msg)) << "len=" << len;
+    EXPECT_TRUE(cs.IsSatisfied()) << "len=" << len;
+  }
+}
+
+TEST(Sha256Gadget, TamperedMessageBitRejected) {
+  ConstraintSystem cs;
+  Bytes msg = Ascii("attack at dawn");
+  auto byte_lcs = ByteLcs(&cs, msg);
+  auto digest = Sha256FixedGadget(&cs, byte_lcs);
+  ASSERT_TRUE(cs.IsSatisfied());
+  Var m0 = byte_lcs[0].terms()[0].first;
+  cs.SetValueForTest(m0, cs.ValueOf(m0) + Fr::One());
+  EXPECT_FALSE(cs.IsSatisfied());
+  (void)digest;
+}
+
+TEST(MimcGadget, MatchesNativeAcrossLengths) {
+  constexpr size_t kMax = 96;
+  for (size_t len : {0u, 1u, 16u, 17u, 48u, 96u}) {
+    ConstraintSystem cs;
+    Bytes msg;
+    for (size_t i = 0; i < len; ++i) {
+      msg.push_back(static_cast<uint8_t>(i * 31 + 3));
+    }
+    Bytes padded = msg;
+    padded.resize(kMax, 0);
+    auto bytes = ByteLcs(&cs, padded);
+    Var len_var = cs.AddWitness(Fr::FromU64(len));
+    auto digest = MimcDynamicGadget(&cs, bytes, LC(len_var));
+    EXPECT_EQ(DigestFromLcs(cs, digest), MimcHashBytes(msg)) << "len=" << len;
+    EXPECT_TRUE(cs.IsSatisfied());
+  }
+}
+
+TEST(MimcGadget, IsLengthSensitive) {
+  // Same masked bytes, different length => different digest.
+  Bytes a = {1, 2, 3};
+  EXPECT_NE(MimcHashBytes(a), MimcHashBytes(Bytes{1, 2, 3, 0}));
+  // Padding-independence: hashing is a function of (bytes, length) only.
+  EXPECT_EQ(MimcHashBytes(a), MimcHashBytes(a));
+}
+
+TEST(MimcGadget, CheapEnoughForDemoProfile) {
+  ConstraintSystem cs;
+  Bytes msg(96, 5);
+  auto bytes = ByteLcs(&cs, msg);
+  Var len_var = cs.AddWitness(Fr::FromU64(96));
+  size_t before = cs.NumConstraints();
+  MimcDynamicGadget(&cs, bytes, LC(len_var));
+  // Orders of magnitude below a SHA-256 block (~29k constraints).
+  EXPECT_LT(cs.NumConstraints() - before, 1500u);
+}
+
+}  // namespace
+}  // namespace nope

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "src/base/sha256.h"
+#include "src/dns/dnssec.h"
+
+namespace nope {
+namespace {
+
+TEST(DnsName, ParseAndFormat) {
+  DnsName n = DnsName::FromString("www.Example.COM");
+  EXPECT_EQ(n.NumLabels(), 3u);
+  EXPECT_EQ(n.ToString(), "www.Example.COM.");
+  EXPECT_EQ(n.Canonical().ToString(), "www.example.com.");
+  EXPECT_EQ(DnsName::FromString("example.com."), DnsName::FromString("EXAMPLE.com"));
+  EXPECT_EQ(DnsName::Root().ToString(), ".");
+  EXPECT_THROW(DnsName::FromString("a..b"), std::invalid_argument);
+  EXPECT_THROW(DnsName::FromString(std::string(64, 'x') + ".com"), std::invalid_argument);
+}
+
+TEST(DnsName, WireRoundTrip) {
+  DnsName n = DnsName::FromString("example.com");
+  Bytes wire = n.ToWire();
+  EXPECT_EQ(wire, (Bytes{7, 'e', 'x', 'a', 'm', 'p', 'l', 'e', 3, 'c', 'o', 'm', 0}));
+  size_t pos = 0;
+  EXPECT_EQ(DnsName::FromWire(wire, &pos), n);
+  EXPECT_EQ(pos, wire.size());
+  EXPECT_EQ(DnsName::Root().ToWire(), Bytes{0});
+}
+
+TEST(DnsName, HierarchyNavigation) {
+  DnsName n = DnsName::FromString("www.example.com");
+  EXPECT_EQ(n.Parent().ToString(), "example.com.");
+  EXPECT_EQ(n.Parent().Parent().Parent(), DnsName::Root());
+  EXPECT_THROW(DnsName::Root().Parent(), std::logic_error);
+  EXPECT_EQ(DnsName::FromString("com").Child("example").ToString(), "example.com.");
+  EXPECT_TRUE(n.IsSubdomainOf(DnsName::FromString("example.com")));
+  EXPECT_TRUE(n.IsSubdomainOf(DnsName::Root()));
+  EXPECT_FALSE(DnsName::FromString("example.org").IsSubdomainOf(DnsName::FromString("com")));
+}
+
+TEST(DnsName, CanonicalOrdering) {
+  // RFC 4034 §6.1: sort by label from the right.
+  EXPECT_TRUE(DnsName::FromString("example.com") < DnsName::FromString("a.example.com"));
+  EXPECT_TRUE(DnsName::FromString("a.com") < DnsName::FromString("b.com"));
+  EXPECT_TRUE(DnsName::FromString("z.a.com") < DnsName::FromString("a.b.com"));
+}
+
+TEST(Records, DnskeyRoundTrip) {
+  DnskeyRdata key{kDnskeyFlagsKsk, kDnskeyProtocol, kAlgEcdsaP256Sha256, Bytes(64, 0xab)};
+  Bytes encoded = key.Encode();
+  EXPECT_EQ(encoded.size(), 4u + 64u);
+  DnskeyRdata decoded = DnskeyRdata::Decode(encoded);
+  EXPECT_EQ(decoded.flags, key.flags);
+  EXPECT_EQ(decoded.algorithm, key.algorithm);
+  EXPECT_EQ(decoded.public_key, key.public_key);
+  EXPECT_TRUE(decoded.IsKsk());
+  DnskeyRdata zsk{kDnskeyFlagsZsk, kDnskeyProtocol, kAlgEcdsaP256Sha256, Bytes(64, 1)};
+  EXPECT_FALSE(zsk.IsKsk());
+}
+
+TEST(Records, RrsigRoundTripAndPrefix) {
+  RrsigRdata sig;
+  sig.type_covered = static_cast<uint16_t>(RrType::kDnskey);
+  sig.algorithm = kAlgEcdsaP256Sha256;
+  sig.labels = 2;
+  sig.original_ttl = 3600;
+  sig.expiration = 1800000000;
+  sig.inception = 1700000000;
+  sig.key_tag = 0xbeef;
+  sig.signer = DnsName::FromString("example.com");
+  sig.signature = Bytes(64, 0x11);
+
+  Bytes encoded = sig.Encode();
+  RrsigRdata decoded = RrsigRdata::Decode(encoded);
+  EXPECT_EQ(decoded.type_covered, sig.type_covered);
+  EXPECT_EQ(decoded.signer, sig.signer);
+  EXPECT_EQ(decoded.signature, sig.signature);
+  // Prefix is the encoding minus the signature.
+  Bytes prefix = sig.EncodePrefix();
+  EXPECT_EQ(Bytes(encoded.begin(), encoded.begin() + prefix.size()), prefix);
+}
+
+TEST(Records, KeyTagMatchesRfc4034Algorithm) {
+  // The key tag folds 16-bit words; check basic structural properties.
+  Bytes rdata = {0x01, 0x01, 0x03, 0x08, 0xab, 0xcd};
+  uint32_t acc = 0x0101 + 0x0308 + 0xabcd;
+  acc += acc >> 16;
+  EXPECT_EQ(ComputeKeyTag(rdata), acc & 0xffff);
+  // Odd-length rdata: final byte is a high byte.
+  Bytes odd = {0x01, 0x01, 0xff};
+  uint32_t acc2 = 0x0101 + 0xff00;
+  acc2 += acc2 >> 16;
+  EXPECT_EQ(ComputeKeyTag(odd), acc2 & 0xffff);
+}
+
+TEST(Records, CanonicalRrsetSortsRdata) {
+  Rrset set{DnsName::FromString("EXAMPLE.com"), RrType::kTxt, 300, {{3}, {1}, {2}}};
+  Rrset canonical = set.Canonical();
+  EXPECT_EQ(canonical.name.ToString(), "example.com.");
+  EXPECT_EQ(canonical.rdatas, (std::vector<Bytes>{{1}, {2}, {3}}));
+}
+
+TEST(Records, TxtRoundTrip) {
+  Bytes rdata = TxtRdata("acme-challenge=xyz");
+  EXPECT_EQ(TxtRdataToString(rdata), "acme-challenge=xyz");
+  EXPECT_THROW(TxtRdata(std::string(300, 'a')), std::invalid_argument);
+}
+
+class SuiteTest : public ::testing::TestWithParam<CryptoSuite::Kind> {
+ protected:
+  const CryptoSuite& suite() const {
+    return GetParam() == CryptoSuite::Kind::kReal ? CryptoSuite::Real() : CryptoSuite::Toy();
+  }
+};
+
+TEST_P(SuiteTest, ZoneSignAndVerifyRoundTrip) {
+  Rng rng(2001);
+  Zone zone(DnsName::FromString("example.com"), suite(), &rng, /*rsa_zsk=*/false);
+  Rrset txt{zone.name(), RrType::kTxt, 300, {TxtRdata("hello")}};
+  SignedRrset signed_set = zone.Sign(txt, &rng);
+
+  Bytes buffer = BuildSigningBuffer(signed_set.rrsig, signed_set.rrset);
+  EXPECT_TRUE(VerifyWithDnskey(suite(), zone.ZskRdata(), buffer, signed_set.rrsig.signature));
+  // Wrong key (KSK) fails.
+  EXPECT_FALSE(VerifyWithDnskey(suite(), zone.KskRdata(), buffer, signed_set.rrsig.signature));
+  // Tampered buffer fails.
+  Bytes bad = buffer;
+  bad.back() ^= 1;
+  EXPECT_FALSE(VerifyWithDnskey(suite(), zone.ZskRdata(), bad, signed_set.rrsig.signature));
+}
+
+TEST_P(SuiteTest, DnskeyRrsetSignedByKsk) {
+  Rng rng(2002);
+  Zone zone(DnsName::FromString("com"), suite(), &rng, /*rsa_zsk=*/false);
+  SignedRrset signed_keys = zone.Sign(zone.DnskeyRrset(), &rng);
+  Bytes buffer = BuildSigningBuffer(signed_keys.rrsig, signed_keys.rrset);
+  EXPECT_TRUE(VerifyWithDnskey(suite(), zone.KskRdata(), buffer, signed_keys.rrsig.signature));
+  EXPECT_EQ(signed_keys.rrsig.key_tag, ComputeKeyTag(zone.KskRdata().Encode()));
+}
+
+TEST_P(SuiteTest, HierarchyChainValidates) {
+  DnssecHierarchy hierarchy(suite(), 2003);
+  hierarchy.AddZone(DnsName::FromString("com"));
+  hierarchy.AddZone(DnsName::FromString("example.com"));
+
+  ChainOfTrust chain = hierarchy.BuildChain(DnsName::FromString("example.com"));
+  EXPECT_EQ(chain.levels.size(), 1u);  // just .com between example.com and root
+  EXPECT_TRUE(ValidateChain(suite(), chain, chain.root_zsk));
+
+  // Wrong trust anchor rejected.
+  Rng rng2(999);
+  Zone other(DnsName::Root(), suite(), &rng2, /*rsa_zsk=*/true);
+  EXPECT_FALSE(ValidateChain(suite(), chain, other.ZskRdata()));
+}
+
+TEST_P(SuiteTest, TamperedChainRejected) {
+  DnssecHierarchy hierarchy(suite(), 2004);
+  hierarchy.AddZone(DnsName::FromString("org"));
+  hierarchy.AddZone(DnsName::FromString("nope-tools.org"));
+  ChainOfTrust chain = hierarchy.BuildChain(DnsName::FromString("nope-tools.org"));
+  ASSERT_TRUE(ValidateChain(suite(), chain, chain.root_zsk));
+
+  // Swap the leaf KSK for an attacker key: the DS digest no longer matches.
+  ChainOfTrust bad = chain;
+  Rng rng(1234);
+  Zone attacker(DnsName::FromString("nope-tools.org"), suite(), &rng, false);
+  bad.leaf_ksk = attacker.KskRdata();
+  EXPECT_FALSE(ValidateChain(suite(), bad, chain.root_zsk));
+
+  // Corrupt a DS signature byte.
+  bad = chain;
+  bad.leaf_ds.rrsig.signature[0] ^= 1;
+  EXPECT_FALSE(ValidateChain(suite(), bad, chain.root_zsk));
+
+  // Corrupt the intermediate DNSKEY RRset.
+  bad = chain;
+  bad.levels[0].dnskey.rrset.rdatas[0][6] ^= 1;
+  EXPECT_FALSE(ValidateChain(suite(), bad, chain.root_zsk));
+}
+
+TEST_P(SuiteTest, DeeperHierarchy) {
+  DnssecHierarchy hierarchy(suite(), 2005);
+  hierarchy.AddZone(DnsName::FromString("uk"));
+  hierarchy.AddZone(DnsName::FromString("co.uk"));
+  hierarchy.AddZone(DnsName::FromString("example.co.uk"));
+  ChainOfTrust chain = hierarchy.BuildChain(DnsName::FromString("example.co.uk"));
+  EXPECT_EQ(chain.levels.size(), 2u);
+  EXPECT_TRUE(ValidateChain(suite(), chain, chain.root_zsk));
+}
+
+TEST_P(SuiteTest, DceChainSerializationSize) {
+  DnssecHierarchy hierarchy(suite(), 2006);
+  hierarchy.AddZone(DnsName::FromString("org"));
+  hierarchy.AddZone(DnsName::FromString("nope-tools.org"));
+  ChainOfTrust chain = hierarchy.BuildChain(DnsName::FromString("nope-tools.org"));
+  Bytes serialized = SerializeDceChain(chain);
+  EXPECT_GT(serialized.size(), 100u);
+  if (suite().kind == CryptoSuite::Kind::kReal) {
+    // Paper Fig. 7: a real DCE chain is several KB.
+    EXPECT_GT(serialized.size(), 1000u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suites, SuiteTest,
+                         ::testing::Values(CryptoSuite::Kind::kReal, CryptoSuite::Kind::kToy));
+
+TEST(Hierarchy, TxtRecords) {
+  DnssecHierarchy hierarchy(CryptoSuite::Toy(), 2007);
+  hierarchy.AddZone(DnsName::FromString("com"));
+  hierarchy.AddZone(DnsName::FromString("example.com"));
+  DnsName challenge = DnsName::FromString("_acme-challenge.example.com");
+  hierarchy.SetTxt(challenge, "token123");
+  hierarchy.SetTxt(challenge, "token456");
+  auto values = hierarchy.QueryTxt(challenge);
+  EXPECT_EQ(values.size(), 2u);
+  EXPECT_TRUE(hierarchy.QueryTxt(DnsName::FromString("other.com")).empty());
+
+  hierarchy.SetTxt(DnsName::FromString("example.com"), "nope-binding=abc");
+  SignedRrset signed_txt = hierarchy.SignedTxt(DnsName::FromString("example.com"));
+  Zone* zone = hierarchy.Find(DnsName::FromString("example.com"));
+  Bytes buffer = BuildSigningBuffer(signed_txt.rrsig, signed_txt.rrset);
+  EXPECT_TRUE(VerifyWithDnskey(CryptoSuite::Toy(), zone->ZskRdata(), buffer,
+                               signed_txt.rrsig.signature));
+}
+
+TEST(Hierarchy, RootZskIsRsa) {
+  DnssecHierarchy hierarchy(CryptoSuite::Real(), 2008);
+  EXPECT_EQ(hierarchy.root().ZskRdata().algorithm, kAlgRsaSha256);
+  EXPECT_EQ(hierarchy.root().KskRdata().algorithm, kAlgEcdsaP256Sha256);
+  // RSA-2048 public key wire: 1 + 3 + 256.
+  EXPECT_EQ(hierarchy.root().ZskRdata().public_key.size(), 260u);
+}
+
+TEST(Hierarchy, AddZoneRequiresParent) {
+  DnssecHierarchy hierarchy(CryptoSuite::Toy(), 2009);
+  EXPECT_THROW(hierarchy.AddZone(DnsName::FromString("example.com")), std::invalid_argument);
+  hierarchy.AddZone(DnsName::FromString("com"));
+  EXPECT_NO_THROW(hierarchy.AddZone(DnsName::FromString("example.com")));
+}
+
+}  // namespace
+}  // namespace nope

@@ -1,0 +1,183 @@
+#include "src/r1cs/ec_gadget.h"
+
+#include <gtest/gtest.h>
+
+#include "src/r1cs/toy_curve.h"
+#include "src/sig/rsa.h"
+
+namespace nope {
+namespace {
+
+const CurveSpec& Toy() {
+  static const CurveSpec spec = FindToyCurve(42);
+  return spec;
+}
+
+TEST(ToyCurve, IsAValidPrimeOrderCurve) {
+  const CurveSpec& spec = Toy();
+  NativeCurve curve(spec);
+  EXPECT_TRUE(curve.IsOnCurve(curve.Generator()));
+  EXPECT_TRUE(curve.ScalarMul(spec.n, curve.Generator()).infinity);
+  EXPECT_FALSE(curve.ScalarMul(BigUInt(2), curve.Generator()).infinity);
+  // Hasse bound: |order - p - 1| <= 2 sqrt(p).
+  Rng rng(900);
+  EXPECT_TRUE(IsProbablePrime(spec.n, &rng));
+}
+
+TEST(NativeCurveTest, GroupLaws) {
+  NativeCurve curve(Toy());
+  Rng rng(901);
+  BigUInt a = BigUInt::RandomBelow(&rng, Toy().n);
+  BigUInt b = BigUInt::RandomBelow(&rng, Toy().n);
+  auto pa = curve.ScalarMul(a, curve.Generator());
+  auto pb = curve.ScalarMul(b, curve.Generator());
+  EXPECT_TRUE(curve.Equal(curve.Add(pa, pb), curve.Add(pb, pa)));
+  EXPECT_TRUE(curve.Equal(curve.Add(pa, pb),
+                          curve.ScalarMul(a.AddMod(b, Toy().n), curve.Generator())));
+  EXPECT_TRUE(curve.Add(pa, curve.Negate(pa)).infinity);
+  EXPECT_TRUE(curve.IsOnCurve(curve.Double(pa)));
+}
+
+TEST(NativeCurveTest, P256MatchesTemplateImplementation) {
+  NativeCurve curve(CurveSpec::P256());
+  auto p2 = curve.Double(curve.Generator());
+  EXPECT_EQ(p2.x.ToHex(), "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978");
+  EXPECT_TRUE(curve.ScalarMul(curve.spec().n, curve.Generator()).infinity);
+}
+
+class EcGadgetTechTest : public ::testing::TestWithParam<EcGadget::Technique> {};
+
+TEST_P(EcGadgetTechTest, AddAndDoubleMatchNative) {
+  ConstraintSystem cs;
+  EcGadget ec(&cs, Toy(), GetParam());
+  NativeCurve curve(Toy());
+  Rng rng(902);
+  auto p_val = curve.ScalarMul(BigUInt::RandomBelow(&rng, Toy().n - BigUInt(1)) + BigUInt(1),
+                               curve.Generator());
+  auto q_val = curve.ScalarMul(BigUInt::RandomBelow(&rng, Toy().n - BigUInt(1)) + BigUInt(1),
+                               curve.Generator());
+  if (curve.AddIsDegenerate(p_val, q_val)) {
+    q_val = curve.Double(q_val);
+  }
+  auto p = ec.AllocPoint(p_val);
+  auto q = ec.AllocPoint(q_val);
+
+  auto sum = ec.Add(p, q);
+  auto expected = curve.Add(p_val, q_val);
+  EXPECT_EQ(ec.field().ValueOfMod(sum.x), expected.x);
+  EXPECT_EQ(ec.field().ValueOfMod(sum.y), expected.y);
+
+  auto dbl = ec.Double(p);
+  auto expected2 = curve.Double(p_val);
+  EXPECT_EQ(ec.field().ValueOfMod(dbl.x), expected2.x);
+  EXPECT_EQ(ec.field().ValueOfMod(dbl.y), expected2.y);
+
+  EXPECT_TRUE(cs.IsSatisfied());
+}
+
+TEST_P(EcGadgetTechTest, ForgedSumRejected) {
+  ConstraintSystem cs;
+  EcGadget ec(&cs, Toy(), GetParam());
+  NativeCurve curve(Toy());
+  auto p_val = curve.ScalarMul(BigUInt(5), curve.Generator());
+  auto q_val = curve.ScalarMul(BigUInt(9), curve.Generator());
+  auto p = ec.AllocPoint(p_val);
+  auto q = ec.AllocPoint(q_val);
+  auto sum = ec.Add(p, q);
+  ASSERT_TRUE(cs.IsSatisfied());
+  // Corrupt the result's x limb.
+  Var x0 = sum.x.limbs[0].terms()[0].first;
+  cs.SetValueForTest(x0, cs.ValueOf(x0) + Fr::One());
+  EXPECT_FALSE(cs.IsSatisfied());
+}
+
+INSTANTIATE_TEST_SUITE_P(Techniques, EcGadgetTechTest,
+                         ::testing::Values(EcGadget::Technique::kNaive,
+                                           EcGadget::Technique::kNopeHints));
+
+TEST(EcGadget, NopeHintsCheaperThanNaive) {
+  NativeCurve curve(Toy());
+  auto p_val = curve.ScalarMul(BigUInt(5), curve.Generator());
+  auto q_val = curve.ScalarMul(BigUInt(9), curve.Generator());
+
+  auto cost = [&](EcGadget::Technique tech) {
+    ConstraintSystem cs;
+    EcGadget ec(&cs, Toy(), tech);
+    auto p = ec.AllocPoint(p_val);
+    auto q = ec.AllocPoint(q_val);
+    size_t before = cs.NumConstraints();
+    ec.Add(p, q);
+    return cs.NumConstraints() - before;
+  };
+  size_t naive = cost(EcGadget::Technique::kNaive);
+  size_t nope = cost(EcGadget::Technique::kNopeHints);
+  EXPECT_LT(nope, naive);
+}
+
+TEST(EcGadget, MsmMatchesNative) {
+  ConstraintSystem cs;
+  EcGadget ec(&cs, Toy(), EcGadget::Technique::kNopeHints);
+  NativeCurve curve(Toy());
+  Rng rng(903);
+
+  BigUInt k1 = BigUInt::RandomBelow(&rng, Toy().n - BigUInt(1)) + BigUInt(1);
+  BigUInt k2 = BigUInt::RandomBelow(&rng, Toy().n - BigUInt(1)) + BigUInt(1);
+  auto p1_val = curve.Generator();
+  auto p2_val = curve.ScalarMul(BigUInt(777), curve.Generator());
+
+  auto p1 = ec.ConstantPoint(p1_val);
+  auto p2 = ec.AllocPoint(p2_val);
+  auto k1n = ec.scalar_field().Alloc(k1);
+  auto k2n = ec.scalar_field().Alloc(k2);
+  auto result = ec.Msm({ec.ScalarBitsMsb(k1n), ec.ScalarBitsMsb(k2n)}, {p1, p2});
+
+  auto expected = curve.Add(curve.ScalarMul(k1, p1_val), curve.ScalarMul(k2, p2_val));
+  ASSERT_FALSE(expected.infinity);
+  EXPECT_EQ(ec.field().ValueOfMod(result.x), expected.x);
+  EXPECT_EQ(ec.field().ValueOfMod(result.y), expected.y);
+  EXPECT_TRUE(cs.IsSatisfied());
+}
+
+TEST(EcGadget, EnforceMsmZeroAcceptsIdentity) {
+  // k1*G + k2*P == O with P = 777*G and k1 + 777*k2 == 0 (mod n). The two
+  // points must be distinct: the shared subset table rejects same-x pairs
+  // (the GLV check always supplies distinct points).
+  ConstraintSystem cs;
+  EcGadget ec(&cs, Toy(), EcGadget::Technique::kNopeHints);
+  NativeCurve curve(Toy());
+  BigUInt k2(12345);
+  BigUInt k1 = (Toy().n - k2.MulMod(BigUInt(777), Toy().n)) % Toy().n;
+  auto p = ec.ConstantPoint(curve.ScalarMul(BigUInt(777), curve.Generator()));
+  auto g = ec.ConstantPoint(curve.Generator());
+  auto k1n = ec.scalar_field().Alloc(k1);
+  auto k2n = ec.scalar_field().Alloc(k2);
+  ec.EnforceMsmZero({ec.ScalarBitsMsb(k1n), ec.ScalarBitsMsb(k2n)}, {g, p});
+  EXPECT_TRUE(cs.IsSatisfied());
+}
+
+TEST(EcGadget, EnforceMsmZeroRejectsDuplicatePoints) {
+  // Same point twice makes the subset table degenerate; the gadget must
+  // refuse rather than emit unsound constraints.
+  ConstraintSystem cs;
+  EcGadget ec(&cs, Toy(), EcGadget::Technique::kNopeHints);
+  NativeCurve curve(Toy());
+  auto g = ec.ConstantPoint(curve.Generator());
+  auto kn = ec.scalar_field().Alloc(BigUInt(5));
+  auto k2n = ec.scalar_field().Alloc(Toy().n - BigUInt(5));
+  EXPECT_THROW(ec.EnforceMsmZero({ec.ScalarBitsMsb(kn), ec.ScalarBitsMsb(k2n)}, {g, g}),
+               std::runtime_error);
+}
+
+TEST(EcGadget, OnCurveEnforcedAtAllocation) {
+  ConstraintSystem cs;
+  EcGadget ec(&cs, Toy(), EcGadget::Technique::kNopeHints);
+  NativeCurve curve(Toy());
+  auto p = ec.AllocPoint(curve.Generator());
+  ASSERT_TRUE(cs.IsSatisfied());
+  Var y0 = p.y.limbs[0].terms()[0].first;
+  cs.SetValueForTest(y0, cs.ValueOf(y0) + Fr::One());
+  EXPECT_FALSE(cs.IsSatisfied());
+}
+
+}  // namespace
+}  // namespace nope

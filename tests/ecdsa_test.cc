@@ -1,0 +1,105 @@
+#include "src/sig/ecdsa.h"
+
+#include <gtest/gtest.h>
+
+namespace nope {
+namespace {
+
+Bytes Ascii(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(Ecdsa, SignVerifyRoundTrip) {
+  Rng rng(501);
+  EcdsaKeyPair kp = GenerateEcdsaKey(&rng);
+  Bytes msg = Ascii("example.com. 3600 IN DNSKEY 257 3 13 ...");
+  EcdsaSignature sig = EcdsaSign(kp.priv, msg);
+  EXPECT_TRUE(EcdsaVerify(kp.pub, msg, sig));
+
+  Bytes bad = msg;
+  bad.back() ^= 1;
+  EXPECT_FALSE(EcdsaVerify(kp.pub, bad, sig));
+
+  EcdsaSignature bad_sig = sig;
+  bad_sig.s = bad_sig.s + BigUInt(1);
+  EXPECT_FALSE(EcdsaVerify(kp.pub, msg, bad_sig));
+}
+
+TEST(Ecdsa, WrongKeyRejects) {
+  Rng rng(502);
+  EcdsaKeyPair kp1 = GenerateEcdsaKey(&rng);
+  EcdsaKeyPair kp2 = GenerateEcdsaKey(&rng);
+  Bytes msg = Ascii("msg");
+  EXPECT_FALSE(EcdsaVerify(kp2.pub, msg, EcdsaSign(kp1.priv, msg)));
+}
+
+TEST(Ecdsa, DeterministicNonces) {
+  Rng rng(503);
+  EcdsaKeyPair kp = GenerateEcdsaKey(&rng);
+  Bytes msg = Ascii("rfc6979");
+  EcdsaSignature s1 = EcdsaSign(kp.priv, msg);
+  EcdsaSignature s2 = EcdsaSign(kp.priv, msg);
+  EXPECT_EQ(s1.r, s2.r);
+  EXPECT_EQ(s1.s, s2.s);
+}
+
+TEST(Ecdsa, Rfc6979KnownVector) {
+  // RFC 6979 A.2.5, P-256 + SHA-256, message "sample".
+  EcdsaPrivateKey priv{BigUInt::FromHex(
+      "c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721")};
+  EcdsaSignature sig = EcdsaSign(priv, Ascii("sample"));
+  EXPECT_EQ(sig.r.ToHex(), "efd48b2aacb6a8fd1140dd9cd45e81d69d2c877b56aaf991c34d0ea84eaf3716");
+  EXPECT_EQ(sig.s.ToHex(), "f7cb1c942d657c41d436c7a1b6e29f65f3e900dbb9aff4064dc4ab2f843acda8");
+  // And verify against the RFC's public key.
+  EcdsaPublicKey pub{P256Generator().ScalarMul(priv.d)};
+  auto aff = pub.q.ToAffine();
+  EXPECT_EQ(aff.x.ToBigUInt().ToHex(),
+            "60fed4ba255a9d31c961eb74c6356d68c049b8923b61fa6ce669622e60f29fb6");
+  EXPECT_TRUE(EcdsaVerify(pub, Ascii("sample"), sig));
+}
+
+TEST(Ecdsa, EncodingRoundTrips) {
+  Rng rng(504);
+  EcdsaKeyPair kp = GenerateEcdsaKey(&rng);
+  EXPECT_EQ(EcdsaPublicKey::Decode(kp.pub.Encode()), kp.pub);
+  EcdsaSignature sig = EcdsaSign(kp.priv, Ascii("m"));
+  EcdsaSignature decoded = EcdsaSignature::Decode(sig.Encode());
+  EXPECT_EQ(decoded.r, sig.r);
+  EXPECT_EQ(decoded.s, sig.s);
+  EXPECT_THROW(EcdsaSignature::Decode(Bytes(10)), std::invalid_argument);
+  EXPECT_THROW(EcdsaPublicKey::Decode(Bytes(65, 1)), std::invalid_argument);
+}
+
+TEST(Ecdsa, GlvSideInfoIsHalfSize) {
+  Rng rng(505);
+  BigUInt bound = BigUInt(1) << 130;
+  for (int i = 0; i < 20; ++i) {
+    BigUInt h1 = BigUInt::RandomBelow(&rng, P256Order());
+    GlvSideInfo side = ComputeGlvSideInfo(h1);
+    EXPECT_TRUE(side.v < bound);
+    EXPECT_TRUE(side.h1v < bound);
+    BigUInt prod = h1.MulMod(side.v, P256Order());
+    if (side.h1v_negated) {
+      prod = (P256Order() - prod) % P256Order();
+    }
+    EXPECT_EQ(prod, side.h1v % P256Order());
+  }
+}
+
+TEST(Ecdsa, GlvVerifyMatchesStandardVerify) {
+  Rng rng(506);
+  for (int i = 0; i < 8; ++i) {
+    EcdsaKeyPair kp = GenerateEcdsaKey(&rng);
+    Bytes msg = rng.NextBytes(40);
+    EcdsaSignature sig = EcdsaSign(kp.priv, msg);
+    EXPECT_TRUE(EcdsaVerifyGlv(kp.pub, msg, sig));
+    // Invalid signature rejected by both.
+    EcdsaSignature bad = sig;
+    bad.r = (bad.r + BigUInt(1)) % P256Order();
+    EXPECT_EQ(EcdsaVerify(kp.pub, msg, bad), EcdsaVerifyGlv(kp.pub, msg, bad));
+    Bytes bad_msg = msg;
+    bad_msg[0] ^= 0xff;
+    EXPECT_FALSE(EcdsaVerifyGlv(kp.pub, bad_msg, sig));
+  }
+}
+
+}  // namespace
+}  // namespace nope

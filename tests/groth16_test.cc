@@ -1,0 +1,230 @@
+#include "src/groth16/groth16.h"
+
+#include <gtest/gtest.h>
+
+namespace nope {
+namespace {
+
+// Builds the classic demo statement: public x, witness w with w^3 + w + 5 == x.
+ConstraintSystem CubicCircuit(uint64_t w_val, uint64_t x_val) {
+  ConstraintSystem cs;
+  Var x = cs.AddPublicInput(Fr::FromU64(x_val));
+  Var w = cs.AddWitness(Fr::FromU64(w_val));
+  Fr w_fr = Fr::FromU64(w_val);
+  Var w2 = cs.AddWitness(w_fr * w_fr);
+  Var w3 = cs.AddWitness(w_fr * w_fr * w_fr);
+  cs.Enforce(LC(w), LC(w), LC(w2));
+  cs.Enforce(LC(w2), LC(w), LC(w3));
+  cs.EnforceEqual(LC(w3) + LC(w) + LC::Constant(Fr::FromU64(5)), LC(x));
+  return cs;
+}
+
+TEST(Groth16, ProveAndVerifyCubic) {
+  // w = 3: 27 + 3 + 5 = 35.
+  ConstraintSystem cs = CubicCircuit(3, 35);
+  ASSERT_TRUE(cs.IsSatisfied());
+  Rng rng(601);
+  auto pk = groth16::Setup(cs, &rng);
+  auto proof = groth16::Prove(pk, cs, &rng);
+  EXPECT_TRUE(groth16::Verify(pk.vk, {Fr::FromU64(35)}, proof));
+  // Wrong public input rejected.
+  EXPECT_FALSE(groth16::Verify(pk.vk, {Fr::FromU64(36)}, proof));
+  // Wrong number of public inputs rejected.
+  EXPECT_FALSE(groth16::Verify(pk.vk, {}, proof));
+  EXPECT_FALSE(groth16::Verify(pk.vk, {Fr::FromU64(35), Fr::One()}, proof));
+}
+
+TEST(Groth16, UnsatisfiedWitnessThrows) {
+  ConstraintSystem cs = CubicCircuit(3, 36);
+  Rng rng(602);
+  ConstraintSystem good = CubicCircuit(3, 35);
+  auto pk = groth16::Setup(good, &rng);
+  EXPECT_THROW(groth16::Prove(pk, cs, &rng), std::invalid_argument);
+}
+
+TEST(Groth16, TamperedProofRejected) {
+  ConstraintSystem cs = CubicCircuit(2, 15);  // 8 + 2 + 5
+  Rng rng(603);
+  auto pk = groth16::Setup(cs, &rng);
+  auto proof = groth16::Prove(pk, cs, &rng);
+  ASSERT_TRUE(groth16::Verify(pk.vk, {Fr::FromU64(15)}, proof));
+
+  groth16::Proof bad = proof;
+  bad.a = bad.a.Double();
+  EXPECT_FALSE(groth16::Verify(pk.vk, {Fr::FromU64(15)}, bad));
+  bad = proof;
+  bad.c = bad.c.Add(G1Generator());
+  EXPECT_FALSE(groth16::Verify(pk.vk, {Fr::FromU64(15)}, bad));
+}
+
+TEST(Groth16, ProofSerializationIs128Bytes) {
+  ConstraintSystem cs = CubicCircuit(3, 35);
+  Rng rng(604);
+  auto pk = groth16::Setup(cs, &rng);
+  auto proof = groth16::Prove(pk, cs, &rng);
+
+  Bytes encoded = proof.ToBytes();
+  EXPECT_EQ(encoded.size(), 128u);  // the paper's raw proof size (§2.3, Fig. 7)
+  auto decoded = groth16::Proof::FromBytes(encoded);
+  EXPECT_TRUE(decoded.a.Equals(proof.a));
+  EXPECT_TRUE(decoded.b.Equals(proof.b));
+  EXPECT_TRUE(decoded.c.Equals(proof.c));
+  EXPECT_TRUE(groth16::Verify(pk.vk, {Fr::FromU64(35)}, decoded));
+
+  EXPECT_THROW(groth16::Proof::FromBytes(Bytes(127)), std::invalid_argument);
+  Bytes corrupt = encoded;
+  corrupt[5] ^= 0xff;
+  // Either decode fails (x not on curve) or the proof no longer verifies.
+  try {
+    auto p2 = groth16::Proof::FromBytes(corrupt);
+    EXPECT_FALSE(groth16::Verify(pk.vk, {Fr::FromU64(35)}, p2));
+  } catch (const std::invalid_argument&) {
+  }
+}
+
+TEST(Groth16, ZeroKnowledgeRandomization) {
+  ConstraintSystem cs = CubicCircuit(3, 35);
+  Rng rng(605);
+  auto pk = groth16::Setup(cs, &rng);
+  auto p1 = groth16::Prove(pk, cs, &rng);
+  auto p2 = groth16::Prove(pk, cs, &rng);
+  // Distinct randomness yields distinct proofs for the same statement.
+  EXPECT_FALSE(p1.a.Equals(p2.a));
+  EXPECT_TRUE(groth16::Verify(pk.vk, {Fr::FromU64(35)}, p1));
+  EXPECT_TRUE(groth16::Verify(pk.vk, {Fr::FromU64(35)}, p2));
+}
+
+TEST(Groth16, ProofMalleability) {
+  // Anyone can re-randomize a valid proof into a distinct valid proof; this
+  // is why NOPE binds N and TS inside the statement rather than relying on
+  // proof bytes being unique (§3.2).
+  ConstraintSystem cs = CubicCircuit(3, 35);
+  Rng rng(606);
+  auto pk = groth16::Setup(cs, &rng);
+  auto proof = groth16::Prove(pk, cs, &rng);
+  auto mauled = groth16::RandomizeProof(pk.vk, proof, &rng);
+  EXPECT_FALSE(mauled.a.Equals(proof.a));
+  EXPECT_TRUE(groth16::Verify(pk.vk, {Fr::FromU64(35)}, mauled));
+}
+
+TEST(Groth16, MultiplePublicInputs) {
+  // Statement: x0 * x1 == w (all products public except w... rather, w is
+  // witness equal to the product).
+  ConstraintSystem cs;
+  Var x0 = cs.AddPublicInput(Fr::FromU64(6));
+  Var x1 = cs.AddPublicInput(Fr::FromU64(7));
+  Var w = cs.AddWitness(Fr::FromU64(42));
+  cs.Enforce(LC(x0), LC(x1), LC(w));
+  // Pad with a few more constraints to exercise non-trivial domains.
+  for (int i = 0; i < 10; ++i) {
+    cs.Enforce(LC(w), LC::Constant(Fr::One()), LC(w));
+  }
+  Rng rng(607);
+  auto pk = groth16::Setup(cs, &rng);
+  auto proof = groth16::Prove(pk, cs, &rng);
+  EXPECT_TRUE(groth16::Verify(pk.vk, {Fr::FromU64(6), Fr::FromU64(7)}, proof));
+  EXPECT_FALSE(groth16::Verify(pk.vk, {Fr::FromU64(7), Fr::FromU64(6)}, proof));
+}
+
+TEST(Groth16, LargerRandomCircuit) {
+  // Random multiplicative chain, a few hundred constraints.
+  Rng rng(608);
+  ConstraintSystem cs;
+  Fr acc_val = Fr::FromU64(2);
+  Var pub = cs.AddPublicInput(Fr::Zero());  // patched below
+  Var acc = cs.AddWitness(acc_val);
+  cs.EnforceEqual(LC(acc), LC::Constant(acc_val));
+  for (int i = 0; i < 300; ++i) {
+    Fr next_val = acc_val * acc_val + Fr::FromU64(i);
+    Var next = cs.AddWitness(next_val);
+    cs.Enforce(LC(acc), LC(acc), LC(next) - LC::Constant(Fr::FromU64(i)));
+    acc = next;
+    acc_val = next_val;
+  }
+  cs.SetValueForTest(pub, acc_val);
+  cs.EnforceEqual(LC(acc), LC(pub));
+  ASSERT_TRUE(cs.IsSatisfied());
+
+  auto pk = groth16::Setup(cs, &rng);
+  auto proof = groth16::Prove(pk, cs, &rng);
+  EXPECT_TRUE(groth16::Verify(pk.vk, {acc_val}, proof));
+  EXPECT_FALSE(groth16::Verify(pk.vk, {acc_val + Fr::One()}, proof));
+}
+
+TEST(Domain, FftRoundTrip) {
+  EvaluationDomain d(13);
+  EXPECT_EQ(d.size(), 16u);
+  Rng rng(609);
+  std::vector<Fr> coeffs;
+  for (size_t i = 0; i < d.size(); ++i) {
+    coeffs.push_back(Fr::Random(&rng));
+  }
+  std::vector<Fr> evals = coeffs;
+  d.Fft(&evals);
+  // Spot-check: evaluation at omega^1 equals the polynomial evaluated there.
+  Fr x = d.omega();
+  Fr expect = Fr::Zero();
+  Fr pw = Fr::One();
+  for (const Fr& c : coeffs) {
+    expect = expect + c * pw;
+    pw = pw * x;
+  }
+  EXPECT_EQ(evals[1], expect);
+
+  d.Ifft(&evals);
+  EXPECT_EQ(evals, coeffs);
+
+  std::vector<Fr> coset = coeffs;
+  d.CosetFft(&coset);
+  d.CosetIfft(&coset);
+  EXPECT_EQ(coset, coeffs);
+}
+
+TEST(Domain, VanishingPolynomial) {
+  EvaluationDomain d(8);
+  // Z vanishes on the domain and not on the coset.
+  EXPECT_EQ(d.EvaluateVanishing(d.omega()), Fr::Zero());
+  EXPECT_EQ(d.EvaluateVanishing(Fr::One()), Fr::Zero());
+  EXPECT_NE(d.VanishingOnCoset(), Fr::Zero());
+}
+
+TEST(Domain, LagrangeInterpolation) {
+  EvaluationDomain d(4);
+  Rng rng(610);
+  Fr tau = Fr::Random(&rng);
+  std::vector<Fr> lag = d.LagrangeAt(tau);
+  // Sum of Lagrange basis values is 1.
+  Fr sum = Fr::Zero();
+  for (const Fr& l : lag) {
+    sum = sum + l;
+  }
+  EXPECT_EQ(sum, Fr::One());
+  // Interpolating x^2 through its evaluations reproduces tau^2.
+  Fr point = Fr::One();
+  Fr acc = Fr::Zero();
+  for (size_t j = 0; j < d.size(); ++j) {
+    acc = acc + lag[j] * point.Square();
+    point = point * d.omega();
+  }
+  EXPECT_EQ(acc, tau.Square());
+}
+
+TEST(BatchInvertTest, MatchesIndividualInverses) {
+  Rng rng(611);
+  std::vector<Fr> values;
+  for (int i = 0; i < 20; ++i) {
+    values.push_back(i % 5 == 0 ? Fr::Zero() : Fr::Random(&rng));
+  }
+  std::vector<Fr> inverted = values;
+  BatchInvert(&inverted);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].IsZero()) {
+      EXPECT_TRUE(inverted[i].IsZero());
+    } else {
+      EXPECT_EQ(inverted[i], values[i].Inverse());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nope

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "src/base/hmac.h"
+#include "src/base/sha1.h"
+#include "src/base/sha256.h"
+
+namespace nope {
+namespace {
+
+Bytes Ascii(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(Sha256, Fips180Vectors) {
+  EXPECT_EQ(EncodeHex(Sha256::Hash(Ascii("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(EncodeHex(Sha256::Hash(Ascii(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(EncodeHex(Sha256::Hash(
+                Ascii("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  auto digest = h.Finish();
+  EXPECT_EQ(EncodeHex(Bytes(digest.begin(), digest.end())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Bytes data;
+  for (int i = 0; i < 300; ++i) {
+    data.push_back(static_cast<uint8_t>(i * 7));
+  }
+  for (size_t split = 0; split <= data.size(); split += 37) {
+    Sha256 h;
+    h.Update(data.data(), split);
+    h.Update(data.data() + split, data.size() - split);
+    auto digest = h.Finish();
+    EXPECT_EQ(Bytes(digest.begin(), digest.end()), Sha256::Hash(data));
+  }
+}
+
+TEST(Sha1, Fips180Vectors) {
+  EXPECT_EQ(EncodeHex(Sha1Hash(Ascii("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(EncodeHex(Sha1Hash(Ascii(""))), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Hmac, Rfc4231Vectors) {
+  // RFC 4231 test case 1.
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(EncodeHex(HmacSha256(key, Ascii("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  // Test case 2.
+  EXPECT_EQ(EncodeHex(HmacSha256(Ascii("Jefe"), Ascii("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  // Test case 3: 20-byte 0xaa key, 50-byte 0xdd data.
+  Bytes key3(20, 0xaa);
+  Bytes data3(50, 0xdd);
+  EXPECT_EQ(EncodeHex(HmacSha256(key3, data3)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hex, RoundTripAndErrors) {
+  Bytes data = {0x00, 0xff, 0x10, 0xab};
+  EXPECT_EQ(EncodeHex(data), "00ff10ab");
+  EXPECT_EQ(DecodeHex("00ff10ab"), data);
+  EXPECT_EQ(DecodeHex("00FF10AB"), data);
+  EXPECT_THROW(DecodeHex("abc"), std::invalid_argument);
+  EXPECT_THROW(DecodeHex("zz"), std::invalid_argument);
+}
+
+TEST(ByteIo, BigEndianRoundTrip) {
+  Bytes buf;
+  AppendU8(&buf, 0x12);
+  AppendU16(&buf, 0x3456);
+  AppendU32(&buf, 0x789abcde);
+  AppendU64(&buf, 0x1122334455667788ull);
+  size_t pos = 0;
+  EXPECT_EQ(ReadU8(buf, &pos), 0x12);
+  EXPECT_EQ(ReadU16(buf, &pos), 0x3456);
+  EXPECT_EQ(ReadU32(buf, &pos), 0x789abcdeu);
+  EXPECT_EQ(ReadU64(buf, &pos), 0x1122334455667788ull);
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_THROW(ReadU8(buf, &pos), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace nope

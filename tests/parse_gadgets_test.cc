@@ -1,0 +1,267 @@
+#include "src/r1cs/parse_gadgets.h"
+
+#include <gtest/gtest.h>
+
+namespace nope {
+namespace {
+
+std::vector<LC> ToLcs(const std::vector<Var>& vars) {
+  std::vector<LC> out;
+  for (Var v : vars) {
+    out.emplace_back(v);
+  }
+  return out;
+}
+
+TEST(ToBitsGadget, DecomposesAndConstrains) {
+  ConstraintSystem cs;
+  Var v = cs.AddWitness(Fr::FromU64(0b1011010));
+  std::vector<Var> bits = ToBits(&cs, LC(v), 8);
+  ASSERT_EQ(bits.size(), 8u);
+  EXPECT_EQ(cs.ValueOf(bits[1]), Fr::One());
+  EXPECT_EQ(cs.ValueOf(bits[0]), Fr::Zero());
+  EXPECT_TRUE(cs.IsSatisfied());
+
+  // Corrupting a bit breaks the recomposition constraint.
+  cs.SetValueForTest(bits[0], Fr::One());
+  EXPECT_FALSE(cs.IsSatisfied());
+}
+
+TEST(ToBitsGadget, ValueTooLargeUnsatisfiable) {
+  ConstraintSystem cs;
+  Var v = cs.AddWitness(Fr::FromU64(300));
+  ToBits(&cs, LC(v), 8);
+  EXPECT_FALSE(cs.IsSatisfied());
+}
+
+TEST(IndicatorGadget, OneHotAtIndex) {
+  ConstraintSystem cs;
+  Var idx = cs.AddWitness(Fr::FromU64(3));
+  std::vector<Var> ind = Indicator(&cs, LC(idx), 6);
+  for (size_t j = 0; j < 6; ++j) {
+    EXPECT_EQ(cs.ValueOf(ind[j]), j == 3 ? Fr::One() : Fr::Zero());
+  }
+  EXPECT_TRUE(cs.IsSatisfied());
+  // Out-of-range index cannot satisfy the sum==1 constraint.
+  ConstraintSystem cs2;
+  Var idx2 = cs2.AddWitness(Fr::FromU64(10));
+  Indicator(&cs2, LC(idx2), 6);
+  EXPECT_FALSE(cs2.IsSatisfied());
+}
+
+TEST(IsEqualGadget, BothDirections) {
+  ConstraintSystem cs;
+  Var a = cs.AddWitness(Fr::FromU64(7));
+  Var b = cs.AddWitness(Fr::FromU64(7));
+  Var c = cs.AddWitness(Fr::FromU64(9));
+  Var eq = IsEqual(&cs, LC(a), LC(b));
+  Var ne = IsEqual(&cs, LC(a), LC(c));
+  EXPECT_EQ(cs.ValueOf(eq), Fr::One());
+  EXPECT_EQ(cs.ValueOf(ne), Fr::Zero());
+  EXPECT_TRUE(cs.IsSatisfied());
+  // Forging the equality bit is caught.
+  cs.SetValueForTest(ne, Fr::One());
+  EXPECT_FALSE(cs.IsSatisfied());
+}
+
+TEST(IsLessOrEqualGadget, Boundary) {
+  for (uint64_t a : {0u, 3u, 7u, 8u, 15u}) {
+    for (uint64_t b : {0u, 3u, 7u, 8u, 15u}) {
+      ConstraintSystem cs;
+      Var av = cs.AddWitness(Fr::FromU64(a));
+      Var bv = cs.AddWitness(Fr::FromU64(b));
+      Var le = IsLessOrEqual(&cs, LC(av), LC(bv), 4);
+      EXPECT_EQ(cs.ValueOf(le), a <= b ? Fr::One() : Fr::Zero()) << a << " vs " << b;
+      EXPECT_TRUE(cs.IsSatisfied());
+    }
+  }
+}
+
+class MaskTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MaskTest, BothVariantsMatchSpec) {
+  size_t cut = GetParam();
+  Bytes data = {10, 20, 30, 40, 50, 60, 70};
+  for (bool use_nope : {false, true}) {
+    ConstraintSystem cs;
+    std::vector<Var> arr = AllocateBytesUnchecked(&cs, data);
+    Var len = cs.AddWitness(Fr::FromU64(cut));
+    std::vector<LC> masked = use_nope ? MaskNope(&cs, ToLcs(arr), LC(len))
+                                      : MaskNaive(&cs, ToLcs(arr), LC(len));
+    ASSERT_EQ(masked.size(), data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+      Fr expected = i < cut ? Fr::FromU64(data[i]) : Fr::Zero();
+      EXPECT_EQ(cs.Eval(masked[i]), expected) << "i=" << i << " nope=" << use_nope;
+    }
+    EXPECT_TRUE(cs.IsSatisfied());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, MaskTest, ::testing::Values(0, 1, 3, 6, 7));
+
+TEST(MaskCosts, NopeBeatsNaive) {
+  Bytes data(64, 1);
+  ConstraintSystem naive_cs;
+  auto arr1 = AllocateBytesUnchecked(&naive_cs, data);
+  size_t before1 = naive_cs.NumConstraints();
+  MaskNaive(&naive_cs, ToLcs(arr1), LC::Constant(Fr::FromU64(10)));
+  size_t naive_cost = naive_cs.NumConstraints() - before1;
+
+  ConstraintSystem nope_cs;
+  auto arr2 = AllocateBytesUnchecked(&nope_cs, data);
+  size_t before2 = nope_cs.NumConstraints();
+  MaskNope(&nope_cs, ToLcs(arr2), LC::Constant(Fr::FromU64(10)));
+  size_t nope_cost = nope_cs.NumConstraints() - before2;
+
+  // The paper's formulas: ~L(2+lg L) vs 2L+1 (§4.3).
+  EXPECT_LT(nope_cost, naive_cost);
+  EXPECT_LE(nope_cost, MaskNopeCostFormula(64) + 2);
+  EXPECT_GE(naive_cost, 64 * 2);
+}
+
+class SliceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SliceTest, AllVariantsExtract) {
+  size_t start = GetParam();
+  Bytes data;
+  for (int i = 0; i < 48; ++i) {
+    data.push_back(static_cast<uint8_t>(i * 3 + 1));
+  }
+  constexpr size_t kOut = 16;
+  for (int variant = 0; variant < 3; ++variant) {
+    ConstraintSystem cs;
+    std::vector<Var> arr = AllocateBytesUnchecked(&cs, data);
+    Var s = cs.AddWitness(Fr::FromU64(start));
+    std::vector<LC> out;
+    if (variant == 0) {
+      out = SliceNaive(&cs, ToLcs(arr), LC(s), kOut);
+    } else if (variant == 1) {
+      out = SliceNope(&cs, ToLcs(arr), LC(s), kOut);
+    } else {
+      out = SliceNopePacked(&cs, ToLcs(arr), LC(s), kOut);
+    }
+    EXPECT_TRUE(cs.IsSatisfied()) << "variant=" << variant;
+    if (variant < 2) {
+      ASSERT_EQ(out.size(), kOut);
+      for (size_t j = 0; j < kOut; ++j) {
+        Fr expected = start + j < data.size() ? Fr::FromU64(data[start + j]) : Fr::Zero();
+        EXPECT_EQ(cs.Eval(out[j]), expected) << "variant=" << variant << " j=" << j;
+      }
+    } else {
+      // Packed output: 16-byte big-endian chunks.
+      ASSERT_EQ(out.size(), 1u);
+      Bytes expected_bytes;
+      for (size_t j = 0; j < kOut; ++j) {
+        expected_bytes.push_back(start + j < data.size() ? data[start + j] : 0);
+      }
+      EXPECT_EQ(cs.Eval(out[0]), PackBytesValues(expected_bytes, 16)[0]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Starts, SliceTest, ::testing::Values(0, 1, 5, 17, 31));
+
+TEST(SliceCosts, NopeBeatsNaiveAtScale) {
+  Bytes data(256, 7);
+  ConstraintSystem naive_cs;
+  auto arr1 = AllocateBytesUnchecked(&naive_cs, data);
+  size_t b1 = naive_cs.NumConstraints();
+  SliceNaive(&naive_cs, ToLcs(arr1), LC::Constant(Fr::FromU64(100)), 32);
+  size_t naive_cost = naive_cs.NumConstraints() - b1;
+
+  ConstraintSystem nope_cs;
+  auto arr2 = AllocateBytesUnchecked(&nope_cs, data);
+  size_t b2 = nope_cs.NumConstraints();
+  SliceNope(&nope_cs, ToLcs(arr2), LC::Constant(Fr::FromU64(100)), 32);
+  size_t nope_cost = nope_cs.NumConstraints() - b2;
+
+  EXPECT_LT(nope_cost * 2, naive_cost);  // M*L vs ~M lg M for M=256, L=32
+}
+
+TEST(CondShiftGadget, ShiftsWhenFlagSet) {
+  Bytes data = {1, 2, 3, 4, 5};
+  for (bool flag : {false, true}) {
+    ConstraintSystem cs;
+    auto arr = AllocateBytesUnchecked(&cs, data);
+    Var f = cs.AddWitness(flag ? Fr::One() : Fr::Zero());
+    auto out = CondShift(&cs, ToLcs(arr), 2, f);
+    EXPECT_TRUE(cs.IsSatisfied());
+    for (size_t i = 0; i < data.size(); ++i) {
+      uint64_t expected = flag ? (i + 2 < data.size() ? data[i + 2] : 0) : data[i];
+      EXPECT_EQ(cs.Eval(out[i]), Fr::FromU64(expected));
+    }
+  }
+}
+
+TEST(ScanGadget, FindsRecordStartsAndLengths) {
+  // Toy RRset (Appendix B.2): 3-byte header, then records
+  // [len][type][data...] with len counting the whole record (incl. itself).
+  Bytes msg = {'w', 'w', 'w',            // header (3 bytes)
+               4,   1,   0xaa, 0xbb,     // record A: total 4 bytes
+               3,   2,   0xcc,           // record B: total 3 bytes
+               5,   1,   0x01, 0x02, 0x03};  // record C: total 5 bytes
+
+  struct Case {
+    size_t start;
+    uint64_t length;
+  };
+  for (const Case& c : {Case{3, 4}, Case{7, 3}, Case{10, 5}}) {
+    ConstraintSystem cs;
+    auto arr = AllocateBytesUnchecked(&cs, msg);
+    Var start = cs.AddWitness(Fr::FromU64(c.start));
+    ScanResult result =
+        ScanRecords(&cs, ToLcs(arr), LC(start), LC::Constant(Fr::FromU64(3)));
+    EXPECT_EQ(cs.Eval(result.length), Fr::FromU64(c.length)) << "start=" << c.start;
+    EXPECT_TRUE(cs.IsSatisfied()) << "start=" << c.start;
+  }
+}
+
+TEST(ScanGadget, RejectsNonRecordStart) {
+  Bytes msg = {'w', 'w', 'w', 4, 1, 0xaa, 0xbb, 3, 2, 0xcc};
+  // Offsets inside records (not at a record boundary) are unsatisfiable.
+  for (size_t bad_start : {4u, 5u, 6u, 8u, 9u}) {
+    ConstraintSystem cs;
+    auto arr = AllocateBytesUnchecked(&cs, msg);
+    Var start = cs.AddWitness(Fr::FromU64(bad_start));
+    ScanRecords(&cs, ToLcs(arr), LC(start), LC::Constant(Fr::FromU64(3)));
+    EXPECT_FALSE(cs.IsSatisfied()) << "bad_start=" << bad_start;
+  }
+}
+
+TEST(ScanGadget, HeaderOffsetRejected) {
+  Bytes msg = {'w', 'w', 'w', 4, 1, 0xaa, 0xbb};
+  // Position 0 is the header, not a record start (counter starts at 3).
+  ConstraintSystem cs;
+  auto arr = AllocateBytesUnchecked(&cs, msg);
+  Var start = cs.AddWitness(Fr::Zero());
+  ScanRecords(&cs, ToLcs(arr), LC(start), LC::Constant(Fr::FromU64(3)));
+  EXPECT_FALSE(cs.IsSatisfied());
+}
+
+TEST(PackBytesGadget, MatchesNativePacking) {
+  Bytes data = {0x01, 0x02, 0x03, 0x04, 0x05};
+  ConstraintSystem cs;
+  auto arr = AllocateBytes(&cs, data);
+  auto packed = PackBytes(arr, 2);
+  auto expected = PackBytesValues(data, 2);
+  ASSERT_EQ(packed.size(), expected.size());
+  for (size_t i = 0; i < packed.size(); ++i) {
+    EXPECT_EQ(cs.Eval(packed[i]), expected[i]);
+  }
+  EXPECT_EQ(cs.Eval(packed[0]), Fr::FromU64(0x0102));
+  EXPECT_EQ(cs.Eval(packed[2]), Fr::FromU64(0x05));
+}
+
+TEST(SuffixSumGadget, IsFreeAndCorrect) {
+  ConstraintSystem cs;
+  Bytes data = {1, 2, 3, 4};
+  auto arr = AllocateBytesUnchecked(&cs, data);
+  size_t before = cs.NumConstraints();
+  auto sums = SuffixSum(&cs, arr);
+  EXPECT_EQ(cs.NumConstraints(), before);  // zero constraints (§4.3)
+  EXPECT_EQ(cs.Eval(sums[0]), Fr::FromU64(10));
+  EXPECT_EQ(cs.Eval(sums[3]), Fr::FromU64(4));
+}
+
+}  // namespace
+}  // namespace nope

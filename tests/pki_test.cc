@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "src/pki/ca.h"
+#include "src/pki/san_encoding.h"
+#include "src/tls/handshake.h"
+
+namespace nope {
+namespace {
+
+constexpr uint64_t kNow = 1750000000;
+
+struct PkiFixture {
+  Rng rng{3001};
+  CtLog log1{1, &rng};
+  CtLog log2{2, &rng};
+  DnssecHierarchy dns{CryptoSuite::Toy(), 3002};
+  CertificateAuthority ca{"lets-encrypt-sim", {&log1, &log2}, &rng};
+
+  PkiFixture() {
+    dns.AddZone(DnsName::FromString("com"));
+    dns.AddZone(DnsName::FromString("example.com"));
+  }
+
+  CertificateSigningRequest Csr(const std::string& domain) {
+    CertificateSigningRequest csr;
+    csr.subject = DnsName::FromString(domain);
+    csr.public_key = GenerateEcdsaKey(&rng).pub.Encode();
+    return csr;
+  }
+
+  TxtResolver Resolver() {
+    return [this](const DnsName& name) { return dns.QueryTxt(name); };
+  }
+};
+
+TEST(Certificate, SerializationRoundTrip) {
+  PkiFixture f;
+  auto csr = f.Csr("example.com");
+  csr.sans = {"alt.example.com"};
+  Certificate cert = f.ca.IssueWithoutValidation(csr, kNow);
+  Bytes wire = cert.Serialize();
+  Certificate parsed = Certificate::Deserialize(wire);
+  EXPECT_EQ(parsed.body.serial, cert.body.serial);
+  EXPECT_EQ(parsed.body.subject, cert.body.subject);
+  EXPECT_EQ(parsed.body.sans, cert.body.sans);
+  EXPECT_EQ(parsed.body.scts.size(), 2u);
+  EXPECT_EQ(parsed.signature, cert.signature);
+  EXPECT_EQ(parsed.Serialize(), wire);
+}
+
+TEST(Certificate, SizeBreakdownSumsSensibly) {
+  PkiFixture f;
+  Certificate cert = f.ca.IssueWithoutValidation(f.Csr("example.com"), kNow);
+  auto sizes = cert.SizeBreakdown();
+  EXPECT_GT(sizes["total"], 0u);
+  EXPECT_GT(sizes["sct"], 0u);
+  EXPECT_EQ(sizes["signature"], 3u + 64u);
+  // Component sizes must not exceed the total.
+  size_t sum = sizes["metadata"] + sizes["subject_name"] + sizes["subject_public_key"] +
+               sizes["san_extension"] + sizes["ocsp"] + sizes["sct"] + sizes["signature"];
+  EXPECT_LE(sum, sizes["total"] + 8);
+  EXPECT_GE(sum, sizes["total"] - 8);
+}
+
+TEST(Acme, Dns01HappyPath) {
+  PkiFixture f;
+  auto csr = f.Csr("example.com");
+  AcmeOrder order = f.ca.NewOrder(csr);
+  // Post the challenge, then finalize.
+  f.dns.SetTxt(DnsName::FromString("_acme-challenge.example.com"), order.challenge_token);
+  auto cert = f.ca.FinalizeOrder(order, csr, f.Resolver(), kNow);
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_EQ(cert->body.subject, csr.subject);
+  EXPECT_GE(cert->body.scts.size(), 2u);
+  EXPECT_TRUE(VerifyCertificateSignature(*cert, f.ca.intermediate_public_key()));
+}
+
+TEST(Acme, FailsWithoutChallenge) {
+  PkiFixture f;
+  auto csr = f.Csr("example.com");
+  AcmeOrder order = f.ca.NewOrder(csr);
+  EXPECT_FALSE(f.ca.FinalizeOrder(order, csr, f.Resolver(), kNow).has_value());
+  // Wrong token also fails.
+  f.dns.SetTxt(DnsName::FromString("_acme-challenge.example.com"), "wrong");
+  EXPECT_FALSE(f.ca.FinalizeOrder(order, csr, f.Resolver(), kNow).has_value());
+}
+
+TEST(Acme, LegacyDnsAttackerDefeatsValidation) {
+  // The paper's legacy-DNS attacker intercepts the CA's resolver (§3.1).
+  PkiFixture f;
+  auto csr = f.Csr("example.com");  // attacker's key!
+  AcmeOrder order = f.ca.NewOrder(csr);
+  TxtResolver attacker_resolver = [&order](const DnsName&) {
+    return std::vector<std::string>{order.challenge_token};
+  };
+  auto cert = f.ca.FinalizeOrder(order, csr, attacker_resolver, kNow);
+  EXPECT_TRUE(cert.has_value());  // rogue cert issued
+}
+
+TEST(CtLogTest, SctIssueAndVerify) {
+  Rng rng(3003);
+  CtLog log(7, &rng);
+  Bytes precert = rng.NextBytes(100);
+  Sct sct = log.Submit(precert, kNow);
+  log.Publish();
+  EXPECT_TRUE(log.VerifySct(precert, sct));
+  Bytes other = rng.NextBytes(100);
+  EXPECT_FALSE(log.VerifySct(other, sct));
+  Sct bad = sct;
+  bad.timestamp += 1;
+  EXPECT_FALSE(log.VerifySct(precert, bad));
+}
+
+TEST(CtLogTest, MerkleInclusionProofs) {
+  Rng rng(3004);
+  CtLog log(8, &rng);
+  std::vector<Bytes> entries;
+  for (int i = 0; i < 13; ++i) {
+    entries.push_back(rng.NextBytes(40));
+    log.Submit(entries.back(), kNow + i);
+  }
+  log.Publish();
+  Bytes root = log.RootHash();
+  for (const Bytes& e : entries) {
+    auto proof = log.ProveInclusion(e);
+    ASSERT_TRUE(proof.has_value());
+    EXPECT_TRUE(CtLog::VerifyInclusion(root, e, *proof));
+    // Wrong leaf fails.
+    EXPECT_FALSE(CtLog::VerifyInclusion(root, rng.NextBytes(40), *proof));
+  }
+  EXPECT_FALSE(log.ProveInclusion(rng.NextBytes(40)).has_value());
+}
+
+TEST(CtLogTest, MonitorSeesNewEntries) {
+  Rng rng(3005);
+  CtLog log(9, &rng);
+  log.Submit(Bytes{1}, kNow);
+  log.Publish();
+  size_t checkpoint = log.TreeSize();
+  log.Submit(Bytes{2}, kNow + 1);
+  log.Submit(Bytes{3}, kNow + 2);
+  log.Publish();
+  auto fresh = log.EntriesSince(checkpoint);
+  ASSERT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(fresh[0], Bytes{2});
+}
+
+TEST(CtLogTest, RogueSctVerifiesButIsNotLogged) {
+  Rng rng(3006);
+  CtLog log(10, &rng);
+  Bytes precert = rng.NextBytes(64);
+  Sct rogue = log.IssueRogueSct(precert, kNow);
+  EXPECT_TRUE(log.VerifySct(precert, rogue));
+  EXPECT_FALSE(log.ProveInclusion(precert).has_value());  // never merged
+}
+
+TEST(Revocation, OcspLifecycle) {
+  PkiFixture f;
+  Certificate cert = f.ca.IssueWithoutValidation(f.Csr("example.com"), kNow);
+  OcspResponse good = f.ca.SignOcsp(cert.body.serial, kNow);
+  EXPECT_FALSE(good.revoked);
+  EXPECT_TRUE(f.ca.VerifyOcsp(good));
+  f.ca.Revoke(cert.body.serial);
+  OcspResponse after = f.ca.SignOcsp(cert.body.serial, kNow + 100);
+  EXPECT_TRUE(after.revoked);
+  EXPECT_TRUE(f.ca.VerifyOcsp(after));
+  // Tampered response rejected.
+  after.revoked = false;
+  EXPECT_FALSE(f.ca.VerifyOcsp(after));
+  EXPECT_EQ(f.ca.CrlSnapshot(), std::vector<uint64_t>{cert.body.serial});
+}
+
+TEST(SanEncoding, RoundTrip128Bytes) {
+  Rng rng(3007);
+  Bytes proof = rng.NextBytes(kSanProofBytes);
+  DnsName domain = DnsName::FromString("example.com");
+  auto sans = EncodeProofSans(proof, domain);
+  ASSERT_FALSE(sans.empty());
+  for (const std::string& san : sans) {
+    EXPECT_LE(san.size(), 253u);
+    EXPECT_EQ(san.rfind("n", 0), 0u);
+    // Ends with the domain.
+    EXPECT_NE(san.find("example.com"), std::string::npos);
+  }
+  auto decoded = DecodeProofSans(sans, domain);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, proof);
+}
+
+TEST(SanEncoding, MultiSanSplitForLongDomains) {
+  Rng rng(3008);
+  Bytes proof = rng.NextBytes(kSanProofBytes);
+  std::string long_label(60, 'x');
+  DnsName domain = DnsName::FromString(long_label + "." + long_label + "." + long_label + ".com");
+  auto sans = EncodeProofSans(proof, domain);
+  EXPECT_GE(sans.size(), 2u);  // labels spread across n0pe. / n1pe.
+  auto decoded = DecodeProofSans(sans, domain);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, proof);
+}
+
+TEST(SanEncoding, ChecksumCatchesCorruption) {
+  Rng rng(3009);
+  Bytes proof = rng.NextBytes(kSanProofBytes);
+  DnsName domain = DnsName::FromString("example.com");
+  auto sans = EncodeProofSans(proof, domain);
+  // Flip one payload character to a different alphabet character.
+  std::string& san = sans[0];
+  size_t pos = san.find('.') + 3;
+  san[pos] = san[pos] == 'a' ? 'b' : 'a';
+  EXPECT_FALSE(DecodeProofSans(sans, domain).has_value());
+}
+
+TEST(SanEncoding, MissingOrForeignSansIgnored) {
+  DnsName domain = DnsName::FromString("example.com");
+  EXPECT_FALSE(DecodeProofSans({"www.example.com"}, domain).has_value());
+  EXPECT_FALSE(DecodeProofSans({}, domain).has_value());
+}
+
+TEST(Handshake, LegacyVerifyPaths) {
+  PkiFixture f;
+  auto csr = f.Csr("example.com");
+  Certificate cert = f.ca.IssueWithoutValidation(csr, kNow);
+  CertificateChain chain{cert, f.ca.intermediate()};
+  TrustStore trust{f.ca.root_public_key(), 2};
+  DnsName domain = DnsName::FromString("example.com");
+
+  EXPECT_EQ(LegacyVerifyChain(chain, trust, domain, kNow + 100, nullptr), LegacyStatus::kOk);
+  EXPECT_EQ(LegacyVerifyChain(chain, trust, DnsName::FromString("evil.com"), kNow + 100, nullptr),
+            LegacyStatus::kWrongDomain);
+  EXPECT_EQ(LegacyVerifyChain(chain, trust, domain, cert.body.not_after + 1, nullptr),
+            LegacyStatus::kExpired);
+  // Untrusted root.
+  Rng rng2(77);
+  TrustStore wrong_trust{GenerateEcdsaKey(&rng2).pub, 2};
+  EXPECT_EQ(LegacyVerifyChain(chain, wrong_trust, domain, kNow + 100, nullptr),
+            LegacyStatus::kBadChainSignature);
+  // Tampered leaf body.
+  CertificateChain tampered = chain;
+  tampered.leaf.body.subject_public_key[10] ^= 1;
+  EXPECT_EQ(LegacyVerifyChain(tampered, trust, domain, kNow + 100, nullptr),
+            LegacyStatus::kBadChainSignature);
+  // OCSP: revoked and stale.
+  f.ca.Revoke(cert.body.serial);
+  OcspResponse revoked = f.ca.SignOcsp(cert.body.serial, kNow + 100);
+  EXPECT_EQ(LegacyVerifyChain(chain, trust, domain, kNow + 100, &revoked),
+            LegacyStatus::kRevoked);
+  OcspResponse stale = f.ca.SignOcsp(cert.body.serial, kNow - 10 * 24 * 3600);
+  EXPECT_EQ(LegacyVerifyChain(chain, trust, domain, kNow + 100, &stale),
+            LegacyStatus::kStaleOcsp);
+}
+
+TEST(Handshake, DceBundleVerifies) {
+  PkiFixture f;
+  DnsName domain = DnsName::FromString("example.com");
+  Bytes tls_key = GenerateEcdsaKey(&f.rng).pub.Encode();
+  DceBundle bundle = BuildDceBundle(&f.dns, domain, tls_key);
+  const CryptoSuite& suite = CryptoSuite::Toy();
+  DnskeyRdata anchor = f.dns.root().ZskRdata();
+
+  EXPECT_TRUE(DceVerify(suite, bundle, domain, tls_key, anchor));
+  // Wrong TLS key rejected.
+  Bytes other_key = GenerateEcdsaKey(&f.rng).pub.Encode();
+  EXPECT_FALSE(DceVerify(suite, bundle, domain, other_key, anchor));
+  // Tampered TLSA signature rejected.
+  DceBundle bad = bundle;
+  bad.tlsa.rrsig.signature[0] ^= 1;
+  EXPECT_FALSE(DceVerify(suite, bad, domain, tls_key, anchor));
+  // Bandwidth: the serialized bundle is what DCE ships per handshake.
+  EXPECT_GT(bundle.Serialize().size(), 200u);
+}
+
+}  // namespace
+}  // namespace nope

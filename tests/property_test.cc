@@ -1,0 +1,227 @@
+// Parameterized property sweeps across module boundaries: randomized
+// algebraic invariants for the bignum/EC gadgets, multiple toy curves, DNS
+// canonical-ordering laws, and BigUInt torture cases.
+#include <gtest/gtest.h>
+
+#include "src/dns/dnssec.h"
+#include "src/r1cs/ecdsa_gadget.h"
+#include "src/r1cs/toy_curve.h"
+
+namespace nope {
+namespace {
+
+// --- Toy-curve sweep: the generic gadget stack must work on any curve ------
+
+class ToyCurveSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ToyCurveSweep, EcdsaRoundTripAndGadgetAgreement) {
+  CurveSpec spec = FindToyCurve(GetParam(), 18);
+  NativeCurve curve(spec);
+  Rng rng(GetParam() * 31 + 7);
+
+  BigUInt priv = BigUInt::RandomBelow(&rng, spec.n - BigUInt(1)) + BigUInt(1);
+  auto pub = curve.ScalarMul(priv, curve.Generator());
+  Bytes digest = rng.NextBytes(16);
+  ToyEcdsaSignature sig = ToyEcdsaSign(spec, priv, digest, &rng);
+  ASSERT_TRUE(ToyEcdsaVerify(spec, pub, digest, sig));
+
+  // Wrong digest fails natively.
+  Bytes bad = digest;
+  bad[0] ^= 1;
+  EXPECT_FALSE(ToyEcdsaVerify(spec, pub, bad, sig));
+
+  // The in-circuit verifier agrees.
+  ConstraintSystem cs;
+  EcGadget ec(&cs, spec, EcGadget::Technique::kNopeHints);
+  auto pub_pt = ec.AllocPoint(pub);
+  auto z = ec.scalar_field().Alloc(BigUInt::FromBytes(digest) % spec.n);
+  auto r = ec.scalar_field().Alloc(sig.r);
+  auto s = ec.scalar_field().Alloc(sig.s);
+  EnforceEcdsaVerify(&ec, pub_pt, z, r, s, EcdsaMsmMode::kGlvMsm);
+  EXPECT_TRUE(cs.IsSatisfied());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ToyCurveSweep, ::testing::Values(3u, 11u, 29u, 57u));
+
+// --- Randomized modular-gadget algebra -------------------------------------
+
+class ModularAlgebraSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModularAlgebraSweep, DistributivityAndAssociativity) {
+  BigUInt q = BigUInt::FromDecimal(
+      "115792089210356248762697446949407573530086143415290314195533631308867097853951");
+  Rng rng(GetParam());
+  ConstraintSystem cs;
+  ModularGadget g(&cs, q);
+  BigUInt av = BigUInt::RandomBelow(&rng, q);
+  BigUInt bv = BigUInt::RandomBelow(&rng, q);
+  BigUInt cv = BigUInt::RandomBelow(&rng, q);
+  auto a = g.Alloc(av);
+  auto b = g.Alloc(bv);
+  auto c = g.Alloc(cv);
+
+  // a*(b+c) == a*b + a*c (mod q), proven in-circuit via one congruence.
+  auto lhs = g.MulMod(a, g.Add(b, c));
+  auto ab = g.MulMod(a, b);
+  auto ac = g.MulMod(a, c);
+  g.EnforceEqualMod(lhs, g.Add(ab, ac));
+
+  // (a*b)*c == a*(b*c) (mod q).
+  g.EnforceEqualMod(g.MulMod(ab, c), g.MulMod(a, g.MulMod(b, c)));
+
+  // Lazy chains: matrix reduction preserves the residue class.
+  auto wide = g.Add(g.Add(a, b), g.Add(c, a));
+  auto reduced = g.ReduceViaMatrix(wide);
+  EXPECT_EQ(g.ValueOfMod(reduced), g.ValueOfMod(wide));
+  g.EnforceEqualMod(reduced, wide);
+
+  EXPECT_TRUE(cs.IsSatisfied());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModularAlgebraSweep, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// --- MSM gadget vs native across random instances ---------------------------
+
+class MsmSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MsmSweep, GadgetMatchesNative) {
+  CurveSpec spec = FindToyCurve(42);
+  NativeCurve curve(spec);
+  Rng rng(GetParam() * 1000 + 1);
+  ConstraintSystem cs;
+  EcGadget ec(&cs, spec, EcGadget::Technique::kNopeHints, /*aux_seed=*/GetParam());
+
+  BigUInt k1 = BigUInt::RandomBelow(&rng, spec.n - BigUInt(1)) + BigUInt(1);
+  BigUInt k2 = BigUInt::RandomBelow(&rng, spec.n - BigUInt(1)) + BigUInt(1);
+  auto p1v = curve.ScalarMul(BigUInt::RandomBelow(&rng, spec.n - BigUInt(1)) + BigUInt(1),
+                             curve.Generator());
+  auto p2v = curve.ScalarMul(BigUInt::RandomBelow(&rng, spec.n - BigUInt(1)) + BigUInt(1),
+                             curve.Generator());
+  auto expected = curve.Add(curve.ScalarMul(k1, p1v), curve.ScalarMul(k2, p2v));
+  if (expected.infinity) {
+    GTEST_SKIP() << "random instance hit infinity";
+  }
+  auto p1 = ec.AllocPoint(p1v);
+  auto p2 = ec.AllocPoint(p2v);
+  auto result = ec.Msm({ec.ScalarBitsMsb(ec.scalar_field().Alloc(k1)),
+                        ec.ScalarBitsMsb(ec.scalar_field().Alloc(k2))},
+                       {p1, p2});
+  EXPECT_EQ(ec.field().ValueOfMod(result.x), expected.x);
+  EXPECT_EQ(ec.field().ValueOfMod(result.y), expected.y);
+  EXPECT_TRUE(cs.IsSatisfied());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsmSweep, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+// --- DNS name ordering laws ---------------------------------------------------
+
+TEST(DnsNameProperties, CanonicalOrderIsStrictWeakOrder) {
+  std::vector<DnsName> names = {
+      DnsName::Root(),
+      DnsName::FromString("com"),
+      DnsName::FromString("example.com"),
+      DnsName::FromString("a.example.com"),
+      DnsName::FromString("b.example.com"),
+      DnsName::FromString("org"),
+      DnsName::FromString("EXAMPLE.org"),
+      DnsName::FromString("z.a.com"),
+      DnsName::FromString("a.b.com"),
+  };
+  for (const auto& a : names) {
+    EXPECT_FALSE(a < a);
+    for (const auto& b : names) {
+      if (a < b) {
+        EXPECT_FALSE(b < a);
+      } else if (!(b < a)) {
+        EXPECT_EQ(a, b);
+      }
+      for (const auto& c : names) {
+        if (a < b && b < c) {
+          EXPECT_TRUE(a < c);
+        }
+      }
+    }
+  }
+}
+
+TEST(DnsNameProperties, ParentsSortBeforeChildren) {
+  // RFC 4034 canonical order: a zone sorts before everything beneath it.
+  std::vector<std::string> zones = {"com", "example.com", "www.example.com", "a.www.example.com"};
+  for (size_t i = 0; i + 1 < zones.size(); ++i) {
+    EXPECT_TRUE(DnsName::FromString(zones[i]) < DnsName::FromString(zones[i + 1]))
+        << zones[i] << " vs " << zones[i + 1];
+  }
+}
+
+// --- Suite-wide signing sweep: every RRset type round-trips ----------------
+
+class RrsetTypeSweep : public ::testing::TestWithParam<RrType> {};
+
+TEST_P(RrsetTypeSweep, SignVerifyAcrossTypes) {
+  Rng rng(6100);
+  const CryptoSuite& suite = CryptoSuite::Toy();
+  Zone zone(DnsName::FromString("example.com"), suite, &rng, false);
+  Rrset set{zone.name(), GetParam(), 300, {}};
+  switch (GetParam()) {
+    case RrType::kTxt:
+      set.rdatas = {TxtRdata("a"), TxtRdata("b")};
+      break;
+    case RrType::kDs:
+      set.rdatas = {DsRdata{1, suite.ecdsa_algorithm, suite.ds_digest_type, Bytes(32, 9)}
+                        .Encode()};
+      break;
+    case RrType::kDnskey:
+      set = zone.DnskeyRrset();
+      break;
+    default:
+      GTEST_SKIP();
+  }
+  SignedRrset signed_set = zone.Sign(set, &rng);
+  const DnskeyRdata key =
+      GetParam() == RrType::kDnskey ? zone.KskRdata() : zone.ZskRdata();
+  Bytes buffer = BuildSigningBuffer(signed_set.rrsig, signed_set.rrset);
+  EXPECT_TRUE(VerifyWithDnskey(suite, key, buffer, signed_set.rrsig.signature));
+  EXPECT_EQ(signed_set.rrsig.type_covered, static_cast<uint16_t>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Types, RrsetTypeSweep,
+                         ::testing::Values(RrType::kTxt, RrType::kDs, RrType::kDnskey));
+
+// --- BigUInt torture ----------------------------------------------------------
+
+TEST(BigUIntTorture, KnuthDAddBackCases) {
+  // Dividends engineered so qhat is initially overestimated.
+  BigUInt b64 = BigUInt(1) << 64;
+  std::vector<std::pair<BigUInt, BigUInt>> cases = {
+      {(BigUInt(1) << 128) - BigUInt(1), (b64 >> 1) + BigUInt(1)},
+      {(BigUInt(1) << 192) - (BigUInt(1) << 64), (BigUInt(1) << 128) - BigUInt(1)},
+      {BigUInt::FromHex("7fffffffffffffff8000000000000000"),
+       BigUInt::FromHex("800000000000000000000001")},
+  };
+  for (const auto& [a, b] : cases) {
+    auto dm = a.DivMod(b);
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+    EXPECT_TRUE(dm.remainder < b);
+  }
+}
+
+TEST(BigUIntTorture, ShiftBoundaryCases) {
+  BigUInt one(1);
+  for (size_t bits : {63u, 64u, 65u, 127u, 128u, 129u, 255u, 256u}) {
+    BigUInt shifted = one << bits;
+    EXPECT_EQ(shifted.BitLength(), bits + 1);
+    EXPECT_EQ(shifted >> bits, one);
+    EXPECT_TRUE((shifted >> (bits + 1)).IsZero());
+  }
+}
+
+TEST(BigUIntTorture, PowModEdges) {
+  BigUInt m(97);
+  EXPECT_EQ(BigUInt(5).PowMod(BigUInt(), m), BigUInt(1));   // x^0 == 1
+  EXPECT_EQ(BigUInt().PowMod(BigUInt(5), m), BigUInt());    // 0^x == 0
+  EXPECT_EQ(BigUInt(5).PowMod(BigUInt(1), m), BigUInt(5));
+  EXPECT_EQ(BigUInt(5).PowMod(BigUInt(96), m), BigUInt(1));  // Fermat
+}
+
+}  // namespace
+}  // namespace nope

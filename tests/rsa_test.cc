@@ -1,0 +1,91 @@
+#include "src/sig/rsa.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/sha256.h"
+
+namespace nope {
+namespace {
+
+Bytes Ascii(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(MillerRabin, KnownPrimesAndComposites) {
+  Rng rng(401);
+  EXPECT_TRUE(IsProbablePrime(BigUInt(2), &rng));
+  EXPECT_TRUE(IsProbablePrime(BigUInt(3), &rng));
+  EXPECT_TRUE(IsProbablePrime(BigUInt(65537), &rng));
+  EXPECT_TRUE(IsProbablePrime(BigUInt::FromDecimal("1000000007"), &rng));
+  // P-256 base field prime.
+  EXPECT_TRUE(IsProbablePrime(
+      BigUInt::FromDecimal(
+          "115792089210356248762697446949407573530086143415290314195533631308867097853951"),
+      &rng));
+  EXPECT_FALSE(IsProbablePrime(BigUInt(1), &rng));
+  EXPECT_FALSE(IsProbablePrime(BigUInt(561), &rng));      // Carmichael number
+  EXPECT_FALSE(IsProbablePrime(BigUInt(1000000), &rng));
+  EXPECT_FALSE(IsProbablePrime(BigUInt::FromDecimal("1000000007") * BigUInt(3), &rng));
+}
+
+TEST(Rsa, SignVerifyRoundTrip512) {
+  Rng rng(402);
+  RsaPrivateKey key = GenerateRsaKey(&rng, 512);
+  EXPECT_EQ(key.pub.n.BitLength(), 512u);
+
+  Bytes msg = Ascii("example.com. IN DS ...");
+  Bytes sig = RsaSign(key, msg);
+  EXPECT_EQ(sig.size(), 64u);
+  EXPECT_TRUE(RsaVerify(key.pub, msg, sig));
+
+  // Tampered message or signature must fail.
+  Bytes bad_msg = msg;
+  bad_msg[0] ^= 1;
+  EXPECT_FALSE(RsaVerify(key.pub, bad_msg, sig));
+  Bytes bad_sig = sig;
+  bad_sig[10] ^= 1;
+  EXPECT_FALSE(RsaVerify(key.pub, msg, bad_sig));
+  EXPECT_FALSE(RsaVerify(key.pub, msg, Bytes(63, 0)));
+}
+
+TEST(Rsa, WrongKeyRejects) {
+  Rng rng(403);
+  RsaPrivateKey key1 = GenerateRsaKey(&rng, 512);
+  RsaPrivateKey key2 = GenerateRsaKey(&rng, 512);
+  Bytes msg = Ascii("hello");
+  Bytes sig = RsaSign(key1, msg);
+  EXPECT_FALSE(RsaVerify(key2.pub, msg, sig));
+}
+
+TEST(Rsa, Pkcs1Padding) {
+  Bytes digest = Sha256::Hash(Ascii("x"));
+  Bytes em = Pkcs1V15EncodeSha256(digest, 128);
+  EXPECT_EQ(em.size(), 128u);
+  EXPECT_EQ(em[0], 0x00);
+  EXPECT_EQ(em[1], 0x01);
+  // 0xff padding then 0x00 separator.
+  size_t i = 2;
+  while (i < em.size() && em[i] == 0xff) {
+    ++i;
+  }
+  EXPECT_EQ(em[i], 0x00);
+  // DigestInfo + digest occupy the tail.
+  EXPECT_EQ(Bytes(em.end() - 32, em.end()), digest);
+  EXPECT_THROW(Pkcs1V15EncodeSha256(digest, 32), std::length_error);
+}
+
+TEST(Rsa, DeterministicSignature) {
+  Rng rng(404);
+  RsaPrivateKey key = GenerateRsaKey(&rng, 512);
+  Bytes msg = Ascii("deterministic");
+  EXPECT_EQ(RsaSign(key, msg), RsaSign(key, msg));
+}
+
+TEST(Rsa, KeyInternalConsistency) {
+  Rng rng(405);
+  RsaPrivateKey key = GenerateRsaKey(&rng, 256);
+  EXPECT_EQ(key.p * key.q, key.pub.n);
+  BigUInt phi = (key.p - BigUInt(1)) * (key.q - BigUInt(1));
+  EXPECT_EQ(key.pub.e.MulMod(key.d, phi), BigUInt(1));
+}
+
+}  // namespace
+}  // namespace nope

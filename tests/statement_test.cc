@@ -1,0 +1,286 @@
+// S_NOPE statement tests over the toy suite: satisfiability, linkage
+// soundness against substituted records, and the ablation orderings.
+#include "src/core/statement.h"
+
+#include <gtest/gtest.h>
+
+namespace nope {
+namespace {
+
+struct StatementFixture {
+  DnssecHierarchy dns{CryptoSuite::Toy(), 4001};
+  DnsName domain = DnsName::FromString("example.com");
+
+  StatementFixture() {
+    dns.AddZone(DnsName::FromString("com"));
+    dns.AddZone(domain);
+  }
+
+  StatementParams Params(StatementOptions options = StatementOptions::Full()) {
+    StatementParams params;
+    params.suite = &CryptoSuite::Toy();
+    params.num_levels = 1;
+    params.max_name_len = 32;
+    params.options = options;
+    return params;
+  }
+
+  StatementWitness Witness() {
+    StatementWitness w;
+    w.chain = dns.BuildChain(domain);
+    w.leaf_ksk_private_key = dns.Find(domain)->ksk().ec_priv;
+    w.tls_key_digest = Bytes(32, 0xaa);
+    w.ca_name_digest = Bytes(32, 0xbb);
+    w.truncated_ts = 2916666;
+    return w;
+  }
+};
+
+TEST(Statement, SatisfiableWithHonestWitness) {
+  StatementFixture f;
+  ConstraintSystem cs;
+  size_t num_public = BuildNopeStatement(&cs, f.Params(), f.Witness());
+  EXPECT_EQ(num_public, 2u + 2u + 2u + 1u);  // 2 name chunks + T + N + TS
+  EXPECT_GT(cs.NumConstraints(), 1000u);
+  size_t bad = 0;
+  EXPECT_TRUE(cs.IsSatisfied(&bad)) << "violated constraint " << bad;
+}
+
+TEST(Statement, PublicInputsMatchHelper) {
+  StatementFixture f;
+  ConstraintSystem cs;
+  StatementWitness w = f.Witness();
+  BuildNopeStatement(&cs, f.Params(), w);
+  std::vector<Fr> expected =
+      NopePublicInputs(f.Params(), f.domain, w.tls_key_digest, w.ca_name_digest, w.truncated_ts);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(cs.ValueOf(static_cast<Var>(i + 1)), expected[i]) << "public input " << i;
+  }
+}
+
+TEST(Statement, RejectsChainFromDifferentRoot) {
+  // A DNSSEC attacker who forges a parallel hierarchy (different root ZSK)
+  // cannot satisfy the statement whose root is baked to the real one: we
+  // build the statement with the real chain but swap in a forged leaf DS.
+  StatementFixture f;
+  DnssecHierarchy other(CryptoSuite::Toy(), 4999);
+  other.AddZone(DnsName::FromString("com"));
+  other.AddZone(f.domain);
+
+  StatementWitness w = f.Witness();
+  ChainOfTrust forged = other.BuildChain(f.domain);
+  // Splice the forged leaf DS (signed by the other hierarchy's .com) into
+  // the honest witness. Constraint build may throw (hint inconsistency) or
+  // yield an unsatisfiable system; both reject.
+  w.chain.leaf_ds = forged.leaf_ds;
+  w.leaf_ksk_private_key = other.Find(f.domain)->ksk().ec_priv;
+  w.chain.leaf_ksk = forged.leaf_ksk;
+  ConstraintSystem cs;
+  try {
+    BuildNopeStatement(&cs, f.Params(), w);
+    EXPECT_FALSE(cs.IsSatisfied());
+  } catch (const std::exception&) {
+    SUCCEED();
+  }
+}
+
+TEST(Statement, RejectsWrongPrivateKey) {
+  StatementFixture f;
+  StatementWitness w = f.Witness();
+  w.leaf_ksk_private_key = (w.leaf_ksk_private_key + BigUInt(1)) % CryptoSuite::Toy().curve.n;
+  ConstraintSystem cs;
+  try {
+    BuildNopeStatement(&cs, f.Params(), w);
+    EXPECT_FALSE(cs.IsSatisfied());
+  } catch (const std::exception&) {
+    SUCCEED();
+  }
+}
+
+TEST(Statement, RejectsDomainSubstitution) {
+  // Proof witness for example.com cannot satisfy a statement whose public
+  // inputs claim evil.com: the wire-name comparison fails.
+  StatementFixture f;
+  f.dns.AddZone(DnsName::FromString("evil.com"));
+  StatementWitness w = f.Witness();
+  // Swap the chain for evil.com's, keeping the public domain example.com.
+  StatementWitness evil = w;
+  evil.chain = f.dns.BuildChain(DnsName::FromString("evil.com"));
+  evil.chain.domain = f.domain;  // lie about the domain
+  evil.leaf_ksk_private_key = f.dns.Find(DnsName::FromString("evil.com"))->ksk().ec_priv;
+  ConstraintSystem cs;
+  try {
+    BuildNopeStatement(&cs, f.Params(), evil);
+    EXPECT_FALSE(cs.IsSatisfied());
+  } catch (const std::exception&) {
+    SUCCEED();
+  }
+}
+
+TEST(Statement, CountModeMatchesProveMode) {
+  StatementFixture f;
+  ConstraintSystem prove_cs(ConstraintSystem::Mode::kProve);
+  BuildNopeStatement(&prove_cs, f.Params(), f.Witness());
+  ConstraintSystem count_cs(ConstraintSystem::Mode::kCount);
+  BuildNopeStatement(&count_cs, f.Params(), f.Witness());
+  EXPECT_EQ(prove_cs.NumConstraints(), count_cs.NumConstraints());
+  EXPECT_EQ(prove_cs.NumVariables(), count_cs.NumVariables());
+  EXPECT_TRUE(count_cs.constraints().empty());
+}
+
+TEST(Statement, AblationOrdering) {
+  // Each paper technique must reduce the constraint count (Fig. 6 shape):
+  // baseline > +design > +parsing > +crypto > +misc.
+  StatementFixture f;
+  StatementWitness w = f.Witness();
+  auto count = [&](StatementOptions opt) {
+    ConstraintSystem cs(ConstraintSystem::Mode::kCount);
+    StatementParams params = f.Params(opt);
+    BuildNopeStatement(&cs, params, w);
+    return cs.NumConstraints();
+  };
+  StatementOptions baseline = StatementOptions::Baseline();
+  StatementOptions design = baseline;
+  design.use_signature_of_knowledge = true;
+  StatementOptions parsing = design;
+  parsing.use_nope_parsing = true;
+  StatementOptions crypto = parsing;
+  crypto.use_nope_crypto = true;
+  crypto.use_glv_msm = true;
+  StatementOptions full = StatementOptions::Full();
+
+  size_t c_baseline = count(baseline);
+  size_t c_design = count(design);
+  size_t c_parsing = count(parsing);
+  size_t c_crypto = count(crypto);
+  size_t c_full = count(full);
+  EXPECT_GT(c_baseline, c_design);
+  EXPECT_GT(c_design, c_parsing);
+  EXPECT_GT(c_parsing, c_crypto);
+  EXPECT_GE(c_crypto, c_full);
+}
+
+TEST(Statement, DeeperChain) {
+  DnssecHierarchy dns(CryptoSuite::Toy(), 4002);
+  dns.AddZone(DnsName::FromString("uk"));
+  dns.AddZone(DnsName::FromString("co.uk"));
+  DnsName domain = DnsName::FromString("shop.co.uk");
+  dns.AddZone(domain);
+
+  StatementParams params;
+  params.suite = &CryptoSuite::Toy();
+  params.num_levels = 2;
+  params.max_name_len = 32;
+  params.options = StatementOptions::Full();
+
+  StatementWitness w;
+  w.chain = dns.BuildChain(domain);
+  w.leaf_ksk_private_key = dns.Find(domain)->ksk().ec_priv;
+  w.tls_key_digest = Bytes(32, 1);
+  w.ca_name_digest = Bytes(32, 2);
+  w.truncated_ts = 123;
+
+  ConstraintSystem cs;
+  BuildNopeStatement(&cs, params, w);
+  size_t bad = 0;
+  EXPECT_TRUE(cs.IsSatisfied(&bad)) << "violated constraint " << bad;
+}
+
+
+TEST(StatementManaged, SatisfiableWithTxtBinding) {
+  // NOPE-managed (App. A): no KSK-knowledge; a ZSK-signed TXT record binds
+  // hash(T || N || TS).
+  StatementFixture f;
+  StatementOptions options = StatementOptions::Full();
+  options.managed_mode = true;
+  StatementWitness w = f.Witness();
+  Bytes binding = ManagedBinding(CryptoSuite::Toy(), w.tls_key_digest, w.ca_name_digest,
+                                 w.truncated_ts);
+  // Decoy TXT records exercise the record walk.
+  f.dns.SetTxt(f.domain, "v=spf1 -all");
+  f.dns.SetTxt(f.domain, std::string(binding.begin(), binding.end()));
+  f.dns.SetTxt(f.domain, "site-verification=zzz");
+  w.managed_txt = f.dns.SignedTxt(f.domain);
+  Zone* zone = f.dns.Find(f.domain);
+  w.managed_dnskey = zone->Sign(zone->DnskeyRrset(), f.dns.rng());
+
+  ConstraintSystem cs;
+  BuildNopeStatement(&cs, f.Params(options), w);
+  size_t bad = 0;
+  EXPECT_TRUE(cs.IsSatisfied(&bad)) << "violated constraint " << bad;
+}
+
+TEST(StatementManaged, RejectsMissingBinding) {
+  // Without the binding TXT record, no satisfying witness exists.
+  StatementFixture f;
+  StatementOptions options = StatementOptions::Full();
+  options.managed_mode = true;
+  StatementWitness w = f.Witness();
+  f.dns.SetTxt(f.domain, "unrelated-record");
+  w.managed_txt = f.dns.SignedTxt(f.domain);
+  Zone* zone = f.dns.Find(f.domain);
+  w.managed_dnskey = zone->Sign(zone->DnskeyRrset(), f.dns.rng());
+  ConstraintSystem cs;
+  try {
+    BuildNopeStatement(&cs, f.Params(options), w);
+    EXPECT_FALSE(cs.IsSatisfied());
+  } catch (const std::exception&) {
+    SUCCEED();
+  }
+}
+
+TEST(StatementManaged, RejectsBindingForDifferentTlsKey) {
+  // The TXT binds a specific (T, N, TS); a proof attempt for a different
+  // TLS key must fail even with the same TXT RRset.
+  StatementFixture f;
+  StatementOptions options = StatementOptions::Full();
+  options.managed_mode = true;
+  StatementWitness w = f.Witness();
+  Bytes binding = ManagedBinding(CryptoSuite::Toy(), w.tls_key_digest, w.ca_name_digest,
+                                 w.truncated_ts);
+  f.dns.SetTxt(f.domain, std::string(binding.begin(), binding.end()));
+  w.managed_txt = f.dns.SignedTxt(f.domain);
+  Zone* zone = f.dns.Find(f.domain);
+  w.managed_dnskey = zone->Sign(zone->DnskeyRrset(), f.dns.rng());
+  w.tls_key_digest = Bytes(32, 0xcc);  // attacker's key digest
+  ConstraintSystem cs;
+  try {
+    BuildNopeStatement(&cs, f.Params(options), w);
+    EXPECT_FALSE(cs.IsSatisfied());
+  } catch (const std::exception&) {
+    SUCCEED();
+  }
+}
+
+TEST(StatementManaged, CostsRoughlyDoubleStandard) {
+  // App. A: "roughly twice as expensive for the prover".
+  StatementFixture f;
+  StatementWitness w = f.Witness();
+  ConstraintSystem standard_cs(ConstraintSystem::Mode::kCount);
+  BuildNopeStatement(&standard_cs, f.Params(), w);
+
+  StatementOptions options = StatementOptions::Full();
+  options.managed_mode = true;
+  Bytes binding = ManagedBinding(CryptoSuite::Toy(), w.tls_key_digest, w.ca_name_digest,
+                                 w.truncated_ts);
+  f.dns.SetTxt(f.domain, std::string(binding.begin(), binding.end()));
+  w.managed_txt = f.dns.SignedTxt(f.domain);
+  Zone* zone = f.dns.Find(f.domain);
+  w.managed_dnskey = zone->Sign(zone->DnskeyRrset(), f.dns.rng());
+  ConstraintSystem managed_cs(ConstraintSystem::Mode::kCount);
+  BuildNopeStatement(&managed_cs, f.Params(options), w);
+
+  double ratio = static_cast<double>(managed_cs.NumConstraints()) / standard_cs.NumConstraints();
+  EXPECT_GT(ratio, 1.15);
+  EXPECT_LT(ratio, 3.5);
+}
+
+TEST(StatementHelpers, TimestampTruncation) {
+  EXPECT_EQ(TruncateTimestamp(0), 0u);
+  EXPECT_EQ(TruncateTimestamp(599), 0u);
+  EXPECT_EQ(TruncateTimestamp(600), 1u);
+  EXPECT_EQ(TruncateTimestamp(1750000000), 1750000000ull / 600);
+}
+
+}  // namespace
+}  // namespace nope
