@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_handshake.dir/bench_fig4_handshake.cc.o"
+  "CMakeFiles/bench_fig4_handshake.dir/bench_fig4_handshake.cc.o.d"
+  "bench_fig4_handshake"
+  "bench_fig4_handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

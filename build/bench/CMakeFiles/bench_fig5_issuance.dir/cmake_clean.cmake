@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_issuance.dir/bench_fig5_issuance.cc.o"
+  "CMakeFiles/bench_fig5_issuance.dir/bench_fig5_issuance.cc.o.d"
+  "bench_fig5_issuance"
+  "bench_fig5_issuance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_issuance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_certsize.dir/bench_fig7_certsize.cc.o"
+  "CMakeFiles/bench_fig7_certsize.dir/bench_fig7_certsize.cc.o.d"
+  "bench_fig7_certsize"
+  "bench_fig7_certsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_certsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_groth16.dir/bench_groth16.cc.o"
+  "CMakeFiles/bench_groth16.dir/bench_groth16.cc.o.d"
+  "bench_groth16"
+  "bench_groth16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_groth16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

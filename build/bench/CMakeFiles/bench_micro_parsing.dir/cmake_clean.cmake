@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_parsing.dir/bench_micro_parsing.cc.o"
+  "CMakeFiles/bench_micro_parsing.dir/bench_micro_parsing.cc.o.d"
+  "bench_micro_parsing"
+  "bench_micro_parsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_parsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dce_comparison.dir/dce_comparison.cpp.o"
+  "CMakeFiles/dce_comparison.dir/dce_comparison.cpp.o.d"
+  "dce_comparison"
+  "dce_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dce_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issue_and_verify.dir/issue_and_verify.cpp.o"
+  "CMakeFiles/issue_and_verify.dir/issue_and_verify.cpp.o.d"
+  "issue_and_verify"
+  "issue_and_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issue_and_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for issue_and_verify.
+# This may be replaced when dependencies are built.

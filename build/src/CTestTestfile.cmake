@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("ff")
+subdirs("ec")
+subdirs("sig")
+subdirs("r1cs")
+subdirs("groth16")
+subdirs("dns")
+subdirs("pki")
+subdirs("tls")
+subdirs("core")

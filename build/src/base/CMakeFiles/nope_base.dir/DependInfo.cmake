@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/biguint.cc" "src/base/CMakeFiles/nope_base.dir/biguint.cc.o" "gcc" "src/base/CMakeFiles/nope_base.dir/biguint.cc.o.d"
+  "/root/repo/src/base/bytes.cc" "src/base/CMakeFiles/nope_base.dir/bytes.cc.o" "gcc" "src/base/CMakeFiles/nope_base.dir/bytes.cc.o.d"
+  "/root/repo/src/base/hmac.cc" "src/base/CMakeFiles/nope_base.dir/hmac.cc.o" "gcc" "src/base/CMakeFiles/nope_base.dir/hmac.cc.o.d"
+  "/root/repo/src/base/sha1.cc" "src/base/CMakeFiles/nope_base.dir/sha1.cc.o" "gcc" "src/base/CMakeFiles/nope_base.dir/sha1.cc.o.d"
+  "/root/repo/src/base/sha256.cc" "src/base/CMakeFiles/nope_base.dir/sha256.cc.o" "gcc" "src/base/CMakeFiles/nope_base.dir/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nope_base.dir/biguint.cc.o"
+  "CMakeFiles/nope_base.dir/biguint.cc.o.d"
+  "CMakeFiles/nope_base.dir/bytes.cc.o"
+  "CMakeFiles/nope_base.dir/bytes.cc.o.d"
+  "CMakeFiles/nope_base.dir/hmac.cc.o"
+  "CMakeFiles/nope_base.dir/hmac.cc.o.d"
+  "CMakeFiles/nope_base.dir/sha1.cc.o"
+  "CMakeFiles/nope_base.dir/sha1.cc.o.d"
+  "CMakeFiles/nope_base.dir/sha256.cc.o"
+  "CMakeFiles/nope_base.dir/sha256.cc.o.d"
+  "libnope_base.a"
+  "libnope_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nope_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nope_core.dir/analysis.cc.o"
+  "CMakeFiles/nope_core.dir/analysis.cc.o.d"
+  "CMakeFiles/nope_core.dir/nope.cc.o"
+  "CMakeFiles/nope_core.dir/nope.cc.o.d"
+  "CMakeFiles/nope_core.dir/statement.cc.o"
+  "CMakeFiles/nope_core.dir/statement.cc.o.d"
+  "libnope_core.a"
+  "libnope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nope_dns.dir/dnssec.cc.o"
+  "CMakeFiles/nope_dns.dir/dnssec.cc.o.d"
+  "CMakeFiles/nope_dns.dir/name.cc.o"
+  "CMakeFiles/nope_dns.dir/name.cc.o.d"
+  "CMakeFiles/nope_dns.dir/records.cc.o"
+  "CMakeFiles/nope_dns.dir/records.cc.o.d"
+  "libnope_dns.a"
+  "libnope_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nope_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

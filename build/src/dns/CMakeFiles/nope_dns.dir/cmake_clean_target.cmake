@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnope_dns.a"
+)

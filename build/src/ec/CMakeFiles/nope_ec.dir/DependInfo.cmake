@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ec/bn254.cc" "src/ec/CMakeFiles/nope_ec.dir/bn254.cc.o" "gcc" "src/ec/CMakeFiles/nope_ec.dir/bn254.cc.o.d"
+  "/root/repo/src/ec/p256.cc" "src/ec/CMakeFiles/nope_ec.dir/p256.cc.o" "gcc" "src/ec/CMakeFiles/nope_ec.dir/p256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ff/CMakeFiles/nope_ff.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/nope_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

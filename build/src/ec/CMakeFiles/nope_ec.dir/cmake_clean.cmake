@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nope_ec.dir/bn254.cc.o"
+  "CMakeFiles/nope_ec.dir/bn254.cc.o.d"
+  "CMakeFiles/nope_ec.dir/p256.cc.o"
+  "CMakeFiles/nope_ec.dir/p256.cc.o.d"
+  "libnope_ec.a"
+  "libnope_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nope_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nope_ff.dir/fp.cc.o"
+  "CMakeFiles/nope_ff.dir/fp.cc.o.d"
+  "CMakeFiles/nope_ff.dir/fp12.cc.o"
+  "CMakeFiles/nope_ff.dir/fp12.cc.o.d"
+  "libnope_ff.a"
+  "libnope_ff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nope_ff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

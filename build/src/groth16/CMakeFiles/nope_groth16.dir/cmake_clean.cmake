@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nope_groth16.dir/domain.cc.o"
+  "CMakeFiles/nope_groth16.dir/domain.cc.o.d"
+  "CMakeFiles/nope_groth16.dir/groth16.cc.o"
+  "CMakeFiles/nope_groth16.dir/groth16.cc.o.d"
+  "libnope_groth16.a"
+  "libnope_groth16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nope_groth16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnope_groth16.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nope_pki.dir/ca.cc.o"
+  "CMakeFiles/nope_pki.dir/ca.cc.o.d"
+  "CMakeFiles/nope_pki.dir/certificate.cc.o"
+  "CMakeFiles/nope_pki.dir/certificate.cc.o.d"
+  "CMakeFiles/nope_pki.dir/ct_log.cc.o"
+  "CMakeFiles/nope_pki.dir/ct_log.cc.o.d"
+  "CMakeFiles/nope_pki.dir/san_encoding.cc.o"
+  "CMakeFiles/nope_pki.dir/san_encoding.cc.o.d"
+  "libnope_pki.a"
+  "libnope_pki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nope_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

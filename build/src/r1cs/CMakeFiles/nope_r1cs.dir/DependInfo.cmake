@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/r1cs/bignum_gadget.cc" "src/r1cs/CMakeFiles/nope_r1cs.dir/bignum_gadget.cc.o" "gcc" "src/r1cs/CMakeFiles/nope_r1cs.dir/bignum_gadget.cc.o.d"
+  "/root/repo/src/r1cs/constraint_system.cc" "src/r1cs/CMakeFiles/nope_r1cs.dir/constraint_system.cc.o" "gcc" "src/r1cs/CMakeFiles/nope_r1cs.dir/constraint_system.cc.o.d"
+  "/root/repo/src/r1cs/ec_gadget.cc" "src/r1cs/CMakeFiles/nope_r1cs.dir/ec_gadget.cc.o" "gcc" "src/r1cs/CMakeFiles/nope_r1cs.dir/ec_gadget.cc.o.d"
+  "/root/repo/src/r1cs/ecdsa_gadget.cc" "src/r1cs/CMakeFiles/nope_r1cs.dir/ecdsa_gadget.cc.o" "gcc" "src/r1cs/CMakeFiles/nope_r1cs.dir/ecdsa_gadget.cc.o.d"
+  "/root/repo/src/r1cs/mimc_gadget.cc" "src/r1cs/CMakeFiles/nope_r1cs.dir/mimc_gadget.cc.o" "gcc" "src/r1cs/CMakeFiles/nope_r1cs.dir/mimc_gadget.cc.o.d"
+  "/root/repo/src/r1cs/parse_gadgets.cc" "src/r1cs/CMakeFiles/nope_r1cs.dir/parse_gadgets.cc.o" "gcc" "src/r1cs/CMakeFiles/nope_r1cs.dir/parse_gadgets.cc.o.d"
+  "/root/repo/src/r1cs/rsa_gadget.cc" "src/r1cs/CMakeFiles/nope_r1cs.dir/rsa_gadget.cc.o" "gcc" "src/r1cs/CMakeFiles/nope_r1cs.dir/rsa_gadget.cc.o.d"
+  "/root/repo/src/r1cs/sha256_gadget.cc" "src/r1cs/CMakeFiles/nope_r1cs.dir/sha256_gadget.cc.o" "gcc" "src/r1cs/CMakeFiles/nope_r1cs.dir/sha256_gadget.cc.o.d"
+  "/root/repo/src/r1cs/toy_curve.cc" "src/r1cs/CMakeFiles/nope_r1cs.dir/toy_curve.cc.o" "gcc" "src/r1cs/CMakeFiles/nope_r1cs.dir/toy_curve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ff/CMakeFiles/nope_ff.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/nope_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/nope_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/nope_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nope_r1cs.dir/bignum_gadget.cc.o"
+  "CMakeFiles/nope_r1cs.dir/bignum_gadget.cc.o.d"
+  "CMakeFiles/nope_r1cs.dir/constraint_system.cc.o"
+  "CMakeFiles/nope_r1cs.dir/constraint_system.cc.o.d"
+  "CMakeFiles/nope_r1cs.dir/ec_gadget.cc.o"
+  "CMakeFiles/nope_r1cs.dir/ec_gadget.cc.o.d"
+  "CMakeFiles/nope_r1cs.dir/ecdsa_gadget.cc.o"
+  "CMakeFiles/nope_r1cs.dir/ecdsa_gadget.cc.o.d"
+  "CMakeFiles/nope_r1cs.dir/mimc_gadget.cc.o"
+  "CMakeFiles/nope_r1cs.dir/mimc_gadget.cc.o.d"
+  "CMakeFiles/nope_r1cs.dir/parse_gadgets.cc.o"
+  "CMakeFiles/nope_r1cs.dir/parse_gadgets.cc.o.d"
+  "CMakeFiles/nope_r1cs.dir/rsa_gadget.cc.o"
+  "CMakeFiles/nope_r1cs.dir/rsa_gadget.cc.o.d"
+  "CMakeFiles/nope_r1cs.dir/sha256_gadget.cc.o"
+  "CMakeFiles/nope_r1cs.dir/sha256_gadget.cc.o.d"
+  "CMakeFiles/nope_r1cs.dir/toy_curve.cc.o"
+  "CMakeFiles/nope_r1cs.dir/toy_curve.cc.o.d"
+  "libnope_r1cs.a"
+  "libnope_r1cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nope_r1cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nope_sig.dir/ecdsa.cc.o"
+  "CMakeFiles/nope_sig.dir/ecdsa.cc.o.d"
+  "CMakeFiles/nope_sig.dir/rsa.cc.o"
+  "CMakeFiles/nope_sig.dir/rsa.cc.o.d"
+  "libnope_sig.a"
+  "libnope_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nope_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

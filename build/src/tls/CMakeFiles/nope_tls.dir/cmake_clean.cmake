@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nope_tls.dir/handshake.cc.o"
+  "CMakeFiles/nope_tls.dir/handshake.cc.o.d"
+  "libnope_tls.a"
+  "libnope_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nope_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

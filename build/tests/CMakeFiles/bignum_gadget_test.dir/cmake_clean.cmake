@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bignum_gadget_test.dir/bignum_gadget_test.cc.o"
+  "CMakeFiles/bignum_gadget_test.dir/bignum_gadget_test.cc.o.d"
+  "bignum_gadget_test"
+  "bignum_gadget_test.pdb"
+  "bignum_gadget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bignum_gadget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_gadget_test.dir/ec_gadget_test.cc.o"
+  "CMakeFiles/ec_gadget_test.dir/ec_gadget_test.cc.o.d"
+  "ec_gadget_test"
+  "ec_gadget_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_gadget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groth16_test.dir/groth16_test.cc.o"
+  "CMakeFiles/groth16_test.dir/groth16_test.cc.o.d"
+  "groth16_test"
+  "groth16_test.pdb"
+  "groth16_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groth16_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parse_gadgets_test.dir/parse_gadgets_test.cc.o"
+  "CMakeFiles/parse_gadgets_test.dir/parse_gadgets_test.cc.o.d"
+  "parse_gadgets_test"
+  "parse_gadgets_test.pdb"
+  "parse_gadgets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parse_gadgets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pki_test.dir/pki_test.cc.o"
+  "CMakeFiles/pki_test.dir/pki_test.cc.o.d"
+  "pki_test"
+  "pki_test.pdb"
+  "pki_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pki_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

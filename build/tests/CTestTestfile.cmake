@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/biguint_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_test[1]_include.cmake")
+include("/root/repo/build/tests/field_test[1]_include.cmake")
+include("/root/repo/build/tests/curve_test[1]_include.cmake")
+include("/root/repo/build/tests/rsa_test[1]_include.cmake")
+include("/root/repo/build/tests/ecdsa_test[1]_include.cmake")
+include("/root/repo/build/tests/constraint_system_test[1]_include.cmake")
+include("/root/repo/build/tests/groth16_test[1]_include.cmake")
+include("/root/repo/build/tests/parse_gadgets_test[1]_include.cmake")
+include("/root/repo/build/tests/bignum_gadget_test[1]_include.cmake")
+include("/root/repo/build/tests/pki_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+add_test(pairing_test "/root/repo/build/tests/pairing_test")
+set_tests_properties(pairing_test PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;21;nope_test_single;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ec_gadget_test "/root/repo/build/tests/ec_gadget_test")
+set_tests_properties(ec_gadget_test PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;28;nope_test_single;/root/repo/tests/CMakeLists.txt;0;")
+add_test(crypto_gadget_test "/root/repo/build/tests/crypto_gadget_test")
+set_tests_properties(crypto_gadget_test PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;29;nope_test_single;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dns_test "/root/repo/build/tests/dns_test")
+set_tests_properties(dns_test PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;30;nope_test_single;/root/repo/tests/CMakeLists.txt;0;")
+add_test(statement_test "/root/repo/build/tests/statement_test")
+set_tests_properties(statement_test PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;32;nope_test_single;/root/repo/tests/CMakeLists.txt;0;")
+add_test(end_to_end_test "/root/repo/build/tests/end_to_end_test")
+set_tests_properties(end_to_end_test PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;33;nope_test_single;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;35;nope_test_single;/root/repo/tests/CMakeLists.txt;0;")
