@@ -108,7 +108,7 @@ int main() {
       },
       kHeavyReps);
   Stats dce_stats = Measure(
-      [&] { DceVerify(CryptoSuite::Real(), dce, domain, tls_key.pub.Encode(), real_anchor); },
+      [&] { (void)DceVerify(CryptoSuite::Real(), dce, domain, tls_key.pub.Encode(), real_anchor); },
       20);
 
   printf("=== Figure 4: client-side verification cost ===\n\n");

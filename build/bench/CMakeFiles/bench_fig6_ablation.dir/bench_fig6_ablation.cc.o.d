@@ -237,13 +237,14 @@ bench/CMakeFiles/bench_fig6_ablation.dir/bench_fig6_ablation.cc.o: \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/dns/name.h \
- /root/repo/src/base/bytes.h /root/repo/src/r1cs/toy_curve.h \
+ /root/repo/src/base/bytes.h /root/repo/src/base/result.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /root/repo/src/r1cs/toy_curve.h \
  /root/repo/src/r1cs/ec_gadget.h /root/repo/src/r1cs/bignum_gadget.h \
  /root/repo/src/base/biguint.h /root/repo/src/r1cs/constraint_system.h \
  /root/repo/src/ff/fp.h /usr/include/c++/12/array \
  /root/repo/src/sig/rsa.h /root/repo/src/groth16/groth16.h \
- /root/repo/src/ec/bn254.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/ec/curve.h \
+ /root/repo/src/ec/bn254.h /root/repo/src/ec/curve.h \
  /root/repo/src/ff/fp12.h /root/repo/src/ff/fp6.h /root/repo/src/ff/fp2.h \
  /root/repo/src/groth16/domain.h /root/repo/src/pki/san_encoding.h \
  /root/repo/src/tls/handshake.h /root/repo/src/pki/ca.h \

@@ -212,10 +212,13 @@ bench/CMakeFiles/bench_groth16.dir/bench_groth16.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/groth16/groth16.h /root/repo/src/ec/bn254.h \
- /root/repo/src/ec/curve.h /root/repo/src/base/biguint.h \
- /root/repo/src/base/bytes.h /root/repo/src/ff/fp12.h \
- /root/repo/src/ff/fp6.h /root/repo/src/ff/fp2.h /root/repo/src/ff/fp.h \
- /usr/include/c++/12/array /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/groth16/groth16.h /root/repo/src/base/result.h \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/ec/bn254.h /root/repo/src/ec/curve.h \
+ /root/repo/src/base/biguint.h /root/repo/src/base/bytes.h \
+ /root/repo/src/ff/fp12.h /root/repo/src/ff/fp6.h /root/repo/src/ff/fp2.h \
+ /root/repo/src/ff/fp.h /usr/include/c++/12/array \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/groth16/domain.h /root/repo/src/r1cs/constraint_system.h

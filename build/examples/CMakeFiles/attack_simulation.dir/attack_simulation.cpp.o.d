@@ -207,15 +207,16 @@ examples/CMakeFiles/attack_simulation.dir/attack_simulation.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/dns/records.h \
  /root/repo/src/dns/name.h /root/repo/src/base/bytes.h \
- /root/repo/src/r1cs/toy_curve.h /root/repo/src/r1cs/ec_gadget.h \
- /root/repo/src/r1cs/bignum_gadget.h /root/repo/src/base/biguint.h \
- /root/repo/src/r1cs/constraint_system.h /root/repo/src/ff/fp.h \
- /usr/include/c++/12/array /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /root/repo/src/sig/rsa.h \
- /root/repo/src/groth16/groth16.h /root/repo/src/ec/bn254.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/ec/curve.h /root/repo/src/ff/fp12.h \
- /root/repo/src/ff/fp6.h /root/repo/src/ff/fp2.h \
+ /root/repo/src/base/result.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/r1cs/toy_curve.h \
+ /root/repo/src/r1cs/ec_gadget.h /root/repo/src/r1cs/bignum_gadget.h \
+ /root/repo/src/base/biguint.h /root/repo/src/r1cs/constraint_system.h \
+ /root/repo/src/ff/fp.h /usr/include/c++/12/array \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/sig/rsa.h /root/repo/src/groth16/groth16.h \
+ /root/repo/src/ec/bn254.h /root/repo/src/ec/curve.h \
+ /root/repo/src/ff/fp12.h /root/repo/src/ff/fp6.h /root/repo/src/ff/fp2.h \
  /root/repo/src/groth16/domain.h /root/repo/src/pki/san_encoding.h \
  /root/repo/src/tls/handshake.h /root/repo/src/pki/ca.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \

@@ -11,6 +11,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/base/biguint.cc" "src/base/CMakeFiles/nope_base.dir/biguint.cc.o" "gcc" "src/base/CMakeFiles/nope_base.dir/biguint.cc.o.d"
   "/root/repo/src/base/bytes.cc" "src/base/CMakeFiles/nope_base.dir/bytes.cc.o" "gcc" "src/base/CMakeFiles/nope_base.dir/bytes.cc.o.d"
   "/root/repo/src/base/hmac.cc" "src/base/CMakeFiles/nope_base.dir/hmac.cc.o" "gcc" "src/base/CMakeFiles/nope_base.dir/hmac.cc.o.d"
+  "/root/repo/src/base/mutator.cc" "src/base/CMakeFiles/nope_base.dir/mutator.cc.o" "gcc" "src/base/CMakeFiles/nope_base.dir/mutator.cc.o.d"
+  "/root/repo/src/base/result.cc" "src/base/CMakeFiles/nope_base.dir/result.cc.o" "gcc" "src/base/CMakeFiles/nope_base.dir/result.cc.o.d"
   "/root/repo/src/base/sha1.cc" "src/base/CMakeFiles/nope_base.dir/sha1.cc.o" "gcc" "src/base/CMakeFiles/nope_base.dir/sha1.cc.o.d"
   "/root/repo/src/base/sha256.cc" "src/base/CMakeFiles/nope_base.dir/sha256.cc.o" "gcc" "src/base/CMakeFiles/nope_base.dir/sha256.cc.o.d"
   )

@@ -5,6 +5,10 @@ file(REMOVE_RECURSE
   "CMakeFiles/nope_base.dir/bytes.cc.o.d"
   "CMakeFiles/nope_base.dir/hmac.cc.o"
   "CMakeFiles/nope_base.dir/hmac.cc.o.d"
+  "CMakeFiles/nope_base.dir/mutator.cc.o"
+  "CMakeFiles/nope_base.dir/mutator.cc.o.d"
+  "CMakeFiles/nope_base.dir/result.cc.o"
+  "CMakeFiles/nope_base.dir/result.cc.o.d"
   "CMakeFiles/nope_base.dir/sha1.cc.o"
   "CMakeFiles/nope_base.dir/sha1.cc.o.d"
   "CMakeFiles/nope_base.dir/sha256.cc.o"

@@ -204,13 +204,15 @@ src/core/CMakeFiles/nope_core.dir/statement.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/dns/name.h \
- /root/repo/src/base/bytes.h /root/repo/src/r1cs/toy_curve.h \
- /root/repo/src/r1cs/ec_gadget.h /root/repo/src/r1cs/bignum_gadget.h \
- /root/repo/src/base/biguint.h /root/repo/src/r1cs/constraint_system.h \
- /root/repo/src/ff/fp.h /usr/include/c++/12/array \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/sig/rsa.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/base/bytes.h /root/repo/src/base/result.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/r1cs/toy_curve.h /root/repo/src/r1cs/ec_gadget.h \
+ /root/repo/src/r1cs/bignum_gadget.h /root/repo/src/base/biguint.h \
+ /root/repo/src/r1cs/constraint_system.h /root/repo/src/ff/fp.h \
+ /usr/include/c++/12/array /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /root/repo/src/sig/rsa.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

@@ -129,7 +129,10 @@ src/ec/CMakeFiles/nope_ec.dir/bn254.cc.o: /root/repo/src/ec/bn254.cc \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/base/biguint.h \
- /root/repo/src/base/bytes.h /root/repo/src/ff/fp12.h \
- /root/repo/src/ff/fp6.h /root/repo/src/ff/fp2.h /root/repo/src/ff/fp.h \
- /usr/include/c++/12/array /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h
+ /root/repo/src/base/bytes.h /root/repo/src/base/result.h \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/ff/fp12.h /root/repo/src/ff/fp6.h /root/repo/src/ff/fp2.h \
+ /root/repo/src/ff/fp.h /usr/include/c++/12/array \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

@@ -128,5 +128,9 @@ src/ec/CMakeFiles/nope_ec.dir/p256.cc.o: /root/repo/src/ec/p256.cc \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/base/bytes.h \
+ /root/repo/src/base/result.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/ff/fp.h /usr/include/c++/12/array \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

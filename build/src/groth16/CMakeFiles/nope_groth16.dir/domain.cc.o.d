@@ -125,7 +125,12 @@ src/groth16/CMakeFiles/nope_groth16.dir/domain.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/base/biguint.h \
- /root/repo/src/base/bytes.h /usr/include/c++/12/stdexcept \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /root/repo/src/base/bytes.h /root/repo/src/base/result.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/stdexcept

@@ -49,13 +49,13 @@ src/groth16/CMakeFiles/nope_groth16.dir/groth16.cc.o: \
  /usr/include/c++/12/bits/stl_function.h \
  /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/ec/bn254.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/ec/curve.h /usr/include/c++/12/stdexcept \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/base/result.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
@@ -128,11 +128,14 @@ src/groth16/CMakeFiles/nope_groth16.dir/groth16.cc.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/base/biguint.h \
- /root/repo/src/base/bytes.h /root/repo/src/ff/fp12.h \
- /root/repo/src/ff/fp6.h /root/repo/src/ff/fp2.h /root/repo/src/ff/fp.h \
- /usr/include/c++/12/array /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/ec/bn254.h \
+ /root/repo/src/ec/curve.h /usr/include/c++/12/stdexcept \
+ /root/repo/src/base/biguint.h /root/repo/src/base/bytes.h \
+ /root/repo/src/ff/fp12.h /root/repo/src/ff/fp6.h /root/repo/src/ff/fp2.h \
+ /root/repo/src/ff/fp.h /usr/include/c++/12/array \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/groth16/domain.h /root/repo/src/r1cs/constraint_system.h \
  /root/repo/src/ec/msm.h /usr/include/c++/12/cstddef \
  /root/repo/src/groth16/fixed_base.h

@@ -214,14 +214,17 @@ src/pki/CMakeFiles/nope_pki.dir/ca.cc.o: /root/repo/src/pki/ca.cc \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/dns/records.h \
  /root/repo/src/dns/name.h /root/repo/src/base/bytes.h \
- /root/repo/src/r1cs/toy_curve.h /root/repo/src/r1cs/ec_gadget.h \
- /root/repo/src/r1cs/bignum_gadget.h /root/repo/src/base/biguint.h \
- /root/repo/src/r1cs/constraint_system.h /root/repo/src/ff/fp.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/sig/rsa.h /root/repo/src/pki/ct_log.h \
- /root/repo/src/pki/certificate.h /root/repo/src/sig/ecdsa.h \
- /root/repo/src/ec/p256.h /root/repo/src/ec/curve.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/base/result.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/r1cs/toy_curve.h \
+ /root/repo/src/r1cs/ec_gadget.h /root/repo/src/r1cs/bignum_gadget.h \
+ /root/repo/src/base/biguint.h /root/repo/src/r1cs/constraint_system.h \
+ /root/repo/src/ff/fp.h /usr/include/c++/12/cstring /usr/include/string.h \
+ /usr/include/strings.h /root/repo/src/sig/rsa.h \
+ /root/repo/src/pki/ct_log.h /root/repo/src/pki/certificate.h \
+ /root/repo/src/sig/ecdsa.h /root/repo/src/ec/p256.h \
+ /root/repo/src/ec/curve.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/base/sha256.h

@@ -136,9 +136,12 @@ src/pki/CMakeFiles/nope_pki.dir/ct_log.cc.o: /root/repo/src/pki/ct_log.cc \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/dns/name.h \
- /root/repo/src/base/bytes.h /root/repo/src/sig/ecdsa.h \
- /root/repo/src/base/biguint.h /root/repo/src/ec/p256.h \
- /root/repo/src/ec/curve.h /usr/include/c++/12/stdexcept \
- /root/repo/src/ff/fp.h /usr/include/c++/12/array \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/base/bytes.h /root/repo/src/base/result.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/sig/ecdsa.h /root/repo/src/base/biguint.h \
+ /root/repo/src/ec/p256.h /root/repo/src/ec/curve.h \
+ /usr/include/c++/12/stdexcept /root/repo/src/ff/fp.h \
+ /usr/include/c++/12/array /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/base/sha256.h

@@ -294,10 +294,10 @@ tests/CMakeFiles/crypto_gadget_test.dir/crypto_gadget_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/base/sha256.h /root/repo/src/base/bytes.h \
- /root/repo/src/r1cs/ecdsa_gadget.h /root/repo/src/r1cs/ec_gadget.h \
- /root/repo/src/r1cs/bignum_gadget.h /root/repo/src/base/biguint.h \
- /root/repo/src/r1cs/constraint_system.h /root/repo/src/ff/fp.h \
- /usr/include/c++/12/cstring /root/repo/src/r1cs/mimc_gadget.h \
- /root/repo/src/r1cs/parse_gadgets.h /root/repo/src/r1cs/rsa_gadget.h \
- /root/repo/src/r1cs/sha256_gadget.h /root/repo/src/r1cs/toy_curve.h \
- /root/repo/src/sig/rsa.h
+ /root/repo/src/base/result.h /root/repo/src/r1cs/ecdsa_gadget.h \
+ /root/repo/src/r1cs/ec_gadget.h /root/repo/src/r1cs/bignum_gadget.h \
+ /root/repo/src/base/biguint.h /root/repo/src/r1cs/constraint_system.h \
+ /root/repo/src/ff/fp.h /usr/include/c++/12/cstring \
+ /root/repo/src/r1cs/mimc_gadget.h /root/repo/src/r1cs/parse_gadgets.h \
+ /root/repo/src/r1cs/rsa_gadget.h /root/repo/src/r1cs/sha256_gadget.h \
+ /root/repo/src/r1cs/toy_curve.h /root/repo/src/sig/rsa.h

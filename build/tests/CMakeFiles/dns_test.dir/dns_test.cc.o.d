@@ -294,9 +294,9 @@ tests/CMakeFiles/dns_test.dir/dns_test.cc.o: /root/repo/tests/dns_test.cc \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/base/sha256.h /root/repo/src/base/bytes.h \
- /root/repo/src/dns/dnssec.h /root/repo/src/dns/records.h \
- /root/repo/src/dns/name.h /root/repo/src/r1cs/toy_curve.h \
- /root/repo/src/r1cs/ec_gadget.h /root/repo/src/r1cs/bignum_gadget.h \
- /root/repo/src/base/biguint.h /root/repo/src/r1cs/constraint_system.h \
- /root/repo/src/ff/fp.h /usr/include/c++/12/cstring \
- /root/repo/src/sig/rsa.h
+ /root/repo/src/base/result.h /root/repo/src/dns/dnssec.h \
+ /root/repo/src/dns/records.h /root/repo/src/dns/name.h \
+ /root/repo/src/r1cs/toy_curve.h /root/repo/src/r1cs/ec_gadget.h \
+ /root/repo/src/r1cs/bignum_gadget.h /root/repo/src/base/biguint.h \
+ /root/repo/src/r1cs/constraint_system.h /root/repo/src/ff/fp.h \
+ /usr/include/c++/12/cstring /root/repo/src/sig/rsa.h

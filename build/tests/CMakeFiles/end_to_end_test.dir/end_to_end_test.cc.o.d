@@ -296,13 +296,14 @@ tests/CMakeFiles/end_to_end_test.dir/end_to_end_test.cc.o: \
  /root/repo/src/core/analysis.h /root/repo/src/core/nope.h \
  /root/repo/src/core/statement.h /root/repo/src/dns/dnssec.h \
  /root/repo/src/dns/records.h /root/repo/src/dns/name.h \
- /root/repo/src/base/bytes.h /root/repo/src/r1cs/toy_curve.h \
- /root/repo/src/r1cs/ec_gadget.h /root/repo/src/r1cs/bignum_gadget.h \
- /root/repo/src/base/biguint.h /root/repo/src/r1cs/constraint_system.h \
- /root/repo/src/ff/fp.h /usr/include/c++/12/cstring \
- /root/repo/src/sig/rsa.h /root/repo/src/groth16/groth16.h \
- /root/repo/src/ec/bn254.h /root/repo/src/ec/curve.h \
- /root/repo/src/ff/fp12.h /root/repo/src/ff/fp6.h /root/repo/src/ff/fp2.h \
+ /root/repo/src/base/bytes.h /root/repo/src/base/result.h \
+ /root/repo/src/r1cs/toy_curve.h /root/repo/src/r1cs/ec_gadget.h \
+ /root/repo/src/r1cs/bignum_gadget.h /root/repo/src/base/biguint.h \
+ /root/repo/src/r1cs/constraint_system.h /root/repo/src/ff/fp.h \
+ /usr/include/c++/12/cstring /root/repo/src/sig/rsa.h \
+ /root/repo/src/groth16/groth16.h /root/repo/src/ec/bn254.h \
+ /root/repo/src/ec/curve.h /root/repo/src/ff/fp12.h \
+ /root/repo/src/ff/fp6.h /root/repo/src/ff/fp2.h \
  /root/repo/src/groth16/domain.h /root/repo/src/pki/san_encoding.h \
  /root/repo/src/tls/handshake.h /root/repo/src/pki/ca.h \
  /root/repo/src/pki/ct_log.h /root/repo/src/pki/certificate.h \

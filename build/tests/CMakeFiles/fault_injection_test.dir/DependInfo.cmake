@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_injection_test.cc" "tests/CMakeFiles/fault_injection_test.dir/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/fault_injection_test.dir/fault_injection_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/groth16/CMakeFiles/nope_groth16.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/nope_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/nope_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/nope_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/r1cs/CMakeFiles/nope_r1cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/nope_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/nope_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ff/CMakeFiles/nope_ff.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/nope_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

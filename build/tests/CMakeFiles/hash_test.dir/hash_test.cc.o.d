@@ -294,4 +294,5 @@ tests/CMakeFiles/hash_test.dir/hash_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/base/hmac.h /root/repo/src/base/bytes.h \
- /root/repo/src/base/sha1.h /root/repo/src/base/sha256.h
+ /root/repo/src/base/result.h /root/repo/src/base/sha1.h \
+ /root/repo/src/base/sha256.h

@@ -295,5 +295,6 @@ tests/CMakeFiles/pairing_test.dir/pairing_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/ec/bn254.h /root/repo/src/ec/curve.h \
  /root/repo/src/base/biguint.h /root/repo/src/base/bytes.h \
- /root/repo/src/ff/fp12.h /root/repo/src/ff/fp6.h /root/repo/src/ff/fp2.h \
- /root/repo/src/ff/fp.h /usr/include/c++/12/cstring
+ /root/repo/src/base/result.h /root/repo/src/ff/fp12.h \
+ /root/repo/src/ff/fp6.h /root/repo/src/ff/fp2.h /root/repo/src/ff/fp.h \
+ /usr/include/c++/12/cstring

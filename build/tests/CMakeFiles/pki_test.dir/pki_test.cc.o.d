@@ -295,11 +295,11 @@ tests/CMakeFiles/pki_test.dir/pki_test.cc.o: /root/repo/tests/pki_test.cc \
  /root/miniconda/include/gtest/gtest_pred_impl.h /root/repo/src/pki/ca.h \
  /root/repo/src/dns/dnssec.h /root/repo/src/dns/records.h \
  /root/repo/src/dns/name.h /root/repo/src/base/bytes.h \
- /root/repo/src/r1cs/toy_curve.h /root/repo/src/r1cs/ec_gadget.h \
- /root/repo/src/r1cs/bignum_gadget.h /root/repo/src/base/biguint.h \
- /root/repo/src/r1cs/constraint_system.h /root/repo/src/ff/fp.h \
- /usr/include/c++/12/cstring /root/repo/src/sig/rsa.h \
- /root/repo/src/pki/ct_log.h /root/repo/src/pki/certificate.h \
- /root/repo/src/sig/ecdsa.h /root/repo/src/ec/p256.h \
- /root/repo/src/ec/curve.h /root/repo/src/pki/san_encoding.h \
- /root/repo/src/tls/handshake.h
+ /root/repo/src/base/result.h /root/repo/src/r1cs/toy_curve.h \
+ /root/repo/src/r1cs/ec_gadget.h /root/repo/src/r1cs/bignum_gadget.h \
+ /root/repo/src/base/biguint.h /root/repo/src/r1cs/constraint_system.h \
+ /root/repo/src/ff/fp.h /usr/include/c++/12/cstring \
+ /root/repo/src/sig/rsa.h /root/repo/src/pki/ct_log.h \
+ /root/repo/src/pki/certificate.h /root/repo/src/sig/ecdsa.h \
+ /root/repo/src/ec/p256.h /root/repo/src/ec/curve.h \
+ /root/repo/src/pki/san_encoding.h /root/repo/src/tls/handshake.h

@@ -28,5 +28,7 @@ add_test(statement_test "/root/repo/build/tests/statement_test")
 set_tests_properties(statement_test PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;32;nope_test_single;/root/repo/tests/CMakeLists.txt;0;")
 add_test(end_to_end_test "/root/repo/build/tests/end_to_end_test")
 set_tests_properties(end_to_end_test PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;33;nope_test_single;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fault_injection_test "/root/repo/build/tests/fault_injection_test")
+set_tests_properties(fault_injection_test PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;35;nope_test_single;/root/repo/tests/CMakeLists.txt;0;")
 add_test(property_test "/root/repo/build/tests/property_test")
-set_tests_properties(property_test PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;35;nope_test_single;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(property_test PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;36;nope_test_single;/root/repo/tests/CMakeLists.txt;0;")

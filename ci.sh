@@ -1,0 +1,30 @@
+#!/bin/bash
+# CI entry point: plain tier-1 build + tests, then an ASan/UBSan build that
+# re-runs the fast tests plus the fault-injection harness. Fails fast and
+# names the failing stage.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "=== stage 1: plain build ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+
+echo "=== stage 2: tier-1 tests ==="
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo "=== stage 3: ASan/UBSan build ==="
+cmake -B build-san -S . -DNOPE_SANITIZE=address,undefined >/dev/null
+# The sanitizer run covers the untrusted-input surface: every unit-test
+# binary that feeds parsers, plus the fault-injection campaigns.
+SAN_TARGETS=(biguint_test hash_test field_test curve_test rsa_test ecdsa_test
+             constraint_system_test groth16_test dns_test pki_test
+             analysis_test fault_injection_test)
+cmake --build build-san -j "$(nproc)" --target "${SAN_TARGETS[@]}"
+
+echo "=== stage 4: sanitized tests ==="
+for t in "${SAN_TARGETS[@]}"; do
+  echo "--- $t (ASan/UBSan) ---"
+  ./build-san/tests/"$t"
+done
+
+echo "CI OK"

@@ -24,7 +24,7 @@ int main() {
   printf("DCE bundle (real suite): %zu bytes shipped per TLS handshake\n",
          dce.Serialize().size());
   printf("DCE client validates the whole chain: %s\n",
-         DceVerify(CryptoSuite::Real(), dce, domain, tls_key.pub.Encode(), anchor) ? "ok"
+         DceVerify(CryptoSuite::Real(), dce, domain, tls_key.pub.Encode(), anchor).ok() ? "ok"
                                                                                    : "FAILED");
 
   // NOPE pipeline at demo profile.
@@ -52,7 +52,7 @@ int main() {
   DceBundle forged_bundle = BuildDceBundle(&forged, domain, attacker_key.pub.Encode());
   printf("\nDNSSEC attacker forging a chain from a compromised root:\n");
   printf("  DCE client vs forged-root chain + real anchor: %s\n",
-         DceVerify(CryptoSuite::Real(), forged_bundle, domain, attacker_key.pub.Encode(), anchor)
+         DceVerify(CryptoSuite::Real(), forged_bundle, domain, attacker_key.pub.Encode(), anchor).ok()
              ? "ACCEPTED"
              : "rejected (anchor mismatch)");
   printf("  (With the real root key compromised, DCE falls silently and forever —\n");

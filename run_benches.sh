@@ -1,9 +1,15 @@
 #!/bin/bash
+# Runs every bench binary; exits non-zero on the first failing bench and
+# names it, so a broken benchmark can't scroll by unnoticed.
+set -euo pipefail
 cd /root/repo
 for b in build/bench/*; do
   if [ -x "$b" ] && [ -f "$b" ]; then
     echo "===== $b ====="
-    $b 2>&1
+    if ! "$b" 2>&1; then
+      echo "FAILED: $b" >&2
+      exit 1
+    fi
     echo
   fi
 done

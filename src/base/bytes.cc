@@ -115,6 +115,63 @@ Bytes ReadBytes(const Bytes& in, size_t* pos, size_t n) {
 }
 
 namespace {
+// Overflow-safe availability check for attacker-controlled lengths.
+bool Available(const Bytes& in, size_t pos, size_t n) {
+  return pos <= in.size() && n <= in.size() - pos;
+}
+}  // namespace
+
+Result<uint8_t> TryReadU8(const Bytes& in, size_t* pos) {
+  if (!Available(in, *pos, 1)) {
+    return Error(ErrorCode::kTruncated, "u8 read past end of buffer");
+  }
+  return in[(*pos)++];
+}
+
+Result<uint16_t> TryReadU16(const Bytes& in, size_t* pos) {
+  if (!Available(in, *pos, 2)) {
+    return Error(ErrorCode::kTruncated, "u16 read past end of buffer");
+  }
+  uint16_t v = static_cast<uint16_t>((in[*pos] << 8) | in[*pos + 1]);
+  *pos += 2;
+  return v;
+}
+
+Result<uint32_t> TryReadU32(const Bytes& in, size_t* pos) {
+  if (!Available(in, *pos, 4)) {
+    return Error(ErrorCode::kTruncated, "u32 read past end of buffer");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | in[*pos + i];
+  }
+  *pos += 4;
+  return v;
+}
+
+Result<uint64_t> TryReadU64(const Bytes& in, size_t* pos) {
+  if (!Available(in, *pos, 8)) {
+    return Error(ErrorCode::kTruncated, "u64 read past end of buffer");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | in[*pos + i];
+  }
+  *pos += 8;
+  return v;
+}
+
+Result<Bytes> TryReadBytes(const Bytes& in, size_t* pos, size_t n) {
+  if (!Available(in, *pos, n)) {
+    return Error(ErrorCode::kTruncated, "byte read past end of buffer");
+  }
+  Bytes out(in.begin() + static_cast<ptrdiff_t>(*pos),
+            in.begin() + static_cast<ptrdiff_t>(*pos + n));
+  *pos += n;
+  return out;
+}
+
+namespace {
 uint64_t SplitMix64(uint64_t* state) {
   uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;

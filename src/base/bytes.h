@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "src/base/result.h"
+
 namespace nope {
 
 using Bytes = std::vector<uint8_t>;
@@ -22,11 +24,21 @@ void AppendU64(Bytes* out, uint64_t v);
 void AppendBytes(Bytes* out, const Bytes& data);
 
 // Big-endian reads; throw std::out_of_range when the buffer is too short.
+// Only for trusted, locally produced buffers — untrusted parsers use the
+// Try* variants below.
 uint8_t ReadU8(const Bytes& in, size_t* pos);
 uint16_t ReadU16(const Bytes& in, size_t* pos);
 uint32_t ReadU32(const Bytes& in, size_t* pos);
 uint64_t ReadU64(const Bytes& in, size_t* pos);
 Bytes ReadBytes(const Bytes& in, size_t* pos, size_t n);
+
+// Non-throwing reads for attacker-controlled buffers; return
+// ErrorCode::kTruncated when the buffer is too short.
+Result<uint8_t> TryReadU8(const Bytes& in, size_t* pos);
+Result<uint16_t> TryReadU16(const Bytes& in, size_t* pos);
+Result<uint32_t> TryReadU32(const Bytes& in, size_t* pos);
+Result<uint64_t> TryReadU64(const Bytes& in, size_t* pos);
+Result<Bytes> TryReadBytes(const Bytes& in, size_t* pos, size_t n);
 
 // Deterministic pseudo-random generator (xoshiro256**). Not cryptographically
 // secure; used for reproducible test fixtures, simulation noise, and key

@@ -1,0 +1,195 @@
+#include "src/base/mutator.h"
+
+#include <algorithm>
+
+namespace nope {
+
+namespace {
+constexpr int kMaxRetries = 16;
+constexpr uint8_t kBoundaryBytes[] = {0x00, 0xff, 0x80, 0x7f, 0x01, 0x40};
+}  // namespace
+
+Bytes Mutator::ApplyOnce(Bytes data, const Bytes* donor) {
+  // Strategies 0-7 need no donor; 8-9 splice donor material when present.
+  uint64_t n_strategies = (donor != nullptr && !donor->empty()) ? 10 : 8;
+  uint64_t strategy = rng_.NextBelow(n_strategies);
+  if (data.empty() && strategy != 4) {
+    strategy = 4;  // only extension is meaningful on an empty buffer
+  }
+  switch (strategy) {
+    case 0: {  // single-bit flip
+      size_t i = rng_.NextBelow(data.size());
+      data[i] ^= static_cast<uint8_t>(1u << rng_.NextBelow(8));
+      break;
+    }
+    case 1: {  // random byte overwrite
+      size_t i = rng_.NextBelow(data.size());
+      data[i] = static_cast<uint8_t>(rng_.NextU64());
+      break;
+    }
+    case 2: {  // boundary-value byte overwrite
+      size_t i = rng_.NextBelow(data.size());
+      data[i] = kBoundaryBytes[rng_.NextBelow(sizeof(kBoundaryBytes))];
+      break;
+    }
+    case 3: {  // truncation (possibly to empty)
+      size_t keep = rng_.NextBelow(data.size());
+      data.resize(keep);
+      break;
+    }
+    case 4: {  // extension with random bytes
+      Bytes extra = rng_.NextBytes(1 + rng_.NextBelow(16));
+      size_t at = data.empty() ? 0 : rng_.NextBelow(data.size() + 1);
+      data.insert(data.begin() + static_cast<ptrdiff_t>(at), extra.begin(),
+                  extra.end());
+      break;
+    }
+    case 5: {  // slice deletion
+      size_t at = rng_.NextBelow(data.size());
+      size_t len = 1 + rng_.NextBelow(std::min<size_t>(8, data.size() - at));
+      data.erase(data.begin() + static_cast<ptrdiff_t>(at),
+                 data.begin() + static_cast<ptrdiff_t>(at + len));
+      break;
+    }
+    case 6: {  // slice duplication
+      size_t at = rng_.NextBelow(data.size());
+      size_t len = 1 + rng_.NextBelow(std::min<size_t>(8, data.size() - at));
+      Bytes slice(data.begin() + static_cast<ptrdiff_t>(at),
+                  data.begin() + static_cast<ptrdiff_t>(at + len));
+      size_t dst = rng_.NextBelow(data.size() + 1);
+      data.insert(data.begin() + static_cast<ptrdiff_t>(dst), slice.begin(),
+                  slice.end());
+      break;
+    }
+    case 7: {  // length-field corruption: rewrite a big-endian u16 in place
+      if (data.size() < 2) {
+        data.push_back(static_cast<uint8_t>(rng_.NextU64()));
+        break;
+      }
+      size_t at = rng_.NextBelow(data.size() - 1);
+      uint16_t v = static_cast<uint16_t>((data[at] << 8) | data[at + 1]);
+      switch (rng_.NextBelow(4)) {
+        case 0: v = 0; break;
+        case 1: v = 0xffff; break;
+        case 2: v = static_cast<uint16_t>(v + 1); break;
+        default: v = static_cast<uint16_t>(v - 1); break;
+      }
+      data[at] = static_cast<uint8_t>(v >> 8);
+      data[at + 1] = static_cast<uint8_t>(v);
+      break;
+    }
+    case 8: {  // overwrite a slice with donor material at a random offset
+      size_t len = 1 + rng_.NextBelow(std::min<size_t>(donor->size(), 32));
+      size_t src = rng_.NextBelow(donor->size() - len + 1);
+      size_t dst = rng_.NextBelow(data.size());
+      for (size_t i = 0; i < len && dst + i < data.size(); ++i) {
+        data[dst + i] = (*donor)[src + i];
+      }
+      break;
+    }
+    default: {  // case 9: swap tails at a common cut point
+      size_t cut = rng_.NextBelow(std::min(data.size(), donor->size()) + 1);
+      data.resize(cut);
+      data.insert(data.end(), donor->begin() + static_cast<ptrdiff_t>(
+                                  std::min(cut, donor->size())),
+                  donor->end());
+      break;
+    }
+  }
+  return data;
+}
+
+Bytes Mutator::Mutate(const Bytes& original) {
+  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+    Bytes mutant = ApplyOnce(original, nullptr);
+    if (mutant != original) {
+      return mutant;
+    }
+  }
+  return original;
+}
+
+Bytes Mutator::Mutate(const Bytes& original, const Bytes& donor) {
+  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+    Bytes mutant = ApplyOnce(original, &donor);
+    if (mutant != original) {
+      return mutant;
+    }
+  }
+  return original;
+}
+
+std::string Mutator::MutateString(const std::string& original) {
+  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+    std::string s = original;
+    uint64_t strategy = rng_.NextBelow(7);
+    if (s.empty() && strategy != 3) {
+      strategy = 3;
+    }
+    switch (strategy) {
+      case 0: {  // substitute an arbitrary byte (often out-of-alphabet)
+        static const char kChars[] =
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZ_!@#$%^&*+=~`?/\\|{}[]<>,:;\" '\t\x7f"
+            "\x80\xff\x01";
+        s[rng_.NextBelow(s.size())] =
+            kChars[rng_.NextBelow(sizeof(kChars) - 1)];
+        break;
+      }
+      case 1: {  // flip case of a letter
+        size_t i = rng_.NextBelow(s.size());
+        if (s[i] >= 'a' && s[i] <= 'z') {
+          s[i] = static_cast<char>(s[i] - 'a' + 'A');
+        } else if (s[i] >= 'A' && s[i] <= 'Z') {
+          s[i] = static_cast<char>(s[i] - 'A' + 'a');
+        } else {
+          s[i] = 'Z';
+        }
+        break;
+      }
+      case 2: {  // insert or remove a dot (label-structure corruption)
+        size_t i = rng_.NextBelow(s.size() + 1);
+        if (rng_.NextBelow(2) == 0 || i == s.size()) {
+          s.insert(s.begin() + static_cast<ptrdiff_t>(i), '.');
+        } else if (s[i] == '.') {
+          s.erase(s.begin() + static_cast<ptrdiff_t>(i));
+        } else {
+          s[i] = '.';
+        }
+        break;
+      }
+      case 3: {  // extension with alphabet chars (over-length labels)
+        static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyz0123456789-";
+        size_t n = 1 + rng_.NextBelow(64);
+        size_t at = rng_.NextBelow(s.size() + 1);
+        std::string extra;
+        for (size_t i = 0; i < n; ++i) {
+          extra.push_back(kAlpha[rng_.NextBelow(sizeof(kAlpha) - 1)]);
+        }
+        s.insert(at, extra);
+        break;
+      }
+      case 4: {  // truncation
+        s.resize(rng_.NextBelow(s.size()));
+        break;
+      }
+      case 5: {  // duplicate a span
+        size_t at = rng_.NextBelow(s.size());
+        size_t len = 1 + rng_.NextBelow(std::min<size_t>(16, s.size() - at));
+        s.insert(rng_.NextBelow(s.size() + 1), s.substr(at, len));
+        break;
+      }
+      default: {  // swap two characters
+        size_t i = rng_.NextBelow(s.size());
+        size_t j = rng_.NextBelow(s.size());
+        std::swap(s[i], s[j]);
+        break;
+      }
+    }
+    if (s != original) {
+      return s;
+    }
+  }
+  return original;
+}
+
+}  // namespace nope

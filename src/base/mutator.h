@@ -1,0 +1,46 @@
+#ifndef NOPE_BASE_MUTATOR_H_
+#define NOPE_BASE_MUTATOR_H_
+
+// Deterministic structural mutator for the fault-injection harness.
+//
+// Given a valid serialized artifact, produces mutants via seeded campaigns of
+// single-bit flips, byte overwrites, truncation/extension, length-field
+// corruption, slice duplication/deletion, and (with a donor) field swaps
+// between two valid artifacts. All randomness comes from the repo's xoshiro
+// Rng, so a (seed, iteration) pair reproduces a mutant exactly.
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/bytes.h"
+
+namespace nope {
+
+class Mutator {
+ public:
+  explicit Mutator(uint64_t seed) : rng_(seed) {}
+
+  // One structural mutation of `original`. Retries a bounded number of times
+  // to return bytes that differ from the input; callers must still handle the
+  // (rare) identical case.
+  Bytes Mutate(const Bytes& original);
+
+  // Like Mutate, but may also splice slices of `donor` into the output —
+  // models swapping fields between two independently valid artifacts.
+  Bytes Mutate(const Bytes& original, const Bytes& donor);
+
+  // Text mutation for SAN-style hostname strings: out-of-alphabet
+  // substitution, case flips, dot games, truncation/extension, label
+  // duplication.
+  std::string MutateString(const std::string& original);
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  Bytes ApplyOnce(Bytes data, const Bytes* donor);
+  Rng rng_;
+};
+
+}  // namespace nope
+
+#endif  // NOPE_BASE_MUTATOR_H_

@@ -1,0 +1,33 @@
+#include "src/base/result.h"
+
+namespace nope {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kTruncated:
+      return "truncated";
+    case ErrorCode::kTrailingBytes:
+      return "trailing_bytes";
+    case ErrorCode::kBadLength:
+      return "bad_length";
+    case ErrorCode::kBadEncoding:
+      return "bad_encoding";
+    case ErrorCode::kBadChecksum:
+      return "bad_checksum";
+    case ErrorCode::kNotOnCurve:
+      return "not_on_curve";
+    case ErrorCode::kNotInSubgroup:
+      return "not_in_subgroup";
+    case ErrorCode::kBadSignature:
+      return "bad_signature";
+    case ErrorCode::kMismatch:
+      return "mismatch";
+    case ErrorCode::kMissing:
+      return "missing";
+    case ErrorCode::kOutOfRange:
+      return "out_of_range";
+  }
+  return "unknown";
+}
+
+}  // namespace nope

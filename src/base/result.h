@@ -1,0 +1,126 @@
+#ifndef NOPE_BASE_RESULT_H_
+#define NOPE_BASE_RESULT_H_
+
+// Structured error propagation for the untrusted-input surface.
+//
+// Every function that parses or validates attacker-controlled bytes (proof
+// deserialization, SAN decoding, DCE bundles, DNSSEC wire records,
+// certificate chains) returns Result<T> / Status instead of throwing.
+// Exceptions remain allowed on trusted, prover-side paths (setup, issuance,
+// serialization of locally built objects) where a throw indicates a
+// programming error rather than hostile input.
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace nope {
+
+// Coarse taxonomy of parse/validation failures. Keep the list short: the
+// context string carries the specifics, the code carries the class.
+enum class ErrorCode {
+  kTruncated,       // input ended before a required field
+  kTrailingBytes,   // input continued past the end of the encoding
+  kBadLength,       // a size/count field or overall length is out of spec
+  kBadEncoding,     // structurally malformed (bad tag, bad char, bad prefix)
+  kBadChecksum,     // checksum or digest mismatch
+  kNotOnCurve,      // decoded point fails the curve equation
+  kNotInSubgroup,   // decoded point is on the curve but outside the r-order subgroup
+  kBadSignature,    // cryptographic signature verification failed
+  kMismatch,        // two fields that must agree do not (names, types, key tags)
+  kMissing,         // an expected component is absent entirely
+  kOutOfRange,      // numeric field outside its legal range
+};
+constexpr int kNumErrorCodes = static_cast<int>(ErrorCode::kOutOfRange) + 1;
+
+const char* ErrorCodeName(ErrorCode code);
+
+struct Error {
+  ErrorCode code;
+  std::string context;
+
+  Error(ErrorCode c, std::string ctx) : code(c), context(std::move(ctx)) {}
+
+  std::string ToString() const {
+    std::string out = ErrorCodeName(code);
+    if (!context.empty()) {
+      out += ": ";
+      out += context;
+    }
+    return out;
+  }
+};
+
+// Status: success or an Error. Used by validators that produce no value.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(runtime/explicit)
+  Status(ErrorCode code, std::string context)
+      : error_(Error(code, std::move(context))) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  const Error& error() const { return *error_; }
+  std::string ToString() const { return ok() ? "ok" : error_->ToString(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+// Result<T>: a value or an Error. Implicitly constructible from both so
+// parsers can `return value;` and `return Error(...);` symmetrically.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Error error) : rep_(std::move(error)) {}  // NOLINT(runtime/explicit)
+  Result(ErrorCode code, std::string context)
+      : rep_(Error(code, std::move(context))) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const Error& error() const { return std::get<Error>(rep_); }
+
+  // Converts to Status, dropping the value.
+  Status status() const {
+    return ok() ? Status::Ok() : Status(std::get<Error>(rep_));
+  }
+
+ private:
+  std::variant<T, Error> rep_;
+};
+
+}  // namespace nope
+
+// Macro plumbing. NOPE_ASSIGN_OR_RETURN evaluates `expr` (a Result<T>),
+// returns the error on failure, and otherwise moves the value into `lhs`:
+//
+//   NOPE_ASSIGN_OR_RETURN(DnsName name, DnsName::TryFromWire(bytes, &pos));
+//
+// NOPE_RETURN_IF_ERROR does the same for Status (or Result, via .status()).
+#define NOPE_RESULT_CONCAT_INNER_(a, b) a##b
+#define NOPE_RESULT_CONCAT_(a, b) NOPE_RESULT_CONCAT_INNER_(a, b)
+
+#define NOPE_ASSIGN_OR_RETURN(lhs, expr)                              \
+  NOPE_ASSIGN_OR_RETURN_IMPL_(                                        \
+      NOPE_RESULT_CONCAT_(nope_result_tmp_, __LINE__), lhs, expr)
+
+#define NOPE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.error();                \
+  lhs = std::move(tmp).value()
+
+#define NOPE_RETURN_IF_ERROR(expr)                                  \
+  do {                                                              \
+    auto nope_status_tmp_ = (expr);                                 \
+    if (!nope_status_tmp_.ok()) return nope_status_tmp_.error();    \
+  } while (0)
+
+#endif  // NOPE_BASE_RESULT_H_

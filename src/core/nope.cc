@@ -161,30 +161,40 @@ NopeClientResult NopeClientVerify(const NopeDeployment& deployment,
   result.legacy = LegacyVerifyChain(chain, trust, domain, now, stapled_ocsp);
   if (result.legacy != LegacyStatus::kOk) {
     result.status = NopeVerifyStatus::kLegacyFailure;
+    result.accepted = false;
     return result;
   }
 
-  std::optional<Bytes> proof_bytes = DecodeProofSans(chain.leaf.body.sans, domain);
-  if (!proof_bytes.has_value()) {
-    result.status = NopeVerifyStatus::kNoNopeProof;
+  Result<Bytes> proof_bytes = DecodeProofFromSans(chain.leaf.body.sans, domain);
+  if (!proof_bytes.ok()) {
+    // §7 graceful degradation: a certificate with no NOPE SANs (or with SANs
+    // the client cannot decode) falls back to legacy-only validation — the
+    // legacy checks above already passed — with the downgrade recorded.
+    result.status = proof_bytes.error().code == ErrorCode::kMissing
+                        ? NopeVerifyStatus::kNoNopeProof
+                        : NopeVerifyStatus::kBadProofEncoding;
+    result.accepted = true;
+    result.downgrade_reason = proof_bytes.error().ToString();
     return result;
   }
-  groth16::Proof proof;
-  try {
-    proof = groth16::Proof::FromBytes(*proof_bytes);
-  } catch (const std::invalid_argument&) {
+  Result<groth16::Proof> proof = groth16::Proof::TryFromBytes(proof_bytes.value());
+  if (!proof.ok()) {
     result.status = NopeVerifyStatus::kBadProofEncoding;
+    result.accepted = true;
+    result.downgrade_reason = proof.error().ToString();
     return result;
   }
 
   // SCT timestamps must corroborate the certificate's issuance time: a
   // compromised CA that backdates not_before to reuse an old proof would
-  // diverge from the CT-controlled SCTs (§3.2).
+  // diverge from the CT-controlled SCTs (§3.2). This is a hard failure, not
+  // a downgrade.
   for (const Sct& sct : chain.leaf.body.scts) {
     uint64_t lo = std::min(sct.timestamp, chain.leaf.body.not_before);
     uint64_t hi = std::max(sct.timestamp, chain.leaf.body.not_before);
     if (hi - lo > 600) {
       result.status = NopeVerifyStatus::kTimestampMismatch;
+      result.accepted = false;
       return result;
     }
   }
@@ -193,8 +203,16 @@ NopeClientResult NopeClientVerify(const NopeDeployment& deployment,
   std::vector<Fr> pub = NopePublicInputs(
       deployment.params, domain, TlsKeyDigest(chain.leaf.body.subject_public_key),
       CaNameDigest(chain.leaf.body.issuer_organization), ts);
-  result.status = groth16::Verify(deployment.vk(), pub, proof) ? NopeVerifyStatus::kOk
-                                                               : NopeVerifyStatus::kProofRejected;
+  if (groth16::Verify(deployment.vk(), pub, proof.value())) {
+    result.status = NopeVerifyStatus::kOk;
+    result.accepted = true;
+    result.nope_validated = true;
+  } else {
+    // A well-formed proof that fails verification means active tampering; do
+    // not downgrade.
+    result.status = NopeVerifyStatus::kProofRejected;
+    result.accepted = false;
+  }
   return result;
 }
 

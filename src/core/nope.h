@@ -4,6 +4,7 @@
 #define SRC_CORE_NOPE_H_
 
 #include <optional>
+#include <string>
 
 #include "src/core/statement.h"
 #include "src/groth16/groth16.h"
@@ -76,16 +77,29 @@ enum class NopeVerifyStatus {
   kProofRejected,
   kTimestampMismatch,  // certificate TS vs SCT cross-check (§3.2)
 };
+constexpr int kNumNopeVerifyStatuses = static_cast<int>(NopeVerifyStatus::kTimestampMismatch) + 1;
 const char* NopeVerifyStatusName(NopeVerifyStatus status);
 
 struct NopeClientResult {
-  NopeVerifyStatus status;
-  LegacyStatus legacy;
+  NopeVerifyStatus status = NopeVerifyStatus::kLegacyFailure;
+  LegacyStatus legacy = LegacyStatus::kOk;
+  // §7 graceful degradation: whether the connection may proceed at all. A
+  // missing or malformed proof downgrades to legacy-only validation (the
+  // client behaves like a NOPE-unaware one); a present, well-formed proof
+  // that fails verification — or an SCT/timestamp cross-check mismatch — is
+  // a hard failure, since it indicates active tampering rather than a
+  // deployment gap.
+  bool accepted = false;
+  // True only when the NOPE proof itself verified (status == kOk).
+  bool nope_validated = false;
+  // Non-empty when NOPE validation was skipped and the client fell back to
+  // legacy-only; records why the downgrade happened.
+  std::string downgrade_reason;
 };
 
 // Full NOPE-aware client verification: legacy checks, proof extraction from
 // the SANs, N/TS binding, SCT-timestamp cross-check, and Groth16
-// verification.
+// verification. Exception-free on every byte of the presented chain.
 NopeClientResult NopeClientVerify(const NopeDeployment& deployment,
                                   const CertificateChain& chain, const TrustStore& trust,
                                   const DnsName& domain, uint64_t now,

@@ -85,11 +85,23 @@ bool VerifyWithDnskey(const CryptoSuite& suite, const DnskeyRdata& key, const By
                       const Bytes& signature) {
   Bytes digest = suite.Digest32(buffer);
   if (key.algorithm == suite.rsa_algorithm) {
+    // RFC 3110 framing from an untrusted DNSKEY; parse without throwing and
+    // bound the key size so a hostile record can't buy a huge modexp.
     size_t pos = 0;
-    uint8_t exp_len = ReadU8(key.public_key, &pos);
-    Bytes exp = ReadBytes(key.public_key, &pos, exp_len);
-    Bytes modulus = ReadBytes(key.public_key, &pos, key.public_key.size() - pos);
-    RsaPublicKey pub{BigUInt::FromBytes(modulus), BigUInt::FromBytes(exp)};
+    Result<uint8_t> exp_len = TryReadU8(key.public_key, &pos);
+    if (!exp_len.ok() || exp_len.value() == 0 || exp_len.value() > 64) {
+      return false;
+    }
+    Result<Bytes> exp = TryReadBytes(key.public_key, &pos, exp_len.value());
+    if (!exp.ok()) {
+      return false;
+    }
+    size_t modulus_len = key.public_key.size() - pos;
+    if (modulus_len == 0 || modulus_len > 1024) {
+      return false;
+    }
+    Bytes modulus(key.public_key.begin() + static_cast<ptrdiff_t>(pos), key.public_key.end());
+    RsaPublicKey pub{BigUInt::FromBytes(modulus), BigUInt::FromBytes(exp.value())};
     return RsaVerifyDigest32(pub, digest, signature);
   }
   if (key.algorithm == suite.ecdsa_algorithm) {
@@ -101,6 +113,9 @@ bool VerifyWithDnskey(const CryptoSuite& suite, const DnskeyRdata& key, const By
         BigUInt::FromBytes(Bytes(key.public_key.begin(), key.public_key.begin() + coord)),
         BigUInt::FromBytes(Bytes(key.public_key.begin() + coord, key.public_key.end())), false};
     NativeCurve curve(suite.curve);
+    if (pub.x >= suite.curve.p || pub.y >= suite.curve.p) {
+      return false;  // non-canonical coordinate encoding
+    }
     if (!curve.IsOnCurve(pub)) {
       return false;
     }
@@ -292,17 +307,21 @@ bool VerifySignedRrset(const CryptoSuite& suite, const SignedRrset& signed_set,
   return VerifyWithDnskey(suite, key, buffer, signed_set.rrsig.signature);
 }
 
-// Extracts the ZSK and KSK rdatas from a DNSKEY RRset.
+// Extracts the ZSK and KSK rdatas from a DNSKEY RRset. Any malformed rdata
+// fails the whole set: a validator must not skip records it cannot parse.
 bool SplitDnskeys(const Rrset& rrset, DnskeyRdata* zsk, DnskeyRdata* ksk) {
   bool have_zsk = false;
   bool have_ksk = false;
   for (const Bytes& rdata : rrset.rdatas) {
-    DnskeyRdata key = DnskeyRdata::Decode(rdata);
-    if (key.IsKsk() && !have_ksk) {
-      *ksk = key;
+    Result<DnskeyRdata> key = DnskeyRdata::TryDecode(rdata);
+    if (!key.ok()) {
+      return false;
+    }
+    if (key.value().IsKsk() && !have_ksk) {
+      *ksk = key.value();
       have_ksk = true;
-    } else if (!key.IsKsk() && !have_zsk) {
-      *zsk = key;
+    } else if (!key.value().IsKsk() && !have_zsk) {
+      *zsk = key.value();
       have_zsk = true;
     }
   }
@@ -320,32 +339,42 @@ bool DsMatchesKey(const CryptoSuite& suite, const DnsName& owner, const DsRdata&
 
 }  // namespace
 
-bool ValidateChain(const CryptoSuite& suite, const ChainOfTrust& chain,
-                   const DnskeyRdata& trust_anchor) {
+Status ValidateChain(const CryptoSuite& suite, const ChainOfTrust& chain,
+                     const DnskeyRdata& trust_anchor) {
   // Walk top-down: the trust anchor must validate the deepest level's DS.
   DnskeyRdata current_zsk = trust_anchor;
 
   // levels are leaf-parent first; process from the root side.
   for (size_t i = chain.levels.size(); i-- > 0;) {
     const ChainLink& link = chain.levels[i];
+    std::string where = "level " + std::to_string(i) + " (" + link.zone.ToString() + ")";
     // DS RRset for link.zone signed by the parent's ZSK (current_zsk).
     if (link.ds.rrset.name != link.zone || link.ds.rrset.type != RrType::kDs) {
-      return false;
+      return Error(ErrorCode::kMismatch, where + ": DS RRset name/type mismatch");
     }
     if (!VerifySignedRrset(suite, link.ds, current_zsk)) {
-      return false;
+      return Error(ErrorCode::kBadSignature, where + ": DS RRSIG invalid");
     }
     // DNSKEY RRset of link.zone, signed by its KSK; the KSK must match DS.
     DnskeyRdata zsk, ksk;
-    if (link.dnskey.rrset.name != link.zone || !SplitDnskeys(link.dnskey.rrset, &zsk, &ksk)) {
-      return false;
+    if (link.dnskey.rrset.name != link.zone) {
+      return Error(ErrorCode::kMismatch, where + ": DNSKEY RRset name mismatch");
     }
-    if (link.ds.rrset.rdatas.size() != 1 ||
-        !DsMatchesKey(suite, link.zone, DsRdata::Decode(link.ds.rrset.rdatas[0]), ksk)) {
-      return false;
+    if (!SplitDnskeys(link.dnskey.rrset, &zsk, &ksk)) {
+      return Error(ErrorCode::kBadEncoding, where + ": DNSKEY RRset missing ZSK/KSK");
+    }
+    if (link.ds.rrset.rdatas.size() != 1) {
+      return Error(ErrorCode::kBadLength, where + ": DS RRset must hold one RDATA");
+    }
+    Result<DsRdata> ds = DsRdata::TryDecode(link.ds.rrset.rdatas[0]);
+    if (!ds.ok()) {
+      return Error(ds.error().code, where + ": " + ds.error().context);
+    }
+    if (!DsMatchesKey(suite, link.zone, ds.value(), ksk)) {
+      return Error(ErrorCode::kBadChecksum, where + ": DS digest does not match KSK");
     }
     if (!VerifySignedRrset(suite, link.dnskey, ksk)) {
-      return false;
+      return Error(ErrorCode::kBadSignature, where + ": DNSKEY RRSIG invalid");
     }
     current_zsk = zsk;
   }
@@ -353,17 +382,22 @@ bool ValidateChain(const CryptoSuite& suite, const ChainOfTrust& chain,
   // Finally, the leaf's DS RRset signed by the leaf's parent's ZSK, and the
   // DS must commit to the leaf KSK.
   if (chain.leaf_ds.rrset.name != chain.domain || chain.leaf_ds.rrset.type != RrType::kDs) {
-    return false;
+    return Error(ErrorCode::kMismatch, "leaf DS RRset name/type mismatch");
   }
   if (!VerifySignedRrset(suite, chain.leaf_ds, current_zsk)) {
-    return false;
+    return Error(ErrorCode::kBadSignature, "leaf DS RRSIG invalid");
   }
-  if (chain.leaf_ds.rrset.rdatas.size() != 1 ||
-      !DsMatchesKey(suite, chain.domain, DsRdata::Decode(chain.leaf_ds.rrset.rdatas[0]),
-                    chain.leaf_ksk)) {
-    return false;
+  if (chain.leaf_ds.rrset.rdatas.size() != 1) {
+    return Error(ErrorCode::kBadLength, "leaf DS RRset must hold one RDATA");
   }
-  return true;
+  Result<DsRdata> leaf_ds = DsRdata::TryDecode(chain.leaf_ds.rrset.rdatas[0]);
+  if (!leaf_ds.ok()) {
+    return Error(leaf_ds.error().code, "leaf DS: " + leaf_ds.error().context);
+  }
+  if (!DsMatchesKey(suite, chain.domain, leaf_ds.value(), chain.leaf_ksk)) {
+    return Error(ErrorCode::kBadChecksum, "leaf DS digest does not match leaf KSK");
+  }
+  return Status::Ok();
 }
 
 Bytes SerializeDceChain(const ChainOfTrust& chain) {

@@ -146,10 +146,11 @@ class DnssecHierarchy {
 };
 
 // Native validation of a chain of trust against a trust anchor — what a DCE
-// client does with a server-supplied chain (§2.2). Returns false on any
-// broken signature, digest, or linkage.
-bool ValidateChain(const CryptoSuite& suite, const ChainOfTrust& chain,
-                   const DnskeyRdata& trust_anchor);
+// client does with a server-supplied chain (§2.2). Exception-free: any broken
+// signature, digest, or linkage comes back as a typed error naming the level
+// that failed.
+Status ValidateChain(const CryptoSuite& suite, const ChainOfTrust& chain,
+                     const DnskeyRdata& trust_anchor);
 
 // Serialized size of the full chain as DCE would ship it in the TLS
 // handshake (RFC 9102-style: all RRsets + RRSIGs + DNSKEY RRsets).

@@ -14,7 +14,19 @@ std::string Lower(const std::string& s) {
 }
 }  // namespace
 
-DnsName DnsName::FromString(const std::string& dotted) {
+namespace {
+// Wire size of a name: one length byte per label plus the label bytes, plus
+// the terminating zero byte.
+size_t WireSize(const std::vector<std::string>& labels) {
+  size_t total = 1;
+  for (const std::string& label : labels) {
+    total += 1 + label.size();
+  }
+  return total;
+}
+}  // namespace
+
+Result<DnsName> DnsName::TryFromString(const std::string& dotted) {
   DnsName out;
   if (dotted.empty() || dotted == ".") {
     return out;
@@ -28,8 +40,11 @@ DnsName DnsName::FromString(const std::string& dotted) {
     size_t dot = rest.find('.', start);
     std::string label =
         dot == std::string::npos ? rest.substr(start) : rest.substr(start, dot - start);
-    if (label.empty() || label.size() > 63) {
-      throw std::invalid_argument("invalid DNS label: '" + label + "'");
+    if (label.empty()) {
+      return Error(ErrorCode::kBadEncoding, "empty DNS label in '" + dotted + "'");
+    }
+    if (label.size() > kMaxLabelBytes) {
+      return Error(ErrorCode::kBadLength, "DNS label over 63 bytes: '" + label + "'");
     }
     out.labels_.push_back(label);
     if (dot == std::string::npos) {
@@ -37,7 +52,18 @@ DnsName DnsName::FromString(const std::string& dotted) {
     }
     start = dot + 1;
   }
+  if (WireSize(out.labels_) > kMaxNameWireBytes) {
+    return Error(ErrorCode::kBadLength, "DNS name over 255 bytes: '" + dotted + "'");
+  }
   return out;
+}
+
+DnsName DnsName::FromString(const std::string& dotted) {
+  Result<DnsName> name = TryFromString(dotted);
+  if (!name.ok()) {
+    throw std::invalid_argument(name.error().ToString());
+  }
+  return std::move(name).value();
 }
 
 Bytes DnsName::ToWire() const {
@@ -50,20 +76,35 @@ Bytes DnsName::ToWire() const {
   return out;
 }
 
-DnsName DnsName::FromWire(const Bytes& wire, size_t* pos) {
+Result<DnsName> DnsName::TryFromWire(const Bytes& wire, size_t* pos) {
   DnsName out;
+  size_t consumed = 0;
   while (true) {
-    uint8_t len = ReadU8(wire, pos);
+    NOPE_ASSIGN_OR_RETURN(uint8_t len, TryReadU8(wire, pos));
+    ++consumed;
     if (len == 0) {
       break;
     }
-    if (len > 63) {
-      throw std::invalid_argument("label too long in wire name");
+    if (len > kMaxLabelBytes) {
+      return Error(ErrorCode::kBadLength, "label over 63 bytes in wire name");
     }
-    Bytes label = ReadBytes(wire, pos, len);
+    consumed += len;
+    // +1 for the terminating zero byte still to come.
+    if (consumed + 1 > kMaxNameWireBytes) {
+      return Error(ErrorCode::kBadLength, "wire name over 255 bytes");
+    }
+    NOPE_ASSIGN_OR_RETURN(Bytes label, TryReadBytes(wire, pos, len));
     out.labels_.emplace_back(label.begin(), label.end());
   }
   return out;
+}
+
+DnsName DnsName::FromWire(const Bytes& wire, size_t* pos) {
+  Result<DnsName> name = TryFromWire(wire, pos);
+  if (!name.ok()) {
+    throw std::invalid_argument(name.error().ToString());
+  }
+  return std::move(name).value();
 }
 
 DnsName DnsName::Canonical() const {
@@ -96,9 +137,15 @@ DnsName DnsName::Parent() const {
 }
 
 DnsName DnsName::Child(const std::string& label) const {
+  if (label.empty() || label.size() > kMaxLabelBytes) {
+    throw std::invalid_argument("invalid DNS label: '" + label + "'");
+  }
   DnsName out;
   out.labels_.push_back(label);
   out.labels_.insert(out.labels_.end(), labels_.begin(), labels_.end());
+  if (WireSize(out.labels_) > kMaxNameWireBytes) {
+    throw std::invalid_argument("DNS name over 255 bytes");
+  }
   return out;
 }
 

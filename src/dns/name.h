@@ -7,20 +7,30 @@
 #include <vector>
 
 #include "src/base/bytes.h"
+#include "src/base/result.h"
 
 namespace nope {
 
 class DnsName {
  public:
+  // RFC 1035 §2.3.4 size limits, enforced by every parsing entry point.
+  static constexpr size_t kMaxLabelBytes = 63;
+  static constexpr size_t kMaxNameWireBytes = 255;
+
   DnsName() = default;  // the root "."
 
-  // Parses dotted notation ("example.com" or "example.com."). Throws
-  // std::invalid_argument on empty labels or labels over 63 bytes.
+  // Parses dotted notation ("example.com" or "example.com."), rejecting
+  // empty labels, labels over 63 bytes, and names whose wire form would
+  // exceed 255 bytes.
+  static Result<DnsName> TryFromString(const std::string& dotted);
+  // Throwing wrapper for trusted inputs (std::invalid_argument).
   static DnsName FromString(const std::string& dotted);
   static DnsName Root() { return DnsName(); }
 
   // RFC 1035 wire format: length-prefixed labels, terminating zero byte.
   Bytes ToWire() const;
+  static Result<DnsName> TryFromWire(const Bytes& wire, size_t* pos);
+  // Throwing wrapper for trusted inputs (std::invalid_argument).
   static DnsName FromWire(const Bytes& wire, size_t* pos);
 
   // Canonical form: labels lowercased (RFC 4034 §6.2).
@@ -33,7 +43,8 @@ class DnsName {
 
   // The parent domain (drops the leftmost label); parent of the root throws.
   DnsName Parent() const;
-  // Prepends a label (child of this domain).
+  // Prepends a label (child of this domain); throws std::invalid_argument if
+  // the label or the resulting name violates the RFC 1035 limits.
   DnsName Child(const std::string& label) const;
   // True if this name is `ancestor` or a descendant of it.
   bool IsSubdomainOf(const DnsName& ancestor) const;

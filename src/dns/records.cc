@@ -24,14 +24,22 @@ Bytes DnskeyRdata::Encode() const {
   return out;
 }
 
-DnskeyRdata DnskeyRdata::Decode(const Bytes& rdata) {
+Result<DnskeyRdata> DnskeyRdata::TryDecode(const Bytes& rdata) {
   size_t pos = 0;
   DnskeyRdata out;
-  out.flags = ReadU16(rdata, &pos);
-  out.protocol = ReadU8(rdata, &pos);
-  out.algorithm = ReadU8(rdata, &pos);
-  out.public_key = ReadBytes(rdata, &pos, rdata.size() - pos);
+  NOPE_ASSIGN_OR_RETURN(out.flags, TryReadU16(rdata, &pos));
+  NOPE_ASSIGN_OR_RETURN(out.protocol, TryReadU8(rdata, &pos));
+  NOPE_ASSIGN_OR_RETURN(out.algorithm, TryReadU8(rdata, &pos));
+  out.public_key.assign(rdata.begin() + static_cast<ptrdiff_t>(pos), rdata.end());
   return out;
+}
+
+DnskeyRdata DnskeyRdata::Decode(const Bytes& rdata) {
+  Result<DnskeyRdata> out = TryDecode(rdata);
+  if (!out.ok()) {
+    throw std::invalid_argument(out.error().ToString());
+  }
+  return std::move(out).value();
 }
 
 Bytes DsRdata::Encode() const {
@@ -43,14 +51,22 @@ Bytes DsRdata::Encode() const {
   return out;
 }
 
-DsRdata DsRdata::Decode(const Bytes& rdata) {
+Result<DsRdata> DsRdata::TryDecode(const Bytes& rdata) {
   size_t pos = 0;
   DsRdata out;
-  out.key_tag = ReadU16(rdata, &pos);
-  out.algorithm = ReadU8(rdata, &pos);
-  out.digest_type = ReadU8(rdata, &pos);
-  out.digest = ReadBytes(rdata, &pos, rdata.size() - pos);
+  NOPE_ASSIGN_OR_RETURN(out.key_tag, TryReadU16(rdata, &pos));
+  NOPE_ASSIGN_OR_RETURN(out.algorithm, TryReadU8(rdata, &pos));
+  NOPE_ASSIGN_OR_RETURN(out.digest_type, TryReadU8(rdata, &pos));
+  out.digest.assign(rdata.begin() + static_cast<ptrdiff_t>(pos), rdata.end());
   return out;
+}
+
+DsRdata DsRdata::Decode(const Bytes& rdata) {
+  Result<DsRdata> out = TryDecode(rdata);
+  if (!out.ok()) {
+    throw std::invalid_argument(out.error().ToString());
+  }
+  return std::move(out).value();
 }
 
 Bytes RrsigRdata::EncodePrefix() const {
@@ -72,19 +88,33 @@ Bytes RrsigRdata::Encode() const {
   return out;
 }
 
-RrsigRdata RrsigRdata::Decode(const Bytes& rdata) {
+Result<RrsigRdata> RrsigRdata::TryDecode(const Bytes& rdata) {
   size_t pos = 0;
   RrsigRdata out;
-  out.type_covered = ReadU16(rdata, &pos);
-  out.algorithm = ReadU8(rdata, &pos);
-  out.labels = ReadU8(rdata, &pos);
-  out.original_ttl = ReadU32(rdata, &pos);
-  out.expiration = ReadU32(rdata, &pos);
-  out.inception = ReadU32(rdata, &pos);
-  out.key_tag = ReadU16(rdata, &pos);
-  out.signer = DnsName::FromWire(rdata, &pos);
-  out.signature = ReadBytes(rdata, &pos, rdata.size() - pos);
+  NOPE_ASSIGN_OR_RETURN(out.type_covered, TryReadU16(rdata, &pos));
+  NOPE_ASSIGN_OR_RETURN(out.algorithm, TryReadU8(rdata, &pos));
+  NOPE_ASSIGN_OR_RETURN(out.labels, TryReadU8(rdata, &pos));
+  NOPE_ASSIGN_OR_RETURN(out.original_ttl, TryReadU32(rdata, &pos));
+  NOPE_ASSIGN_OR_RETURN(out.expiration, TryReadU32(rdata, &pos));
+  NOPE_ASSIGN_OR_RETURN(out.inception, TryReadU32(rdata, &pos));
+  NOPE_ASSIGN_OR_RETURN(out.key_tag, TryReadU16(rdata, &pos));
+  NOPE_ASSIGN_OR_RETURN(out.signer, DnsName::TryFromWire(rdata, &pos));
+  // RFC 4034 §3.1.7: the signer field MUST be in canonical (lowercase) form.
+  // Enforcing it here also keeps decoding injective — Encode() canonicalizes,
+  // so a mixed-case signer would re-encode differently than it arrived.
+  if (out.signer.ToWire() != out.signer.Canonical().ToWire()) {
+    return Error(ErrorCode::kBadEncoding, "RRSIG signer name not in canonical form");
+  }
+  out.signature.assign(rdata.begin() + static_cast<ptrdiff_t>(pos), rdata.end());
   return out;
+}
+
+RrsigRdata RrsigRdata::Decode(const Bytes& rdata) {
+  Result<RrsigRdata> out = TryDecode(rdata);
+  if (!out.ok()) {
+    throw std::invalid_argument(out.error().ToString());
+  }
+  return std::move(out).value();
 }
 
 Bytes TxtRdata(const std::string& text) {
@@ -97,11 +127,22 @@ Bytes TxtRdata(const std::string& text) {
   return out;
 }
 
-std::string TxtRdataToString(const Bytes& rdata) {
+Result<std::string> TryTxtRdataToString(const Bytes& rdata) {
   size_t pos = 0;
-  uint8_t len = ReadU8(rdata, &pos);
-  Bytes data = ReadBytes(rdata, &pos, len);
+  NOPE_ASSIGN_OR_RETURN(uint8_t len, TryReadU8(rdata, &pos));
+  NOPE_ASSIGN_OR_RETURN(Bytes data, TryReadBytes(rdata, &pos, len));
+  if (pos != rdata.size()) {
+    return Error(ErrorCode::kTrailingBytes, "TXT rdata has trailing bytes");
+  }
   return std::string(data.begin(), data.end());
+}
+
+std::string TxtRdataToString(const Bytes& rdata) {
+  Result<std::string> out = TryTxtRdataToString(rdata);
+  if (!out.ok()) {
+    throw std::invalid_argument(out.error().ToString());
+  }
+  return std::move(out).value();
 }
 
 Rrset Rrset::Canonical() const {

@@ -56,6 +56,9 @@ struct DnskeyRdata {
   Bytes public_key;
 
   Bytes Encode() const;
+  // Strict parser for untrusted RDATA (rejects truncation/trailing bytes).
+  static Result<DnskeyRdata> TryDecode(const Bytes& rdata);
+  // Throwing wrapper (std::invalid_argument) for trusted callers.
   static DnskeyRdata Decode(const Bytes& rdata);
   bool IsKsk() const { return flags & 1; }
 };
@@ -67,6 +70,7 @@ struct DsRdata {
   Bytes digest;
 
   Bytes Encode() const;
+  static Result<DsRdata> TryDecode(const Bytes& rdata);
   static DsRdata Decode(const Bytes& rdata);
 };
 
@@ -82,12 +86,15 @@ struct RrsigRdata {
   Bytes signature;
 
   Bytes Encode() const;
+  static Result<RrsigRdata> TryDecode(const Bytes& rdata);
   static RrsigRdata Decode(const Bytes& rdata);
   // RDATA with the signature field empty — the prefix of the signing buffer.
   Bytes EncodePrefix() const;
 };
 
 Bytes TxtRdata(const std::string& text);
+// Strict parser: single character-string spanning the whole RDATA.
+Result<std::string> TryTxtRdataToString(const Bytes& rdata);
 std::string TxtRdataToString(const Bytes& rdata);
 
 // RRsets ------------------------------------------------------------------------

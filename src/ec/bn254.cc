@@ -97,6 +97,15 @@ G2 G2Generator() {
   return G2::FromAffine(x, y);
 }
 
+bool G1InSubgroup(const G1& p) {
+  // Cofactor 1: every point satisfying the curve equation is in the group.
+  return p.IsOnCurve();
+}
+
+bool G2InSubgroup(const G2& p) {
+  return p.IsOnCurve() && p.ScalarMul(Bn254Order()).IsInfinity();
+}
+
 Fp12 MillerLoop(const G1& p, const G2& q) {
   if (p.IsInfinity() || q.IsInfinity()) {
     return Fp12::One();

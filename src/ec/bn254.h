@@ -33,6 +33,13 @@ const BigUInt& Bn254Order();
 G1 G1Generator();
 G2 G2Generator();
 
+// Subgroup membership checks for deserialized (untrusted) points. BN254 G1
+// has cofactor 1, so the curve equation alone proves membership; G2 sits on
+// a twist with a large cofactor, so an explicit order-r scalar check is
+// required before feeding a decoded point into a pairing.
+bool G1InSubgroup(const G1& p);
+bool G2InSubgroup(const G2& p);
+
 // Optimal ate pairing e: G1 x G2 -> Fp12. Identity inputs map to 1.
 Fp12 Pairing(const G1& p, const G2& q);
 

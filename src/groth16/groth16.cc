@@ -75,26 +75,69 @@ Bytes EncodeG1(const G1& p) {
   return out;
 }
 
-G1 DecodeG1(const Bytes& bytes) {
+// Canonical infinity is the flag byte alone: every other bit must be zero,
+// otherwise distinct byte strings would decode to the same point.
+bool IsCanonicalInfinity(const Bytes& bytes) {
+  if (bytes[0] != kFlagInfinity) {
+    return false;
+  }
+  for (size_t i = 1; i < bytes.size(); ++i) {
+    if (bytes[i] != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Decodes a 32-byte big-endian field element whose top two bits are flag
+// bits. Rejects non-canonical values >= p (Fq::FromBigUInt would silently
+// reduce them, making the encoding non-injective).
+Result<Fq> TryDecodeFq(Bytes bytes, const char* what) {
+  bytes[0] &= 0x3f;
+  BigUInt v = BigUInt::FromBytes(bytes);
+  if (!(v < Fq::params().modulus_big)) {
+    return Error(ErrorCode::kOutOfRange,
+                 std::string(what) + " coordinate not reduced mod p");
+  }
+  return Fq::FromBigUInt(v);
+}
+
+Result<G1> TryDecodeG1(const Bytes& bytes, const char* what) {
   if (bytes.size() != 32) {
-    throw std::invalid_argument("G1 encoding must be 32 bytes");
+    return Error(ErrorCode::kBadLength,
+                 std::string(what) + ": G1 encoding must be 32 bytes");
   }
   if (bytes[0] & kFlagInfinity) {
+    if (!IsCanonicalInfinity(bytes)) {
+      return Error(ErrorCode::kBadEncoding,
+                   std::string(what) + ": non-canonical G1 infinity");
+    }
     return G1::Infinity();
   }
-  Bytes xb = bytes;
-  bool odd = (xb[0] & kFlagOddY) != 0;
-  xb[0] &= 0x3f;
-  Fq x = Fq::FromBigUInt(BigUInt::FromBytes(xb));
+  bool odd = (bytes[0] & kFlagOddY) != 0;
+  NOPE_ASSIGN_OR_RETURN(Fq x, TryDecodeFq(bytes, what));
   Fq rhs = x.Square() * x + Fq::FromU64(3);
   Fq y;
   if (!SqrtFq(rhs, &y)) {
-    throw std::invalid_argument("G1 x-coordinate not on curve");
+    return Error(ErrorCode::kNotOnCurve,
+                 std::string(what) + ": G1 x-coordinate not on curve");
+  }
+  if (y.IsZero() && odd) {
+    return Error(ErrorCode::kBadEncoding,
+                 std::string(what) + ": odd-parity flag on two-torsion point");
   }
   if (OddParityFq(y) != odd) {
     y = -y;
   }
   return G1::FromAffine(x, y);
+}
+
+G1 DecodeG1(const Bytes& bytes) {
+  Result<G1> p = TryDecodeG1(bytes, "G1");
+  if (!p.ok()) {
+    throw std::invalid_argument(p.error().ToString());
+  }
+  return p.value();
 }
 
 Bytes EncodeG2(const G2& p) {
@@ -114,27 +157,50 @@ Bytes EncodeG2(const G2& p) {
   return out;
 }
 
-G2 DecodeG2(const Bytes& bytes) {
+Result<G2> TryDecodeG2(const Bytes& bytes, const char* what) {
   if (bytes.size() != 64) {
-    throw std::invalid_argument("G2 encoding must be 64 bytes");
+    return Error(ErrorCode::kBadLength,
+                 std::string(what) + ": G2 encoding must be 64 bytes");
   }
   if (bytes[0] & kFlagInfinity) {
+    if (!IsCanonicalInfinity(bytes)) {
+      return Error(ErrorCode::kBadEncoding,
+                   std::string(what) + ": non-canonical G2 infinity");
+    }
     return G2::Infinity();
   }
   Bytes c1b(bytes.begin(), bytes.begin() + 32);
   Bytes c0b(bytes.begin() + 32, bytes.end());
   bool odd = (c1b[0] & kFlagOddY) != 0;
-  c1b[0] &= 0x3f;
-  Fp2 x{Fq::FromBigUInt(BigUInt::FromBytes(c0b)), Fq::FromBigUInt(BigUInt::FromBytes(c1b))};
+  NOPE_ASSIGN_OR_RETURN(Fq xc1, TryDecodeFq(c1b, what));
+  if (c0b[0] & 0xc0) {
+    return Error(ErrorCode::kBadEncoding,
+                 std::string(what) + ": flag bits set in G2 x.c0 limb");
+  }
+  NOPE_ASSIGN_OR_RETURN(Fq xc0, TryDecodeFq(c0b, what));
+  Fp2 x{xc0, xc1};
   Fp2 rhs = x.Square() * x + Bn254G2Config::B();
   Fp2 y;
   if (!SqrtFp2(rhs, &y)) {
-    throw std::invalid_argument("G2 x-coordinate not on curve");
+    return Error(ErrorCode::kNotOnCurve,
+                 std::string(what) + ": G2 x-coordinate not on curve");
+  }
+  if (y.IsZero() && odd) {
+    return Error(ErrorCode::kBadEncoding,
+                 std::string(what) + ": odd-parity flag on two-torsion point");
   }
   if (OddParityFp2(y) != odd) {
     y = -y;
   }
   return G2::FromAffine(x, y);
+}
+
+G2 DecodeG2(const Bytes& bytes) {
+  Result<G2> p = TryDecodeG2(bytes, "G2");
+  if (!p.ok()) {
+    throw std::invalid_argument(p.error().ToString());
+  }
+  return p.value();
 }
 
 // --- Helpers ----------------------------------------------------------------
@@ -168,15 +234,32 @@ Bytes Proof::ToBytes() const {
   return out;
 }
 
-Proof Proof::FromBytes(const Bytes& bytes) {
+Result<Proof> Proof::TryFromBytes(const Bytes& bytes) {
   if (bytes.size() != 128) {
-    throw std::invalid_argument("Groth16 proof must be 128 bytes");
+    return Error(ErrorCode::kBadLength, "Groth16 proof must be 128 bytes");
   }
   Proof p;
-  p.a = DecodeG1(Bytes(bytes.begin(), bytes.begin() + 32));
-  p.b = DecodeG2(Bytes(bytes.begin() + 32, bytes.begin() + 96));
-  p.c = DecodeG1(Bytes(bytes.begin() + 96, bytes.end()));
+  NOPE_ASSIGN_OR_RETURN(p.a,
+                        TryDecodeG1(Bytes(bytes.begin(), bytes.begin() + 32), "proof A"));
+  NOPE_ASSIGN_OR_RETURN(
+      p.b, TryDecodeG2(Bytes(bytes.begin() + 32, bytes.begin() + 96), "proof B"));
+  NOPE_ASSIGN_OR_RETURN(p.c,
+                        TryDecodeG1(Bytes(bytes.begin() + 96, bytes.end()), "proof C"));
+  // G1 has cofactor 1, so A and C are in-group by the curve check above. B
+  // lives on the twist with a large cofactor; confirm order-r membership
+  // before it ever reaches a pairing.
+  if (!G2InSubgroup(p.b)) {
+    return Error(ErrorCode::kNotInSubgroup, "proof B outside the r-order subgroup");
+  }
   return p;
+}
+
+Proof Proof::FromBytes(const Bytes& bytes) {
+  Result<Proof> p = TryFromBytes(bytes);
+  if (!p.ok()) {
+    throw std::invalid_argument(p.error().ToString());
+  }
+  return std::move(p).value();
 }
 
 ProvingKey Setup(const ConstraintSystem& cs, Rng* rng) {

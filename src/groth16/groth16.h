@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "src/base/result.h"
 #include "src/ec/bn254.h"
 #include "src/groth16/domain.h"
 #include "src/r1cs/constraint_system.h"
@@ -28,7 +29,16 @@ struct Proof {
 
   // Compressed encoding: 32 (A) + 64 (B) + 32 (C) = 128 bytes.
   Bytes ToBytes() const;
-  static Proof FromBytes(const Bytes& bytes);  // throws on malformed input
+
+  // Strict decoder for untrusted bytes. Rejects non-canonical encodings
+  // (field elements >= p, garbage under an infinity flag) and points off the
+  // curve or, for B, outside the order-r subgroup, so decoding is injective:
+  // a Proof that decodes successfully re-encodes to the identical 128 bytes.
+  static Result<Proof> TryFromBytes(const Bytes& bytes);
+
+  // Throwing wrapper over TryFromBytes for trusted/internal callers;
+  // throws std::invalid_argument on malformed input.
+  static Proof FromBytes(const Bytes& bytes);
 };
 
 struct VerifyingKey {

@@ -8,6 +8,9 @@ namespace {
 
 // TLV helpers: tag byte, u16 length, value.
 void AppendTlv(Bytes* out, uint8_t tag, const Bytes& value) {
+  if (value.size() > 0xffff) {
+    throw std::length_error("TLV value over 65535 bytes");
+  }
   AppendU8(out, tag);
   AppendU16(out, static_cast<uint16_t>(value.size()));
   AppendBytes(out, value);
@@ -25,13 +28,15 @@ constexpr uint8_t kTagOcsp = 7;
 constexpr uint8_t kTagSct = 8;
 constexpr uint8_t kTagSignature = 9;
 
-Bytes ReadTlv(const Bytes& data, size_t* pos, uint8_t expected_tag) {
-  uint8_t tag = ReadU8(data, pos);
+Result<Bytes> TryReadTlv(const Bytes& data, size_t* pos, uint8_t expected_tag,
+                         const char* what) {
+  NOPE_ASSIGN_OR_RETURN(uint8_t tag, TryReadU8(data, pos));
   if (tag != expected_tag) {
-    throw std::invalid_argument("unexpected TLV tag");
+    return Error(ErrorCode::kBadEncoding,
+                 std::string("unexpected TLV tag for ") + what);
   }
-  uint16_t len = ReadU16(data, pos);
-  return ReadBytes(data, pos, len);
+  NOPE_ASSIGN_OR_RETURN(uint16_t len, TryReadU16(data, pos));
+  return TryReadBytes(data, pos, len);
 }
 
 }  // namespace
@@ -45,13 +50,21 @@ Bytes Sct::Serialize() const {
   return out;
 }
 
-Sct Sct::Deserialize(const Bytes& data, size_t* pos) {
+Result<Sct> Sct::TryDeserialize(const Bytes& data, size_t* pos) {
   Sct out;
-  out.log_id = ReadU64(data, pos);
-  out.timestamp = ReadU64(data, pos);
-  uint16_t len = ReadU16(data, pos);
-  out.signature = ReadBytes(data, pos, len);
+  NOPE_ASSIGN_OR_RETURN(out.log_id, TryReadU64(data, pos));
+  NOPE_ASSIGN_OR_RETURN(out.timestamp, TryReadU64(data, pos));
+  NOPE_ASSIGN_OR_RETURN(uint16_t len, TryReadU16(data, pos));
+  NOPE_ASSIGN_OR_RETURN(out.signature, TryReadBytes(data, pos, len));
   return out;
+}
+
+Sct Sct::Deserialize(const Bytes& data, size_t* pos) {
+  Result<Sct> out = TryDeserialize(data, pos);
+  if (!out.ok()) {
+    throw std::invalid_argument(out.error().ToString());
+  }
+  return std::move(out).value();
 }
 
 Bytes CertificateBody::Serialize(bool is_precert) const {
@@ -84,39 +97,61 @@ Bytes Certificate::Serialize() const {
   return out;
 }
 
-Certificate Certificate::Deserialize(const Bytes& data) {
+Result<Certificate> Certificate::TryDeserialize(const Bytes& data) {
   Certificate out;
   size_t pos = 0;
-  Bytes serial_bytes = ReadTlv(data, &pos, kTagSerial);
+  NOPE_ASSIGN_OR_RETURN(Bytes serial_bytes, TryReadTlv(data, &pos, kTagSerial, "serial"));
+  if (serial_bytes.size() != 8) {
+    return Error(ErrorCode::kBadLength, "serial TLV must be exactly 8 bytes");
+  }
   size_t sp = 0;
-  out.body.serial = ReadU64(serial_bytes, &sp);
-  Bytes issuer = ReadTlv(data, &pos, kTagIssuer);
+  NOPE_ASSIGN_OR_RETURN(out.body.serial, TryReadU64(serial_bytes, &sp));
+  NOPE_ASSIGN_OR_RETURN(Bytes issuer, TryReadTlv(data, &pos, kTagIssuer, "issuer"));
   out.body.issuer_organization = std::string(issuer.begin(), issuer.end());
-  Bytes subject = ReadTlv(data, &pos, kTagSubject);
+  NOPE_ASSIGN_OR_RETURN(Bytes subject, TryReadTlv(data, &pos, kTagSubject, "subject"));
   size_t np = 0;
-  out.body.subject = DnsName::FromWire(subject, &np);
+  NOPE_ASSIGN_OR_RETURN(out.body.subject, DnsName::TryFromWire(subject, &np));
+  if (np != subject.size()) {
+    return Error(ErrorCode::kTrailingBytes, "trailing bytes inside subject TLV");
+  }
   // SANs until a different tag shows up.
   while (pos < data.size() && data[pos] == kTagSan) {
-    Bytes san = ReadTlv(data, &pos, kTagSan);
+    NOPE_ASSIGN_OR_RETURN(Bytes san, TryReadTlv(data, &pos, kTagSan, "san"));
     out.body.sans.emplace_back(san.begin(), san.end());
   }
-  Bytes validity = ReadTlv(data, &pos, kTagValidity);
+  NOPE_ASSIGN_OR_RETURN(Bytes validity, TryReadTlv(data, &pos, kTagValidity, "validity"));
+  if (validity.size() != 16) {
+    return Error(ErrorCode::kBadLength, "validity TLV must be exactly 16 bytes");
+  }
   size_t vp = 0;
-  out.body.not_before = ReadU64(validity, &vp);
-  out.body.not_after = ReadU64(validity, &vp);
-  out.body.subject_public_key = ReadTlv(data, &pos, kTagPublicKey);
-  Bytes ocsp = ReadTlv(data, &pos, kTagOcsp);
+  NOPE_ASSIGN_OR_RETURN(out.body.not_before, TryReadU64(validity, &vp));
+  NOPE_ASSIGN_OR_RETURN(out.body.not_after, TryReadU64(validity, &vp));
+  NOPE_ASSIGN_OR_RETURN(out.body.subject_public_key,
+                        TryReadTlv(data, &pos, kTagPublicKey, "public key"));
+  NOPE_ASSIGN_OR_RETURN(Bytes ocsp, TryReadTlv(data, &pos, kTagOcsp, "ocsp"));
   out.body.ocsp_url = std::string(ocsp.begin(), ocsp.end());
   while (pos < data.size() && data[pos] == kTagSct) {
-    Bytes sct_bytes = ReadTlv(data, &pos, kTagSct);
+    NOPE_ASSIGN_OR_RETURN(Bytes sct_bytes, TryReadTlv(data, &pos, kTagSct, "sct"));
     size_t spp = 0;
-    out.body.scts.push_back(Sct::Deserialize(sct_bytes, &spp));
+    NOPE_ASSIGN_OR_RETURN(Sct sct, Sct::TryDeserialize(sct_bytes, &spp));
+    if (spp != sct_bytes.size()) {
+      return Error(ErrorCode::kTrailingBytes, "trailing bytes inside SCT TLV");
+    }
+    out.body.scts.push_back(sct);
   }
-  out.signature = ReadTlv(data, &pos, kTagSignature);
+  NOPE_ASSIGN_OR_RETURN(out.signature, TryReadTlv(data, &pos, kTagSignature, "signature"));
   if (pos != data.size()) {
-    throw std::invalid_argument("trailing bytes after certificate");
+    return Error(ErrorCode::kTrailingBytes, "trailing bytes after certificate");
   }
   return out;
+}
+
+Certificate Certificate::Deserialize(const Bytes& data) {
+  Result<Certificate> out = TryDeserialize(data);
+  if (!out.ok()) {
+    throw std::invalid_argument(out.error().ToString());
+  }
+  return std::move(out).value();
 }
 
 std::map<std::string, size_t> Certificate::SizeBreakdown() const {

@@ -24,6 +24,8 @@ struct Sct {
   Bytes signature;         // log's ECDSA signature over (log_id, ts, leaf hash)
 
   Bytes Serialize() const;
+  static Result<Sct> TryDeserialize(const Bytes& data, size_t* pos);
+  // Throwing wrapper (std::invalid_argument) for trusted callers.
   static Sct Deserialize(const Bytes& data, size_t* pos);
 };
 
@@ -48,6 +50,12 @@ struct Certificate {
   Bytes signature;  // issuer's ECDSA signature over body.Serialize()
 
   Bytes Serialize() const;
+  // Strict parser for untrusted certificate bytes: every TLV length must be
+  // exact (no slack inside serial/subject/validity/SCT values, no trailing
+  // bytes), so parsing is injective and a parsed certificate re-serializes
+  // to the identical input.
+  static Result<Certificate> TryDeserialize(const Bytes& data);
+  // Throwing wrapper (std::invalid_argument) for trusted callers.
   static Certificate Deserialize(const Bytes& data);
 
   // Per-component byte sizes for the Figure 7 decomposition.

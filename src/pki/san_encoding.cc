@@ -78,14 +78,20 @@ std::vector<std::string> EncodeProofSans(const Bytes& proof, const DnsName& doma
   return sans;
 }
 
-std::optional<Bytes> DecodeProofSans(const std::vector<std::string>& sans,
-                                     const DnsName& domain) {
+Result<Bytes> DecodeProofFromSans(const std::vector<std::string>& sans,
+                                  const DnsName& domain) {
   std::string domain_suffix = domain.ToString();
   domain_suffix.pop_back();
 
+  // A 200-char encoding fits in four labels, so even a minimal domain needs
+  // at most four n<i>pe SANs; anything beyond that is malformed and capping
+  // the scan keeps the work linear in the SAN count.
+  constexpr size_t kMaxProofSans = 8;
+
   // Collect labels from n0pe., n1pe., ... SANs in order.
   std::string full;
-  for (size_t san_idx = 0;; ++san_idx) {
+  bool any_found = false;
+  for (size_t san_idx = 0; san_idx < kMaxProofSans; ++san_idx) {
     std::string prefix = "n" + std::to_string(san_idx) + "pe.";
     bool found = false;
     for (const std::string& san : sans) {
@@ -104,40 +110,67 @@ std::optional<Bytes> DecodeProofSans(const std::vector<std::string>& sans,
         size_t dot = middle.find('.', start);
         std::string label =
             dot == std::string::npos ? middle.substr(start) : middle.substr(start, dot - start);
+        if (label.empty()) {
+          return Error(ErrorCode::kBadEncoding, "empty label in NOPE SAN '" + san + "'");
+        }
+        if (label.size() > kSanLabelChars) {
+          return Error(ErrorCode::kBadLength,
+                       "NOPE SAN label over " + std::to_string(kSanLabelChars) + " chars");
+        }
+        for (char c : label) {
+          if (AlphabetIndex(c) < 0) {
+            return Error(ErrorCode::kBadEncoding,
+                         std::string("character '") + c + "' outside the base-37 alphabet");
+          }
+        }
         full += label;
+        if (full.size() > kSanPayloadChars + 3) {
+          return Error(ErrorCode::kBadLength, "NOPE SAN payload over 200 characters");
+        }
         if (dot == std::string::npos) {
           break;
         }
         start = dot + 1;
       }
       found = true;
+      any_found = true;
       break;
     }
     if (!found) {
       break;
     }
   }
+  if (!any_found) {
+    return Error(ErrorCode::kMissing, "no NOPE SANs for " + domain.ToString());
+  }
   if (full.size() != kSanPayloadChars + 3) {
-    return std::nullopt;
+    return Error(ErrorCode::kBadLength, "NOPE SAN payload is " + std::to_string(full.size()) +
+                                            " characters, want 200");
   }
   if (full[0] != kSanVersion) {
-    return std::nullopt;
+    return Error(ErrorCode::kBadEncoding, "unknown NOPE SAN version character");
   }
   if (Checksum(full.substr(0, full.size() - 1)) != full.back()) {
-    return std::nullopt;
+    return Error(ErrorCode::kBadChecksum, "NOPE SAN checksum mismatch");
   }
   BigUInt value;
   for (size_t i = 2; i < full.size() - 1; ++i) {
-    int digit = AlphabetIndex(full[i]);
-    if (digit < 0) {
-      return std::nullopt;
-    }
-    value = value * BigUInt(kBase) + BigUInt(static_cast<uint64_t>(digit));
+    value = value * BigUInt(kBase) +
+            BigUInt(static_cast<uint64_t>(AlphabetIndex(full[i])));
   }
   if (value.BitLength() > 8 * kSanProofBytes) {
-    return std::nullopt;
+    return Error(ErrorCode::kOutOfRange, "decoded proof exceeds 128 bytes");
   }
   return value.ToBytes(kSanProofBytes);
+}
+
+std::optional<Bytes> DecodeProofSans(const std::vector<std::string>& sans,
+                                     const DnsName& domain) {
+  Result<Bytes> out = DecodeProofFromSans(sans, domain);
+  if (!out.ok()) {
+    return std::nullopt;
+  }
+  return std::move(out).value();
 }
 
 }  // namespace nope

@@ -22,8 +22,15 @@ constexpr char kSanVersion = 'a';  // version 0 in the base-37 alphabet
 // multiple SANs (n0pe., n1pe., ...) when the domain is long.
 std::vector<std::string> EncodeProofSans(const Bytes& proof, const DnsName& domain);
 
-// Scans a certificate's SAN list; returns the proof if NOPE SANs for
-// `domain` are present and the checksum verifies.
+// Scans a certificate's SAN list for NOPE SANs matching `domain` and decodes
+// the embedded proof. ErrorCode::kMissing means no NOPE SANs were present at
+// all (the legacy-certificate case); every other code means NOPE SANs exist
+// but are malformed: out-of-alphabet characters, over-length labels, wrong
+// total length, bad version, or checksum mismatch.
+Result<Bytes> DecodeProofFromSans(const std::vector<std::string>& sans,
+                                  const DnsName& domain);
+
+// Optional-returning wrapper kept for callers that only care about presence.
 std::optional<Bytes> DecodeProofSans(const std::vector<std::string>& sans,
                                      const DnsName& domain);
 

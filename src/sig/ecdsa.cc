@@ -39,18 +39,28 @@ Bytes EcdsaPublicKey::Encode() const {
   return out;
 }
 
-EcdsaPublicKey EcdsaPublicKey::Decode(const Bytes& encoded) {
+Result<EcdsaPublicKey> EcdsaPublicKey::TryDecode(const Bytes& encoded) {
   if (encoded.size() != 65 || encoded[0] != 0x04) {
-    throw std::invalid_argument("bad SEC1 uncompressed point");
+    return Error(ErrorCode::kBadEncoding, "bad SEC1 uncompressed point");
   }
-  Bytes xb(encoded.begin() + 1, encoded.begin() + 33);
-  Bytes yb(encoded.begin() + 33, encoded.end());
-  P256Point p = P256Point::FromAffine(P256Fq::FromBigUInt(BigUInt::FromBytes(xb)),
-                                      P256Fq::FromBigUInt(BigUInt::FromBytes(yb)));
+  BigUInt x = BigUInt::FromBytes(Bytes(encoded.begin() + 1, encoded.begin() + 33));
+  BigUInt y = BigUInt::FromBytes(Bytes(encoded.begin() + 33, encoded.end()));
+  if (!(x < P256Fq::params().modulus_big) || !(y < P256Fq::params().modulus_big)) {
+    return Error(ErrorCode::kOutOfRange, "P-256 coordinate not reduced mod p");
+  }
+  P256Point p = P256Point::FromAffine(P256Fq::FromBigUInt(x), P256Fq::FromBigUInt(y));
   if (!p.IsOnCurve()) {
-    throw std::invalid_argument("point not on P-256");
+    return Error(ErrorCode::kNotOnCurve, "point not on P-256");
   }
   return EcdsaPublicKey{p};
+}
+
+EcdsaPublicKey EcdsaPublicKey::Decode(const Bytes& encoded) {
+  Result<EcdsaPublicKey> out = TryDecode(encoded);
+  if (!out.ok()) {
+    throw std::invalid_argument(out.error().ToString());
+  }
+  return std::move(out).value();
 }
 
 Bytes EcdsaSignature::Encode() const {

@@ -13,6 +13,7 @@
 
 #include "src/base/biguint.h"
 #include "src/base/bytes.h"
+#include "src/base/result.h"
 #include "src/ec/p256.h"
 
 namespace nope {
@@ -26,6 +27,10 @@ struct EcdsaPublicKey {
 
   // SEC1 uncompressed encoding (0x04 || X || Y).
   Bytes Encode() const;
+  // Strict decoder for untrusted bytes: canonical coordinates (< p) and
+  // on-curve (P-256 has cofactor 1, so on-curve implies in-subgroup).
+  static Result<EcdsaPublicKey> TryDecode(const Bytes& encoded);
+  // Throwing wrapper (std::invalid_argument) for trusted callers.
   static EcdsaPublicKey Decode(const Bytes& encoded);
   bool operator==(const EcdsaPublicKey& o) const { return q.Equals(o.q); }
 };

@@ -156,6 +156,12 @@ bool RsaVerify(const RsaPublicKey& key, const Bytes& message, const Bytes& signa
 }
 
 bool RsaVerifyDigest32(const RsaPublicKey& key, const Bytes& digest32, const Bytes& signature) {
+  // A modulus too short to hold the PKCS#1 v1.5 encoding can never carry a
+  // valid signature; reject it here rather than letting the encoder throw on
+  // an attacker-chosen key.
+  if (key.ModulusBytes() < 19 + digest32.size() + 11) {
+    return false;
+  }
   if (signature.size() != key.ModulusBytes()) {
     return false;
   }

@@ -28,13 +28,12 @@ LegacyStatus LegacyVerifyChain(const CertificateChain& chain, const TrustStore& 
   if (!VerifyCertificateSignature(chain.intermediate, trust.ca_root)) {
     return LegacyStatus::kBadChainSignature;
   }
-  EcdsaPublicKey intermediate_key;
-  try {
-    intermediate_key = EcdsaPublicKey::Decode(chain.intermediate.body.subject_public_key);
-  } catch (const std::invalid_argument&) {
+  Result<EcdsaPublicKey> intermediate_key =
+      EcdsaPublicKey::TryDecode(chain.intermediate.body.subject_public_key);
+  if (!intermediate_key.ok()) {
     return LegacyStatus::kBadChainSignature;
   }
-  if (!VerifyCertificateSignature(chain.leaf, intermediate_key)) {
+  if (!VerifyCertificateSignature(chain.leaf, intermediate_key.value())) {
     return LegacyStatus::kBadChainSignature;
   }
   const CertificateBody& body = chain.leaf.body;
@@ -72,64 +71,211 @@ DceBundle BuildDceBundle(DnssecHierarchy* dns, const DnsName& domain, const Byte
   return bundle;
 }
 
-bool DceVerify(const CryptoSuite& suite, const DceBundle& bundle, const DnsName& domain,
-               const Bytes& tls_key, const DnskeyRdata& trust_anchor) {
+Status DceVerify(const CryptoSuite& suite, const DceBundle& bundle, const DnsName& domain,
+                 const Bytes& tls_key, const DnskeyRdata& trust_anchor) {
   if (bundle.chain.domain != domain) {
-    return false;
+    return Error(ErrorCode::kMismatch, "bundle chain is for " + bundle.chain.domain.ToString() +
+                                           ", want " + domain.ToString());
   }
-  if (!ValidateChain(suite, bundle.chain, trust_anchor)) {
-    return false;
+  // The chain's embedded trust anchor must be the client's: validation runs
+  // against `trust_anchor`, so a divergent embedded copy would otherwise be
+  // accepted unchecked.
+  if (bundle.chain.root_zsk.Encode() != trust_anchor.Encode()) {
+    return Error(ErrorCode::kMismatch, "bundle root ZSK differs from the trust anchor");
   }
+  NOPE_RETURN_IF_ERROR(ValidateChain(suite, bundle.chain, trust_anchor));
   // Leaf DNSKEY RRset signed by the (DS-validated) leaf KSK.
   if (bundle.leaf_dnskey.rrset.name != domain ||
       bundle.leaf_dnskey.rrset.type != RrType::kDnskey) {
-    return false;
+    return Error(ErrorCode::kMismatch, "leaf DNSKEY RRset name/type mismatch");
   }
   if (bundle.leaf_dnskey.rrsig.key_tag != ComputeKeyTag(bundle.chain.leaf_ksk.Encode())) {
-    return false;
+    return Error(ErrorCode::kMismatch, "leaf DNSKEY RRSIG key tag does not match KSK");
   }
   Bytes keys_buffer = BuildSigningBuffer(bundle.leaf_dnskey.rrsig, bundle.leaf_dnskey.rrset);
   if (!VerifyWithDnskey(suite, bundle.chain.leaf_ksk, keys_buffer,
                         bundle.leaf_dnskey.rrsig.signature)) {
-    return false;
+    return Error(ErrorCode::kBadSignature, "leaf DNSKEY RRSIG invalid");
   }
   // Extract the ZSK and verify the TLSA TXT RRset.
   DnskeyRdata zsk;
   bool have_zsk = false;
   for (const Bytes& rdata : bundle.leaf_dnskey.rrset.rdatas) {
-    DnskeyRdata key = DnskeyRdata::Decode(rdata);
-    if (!key.IsKsk()) {
-      zsk = key;
+    Result<DnskeyRdata> key = DnskeyRdata::TryDecode(rdata);
+    if (!key.ok()) {
+      return Error(key.error().code, "leaf DNSKEY rdata: " + key.error().context);
+    }
+    if (!key.value().IsKsk()) {
+      zsk = key.value();
       have_zsk = true;
     }
   }
   if (!have_zsk) {
-    return false;
+    return Error(ErrorCode::kMissing, "leaf DNSKEY RRset has no ZSK");
   }
   if (bundle.tlsa.rrset.name != domain.Child("_tlsa") ||
       bundle.tlsa.rrset.type != RrType::kTxt || bundle.tlsa.rrset.rdatas.size() != 1) {
-    return false;
+    return Error(ErrorCode::kMismatch, "TLSA RRset name/type/count mismatch");
   }
   Bytes tlsa_buffer = BuildSigningBuffer(bundle.tlsa.rrsig, bundle.tlsa.rrset);
   if (!VerifyWithDnskey(suite, zsk, tlsa_buffer, bundle.tlsa.rrsig.signature)) {
-    return false;
+    return Error(ErrorCode::kBadSignature, "TLSA RRSIG invalid");
+  }
+  Result<std::string> tlsa_text = TryTxtRdataToString(bundle.tlsa.rrset.rdatas[0]);
+  if (!tlsa_text.ok()) {
+    return Error(tlsa_text.error().code, "TLSA rdata: " + tlsa_text.error().context);
   }
   Bytes digest = suite.Digest32(tls_key);
-  return TxtRdataToString(bundle.tlsa.rrset.rdatas[0]) == "tlsa=" + EncodeHex(digest);
+  if (tlsa_text.value() != "tlsa=" + EncodeHex(digest)) {
+    return Error(ErrorCode::kMismatch, "TLSA digest does not match TLS key");
+  }
+  return Status::Ok();
 }
 
+// --- DCE bundle wire format --------------------------------------------------
+//
+// version u8 | domain wire | u16+leaf_ksk | SignedRrset leaf_ds |
+// u8 level count | (zone wire | SignedRrset dnskey | SignedRrset ds)* |
+// u16+root_zsk | SignedRrset leaf_dnskey | SignedRrset tlsa
+//
+// SignedRrset: name wire | type u16 | ttl u32 | rdata count u16 |
+//              (u16+rdata)* | u16+rrsig rdata
+
+namespace {
+
+constexpr uint8_t kDceBundleVersion = 1;
+constexpr size_t kMaxDceLevels = 32;    // a DNS name has at most ~127 labels
+constexpr size_t kMaxDceRdatas = 64;    // RRsets here hold a handful of records
+
+void AppendLengthPrefixed(Bytes* out, const Bytes& value) {
+  if (value.size() > 0xffff) {
+    throw std::length_error("DCE field over 65535 bytes");
+  }
+  AppendU16(out, static_cast<uint16_t>(value.size()));
+  AppendBytes(out, value);
+}
+
+Result<Bytes> TryReadLengthPrefixed(const Bytes& in, size_t* pos) {
+  NOPE_ASSIGN_OR_RETURN(uint16_t len, TryReadU16(in, pos));
+  return TryReadBytes(in, pos, len);
+}
+
+void AppendSignedRrset(Bytes* out, const SignedRrset& s) {
+  AppendBytes(out, s.rrset.name.ToWire());
+  AppendU16(out, static_cast<uint16_t>(s.rrset.type));
+  AppendU32(out, s.rrset.ttl);
+  if (s.rrset.rdatas.size() > kMaxDceRdatas) {
+    throw std::length_error("RRset has too many rdatas for DCE framing");
+  }
+  AppendU16(out, static_cast<uint16_t>(s.rrset.rdatas.size()));
+  for (const Bytes& rdata : s.rrset.rdatas) {
+    AppendLengthPrefixed(out, rdata);
+  }
+  AppendLengthPrefixed(out, s.rrsig.Encode());
+}
+
+// Names inside a DCE bundle must arrive in RFC 4034 canonical (lowercase)
+// form. RRSIG verification lowercases names before hashing, so mixed-case
+// variants of the same name would verify identically while encoding
+// differently — exactly the kind of signature-invisible malleability the
+// canonical-encoding rule exists to remove.
+Status ExpectCanonicalName(const DnsName& name, const char* what) {
+  if (name.ToWire() != name.Canonical().ToWire()) {
+    return Status(ErrorCode::kBadEncoding, std::string(what) + ": non-lowercase DNS name");
+  }
+  return Status::Ok();
+}
+
+Result<SignedRrset> TryReadSignedRrset(const Bytes& in, size_t* pos) {
+  SignedRrset out;
+  NOPE_ASSIGN_OR_RETURN(out.rrset.name, DnsName::TryFromWire(in, pos));
+  NOPE_RETURN_IF_ERROR(ExpectCanonicalName(out.rrset.name, "RRset owner"));
+  NOPE_ASSIGN_OR_RETURN(uint16_t type, TryReadU16(in, pos));
+  out.rrset.type = static_cast<RrType>(type);
+  NOPE_ASSIGN_OR_RETURN(out.rrset.ttl, TryReadU32(in, pos));
+  NOPE_ASSIGN_OR_RETURN(uint16_t count, TryReadU16(in, pos));
+  if (count > kMaxDceRdatas) {
+    return Error(ErrorCode::kBadLength, "RRset rdata count over limit");
+  }
+  for (uint16_t i = 0; i < count; ++i) {
+    NOPE_ASSIGN_OR_RETURN(Bytes rdata, TryReadLengthPrefixed(in, pos));
+    out.rrset.rdatas.push_back(std::move(rdata));
+  }
+  NOPE_ASSIGN_OR_RETURN(Bytes rrsig_bytes, TryReadLengthPrefixed(in, pos));
+  NOPE_ASSIGN_OR_RETURN(out.rrsig, RrsigRdata::TryDecode(rrsig_bytes));
+  NOPE_RETURN_IF_ERROR(ExpectCanonicalName(out.rrsig.signer, "RRSIG signer"));
+  // The signing buffer is built from rrsig.original_ttl (RFC 4034 §3.1.8.1),
+  // so a divergent RRset TTL would be invisible to every signature check.
+  if (out.rrset.ttl != out.rrsig.original_ttl) {
+    return Error(ErrorCode::kBadEncoding, "RRset TTL differs from RRSIG original TTL");
+  }
+  return out;
+}
+
+Result<DnskeyRdata> TryReadDnskey(const Bytes& in, size_t* pos) {
+  NOPE_ASSIGN_OR_RETURN(Bytes rdata, TryReadLengthPrefixed(in, pos));
+  return DnskeyRdata::TryDecode(rdata);
+}
+
+}  // namespace
+
 Bytes DceBundle::Serialize() const {
-  Bytes out = SerializeDceChain(chain);
-  auto append_signed = [&out](const SignedRrset& s) {
-    for (const Bytes& rdata : s.rrset.rdatas) {
-      ResourceRecord rr{s.rrset.name, s.rrset.type, s.rrset.ttl, rdata};
-      AppendBytes(&out, rr.CanonicalWire());
-    }
-    ResourceRecord sig{s.rrset.name, RrType::kRrsig, s.rrset.ttl, s.rrsig.Encode()};
-    AppendBytes(&out, sig.CanonicalWire());
-  };
-  append_signed(leaf_dnskey);
-  append_signed(tlsa);
+  Bytes out;
+  AppendU8(&out, kDceBundleVersion);
+  AppendBytes(&out, chain.domain.ToWire());
+  AppendLengthPrefixed(&out, chain.leaf_ksk.Encode());
+  AppendSignedRrset(&out, chain.leaf_ds);
+  if (chain.levels.size() > kMaxDceLevels) {
+    throw std::length_error("chain has too many levels for DCE framing");
+  }
+  AppendU8(&out, static_cast<uint8_t>(chain.levels.size()));
+  for (const ChainLink& link : chain.levels) {
+    AppendBytes(&out, link.zone.ToWire());
+    AppendSignedRrset(&out, link.dnskey);
+    AppendSignedRrset(&out, link.ds);
+  }
+  AppendLengthPrefixed(&out, chain.root_zsk.Encode());
+  AppendSignedRrset(&out, leaf_dnskey);
+  AppendSignedRrset(&out, tlsa);
+  return out;
+}
+
+Result<DceBundle> DceBundle::TryDeserialize(const Bytes& data) {
+  DceBundle out;
+  size_t pos = 0;
+  NOPE_ASSIGN_OR_RETURN(uint8_t version, TryReadU8(data, &pos));
+  if (version != kDceBundleVersion) {
+    return Error(ErrorCode::kBadEncoding, "unknown DCE bundle version");
+  }
+  NOPE_ASSIGN_OR_RETURN(out.chain.domain, DnsName::TryFromWire(data, &pos));
+  NOPE_RETURN_IF_ERROR(ExpectCanonicalName(out.chain.domain, "bundle domain"));
+  NOPE_ASSIGN_OR_RETURN(out.chain.leaf_ksk, TryReadDnskey(data, &pos));
+  NOPE_ASSIGN_OR_RETURN(out.chain.leaf_ds, TryReadSignedRrset(data, &pos));
+  NOPE_ASSIGN_OR_RETURN(uint8_t levels, TryReadU8(data, &pos));
+  if (levels > kMaxDceLevels) {
+    return Error(ErrorCode::kBadLength, "DCE chain level count over limit");
+  }
+  for (uint8_t i = 0; i < levels; ++i) {
+    ChainLink link;
+    NOPE_ASSIGN_OR_RETURN(link.zone, DnsName::TryFromWire(data, &pos));
+    NOPE_RETURN_IF_ERROR(ExpectCanonicalName(link.zone, "chain level zone"));
+    NOPE_ASSIGN_OR_RETURN(link.dnskey, TryReadSignedRrset(data, &pos));
+    NOPE_ASSIGN_OR_RETURN(link.ds, TryReadSignedRrset(data, &pos));
+    out.chain.levels.push_back(std::move(link));
+  }
+  NOPE_ASSIGN_OR_RETURN(out.chain.root_zsk, TryReadDnskey(data, &pos));
+  NOPE_ASSIGN_OR_RETURN(out.leaf_dnskey, TryReadSignedRrset(data, &pos));
+  NOPE_ASSIGN_OR_RETURN(out.tlsa, TryReadSignedRrset(data, &pos));
+  if (pos != data.size()) {
+    return Error(ErrorCode::kTrailingBytes, "trailing bytes after DCE bundle");
+  }
+  // Canonical-encoding rule: the parsed bundle must re-serialize to the exact
+  // input. This closes the non-injective corners of the nested formats (e.g.
+  // RRSIG signer-name case differences that RFC 4034 canonicalization would
+  // otherwise silently absorb).
+  if (out.Serialize() != data) {
+    return Error(ErrorCode::kBadEncoding, "non-canonical DCE bundle encoding");
+  }
   return out;
 }
 

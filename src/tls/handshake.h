@@ -25,6 +25,7 @@ enum class LegacyStatus {
   kStaleOcsp,
 };
 
+constexpr int kNumLegacyStatuses = static_cast<int>(LegacyStatus::kStaleOcsp) + 1;
 const char* LegacyStatusName(LegacyStatus status);
 
 // Standard certificate validation: intermediate signed by the trust-store
@@ -44,15 +45,21 @@ struct DceBundle {
   SignedRrset leaf_dnskey;
   SignedRrset tlsa;
 
-  Bytes Serialize() const;  // for bandwidth accounting (Fig. 4 / Fig. 7)
+  // Framed wire format (the bytes a server would actually staple, also used
+  // for the Fig. 4 / Fig. 7 bandwidth accounting). TryDeserialize parses
+  // strictly and additionally rejects any input that does not re-serialize
+  // byte-identically, so accepted encodings are canonical.
+  Bytes Serialize() const;
+  static Result<DceBundle> TryDeserialize(const Bytes& data);
 };
 
 DceBundle BuildDceBundle(DnssecHierarchy* dns, const DnsName& domain, const Bytes& tls_key);
 
 // DCE client: validates the whole chain against the trust anchor and checks
-// that the TLSA record commits to the presented TLS key.
-bool DceVerify(const CryptoSuite& suite, const DceBundle& bundle, const DnsName& domain,
-               const Bytes& tls_key, const DnskeyRdata& trust_anchor);
+// that the TLSA record commits to the presented TLS key. Exception-free;
+// failures come back as typed errors.
+Status DceVerify(const CryptoSuite& suite, const DceBundle& bundle, const DnsName& domain,
+                 const Bytes& tls_key, const DnskeyRdata& trust_anchor);
 
 }  // namespace nope
 

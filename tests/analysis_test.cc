@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "src/core/nope.h"
+
 namespace nope {
 namespace {
 
@@ -103,6 +108,18 @@ TEST(Figure3Properties, MatrixOrderMatchesPaper) {
     EXPECT_EQ(matrix[i].attacker.ca, kPaperRows[i].ca) << i;
     EXPECT_EQ(matrix[i].attacker.ct, kPaperRows[i].ct) << i;
     EXPECT_EQ(matrix[i].attacker.dnssec, kPaperRows[i].dnssec) << i;
+  }
+}
+
+TEST(NopeVerifyStatus, NamesAreCompleteAndDistinct) {
+  std::vector<std::string> names;
+  for (int i = 0; i < kNumNopeVerifyStatuses; ++i) {
+    std::string name = NopeVerifyStatusName(static_cast<NopeVerifyStatus>(i));
+    EXPECT_NE(name, "unknown") << "status " << i;
+    for (const std::string& prior : names) {
+      EXPECT_NE(name, prior) << "status " << i;
+    }
+    names.push_back(name);
   }
 }
 

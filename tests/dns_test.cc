@@ -38,6 +38,91 @@ TEST(DnsName, HierarchyNavigation) {
   EXPECT_FALSE(DnsName::FromString("example.org").IsSubdomainOf(DnsName::FromString("com")));
 }
 
+TEST(DnsName, Rfc1035LabelLimits) {
+  // 63-byte labels are the RFC 1035 maximum; 64 is rejected.
+  std::string max_label(DnsName::kMaxLabelBytes, 'x');
+  DnsName ok = DnsName::FromString(max_label + ".com");
+  EXPECT_EQ(ok.NumLabels(), 2u);
+  size_t pos = 0;
+  EXPECT_EQ(DnsName::FromWire(ok.ToWire(), &pos), ok);
+
+  Result<DnsName> too_long = DnsName::TryFromString(max_label + "y.com");
+  ASSERT_FALSE(too_long.ok());
+  EXPECT_EQ(too_long.error().code, ErrorCode::kBadLength);
+
+  Result<DnsName> empty_label = DnsName::TryFromString("a..b");
+  ASSERT_FALSE(empty_label.ok());
+  EXPECT_EQ(empty_label.error().code, ErrorCode::kBadEncoding);
+}
+
+TEST(DnsName, Rfc1035NameLimit) {
+  // Four 62-byte labels: 4 * 63 + 1 = 253 wire bytes, inside the 255 cap.
+  std::string label(62, 'x');
+  std::string near = label + "." + label + "." + label + "." + label;
+  DnsName ok = DnsName::FromString(near);
+  EXPECT_EQ(ok.ToWire().size(), 253u);
+  // Pushing past 255 wire bytes fails, both from text and via Child().
+  Result<DnsName> over = DnsName::TryFromString(near + ".yy");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.error().code, ErrorCode::kBadLength);
+  EXPECT_THROW(ok.Child("yy"), std::invalid_argument);
+}
+
+TEST(DnsName, WireParsingRejectsMalformedNames) {
+  // Truncated: length byte promises more than the buffer holds.
+  {
+    Bytes wire{5, 'a', 'b'};
+    size_t pos = 0;
+    Result<DnsName> r = DnsName::TryFromWire(wire, &pos);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::kTruncated);
+  }
+  // Missing terminator.
+  {
+    Bytes wire{3, 'c', 'o', 'm'};
+    size_t pos = 0;
+    Result<DnsName> r = DnsName::TryFromWire(wire, &pos);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::kTruncated);
+  }
+  // Label length 64 is out of spec even if the bytes are present.
+  {
+    Bytes wire;
+    wire.push_back(64);
+    wire.insert(wire.end(), 64, 'a');
+    wire.push_back(0);
+    size_t pos = 0;
+    Result<DnsName> r = DnsName::TryFromWire(wire, &pos);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::kBadLength);
+  }
+  // A name over 255 wire bytes is rejected before its terminator.
+  {
+    Bytes wire;
+    for (int i = 0; i < 5; ++i) {
+      wire.push_back(62);
+      wire.insert(wire.end(), 62, 'a' + i);
+    }
+    wire.push_back(0);
+    size_t pos = 0;
+    Result<DnsName> r = DnsName::TryFromWire(wire, &pos);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::kBadLength);
+  }
+}
+
+TEST(DnsName, WireRoundTripPreservesCase) {
+  // Wire parsing is byte-preserving (canonicalization is a separate, explicit
+  // step), so parse-ok implies re-serialize == input.
+  DnsName n = DnsName::FromString("WwW.ExAmPlE.CoM");
+  Bytes wire = n.ToWire();
+  size_t pos = 0;
+  Result<DnsName> parsed = DnsName::TryFromWire(wire, &pos);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().ToWire(), wire);
+  EXPECT_EQ(parsed.value().ToString(), "WwW.ExAmPlE.CoM.");
+}
+
 TEST(DnsName, CanonicalOrdering) {
   // RFC 4034 §6.1: sort by label from the right.
   EXPECT_TRUE(DnsName::FromString("example.com") < DnsName::FromString("a.example.com"));
@@ -145,12 +230,12 @@ TEST_P(SuiteTest, HierarchyChainValidates) {
 
   ChainOfTrust chain = hierarchy.BuildChain(DnsName::FromString("example.com"));
   EXPECT_EQ(chain.levels.size(), 1u);  // just .com between example.com and root
-  EXPECT_TRUE(ValidateChain(suite(), chain, chain.root_zsk));
+  EXPECT_TRUE(ValidateChain(suite(), chain, chain.root_zsk).ok());
 
   // Wrong trust anchor rejected.
   Rng rng2(999);
   Zone other(DnsName::Root(), suite(), &rng2, /*rsa_zsk=*/true);
-  EXPECT_FALSE(ValidateChain(suite(), chain, other.ZskRdata()));
+  EXPECT_FALSE(ValidateChain(suite(), chain, other.ZskRdata()).ok());
 }
 
 TEST_P(SuiteTest, TamperedChainRejected) {
@@ -158,24 +243,24 @@ TEST_P(SuiteTest, TamperedChainRejected) {
   hierarchy.AddZone(DnsName::FromString("org"));
   hierarchy.AddZone(DnsName::FromString("nope-tools.org"));
   ChainOfTrust chain = hierarchy.BuildChain(DnsName::FromString("nope-tools.org"));
-  ASSERT_TRUE(ValidateChain(suite(), chain, chain.root_zsk));
+  ASSERT_TRUE(ValidateChain(suite(), chain, chain.root_zsk).ok());
 
   // Swap the leaf KSK for an attacker key: the DS digest no longer matches.
   ChainOfTrust bad = chain;
   Rng rng(1234);
   Zone attacker(DnsName::FromString("nope-tools.org"), suite(), &rng, false);
   bad.leaf_ksk = attacker.KskRdata();
-  EXPECT_FALSE(ValidateChain(suite(), bad, chain.root_zsk));
+  EXPECT_FALSE(ValidateChain(suite(), bad, chain.root_zsk).ok());
 
   // Corrupt a DS signature byte.
   bad = chain;
   bad.leaf_ds.rrsig.signature[0] ^= 1;
-  EXPECT_FALSE(ValidateChain(suite(), bad, chain.root_zsk));
+  EXPECT_FALSE(ValidateChain(suite(), bad, chain.root_zsk).ok());
 
   // Corrupt the intermediate DNSKEY RRset.
   bad = chain;
   bad.levels[0].dnskey.rrset.rdatas[0][6] ^= 1;
-  EXPECT_FALSE(ValidateChain(suite(), bad, chain.root_zsk));
+  EXPECT_FALSE(ValidateChain(suite(), bad, chain.root_zsk).ok());
 }
 
 TEST_P(SuiteTest, DeeperHierarchy) {
@@ -185,7 +270,7 @@ TEST_P(SuiteTest, DeeperHierarchy) {
   hierarchy.AddZone(DnsName::FromString("example.co.uk"));
   ChainOfTrust chain = hierarchy.BuildChain(DnsName::FromString("example.co.uk"));
   EXPECT_EQ(chain.levels.size(), 2u);
-  EXPECT_TRUE(ValidateChain(suite(), chain, chain.root_zsk));
+  EXPECT_TRUE(ValidateChain(suite(), chain, chain.root_zsk).ok());
 }
 
 TEST_P(SuiteTest, DceChainSerializationSize) {

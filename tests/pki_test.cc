@@ -217,6 +217,81 @@ TEST(SanEncoding, MissingOrForeignSansIgnored) {
   EXPECT_FALSE(DecodeProofSans({}, domain).has_value());
 }
 
+TEST(SanEncoding, MissingSansReportedAsMissing) {
+  DnsName domain = DnsName::FromString("example.com");
+  Result<Bytes> no_sans = DecodeProofFromSans({}, domain);
+  ASSERT_FALSE(no_sans.ok());
+  EXPECT_EQ(no_sans.error().code, ErrorCode::kMissing);
+  Result<Bytes> foreign = DecodeProofFromSans({"www.example.com"}, domain);
+  ASSERT_FALSE(foreign.ok());
+  EXPECT_EQ(foreign.error().code, ErrorCode::kMissing);
+}
+
+TEST(SanEncoding, RejectsOutOfAlphabetCharacters) {
+  Rng rng(3010);
+  Bytes proof = rng.NextBytes(kSanProofBytes);
+  DnsName domain = DnsName::FromString("example.com");
+  auto sans = EncodeProofSans(proof, domain);
+  size_t payload = sans[0].find('.') + 3;
+  for (char bad : {'A', 'Z', '_', '~', ' ', '\0', '\x7f', '\x80'}) {
+    auto mutated = sans;
+    mutated[0][payload] = bad;
+    Result<Bytes> decoded = DecodeProofFromSans(mutated, domain);
+    ASSERT_FALSE(decoded.ok()) << "char " << static_cast<int>(bad);
+    EXPECT_EQ(decoded.error().code, ErrorCode::kBadEncoding)
+        << "char " << static_cast<int>(bad);
+  }
+}
+
+TEST(SanEncoding, RejectsOverLengthPayloadLabels) {
+  Rng rng(3011);
+  Bytes proof = rng.NextBytes(kSanProofBytes);
+  DnsName domain = DnsName::FromString("example.com");
+  auto sans = EncodeProofSans(proof, domain);
+  // Grow the first payload label past the 50-character budget.
+  size_t dot = sans[0].find('.');
+  sans[0].insert(dot + 5, std::string(kSanLabelChars, 'a'));
+  Result<Bytes> decoded = DecodeProofFromSans(sans, domain);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kBadLength);
+}
+
+TEST(SanEncoding, RejectsEmptyPayloadLabel) {
+  Rng rng(3012);
+  Bytes proof = rng.NextBytes(kSanProofBytes);
+  DnsName domain = DnsName::FromString("example.com");
+  auto sans = EncodeProofSans(proof, domain);
+  size_t dot = sans[0].find('.');
+  sans[0].insert(dot + 1, ".");  // empty label inside the payload
+  Result<Bytes> decoded = DecodeProofFromSans(sans, domain);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kBadEncoding);
+}
+
+TEST(SanEncoding, RejectsTruncatedPayload) {
+  Rng rng(3013);
+  Bytes proof = rng.NextBytes(kSanProofBytes);
+  DnsName domain = DnsName::FromString("example.com");
+  auto sans = EncodeProofSans(proof, domain);
+  size_t dot = sans[0].find('.');
+  sans[0].erase(dot + 1, 10);  // drop ten payload characters
+  Result<Bytes> decoded = DecodeProofFromSans(sans, domain);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kBadLength);
+}
+
+TEST(Handshake, LegacyStatusNamesAreCompleteAndDistinct) {
+  std::vector<std::string> names;
+  for (int i = 0; i < kNumLegacyStatuses; ++i) {
+    std::string name = LegacyStatusName(static_cast<LegacyStatus>(i));
+    EXPECT_NE(name, "unknown") << "status " << i;
+    for (const std::string& prior : names) {
+      EXPECT_NE(name, prior) << "status " << i;
+    }
+    names.push_back(name);
+  }
+}
+
 TEST(Handshake, LegacyVerifyPaths) {
   PkiFixture f;
   auto csr = f.Csr("example.com");
@@ -258,14 +333,14 @@ TEST(Handshake, DceBundleVerifies) {
   const CryptoSuite& suite = CryptoSuite::Toy();
   DnskeyRdata anchor = f.dns.root().ZskRdata();
 
-  EXPECT_TRUE(DceVerify(suite, bundle, domain, tls_key, anchor));
+  EXPECT_TRUE(DceVerify(suite, bundle, domain, tls_key, anchor).ok());
   // Wrong TLS key rejected.
   Bytes other_key = GenerateEcdsaKey(&f.rng).pub.Encode();
-  EXPECT_FALSE(DceVerify(suite, bundle, domain, other_key, anchor));
+  EXPECT_FALSE(DceVerify(suite, bundle, domain, other_key, anchor).ok());
   // Tampered TLSA signature rejected.
   DceBundle bad = bundle;
   bad.tlsa.rrsig.signature[0] ^= 1;
-  EXPECT_FALSE(DceVerify(suite, bad, domain, tls_key, anchor));
+  EXPECT_FALSE(DceVerify(suite, bad, domain, tls_key, anchor).ok());
   // Bandwidth: the serialized bundle is what DCE ships per handshake.
   EXPECT_GT(bundle.Serialize().size(), 200u);
 }
