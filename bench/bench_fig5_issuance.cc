@@ -5,6 +5,7 @@
 // (Certbot's 30 s propagation default, §8.2).
 #include <cstdio>
 
+#include "src/base/threadpool.h"
 #include "src/core/nope.h"
 
 using namespace nope;
@@ -23,11 +24,17 @@ int main() {
   fprintf(stderr, "[setup] trusted setup (demo profile)...\n");
   NopeDeployment deployment = NopeTrustedSetup(&dns, domain, StatementOptions::Full(), &rng);
 
+  // Proof generation threads=1 vs threads=N: same deployment, same proof
+  // bytes (see parallel_determinism_test), different wall clock.
+  ThreadPool::SetGlobalThreads(1);
+  auto with_nope_t1 = IssueCertificate(&deployment, &dns, &ca, domain, tls_key.pub.Encode(),
+                                       kNow, &rng, /*with_nope=*/true);
+  ThreadPool::SetGlobalThreads(0);
   auto with_nope = IssueCertificate(&deployment, &dns, &ca, domain, tls_key.pub.Encode(), kNow,
                                     &rng, /*with_nope=*/true);
   auto plain = IssueCertificate(nullptr, &dns, &ca, domain, tls_key.pub.Encode(), kNow, &rng,
                                 /*with_nope=*/false);
-  if (!with_nope || !plain) {
+  if (!with_nope_t1 || !with_nope || !plain) {
     fprintf(stderr, "issuance failed\n");
     return 1;
   }
@@ -65,5 +72,23 @@ int main() {
   printf("\nShape check: NOPE issuance is ~%.1fx plain ACME (paper: ~3x), with the\n",
          t.total() / p.total());
   printf("extra latency paid once per TLS key (~4x/year), off the critical path.\n");
+
+  size_t threads = ThreadPool::DefaultThreadCount();
+  printf("\nParallel proving: %.2f s at 1 thread vs %.2f s at %zu thread(s) "
+         "(%.2fx)\n",
+         with_nope_t1->timeline.proof_generation_s, t.proof_generation_s,
+         threads, with_nope_t1->timeline.proof_generation_s / t.proof_generation_s);
+
+  // One-line JSON records collected by run_benches.sh into BENCH_results.json.
+  auto emit = [](const char* metric, double value) {
+    printf("{\"bench\": \"fig5_issuance\", \"metric\": \"%s\", \"value\": %.4f}\n",
+           metric, value);
+  };
+  emit("proof_generation_s_threads1", with_nope_t1->timeline.proof_generation_s);
+  emit("proof_generation_s_threadsN", t.proof_generation_s);
+  emit("proof_speedup", with_nope_t1->timeline.proof_generation_s / t.proof_generation_s);
+  emit("threads_n", static_cast<double>(threads));
+  emit("nope_total_s", t.total());
+  emit("plain_total_s", p.total());
   return 0;
 }

@@ -5,9 +5,18 @@
 // ~m log m.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
+#include "src/base/threadpool.h"
+#include "src/ec/msm.h"
+#include "src/groth16/domain.h"
 #include "src/groth16/groth16.h"
 
 namespace nope {
@@ -64,6 +73,24 @@ void BM_Groth16Prove(benchmark::State& state) {
 BENCHMARK(BM_Groth16Prove)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 14)->Complexity()
     ->Unit(benchmark::kMillisecond);
 
+// Same prover across pool sizes; range(1) is the lane count (0 = default).
+// The determinism tests assert identical output bytes; this measures cost.
+void BM_Groth16ProveThreads(benchmark::State& state) {
+  Fixture& f = CachedFixture(static_cast<size_t>(state.range(0)));
+  ThreadPool::SetGlobalThreads(static_cast<size_t>(state.range(1)));
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(groth16::Prove(f.pk, f.cs, &rng));
+  }
+  ThreadPool::SetGlobalThreads(0);
+}
+BENCHMARK(BM_Groth16ProveThreads)
+    ->Args({1 << 12, 1})
+    ->Args({1 << 12, 2})
+    ->Args({1 << 12, 4})
+    ->Args({1 << 12, 0})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Groth16Verify(benchmark::State& state) {
   // Verification time must be independent of circuit size (§2.3).
   Fixture& f = CachedFixture(static_cast<size_t>(state.range(0)));
@@ -108,7 +135,97 @@ void BM_MillerLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_MillerLoop)->Unit(benchmark::kMillisecond);
 
+// --- Machine-readable threads comparison ------------------------------------
+//
+// Emits one-line JSON records ({"bench":...,"metric":...,"value":...}) that
+// run_benches.sh collects into BENCH_results.json, so the perf trajectory of
+// the parallel pipeline is measured, not asserted. Wall-clock speedups only
+// materialize on multi-core hosts; the records always include the measured
+// lane counts so a single-core run is interpretable.
+
+double MedianMs(const std::function<void()>& op, int runs = 3) {
+  std::vector<double> ms;
+  for (int i = 0; i < runs; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    op();
+    std::chrono::duration<double, std::milli> d =
+        std::chrono::steady_clock::now() - start;
+    ms.push_back(d.count());
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms[ms.size() / 2];
+}
+
+void EmitJson(const char* metric, double value) {
+  std::printf("{\"bench\": \"groth16\", \"metric\": \"%s\", \"value\": %.4f}\n",
+              metric, value);
+}
+
+void EmitThreadsComparison() {
+  constexpr size_t kCircuit = 1 << 12;
+  constexpr size_t kMsmSize = 4096;
+  Fixture& f = CachedFixture(kCircuit);
+
+  Rng rng(11);
+  std::vector<G1> bases;
+  std::vector<BigUInt> scalars;
+  bases.reserve(kMsmSize);
+  G1 p = G1Generator();
+  for (size_t i = 0; i < kMsmSize; ++i) {
+    bases.push_back(p);
+    p = p.Add(G1Generator());
+    scalars.push_back(BigUInt::RandomBelow(&rng, Bn254Order()));
+  }
+  EvaluationDomain domain(kMsmSize);
+  std::vector<Fr> poly(domain.size());
+  for (auto& v : poly) {
+    v = Fr::Random(&rng);
+  }
+
+  auto measure = [&](size_t threads, const char* suffix) {
+    ThreadPool::SetGlobalThreads(threads);
+    Rng prove_rng(7);
+    double prove_ms =
+        MedianMs([&] { groth16::Prove(f.pk, f.cs, &prove_rng); });
+    double msm_ms = MedianMs([&] { benchmark::DoNotOptimize(Msm(bases, scalars)); });
+    double fft_ms = MedianMs([&] {
+      std::vector<Fr> work = poly;
+      domain.CosetFft(&work);
+      domain.CosetIfft(&work);
+    });
+    char name[64];
+    std::snprintf(name, sizeof(name), "prove_ms_%s", suffix);
+    EmitJson(name, prove_ms);
+    std::snprintf(name, sizeof(name), "msm_g1_%zu_ms_%s", kMsmSize, suffix);
+    EmitJson(name, msm_ms);
+    std::snprintf(name, sizeof(name), "coset_fft_%zu_ms_%s", kMsmSize, suffix);
+    EmitJson(name, fft_ms);
+    return std::array<double, 3>{prove_ms, msm_ms, fft_ms};
+  };
+
+  auto t1 = measure(1, "threads1");
+  auto t4 = measure(4, "threads4");
+  size_t hw = ThreadPool::DefaultThreadCount();
+  auto tn = measure(hw, "threadsN");
+  ThreadPool::SetGlobalThreads(0);
+
+  EmitJson("threads_n", static_cast<double>(hw));
+  EmitJson("prove_speedup_4t", t1[0] / t4[0]);
+  EmitJson("msm_fft_speedup_4t", (t1[1] + t1[2]) / (t4[1] + t4[2]));
+  EmitJson("prove_speedup_nt", t1[0] / tn[0]);
+  EmitJson("msm_fft_speedup_nt", (t1[1] + t1[2]) / (tn[1] + tn[2]));
+}
+
 }  // namespace
 }  // namespace nope
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  nope::EmitThreadsComparison();
+  return 0;
+}

@@ -1,7 +1,8 @@
 #!/bin/bash
 # CI entry point: plain tier-1 build + tests, then an ASan/UBSan build that
-# re-runs the fast tests plus the fault-injection harness. Fails fast and
-# names the failing stage.
+# re-runs the fast tests plus the fault-injection harness, then a TSan build
+# (NOPE_SANITIZE=thread) that runs the thread-pool and cross-thread-count
+# determinism tests. Fails fast and names the failing stage.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -25,6 +26,17 @@ echo "=== stage 4: sanitized tests ==="
 for t in "${SAN_TARGETS[@]}"; do
   echo "--- $t (ASan/UBSan) ---"
   ./build-san/tests/"$t"
+done
+
+echo "=== stage 5: TSan build (parallel proving) ==="
+cmake -B build-tsan -S . -DNOPE_SANITIZE=thread >/dev/null
+TSAN_TARGETS=(threadpool_test parallel_determinism_test)
+cmake --build build-tsan -j "$(nproc)" --target "${TSAN_TARGETS[@]}"
+
+echo "=== stage 6: TSan tests ==="
+for t in "${TSAN_TARGETS[@]}"; do
+  echo "--- $t (TSan) ---"
+  ./build-tsan/tests/"$t"
 done
 
 echo "CI OK"

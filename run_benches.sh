@@ -1,15 +1,32 @@
 #!/bin/bash
 # Runs every bench binary; exits non-zero on the first failing bench and
 # names it, so a broken benchmark can't scroll by unnoticed.
+#
+# The repo root is derived from this script's own location, so it works from
+# any checkout and any cwd. Benches emit one-line JSON records of the form
+# {"bench": ..., "metric": ..., "value": ...}; those lines are collected into
+# BENCH_results.json (a JSON array) so the perf trajectory across PRs is
+# machine-readable.
 set -euo pipefail
-cd /root/repo
+cd "$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+
+json_lines="$(mktemp)"
+bench_out="$(mktemp)"
+trap 'rm -f "$json_lines" "$bench_out"' EXIT
+
 for b in build/bench/*; do
   if [ -x "$b" ] && [ -f "$b" ]; then
     echo "===== $b ====="
-    if ! "$b" 2>&1; then
+    if ! "$b" 2>&1 | tee "$bench_out"; then
       echo "FAILED: $b" >&2
       exit 1
     fi
+    grep '^{"bench"' "$bench_out" >> "$json_lines" || true
     echo
   fi
 done
+
+awk 'BEGIN { print "[" }
+     { printf "%s  %s", (NR > 1 ? ",\n" : ""), $0 }
+     END { if (NR > 0) printf "\n"; print "]" }' "$json_lines" > BENCH_results.json
+echo "wrote BENCH_results.json ($(grep -c '"bench"' BENCH_results.json || true) records)"

@@ -1,0 +1,36 @@
+// Aborting invariant checks for trusted, prover-side code paths.
+//
+// The untrusted-input surface uses Result<T>/Status (src/base/result.h) and
+// never aborts on hostile bytes. NOPE_INVARIANT is the complement: it guards
+// conditions that only a programming error can violate (mismatched vector
+// sizes fed to Msm, an FFT input of the wrong length, a domain larger than
+// the field's 2-adicity). Such states mean the prover itself is broken, so
+// the correct response is a loud, immediate abort with context -- not an
+// exception (the hardened library code is exception-free) and not a Result
+// (there is no caller that could meaningfully recover).
+#ifndef SRC_BASE_CHECK_H_
+#define SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nope {
+
+[[noreturn]] inline void InvariantFail(const char* file, int line,
+                                       const char* cond, const char* msg) {
+  std::fprintf(stderr, "NOPE_INVARIANT failed at %s:%d: (%s) %s\n", file, line,
+               cond, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace nope
+
+#define NOPE_INVARIANT(cond, msg)                              \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::nope::InvariantFail(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                          \
+  } while (0)
+
+#endif  // SRC_BASE_CHECK_H_

@@ -1,0 +1,175 @@
+#include "src/base/threadpool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace nope {
+
+namespace {
+
+// Set for the lifetime of each worker thread; ParallelFor consults it to run
+// nested calls inline instead of re-entering the queue.
+thread_local bool tls_in_worker = false;
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool>& GlobalSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_worker = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and queue drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_chunk,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) {
+    return;
+  }
+  size_t count = end - begin;
+  if (min_chunk == 0) {
+    min_chunk = 1;
+  }
+  size_t shares = std::min(workers_.size() + 1, (count + min_chunk - 1) / min_chunk);
+  if (shares <= 1 || tls_in_worker) {
+    fn(begin, end);
+    return;
+  }
+
+  // Per-call completion state shared with the enqueued tasks. Tasks may
+  // outlive this stack frame only until `pending` hits zero, which the
+  // caller waits for, so a shared_ptr keeps the state alive either way.
+  struct ForState {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<ForState>();
+  state->pending = shares - 1;
+
+  size_t base = count / shares;
+  size_t extra = count % shares;
+  // Share i covers [begin + i*base + min(i, extra), ...) -- contiguous,
+  // balanced to within one element. Share 0 runs on the calling thread.
+  auto share_bounds = [&](size_t i) {
+    size_t lo = begin + i * base + std::min(i, extra);
+    size_t hi = lo + base + (i < extra ? 1 : 0);
+    return std::pair<size_t, size_t>(lo, hi);
+  };
+
+  for (size_t i = 1; i < shares; ++i) {
+    auto [lo, hi] = share_bounds(i);
+    Enqueue([state, &fn, lo, hi] {
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->first_error) {
+          state->first_error = std::current_exception();
+        }
+      }
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->pending == 0) {
+        state->cv.notify_all();
+      }
+    });
+  }
+
+  auto [lo0, hi0] = share_bounds(0);
+  try {
+    fn(lo0, hi0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (!state->first_error) {
+      state->first_error = std::current_exception();
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->pending == 0; });
+  if (state->first_error) {
+    std::exception_ptr err = state->first_error;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+bool ThreadPool::InWorker() { return tls_in_worker; }
+
+size_t ThreadPool::DefaultThreadCount() {
+  const char* env = std::getenv("NOPE_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* rest = nullptr;
+    long v = std::strtol(env, &rest, 10);
+    if (rest != nullptr && *rest == '\0' && v > 0) {
+      return static_cast<size_t>(v);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  auto& slot = GlobalSlot();
+  if (!slot) {
+    slot = std::make_unique<ThreadPool>(DefaultThreadCount());
+  }
+  return *slot;
+}
+
+void ThreadPool::SetGlobalThreads(size_t n) {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  auto& slot = GlobalSlot();
+  slot.reset();
+  slot = std::make_unique<ThreadPool>(n > 0 ? n : DefaultThreadCount());
+}
+
+size_t ThreadPool::GlobalThreads() { return Global().num_threads(); }
+
+}  // namespace nope

@@ -1,0 +1,97 @@
+// Fixed-size thread pool driving the prover's data-parallel loops (MSM
+// bucket accumulation, FFT butterfly stages, per-wire QAP evaluations).
+//
+// Design constraints, in order:
+//   1. Determinism: thread count must never change output bytes. The pool
+//      therefore does no work stealing and no dynamic load balancing that a
+//      caller could observe; callers either (a) write disjoint elements whose
+//      values are order-independent (canonical Montgomery field elements), or
+//      (b) fix their chunk layout as a function of the input size only and
+//      merge chunk results in serial chunk order (MSM buckets, whose Jacobian
+//      representation is order-sensitive).
+//   2. No nested parallelism: a ParallelFor issued from inside a pool task
+//      runs inline on that worker (serial), so recursive fan-out can neither
+//      deadlock the fixed-size pool nor oversubscribe the machine.
+//   3. Exceptions raised by tasks are captured and rethrown on the calling
+//      thread after the loop completes; the pool stays usable.
+//
+// Thread count: ThreadPool::Global() sizes itself from the NOPE_THREADS
+// environment variable, falling back to std::thread::hardware_concurrency().
+// SetGlobalThreads(n) replaces the global pool (n == 0 restores the
+// environment default); it must not race with in-flight parallel work and
+// exists for benchmarks (threads=1 vs threads=N) and determinism tests.
+#ifndef SRC_BASE_THREADPOOL_H_
+#define SRC_BASE_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nope {
+
+class ThreadPool {
+ public:
+  // A pool of `num_threads` total lanes: the calling thread participates in
+  // every ParallelFor, so `num_threads == 1` spawns no workers at all and
+  // every loop runs inline.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total lanes (workers + the participating caller).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  // Invokes fn on disjoint subranges that exactly cover [begin, end). Each
+  // subrange holds at least min_chunk elements (except possibly the last),
+  // and at most num_threads() subranges are created. Returns after every
+  // subrange completed; rethrows the first task exception on this thread.
+  //
+  // The subrange boundaries depend on the pool size, so fn must be safe to
+  // call with ANY partition of [begin, end): either each index's work is
+  // independent and order-insensitive, or the caller fixes its own
+  // deterministic chunk grid and uses ParallelFor only over chunk indices.
+  //
+  // Zero-size ranges return immediately without invoking fn. Calls from
+  // inside a pool task run fn(begin, end) inline (nested-parallelism
+  // rejection, see header comment).
+  void ParallelFor(size_t begin, size_t end, size_t min_chunk,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  // True when the calling thread is one of this process's pool workers.
+  static bool InWorker();
+
+  // Process-wide pool shared by MSM / FFT / prover loops. Created on first
+  // use with DefaultThreadCount() lanes.
+  static ThreadPool& Global();
+
+  // Replaces the global pool with one of `n` lanes (0 = DefaultThreadCount()).
+  // Callers must ensure no parallel work is in flight.
+  static void SetGlobalThreads(size_t n);
+
+  // Lanes of the current global pool (creates it if needed).
+  static size_t GlobalThreads();
+
+  // NOPE_THREADS if set to a positive integer, else hardware_concurrency()
+  // (else 1). Exposed for tests.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+  void Enqueue(std::function<void()> task);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace nope
+
+#endif  // SRC_BASE_THREADPOOL_H_

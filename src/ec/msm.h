@@ -1,14 +1,23 @@
 // Multi-scalar multiplication via Pippenger's bucket method. This dominates
 // Groth16 proving time, which is why the paper's headline prover costs scale
 // with the number of R1CS constraints (§4.1, §8.2).
+//
+// Large inputs run the bucket accumulation in parallel on the global
+// ThreadPool. Determinism contract: the chunk grid is a function of the
+// input size only (never of the thread count), each chunk owns a private
+// bucket array, and chunk buckets are merged in serial chunk order, so the
+// returned Jacobian point is bit-identical for any NOPE_THREADS value --
+// including the degenerate 1-lane pool running every chunk inline.
 #ifndef SRC_EC_MSM_H_
 #define SRC_EC_MSM_H_
 
+#include <algorithm>
 #include <cstddef>
-#include <stdexcept>
 #include <vector>
 
 #include "src/base/biguint.h"
+#include "src/base/check.h"
+#include "src/base/threadpool.h"
 
 namespace nope {
 
@@ -34,13 +43,20 @@ inline size_t PickWindow(size_t n) {
   }
   return c > 16 ? 16 : c;
 }
+
+// Inputs below this size take the single-pass serial path; at or above it,
+// the fixed-chunk-grid path (which parallelizes when lanes are available).
+// The path choice depends only on n, preserving the determinism contract.
+constexpr size_t kParallelCutoff = 256;
 }  // namespace msm_detail
 
 template <typename Point>
 Point Msm(const std::vector<Point>& bases, const std::vector<BigUInt>& scalars) {
-  if (bases.size() != scalars.size()) {
-    throw std::invalid_argument("Msm: bases/scalars size mismatch");
-  }
+  // A size mismatch means the caller assembled its query/scalar vectors
+  // incorrectly -- a programming error on the trusted prover/verifier side,
+  // never a property of hostile input (parsers bound sizes before this).
+  NOPE_INVARIANT(bases.size() == scalars.size(),
+                 "Msm: bases/scalars size mismatch");
   if (bases.empty()) {
     return Point::Infinity();
   }
@@ -49,30 +65,87 @@ Point Msm(const std::vector<Point>& bases, const std::vector<BigUInt>& scalars) 
   for (const auto& s : scalars) {
     max_bits = std::max(max_bits, s.BitLength());
   }
-  size_t c = msm_detail::PickWindow(bases.size());
-  size_t windows = (max_bits + c - 1) / c;
+  const size_t n = bases.size();
+  const size_t c = msm_detail::PickWindow(n);
+  const size_t windows = (max_bits + c - 1) / c;
+  const size_t num_buckets = (size_t{1} << c) - 1;
+
+  if (n < msm_detail::kParallelCutoff) {
+    Point result = Point::Infinity();
+    std::vector<Point> buckets(num_buckets);
+    for (size_t w = windows; w-- > 0;) {
+      for (size_t d = 0; d < c; ++d) {
+        result = result.Double();
+      }
+      for (auto& b : buckets) {
+        b = Point::Infinity();
+      }
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t idx = msm_detail::WindowBits(scalars[i], w * c, c);
+        if (idx != 0) {
+          buckets[idx - 1] = buckets[idx - 1].Add(bases[i]);
+        }
+      }
+      // Sum of idx * bucket[idx] via running suffix sums.
+      Point running = Point::Infinity();
+      Point window_sum = Point::Infinity();
+      for (size_t idx = buckets.size(); idx-- > 0;) {
+        running = running.Add(buckets[idx]);
+        window_sum = window_sum.Add(running);
+      }
+      result = result.Add(window_sum);
+    }
+    return result;
+  }
+
+  // Fixed chunk grid: ~2 * 2^c points per chunk keeps each private bucket
+  // array reasonably dense, so the serial-order merge below costs a fraction
+  // of the accumulation it follows.
+  const size_t chunk_size =
+      std::max(msm_detail::kParallelCutoff, size_t{2} << c);
+  const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+
+  ThreadPool& pool = ThreadPool::Global();
+  std::vector<std::vector<Point>> chunk_buckets(
+      num_chunks, std::vector<Point>(num_buckets, Point::Infinity()));
+  std::vector<Point> merged(num_buckets, Point::Infinity());
 
   Point result = Point::Infinity();
-  std::vector<Point> buckets((size_t{1} << c) - 1);
-
   for (size_t w = windows; w-- > 0;) {
     for (size_t d = 0; d < c; ++d) {
       result = result.Double();
     }
-    for (auto& b : buckets) {
-      b = Point::Infinity();
-    }
-    for (size_t i = 0; i < bases.size(); ++i) {
-      uint64_t idx = msm_detail::WindowBits(scalars[i], w * c, c);
-      if (idx != 0) {
-        buckets[idx - 1] = buckets[idx - 1].Add(bases[i]);
+    // Phase 1: each chunk accumulates its own points into private buckets.
+    pool.ParallelFor(0, num_chunks, 1, [&](size_t lo, size_t hi) {
+      for (size_t ci = lo; ci < hi; ++ci) {
+        auto& buckets = chunk_buckets[ci];
+        std::fill(buckets.begin(), buckets.end(), Point::Infinity());
+        size_t i_end = std::min(n, (ci + 1) * chunk_size);
+        for (size_t i = ci * chunk_size; i < i_end; ++i) {
+          uint64_t idx = msm_detail::WindowBits(scalars[i], w * c, c);
+          if (idx != 0) {
+            buckets[idx - 1] = buckets[idx - 1].Add(bases[i]);
+          }
+        }
       }
-    }
-    // Sum of idx * bucket[idx] via running suffix sums.
+    });
+    // Phase 2: merge per-bucket across chunks, always in chunk order so the
+    // Jacobian representation is independent of the bucket partitioning.
+    pool.ParallelFor(0, num_buckets, 64, [&](size_t lo, size_t hi) {
+      for (size_t idx = lo; idx < hi; ++idx) {
+        Point sum = chunk_buckets[0][idx];
+        for (size_t ci = 1; ci < num_chunks; ++ci) {
+          sum = sum.Add(chunk_buckets[ci][idx]);
+        }
+        merged[idx] = sum;
+      }
+    });
+    // Phase 3: serial window reduction (suffix sums), identical to the
+    // serial path's bucket walk.
     Point running = Point::Infinity();
     Point window_sum = Point::Infinity();
-    for (size_t idx = buckets.size(); idx-- > 0;) {
-      running = running.Add(buckets[idx]);
+    for (size_t idx = merged.size(); idx-- > 0;) {
+      running = running.Add(merged[idx]);
       window_sum = window_sum.Add(running);
     }
     result = result.Add(window_sum);

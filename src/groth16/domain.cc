@@ -1,12 +1,23 @@
 #include "src/groth16/domain.h"
 
-#include <stdexcept>
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/base/threadpool.h"
 
 namespace nope {
 
 namespace {
 
 constexpr size_t kTwoAdicity = 28;
+
+// Minimum elements per parallel share. Below these, ParallelFor collapses to
+// an inline serial call, so they double as the serial/parallel cutoffs.
+// Values are order-independent either way (canonical Montgomery form), so
+// the cutoffs affect scheduling only, never output bytes.
+constexpr size_t kButterflyMinChunk = 256;   // butterflies per FFT share
+constexpr size_t kScaleMinChunk = 1024;      // elements per scaling share
+constexpr size_t kBatchInvertBlock = 1024;   // fixed block grid for inversion
 
 // An element of order exactly 2^28 in Fr*, found once at startup.
 const Fr& TwoAdicRoot() {
@@ -34,61 +45,133 @@ size_t NextPowerOfTwo(size_t v) {
 
 void BitReverse(std::vector<Fr>* a, size_t log_n) {
   size_t n = a->size();
-  for (size_t i = 0; i < n; ++i) {
-    size_t j = 0;
-    for (size_t b = 0; b < log_n; ++b) {
-      if (i & (size_t{1} << b)) {
-        j |= size_t{1} << (log_n - 1 - b);
+  // Each index pair (i, rev(i)) is swapped by exactly one iteration (the one
+  // with i < rev(i)); bit-reversal is an involution, so shares write disjoint
+  // element pairs and the result is partition-independent.
+  ThreadPool::Global().ParallelFor(0, n, kScaleMinChunk, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      size_t j = 0;
+      for (size_t b = 0; b < log_n; ++b) {
+        if (i & (size_t{1} << b)) {
+          j |= size_t{1} << (log_n - 1 - b);
+        }
+      }
+      if (i < j) {
+        std::swap((*a)[i], (*a)[j]);
       }
     }
-    if (i < j) {
-      std::swap((*a)[i], (*a)[j]);
-    }
-  }
+  });
 }
 
 void FftInternal(std::vector<Fr>* a, size_t log_n, const Fr& omega) {
   BitReverse(a, log_n);
   size_t n = a->size();
+  ThreadPool& pool = ThreadPool::Global();
   for (size_t s = 1; s <= log_n; ++s) {
     size_t m = size_t{1} << s;
+    size_t half = m / 2;
     Fr wm = omega;
     for (size_t i = 0; i < log_n - s; ++i) {
       wm = wm.Square();
     }
-    for (size_t k = 0; k < n; k += m) {
-      Fr w = Fr::One();
-      for (size_t j = 0; j < m / 2; ++j) {
-        Fr t = w * (*a)[k + j + m / 2];
+    // Flatten the stage into n/2 independent butterflies: butterfly t lives
+    // in block t/half at offset j = t%half and touches exactly a[k+j] and
+    // a[k+j+half], so any partition of [0, n/2) computes identical bytes.
+    pool.ParallelFor(0, n / 2, kButterflyMinChunk, [&](size_t lo, size_t hi) {
+      size_t j = lo % half;
+      Fr w = (j == 0) ? Fr::One() : wm.Pow(BigUInt(static_cast<uint64_t>(j)));
+      for (size_t t = lo; t < hi; ++t) {
+        if (j == half) {
+          j = 0;
+          w = Fr::One();
+        }
+        size_t k = (t / half) * m;
+        Fr tv = w * (*a)[k + j + half];
         Fr u = (*a)[k + j];
-        (*a)[k + j] = u + t;
-        (*a)[k + j + m / 2] = u - t;
+        (*a)[k + j] = u + tv;
+        (*a)[k + j + half] = u - tv;
         w = w * wm;
+        ++j;
       }
-    }
+    });
   }
 }
 
 }  // namespace
 
 void BatchInvert(std::vector<Fr>* values) {
-  std::vector<Fr> prefix(values->size());
+  const size_t n = values->size();
+  if (n < 2 * kBatchInvertBlock) {
+    // Serial Montgomery trick.
+    std::vector<Fr> prefix(n);
+    Fr acc = Fr::One();
+    for (size_t i = 0; i < n; ++i) {
+      prefix[i] = acc;
+      if (!(*values)[i].IsZero()) {
+        acc = acc * (*values)[i];
+      }
+    }
+    Fr inv = acc.Inverse();
+    for (size_t i = n; i-- > 0;) {
+      if ((*values)[i].IsZero()) {
+        continue;
+      }
+      Fr orig = (*values)[i];
+      (*values)[i] = inv * prefix[i];
+      inv = inv * orig;
+    }
+    return;
+  }
+
+  // Blocked Montgomery trick: the block grid depends on n only, and field
+  // values are canonical, so the output never depends on the thread count.
+  const size_t num_blocks = (n + kBatchInvertBlock - 1) / kBatchInvertBlock;
+  std::vector<Fr> prefix(n);  // within-block prefix products
+  std::vector<Fr> block_total(num_blocks);
+  ThreadPool& pool = ThreadPool::Global();
+  pool.ParallelFor(0, num_blocks, 1, [&](size_t lo, size_t hi) {
+    for (size_t b = lo; b < hi; ++b) {
+      Fr acc = Fr::One();
+      size_t i_end = std::min(n, (b + 1) * kBatchInvertBlock);
+      for (size_t i = b * kBatchInvertBlock; i < i_end; ++i) {
+        prefix[i] = acc;
+        if (!(*values)[i].IsZero()) {
+          acc = acc * (*values)[i];
+        }
+      }
+      block_total[b] = acc;
+    }
+  });
+
+  // Serial cross-block combine: one inversion total, as before.
+  std::vector<Fr> block_prefix(num_blocks);
+  std::vector<Fr> block_suffix(num_blocks + 1);
   Fr acc = Fr::One();
-  for (size_t i = 0; i < values->size(); ++i) {
-    prefix[i] = acc;
-    if (!(*values)[i].IsZero()) {
-      acc = acc * (*values)[i];
-    }
+  for (size_t b = 0; b < num_blocks; ++b) {
+    block_prefix[b] = acc;
+    acc = acc * block_total[b];
   }
-  Fr inv = acc.Inverse();
-  for (size_t i = values->size(); i-- > 0;) {
-    if ((*values)[i].IsZero()) {
-      continue;
-    }
-    Fr orig = (*values)[i];
-    (*values)[i] = inv * prefix[i];
-    inv = inv * orig;
+  Fr total_inv = acc.Inverse();
+  block_suffix[num_blocks] = Fr::One();
+  for (size_t b = num_blocks; b-- > 0;) {
+    block_suffix[b] = block_total[b] * block_suffix[b + 1];
   }
+
+  pool.ParallelFor(0, num_blocks, 1, [&](size_t lo, size_t hi) {
+    for (size_t b = lo; b < hi; ++b) {
+      // Inverse of the product of non-zero values in blocks 0..b.
+      Fr inv = total_inv * block_suffix[b + 1];
+      size_t i_begin = b * kBatchInvertBlock;
+      for (size_t i = std::min(n, (b + 1) * kBatchInvertBlock); i-- > i_begin;) {
+        if ((*values)[i].IsZero()) {
+          continue;
+        }
+        Fr orig = (*values)[i];
+        (*values)[i] = inv * (block_prefix[b] * prefix[i]);
+        inv = inv * orig;
+      }
+    }
+  });
 }
 
 EvaluationDomain::EvaluationDomain(size_t min_size) {
@@ -97,9 +180,10 @@ EvaluationDomain::EvaluationDomain(size_t min_size) {
   while ((size_t{1} << log_size_) < size_) {
     ++log_size_;
   }
-  if (log_size_ > kTwoAdicity) {
-    throw std::length_error("domain exceeds field 2-adicity");
-  }
+  // Circuit sizes are fixed by the statement builders long before proving;
+  // outgrowing the field's 2-adic subgroup is a build-time defect, not a
+  // runtime input condition.
+  NOPE_INVARIANT(log_size_ <= kTwoAdicity, "domain exceeds field 2-adicity");
   omega_ = TwoAdicRoot();
   for (size_t i = log_size_; i < kTwoAdicity; ++i) {
     omega_ = omega_.Square();
@@ -118,38 +202,43 @@ EvaluationDomain::EvaluationDomain(size_t min_size) {
 }
 
 void EvaluationDomain::Fft(std::vector<Fr>* a) const {
-  if (a->size() != size_) {
-    throw std::invalid_argument("FFT input size mismatch");
-  }
+  NOPE_INVARIANT(a->size() == size_, "FFT input size mismatch");
   FftInternal(a, log_size_, omega_);
 }
 
 void EvaluationDomain::Ifft(std::vector<Fr>* a) const {
-  if (a->size() != size_) {
-    throw std::invalid_argument("IFFT input size mismatch");
-  }
+  NOPE_INVARIANT(a->size() == size_, "IFFT input size mismatch");
   FftInternal(a, log_size_, omega_inv_);
-  for (auto& v : *a) {
-    v = v * size_inv_;
-  }
+  ThreadPool::Global().ParallelFor(0, a->size(), kScaleMinChunk,
+                                   [&](size_t lo, size_t hi) {
+                                     for (size_t i = lo; i < hi; ++i) {
+                                       (*a)[i] = (*a)[i] * size_inv_;
+                                     }
+                                   });
+}
+
+// Multiplies a[i] by factor^i for i in [0, a->size()). Shares re-derive
+// their starting power with one Pow, then walk multiplicatively.
+void EvaluationDomain::ScaleByPowers(std::vector<Fr>* a, const Fr& factor) {
+  ThreadPool::Global().ParallelFor(
+      0, a->size(), kScaleMinChunk, [&](size_t lo, size_t hi) {
+        Fr power = (lo == 0) ? Fr::One()
+                             : factor.Pow(BigUInt(static_cast<uint64_t>(lo)));
+        for (size_t i = lo; i < hi; ++i) {
+          (*a)[i] = (*a)[i] * power;
+          power = power * factor;
+        }
+      });
 }
 
 void EvaluationDomain::CosetFft(std::vector<Fr>* a) const {
-  Fr power = Fr::One();
-  for (auto& v : *a) {
-    v = v * power;
-    power = power * shift_;
-  }
+  ScaleByPowers(a, shift_);
   Fft(a);
 }
 
 void EvaluationDomain::CosetIfft(std::vector<Fr>* a) const {
   Ifft(a);
-  Fr power = Fr::One();
-  for (auto& v : *a) {
-    v = v * power;
-    power = power * shift_inv_;
-  }
+  ScaleByPowers(a, shift_inv_);
 }
 
 Fr EvaluationDomain::VanishingOnCoset() const {
@@ -175,16 +264,23 @@ std::vector<Fr> EvaluationDomain::LagrangeAt(const Fr& tau) const {
     return out;
   }
   std::vector<Fr> denoms(size_);
-  Fr point = Fr::One();
-  for (size_t j = 0; j < size_; ++j) {
-    denoms[j] = (tau - point) * Fr::FromU64(size_);
-    out[j] = z * point;
-    point = point * omega_;
-  }
+  ThreadPool& pool = ThreadPool::Global();
+  pool.ParallelFor(0, size_, kScaleMinChunk, [&](size_t lo, size_t hi) {
+    Fr point = (lo == 0) ? Fr::One()
+                         : omega_.Pow(BigUInt(static_cast<uint64_t>(lo)));
+    Fr scale = Fr::FromU64(size_);
+    for (size_t j = lo; j < hi; ++j) {
+      denoms[j] = (tau - point) * scale;
+      out[j] = z * point;
+      point = point * omega_;
+    }
+  });
   BatchInvert(&denoms);
-  for (size_t j = 0; j < size_; ++j) {
-    out[j] = out[j] * denoms[j];
-  }
+  pool.ParallelFor(0, size_, kScaleMinChunk, [&](size_t lo, size_t hi) {
+    for (size_t j = lo; j < hi; ++j) {
+      out[j] = out[j] * denoms[j];
+    }
+  });
   return out;
 }
 

@@ -1,5 +1,8 @@
 // Radix-2 FFT evaluation domains over BN254's scalar field (2-adicity 28).
 // Used by the Groth16 prover's QAP division and by trusted setup.
+// Transforms and batch inversion run data-parallel on the global ThreadPool;
+// output bytes are independent of the thread count (DESIGN.md, "Parallel
+// proving").
 #ifndef SRC_GROTH16_DOMAIN_H_
 #define SRC_GROTH16_DOMAIN_H_
 
@@ -11,7 +14,8 @@ namespace nope {
 
 class EvaluationDomain {
  public:
-  // Rounds min_size up to the next power of two (throws past 2^28).
+  // Rounds min_size up to the next power of two (aborts past 2^28 -- a
+  // statement-builder defect, see NOPE_INVARIANT in src/base/check.h).
   explicit EvaluationDomain(size_t min_size);
 
   size_t size() const { return size_; }
@@ -33,6 +37,8 @@ class EvaluationDomain {
   std::vector<Fr> LagrangeAt(const Fr& tau) const;
 
  private:
+  static void ScaleByPowers(std::vector<Fr>* a, const Fr& factor);
+
   size_t size_;
   size_t log_size_;
   Fr omega_;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/base/threadpool.h"
 #include "src/ec/msm.h"
 #include "src/groth16/fixed_base.h"
 
@@ -205,12 +206,19 @@ G2 DecodeG2(const Bytes& bytes) {
 
 // --- Helpers ----------------------------------------------------------------
 
+// Minimum elements per parallel share for the element-independent loops
+// below; each element's value is canonical, so partitioning never changes
+// output bytes.
+constexpr size_t kProveMinChunk = 256;
+
 std::vector<BigUInt> ToScalars(const std::vector<Fr>& values, size_t begin, size_t end) {
-  std::vector<BigUInt> out;
-  out.reserve(end - begin);
-  for (size_t i = begin; i < end; ++i) {
-    out.push_back(values[i].ToBigUInt());
-  }
+  std::vector<BigUInt> out(end - begin);
+  ThreadPool::Global().ParallelFor(
+      0, end - begin, kProveMinChunk, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          out[i] = values[begin + i].ToBigUInt();
+        }
+      });
   return out;
 }
 
@@ -327,33 +335,49 @@ ProvingKey Setup(const ConstraintSystem& cs, Rng* rng) {
   pk.beta_g1 = t1.Mul(beta.ToBigUInt());
   pk.delta_g1 = t1.Mul(delta.ToBigUInt());
 
-  pk.a_query.reserve(num_vars);
-  pk.b_g1_query.reserve(num_vars);
-  pk.b_g2_query.reserve(num_vars);
-  for (size_t i = 0; i < num_vars; ++i) {
-    pk.a_query.push_back(t1.Mul(a_tau[i].ToBigUInt()));
-    pk.b_g1_query.push_back(t1.Mul(b_tau[i].ToBigUInt()));
-    pk.b_g2_query.push_back(t2.Mul(b_tau[i].ToBigUInt()));
-  }
+  // The query tables are hundreds of thousands of independent fixed-base
+  // multiplications; each slot is written exactly once, so any partition
+  // yields identical tables.
+  ThreadPool& pool = ThreadPool::Global();
+  constexpr size_t kSetupMinChunk = 64;
+  pk.a_query.resize(num_vars);
+  pk.b_g1_query.resize(num_vars);
+  pk.b_g2_query.resize(num_vars);
+  pool.ParallelFor(0, num_vars, kSetupMinChunk, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      pk.a_query[i] = t1.Mul(a_tau[i].ToBigUInt());
+      pk.b_g1_query[i] = t1.Mul(b_tau[i].ToBigUInt());
+      pk.b_g2_query[i] = t2.Mul(b_tau[i].ToBigUInt());
+    }
+  });
 
   pk.vk.ic.reserve(num_public);
   for (size_t i = 0; i < num_public; ++i) {
     Fr k = (beta * a_tau[i] + alpha * b_tau[i] + c_tau[i]) * gamma_inv;
     pk.vk.ic.push_back(t1.Mul(k.ToBigUInt()));
   }
-  pk.l_query.reserve(num_vars - num_public);
-  for (size_t i = num_public; i < num_vars; ++i) {
-    Fr k = (beta * a_tau[i] + alpha * b_tau[i] + c_tau[i]) * delta_inv;
-    pk.l_query.push_back(t1.Mul(k.ToBigUInt()));
-  }
+  pk.l_query.resize(num_vars - num_public);
+  pool.ParallelFor(num_public, num_vars, kSetupMinChunk,
+                   [&](size_t lo, size_t hi) {
+                     for (size_t i = lo; i < hi; ++i) {
+                       Fr k = (beta * a_tau[i] + alpha * b_tau[i] + c_tau[i]) *
+                              delta_inv;
+                       pk.l_query[i - num_public] = t1.Mul(k.ToBigUInt());
+                     }
+                   });
 
   Fr z_tau = domain.EvaluateVanishing(tau);
-  Fr power = z_tau * delta_inv;
-  pk.h_query.reserve(domain.size() - 1);
-  for (size_t i = 0; i + 1 < domain.size(); ++i) {
-    pk.h_query.push_back(t1.Mul(power.ToBigUInt()));
-    power = power * tau;
-  }
+  Fr h_base = z_tau * delta_inv;
+  pk.h_query.resize(domain.size() - 1);
+  pool.ParallelFor(0, domain.size() - 1, kSetupMinChunk,
+                   [&](size_t lo, size_t hi) {
+                     Fr power =
+                         h_base * tau.Pow(BigUInt(static_cast<uint64_t>(lo)));
+                     for (size_t i = lo; i < hi; ++i) {
+                       pk.h_query[i] = t1.Mul(power.ToBigUInt());
+                       power = power * tau;
+                     }
+                   });
   return pk;
 }
 
@@ -376,11 +400,15 @@ Proof Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng) {
   std::vector<Fr> b_vals(n, Fr::Zero());
   std::vector<Fr> c_vals(n, Fr::Zero());
   const auto& constraints = cs.constraints();
-  for (size_t j = 0; j < constraints.size(); ++j) {
-    a_vals[j] = cs.Eval(constraints[j].a);
-    b_vals[j] = cs.Eval(constraints[j].b);
-    c_vals[j] = cs.Eval(constraints[j].c);
-  }
+  ThreadPool& pool = ThreadPool::Global();
+  pool.ParallelFor(0, constraints.size(), kProveMinChunk,
+                   [&](size_t lo, size_t hi) {
+                     for (size_t j = lo; j < hi; ++j) {
+                       a_vals[j] = cs.Eval(constraints[j].a);
+                       b_vals[j] = cs.Eval(constraints[j].b);
+                       c_vals[j] = cs.Eval(constraints[j].c);
+                     }
+                   });
   for (size_t i = 0; i < pk.num_public; ++i) {
     a_vals[pk.num_constraints + i] = cs.ValueOf(static_cast<Var>(i));
   }
@@ -393,19 +421,22 @@ Proof Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng) {
   domain.CosetFft(&c_vals);
   Fr z_inv = domain.VanishingOnCoset().Inverse();
   std::vector<Fr> h(n);
-  for (size_t k = 0; k < n; ++k) {
-    h[k] = (a_vals[k] * b_vals[k] - c_vals[k]) * z_inv;
-  }
+  pool.ParallelFor(0, n, kProveMinChunk, [&](size_t lo, size_t hi) {
+    for (size_t k = lo; k < hi; ++k) {
+      h[k] = (a_vals[k] * b_vals[k] - c_vals[k]) * z_inv;
+    }
+  });
   domain.CosetIfft(&h);
 
   const std::vector<Fr>& values = cs.values();
   std::vector<BigUInt> z_all = ToScalars(values, 0, values.size());
   std::vector<BigUInt> z_wit = ToScalars(values, pk.num_public, values.size());
-  std::vector<BigUInt> h_scalars;
-  h_scalars.reserve(n - 1);
-  for (size_t i = 0; i + 1 < n; ++i) {
-    h_scalars.push_back(h[i].ToBigUInt());
-  }
+  std::vector<BigUInt> h_scalars(n - 1);
+  pool.ParallelFor(0, n - 1, kProveMinChunk, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      h_scalars[i] = h[i].ToBigUInt();
+    }
+  });
 
   Fr r = Fr::Random(rng);
   Fr s = Fr::Random(rng);

@@ -84,7 +84,9 @@ TEST(Msm, HandlesZeroScalarsAndInfinity) {
   G1 expected = G1Generator().Double().ScalarMul(BigUInt(3));
   EXPECT_TRUE(Msm(bases, scalars).Equals(expected));
   EXPECT_TRUE(Msm<G1>({}, {}).IsInfinity());
-  EXPECT_THROW(Msm<G1>({G1Generator()}, {}), std::invalid_argument);
+  // Size mismatches are programming errors: Msm aborts via NOPE_INVARIANT
+  // instead of throwing (the library is exception-free, see result.h).
+  EXPECT_DEATH(Msm<G1>({G1Generator()}, {}), "bases/scalars size mismatch");
 }
 
 TEST(EcPoint, AffineRoundTrip) {

@@ -1,0 +1,240 @@
+// Cross-thread-count determinism: the parallel proving pipeline must return
+// byte-identical results for every NOPE_THREADS value. Field elements are
+// canonical (fully reduced Montgomery form), so any Fr mismatch or any
+// Jacobian-coordinate mismatch in an MSM result indicates the chunk grid or
+// merge order leaked the thread count. Sizes deliberately straddle the
+// serial/parallel cutoffs (msm_detail::kParallelCutoff, the ParallelFor
+// min-chunk sizes, and BatchInvert's 2*1024 block threshold).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/base/threadpool.h"
+#include "src/ec/bn254.h"
+#include "src/ec/msm.h"
+#include "src/groth16/groth16.h"
+
+namespace nope {
+namespace {
+
+std::vector<size_t> ThreadCounts() {
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) {
+    hw = 1;
+  }
+  return {1, 2, 7, hw};
+}
+
+// Exact representation equality -- stricter than Equals(), which compares
+// the group element modulo the Jacobian z factor.
+bool FieldRepEq(const Fq& a, const Fq& b) { return a.limbs() == b.limbs(); }
+bool FieldRepEq(const Fp2& a, const Fp2& b) {
+  return FieldRepEq(a.c0, b.c0) && FieldRepEq(a.c1, b.c1);
+}
+template <typename Point>
+bool PointRepEq(const Point& a, const Point& b) {
+  return FieldRepEq(a.x, b.x) && FieldRepEq(a.y, b.y) && FieldRepEq(a.z, b.z);
+}
+
+class ParallelDeterminism : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::SetGlobalThreads(0); }
+};
+
+TEST_F(ParallelDeterminism, MsmG1BitIdenticalAcrossThreadCounts) {
+  Rng rng(4242);
+  // 255/256/257 straddle msm_detail::kParallelCutoff; 1500 spans multiple
+  // chunks of the fixed grid.
+  for (size_t n : {3u, 100u, 255u, 256u, 257u, 1500u}) {
+    std::vector<G1> bases;
+    std::vector<BigUInt> scalars;
+    bases.reserve(n);
+    scalars.reserve(n);
+    G1 p = G1Generator();
+    for (size_t i = 0; i < n; ++i) {
+      bases.push_back(p);
+      p = p.Add(G1Generator());
+      scalars.push_back(BigUInt::RandomBelow(&rng, Bn254Order()));
+    }
+    ThreadPool::SetGlobalThreads(1);
+    G1 reference = Msm(bases, scalars);
+    for (size_t t : ThreadCounts()) {
+      ThreadPool::SetGlobalThreads(t);
+      G1 got = Msm(bases, scalars);
+      EXPECT_TRUE(PointRepEq(reference, got)) << "n=" << n << " threads=" << t;
+    }
+  }
+}
+
+TEST_F(ParallelDeterminism, MsmG2BitIdenticalAcrossThreadCounts) {
+  Rng rng(777);
+  for (size_t n : {10u, 300u}) {
+    std::vector<G2> bases;
+    std::vector<BigUInt> scalars;
+    G2 p = G2Generator();
+    for (size_t i = 0; i < n; ++i) {
+      bases.push_back(p);
+      p = p.Add(G2Generator());
+      scalars.push_back(BigUInt::RandomBelow(&rng, Bn254Order()));
+    }
+    ThreadPool::SetGlobalThreads(1);
+    G2 reference = Msm(bases, scalars);
+    for (size_t t : ThreadCounts()) {
+      ThreadPool::SetGlobalThreads(t);
+      EXPECT_TRUE(PointRepEq(reference, Msm(bases, scalars)))
+          << "n=" << n << " threads=" << t;
+    }
+  }
+}
+
+TEST_F(ParallelDeterminism, FftFamilyBitIdenticalAcrossThreadCounts) {
+  Rng rng(31337);
+  for (size_t n : {8u, 2048u, 4096u}) {
+    EvaluationDomain domain(n);
+    std::vector<Fr> input(domain.size());
+    for (auto& v : input) {
+      v = Fr::Random(&rng);
+    }
+    using Transform = void (EvaluationDomain::*)(std::vector<Fr>*) const;
+    for (Transform op : {static_cast<Transform>(&EvaluationDomain::Fft),
+                         static_cast<Transform>(&EvaluationDomain::Ifft),
+                         static_cast<Transform>(&EvaluationDomain::CosetFft),
+                         static_cast<Transform>(&EvaluationDomain::CosetIfft)}) {
+      ThreadPool::SetGlobalThreads(1);
+      std::vector<Fr> reference = input;
+      (domain.*op)(&reference);
+      for (size_t t : ThreadCounts()) {
+        ThreadPool::SetGlobalThreads(t);
+        std::vector<Fr> got = input;
+        (domain.*op)(&got);
+        ASSERT_EQ(reference.size(), got.size());
+        for (size_t i = 0; i < reference.size(); ++i) {
+          ASSERT_EQ(reference[i], got[i]) << "n=" << n << " threads=" << t
+                                          << " index=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ParallelDeterminism, FftIfftRoundTrips) {
+  Rng rng(5);
+  EvaluationDomain domain(4096);
+  std::vector<Fr> input(domain.size());
+  for (auto& v : input) {
+    v = Fr::Random(&rng);
+  }
+  std::vector<Fr> work = input;
+  domain.Fft(&work);
+  domain.Ifft(&work);
+  for (size_t i = 0; i < input.size(); ++i) {
+    ASSERT_EQ(input[i], work[i]) << "index=" << i;
+  }
+}
+
+TEST_F(ParallelDeterminism, BatchInvertBlockedMatchesSerial) {
+  Rng rng(99);
+  // 2048 is the blocked-path threshold (2 * kBatchInvertBlock); 100 stays
+  // serial, 5000 spans a partial final block.
+  for (size_t n : {100u, 2047u, 2048u, 5000u}) {
+    std::vector<Fr> input(n);
+    for (size_t i = 0; i < n; ++i) {
+      input[i] = (i % 97 == 0) ? Fr::Zero() : Fr::Random(&rng);
+    }
+    ThreadPool::SetGlobalThreads(1);
+    std::vector<Fr> reference = input;
+    BatchInvert(&reference);
+    // Semantics: zeros stay zero, everything else is inverted.
+    for (size_t i = 0; i < n; ++i) {
+      if (input[i].IsZero()) {
+        ASSERT_TRUE(reference[i].IsZero());
+      } else {
+        ASSERT_EQ(input[i] * reference[i], Fr::One()) << "index=" << i;
+      }
+    }
+    for (size_t t : ThreadCounts()) {
+      ThreadPool::SetGlobalThreads(t);
+      std::vector<Fr> got = input;
+      BatchInvert(&got);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(reference[i], got[i]) << "n=" << n << " threads=" << t
+                                        << " index=" << i;
+      }
+    }
+  }
+}
+
+// End to end: a full Groth16 proof (seeded randomizers) must serialize to
+// the same 128 bytes at every thread count.
+TEST_F(ParallelDeterminism, ProveBytesIdenticalAcrossThreadCounts) {
+  ConstraintSystem cs;
+  Var pub = cs.AddPublicInput(Fr::FromU64(2));
+  Fr acc_val = Fr::FromU64(2);
+  Var acc = cs.AddWitness(acc_val);
+  cs.EnforceEqual(LC(acc), LC(pub));
+  for (size_t i = 1; i < 512; ++i) {
+    Fr next_val = acc_val * acc_val;
+    Var next = cs.AddWitness(next_val);
+    cs.Enforce(LC(acc), LC(acc), LC(next));
+    acc = next;
+    acc_val = next_val;
+  }
+
+  Rng setup_rng(42);
+  groth16::ProvingKey pk = groth16::Setup(cs, &setup_rng);
+
+  ThreadPool::SetGlobalThreads(1);
+  Rng prove_rng(7);
+  Bytes reference = groth16::Prove(pk, cs, &prove_rng).ToBytes();
+  for (size_t t : ThreadCounts()) {
+    ThreadPool::SetGlobalThreads(t);
+    Rng rng(7);
+    groth16::Proof proof = groth16::Prove(pk, cs, &rng);
+    EXPECT_EQ(reference, proof.ToBytes()) << "threads=" << t;
+    EXPECT_TRUE(groth16::Verify(pk.vk, {cs.ValueOf(1)}, proof));
+  }
+}
+
+// Setup is also deterministic under a fixed seed: the query tables are
+// element-independent fixed-base muls plus chunked power walks.
+TEST_F(ParallelDeterminism, SetupQueryTablesIdenticalAcrossThreadCounts) {
+  ConstraintSystem cs;
+  Var pub = cs.AddPublicInput(Fr::FromU64(3));
+  Fr acc_val = Fr::FromU64(3);
+  Var acc = cs.AddWitness(acc_val);
+  cs.EnforceEqual(LC(acc), LC(pub));
+  for (size_t i = 1; i < 300; ++i) {
+    Fr next_val = acc_val * acc_val;
+    Var next = cs.AddWitness(next_val);
+    cs.Enforce(LC(acc), LC(acc), LC(next));
+    acc = next;
+    acc_val = next_val;
+  }
+
+  ThreadPool::SetGlobalThreads(1);
+  Rng rng_ref(1234);
+  groth16::ProvingKey reference = groth16::Setup(cs, &rng_ref);
+  for (size_t t : ThreadCounts()) {
+    ThreadPool::SetGlobalThreads(t);
+    Rng rng(1234);
+    groth16::ProvingKey got = groth16::Setup(cs, &rng);
+    ASSERT_EQ(reference.a_query.size(), got.a_query.size());
+    for (size_t i = 0; i < reference.a_query.size(); ++i) {
+      ASSERT_TRUE(PointRepEq(reference.a_query[i], got.a_query[i]))
+          << "a_query[" << i << "] threads=" << t;
+    }
+    ASSERT_EQ(reference.h_query.size(), got.h_query.size());
+    for (size_t i = 0; i < reference.h_query.size(); ++i) {
+      ASSERT_TRUE(PointRepEq(reference.h_query[i], got.h_query[i]))
+          << "h_query[" << i << "] threads=" << t;
+    }
+    for (size_t i = 0; i < reference.l_query.size(); ++i) {
+      ASSERT_TRUE(PointRepEq(reference.l_query[i], got.l_query[i]))
+          << "l_query[" << i << "] threads=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nope

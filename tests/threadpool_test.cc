@@ -1,0 +1,160 @@
+// Unit tests for the fixed-size ThreadPool: exact range coverage, zero-size
+// ranges, exception capture/rethrow, nested-call rejection (inline serial
+// execution on workers), and NOPE_THREADS / global-pool plumbing.
+#include "src/base/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace nope {
+namespace {
+
+TEST(ThreadPool, ZeroSizeRangeNeverInvokes) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
+  pool.ParallelFor(0, 0, 1, [&](size_t, size_t) { ++calls; });
+  // An inverted range is treated as empty, not as a huge unsigned span.
+  pool.ParallelFor(7, 3, 1, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{7}}) {
+    ThreadPool pool(threads);
+    for (size_t count : {size_t{1}, size_t{7}, size_t{64}, size_t{1000}}) {
+      std::vector<int> seen(count, 0);
+      pool.ParallelFor(0, count, 3, [&](size_t lo, size_t hi) {
+        ASSERT_LE(lo, hi);
+        for (size_t i = lo; i < hi; ++i) {
+          ++seen[i];  // disjoint subranges: no synchronization needed
+        }
+      });
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(seen[i], 1) << "threads=" << threads << " count=" << count
+                              << " index=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, RespectsNonZeroBegin) {
+  ThreadPool pool(3);
+  std::vector<int> seen(20, 0);
+  pool.ParallelFor(5, 17, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      ++seen[i];
+    }
+  });
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], (i >= 5 && i < 17) ? 1 : 0) << "index=" << i;
+  }
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [](size_t, size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  // The pool must remain fully usable after a failed loop.
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(0, 10, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      sum += i;
+    }
+  });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPool, ExceptionInWorkerShareReachesCaller) {
+  ThreadPool pool(4);
+  // Throw only from worker shares (not the caller's share 0), proving the
+  // capture/rethrow path crosses threads.
+  EXPECT_THROW(pool.ParallelFor(0, 4, 1,
+                                [](size_t lo, size_t) {
+                                  if (ThreadPool::InWorker()) {
+                                    throw std::runtime_error("worker boom");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedCallsRunInlineOnWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> nested_on_worker{0};
+  std::atomic<int> nested_inline{0};
+  pool.ParallelFor(0, 4, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      if (!ThreadPool::InWorker()) {
+        continue;  // the caller's own share may legitimately parallelize
+      }
+      ++nested_on_worker;
+      std::atomic<int> calls{0};
+      std::thread::id outer_tid = std::this_thread::get_id();
+      std::atomic<bool> same_thread{true};
+      pool.ParallelFor(0, 100, 1, [&](size_t, size_t) {
+        ++calls;
+        if (std::this_thread::get_id() != outer_tid) {
+          same_thread = false;
+        }
+      });
+      // Rejected nesting == one inline invocation on the same worker thread.
+      if (calls.load() == 1 && same_thread.load()) {
+        ++nested_inline;
+      }
+    }
+  });
+  // With 4 lanes and 4 unit shares, shares 1..3 land on workers.
+  EXPECT_GT(nested_on_worker.load(), 0);
+  EXPECT_EQ(nested_inline.load(), nested_on_worker.load());
+}
+
+TEST(ThreadPool, SingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.ParallelFor(0, 1000, 1, [&](size_t lo, size_t hi) {
+    ++calls;
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 1000u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, DefaultThreadCountReadsEnv) {
+  setenv("NOPE_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3u);
+  setenv("NOPE_THREADS", "not-a-number", 1);
+  unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), hw > 0 ? hw : 1u);
+  setenv("NOPE_THREADS", "0", 1);  // non-positive: fall back
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), hw > 0 ? hw : 1u);
+  unsetenv("NOPE_THREADS");
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), hw > 0 ? hw : 1u);
+}
+
+TEST(ThreadPool, SetGlobalThreadsResizesGlobalPool) {
+  ThreadPool::SetGlobalThreads(5);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 5u);
+  std::vector<int> seen(100, 0);
+  ThreadPool::Global().ParallelFor(0, 100, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      ++seen[i];
+    }
+  });
+  for (int v : seen) {
+    EXPECT_EQ(v, 1);
+  }
+  ThreadPool::SetGlobalThreads(0);  // restore the environment default
+  EXPECT_EQ(ThreadPool::GlobalThreads(), ThreadPool::DefaultThreadCount());
+}
+
+}  // namespace
+}  // namespace nope
