@@ -34,7 +34,11 @@ int main() {
                                     &rng, /*with_nope=*/true);
   auto plain = IssueCertificate(nullptr, &dns, &ca, domain, tls_key.pub.Encode(), kNow, &rng,
                                 /*with_nope=*/false);
-  if (!with_nope_t1 || !with_nope || !plain) {
+  // Fault-injected variant: the CA's first TXT poll races ahead of challenge
+  // propagation, costing one extra 30 s propagation round (ISSUE 3).
+  auto with_retry = IssueCertificate(&deployment, &dns, &ca, domain, tls_key.pub.Encode(), kNow,
+                                     &rng, /*with_nope=*/true, /*injected_dns_retries=*/1);
+  if (!with_nope_t1 || !with_nope || !plain || !with_retry) {
     fprintf(stderr, "issuance failed\n");
     return 1;
   }
@@ -61,6 +65,16 @@ int main() {
   bar("ACME initiation", p.acme_initiation_s, t.total());
   bar("DNS propagation", p.dns_propagation_s, t.total());
   bar("ACME verification", p.acme_verification_s, t.total());
+
+  const IssuanceTimeline& r = with_retry->timeline;
+  printf("\nNOPE issuance with 1 injected DNS-propagation retry (total %.2f s):\n",
+         r.total());
+  bar("NOPE proof generation", r.proof_generation_s, r.total());
+  bar("ACME initiation", r.acme_initiation_s, r.total());
+  bar("DNS propagation", r.dns_propagation_s, r.total());
+  bar("ACME verification", r.acme_verification_s, r.total());
+  printf("  (%zu retry round(s); +%.1f s over the clean run's network legs)\n",
+         r.dns_retries, r.dns_propagation_s - t.dns_propagation_s);
 
   // Paper-scale extrapolation: the paper reports 35-55 s of proving for its
   // 1.13M-constraint statement on one thread; our Fig. 6 bench fits the
@@ -90,5 +104,8 @@ int main() {
   emit("threads_n", static_cast<double>(threads));
   emit("nope_total_s", t.total());
   emit("plain_total_s", p.total());
+  emit("nope_total_with_dns_retry_s", r.total());
+  emit("dns_retry_rounds", static_cast<double>(r.dns_retries));
+  emit("dns_propagation_with_retry_s", r.dns_propagation_s);
   return 0;
 }

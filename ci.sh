@@ -1,8 +1,9 @@
 #!/bin/bash
 # CI entry point: plain tier-1 build + tests, then an ASan/UBSan build that
-# re-runs the fast tests plus the fault-injection harness, then a TSan build
-# (NOPE_SANITIZE=thread) that runs the thread-pool and cross-thread-count
-# determinism tests. Fails fast and names the failing stage.
+# re-runs the fast tests plus the fault-injection and renewal-simulation
+# harnesses, then a TSan build (NOPE_SANITIZE=thread) that runs the
+# thread-pool, cross-thread-count determinism, and cancellation tests.
+# Fails fast and names the failing stage.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -19,7 +20,8 @@ cmake -B build-san -S . -DNOPE_SANITIZE=address,undefined >/dev/null
 # binary that feeds parsers, plus the fault-injection campaigns.
 SAN_TARGETS=(biguint_test hash_test field_test curve_test rsa_test ecdsa_test
              constraint_system_test groth16_test dns_test pki_test
-             analysis_test fault_injection_test)
+             analysis_test fault_injection_test
+             clock_test cancellation_test renewal_sim_test)
 cmake --build build-san -j "$(nproc)" --target "${SAN_TARGETS[@]}"
 
 echo "=== stage 4: sanitized tests ==="
@@ -30,7 +32,8 @@ done
 
 echo "=== stage 5: TSan build (parallel proving) ==="
 cmake -B build-tsan -S . -DNOPE_SANITIZE=thread >/dev/null
-TSAN_TARGETS=(threadpool_test parallel_determinism_test)
+TSAN_TARGETS=(threadpool_test parallel_determinism_test cancellation_test
+              renewal_sim_test)
 cmake --build build-tsan -j "$(nproc)" --target "${TSAN_TARGETS[@]}"
 
 echo "=== stage 6: TSan tests ==="

@@ -1,0 +1,74 @@
+// Cooperative cancellation for long-running prover work.
+//
+// A CancellationToken is a cheap, copyable view over (a) a shared flag owned
+// by a CancellationSource and/or (b) a Deadline; `cancelled()` is safe to
+// poll from any thread, including ThreadPool workers. Cancellation is
+// strictly cooperative: ParallelFor, Msm, the FFT family, and groth16::Prove
+// consult the token at chunk/stage boundaries and abandon the remaining work.
+// Partially computed buffers are garbage after a cancellation and callers
+// must discard them (Prove returns a typed kCancelled result instead of a
+// proof). When the token never fires, the checks are pure reads and the
+// computed bytes are identical to an uncancellable run.
+#ifndef SRC_BASE_CANCELLATION_H_
+#define SRC_BASE_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+
+#include "src/base/clock.h"
+
+namespace nope {
+
+class CancellationToken {
+ public:
+  // Default token never cancels.
+  CancellationToken() = default;
+
+  // Token that fires when the deadline expires.
+  static CancellationToken WithDeadline(const Deadline& deadline) {
+    CancellationToken t;
+    t.deadline_ = deadline;
+    return t;
+  }
+
+  bool cancelled() const {
+    if (flag_ != nullptr && flag_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return deadline_.Expired();
+  }
+
+ private:
+  friend class CancellationSource;
+  std::shared_ptr<std::atomic<bool>> flag_;
+  Deadline deadline_;  // default-constructed: infinite
+};
+
+// Owner side: create once, hand out tokens, call Cancel() from any thread.
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+  CancellationToken token() const {
+    CancellationToken t;
+    t.flag_ = flag_;
+    return t;
+  }
+  // Token that fires on Cancel() OR when the deadline expires.
+  CancellationToken TokenWithDeadline(const Deadline& deadline) const {
+    CancellationToken t;
+    t.flag_ = flag_;
+    t.deadline_ = deadline;
+    return t;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace nope
+
+#endif  // SRC_BASE_CANCELLATION_H_

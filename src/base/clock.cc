@@ -1,0 +1,68 @@
+#include "src/base/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace nope {
+
+uint64_t RealClock::NowMs() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+void RealClock::SleepMs(uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+RealClock* RealClock::Get() {
+  static RealClock clock;
+  return &clock;
+}
+
+uint64_t Deadline::RemainingMs() const {
+  if (clock_ == nullptr) {
+    return UINT64_MAX;
+  }
+  uint64_t now = clock_->NowMs();
+  return now >= expires_at_ms_ ? 0 : expires_at_ms_ - now;
+}
+
+uint64_t RetryPolicy::BackoffMs(size_t attempt) const {
+  // Walk the geometric sequence in integer space, clamping as soon as the
+  // cap is reached so large attempt counts cannot overflow.
+  double delay = static_cast<double>(initial_delay_ms);
+  for (size_t i = 0; i < attempt; ++i) {
+    delay *= multiplier;
+    if (delay >= static_cast<double>(max_delay_ms)) {
+      return max_delay_ms;
+    }
+  }
+  uint64_t out = static_cast<uint64_t>(delay);
+  return out > max_delay_ms ? max_delay_ms : out;
+}
+
+uint64_t RetryPolicy::DelayMs(size_t attempt, Rng* rng) const {
+  uint64_t base = BackoffMs(attempt);
+  uint64_t width = static_cast<uint64_t>(static_cast<double>(base) * jitter_fraction);
+  // Uniform in [base - width, base + width]; one draw regardless of width so
+  // the Rng stream stays aligned across policies.
+  uint64_t offset = rng->NextBelow(2 * width + 1);
+  return base - width + offset;
+}
+
+std::vector<uint64_t> RetryPolicy::Schedule(uint64_t budget_ms, Rng* rng) const {
+  std::vector<uint64_t> delays;
+  uint64_t spent = 0;
+  for (size_t attempt = 0; attempt + 1 < max_attempts; ++attempt) {
+    uint64_t d = DelayMs(attempt, rng);
+    if (spent + d > budget_ms) {
+      break;
+    }
+    spent += d;
+    delays.push_back(d);
+  }
+  return delays;
+}
+
+}  // namespace nope

@@ -1,0 +1,126 @@
+// Time abstraction for the issuance & renewal lifecycle.
+//
+// Production code takes a Clock* so every time-dependent behavior (deadlines,
+// retry backoff, renewal scheduling) can run against SimClock in tests: a
+// multi-day renewal scenario executes in milliseconds, and two runs with the
+// same seed produce byte-identical event logs because no real time ever
+// leaks in. RealClock is the production implementation.
+//
+// Deadline and RetryPolicy are the two policy primitives built on Clock:
+// a Deadline is an absolute expiry instant checked cooperatively (see
+// src/base/cancellation.h for the token that propagates it into parallel
+// loops), and RetryPolicy computes seeded-jitter exponential backoff
+// schedules whose bytes are a pure function of (policy, rng state).
+#ifndef SRC_BASE_CLOCK_H_
+#define SRC_BASE_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/bytes.h"
+
+namespace nope {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Milliseconds since an implementation-defined epoch. Monotone
+  // non-decreasing. Thread-safe.
+  virtual uint64_t NowMs() const = 0;
+
+  // Advances time by `ms`: RealClock blocks the calling thread, SimClock
+  // advances instantly. Simulation code must "wait" through this call (never
+  // through std::this_thread) so scenarios stay fast and deterministic.
+  virtual void SleepMs(uint64_t ms) = 0;
+};
+
+// Wall-clock implementation backed by std::chrono::steady_clock.
+class RealClock : public Clock {
+ public:
+  uint64_t NowMs() const override;
+  void SleepMs(uint64_t ms) override;
+
+  // Shared process-wide instance (stateless).
+  static RealClock* Get();
+};
+
+// Deterministic simulated clock. NowMs is an atomic read so cancellation
+// tokens may poll it from pool workers while the owning (single) simulation
+// thread advances it.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(uint64_t start_ms = 0) : now_ms_(start_ms) {}
+
+  uint64_t NowMs() const override {
+    return now_ms_.load(std::memory_order_relaxed);
+  }
+  void SleepMs(uint64_t ms) override { AdvanceMs(ms); }
+  void AdvanceMs(uint64_t ms) {
+    now_ms_.fetch_add(ms, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> now_ms_;
+};
+
+// An absolute expiry instant on a specific clock. Value type; copying is
+// cheap and the referenced clock must outlive every copy. A
+// default-constructed Deadline is infinite (never expires).
+class Deadline {
+ public:
+  Deadline() = default;
+  Deadline(const Clock* clock, uint64_t expires_at_ms)
+      : clock_(clock), expires_at_ms_(expires_at_ms) {}
+
+  static Deadline After(const Clock& clock, uint64_t ms) {
+    return Deadline(&clock, clock.NowMs() + ms);
+  }
+  static Deadline Infinite() { return Deadline(); }
+
+  bool infinite() const { return clock_ == nullptr; }
+  bool Expired() const {
+    return clock_ != nullptr && clock_->NowMs() >= expires_at_ms_;
+  }
+  // 0 when expired; UINT64_MAX when infinite.
+  uint64_t RemainingMs() const;
+
+  const Clock* clock() const { return clock_; }
+  uint64_t expires_at_ms() const { return expires_at_ms_; }
+
+ private:
+  const Clock* clock_ = nullptr;
+  uint64_t expires_at_ms_ = 0;
+};
+
+// Exponential backoff with seeded jitter. All randomness flows through the
+// caller's Rng, so a (policy, seed) pair reproduces the exact delay sequence;
+// the jittered delay for attempt i is uniform in
+// [BackoffMs(i) * (1 - jitter_fraction), BackoffMs(i) * (1 + jitter_fraction)].
+struct RetryPolicy {
+  uint64_t initial_delay_ms = 100;
+  uint64_t max_delay_ms = 30'000;
+  double multiplier = 2.0;
+  double jitter_fraction = 0.2;  // must be in [0, 1]
+  size_t max_attempts = 5;       // total tries, including the first
+
+  // Deterministic (un-jittered) backoff before retry `attempt` (0-based:
+  // attempt 0 is the delay after the first failure): initial * multiplier^i,
+  // capped at max_delay_ms.
+  uint64_t BackoffMs(size_t attempt) const;
+
+  // Jittered delay, consuming exactly one Rng draw.
+  uint64_t DelayMs(size_t attempt, Rng* rng) const;
+
+  // The full delay schedule truncated to a total budget: successive jittered
+  // delays while the running sum stays within `budget_ms`, never more than
+  // max_attempts - 1 entries (the first try needs no delay). An entry that
+  // would push the cumulative sum past the budget is dropped and the
+  // schedule ends there.
+  std::vector<uint64_t> Schedule(uint64_t budget_ms, Rng* rng) const;
+};
+
+}  // namespace nope
+
+#endif  // SRC_BASE_CLOCK_H_

@@ -26,6 +26,12 @@ const char* ErrorCodeName(ErrorCode code) {
       return "missing";
     case ErrorCode::kOutOfRange:
       return "out_of_range";
+    case ErrorCode::kTimedOut:
+      return "timed_out";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

@@ -31,8 +31,12 @@ enum class ErrorCode {
   kMismatch,        // two fields that must agree do not (names, types, key tags)
   kMissing,         // an expected component is absent entirely
   kOutOfRange,      // numeric field outside its legal range
+  // Lifecycle / dependency-failure classes (issuance & renewal, PR 3):
+  kTimedOut,        // a dependency did not answer within its deadline
+  kUnavailable,     // a dependency answered with a failure (SERVFAIL, throttle)
+  kCancelled,       // the operation was cancelled (deadline or explicit)
 };
-constexpr int kNumErrorCodes = static_cast<int>(ErrorCode::kOutOfRange) + 1;
+constexpr int kNumErrorCodes = static_cast<int>(ErrorCode::kCancelled) + 1;
 
 const char* ErrorCodeName(ErrorCode code);
 

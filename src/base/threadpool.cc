@@ -5,6 +5,8 @@
 #include <exception>
 #include <memory>
 
+#include "src/base/cancellation.h"
+
 namespace nope {
 
 namespace {
@@ -67,6 +69,12 @@ void ThreadPool::Enqueue(std::function<void()> task) {
 
 void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_chunk,
                              const std::function<void(size_t, size_t)>& fn) {
+  ParallelFor(begin, end, min_chunk, fn, nullptr);
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_chunk,
+                             const std::function<void(size_t, size_t)>& fn,
+                             const CancellationToken* cancel) {
   if (end <= begin) {
     return;
   }
@@ -76,7 +84,9 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_chunk,
   }
   size_t shares = std::min(workers_.size() + 1, (count + min_chunk - 1) / min_chunk);
   if (shares <= 1 || tls_in_worker) {
-    fn(begin, end);
+    if (cancel == nullptr || !cancel->cancelled()) {
+      fn(begin, end);
+    }
     return;
   }
 
@@ -104,9 +114,11 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_chunk,
 
   for (size_t i = 1; i < shares; ++i) {
     auto [lo, hi] = share_bounds(i);
-    Enqueue([state, &fn, lo, hi] {
+    Enqueue([state, &fn, cancel, lo, hi] {
       try {
-        fn(lo, hi);
+        if (cancel == nullptr || !cancel->cancelled()) {
+          fn(lo, hi);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(state->mu);
         if (!state->first_error) {
@@ -122,7 +134,9 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_chunk,
 
   auto [lo0, hi0] = share_bounds(0);
   try {
-    fn(lo0, hi0);
+    if (cancel == nullptr || !cancel->cancelled()) {
+      fn(lo0, hi0);
+    }
   } catch (...) {
     std::lock_guard<std::mutex> lock(state->mu);
     if (!state->first_error) {
@@ -141,17 +155,27 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_chunk,
 
 bool ThreadPool::InWorker() { return tls_in_worker; }
 
-size_t ThreadPool::DefaultThreadCount() {
-  const char* env = std::getenv("NOPE_THREADS");
-  if (env != nullptr && *env != '\0') {
-    char* rest = nullptr;
-    long v = std::strtol(env, &rest, 10);
-    if (rest != nullptr && *rest == '\0' && v > 0) {
-      return static_cast<size_t>(v);
+size_t ThreadPool::ParseThreadCount(const char* value, size_t fallback) {
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  uint64_t v = 0;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      return fallback;  // signs, whitespace, hex, trailing garbage
+    }
+    v = v * 10 + static_cast<uint64_t>(*p - '0');
+    if (v > kMaxThreads) {
+      return fallback;  // also guards the accumulator against overflow
     }
   }
+  return v == 0 ? fallback : static_cast<size_t>(v);
+}
+
+size_t ThreadPool::DefaultThreadCount() {
   unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  size_t fallback = hw > 0 ? hw : 1;
+  return ParseThreadCount(std::getenv("NOPE_THREADS"), fallback);
 }
 
 ThreadPool& ThreadPool::Global() {

@@ -33,6 +33,8 @@
 
 namespace nope {
 
+class CancellationToken;
+
 class ThreadPool {
  public:
   // A pool of `num_threads` total lanes: the calling thread participates in
@@ -63,6 +65,19 @@ class ThreadPool {
   void ParallelFor(size_t begin, size_t end, size_t min_chunk,
                    const std::function<void(size_t, size_t)>& fn);
 
+  // Cancellation-aware variant: each share polls `cancel` immediately before
+  // invoking fn and skips its subrange when the token has fired, so a
+  // deadline-overrunning proving job abandons queued work at share
+  // granularity. The loop still joins every share before returning (the pool
+  // stays reusable), but the output buffers are garbage once any share was
+  // skipped — callers must check the token afterwards and discard partial
+  // results. A null or never-firing token behaves exactly like the overload
+  // above. Long-running fn bodies should also poll at their own chunk
+  // boundaries (Msm and the FFT family do).
+  void ParallelFor(size_t begin, size_t end, size_t min_chunk,
+                   const std::function<void(size_t, size_t)>& fn,
+                   const CancellationToken* cancel);
+
   // True when the calling thread is one of this process's pool workers.
   static bool InWorker();
 
@@ -77,9 +92,20 @@ class ThreadPool {
   // Lanes of the current global pool (creates it if needed).
   static size_t GlobalThreads();
 
-  // NOPE_THREADS if set to a positive integer, else hardware_concurrency()
-  // (else 1). Exposed for tests.
+  // NOPE_THREADS if it parses to a sane positive integer, else
+  // hardware_concurrency() (else 1). Exposed for tests.
   static size_t DefaultThreadCount();
+
+  // Upper bound on an environment-requested thread count. Values above this
+  // are treated as misconfiguration (fat-finger or overflow), not honored.
+  static constexpr size_t kMaxThreads = 512;
+
+  // Strict parser behind DefaultThreadCount, exposed for tests. Returns
+  // `fallback` unless `value` is a plain decimal integer in
+  // [1, kMaxThreads]: null/empty strings, non-digit characters (including
+  // signs, whitespace, and trailing garbage), zero, and huge values all fall
+  // back instead of silently truncating the way atoi-style parsing would.
+  static size_t ParseThreadCount(const char* value, size_t fallback);
 
  private:
   void WorkerLoop();

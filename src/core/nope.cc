@@ -104,7 +104,8 @@ std::optional<IssuanceResult> IssueCertificate(const NopeDeployment* deployment,
                                                DnssecHierarchy* dns, CertificateAuthority* ca,
                                                const DnsName& domain,
                                                const Bytes& tls_public_key, uint64_t now,
-                                               Rng* rng, bool with_nope) {
+                                               Rng* rng, bool with_nope,
+                                               size_t injected_dns_retries) {
   IssuanceResult result;
   CertificateSigningRequest csr;
   csr.subject = domain;
@@ -125,8 +126,26 @@ std::optional<IssuanceResult> IssueCertificate(const NopeDeployment* deployment,
   result.timeline.acme_initiation_s = kAcmeInitiationSeconds;
   dns->SetTxt(domain.Child("_acme-challenge"), order.challenge_token);
   result.timeline.dns_propagation_s = kDnsPropagationSeconds;
-  auto resolver = [dns](const DnsName& name) { return dns->QueryTxt(name); };
-  std::optional<Certificate> cert = ca->FinalizeOrder(order, csr, resolver, now);
+  // Slow-propagation model: the first injected_dns_retries polls race ahead
+  // of the TXT record and see nothing, so the CA's validation fails and the
+  // requester waits out another propagation round before re-finalizing.
+  size_t empty_polls = injected_dns_retries;
+  auto resolver = [dns, &empty_polls](const DnsName& name) -> std::vector<std::string> {
+    if (empty_polls > 0) {
+      --empty_polls;
+      return {};
+    }
+    return dns->QueryTxt(name);
+  };
+  std::optional<Certificate> cert;
+  for (size_t round = 0; round <= injected_dns_retries; ++round) {
+    cert = ca->FinalizeOrder(order, csr, resolver, now);
+    if (cert.has_value()) {
+      break;
+    }
+    ++result.timeline.dns_retries;
+    result.timeline.dns_propagation_s += kDnsPropagationSeconds;
+  }
   result.timeline.acme_verification_s = kAcmeVerificationSeconds;
   if (!cert.has_value()) {
     return std::nullopt;

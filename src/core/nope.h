@@ -51,8 +51,9 @@ NopeProofBundle GenerateNopeProof(const NopeDeployment& deployment, DnssecHierar
 struct IssuanceTimeline {
   double proof_generation_s = 0;   // measured
   double acme_initiation_s = 0;    // modeled
-  double dns_propagation_s = 0;    // modeled (Certbot default: 30 s)
+  double dns_propagation_s = 0;    // modeled (Certbot default: 30 s per round)
   double acme_verification_s = 0;  // modeled
+  size_t dns_retries = 0;          // extra propagation rounds before the CA saw the TXT
   double total() const {
     return proof_generation_s + acme_initiation_s + dns_propagation_s + acme_verification_s;
   }
@@ -61,11 +62,16 @@ struct IssuanceResult {
   CertificateChain chain;
   IssuanceTimeline timeline;
 };
+// injected_dns_retries simulates slow challenge propagation: the CA's first
+// that-many TXT polls see an empty answer, so validation retries after
+// another propagation wait — each failed round adds kDnsPropagationSeconds
+// to the timeline (how Fig. 5 shifts when the DNS edge is slow).
 std::optional<IssuanceResult> IssueCertificate(const NopeDeployment* deployment,
                                                DnssecHierarchy* dns, CertificateAuthority* ca,
                                                const DnsName& domain,
                                                const Bytes& tls_public_key, uint64_t now,
-                                               Rng* rng, bool with_nope);
+                                               Rng* rng, bool with_nope,
+                                               size_t injected_dns_retries = 0);
 
 // --- Client side --------------------------------------------------------------
 

@@ -1,0 +1,313 @@
+#include "src/core/renewal.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/pki/san_encoding.h"
+
+namespace nope {
+
+const char* RenewalEventKindName(RenewalEventKind kind) {
+  switch (kind) {
+    case RenewalEventKind::kScheduled:
+      return "scheduled";
+    case RenewalEventKind::kAttemptStart:
+      return "attempt_start";
+    case RenewalEventKind::kStageOk:
+      return "stage_ok";
+    case RenewalEventKind::kStageFault:
+      return "stage_fault";
+    case RenewalEventKind::kBackoff:
+      return "backoff";
+    case RenewalEventKind::kAttemptFailed:
+      return "attempt_failed";
+    case RenewalEventKind::kIssuedNope:
+      return "issued_nope";
+    case RenewalEventKind::kIssuedLegacy:
+      return "issued_legacy";
+    case RenewalEventKind::kDegraded:
+      return "degraded";
+    case RenewalEventKind::kRecovered:
+      return "recovered";
+    case RenewalEventKind::kCertLapsed:
+      return "cert_lapsed";
+  }
+  return "unknown";
+}
+
+RenewalManager::RenewalManager(const RenewalConfig& config, Clock* clock,
+                               IssuancePipeline* pipeline, uint64_t seed)
+    : config_(config), clock_(clock), pipeline_(pipeline), rng_(seed) {}
+
+void RenewalManager::Emit(RenewalEventKind kind, std::string detail) {
+  events_.push_back(RenewalEvent{clock_->NowMs(), kind, std::move(detail)});
+}
+
+std::string RenewalManager::EventLog() const {
+  std::string out;
+  char stamp[32];
+  for (const RenewalEvent& e : events_) {
+    std::snprintf(stamp, sizeof(stamp), "t=%012llu ",
+                  static_cast<unsigned long long>(e.t_ms));
+    out += stamp;
+    out += RenewalEventKindName(e.kind);
+    if (!e.detail.empty()) {
+      out += ' ';
+      out += e.detail;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status RenewalManager::RunStage(const char* stage, const Deadline& budget,
+                                const std::function<Status(const Deadline&)>& fn) {
+  size_t attempt = 0;
+  while (true) {
+    if (budget.Expired()) {
+      return Error(ErrorCode::kTimedOut,
+                   std::string(stage) + ": attempt budget exhausted");
+    }
+    Status s = fn(budget);
+    if (s.ok()) {
+      Emit(RenewalEventKind::kStageOk, stage);
+      return s;
+    }
+    ++stats_.stage_faults;
+    Emit(RenewalEventKind::kStageFault, std::string(stage) + ": " + s.ToString());
+    ++attempt;
+    if (attempt >= config_.retry.max_attempts) {
+      return Error(s.error().code,
+                   std::string(stage) + ": retries exhausted; last: " + s.ToString());
+    }
+    uint64_t delay = config_.retry.DelayMs(attempt - 1, &rng_);
+    if (delay >= budget.RemainingMs()) {
+      return Error(ErrorCode::kTimedOut,
+                   std::string(stage) + ": budget exhausted before retry");
+    }
+    Emit(RenewalEventKind::kBackoff,
+         std::string(stage) + " " + std::to_string(delay) + "ms");
+    clock_->SleepMs(delay);
+  }
+}
+
+Status RenewalManager::TryNopeIssuance(const Deadline& budget) {
+  NOPE_RETURN_IF_ERROR(RunStage("resolve", budget, [this](const Deadline& d) {
+    return pipeline_->ResolveChain(d);
+  }));
+  NOPE_RETURN_IF_ERROR(RunStage("prove", budget, [this](const Deadline& d) {
+    return pipeline_->GenerateProof(d);
+  }));
+  return RunStage("acme", budget, [this](const Deadline& d) {
+    return pipeline_->FinalizeCertificate(d, /*with_proof=*/true);
+  });
+}
+
+Status RenewalManager::TryLegacyIssuance(const Deadline& budget) {
+  // The legacy path skips DNSSEC resolution and proving entirely; only the
+  // ACME leg (which needs plain TXT resolution, not the signed chain) runs.
+  return RunStage("acme_legacy", budget, [this](const Deadline& d) {
+    return pipeline_->FinalizeCertificate(d, /*with_proof=*/false);
+  });
+}
+
+bool RenewalManager::RunOneCycle() {
+  ++stats_.cycles;
+  Emit(RenewalEventKind::kAttemptStart,
+       degraded_ ? "degraded (probing proof path)" : "proof path");
+
+  Deadline budget = Deadline::After(*clock_, config_.attempt_budget_ms);
+  Status proof_path = TryNopeIssuance(budget);
+  bool issued = false;
+
+  if (proof_path.ok()) {
+    consecutive_proof_failures_ = 0;
+    if (degraded_) {
+      degraded_ = false;
+      ++stats_.recoveries;
+      Emit(RenewalEventKind::kRecovered,
+           "proof path healthy again (was: " + degrade_reason_ + ")");
+      degrade_reason_.clear();
+    }
+    ++stats_.nope_issued;
+    Emit(RenewalEventKind::kIssuedNope, "");
+    cert_expires_at_ms_ = clock_->NowMs() + config_.renewal_period_ms;
+    lapse_reported_ = false;
+    issued = true;
+  } else {
+    ++consecutive_proof_failures_;
+    Emit(RenewalEventKind::kAttemptFailed,
+         "proof path (" + std::to_string(consecutive_proof_failures_) +
+             " consecutive): " + proof_path.ToString());
+    if (!degraded_ && consecutive_proof_failures_ >= config_.degrade_after) {
+      degraded_ = true;
+      degrade_reason_ = "proof path failed " +
+                        std::to_string(consecutive_proof_failures_) +
+                        "x consecutively; last: " + proof_path.ToString();
+      ++stats_.downgrades;
+      Emit(RenewalEventKind::kDegraded, degrade_reason_);
+    }
+    if (degraded_) {
+      // §7 degradation, server side: better a proof-less certificate than a
+      // lapsed one. The legacy leg gets its own budget — the proof attempt
+      // may have consumed the whole first one timing out.
+      Deadline legacy_budget = Deadline::After(*clock_, config_.attempt_budget_ms);
+      Status legacy = TryLegacyIssuance(legacy_budget);
+      if (legacy.ok()) {
+        ++stats_.legacy_issued;
+        Emit(RenewalEventKind::kIssuedLegacy, "reason: " + degrade_reason_);
+        cert_expires_at_ms_ = clock_->NowMs() + config_.renewal_period_ms;
+        lapse_reported_ = false;
+        issued = true;
+      } else {
+        Emit(RenewalEventKind::kAttemptFailed,
+             "legacy path: " + legacy.ToString());
+      }
+    }
+  }
+
+  ScheduleNext(issued);
+  return issued;
+}
+
+void RenewalManager::ScheduleNext(bool issued) {
+  uint64_t now = clock_->NowMs();
+  uint64_t target;
+  if (issued) {
+    // Jittered lead time before expiry, so fleets don't renew in lockstep
+    // and so the schedule itself exercises the determinism contract.
+    uint64_t lead = config_.lead_ms;
+    uint64_t width =
+        static_cast<uint64_t>(static_cast<double>(lead) * config_.lead_jitter_fraction);
+    lead = lead - width + rng_.NextBelow(2 * width + 1);
+    target = cert_expires_at_ms_ > lead ? cert_expires_at_ms_ - lead : now;
+  } else {
+    target = now + config_.reattempt_delay_ms;
+  }
+  next_attempt_at_ms_ = std::max(target, now + 1);
+  Emit(RenewalEventKind::kScheduled,
+       "next attempt at t=" + std::to_string(next_attempt_at_ms_));
+}
+
+void RenewalManager::Run(uint64_t until_ms) {
+  if (next_attempt_at_ms_ == 0) {
+    next_attempt_at_ms_ = clock_->NowMs();
+    Emit(RenewalEventKind::kScheduled, "initial attempt");
+  }
+  while (next_attempt_at_ms_ <= until_ms) {
+    uint64_t now = clock_->NowMs();
+    if (next_attempt_at_ms_ > now) {
+      clock_->SleepMs(next_attempt_at_ms_ - now);
+    }
+    if (cert_expires_at_ms_ != 0 && clock_->NowMs() >= cert_expires_at_ms_ &&
+        !lapse_reported_) {
+      Emit(RenewalEventKind::kCertLapsed,
+           "expired at t=" + std::to_string(cert_expires_at_ms_));
+      lapse_reported_ = true;
+    }
+    RunOneCycle();
+  }
+}
+
+// --- SimulatedPipeline --------------------------------------------------------
+
+SimulatedPipeline::SimulatedPipeline(FlakyResolver* resolver, FlakyCa* ca,
+                                     Clock* clock, const DnsName& domain,
+                                     Bytes tls_public_key,
+                                     const SimulatedPipelineConfig& config)
+    : resolver_(resolver),
+      ca_(ca),
+      clock_(clock),
+      domain_(domain),
+      tls_public_key_(std::move(tls_public_key)),
+      config_(config) {}
+
+Status SimulatedPipeline::ResolveChain(const Deadline& deadline) {
+  if (deadline.Expired()) {
+    return Error(ErrorCode::kCancelled, "resolve: deadline expired");
+  }
+  clock_->SleepMs(config_.resolve_ms);
+  Result<ChainOfTrust> chain = resolver_->BuildChain(domain_);
+  if (!chain.ok()) {
+    return chain.error();
+  }
+  ChainOfTrust c = std::move(chain).value();
+  // Temporal windows first (RFC 4035 §5.3.1 checks them before signatures):
+  // they are cheap, and a stale-cache or skewed-clock fault should surface as
+  // kOutOfRange, not as the signature breakage it also causes.
+  NOPE_RETURN_IF_ERROR(
+      ValidateChainTimes(c, clock_->NowMs() / 1000, config_.skew_tolerance_s));
+  NOPE_RETURN_IF_ERROR(ValidateChain(resolver_->dns()->suite(), c, c.root_zsk));
+  chain_ = std::move(c);
+  return Status::Ok();
+}
+
+Status SimulatedPipeline::GenerateProof(const Deadline& deadline) {
+  if (!chain_.has_value()) {
+    return Error(ErrorCode::kMissing, "prove: no validated chain of trust");
+  }
+  // Burn prove_ms of clock time in slices, polling the deadline at each slice
+  // boundary — the simulated twin of groth16::Prove's chunk-boundary
+  // cancellation (the real prover is exercised in tests/cancellation_test.cc;
+  // here the point is that an overrunning proof yields a typed kCancelled
+  // instead of blowing the whole renewal budget).
+  uint64_t remaining = config_.prove_ms;
+  while (remaining > 0) {
+    if (deadline.Expired()) {
+      return Error(ErrorCode::kCancelled, "prove: deadline expired mid-proof");
+    }
+    uint64_t slice = std::min(config_.prove_slice_ms, remaining);
+    clock_->SleepMs(slice);
+    remaining -= slice;
+  }
+  if (deadline.Expired()) {
+    return Error(ErrorCode::kCancelled, "prove: deadline expired at completion");
+  }
+  return Status::Ok();
+}
+
+Status SimulatedPipeline::FinalizeCertificate(const Deadline& deadline,
+                                              bool with_proof) {
+  if (deadline.Expired()) {
+    return Error(ErrorCode::kCancelled, "acme: deadline expired");
+  }
+  CertificateSigningRequest csr;
+  csr.subject = domain_;
+  csr.public_key = tls_public_key_;
+  if (with_proof) {
+    // The proof bytes themselves are stage 2's product; the simulation stands
+    // in a fixed-size placeholder (real proofs are 128 bytes on BN254).
+    csr.sans = EncodeProofSans(Bytes(128, 0x5a), domain_);
+  }
+
+  Result<AcmeOrder> order = ca_->NewOrder(csr);
+  if (!order.ok()) {
+    return order.error();
+  }
+  clock_->SleepMs(config_.acme_ms / 2);  // initiation leg (Fig. 5)
+
+  DnsName challenge_name = domain_.Child("_acme-challenge");
+  resolver_->dns()->SetTxt(challenge_name, order.value().challenge_token);
+  TxtResolver txt = [this](const DnsName& name) -> std::vector<std::string> {
+    Result<std::vector<std::string>> r = resolver_->QueryTxt(name);
+    if (!r.ok()) {
+      return {};
+    }
+    return std::move(r).value();
+  };
+
+  clock_->SleepMs(config_.acme_ms - config_.acme_ms / 2);  // verification leg
+  if (deadline.Expired()) {
+    return Error(ErrorCode::kCancelled, "acme: deadline expired before finalize");
+  }
+  Result<Certificate> cert = ca_->FinalizeOrder(order.value(), csr, txt,
+                                                clock_->NowMs() / 1000);
+  if (!cert.ok()) {
+    return cert.error();
+  }
+  last_cert_ = std::move(cert).value();
+  last_with_proof_ = with_proof;
+  return Status::Ok();
+}
+
+}  // namespace nope

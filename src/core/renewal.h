@@ -1,0 +1,194 @@
+// Fault-tolerant issuance & renewal lifecycle (server side of §7).
+//
+// NOPE's proof is only as fresh as its truncated timestamp TS, so a
+// production server must re-prove and re-issue on a schedule against
+// dependencies that fail: DNS lookups time out, the CA throttles, proving
+// jobs overrun their window. RenewalManager is the state machine that
+// survives this:
+//
+//   HEALTHY --(N consecutive proof-path failures)--> DEGRADED
+//   DEGRADED: every cycle probes the proof path first, then falls back to
+//             legacy (proof-less) issuance with a recorded downgrade reason
+//   DEGRADED --(probe succeeds)--> HEALTHY (recovery event)
+//
+// One renewal cycle runs the three-stage pipeline (resolve DNSSEC chain ->
+// generate proof -> ACME finalize) with per-stage seeded-jitter retries
+// under a total attempt deadline budget. Every decision point draws from an
+// injected Clock and a seeded Rng, so a scenario under SimClock replays to a
+// byte-identical event log — multi-day lifecycles are testable in
+// milliseconds (tests/renewal_sim_test.cc, bench/bench_renewal_faults.cc).
+#ifndef SRC_CORE_RENEWAL_H_
+#define SRC_CORE_RENEWAL_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/dns/flaky_resolver.h"
+#include "src/pki/flaky_ca.h"
+
+namespace nope {
+
+// The three-stage issuance pipeline the manager drives. Implementations must
+// honor the deadline cooperatively (return ErrorCode::kCancelled once it
+// expires) and must burn simulated/real time through their Clock only.
+class IssuancePipeline {
+ public:
+  virtual ~IssuancePipeline() = default;
+
+  // Fig. 2 step 1: fetch and validate the DNSSEC chain of trust.
+  virtual Status ResolveChain(const Deadline& deadline) = 0;
+  // Fig. 2 step 2: produce the Groth16 proof (the cancellable stage).
+  virtual Status GenerateProof(const Deadline& deadline) = 0;
+  // Fig. 2 steps 3-7: ACME order + DNS-01 validation + certificate.
+  // with_proof=false is the legacy (degraded) path that skips NOPE SANs.
+  virtual Status FinalizeCertificate(const Deadline& deadline, bool with_proof) = 0;
+};
+
+enum class RenewalEventKind {
+  kScheduled,      // next attempt time chosen (jittered lead)
+  kAttemptStart,   // one renewal cycle begins
+  kStageOk,        // a pipeline stage succeeded
+  kStageFault,     // a pipeline stage failed once
+  kBackoff,        // sleeping a jittered retry delay
+  kAttemptFailed,  // a full cycle failed (all retries / budget exhausted)
+  kIssuedNope,     // certificate with NOPE proof issued
+  kIssuedLegacy,   // proof-less certificate issued (degraded mode)
+  kDegraded,       // entered degraded mode (downgrade reason recorded)
+  kRecovered,      // proof path healthy again; left degraded mode
+  kCertLapsed,     // the previous certificate expired before re-issuance
+};
+constexpr int kNumRenewalEventKinds = static_cast<int>(RenewalEventKind::kCertLapsed) + 1;
+const char* RenewalEventKindName(RenewalEventKind kind);
+
+struct RenewalEvent {
+  uint64_t t_ms = 0;
+  RenewalEventKind kind = RenewalEventKind::kScheduled;
+  std::string detail;
+};
+
+struct RenewalConfig {
+  // Certificate lifetime stand-in: a fresh cert expires this far ahead.
+  uint64_t renewal_period_ms = 90ull * 24 * 3600 * 1000;
+  // Renewal starts this long before expiry, jittered by +-lead_jitter_fraction
+  // (herd-avoidance, and it exercises the schedule determinism contract).
+  uint64_t lead_ms = 7ull * 24 * 3600 * 1000;
+  double lead_jitter_fraction = 0.1;
+  // Per-stage retry/backoff policy, bounded by the attempt budget below.
+  RetryPolicy retry;
+  // Total deadline budget for one renewal cycle's proof path (and separately
+  // for its legacy fallback).
+  uint64_t attempt_budget_ms = 15ull * 60 * 1000;
+  // After this many consecutive proof-path cycle failures, degrade to legacy
+  // issuance (§7's graceful degradation, server side).
+  size_t degrade_after = 3;
+  // Delay before re-trying a failed cycle that did not yet degrade.
+  uint64_t reattempt_delay_ms = 3600ull * 1000;
+};
+
+struct RenewalStats {
+  size_t cycles = 0;
+  size_t nope_issued = 0;
+  size_t legacy_issued = 0;
+  size_t downgrades = 0;
+  size_t recoveries = 0;
+  size_t stage_faults = 0;
+};
+
+class RenewalManager {
+ public:
+  // clock and pipeline must outlive the manager. `seed` drives retry jitter
+  // and lead jitter; everything else is deterministic given the pipeline.
+  RenewalManager(const RenewalConfig& config, Clock* clock,
+                 IssuancePipeline* pipeline, uint64_t seed);
+
+  // Drives the lifecycle until the clock passes `until_ms`: sleeps to each
+  // scheduled attempt, runs cycles, reschedules. Under SimClock this is the
+  // whole multi-day scenario in one call.
+  void Run(uint64_t until_ms);
+
+  // One renewal cycle right now (probe + issuance + possible legacy
+  // fallback). Returns true when any certificate (NOPE or legacy) was
+  // issued. Exposed for step-by-step tests; Run() is the production loop.
+  bool RunOneCycle();
+
+  bool degraded() const { return degraded_; }
+  const std::string& degrade_reason() const { return degrade_reason_; }
+  size_t consecutive_proof_failures() const { return consecutive_proof_failures_; }
+  uint64_t cert_expires_at_ms() const { return cert_expires_at_ms_; }
+  uint64_t next_attempt_at_ms() const { return next_attempt_at_ms_; }
+  const RenewalStats& stats() const { return stats_; }
+  const std::vector<RenewalEvent>& events() const { return events_; }
+
+  // Canonical fixed-format transcript of every event. Two runs of the same
+  // scenario with the same seed produce byte-identical logs; the renewal
+  // test suite diffs these directly.
+  std::string EventLog() const;
+
+ private:
+  void Emit(RenewalEventKind kind, std::string detail);
+  // Runs one stage under the cycle budget with jittered retries.
+  Status RunStage(const char* stage, const Deadline& budget,
+                  const std::function<Status(const Deadline&)>& fn);
+  Status TryNopeIssuance(const Deadline& budget);
+  Status TryLegacyIssuance(const Deadline& budget);
+  void ScheduleNext(bool issued);
+
+  RenewalConfig config_;
+  Clock* clock_;
+  IssuancePipeline* pipeline_;
+  Rng rng_;
+
+  bool degraded_ = false;
+  std::string degrade_reason_;
+  size_t consecutive_proof_failures_ = 0;
+  uint64_t cert_expires_at_ms_ = 0;  // 0 = no certificate yet
+  uint64_t next_attempt_at_ms_ = 0;
+  bool lapse_reported_ = false;
+  RenewalStats stats_;
+  std::vector<RenewalEvent> events_;
+};
+
+// Concrete pipeline over the simulated world: FlakyResolver for DNSSEC and
+// ACME-challenge lookups, FlakyCa for issuance, a modeled proving stage that
+// burns prove_ms of clock time in slices while honoring the deadline (the
+// simulated twin of groth16::Prove's chunk-boundary cancellation; the real
+// prover's cancellation is exercised in tests/cancellation_test.cc).
+struct SimulatedPipelineConfig {
+  uint64_t resolve_ms = 200;       // healthy chain lookup
+  uint64_t prove_ms = 45'000;      // paper-scale single-thread proving (§8.2)
+  uint64_t prove_slice_ms = 1000;  // cancellation-poll granularity
+  uint64_t acme_ms = 6'000;        // initiation + verification legs (Fig. 5)
+  uint64_t skew_tolerance_s = 0;   // RRSIG validity-window tolerance
+};
+
+class SimulatedPipeline : public IssuancePipeline {
+ public:
+  SimulatedPipeline(FlakyResolver* resolver, FlakyCa* ca, Clock* clock,
+                    const DnsName& domain, Bytes tls_public_key,
+                    const SimulatedPipelineConfig& config);
+
+  Status ResolveChain(const Deadline& deadline) override;
+  Status GenerateProof(const Deadline& deadline) override;
+  Status FinalizeCertificate(const Deadline& deadline, bool with_proof) override;
+
+  const std::optional<Certificate>& last_certificate() const { return last_cert_; }
+  bool last_cert_has_proof() const { return last_with_proof_; }
+
+ private:
+  FlakyResolver* resolver_;
+  FlakyCa* ca_;
+  Clock* clock_;
+  DnsName domain_;
+  Bytes tls_public_key_;
+  SimulatedPipelineConfig config_;
+  std::optional<ChainOfTrust> chain_;
+  std::optional<Certificate> last_cert_;
+  bool last_with_proof_ = false;
+};
+
+}  // namespace nope
+
+#endif  // SRC_CORE_RENEWAL_H_

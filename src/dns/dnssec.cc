@@ -400,6 +400,30 @@ Status ValidateChain(const CryptoSuite& suite, const ChainOfTrust& chain,
   return Status::Ok();
 }
 
+Status ValidateChainTimes(const ChainOfTrust& chain, uint64_t now,
+                          uint64_t skew_tolerance_s) {
+  auto check = [&](const RrsigRdata& rrsig, const std::string& where) -> Status {
+    uint64_t inception = rrsig.inception;
+    uint64_t expiration = rrsig.expiration;
+    if (now + skew_tolerance_s < inception) {
+      return Error(ErrorCode::kOutOfRange,
+                   where + ": RRSIG inception is in the future (clock skew?)");
+    }
+    if (now > expiration + skew_tolerance_s) {
+      return Error(ErrorCode::kOutOfRange, where + ": RRSIG expired");
+    }
+    return Status::Ok();
+  };
+  NOPE_RETURN_IF_ERROR(check(chain.leaf_ds.rrsig, "leaf DS"));
+  for (size_t i = 0; i < chain.levels.size(); ++i) {
+    const ChainLink& link = chain.levels[i];
+    std::string where = "level " + std::to_string(i) + " (" + link.zone.ToString() + ")";
+    NOPE_RETURN_IF_ERROR(check(link.dnskey.rrsig, where + " DNSKEY"));
+    NOPE_RETURN_IF_ERROR(check(link.ds.rrsig, where + " DS"));
+  }
+  return Status::Ok();
+}
+
 Bytes SerializeDceChain(const ChainOfTrust& chain) {
   Bytes out;
   auto append_signed = [&out](const SignedRrset& s) {

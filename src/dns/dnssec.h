@@ -152,6 +152,14 @@ class DnssecHierarchy {
 Status ValidateChain(const CryptoSuite& suite, const ChainOfTrust& chain,
                      const DnskeyRdata& trust_anchor);
 
+// RRSIG temporal validation (RFC 4034 §3.1.5): every signature in the chain
+// must satisfy inception <= now <= expiration, widened by `skew_tolerance_s`
+// on both ends to absorb resolver/server clock skew (0 = strict). Kept
+// separate from ValidateChain because the cryptographic checks are
+// time-independent and the simulation's fixed epoch is not always "now".
+Status ValidateChainTimes(const ChainOfTrust& chain, uint64_t now,
+                          uint64_t skew_tolerance_s);
+
 // Serialized size of the full chain as DCE would ship it in the TLS
 // handshake (RFC 9102-style: all RRsets + RRSIGs + DNSKEY RRsets).
 Bytes SerializeDceChain(const ChainOfTrust& chain);

@@ -1,0 +1,132 @@
+#include "src/dns/flaky_resolver.h"
+
+namespace nope {
+
+const char* DnsFaultName(DnsFault fault) {
+  switch (fault) {
+    case DnsFault::kNone:
+      return "none";
+    case DnsFault::kTimeout:
+      return "timeout";
+    case DnsFault::kServfail:
+      return "servfail";
+    case DnsFault::kTruncatedRrsig:
+      return "truncated_rrsig";
+    case DnsFault::kExpiredRrsig:
+      return "expired_rrsig";
+    case DnsFault::kClockSkew:
+      return "clock_skew";
+  }
+  return "unknown";
+}
+
+FlakyResolver::FlakyResolver(DnssecHierarchy* dns, Clock* clock, uint64_t seed,
+                             double fault_rate)
+    : dns_(dns), clock_(clock), mutator_(seed), fault_rate_(fault_rate) {}
+
+void FlakyResolver::ForceFault(DnsFault fault, size_t count) {
+  forced_ = fault;
+  forced_remaining_ = count;
+}
+
+void FlakyResolver::ClearForced() {
+  forced_ = DnsFault::kNone;
+  forced_remaining_ = 0;
+}
+
+DnsFault FlakyResolver::DrawFault(bool transport_only) {
+  ++calls_;
+  if (forced_remaining_ > 0 && forced_ != DnsFault::kNone) {
+    bool forced_is_transport =
+        forced_ == DnsFault::kTimeout || forced_ == DnsFault::kServfail;
+    if (transport_only && !forced_is_transport) {
+      return DnsFault::kNone;  // chain-data outage; TXT stays healthy
+    }
+    if (forced_remaining_ != SIZE_MAX) {
+      --forced_remaining_;
+    }
+    return forced_;
+  }
+  // One Rng draw decides fault-or-not, a second picks the kind, so the
+  // stream consumed per call is fixed and schedules replay exactly.
+  uint64_t roll = mutator_.rng()->NextBelow(1'000'000);
+  uint64_t kind = mutator_.rng()->NextBelow(kNumDnsFaults - 1);
+  if (static_cast<double>(roll) >= fault_rate_ * 1e6) {
+    return DnsFault::kNone;
+  }
+  return static_cast<DnsFault>(kind + 1);
+}
+
+Result<ChainOfTrust> FlakyResolver::BuildChain(const DnsName& domain) {
+  DnsFault fault = DrawFault(/*transport_only=*/false);
+  last_fault_ = fault;
+  if (fault != DnsFault::kNone) {
+    ++faults_injected_;
+  }
+  switch (fault) {
+    case DnsFault::kTimeout:
+      clock_->SleepMs(timeout_ms_);
+      return Error(ErrorCode::kTimedOut, "DNS chain lookup timed out for " + domain.ToString());
+    case DnsFault::kServfail:
+      return Error(ErrorCode::kUnavailable, "SERVFAIL resolving " + domain.ToString());
+    default:
+      break;
+  }
+
+  ChainOfTrust chain = dns_->BuildChain(domain);
+  uint64_t now_s = clock_->NowMs() / 1000;
+  switch (fault) {
+    case DnsFault::kTruncatedRrsig: {
+      // Lop off half the signature, then let the mutator corrupt what is
+      // left — models a truncated UDP response reassembled badly.
+      Bytes& sig = chain.leaf_ds.rrsig.signature;
+      sig.resize(sig.size() / 2);
+      if (!sig.empty()) {
+        sig = mutator_.Mutate(sig);
+      }
+      break;
+    }
+    case DnsFault::kExpiredRrsig: {
+      uint32_t lapsed = now_s > 0 ? static_cast<uint32_t>(now_s - 1) : 0;
+      chain.leaf_ds.rrsig.expiration = lapsed;
+      for (ChainLink& link : chain.levels) {
+        link.dnskey.rrsig.expiration = lapsed;
+        link.ds.rrsig.expiration = lapsed;
+      }
+      break;
+    }
+    case DnsFault::kClockSkew: {
+      uint32_t future = static_cast<uint32_t>(now_s + 3600);
+      chain.leaf_ds.rrsig.inception = future;
+      for (ChainLink& link : chain.levels) {
+        link.dnskey.rrsig.inception = future;
+        link.ds.rrsig.inception = future;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return chain;
+}
+
+Result<std::vector<std::string>> FlakyResolver::QueryTxt(const DnsName& name) {
+  DnsFault fault = DrawFault(/*transport_only=*/true);
+  last_fault_ = fault;
+  if (fault != DnsFault::kNone) {
+    ++faults_injected_;
+  }
+  switch (fault) {
+    case DnsFault::kNone:
+      return dns_->QueryTxt(name);
+    case DnsFault::kTimeout:
+      clock_->SleepMs(timeout_ms_);
+      return Error(ErrorCode::kTimedOut, "TXT lookup timed out for " + name.ToString());
+    default:
+      // TXT answers carry no RRSIG on the unauthenticated path; every data
+      // fault collapses to a failed lookup.
+      return Error(ErrorCode::kUnavailable, "SERVFAIL resolving TXT " + name.ToString());
+  }
+}
+
+}  // namespace nope

@@ -1,0 +1,92 @@
+// Fault-injecting decorator over DnssecHierarchy lookups — the "failing
+// world" the renewal lifecycle must survive (ISSUE 3; the server-side
+// counterpart of PR 1's client-side mutation harness).
+//
+// Faults are drawn from the repo's seeded xoshiro Rng, so a (seed, call
+// index) pair reproduces a fault schedule exactly and every simulation run
+// is byte-for-byte repeatable. Two fault families:
+//   * transport faults (timeout, SERVFAIL) fail the lookup outright; a
+//     timeout also burns simulated time on the injected Clock, which is how
+//     slow dependencies eat into a renewal attempt's deadline budget;
+//   * data faults (truncated RRSIG, expired RRSIG, clock skew) return a
+//     chain that LOOKS well-formed but fails downstream validation —
+//     signature corruption is produced with src/base/mutator.* and is caught
+//     by ValidateChain, temporal corruption by ValidateChainTimes.
+// ForceFault models a persistent outage (every call fails the same way until
+// cleared), which is what drives the RenewalManager's degrade-to-legacy and
+// recovery transitions in tests.
+#ifndef SRC_DNS_FLAKY_RESOLVER_H_
+#define SRC_DNS_FLAKY_RESOLVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/mutator.h"
+#include "src/dns/dnssec.h"
+
+namespace nope {
+
+enum class DnsFault {
+  kNone,
+  kTimeout,         // resolver never answered; costs timeout_ms of clock time
+  kServfail,        // upstream answered SERVFAIL
+  kTruncatedRrsig,  // RRSIG signature bytes corrupted in flight
+  kExpiredRrsig,    // cached records whose signatures have lapsed
+  kClockSkew,       // records signed "in the future" relative to our clock
+};
+constexpr int kNumDnsFaults = static_cast<int>(DnsFault::kClockSkew) + 1;
+const char* DnsFaultName(DnsFault fault);
+
+class FlakyResolver {
+ public:
+  // `dns` and `clock` must outlive the resolver. fault_rate in [0, 1] is the
+  // per-call probability of injecting a random fault.
+  FlakyResolver(DnssecHierarchy* dns, Clock* clock, uint64_t seed,
+                double fault_rate = 0.0);
+
+  void set_fault_rate(double rate) { fault_rate_ = rate; }
+  void set_timeout_ms(uint64_t ms) { timeout_ms_ = ms; }
+
+  // The next `count` calls fail with `fault` regardless of fault_rate
+  // (persistent outage). Pass SIZE_MAX for "until ClearForced()".
+  void ForceFault(DnsFault fault, size_t count);
+  void ClearForced();
+
+  // Chain-of-trust lookup with fault injection. Transport faults return a
+  // typed error (kTimedOut / kUnavailable); data faults return a corrupted
+  // chain that downstream validation rejects.
+  Result<ChainOfTrust> BuildChain(const DnsName& domain);
+
+  // TXT lookup (ACME challenge polling). Only transport faults apply; data
+  // faults degrade to SERVFAIL here since TXT records carry no RRSIG in the
+  // unauthenticated path.
+  Result<std::vector<std::string>> QueryTxt(const DnsName& name);
+
+  size_t calls() const { return calls_; }
+  size_t faults_injected() const { return faults_injected_; }
+  DnsFault last_fault() const { return last_fault_; }
+  DnssecHierarchy* dns() { return dns_; }
+
+ private:
+  // transport_only: data faults (corrupt/expired RRSIGs) only make sense for
+  // signed chains; a forced data fault leaves TXT polling healthy (it is a
+  // DNSSEC-path outage, not a transport one), while randomly drawn data
+  // faults degrade to SERVFAIL in QueryTxt.
+  DnsFault DrawFault(bool transport_only);
+
+  DnssecHierarchy* dns_;
+  Clock* clock_;
+  Mutator mutator_;
+  double fault_rate_;
+  uint64_t timeout_ms_ = 5000;
+  DnsFault forced_ = DnsFault::kNone;
+  size_t forced_remaining_ = 0;
+  size_t calls_ = 0;
+  size_t faults_injected_ = 0;
+  DnsFault last_fault_ = DnsFault::kNone;
+};
+
+}  // namespace nope
+
+#endif  // SRC_DNS_FLAKY_RESOLVER_H_

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/base/biguint.h"
+#include "src/base/cancellation.h"
 #include "src/base/check.h"
 #include "src/base/threadpool.h"
 
@@ -50,8 +51,13 @@ inline size_t PickWindow(size_t n) {
 constexpr size_t kParallelCutoff = 256;
 }  // namespace msm_detail
 
+// `cancel` (optional) is polled at window and chunk boundaries: once it
+// fires the remaining work is skipped and the returned point is garbage, so
+// callers that pass a token must check it after the call and discard the
+// result. A null or quiet token leaves the output bit-identical.
 template <typename Point>
-Point Msm(const std::vector<Point>& bases, const std::vector<BigUInt>& scalars) {
+Point Msm(const std::vector<Point>& bases, const std::vector<BigUInt>& scalars,
+          const CancellationToken* cancel = nullptr) {
   // A size mismatch means the caller assembled its query/scalar vectors
   // incorrectly -- a programming error on the trusted prover/verifier side,
   // never a property of hostile input (parsers bound sizes before this).
@@ -74,6 +80,9 @@ Point Msm(const std::vector<Point>& bases, const std::vector<BigUInt>& scalars) 
     Point result = Point::Infinity();
     std::vector<Point> buckets(num_buckets);
     for (size_t w = windows; w-- > 0;) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        return result;  // garbage; caller checks the token
+      }
       for (size_t d = 0; d < c; ++d) {
         result = result.Double();
       }
@@ -112,12 +121,18 @@ Point Msm(const std::vector<Point>& bases, const std::vector<BigUInt>& scalars) 
 
   Point result = Point::Infinity();
   for (size_t w = windows; w-- > 0;) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      return result;  // garbage; caller checks the token
+    }
     for (size_t d = 0; d < c; ++d) {
       result = result.Double();
     }
     // Phase 1: each chunk accumulates its own points into private buckets.
     pool.ParallelFor(0, num_chunks, 1, [&](size_t lo, size_t hi) {
       for (size_t ci = lo; ci < hi; ++ci) {
+        if (cancel != nullptr && cancel->cancelled()) {
+          return;  // abandon this share's remaining chunks
+        }
         auto& buckets = chunk_buckets[ci];
         std::fill(buckets.begin(), buckets.end(), Point::Infinity());
         size_t i_end = std::min(n, (ci + 1) * chunk_size);
@@ -128,7 +143,7 @@ Point Msm(const std::vector<Point>& bases, const std::vector<BigUInt>& scalars) 
           }
         }
       }
-    });
+    }, cancel);
     // Phase 2: merge per-bucket across chunks, always in chunk order so the
     // Jacobian representation is independent of the bucket partitioning.
     pool.ParallelFor(0, num_buckets, 64, [&](size_t lo, size_t hi) {
@@ -139,7 +154,7 @@ Point Msm(const std::vector<Point>& bases, const std::vector<BigUInt>& scalars) 
         }
         merged[idx] = sum;
       }
-    });
+    }, cancel);
     // Phase 3: serial window reduction (suffix sums), identical to the
     // serial path's bucket walk.
     Point running = Point::Infinity();

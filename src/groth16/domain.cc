@@ -63,11 +63,15 @@ void BitReverse(std::vector<Fr>* a, size_t log_n) {
   });
 }
 
-void FftInternal(std::vector<Fr>* a, size_t log_n, const Fr& omega) {
+void FftInternal(std::vector<Fr>* a, size_t log_n, const Fr& omega,
+                 const CancellationToken* cancel) {
   BitReverse(a, log_n);
   size_t n = a->size();
   ThreadPool& pool = ThreadPool::Global();
   for (size_t s = 1; s <= log_n; ++s) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      return;  // *a is garbage; the caller checks the token
+    }
     size_t m = size_t{1} << s;
     size_t half = m / 2;
     Fr wm = omega;
@@ -93,7 +97,7 @@ void FftInternal(std::vector<Fr>* a, size_t log_n, const Fr& omega) {
         w = w * wm;
         ++j;
       }
-    });
+    }, cancel);
   }
 }
 
@@ -201,20 +205,21 @@ EvaluationDomain::EvaluationDomain(size_t min_size) {
   shift_inv_ = shift_.Inverse();
 }
 
-void EvaluationDomain::Fft(std::vector<Fr>* a) const {
+void EvaluationDomain::Fft(std::vector<Fr>* a, const CancellationToken* cancel) const {
   NOPE_INVARIANT(a->size() == size_, "FFT input size mismatch");
-  FftInternal(a, log_size_, omega_);
+  FftInternal(a, log_size_, omega_, cancel);
 }
 
-void EvaluationDomain::Ifft(std::vector<Fr>* a) const {
+void EvaluationDomain::Ifft(std::vector<Fr>* a, const CancellationToken* cancel) const {
   NOPE_INVARIANT(a->size() == size_, "IFFT input size mismatch");
-  FftInternal(a, log_size_, omega_inv_);
+  FftInternal(a, log_size_, omega_inv_, cancel);
   ThreadPool::Global().ParallelFor(0, a->size(), kScaleMinChunk,
                                    [&](size_t lo, size_t hi) {
                                      for (size_t i = lo; i < hi; ++i) {
                                        (*a)[i] = (*a)[i] * size_inv_;
                                      }
-                                   });
+                                   },
+                                   cancel);
 }
 
 // Multiplies a[i] by factor^i for i in [0, a->size()). Shares re-derive
@@ -231,13 +236,13 @@ void EvaluationDomain::ScaleByPowers(std::vector<Fr>* a, const Fr& factor) {
       });
 }
 
-void EvaluationDomain::CosetFft(std::vector<Fr>* a) const {
+void EvaluationDomain::CosetFft(std::vector<Fr>* a, const CancellationToken* cancel) const {
   ScaleByPowers(a, shift_);
-  Fft(a);
+  Fft(a, cancel);
 }
 
-void EvaluationDomain::CosetIfft(std::vector<Fr>* a) const {
-  Ifft(a);
+void EvaluationDomain::CosetIfft(std::vector<Fr>* a, const CancellationToken* cancel) const {
+  Ifft(a, cancel);
   ScaleByPowers(a, shift_inv_);
 }
 

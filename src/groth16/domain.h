@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "src/base/cancellation.h"
 #include "src/ff/fp.h"
 
 namespace nope {
@@ -22,11 +23,15 @@ class EvaluationDomain {
   const Fr& omega() const { return omega_; }
 
   // In-place coefficient <-> evaluation transforms on vectors of size().
-  void Fft(std::vector<Fr>* a) const;
-  void Ifft(std::vector<Fr>* a) const;
+  // The optional token is polled at butterfly-stage boundaries; once it
+  // fires, remaining stages are skipped and *a is garbage, so callers that
+  // pass a token must check it afterwards (groth16::Prove does). A null or
+  // quiet token leaves the output bit-identical.
+  void Fft(std::vector<Fr>* a, const CancellationToken* cancel = nullptr) const;
+  void Ifft(std::vector<Fr>* a, const CancellationToken* cancel = nullptr) const;
   // Same over the coset shift * H.
-  void CosetFft(std::vector<Fr>* a) const;
-  void CosetIfft(std::vector<Fr>* a) const;
+  void CosetFft(std::vector<Fr>* a, const CancellationToken* cancel = nullptr) const;
+  void CosetIfft(std::vector<Fr>* a, const CancellationToken* cancel = nullptr) const;
 
   // Z(x) = x^size - 1 evaluated on the coset (constant across the coset).
   Fr VanishingOnCoset() const;

@@ -381,9 +381,32 @@ ProvingKey Setup(const ConstraintSystem& cs, Rng* rng) {
   return pk;
 }
 
+const char* ProveStatusName(ProveStatus status) {
+  switch (status) {
+    case ProveStatus::kOk:
+      return "ok";
+    case ProveStatus::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
 Proof Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng) {
+  ProveResult result = Prove(pk, cs, rng, CancellationToken());
+  // A never-firing token cannot produce kCancelled.
+  NOPE_INVARIANT(result.ok(), "Prove: uncancellable run reported kCancelled");
+  return result.proof;
+}
+
+ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
+                  const CancellationToken& cancel) {
   if (cs.mode() != ConstraintSystem::Mode::kProve) {
     throw std::invalid_argument("Prove requires a materialized constraint system");
+  }
+  // An expired deadline aborts before the (linear-time) satisfaction scan so
+  // a hopeless proving job costs near nothing.
+  if (cancel.cancelled()) {
+    return ProveResult{ProveStatus::kCancelled, Proof{}};
   }
   size_t bad = 0;
   if (!cs.IsSatisfied(&bad)) {
@@ -408,25 +431,35 @@ Proof Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng) {
                        b_vals[j] = cs.Eval(constraints[j].b);
                        c_vals[j] = cs.Eval(constraints[j].c);
                      }
-                   });
+                   },
+                   &cancel);
   for (size_t i = 0; i < pk.num_public; ++i) {
     a_vals[pk.num_constraints + i] = cs.ValueOf(static_cast<Var>(i));
   }
+  if (cancel.cancelled()) {
+    return ProveResult{ProveStatus::kCancelled, Proof{}};
+  }
 
-  domain.Ifft(&a_vals);
-  domain.Ifft(&b_vals);
-  domain.Ifft(&c_vals);
-  domain.CosetFft(&a_vals);
-  domain.CosetFft(&b_vals);
-  domain.CosetFft(&c_vals);
+  domain.Ifft(&a_vals, &cancel);
+  domain.Ifft(&b_vals, &cancel);
+  domain.Ifft(&c_vals, &cancel);
+  domain.CosetFft(&a_vals, &cancel);
+  domain.CosetFft(&b_vals, &cancel);
+  domain.CosetFft(&c_vals, &cancel);
+  if (cancel.cancelled()) {
+    return ProveResult{ProveStatus::kCancelled, Proof{}};
+  }
   Fr z_inv = domain.VanishingOnCoset().Inverse();
   std::vector<Fr> h(n);
   pool.ParallelFor(0, n, kProveMinChunk, [&](size_t lo, size_t hi) {
     for (size_t k = lo; k < hi; ++k) {
       h[k] = (a_vals[k] * b_vals[k] - c_vals[k]) * z_inv;
     }
-  });
-  domain.CosetIfft(&h);
+  }, &cancel);
+  domain.CosetIfft(&h, &cancel);
+  if (cancel.cancelled()) {
+    return ProveResult{ProveStatus::kCancelled, Proof{}};
+  }
 
   const std::vector<Fr>& values = cs.values();
   std::vector<BigUInt> z_all = ToScalars(values, 0, values.size());
@@ -436,23 +469,36 @@ Proof Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng) {
     for (size_t i = lo; i < hi; ++i) {
       h_scalars[i] = h[i].ToBigUInt();
     }
-  });
+  }, &cancel);
+  if (cancel.cancelled()) {
+    return ProveResult{ProveStatus::kCancelled, Proof{}};
+  }
 
+  // The Rng draws happen unconditionally past this point, so a quiet token
+  // leaves the caller's Rng in the same state as the uncancellable overload.
   Fr r = Fr::Random(rng);
   Fr s = Fr::Random(rng);
 
-  G1 a = pk.vk.alpha_g1.Add(Msm(pk.a_query, z_all)).Add(pk.delta_g1.ScalarMul(r.ToBigUInt()));
-  G2 b = pk.vk.beta_g2.Add(Msm(pk.b_g2_query, z_all)).Add(pk.vk.delta_g2.ScalarMul(s.ToBigUInt()));
-  G1 b_g1 =
-      pk.beta_g1.Add(Msm(pk.b_g1_query, z_all)).Add(pk.delta_g1.ScalarMul(s.ToBigUInt()));
+  G1 a = pk.vk.alpha_g1.Add(Msm(pk.a_query, z_all, &cancel))
+             .Add(pk.delta_g1.ScalarMul(r.ToBigUInt()));
+  G2 b = pk.vk.beta_g2.Add(Msm(pk.b_g2_query, z_all, &cancel))
+             .Add(pk.vk.delta_g2.ScalarMul(s.ToBigUInt()));
+  G1 b_g1 = pk.beta_g1.Add(Msm(pk.b_g1_query, z_all, &cancel))
+                .Add(pk.delta_g1.ScalarMul(s.ToBigUInt()));
+  if (cancel.cancelled()) {
+    return ProveResult{ProveStatus::kCancelled, Proof{}};
+  }
 
-  G1 c = Msm(pk.l_query, z_wit)
-             .Add(Msm(pk.h_query, h_scalars))
+  G1 c = Msm(pk.l_query, z_wit, &cancel)
+             .Add(Msm(pk.h_query, h_scalars, &cancel))
              .Add(a.ScalarMul(s.ToBigUInt()))
              .Add(b_g1.ScalarMul(r.ToBigUInt()))
              .Add(pk.delta_g1.ScalarMul((r * s).ToBigUInt()).Negate());
+  if (cancel.cancelled()) {
+    return ProveResult{ProveStatus::kCancelled, Proof{}};
+  }
 
-  return Proof{a, b, c};
+  return ProveResult{ProveStatus::kOk, Proof{a, b, c}};
 }
 
 bool Verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs, const Proof& proof) {

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "src/base/cancellation.h"
 #include "src/base/result.h"
 #include "src/ec/bn254.h"
 #include "src/groth16/domain.h"
@@ -70,6 +71,26 @@ ProvingKey Setup(const ConstraintSystem& cs, Rng* rng);
 // Produces a zero-knowledge proof for the assignment held in cs (which must
 // satisfy the constraints; throws std::invalid_argument otherwise).
 Proof Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng);
+
+// Cancellable prover for deadline-bounded issuance jobs (the renewal
+// lifecycle's proving stage). The token is polled cooperatively: at entry,
+// between pipeline phases (QAP evaluation, each FFT, each MSM), and inside
+// the parallel loops at chunk boundaries, so an already-expired deadline
+// returns promptly and a mid-flight cancellation abandons queued work within
+// one chunk. On kCancelled the proof field is meaningless; the global
+// ThreadPool is always left reusable. With a token that never fires the
+// returned proof is bit-identical to Prove() at the same Rng state (the
+// checks are pure reads and the Rng is consumed identically).
+enum class ProveStatus { kOk, kCancelled };
+const char* ProveStatusName(ProveStatus status);
+struct ProveResult {
+  ProveStatus status = ProveStatus::kOk;
+  Proof proof;
+
+  bool ok() const { return status == ProveStatus::kOk; }
+};
+ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
+                  const CancellationToken& cancel);
 
 // public_inputs excludes the constant 1 (so its length is vk.ic.size() - 1).
 bool Verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs, const Proof& proof);

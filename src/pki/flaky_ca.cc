@@ -1,0 +1,99 @@
+#include "src/pki/flaky_ca.h"
+
+namespace nope {
+
+const char* CaFaultName(CaFault fault) {
+  switch (fault) {
+    case CaFault::kNone:
+      return "none";
+    case CaFault::kTimeout:
+      return "timeout";
+    case CaFault::kThrottled:
+      return "throttled";
+    case CaFault::kDroppedOrder:
+      return "dropped_order";
+  }
+  return "unknown";
+}
+
+FlakyCa::FlakyCa(CertificateAuthority* ca, Clock* clock, uint64_t seed,
+                 double fault_rate)
+    : ca_(ca), clock_(clock), rng_(seed), fault_rate_(fault_rate) {}
+
+void FlakyCa::ForceFault(CaFault fault, size_t count) {
+  forced_ = fault;
+  forced_remaining_ = count;
+}
+
+void FlakyCa::ClearForced() {
+  forced_ = CaFault::kNone;
+  forced_remaining_ = 0;
+}
+
+CaFault FlakyCa::DrawFault() {
+  ++calls_;
+  if (forced_remaining_ > 0 && forced_ != CaFault::kNone) {
+    if (forced_remaining_ != SIZE_MAX) {
+      --forced_remaining_;
+    }
+    return forced_;
+  }
+  // Fixed two-draw consumption per call (see FlakyResolver::DrawFault).
+  uint64_t roll = rng_.NextBelow(1'000'000);
+  uint64_t kind = rng_.NextBelow(kNumCaFaults - 1);
+  if (static_cast<double>(roll) >= fault_rate_ * 1e6) {
+    return CaFault::kNone;
+  }
+  return static_cast<CaFault>(kind + 1);
+}
+
+Result<AcmeOrder> FlakyCa::NewOrder(const CertificateSigningRequest& csr) {
+  CaFault fault = DrawFault();
+  last_fault_ = fault;
+  if (fault != CaFault::kNone) {
+    ++faults_injected_;
+  }
+  switch (fault) {
+    case CaFault::kTimeout:
+      clock_->SleepMs(timeout_ms_);
+      return Error(ErrorCode::kTimedOut, "ACME new-order request timed out");
+    case CaFault::kThrottled:
+      return Error(ErrorCode::kUnavailable, "ACME new-order throttled (429)");
+    case CaFault::kDroppedOrder:
+      // An order the CA immediately forgets is indistinguishable from a
+      // throttle at order time; the distinct behavior shows at finalize.
+      return Error(ErrorCode::kUnavailable, "ACME new-order dropped");
+    case CaFault::kNone:
+      break;
+  }
+  return ca_->NewOrder(csr);
+}
+
+Result<Certificate> FlakyCa::FinalizeOrder(const AcmeOrder& order,
+                                           const CertificateSigningRequest& csr,
+                                           const TxtResolver& resolver, uint64_t now) {
+  CaFault fault = DrawFault();
+  last_fault_ = fault;
+  if (fault != CaFault::kNone) {
+    ++faults_injected_;
+  }
+  switch (fault) {
+    case CaFault::kTimeout:
+      clock_->SleepMs(timeout_ms_);
+      return Error(ErrorCode::kTimedOut, "ACME finalize request timed out");
+    case CaFault::kThrottled:
+      return Error(ErrorCode::kUnavailable, "ACME finalize throttled (429)");
+    case CaFault::kDroppedOrder:
+      return Error(ErrorCode::kMissing,
+                   "ACME order " + std::to_string(order.id) + " not found (dropped)");
+    case CaFault::kNone:
+      break;
+  }
+  std::optional<Certificate> cert = ca_->FinalizeOrder(order, csr, resolver, now);
+  if (!cert.has_value()) {
+    return Error(ErrorCode::kBadChecksum, "ACME DNS-01 validation failed");
+  }
+  return *cert;
+}
+
+}  // namespace nope

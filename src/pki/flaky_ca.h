@@ -1,0 +1,69 @@
+// Fault-injecting decorator over the simulated CertificateAuthority: the
+// ACME dependency side of the failing world (companion to
+// src/dns/flaky_resolver.h, same seeded-schedule contract).
+//
+// Fault kinds model what a production issuance pipeline actually sees from a
+// CA: requests that hang until a client-side timeout (burning deadline
+// budget on the injected Clock), 429-style throttling, and orders the CA
+// loses server-side so finalization never succeeds. Validation failures that
+// originate in DNS (the CA could not see the challenge record) are NOT
+// injected here — they emerge naturally when the CA's TxtResolver is itself
+// a faulty lookup.
+#ifndef SRC_PKI_FLAKY_CA_H_
+#define SRC_PKI_FLAKY_CA_H_
+
+#include "src/base/clock.h"
+#include "src/pki/ca.h"
+
+namespace nope {
+
+enum class CaFault {
+  kNone,
+  kTimeout,       // request hung; costs timeout_ms of clock time
+  kThrottled,     // 429 Too Many Requests
+  kDroppedOrder,  // CA lost the order server-side
+};
+constexpr int kNumCaFaults = static_cast<int>(CaFault::kDroppedOrder) + 1;
+const char* CaFaultName(CaFault fault);
+
+class FlakyCa {
+ public:
+  FlakyCa(CertificateAuthority* ca, Clock* clock, uint64_t seed,
+          double fault_rate = 0.0);
+
+  void set_fault_rate(double rate) { fault_rate_ = rate; }
+  void set_timeout_ms(uint64_t ms) { timeout_ms_ = ms; }
+  void ForceFault(CaFault fault, size_t count);
+  void ClearForced();
+
+  Result<AcmeOrder> NewOrder(const CertificateSigningRequest& csr);
+  // On success forwards to CertificateAuthority::FinalizeOrder; a validation
+  // failure there (challenge not visible through `resolver`) is reported as
+  // kBadChecksum to distinguish it from injected transport faults.
+  Result<Certificate> FinalizeOrder(const AcmeOrder& order,
+                                    const CertificateSigningRequest& csr,
+                                    const TxtResolver& resolver, uint64_t now);
+
+  CertificateAuthority* inner() { return ca_; }
+  size_t calls() const { return calls_; }
+  size_t faults_injected() const { return faults_injected_; }
+  CaFault last_fault() const { return last_fault_; }
+
+ private:
+  CaFault DrawFault();
+
+  CertificateAuthority* ca_;
+  Clock* clock_;
+  Rng rng_;
+  double fault_rate_;
+  uint64_t timeout_ms_ = 5000;
+  CaFault forced_ = CaFault::kNone;
+  size_t forced_remaining_ = 0;
+  size_t calls_ = 0;
+  size_t faults_injected_ = 0;
+  CaFault last_fault_ = CaFault::kNone;
+};
+
+}  // namespace nope
+
+#endif  // SRC_PKI_FLAKY_CA_H_

@@ -37,7 +37,11 @@ LegacyStatus LegacyVerifyChain(const CertificateChain& chain, const TrustStore& 
     return LegacyStatus::kBadChainSignature;
   }
   const CertificateBody& body = chain.leaf.body;
-  if (now < body.not_before || now > body.not_after) {
+  // Validity window widened by the configured skew tolerance on both ends:
+  // a cert that is "not yet valid" by less than the tolerance (issuer clock
+  // ahead of ours) or expired by less than it (ours ahead) still passes.
+  const uint64_t skew = trust.clock_skew_tolerance_s;
+  if (now + skew < body.not_before || now > body.not_after + skew) {
     return LegacyStatus::kExpired;
   }
   if (body.subject != domain) {
@@ -47,7 +51,8 @@ LegacyStatus LegacyVerifyChain(const CertificateChain& chain, const TrustStore& 
     return LegacyStatus::kInsufficientScts;
   }
   if (stapled_ocsp != nullptr) {
-    if (stapled_ocsp->serial != body.serial || stapled_ocsp->next_update < now) {
+    if (stapled_ocsp->serial != body.serial ||
+        stapled_ocsp->next_update + skew < now) {
       return LegacyStatus::kStaleOcsp;
     }
     if (stapled_ocsp->revoked) {

@@ -13,6 +13,10 @@ namespace nope {
 struct TrustStore {
   EcdsaPublicKey ca_root;
   size_t min_scts = 1;
+  // Tolerance (seconds) applied symmetrically to certificate validity windows
+  // and OCSP staleness to absorb client/CA clock skew. 0 = strict boundaries
+  // (the historical behavior); browsers typically allow a few minutes.
+  uint64_t clock_skew_tolerance_s = 0;
 };
 
 enum class LegacyStatus {

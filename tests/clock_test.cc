@@ -1,0 +1,142 @@
+// SimClock, Deadline, and RetryPolicy: the timing substrate of the renewal
+// lifecycle. The property tests pin the determinism contract — a retry
+// schedule is a pure function of (policy, seed, budget).
+#include "src/base/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nope {
+namespace {
+
+TEST(SimClock, AdvancesInstantlyAndMonotonically) {
+  SimClock clock(1000);
+  EXPECT_EQ(clock.NowMs(), 1000u);
+  clock.SleepMs(250);
+  EXPECT_EQ(clock.NowMs(), 1250u);
+  clock.AdvanceMs(0);
+  EXPECT_EQ(clock.NowMs(), 1250u);
+  clock.SleepMs(24ull * 3600 * 1000);  // a simulated day costs nothing real
+  EXPECT_EQ(clock.NowMs(), 1250u + 24ull * 3600 * 1000);
+}
+
+TEST(RealClock, MovesForward) {
+  RealClock* clock = RealClock::Get();
+  uint64_t a = clock->NowMs();
+  clock->SleepMs(2);
+  uint64_t b = clock->NowMs();
+  EXPECT_GE(b, a + 1);
+}
+
+TEST(Deadline, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.RemainingMs(), UINT64_MAX);
+  EXPECT_FALSE(Deadline::Infinite().Expired());
+}
+
+TEST(Deadline, ExpiresExactlyAtTheInstant) {
+  SimClock clock(5000);
+  Deadline d = Deadline::After(clock, 100);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.RemainingMs(), 100u);
+  clock.AdvanceMs(99);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.RemainingMs(), 1u);
+  clock.AdvanceMs(1);
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingMs(), 0u);
+  clock.AdvanceMs(1000);
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingMs(), 0u);
+}
+
+TEST(RetryPolicy, BackoffIsGeometricWithClamp) {
+  RetryPolicy policy;
+  policy.initial_delay_ms = 100;
+  policy.multiplier = 2.0;
+  policy.max_delay_ms = 1500;
+  EXPECT_EQ(policy.BackoffMs(0), 100u);
+  EXPECT_EQ(policy.BackoffMs(1), 200u);
+  EXPECT_EQ(policy.BackoffMs(2), 400u);
+  EXPECT_EQ(policy.BackoffMs(3), 800u);
+  EXPECT_EQ(policy.BackoffMs(4), 1500u);  // clamped
+  EXPECT_EQ(policy.BackoffMs(20), 1500u);
+}
+
+// Property: for any seed, the full schedule is byte-identical across replays.
+TEST(RetryPolicy, ScheduleIsDeterministicPerSeed) {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    Rng a(seed), b(seed);
+    std::vector<uint64_t> first = policy.Schedule(/*budget_ms=*/600'000, &a);
+    std::vector<uint64_t> second = policy.Schedule(/*budget_ms=*/600'000, &b);
+    EXPECT_EQ(first, second) << "seed=" << seed;
+  }
+  // Distinct seeds should (overwhelmingly) produce distinct jitter somewhere.
+  Rng a(1), b(2);
+  EXPECT_NE(policy.Schedule(600'000, &a), policy.Schedule(600'000, &b));
+}
+
+// Property: every jittered delay stays within the configured fraction of its
+// un-jittered base (integer rounding allows +-1 ms at the edges).
+TEST(RetryPolicy, JitterStaysWithinConfiguredFraction) {
+  RetryPolicy policy;
+  policy.initial_delay_ms = 1000;
+  policy.max_delay_ms = 60'000;
+  policy.jitter_fraction = 0.25;
+  policy.max_attempts = 6;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    for (size_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+      uint64_t base = policy.BackoffMs(attempt);
+      uint64_t delay = policy.DelayMs(attempt, &rng);
+      uint64_t width = static_cast<uint64_t>(
+          static_cast<double>(base) * policy.jitter_fraction);
+      EXPECT_GE(delay, base - width) << "seed=" << seed << " attempt=" << attempt;
+      EXPECT_LE(delay, base + width) << "seed=" << seed << " attempt=" << attempt;
+    }
+  }
+}
+
+TEST(RetryPolicy, ZeroJitterDrawsButNeverDeviates) {
+  RetryPolicy policy;
+  policy.jitter_fraction = 0.0;
+  Rng rng(7);
+  for (size_t attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_EQ(policy.DelayMs(attempt, &rng), policy.BackoffMs(attempt));
+  }
+}
+
+// Property: the cumulative schedule never exceeds the budget, and attempt
+// count never exceeds max_attempts - 1 delays.
+TEST(RetryPolicy, ScheduleBoundedByBudgetAndAttempts) {
+  RetryPolicy policy;
+  policy.initial_delay_ms = 500;
+  policy.max_attempts = 10;
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    for (uint64_t budget : {0ull, 100ull, 1'000ull, 10'000ull, 100'000ull}) {
+      Rng rng(seed);
+      std::vector<uint64_t> schedule = policy.Schedule(budget, &rng);
+      EXPECT_LE(schedule.size(), policy.max_attempts - 1);
+      uint64_t total = 0;
+      for (uint64_t d : schedule) {
+        total += d;
+      }
+      EXPECT_LE(total, budget) << "seed=" << seed << " budget=" << budget;
+    }
+  }
+}
+
+TEST(RetryPolicy, GenerousBudgetYieldsFullSchedule) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  Rng rng(42);
+  std::vector<uint64_t> schedule = policy.Schedule(UINT64_MAX / 2, &rng);
+  EXPECT_EQ(schedule.size(), policy.max_attempts - 1);
+}
+
+}  // namespace
+}  // namespace nope

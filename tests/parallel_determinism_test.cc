@@ -7,6 +7,7 @@
 // min-chunk sizes, and BatchInvert's 2*1024 block threshold).
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <thread>
 #include <vector>
 
@@ -96,18 +97,22 @@ TEST_F(ParallelDeterminism, FftFamilyBitIdenticalAcrossThreadCounts) {
     for (auto& v : input) {
       v = Fr::Random(&rng);
     }
-    using Transform = void (EvaluationDomain::*)(std::vector<Fr>*) const;
-    for (Transform op : {static_cast<Transform>(&EvaluationDomain::Fft),
-                         static_cast<Transform>(&EvaluationDomain::Ifft),
-                         static_cast<Transform>(&EvaluationDomain::CosetFft),
-                         static_cast<Transform>(&EvaluationDomain::CosetIfft)}) {
+    using Transform =
+        std::function<void(const EvaluationDomain&, std::vector<Fr>*)>;
+    const Transform transforms[] = {
+        [](const EvaluationDomain& d, std::vector<Fr>* a) { d.Fft(a); },
+        [](const EvaluationDomain& d, std::vector<Fr>* a) { d.Ifft(a); },
+        [](const EvaluationDomain& d, std::vector<Fr>* a) { d.CosetFft(a); },
+        [](const EvaluationDomain& d, std::vector<Fr>* a) { d.CosetIfft(a); },
+    };
+    for (const Transform& op : transforms) {
       ThreadPool::SetGlobalThreads(1);
       std::vector<Fr> reference = input;
-      (domain.*op)(&reference);
+      op(domain, &reference);
       for (size_t t : ThreadCounts()) {
         ThreadPool::SetGlobalThreads(t);
         std::vector<Fr> got = input;
-        (domain.*op)(&got);
+        op(domain, &got);
         ASSERT_EQ(reference.size(), got.size());
         for (size_t i = 0; i < reference.size(); ++i) {
           ASSERT_EQ(reference[i], got[i]) << "n=" << n << " threads=" << t

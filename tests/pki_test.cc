@@ -325,6 +325,59 @@ TEST(Handshake, LegacyVerifyPaths) {
             LegacyStatus::kStaleOcsp);
 }
 
+TEST(Handshake, ClockSkewToleranceWidensValidityWindow) {
+  PkiFixture f;
+  Certificate cert = f.ca.IssueWithoutValidation(f.Csr("example.com"), kNow);
+  CertificateChain chain{cert, f.ca.intermediate()};
+  DnsName domain = DnsName::FromString("example.com");
+  const uint64_t nb = cert.body.not_before;
+  const uint64_t na = cert.body.not_after;
+
+  // Strict store (the default): boundary instants are inclusive, one second
+  // past either edge rejects.
+  TrustStore strict{f.ca.root_public_key(), 2};
+  EXPECT_EQ(strict.clock_skew_tolerance_s, 0u);
+  EXPECT_EQ(LegacyVerifyChain(chain, strict, domain, nb, nullptr), LegacyStatus::kOk);
+  EXPECT_EQ(LegacyVerifyChain(chain, strict, domain, na, nullptr), LegacyStatus::kOk);
+  EXPECT_EQ(LegacyVerifyChain(chain, strict, domain, nb - 1, nullptr),
+            LegacyStatus::kExpired);
+  EXPECT_EQ(LegacyVerifyChain(chain, strict, domain, na + 1, nullptr),
+            LegacyStatus::kExpired);
+
+  // Tolerant store: the window widens by exactly the tolerance on both ends.
+  constexpr uint64_t kSkew = 300;
+  TrustStore tolerant{f.ca.root_public_key(), 2, kSkew};
+  EXPECT_EQ(LegacyVerifyChain(chain, tolerant, domain, nb - kSkew, nullptr),
+            LegacyStatus::kOk);
+  EXPECT_EQ(LegacyVerifyChain(chain, tolerant, domain, na + kSkew, nullptr),
+            LegacyStatus::kOk);
+  EXPECT_EQ(LegacyVerifyChain(chain, tolerant, domain, nb - kSkew - 1, nullptr),
+            LegacyStatus::kExpired);
+  EXPECT_EQ(LegacyVerifyChain(chain, tolerant, domain, na + kSkew + 1, nullptr),
+            LegacyStatus::kExpired);
+}
+
+TEST(Handshake, ClockSkewToleranceAppliesToOcspStaleness) {
+  PkiFixture f;
+  Certificate cert = f.ca.IssueWithoutValidation(f.Csr("example.com"), kNow);
+  CertificateChain chain{cert, f.ca.intermediate()};
+  DnsName domain = DnsName::FromString("example.com");
+  OcspResponse ocsp = f.ca.SignOcsp(cert.body.serial, kNow);
+  const uint64_t edge = ocsp.next_update;
+
+  TrustStore strict{f.ca.root_public_key(), 2};
+  EXPECT_EQ(LegacyVerifyChain(chain, strict, domain, edge, &ocsp), LegacyStatus::kOk);
+  EXPECT_EQ(LegacyVerifyChain(chain, strict, domain, edge + 1, &ocsp),
+            LegacyStatus::kStaleOcsp);
+
+  constexpr uint64_t kSkew = 300;
+  TrustStore tolerant{f.ca.root_public_key(), 2, kSkew};
+  EXPECT_EQ(LegacyVerifyChain(chain, tolerant, domain, edge + kSkew, &ocsp),
+            LegacyStatus::kOk);
+  EXPECT_EQ(LegacyVerifyChain(chain, tolerant, domain, edge + kSkew + 1, &ocsp),
+            LegacyStatus::kStaleOcsp);
+}
+
 TEST(Handshake, DceBundleVerifies) {
   PkiFixture f;
   DnsName domain = DnsName::FromString("example.com");

@@ -1,0 +1,288 @@
+// The renewal lifecycle under a simulated failing world: seeded fault
+// schedules, byte-identical event logs, degrade-to-legacy after exactly N
+// consecutive proof-path failures, and automatic recovery once the fault
+// clears. Everything runs under SimClock, so multi-day scenarios take
+// milliseconds of real time.
+#include "src/core/renewal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace nope {
+namespace {
+
+// The simulated hierarchy signs RRSIGs with a fixed validity window around
+// epoch 1.7e9-1.8e9 s; the simulation clock must live inside it.
+constexpr uint64_t kStartMs = 1'750'000'000'000ull;
+
+struct SimWorld {
+  SimClock clock{kStartMs};
+  Rng rng;
+  CtLog log1;
+  CtLog log2;
+  CertificateAuthority ca;
+  DnssecHierarchy dns;
+  DnsName domain = DnsName::FromString("example.org");
+  FlakyResolver resolver;
+  FlakyCa flaky_ca;
+  Bytes tls_key;
+
+  explicit SimWorld(uint64_t seed, double dns_fault_rate = 0.0,
+                    double ca_fault_rate = 0.0)
+      : rng(seed),
+        log1(1, &rng),
+        log2(2, &rng),
+        ca("lets-encrypt-sim", {&log1, &log2}, &rng),
+        dns(CryptoSuite::Toy(), seed + 1),
+        resolver(&dns, &clock, seed + 2, dns_fault_rate),
+        flaky_ca(&ca, &clock, seed + 3, ca_fault_rate) {
+    dns.AddZone(DnsName::FromString("org"));
+    dns.AddZone(domain);
+    tls_key = GenerateEcdsaKey(&rng).pub.Encode();
+  }
+
+  SimulatedPipeline MakePipeline(SimulatedPipelineConfig config = {}) {
+    return SimulatedPipeline(&resolver, &flaky_ca, &clock, domain, tls_key, config);
+  }
+};
+
+RenewalConfig FastConfig() {
+  RenewalConfig config;
+  config.renewal_period_ms = 10ull * 24 * 3600 * 1000;  // 10-day certs
+  config.lead_ms = 24ull * 3600 * 1000;                 // renew 1 day early
+  config.lead_jitter_fraction = 0.1;
+  config.retry.initial_delay_ms = 500;
+  config.retry.max_delay_ms = 10'000;
+  config.retry.max_attempts = 4;
+  config.attempt_budget_ms = 10ull * 60 * 1000;
+  config.degrade_after = 3;
+  config.reattempt_delay_ms = 3600ull * 1000;
+  return config;
+}
+
+TEST(FlakyResolver, SameSeedSameFaultSchedule) {
+  auto schedule = [](uint64_t seed) {
+    SimWorld world(seed, /*dns_fault_rate=*/0.5);
+    std::vector<DnsFault> faults;
+    for (int i = 0; i < 40; ++i) {
+      (void)world.resolver.BuildChain(world.domain);
+      faults.push_back(world.resolver.last_fault());
+    }
+    return faults;
+  };
+  EXPECT_EQ(schedule(7), schedule(7));
+  EXPECT_NE(schedule(7), schedule(8));
+}
+
+TEST(FlakyResolver, TransportFaultsReturnTypedErrors) {
+  SimWorld world(11);
+  world.resolver.set_timeout_ms(5000);
+
+  world.resolver.ForceFault(DnsFault::kTimeout, 1);
+  uint64_t before = world.clock.NowMs();
+  Result<ChainOfTrust> timed_out = world.resolver.BuildChain(world.domain);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.error().code, ErrorCode::kTimedOut);
+  EXPECT_EQ(world.clock.NowMs(), before + 5000);  // the timeout burned sim time
+
+  world.resolver.ForceFault(DnsFault::kServfail, 1);
+  Result<ChainOfTrust> servfail = world.resolver.BuildChain(world.domain);
+  ASSERT_FALSE(servfail.ok());
+  EXPECT_EQ(servfail.error().code, ErrorCode::kUnavailable);
+
+  // Forced count exhausted: back to healthy.
+  Result<ChainOfTrust> healthy = world.resolver.BuildChain(world.domain);
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_TRUE(ValidateChain(world.dns.suite(), healthy.value(),
+                            healthy.value().root_zsk)
+                  .ok());
+}
+
+TEST(FlakyResolver, DataFaultsCaughtByDownstreamValidation) {
+  SimWorld world(12);
+  uint64_t now_s = world.clock.NowMs() / 1000;
+
+  world.resolver.ForceFault(DnsFault::kTruncatedRrsig, 1);
+  Result<ChainOfTrust> truncated = world.resolver.BuildChain(world.domain);
+  ASSERT_TRUE(truncated.ok());  // transport succeeded; the chain is poisoned
+  EXPECT_FALSE(ValidateChain(world.dns.suite(), truncated.value(),
+                             truncated.value().root_zsk)
+                   .ok());
+
+  world.resolver.ForceFault(DnsFault::kExpiredRrsig, 1);
+  Result<ChainOfTrust> expired = world.resolver.BuildChain(world.domain);
+  ASSERT_TRUE(expired.ok());
+  Status expired_status = ValidateChainTimes(expired.value(), now_s, 0);
+  ASSERT_FALSE(expired_status.ok());
+  EXPECT_EQ(expired_status.error().code, ErrorCode::kOutOfRange);
+
+  // Clock-skewed records fail strict validation but pass once the tolerance
+  // covers the one-hour skew the fault injects.
+  world.resolver.ForceFault(DnsFault::kClockSkew, 1);
+  Result<ChainOfTrust> skewed = world.resolver.BuildChain(world.domain);
+  ASSERT_TRUE(skewed.ok());
+  EXPECT_FALSE(ValidateChainTimes(skewed.value(), now_s, 0).ok());
+  EXPECT_TRUE(ValidateChainTimes(skewed.value(), now_s, 7200).ok());
+}
+
+TEST(FlakyCa, ForcedFaultsReturnTypedErrors) {
+  SimWorld world(13);
+  CertificateSigningRequest csr;
+  csr.subject = world.domain;
+  csr.public_key = world.tls_key;
+
+  world.flaky_ca.ForceFault(CaFault::kThrottled, 1);
+  Result<AcmeOrder> throttled = world.flaky_ca.NewOrder(csr);
+  ASSERT_FALSE(throttled.ok());
+  EXPECT_EQ(throttled.error().code, ErrorCode::kUnavailable);
+
+  Result<AcmeOrder> order = world.flaky_ca.NewOrder(csr);
+  ASSERT_TRUE(order.ok());
+  world.dns.SetTxt(world.domain.Child("_acme-challenge"),
+                   order.value().challenge_token);
+  TxtResolver txt = [&world](const DnsName& name) {
+    Result<std::vector<std::string>> r = world.resolver.QueryTxt(name);
+    return r.ok() ? r.value() : std::vector<std::string>{};
+  };
+
+  world.flaky_ca.ForceFault(CaFault::kDroppedOrder, 1);
+  Result<Certificate> dropped = world.flaky_ca.FinalizeOrder(
+      order.value(), csr, txt, world.clock.NowMs() / 1000);
+  ASSERT_FALSE(dropped.ok());
+  EXPECT_EQ(dropped.error().code, ErrorCode::kMissing);
+
+  Result<Certificate> issued = world.flaky_ca.FinalizeOrder(
+      order.value(), csr, txt, world.clock.NowMs() / 1000);
+  EXPECT_TRUE(issued.ok());
+}
+
+TEST(RenewalManager, HealthyWorldIssuesNopeOnSchedule) {
+  SimWorld world(21);
+  SimulatedPipeline pipeline = world.MakePipeline();
+  RenewalManager manager(FastConfig(), &world.clock, &pipeline, 99);
+
+  // ~35 simulated days: the initial issuance plus a few renewals.
+  manager.Run(kStartMs + 35ull * 24 * 3600 * 1000);
+
+  EXPECT_GE(manager.stats().nope_issued, 3u);
+  EXPECT_EQ(manager.stats().legacy_issued, 0u);
+  EXPECT_EQ(manager.stats().downgrades, 0u);
+  EXPECT_FALSE(manager.degraded());
+  ASSERT_TRUE(pipeline.last_certificate().has_value());
+  EXPECT_TRUE(pipeline.last_cert_has_proof());
+  // Renewals happened before expiry: no lapse events.
+  EXPECT_EQ(manager.EventLog().find("cert_lapsed"), std::string::npos);
+}
+
+TEST(RenewalManager, EventLogByteIdenticalForSameSeed) {
+  auto run_scenario = [](uint64_t world_seed, uint64_t manager_seed) {
+    SimWorld world(world_seed, /*dns_fault_rate=*/0.15, /*ca_fault_rate=*/0.1);
+    SimulatedPipeline pipeline = world.MakePipeline();
+    RenewalManager manager(FastConfig(), &world.clock, &pipeline, manager_seed);
+    manager.Run(kStartMs + 60ull * 24 * 3600 * 1000);
+    return manager.EventLog();
+  };
+  std::string first = run_scenario(5, 6);
+  std::string second = run_scenario(5, 6);
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+  // A different seed must actually change the trajectory (jitter, faults).
+  EXPECT_NE(first, run_scenario(50, 6));
+}
+
+TEST(RenewalManager, DegradesToLegacyAfterExactlyNFailures) {
+  SimWorld world(31);
+  SimulatedPipeline pipeline = world.MakePipeline();
+  RenewalConfig config = FastConfig();
+  RenewalManager manager(config, &world.clock, &pipeline, 77);
+
+  // Persistent DNSSEC-path outage: expired RRSIGs on every chain lookup, but
+  // plain TXT resolution (the ACME path) stays healthy.
+  world.resolver.ForceFault(DnsFault::kExpiredRrsig, SIZE_MAX);
+
+  for (size_t cycle = 1; cycle < config.degrade_after; ++cycle) {
+    EXPECT_FALSE(manager.RunOneCycle());
+    EXPECT_FALSE(manager.degraded()) << "cycle " << cycle;
+    EXPECT_EQ(manager.consecutive_proof_failures(), cycle);
+    EXPECT_EQ(manager.stats().legacy_issued, 0u);
+  }
+
+  // Failure number N degrades AND issues the legacy certificate in the same
+  // cycle, with the downgrade reason recorded.
+  EXPECT_TRUE(manager.RunOneCycle());
+  EXPECT_TRUE(manager.degraded());
+  EXPECT_EQ(manager.consecutive_proof_failures(), config.degrade_after);
+  EXPECT_EQ(manager.stats().downgrades, 1u);
+  EXPECT_EQ(manager.stats().legacy_issued, 1u);
+  EXPECT_EQ(manager.stats().nope_issued, 0u);
+  EXPECT_NE(manager.degrade_reason().find("out_of_range"), std::string::npos);
+  ASSERT_TRUE(pipeline.last_certificate().has_value());
+  EXPECT_FALSE(pipeline.last_cert_has_proof());
+
+  std::string log = manager.EventLog();
+  EXPECT_NE(log.find("degraded"), std::string::npos);
+  EXPECT_NE(log.find("issued_legacy"), std::string::npos);
+  EXPECT_EQ(log.find("issued_nope"), std::string::npos);
+}
+
+TEST(RenewalManager, RecoversOnceTheFaultClears) {
+  SimWorld world(32);
+  SimulatedPipeline pipeline = world.MakePipeline();
+  RenewalConfig config = FastConfig();
+  RenewalManager manager(config, &world.clock, &pipeline, 78);
+
+  world.resolver.ForceFault(DnsFault::kExpiredRrsig, SIZE_MAX);
+  for (size_t cycle = 0; cycle < config.degrade_after; ++cycle) {
+    manager.RunOneCycle();
+  }
+  ASSERT_TRUE(manager.degraded());
+  ASSERT_FALSE(pipeline.last_cert_has_proof());
+
+  // Outage ends. The next cycle's proof-path probe succeeds, so the manager
+  // returns to NOPE issuance within one renewal period and says so.
+  world.resolver.ClearForced();
+  EXPECT_TRUE(manager.RunOneCycle());
+  EXPECT_FALSE(manager.degraded());
+  EXPECT_TRUE(manager.degrade_reason().empty());
+  EXPECT_EQ(manager.stats().recoveries, 1u);
+  EXPECT_EQ(manager.stats().nope_issued, 1u);
+  EXPECT_EQ(manager.consecutive_proof_failures(), 0u);
+  EXPECT_TRUE(pipeline.last_cert_has_proof());
+  EXPECT_NE(manager.EventLog().find("recovered"), std::string::npos);
+}
+
+TEST(RenewalManager, ProofDeadlineOverrunYieldsCancelledNotHang) {
+  SimWorld world(33);
+  SimulatedPipelineConfig pipe_config;
+  pipe_config.prove_ms = 30ull * 60 * 1000;  // proving is slower than the budget
+  SimulatedPipeline pipeline = world.MakePipeline(pipe_config);
+  RenewalConfig config = FastConfig();
+  config.retry.max_attempts = 2;
+  RenewalManager manager(config, &world.clock, &pipeline, 79);
+
+  EXPECT_FALSE(manager.RunOneCycle());
+  EXPECT_EQ(manager.consecutive_proof_failures(), 1u);
+  // The prove stage was cancelled by the attempt deadline, not wedged.
+  EXPECT_NE(manager.EventLog().find("cancelled"), std::string::npos);
+}
+
+TEST(RenewalManager, FaultSweepDegradesGracefully) {
+  auto run_at_rate = [](double rate) {
+    SimWorld world(41, rate, rate / 2);
+    SimulatedPipeline pipeline = world.MakePipeline();
+    RenewalManager manager(FastConfig(), &world.clock, &pipeline, 90);
+    manager.Run(kStartMs + 60ull * 24 * 3600 * 1000);
+    return manager.stats();
+  };
+  RenewalStats clean = run_at_rate(0.0);
+  RenewalStats faulty = run_at_rate(0.3);
+  EXPECT_EQ(clean.stage_faults, 0u);
+  EXPECT_GT(faulty.stage_faults, 0u);
+  // Even at 30% per-call fault rate, retries keep certificates flowing.
+  EXPECT_GE(faulty.nope_issued + faulty.legacy_issued, 3u);
+}
+
+}  // namespace
+}  // namespace nope

@@ -140,6 +140,35 @@ TEST(ThreadPool, DefaultThreadCountReadsEnv) {
   EXPECT_EQ(ThreadPool::DefaultThreadCount(), hw > 0 ? hw : 1u);
 }
 
+TEST(ThreadPool, ParseThreadCountAcceptsPlainDecimals) {
+  EXPECT_EQ(ThreadPool::ParseThreadCount("1", 7), 1u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("16", 7), 16u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("512", 7), 512u);  // kMaxThreads itself
+  EXPECT_EQ(ThreadPool::ParseThreadCount("007", 3), 7u);    // leading zeros fine
+}
+
+TEST(ThreadPool, ParseThreadCountRejectsGarbage) {
+  EXPECT_EQ(ThreadPool::ParseThreadCount(nullptr, 7), 7u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("", 7), 7u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("abc", 7), 7u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("4abc", 7), 7u);   // trailing junk
+  EXPECT_EQ(ThreadPool::ParseThreadCount(" 4", 7), 7u);     // leading whitespace
+  EXPECT_EQ(ThreadPool::ParseThreadCount("4 ", 7), 7u);     // trailing whitespace
+  EXPECT_EQ(ThreadPool::ParseThreadCount("-3", 7), 7u);     // sign is garbage
+  EXPECT_EQ(ThreadPool::ParseThreadCount("+3", 7), 7u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("3.5", 7), 7u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("0x10", 7), 7u);
+}
+
+TEST(ThreadPool, ParseThreadCountRejectsZeroAndHuge) {
+  EXPECT_EQ(ThreadPool::ParseThreadCount("0", 7), 7u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("513", 7), 7u);  // just past kMaxThreads
+  EXPECT_EQ(ThreadPool::ParseThreadCount("100000", 7), 7u);
+  // Would overflow uint64 if accumulated naively; the running clamp bails out
+  // long before that.
+  EXPECT_EQ(ThreadPool::ParseThreadCount("99999999999999999999999999", 7), 7u);
+}
+
 TEST(ThreadPool, SetGlobalThreadsResizesGlobalPool) {
   ThreadPool::SetGlobalThreads(5);
   EXPECT_EQ(ThreadPool::GlobalThreads(), 5u);
