@@ -182,38 +182,106 @@ void EmitThreadsComparison() {
     v = Fr::Random(&rng);
   }
 
-  auto measure = [&](size_t threads, const char* suffix) {
+  auto measure_prove = [&](size_t threads, const char* suffix) {
     ThreadPool::SetGlobalThreads(threads);
     Rng prove_rng(7);
     double prove_ms =
         MedianMs([&] { groth16::Prove(f.pk, f.cs, &prove_rng); });
-    double msm_ms = MedianMs([&] { benchmark::DoNotOptimize(Msm(bases, scalars)); });
-    double fft_ms = MedianMs([&] {
-      std::vector<Fr> work = poly;
-      domain.CosetFft(&work);
-      domain.CosetIfft(&work);
-    });
     char name[64];
     std::snprintf(name, sizeof(name), "prove_ms_%s", suffix);
     EmitJson(name, prove_ms);
-    std::snprintf(name, sizeof(name), "msm_g1_%zu_ms_%s", kMsmSize, suffix);
-    EmitJson(name, msm_ms);
-    std::snprintf(name, sizeof(name), "coset_fft_%zu_ms_%s", kMsmSize, suffix);
-    EmitJson(name, fft_ms);
-    return std::array<double, 3>{prove_ms, msm_ms, fft_ms};
+    return prove_ms;
   };
 
-  auto t1 = measure(1, "threads1");
-  auto t4 = measure(4, "threads4");
+  double p1 = measure_prove(1, "threads1");
+  double p4 = measure_prove(4, "threads4");
   size_t hw = ThreadPool::DefaultThreadCount();
-  auto tn = measure(hw, "threadsN");
+  double pn = measure_prove(hw, "threadsN");
+
+  // Kernel metrics gate CI via the speedup ratios below, so they get an
+  // interleaved sampling schedule: every repetition visits each thread
+  // configuration (and the old kernel) once, so slow drift -- CPU frequency
+  // scaling, a noisy co-tenant -- hits all configurations over the same
+  // time window instead of whichever happened to run last. The absolute ms
+  // metrics are medians per configuration; the speedup ratios divide the
+  // per-configuration *minimums*: preemption and steal noise are strictly
+  // additive, so the min over interleaved reps estimates each config's
+  // noise-free cost (medians still carry a few percent of scheduler jitter
+  // on a busy 1-core host, which is larger than the effects being gated).
+  // The coset-FFT sample times kFftIters transforms (a single one is ~9 ms,
+  // small enough for scheduler jitter to dominate) and divides. MsmJacobian
+  // is the pre-overhaul Pippenger (Jacobian buckets, unsigned windows, no
+  // GLV) kept as the differential reference; Msm is the signed-digit
+  // batch-affine kernel.
+  constexpr int kReps = 24;
+  constexpr int kFftIters = 6;
+  const size_t cfgs[3] = {1, 4, hw};
+  std::array<std::vector<double>, 3> msm_ms, fft_ms;
+  std::vector<double> old_ms;
+  auto once = [](const std::function<void()>& op) {
+    auto start = std::chrono::steady_clock::now();
+    op();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Rotate the visiting order so each configuration occupies each slot
+    // within the repetition equally often: the preceding measurement warms
+    // (or trashes) the cache for whichever config runs next, and a fixed
+    // order turns that into a systematic bias the paired ratios can't see.
+    for (int pos = 0; pos < 3; ++pos) {
+      int ci = (rep + pos) % 3;
+      ThreadPool::SetGlobalThreads(cfgs[ci]);
+      msm_ms[ci].push_back(
+          once([&] { benchmark::DoNotOptimize(Msm(bases, scalars)); }));
+      fft_ms[ci].push_back(once([&] {
+                             for (int it = 0; it < kFftIters; ++it) {
+                               std::vector<Fr> work = poly;
+                               domain.CosetFft(&work);
+                               domain.CosetIfft(&work);
+                             }
+                           }) /
+                           kFftIters);
+    }
+    ThreadPool::SetGlobalThreads(1);
+    old_ms.push_back(once(
+        [&] { benchmark::DoNotOptimize(MsmJacobian(bases, scalars)); }));
+  }
   ThreadPool::SetGlobalThreads(0);
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const char* suffixes[3] = {"threads1", "threads4", "threadsN"};
+  for (int ci = 0; ci < 3; ++ci) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "msm_g1_%zu_ms_%s", kMsmSize,
+                  suffixes[ci]);
+    EmitJson(name, median(msm_ms[ci]));
+    std::snprintf(name, sizeof(name), "coset_fft_%zu_ms_%s", kMsmSize,
+                  suffixes[ci]);
+    EmitJson(name, median(fft_ms[ci]));
+  }
+  char old_name[64];
+  std::snprintf(old_name, sizeof(old_name), "msm_g1_%zu_ms_old_kernel",
+                kMsmSize);
+  EmitJson(old_name, median(old_ms));
+
+  auto minimum = [](const std::vector<double>& v) {
+    return *std::min_element(v.begin(), v.end());
+  };
+  EmitJson("msm_kernel_speedup", minimum(old_ms) / minimum(msm_ms[0]));
 
   EmitJson("threads_n", static_cast<double>(hw));
-  EmitJson("prove_speedup_4t", t1[0] / t4[0]);
-  EmitJson("msm_fft_speedup_4t", (t1[1] + t1[2]) / (t4[1] + t4[2]));
-  EmitJson("prove_speedup_nt", t1[0] / tn[0]);
-  EmitJson("msm_fft_speedup_nt", (t1[1] + t1[2]) / (tn[1] + tn[2]));
+  EmitJson("prove_speedup_4t", p1 / p4);
+  EmitJson("msm_fft_speedup_4t",
+           (minimum(msm_ms[0]) + minimum(fft_ms[0])) /
+               (minimum(msm_ms[1]) + minimum(fft_ms[1])));
+  EmitJson("prove_speedup_nt", p1 / pn);
+  EmitJson("msm_fft_speedup_nt",
+           (minimum(msm_ms[0]) + minimum(fft_ms[0])) /
+               (minimum(msm_ms[2]) + minimum(fft_ms[2])));
 }
 
 }  // namespace

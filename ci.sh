@@ -19,8 +19,8 @@ cmake -B build-san -S . -DNOPE_SANITIZE=address,undefined >/dev/null
 # The sanitizer run covers the untrusted-input surface: every unit-test
 # binary that feeds parsers, plus the fault-injection campaigns.
 SAN_TARGETS=(biguint_test hash_test field_test curve_test rsa_test ecdsa_test
-             constraint_system_test groth16_test dns_test pki_test
-             analysis_test fault_injection_test
+             constraint_system_test groth16_test msm_kernel_test dns_test
+             pki_test analysis_test fault_injection_test
              clock_test cancellation_test renewal_sim_test)
 cmake --build build-san -j "$(nproc)" --target "${SAN_TARGETS[@]}"
 
@@ -32,8 +32,8 @@ done
 
 echo "=== stage 5: TSan build (parallel proving) ==="
 cmake -B build-tsan -S . -DNOPE_SANITIZE=thread >/dev/null
-TSAN_TARGETS=(threadpool_test parallel_determinism_test cancellation_test
-              renewal_sim_test)
+TSAN_TARGETS=(threadpool_test msm_kernel_test parallel_determinism_test
+              cancellation_test renewal_sim_test)
 cmake --build build-tsan -j "$(nproc)" --target "${TSAN_TARGETS[@]}"
 
 echo "=== stage 6: TSan tests ==="

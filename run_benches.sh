@@ -5,10 +5,12 @@
 # The repo root is derived from this script's own location, so it works from
 # any checkout and any cwd. Benches emit one-line JSON records of the form
 # {"bench": ..., "metric": ..., "value": ...}; those lines are collected into
-# BENCH_results.json (a JSON array) so the perf trajectory across PRs is
-# machine-readable.
+# BENCH_results.json (a JSON array), each stamped with the short commit hash,
+# so the perf trajectory across PRs is machine-readable and attributable.
 set -euo pipefail
 cd "$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 json_lines="$(mktemp)"
 bench_out="$(mktemp)"
@@ -21,7 +23,9 @@ for b in build/bench/*; do
       echo "FAILED: $b" >&2
       exit 1
     fi
-    grep '^{"bench"' "$bench_out" >> "$json_lines" || true
+    # Stamp each record with the commit it measured.
+    grep '^{"bench"' "$bench_out" \
+      | sed "s/^{/{\"commit\": \"$commit\", /" >> "$json_lines" || true
     echo
   fi
 done

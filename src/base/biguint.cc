@@ -454,6 +454,49 @@ BigUInt::HalfGcdResult BigUInt::HalfGcd(const BigUInt& n, const BigUInt& k) {
   return out;
 }
 
+std::pair<BigUInt::ExtEuclidRow, BigUInt::ExtEuclidRow> BigUInt::HalfGcdRows(
+    const BigUInt& n, const BigUInt& k) {
+  // Identical walk to HalfGcd, but both rows at the threshold crossing are
+  // returned: on exit (r0, t0) is the last row with r0 >= 2^ceil(bits/2) and
+  // (r1, t1) the first below it. Each row keeps r_i == +-t_i * k (mod n).
+  size_t half_bits = (n.BitLength() + 1) / 2;
+  BigUInt threshold = BigUInt(1) << half_bits;
+
+  BigUInt r0 = n;
+  BigUInt r1 = k % n;
+  BigUInt t0;
+  bool t0_neg = false;
+  BigUInt t1(1);
+  bool t1_neg = false;
+
+  while (r1 >= threshold) {
+    DivModResult dm = r0.DivMod(r1);
+    BigUInt qt = dm.quotient * t1;
+    BigUInt t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      if (t0 >= qt) {
+        t2 = t0 - qt;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0 + qt;
+      t2_neg = t0_neg;
+    }
+    t0 = t1;
+    t0_neg = t1_neg;
+    t1 = t2;
+    t1_neg = t2_neg;
+    r0 = r1;
+    r1 = dm.remainder;
+  }
+
+  return {ExtEuclidRow{r0, t0, t0_neg}, ExtEuclidRow{r1, t1, t1_neg}};
+}
+
 Bytes BigUInt::ToBytes(size_t width) const {
   size_t needed = (BitLength() + 7) / 8;
   if (width == 0) {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/bytes.h"
@@ -81,6 +82,16 @@ class BigUInt {
   struct HalfGcdResult;
   static HalfGcdResult HalfGcd(const BigUInt& n, const BigUInt& k);
 
+  // Same partial-Euclid walk as HalfGcd, but returns the two consecutive
+  // rows (r_m, t_m), (r_{m+1}, t_{m+1}) straddling sqrt(n): r_m >= 2^ceil(bits/2)
+  // > r_{m+1}. Each row satisfies r_i == +-t_i * k (mod n) (sign via t_neg),
+  // which is exactly the short-lattice-basis input the GLV scalar
+  // decomposition needs (two independent short vectors (r_i, -t_i) in the
+  // lattice {(a, b) : a + b*k == 0 mod n}).
+  struct ExtEuclidRow;
+  static std::pair<ExtEuclidRow, ExtEuclidRow> HalfGcdRows(const BigUInt& n,
+                                                           const BigUInt& k);
+
   // Big-endian serialization, zero-padded/truncated to `width` bytes if
   // width != 0 (throws std::length_error if the value doesn't fit).
   Bytes ToBytes(size_t width = 0) const;
@@ -105,6 +116,12 @@ struct BigUInt::HalfGcdResult {
   bool v_negated;  // true if the small pair used -v
   BigUInt w;       // w = +-(k*v) mod n, small
   bool w_negated;  // reserved; always false today
+};
+
+struct BigUInt::ExtEuclidRow {
+  BigUInt r;   // remainder (always non-negative)
+  BigUInt t;   // |t| where r == sign(t) * t * k (mod n)
+  bool t_neg;  // sign of the t coefficient
 };
 
 inline BigUInt BigUInt::operator/(const BigUInt& o) const { return DivMod(o).quotient; }

@@ -178,6 +178,23 @@ size_t ThreadPool::DefaultThreadCount() {
   return ParseThreadCount(std::getenv("NOPE_THREADS"), fallback);
 }
 
+size_t ThreadPool::HardwareLanes() {
+  static const size_t lanes = [] {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<size_t>(hw) : size_t{1};
+  }();
+  return lanes;
+}
+
+size_t ThreadPool::ComputeMinChunk(size_t count, size_t min_chunk) {
+  if (min_chunk == 0) {
+    min_chunk = 1;
+  }
+  size_t lanes = HardwareLanes();
+  size_t per_lane = (count + lanes - 1) / lanes;
+  return std::max(min_chunk, per_lane);
+}
+
 ThreadPool& ThreadPool::Global() {
   std::lock_guard<std::mutex> lock(g_global_mu);
   auto& slot = GlobalSlot();

@@ -96,6 +96,20 @@ class ThreadPool {
   // hardware_concurrency() (else 1). Exposed for tests.
   static size_t DefaultThreadCount();
 
+  // Physical lanes the machine offers (hardware_concurrency, at least 1),
+  // cached after the first call. Unlike DefaultThreadCount this ignores
+  // NOPE_THREADS: it describes the hardware, not the requested pool size.
+  static size_t HardwareLanes();
+
+  // Minimum chunk size for a compute loop over `count` elements: at least
+  // `min_chunk`, and large enough that no more than HardwareLanes() shares
+  // are created. With an oversubscribed pool (more lanes than cores) the
+  // extra shares only add queueing and cache-contention overhead, so compute
+  // call sites cap their fan-out at the physical core count. This changes
+  // only how work is partitioned across threads, never the chunk grids that
+  // callers fix as functions of input size, so results stay bit-identical.
+  static size_t ComputeMinChunk(size_t count, size_t min_chunk);
+
   // Upper bound on an environment-requested thread count. Values above this
   // are treated as misconfiguration (fat-finger or overflow), not honored.
   static constexpr size_t kMaxThreads = 512;

@@ -1,0 +1,101 @@
+// Batch Jacobian -> affine conversion and the shared-inversion (Montgomery
+// trick) primitive behind it. One field inversion costs hundreds of
+// multiplications; inverting a batch of k elements costs one inversion plus
+// 3(k-1) multiplications, so converting MSM bases and Setup query tables to
+// affine in bulk is effectively free per point.
+//
+// Determinism contract: the block grid is a pure function of the input size
+// (fixed kBatchAffineBlock), each block's inversion chain is serial within
+// the block, and blocks write disjoint output ranges of canonical affine
+// coordinates -- so the result is bit-identical for any thread count.
+#ifndef SRC_EC_BATCH_AFFINE_H_
+#define SRC_EC_BATCH_AFFINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/base/threadpool.h"
+#include "src/ec/curve.h"
+
+namespace nope {
+
+// Replaces each non-zero element of *vals with its inverse using a single
+// field inversion (Montgomery's trick). Zero elements are left untouched --
+// callers that batch slope denominators use zero as a "no pair here" hole.
+// Serial; callers parallelize by invoking it per block of a fixed grid.
+template <typename Field>
+void BatchInvertField(std::vector<Field>* vals) {
+  std::vector<Field>& v = *vals;
+  std::vector<Field> prefix(v.size());
+  Field acc = Field::One();
+  for (size_t i = 0; i < v.size(); ++i) {
+    prefix[i] = acc;
+    if (!v[i].IsZero()) {
+      acc = acc * v[i];
+    }
+  }
+  Field inv = acc.Inverse();
+  for (size_t i = v.size(); i-- > 0;) {
+    if (!v[i].IsZero()) {
+      Field orig = v[i];
+      v[i] = inv * prefix[i];
+      inv = inv * orig;
+    }
+  }
+}
+
+namespace batch_affine_detail {
+// Fixed block size: the grid depends only on input size, never thread count.
+constexpr size_t kBatchAffineBlock = 1024;
+}  // namespace batch_affine_detail
+
+// Converts a vector of Jacobian points to canonical affine coordinates with
+// one inversion per kBatchAffineBlock-sized block. Points at infinity map to
+// AffinePoint::Infinity(). Blocks run on the global pool for large inputs.
+template <typename Config>
+std::vector<AffinePoint<Config>> BatchToAffine(
+    const std::vector<EcPoint<Config>>& points) {
+  using Field = typename Config::Field;
+  constexpr size_t kBlock = batch_affine_detail::kBatchAffineBlock;
+  const size_t n = points.size();
+  std::vector<AffinePoint<Config>> out(n);
+  if (n == 0) {
+    return out;
+  }
+  const size_t num_blocks = (n + kBlock - 1) / kBlock;
+  auto convert_block = [&](size_t b) {
+    size_t lo = b * kBlock;
+    size_t hi = lo + kBlock < n ? lo + kBlock : n;
+    // zs holds z for finite points and 0 (skipped) for infinities.
+    std::vector<Field> zs(hi - lo);
+    for (size_t i = lo; i < hi; ++i) {
+      zs[i - lo] = points[i].IsInfinity() ? Field::Zero() : points[i].z;
+    }
+    BatchInvertField(&zs);
+    for (size_t i = lo; i < hi; ++i) {
+      if (points[i].IsInfinity()) {
+        out[i] = AffinePoint<Config>::Infinity();
+      } else {
+        Field zinv = zs[i - lo];
+        Field zinv2 = zinv.Square();
+        out[i] = {points[i].x * zinv2, points[i].y * zinv2 * zinv, false};
+      }
+    }
+  };
+  if (num_blocks == 1) {
+    convert_block(0);
+    return out;
+  }
+  ThreadPool::Global().ParallelFor(
+      0, num_blocks, ThreadPool::ComputeMinChunk(num_blocks, 1),
+      [&](size_t lo, size_t hi) {
+        for (size_t b = lo; b < hi; ++b) {
+          convert_block(b);
+        }
+      });
+  return out;
+}
+
+}  // namespace nope
+
+#endif  // SRC_EC_BATCH_AFFINE_H_

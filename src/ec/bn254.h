@@ -26,6 +26,8 @@ struct Bn254G2Config {
 
 using G1 = EcPoint<Bn254G1Config>;
 using G2 = EcPoint<Bn254G2Config>;
+using G1Affine = AffinePoint<Bn254G1Config>;
+using G2Affine = AffinePoint<Bn254G2Config>;
 
 // Group order (same prime as Fr's modulus).
 const BigUInt& Bn254Order();

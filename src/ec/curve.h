@@ -11,6 +11,22 @@
 
 namespace nope {
 
+// Affine point (canonical coordinates: a group element has exactly one
+// affine representation, unlike Jacobian). A standalone template rather than
+// a nested struct so functions taking affine inputs can deduce Config.
+template <typename Config>
+struct AffinePoint {
+  using Field = typename Config::Field;
+
+  Field x;
+  Field y;
+  bool infinity;
+
+  static AffinePoint Infinity() { return {Field::Zero(), Field::Zero(), true}; }
+
+  AffinePoint Negate() const { return {x, -y, infinity}; }
+};
+
 // Config requirements:
 //   using Field = ...;
 //   static Field A();
@@ -18,6 +34,7 @@ namespace nope {
 template <typename Config>
 struct EcPoint {
   using Field = typename Config::Field;
+  using ConfigType = Config;
 
   Field x;
   Field y;
@@ -33,11 +50,14 @@ struct EcPoint {
 
   bool IsInfinity() const { return z.IsZero(); }
 
-  struct Affine {
-    Field x;
-    Field y;
-    bool infinity;
-  };
+  using Affine = AffinePoint<Config>;
+
+  static EcPoint FromAffinePoint(const Affine& a) {
+    if (a.infinity) {
+      return Infinity();
+    }
+    return {a.x, a.y, Field::One()};
+  }
 
   Affine ToAffine() const {
     if (IsInfinity()) {
@@ -109,6 +129,40 @@ struct EcPoint {
     Field s1j = s1 * j;
     Field y3 = r * (v - x3) - s1j - s1j;
     Field z3 = ((z + o.z).Square() - z1z1 - z2z2) * h;
+    return {x3, y3, z3};
+  }
+
+  // Mixed addition: Add() specialized for an affine second operand (z2 == 1),
+  // saving the z2 squarings/multiplications -- ~11M+3S per add during bucket
+  // accumulation instead of full Jacobian 16M+4S. Same formula family
+  // (madd-2007-bl) as Add so degenerate cases match exactly.
+  EcPoint AddMixed(const Affine& o) const {
+    if (o.infinity) {
+      return *this;
+    }
+    if (IsInfinity()) {
+      return FromAffinePoint(o);
+    }
+    Field z1z1 = z.Square();
+    Field u2 = o.x * z1z1;
+    Field s2 = o.y * z * z1z1;
+    Field h = u2 - x;
+    Field r = s2 - y;
+    if (h.IsZero()) {
+      if (r.IsZero()) {
+        return Double();
+      }
+      return Infinity();
+    }
+    r = r + r;
+    Field i = (h + h).Square();
+    Field j = h * i;
+    Field v = x * i;
+    Field x3 = r.Square() - j - v - v;
+    Field yj = y * j;
+    Field y3 = r * (v - x3) - yj - yj;
+    Field z3 = z * h;
+    z3 = z3 + z3;
     return {x3, y3, z3};
   }
 

@@ -1,0 +1,189 @@
+#include "src/ec/glv.h"
+
+#include "src/base/check.h"
+
+namespace nope {
+
+namespace {
+
+// Sign-magnitude integers for the lattice arithmetic. `neg` is meaningless
+// (kept false) when mag is zero.
+struct SBig {
+  BigUInt mag;
+  bool neg = false;
+};
+
+SBig MakeS(const BigUInt& v, bool neg = false) {
+  return {v, v.IsZero() ? false : neg};
+}
+
+SBig SNeg(const SBig& a) { return MakeS(a.mag, !a.neg); }
+
+SBig SAdd(const SBig& a, const SBig& b) {
+  if (a.neg == b.neg) {
+    return MakeS(a.mag + b.mag, a.neg);
+  }
+  if (a.mag >= b.mag) {
+    return MakeS(a.mag - b.mag, a.neg);
+  }
+  return MakeS(b.mag - a.mag, b.neg);
+}
+
+SBig SSub(const SBig& a, const SBig& b) { return SAdd(a, SNeg(b)); }
+
+SBig SMul(const SBig& a, const SBig& b) {
+  return MakeS(a.mag * b.mag, a.neg != b.neg);
+}
+
+// Fixed-point scale for the decomposition's rounded divisions: reciprocals
+// are precomputed as round(2^kShift * b / r) so the per-scalar work is two
+// multiply-shifts instead of two long divisions. kShift = 384 leaves the
+// approximation error at k*|delta|/2^384 < 2^-130 for k < 2^254, so the
+// computed coefficients differ from exact rounding by at most 1 -- which the
+// k_i bound below absorbs.
+constexpr size_t kShift = 384;
+
+struct GlvParams {
+  Fq beta;
+  BigUInt lambda;
+  // Short basis of {(a, b) : a + b*lambda == 0 mod r}: v1 = (a1, b1),
+  // v2 = (a2, b2), determinant a1*b2 - a2*b1 == +r.
+  SBig a1, b1, a2, b2;
+  // Scaled reciprocals: g1 = round(2^kShift * b2 / r) with b2's sign,
+  // g2 = round(2^kShift * (-b1) / r) with -b1's sign, and the rounding bias
+  // 2^(kShift-1), so c_i = (k * g_i + bias) >> kShift.
+  BigUInt g1, g2, round_bias;
+  bool g1_neg = false, g2_neg = false;
+};
+
+// Finds a primitive cube root of unity mod `m` as t^((m-1)/3) for the first
+// small t where that power is nontrivial. Requires m == 1 (mod 3).
+BigUInt FindCubeRootOfUnity(const BigUInt& m) {
+  BigUInt exp = (m - BigUInt(1)) / BigUInt(3);
+  for (uint64_t t = 2; t < 100; ++t) {
+    BigUInt root = BigUInt(t).PowMod(exp, m);
+    if (root != BigUInt(1)) {
+      return root;
+    }
+  }
+  NOPE_INVARIANT(false, "GLV: no cube root of unity found");
+  return BigUInt();
+}
+
+GlvParams DeriveGlvParams() {
+  const BigUInt& r = Bn254Order();
+  const BigUInt& p = Fq::params().modulus_big;
+
+  GlvParams out;
+  out.beta = Fq::FromBigUInt(FindCubeRootOfUnity(p));
+  out.lambda = FindCubeRootOfUnity(r);
+  NOPE_INVARIANT(
+      out.lambda.MulMod(out.lambda, r).MulMod(out.lambda, r) == BigUInt(1),
+      "GLV: lambda is not a cube root of unity");
+
+  // beta and lambda each have two nontrivial choices (x and x^2); the
+  // endomorphism acts as multiplication by exactly one eigenvalue per beta.
+  // Match them empirically on the generator: phi(G) must equal lambda*G.
+  G1 g = G1Generator();
+  G1::Affine ga = g.ToAffine();
+  G1 phi_g = G1::FromAffine(out.beta * ga.x, ga.y);
+  if (!g.ScalarMul(out.lambda).Equals(phi_g)) {
+    out.lambda = out.lambda.MulMod(out.lambda, r);  // the other root
+    NOPE_INVARIANT(g.ScalarMul(out.lambda).Equals(phi_g),
+                   "GLV: no eigenvalue matches the endomorphism");
+  }
+
+  // Short lattice basis from the extended-Euclid rows around sqrt(r): each
+  // row has r_i == +-t_i*lambda (mod r), so (r_i, -t_i) lies in
+  // {(a, b) : a + b*lambda == 0 mod r}. v1 is row m+1 (the first below the
+  // threshold, both components ~sqrt(r)). For v2 the GLV construction takes
+  // the shorter of rows m and m+2: row m's remainder can sit far above
+  // sqrt(r) when the quotient at the crossing is large (it is for BN254,
+  // whose lambda yields a lopsided 191/63-bit row m).
+  auto [row_m, row_m1] = BigUInt::HalfGcdRows(r, out.lambda);
+  out.a1 = MakeS(row_m1.r);
+  out.b1 = MakeS(row_m1.t, !row_m1.t_neg);
+
+  SBig a2_m = MakeS(row_m.r);
+  SBig b2_m = MakeS(row_m.t, !row_m.t_neg);
+  // Row m+2 continues the walk one step: r_{m+2} = r_m - q*r_{m+1},
+  // t_{m+2} = t_m - q*t_{m+1} with q the Euclid quotient.
+  SBig q = MakeS(row_m.r / row_m1.r);
+  SBig r_m2 = SSub(MakeS(row_m.r), SMul(q, MakeS(row_m1.r)));
+  SBig t_m2 = SSub(MakeS(row_m.t, row_m.t_neg),
+                   SMul(q, MakeS(row_m1.t, row_m1.t_neg)));
+  SBig a2_m2 = r_m2;
+  SBig b2_m2 = MakeS(t_m2.mag, !t_m2.neg);
+
+  auto max_component = [](const SBig& a, const SBig& b) {
+    return a.mag >= b.mag ? a.mag : b.mag;
+  };
+  if (max_component(a2_m2, b2_m2) < max_component(a2_m, b2_m)) {
+    out.a2 = a2_m2;
+    out.b2 = b2_m2;
+  } else {
+    out.a2 = a2_m;
+    out.b2 = b2_m;
+  }
+
+  // Normalize the determinant to +r (negate v2 if needed); |det| == r holds
+  // whenever the basis is a genuine basis of the full lattice.
+  SBig det = SSub(SMul(out.a1, out.b2), SMul(out.a2, out.b1));
+  NOPE_INVARIANT(det.mag == r, "GLV: lattice basis determinant != +-r");
+  if (det.neg) {
+    out.a2 = SNeg(out.a2);
+    out.b2 = SNeg(out.b2);
+  }
+
+  out.g1 = ((out.b2.mag << kShift) + (r >> 1)) / r;
+  out.g1_neg = out.b2.neg;
+  out.g2 = ((out.b1.mag << kShift) + (r >> 1)) / r;
+  out.g2_neg = !out.b1.neg;  // g2 approximates -b1/r
+  out.round_bias = BigUInt(1) << (kShift - 1);
+  return out;
+}
+
+const GlvParams& Params() {
+  static const GlvParams params = DeriveGlvParams();
+  return params;
+}
+
+}  // namespace
+
+const Fq& GlvBeta() { return Params().beta; }
+
+const BigUInt& GlvLambda() { return Params().lambda; }
+
+GlvDecomposition GlvDecompose(const BigUInt& k) {
+  const GlvParams& p = Params();
+  const BigUInt& r = Bn254Order();
+  SBig ks = MakeS(k < r ? k : k % r);
+
+  // Babai round-off: (k, 0) = c1*v1 + c2*v2 + (k1, k2) with c_i the rounded
+  // rational coordinates of (k, 0) in the basis. Since det == +r:
+  //   c1 = round(k*b2 / r), c2 = round(-k*b1 / r),
+  // evaluated via the precomputed 2^kShift-scaled reciprocals (a multiply
+  // and shift per coefficient; see kShift above for the error bound).
+  SBig c1 = MakeS((ks.mag * p.g1 + p.round_bias) >> kShift, p.g1_neg);
+  SBig c2 = MakeS((ks.mag * p.g2 + p.round_bias) >> kShift, p.g2_neg);
+  SBig k1 = SSub(SSub(ks, SMul(c1, p.a1)), SMul(c2, p.a2));
+  SBig k2 = SNeg(SAdd(SMul(c1, p.b1), SMul(c2, p.b2)));
+
+  // Exact rounding keeps each component under (|v1| + |v2|) / 2; the +-1
+  // reciprocal slack adds at most one more basis vector. With basis vectors
+  // below 2^129 the components stay safely under 2^130. A violation means
+  // the basis derivation broke, not that the input was hostile.
+  NOPE_INVARIANT(k1.mag.BitLength() <= 130 && k2.mag.BitLength() <= 130,
+                 "GLV: decomposition exceeded the half-size bound");
+  return GlvDecomposition{k1.mag, k2.mag, k1.neg, k2.neg};
+}
+
+AffinePoint<Bn254G1Config> GlvEndomorphism(
+    const AffinePoint<Bn254G1Config>& p) {
+  if (p.infinity) {
+    return p;
+  }
+  return {Params().beta * p.x, p.y, false};
+}
+
+}  // namespace nope

@@ -2,23 +2,41 @@
 // Groth16 proving time, which is why the paper's headline prover costs scale
 // with the number of R1CS constraints (§4.1, §8.2).
 //
-// Large inputs run the bucket accumulation in parallel on the global
-// ThreadPool. Determinism contract: the chunk grid is a function of the
-// input size only (never of the thread count), each chunk owns a private
-// bucket array, and chunk buckets are merged in serial chunk order, so the
-// returned Jacobian point is bit-identical for any NOPE_THREADS value --
-// including the degenerate 1-lane pool running every chunk inline.
+// Two kernels live here:
+//
+//   MsmJacobian — the original straightforward kernel (Jacobian bases,
+//     unsigned windows). Kept as the differential-testing and benchmarking
+//     reference for the fast path.
+//
+//   MsmAffine / Msm — the fast kernel: affine bases (mixed additions),
+//     batch-affine bucket accumulation (per-round shared inversion resolves
+//     all pending bucket additions with one field inversion), signed-digit
+//     windows (digit in [-2^(c-1), 2^(c-1)-1], halving the bucket count via
+//     on-the-fly negation), and — for BN254 G1 only — GLV lambda
+//     decomposition (half-length scalars, double-width input).
+//
+// Determinism contract (both kernels): the window width, digit schedule and
+// chunk grid are pure functions of the input size and scalar bit-length,
+// never of the thread count; each chunk owns private buckets; chunk buckets
+// merge in serial chunk order. Affine bucket coordinates are canonical, so
+// the batch-affine reduction tree cannot leak representation differences.
+// The returned Jacobian point is bit-identical for any NOPE_THREADS value.
 #ifndef SRC_EC_MSM_H_
 #define SRC_EC_MSM_H_
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/base/biguint.h"
 #include "src/base/cancellation.h"
 #include "src/base/check.h"
 #include "src/base/threadpool.h"
+#include "src/ec/batch_affine.h"
+#include "src/ec/curve.h"
+#include "src/ec/glv.h"
 
 namespace nope {
 
@@ -45,22 +63,232 @@ inline size_t PickWindow(size_t n) {
   return c > 16 ? 16 : c;
 }
 
-// Inputs below this size take the single-pass serial path; at or above it,
-// the fixed-chunk-grid path (which parallelizes when lanes are available).
-// The path choice depends only on n, preserving the determinism contract.
+// Inputs below this size take the single-pass serial path in MsmJacobian; at
+// or above it, the fixed-chunk-grid path (which parallelizes when lanes are
+// available). The path choice depends only on n, preserving determinism.
 constexpr size_t kParallelCutoff = 256;
+
+// Window width for the signed-digit kernel: minimizes an integer cost model
+// over c. Per window: ~7 field muls per point in the batch-affine
+// accumulation and ~2 Jacobian adds (~16 muls each) per bucket in the
+// suffix walk. Deterministic integer arithmetic; depends only on (n,
+// max_bits).
+inline size_t PickSignedWindow(size_t n, size_t max_bits) {
+  size_t best_c = 2;
+  uint64_t best_cost = ~uint64_t{0};
+  for (size_t c = 2; c <= 16; ++c) {
+    uint64_t windows = (max_bits + c - 1) / c + 1;
+    uint64_t buckets = uint64_t{1} << (c - 1);
+    uint64_t cost = windows * (7 * static_cast<uint64_t>(n) + 32 * buckets);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+// Signed-digit recoding: writes `windows` digits of k in base 2^c with
+// digit in [-2^(c-1), 2^(c-1)-1]. A raw window value >= 2^(c-1) becomes
+// (raw - 2^c) plus a carry into the next window; the extra top window
+// (callers size windows = ceil(max_bits/c) + 1) absorbs the final carry, so
+// the recoding is exact: sum digit_w * 2^(cw) == k.
+inline void SignedDigits(const BigUInt& k, size_t c, size_t windows,
+                         int32_t* out) {
+  const int64_t full = int64_t{1} << c;
+  const int64_t half = int64_t{1} << (c - 1);
+  int64_t carry = 0;
+  for (size_t w = 0; w < windows; ++w) {
+    int64_t raw = static_cast<int64_t>(WindowBits(k, w * c, c)) + carry;
+    if (raw >= half) {
+      out[w] = static_cast<int32_t>(raw - full);
+      carry = 1;
+    } else {
+      out[w] = static_cast<int32_t>(raw);
+      carry = 0;
+    }
+  }
+}
+
+// Below this many pending pairs a reduction round is not worth its fixed
+// cost: the shared inversion is a ~380-mul Fermat exponentiation, while each
+// unresolved pair merely adds one ~11-mul mixed add to the suffix walk
+// (which handles multi-entry buckets). Purely a constant, so the reduction
+// depth stays a function of the entry list alone.
+constexpr size_t kMinBatchPairs = 64;
+
+// Batched pairwise-reduction rounds over a bucket-keyed affine entry list
+// (parallel arrays x/y/bucket, modified in place). Each round counting-sorts
+// the entries by bucket (stable), pairs same-bucket neighbors, and resolves
+// every pending pair of the round (adds and doublings alike) with ONE shared
+// inversion via BatchInvertField. Rounds stop when every bucket holds at
+// most one entry or when fewer than `stop_below` pending pairs remain
+// (pass 1 to force full uniqueness). Entries always leave bucket-sorted.
+//
+// Determinism: the counting sort is stable and the pair/leftover rule is
+// positional, so the reduction tree is a pure function of the entry list.
+// (Affine results are canonical anyway, so even the tree shape cannot
+// change output bytes.)
+template <typename Field, typename AParam>
+void ReduceEntryRounds(std::vector<Field>* pex, std::vector<Field>* pey,
+                       std::vector<uint32_t>* peb, size_t num_buckets,
+                       const AParam& curve_a, size_t stop_below) {
+  std::vector<Field>& ex = *pex;
+  std::vector<Field>& ey = *pey;
+  std::vector<uint32_t>& eb = *peb;
+
+  std::vector<Field> nx, ny, denom;
+  std::vector<uint32_t> nb, counts(num_buckets);
+  struct PendingPair {
+    uint32_t ia;
+    bool is_double;
+  };
+  std::vector<PendingPair> pairs;
+
+  size_t m = eb.size();
+  while (true) {
+    // Stable counting sort by bucket so same-bucket entries are adjacent.
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t j = 0; j < m; ++j) {
+      ++counts[eb[j]];
+    }
+    uint32_t acc = 0;
+    for (size_t b = 0; b < num_buckets; ++b) {
+      uint32_t c = counts[b];
+      counts[b] = acc;
+      acc += c;
+    }
+    nx.resize(m);
+    ny.resize(m);
+    nb.resize(m);
+    for (size_t j = 0; j < m; ++j) {
+      uint32_t pos = counts[eb[j]]++;
+      nx[pos] = ex[j];
+      ny[pos] = ey[j];
+      nb[pos] = eb[j];
+    }
+    ex.swap(nx);
+    ey.swap(ny);
+    eb.swap(nb);
+    if (m < 2) {
+      return;
+    }
+
+    bool any_dup = false;
+    for (size_t j = 0; j + 1 < m; ++j) {
+      if (eb[j] == eb[j + 1]) {
+        any_dup = true;
+        break;
+      }
+    }
+    if (!any_dup) {
+      return;  // every bucket holds at most one entry
+    }
+
+    // Pair adjacent same-bucket entries; record one denominator per live
+    // pair (xb - xa for adds, 2*ya for doublings). P + (-P) drops outright.
+    pairs.clear();
+    denom.clear();
+    nx.clear();
+    ny.clear();
+    nb.clear();
+    size_t j = 0;
+    while (j < m) {
+      if (j + 1 < m && eb[j + 1] == eb[j]) {
+        const Field& xa = ex[j];
+        const Field& xb = ex[j + 1];
+        if (xa == xb) {
+          if (ey[j] == ey[j + 1] && !ey[j].IsZero()) {
+            pairs.push_back({static_cast<uint32_t>(j), true});
+            denom.push_back(ey[j].Double());
+          }
+          // else the pair is P + (-P) == infinity: contributes nothing.
+        } else {
+          pairs.push_back({static_cast<uint32_t>(j), false});
+          denom.push_back(xb - xa);
+        }
+        j += 2;
+      } else {
+        nx.push_back(ex[j]);
+        ny.push_back(ey[j]);
+        nb.push_back(eb[j]);
+        ++j;
+      }
+    }
+    if (pairs.size() < stop_below) {
+      return;  // entries are sorted; the walk folds the leftovers
+    }
+    BatchInvertField(&denom);
+    for (size_t t = 0; t < pairs.size(); ++t) {
+      size_t ia = pairs[t].ia;
+      const Field& xa = ex[ia];
+      const Field& ya = ey[ia];
+      Field slope;
+      Field xb;
+      if (pairs[t].is_double) {
+        xb = xa;
+        Field xx = xa.Square();
+        slope = (xx + xx + xx + curve_a) * denom[t];
+      } else {
+        xb = ex[ia + 1];
+        slope = (ey[ia + 1] - ya) * denom[t];
+      }
+      Field x3 = slope.Square() - xa - xb;
+      nx.push_back(x3);
+      ny.push_back(slope * (xa - x3) - ya);
+      nb.push_back(eb[ia]);
+    }
+    ex.swap(nx);
+    ey.swap(ny);
+    eb.swap(nb);
+    m = eb.size();
+  }
+}
+
+// Batch-affine bucket accumulation for one (window, chunk) cell: gathers the
+// chunk's non-zero digits as signed affine entries in input order into
+// *sx/*sy/*sb, then runs batched reduction rounds. Survivors leave
+// bucket-sorted with at most a handful of entries per bucket.
+template <typename Config>
+void AccumulateChunk(const std::vector<AffinePoint<Config>>& bases,
+                     const int32_t* digits_w, size_t i_lo, size_t i_hi,
+                     size_t num_buckets,
+                     std::vector<typename Config::Field>* sx,
+                     std::vector<typename Config::Field>* sy,
+                     std::vector<uint32_t>* sb) {
+  sx->clear();
+  sy->clear();
+  sb->clear();
+  sx->reserve(i_hi - i_lo);
+  sy->reserve(i_hi - i_lo);
+  sb->reserve(i_hi - i_lo);
+  for (size_t i = i_lo; i < i_hi; ++i) {
+    int32_t d = digits_w[i];
+    if (d == 0 || bases[i].infinity) {
+      continue;
+    }
+    sb->push_back(d > 0 ? static_cast<uint32_t>(d) - 1
+                        : static_cast<uint32_t>(-d) - 1);
+    sx->push_back(bases[i].x);
+    sy->push_back(d > 0 ? bases[i].y : -bases[i].y);
+  }
+  ReduceEntryRounds(sx, sy, sb, num_buckets, Config::A(), kMinBatchPairs);
+}
 }  // namespace msm_detail
 
+// Original Pippenger kernel over Jacobian bases with unsigned windows. Kept
+// as the reference implementation: the fast kernel is differential-tested
+// against it, and bench_groth16 reports both so the speedup is visible in
+// BENCH_results.json.
+//
 // `cancel` (optional) is polled at window and chunk boundaries: once it
 // fires the remaining work is skipped and the returned point is garbage, so
 // callers that pass a token must check it after the call and discard the
 // result. A null or quiet token leaves the output bit-identical.
 template <typename Point>
-Point Msm(const std::vector<Point>& bases, const std::vector<BigUInt>& scalars,
-          const CancellationToken* cancel = nullptr) {
-  // A size mismatch means the caller assembled its query/scalar vectors
-  // incorrectly -- a programming error on the trusted prover/verifier side,
-  // never a property of hostile input (parsers bound sizes before this).
+Point MsmJacobian(const std::vector<Point>& bases,
+                  const std::vector<BigUInt>& scalars,
+                  const CancellationToken* cancel = nullptr) {
   NOPE_INVARIANT(bases.size() == scalars.size(),
                  "Msm: bases/scalars size mismatch");
   if (bases.empty()) {
@@ -128,7 +356,8 @@ Point Msm(const std::vector<Point>& bases, const std::vector<BigUInt>& scalars,
       result = result.Double();
     }
     // Phase 1: each chunk accumulates its own points into private buckets.
-    pool.ParallelFor(0, num_chunks, 1, [&](size_t lo, size_t hi) {
+    pool.ParallelFor(0, num_chunks, ThreadPool::ComputeMinChunk(num_chunks, 1),
+                     [&](size_t lo, size_t hi) {
       for (size_t ci = lo; ci < hi; ++ci) {
         if (cancel != nullptr && cancel->cancelled()) {
           return;  // abandon this share's remaining chunks
@@ -146,7 +375,9 @@ Point Msm(const std::vector<Point>& bases, const std::vector<BigUInt>& scalars,
     }, cancel);
     // Phase 2: merge per-bucket across chunks, always in chunk order so the
     // Jacobian representation is independent of the bucket partitioning.
-    pool.ParallelFor(0, num_buckets, 64, [&](size_t lo, size_t hi) {
+    pool.ParallelFor(0, num_buckets,
+                     ThreadPool::ComputeMinChunk(num_buckets, 64),
+                     [&](size_t lo, size_t hi) {
       for (size_t idx = lo; idx < hi; ++idx) {
         Point sum = chunk_buckets[0][idx];
         for (size_t ci = 1; ci < num_chunks; ++ci) {
@@ -166,6 +397,178 @@ Point Msm(const std::vector<Point>& bases, const std::vector<BigUInt>& scalars,
     result = result.Add(window_sum);
   }
   return result;
+}
+
+// Signed-digit batch-affine kernel over affine bases. Scalars are treated as
+// plain non-negative integers (callers wanting GLV go through MsmAffine).
+// Cancellation semantics match MsmJacobian.
+template <typename Config>
+EcPoint<Config> MsmSignedAffine(const std::vector<AffinePoint<Config>>& bases,
+                                const std::vector<BigUInt>& scalars,
+                                const CancellationToken* cancel = nullptr) {
+  using Point = EcPoint<Config>;
+  using Field = typename Config::Field;
+  NOPE_INVARIANT(bases.size() == scalars.size(),
+                 "Msm: bases/scalars size mismatch");
+  if (bases.empty()) {
+    return Point::Infinity();
+  }
+
+  const size_t n = bases.size();
+  size_t max_bits = 1;
+  for (const auto& s : scalars) {
+    max_bits = std::max(max_bits, s.BitLength());
+  }
+  const size_t c = msm_detail::PickSignedWindow(n, max_bits);
+  const size_t windows = (max_bits + c - 1) / c + 1;
+  const size_t num_buckets = size_t{1} << (c - 1);
+
+  ThreadPool& pool = ThreadPool::Global();
+
+  // Digit matrix in window-major layout (digits[w*n + i]) so each window's
+  // accumulation pass reads a contiguous slice instead of striding across
+  // the whole matrix. Disjoint writes of values that depend only on
+  // (scalar, c, windows), so any partition yields identical digits.
+  std::vector<int32_t> digits(windows * n);
+  pool.ParallelFor(0, n, ThreadPool::ComputeMinChunk(n, 256),
+                   [&](size_t lo, size_t hi) {
+                     std::vector<int32_t> row(windows);
+                     for (size_t i = lo; i < hi; ++i) {
+                       msm_detail::SignedDigits(scalars[i], c, windows,
+                                                row.data());
+                       for (size_t w = 0; w < windows; ++w) {
+                         digits[w * n + i] = row[w];
+                       }
+                     }
+                   },
+                   cancel);
+
+  // Fixed chunk grid, a function of (n, c) only. ~8 points per bucket keeps
+  // the batch-affine rounds dense without inflating the serial merge.
+  const size_t chunk_size = std::max<size_t>(512, 8 * num_buckets);
+  const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+
+  std::vector<std::vector<Field>> csx(num_chunks), csy(num_chunks);
+  std::vector<std::vector<uint32_t>> csb(num_chunks);
+
+  Point result = Point::Infinity();
+  for (size_t w = windows; w-- > 0;) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      return result;  // garbage; caller checks the token
+    }
+    for (size_t d = 0; d < c; ++d) {
+      result = result.Double();
+    }
+    pool.ParallelFor(0, num_chunks, ThreadPool::ComputeMinChunk(num_chunks, 1),
+                     [&](size_t lo, size_t hi) {
+                       for (size_t ci = lo; ci < hi; ++ci) {
+                         if (cancel != nullptr && cancel->cancelled()) {
+                           return;  // abandon this share's remaining chunks
+                         }
+                         msm_detail::AccumulateChunk<Config>(
+                             bases, &digits[w * n], ci * chunk_size,
+                             std::min(n, (ci + 1) * chunk_size), num_buckets,
+                             &csx[ci], &csy[ci], &csb[ci]);
+                       }
+                     },
+                     cancel);
+    // Cross-chunk merge: concatenate the chunks' survivor lists in chunk
+    // order and reduce with the same batched-inversion machinery -- ~6 field
+    // muls per fold instead of an 11-mul mixed add. The concatenation order
+    // and reduction are fixed serial code over canonical affine values, so
+    // the merge is independent of how chunks were scheduled.
+    std::vector<Field> mx, my;
+    std::vector<uint32_t> mb;
+    if (num_chunks == 1) {
+      mx.swap(csx[0]);
+      my.swap(csy[0]);
+      mb.swap(csb[0]);
+    } else {
+      for (size_t ci = 0; ci < num_chunks; ++ci) {
+        mx.insert(mx.end(), csx[ci].begin(), csx[ci].end());
+        my.insert(my.end(), csy[ci].begin(), csy[ci].end());
+        mb.insert(mb.end(), csb[ci].begin(), csb[ci].end());
+      }
+      msm_detail::ReduceEntryRounds(&mx, &my, &mb, num_buckets, Config::A(),
+                                    msm_detail::kMinBatchPairs);
+    }
+
+    // Serial suffix walk. Entries are bucket-sorted but buckets may hold a
+    // few entries each (the reduction stops once batches get too small);
+    // each one folds in with a mixed add, in list order.
+    std::vector<uint32_t> seg(num_buckets + 1, 0);
+    for (uint32_t b : mb) {
+      ++seg[b + 1];
+    }
+    for (size_t idx = 0; idx < num_buckets; ++idx) {
+      seg[idx + 1] += seg[idx];
+    }
+    Point running = Point::Infinity();
+    Point window_sum = Point::Infinity();
+    for (size_t idx = num_buckets; idx-- > 0;) {
+      for (size_t j = seg[idx]; j < seg[idx + 1]; ++j) {
+        running = running.AddMixed({mx[j], my[j], false});
+      }
+      window_sum = window_sum.Add(running);
+    }
+    result = result.Add(window_sum);
+  }
+  return result;
+}
+
+// Fast MSM over affine bases. For BN254 G1 each scalar is GLV-decomposed
+// (k == k1 + lambda*k2 mod r, |ki| < 2^130) and the instance is rewritten as
+// a 2n-point MSM over half-length scalars with sign folded into the bases
+// (valid for any scalar because G1 has cofactor 1, so kP == (k mod r)P).
+// Other curves (G2) run the signed-digit kernel directly.
+template <typename Config>
+EcPoint<Config> MsmAffine(const std::vector<AffinePoint<Config>>& bases,
+                          const std::vector<BigUInt>& scalars,
+                          const CancellationToken* cancel = nullptr) {
+  NOPE_INVARIANT(bases.size() == scalars.size(),
+                 "Msm: bases/scalars size mismatch");
+  if (bases.empty()) {
+    return EcPoint<Config>::Infinity();
+  }
+  if constexpr (GlvTraits<Config>::kEnabled) {
+    const size_t n = bases.size();
+    std::vector<AffinePoint<Config>> eff(2 * n);
+    std::vector<BigUInt> ks(2 * n);
+    ThreadPool::Global().ParallelFor(
+        0, n, ThreadPool::ComputeMinChunk(n, 64),
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            GlvDecomposition d = GlvDecompose(scalars[i]);
+            eff[i] = d.k1_neg ? bases[i].Negate() : bases[i];
+            AffinePoint<Config> endo = GlvEndomorphism(bases[i]);
+            eff[n + i] = d.k2_neg ? endo.Negate() : endo;
+            ks[i] = std::move(d.k1);
+            ks[n + i] = std::move(d.k2);
+          }
+        },
+        cancel);
+    return MsmSignedAffine(eff, ks, cancel);
+  } else {
+    return MsmSignedAffine(bases, scalars, cancel);
+  }
+}
+
+// Convenience wrapper for Jacobian inputs: one batch conversion, then the
+// fast affine kernel. Callers holding long-lived tables (the Groth16 proving
+// key) should store them affine and call MsmAffine directly.
+template <typename Point>
+Point Msm(const std::vector<Point>& bases, const std::vector<BigUInt>& scalars,
+          const CancellationToken* cancel = nullptr) {
+  using Config = typename Point::ConfigType;
+  // A size mismatch means the caller assembled its query/scalar vectors
+  // incorrectly -- a programming error on the trusted prover/verifier side,
+  // never a property of hostile input (parsers bound sizes before this).
+  NOPE_INVARIANT(bases.size() == scalars.size(),
+                 "Msm: bases/scalars size mismatch");
+  if (bases.empty()) {
+    return Point::Infinity();
+  }
+  return MsmAffine<Config>(BatchToAffine(bases), scalars, cancel);
 }
 
 }  // namespace nope

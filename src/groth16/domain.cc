@@ -12,7 +12,9 @@ namespace {
 constexpr size_t kTwoAdicity = 28;
 
 // Minimum elements per parallel share. Below these, ParallelFor collapses to
-// an inline serial call, so they double as the serial/parallel cutoffs.
+// an inline serial call, so they double as the serial/parallel cutoffs. Call
+// sites wrap them in ThreadPool::ComputeMinChunk so an oversubscribed pool
+// (more lanes than cores) never fans out past the physical core count.
 // Values are order-independent either way (canonical Montgomery form), so
 // the cutoffs affect scheduling only, never output bytes.
 constexpr size_t kButterflyMinChunk = 256;   // butterflies per FFT share
@@ -48,7 +50,9 @@ void BitReverse(std::vector<Fr>* a, size_t log_n) {
   // Each index pair (i, rev(i)) is swapped by exactly one iteration (the one
   // with i < rev(i)); bit-reversal is an involution, so shares write disjoint
   // element pairs and the result is partition-independent.
-  ThreadPool::Global().ParallelFor(0, n, kScaleMinChunk, [&](size_t lo, size_t hi) {
+  ThreadPool::Global().ParallelFor(
+      0, n, ThreadPool::ComputeMinChunk(n, kScaleMinChunk),
+      [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       size_t j = 0;
       for (size_t b = 0; b < log_n; ++b) {
@@ -81,7 +85,9 @@ void FftInternal(std::vector<Fr>* a, size_t log_n, const Fr& omega,
     // Flatten the stage into n/2 independent butterflies: butterfly t lives
     // in block t/half at offset j = t%half and touches exactly a[k+j] and
     // a[k+j+half], so any partition of [0, n/2) computes identical bytes.
-    pool.ParallelFor(0, n / 2, kButterflyMinChunk, [&](size_t lo, size_t hi) {
+    pool.ParallelFor(0, n / 2,
+                     ThreadPool::ComputeMinChunk(n / 2, kButterflyMinChunk),
+                     [&](size_t lo, size_t hi) {
       size_t j = lo % half;
       Fr w = (j == 0) ? Fr::One() : wm.Pow(BigUInt(static_cast<uint64_t>(j)));
       for (size_t t = lo; t < hi; ++t) {
@@ -133,7 +139,8 @@ void BatchInvert(std::vector<Fr>* values) {
   std::vector<Fr> prefix(n);  // within-block prefix products
   std::vector<Fr> block_total(num_blocks);
   ThreadPool& pool = ThreadPool::Global();
-  pool.ParallelFor(0, num_blocks, 1, [&](size_t lo, size_t hi) {
+  pool.ParallelFor(0, num_blocks, ThreadPool::ComputeMinChunk(num_blocks, 1),
+                   [&](size_t lo, size_t hi) {
     for (size_t b = lo; b < hi; ++b) {
       Fr acc = Fr::One();
       size_t i_end = std::min(n, (b + 1) * kBatchInvertBlock);
@@ -161,7 +168,8 @@ void BatchInvert(std::vector<Fr>* values) {
     block_suffix[b] = block_total[b] * block_suffix[b + 1];
   }
 
-  pool.ParallelFor(0, num_blocks, 1, [&](size_t lo, size_t hi) {
+  pool.ParallelFor(0, num_blocks, ThreadPool::ComputeMinChunk(num_blocks, 1),
+                   [&](size_t lo, size_t hi) {
     for (size_t b = lo; b < hi; ++b) {
       // Inverse of the product of non-zero values in blocks 0..b.
       Fr inv = total_inv * block_suffix[b + 1];
@@ -213,7 +221,9 @@ void EvaluationDomain::Fft(std::vector<Fr>* a, const CancellationToken* cancel) 
 void EvaluationDomain::Ifft(std::vector<Fr>* a, const CancellationToken* cancel) const {
   NOPE_INVARIANT(a->size() == size_, "IFFT input size mismatch");
   FftInternal(a, log_size_, omega_inv_, cancel);
-  ThreadPool::Global().ParallelFor(0, a->size(), kScaleMinChunk,
+  ThreadPool::Global().ParallelFor(0, a->size(),
+                                   ThreadPool::ComputeMinChunk(
+                                       a->size(), kScaleMinChunk),
                                    [&](size_t lo, size_t hi) {
                                      for (size_t i = lo; i < hi; ++i) {
                                        (*a)[i] = (*a)[i] * size_inv_;
@@ -226,7 +236,8 @@ void EvaluationDomain::Ifft(std::vector<Fr>* a, const CancellationToken* cancel)
 // their starting power with one Pow, then walk multiplicatively.
 void EvaluationDomain::ScaleByPowers(std::vector<Fr>* a, const Fr& factor) {
   ThreadPool::Global().ParallelFor(
-      0, a->size(), kScaleMinChunk, [&](size_t lo, size_t hi) {
+      0, a->size(), ThreadPool::ComputeMinChunk(a->size(), kScaleMinChunk),
+      [&](size_t lo, size_t hi) {
         Fr power = (lo == 0) ? Fr::One()
                              : factor.Pow(BigUInt(static_cast<uint64_t>(lo)));
         for (size_t i = lo; i < hi; ++i) {
@@ -270,7 +281,8 @@ std::vector<Fr> EvaluationDomain::LagrangeAt(const Fr& tau) const {
   }
   std::vector<Fr> denoms(size_);
   ThreadPool& pool = ThreadPool::Global();
-  pool.ParallelFor(0, size_, kScaleMinChunk, [&](size_t lo, size_t hi) {
+  pool.ParallelFor(0, size_, ThreadPool::ComputeMinChunk(size_, kScaleMinChunk),
+                   [&](size_t lo, size_t hi) {
     Fr point = (lo == 0) ? Fr::One()
                          : omega_.Pow(BigUInt(static_cast<uint64_t>(lo)));
     Fr scale = Fr::FromU64(size_);
@@ -281,7 +293,8 @@ std::vector<Fr> EvaluationDomain::LagrangeAt(const Fr& tau) const {
     }
   });
   BatchInvert(&denoms);
-  pool.ParallelFor(0, size_, kScaleMinChunk, [&](size_t lo, size_t hi) {
+  pool.ParallelFor(0, size_, ThreadPool::ComputeMinChunk(size_, kScaleMinChunk),
+                   [&](size_t lo, size_t hi) {
     for (size_t j = lo; j < hi; ++j) {
       out[j] = out[j] * denoms[j];
     }

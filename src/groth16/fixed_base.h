@@ -1,12 +1,17 @@
 // Windowed fixed-base scalar multiplication. Trusted setup performs hundreds
 // of thousands of multiplications against the two generators, so a one-time
 // table pays for itself immediately.
+//
+// Rows are stored affine (one BatchToAffine over the whole table at
+// construction) so the lookup-accumulate loop uses mixed additions: ~30%
+// cheaper per add and 2/3 the memory of Jacobian rows.
 #ifndef SRC_GROTH16_FIXED_BASE_H_
 #define SRC_GROTH16_FIXED_BASE_H_
 
 #include <vector>
 
 #include "src/base/biguint.h"
+#include "src/ec/batch_affine.h"
 
 namespace nope {
 
@@ -14,25 +19,26 @@ template <typename Point>
 class FixedBaseTable {
  public:
   explicit FixedBaseTable(const Point& base, size_t max_bits = 256, size_t window = 8)
-      : window_(window) {
+      : window_(window), row_size_((size_t{1} << window) - 1) {
     size_t num_windows = (max_bits + window - 1) / window;
-    table_.resize(num_windows);
+    std::vector<Point> jac;
+    jac.reserve(num_windows * row_size_);
     Point window_base = base;
     for (size_t w = 0; w < num_windows; ++w) {
-      auto& row = table_[w];
-      row.reserve((size_t{1} << window) - 1);
       Point acc = window_base;
       for (size_t i = 1; i < (size_t{1} << window); ++i) {
-        row.push_back(acc);
+        jac.push_back(acc);
         acc = acc.Add(window_base);
       }
       window_base = acc;  // acc == 2^window * window_base
     }
+    table_ = BatchToAffine(jac);
   }
 
   Point Mul(const BigUInt& scalar) const {
     Point out = Point::Infinity();
-    for (size_t w = 0; w < table_.size(); ++w) {
+    size_t num_windows = table_.size() / row_size_;
+    for (size_t w = 0; w < num_windows; ++w) {
       uint64_t bits = 0;
       for (size_t b = 0; b < window_; ++b) {
         if (scalar.Bit(w * window_ + b)) {
@@ -40,7 +46,7 @@ class FixedBaseTable {
         }
       }
       if (bits != 0) {
-        out = out.Add(table_[w][bits - 1]);
+        out = out.AddMixed(table_[w * row_size_ + bits - 1]);
       }
     }
     return out;
@@ -48,7 +54,8 @@ class FixedBaseTable {
 
  private:
   size_t window_;
-  std::vector<std::vector<Point>> table_;
+  size_t row_size_;
+  std::vector<typename Point::Affine> table_;
 };
 
 }  // namespace nope

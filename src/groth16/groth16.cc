@@ -214,7 +214,8 @@ constexpr size_t kProveMinChunk = 256;
 std::vector<BigUInt> ToScalars(const std::vector<Fr>& values, size_t begin, size_t end) {
   std::vector<BigUInt> out(end - begin);
   ThreadPool::Global().ParallelFor(
-      0, end - begin, kProveMinChunk, [&](size_t lo, size_t hi) {
+      0, end - begin, ThreadPool::ComputeMinChunk(end - begin, kProveMinChunk),
+      [&](size_t lo, size_t hi) {
         for (size_t i = lo; i < hi; ++i) {
           out[i] = values[begin + i].ToBigUInt();
         }
@@ -338,46 +339,60 @@ ProvingKey Setup(const ConstraintSystem& cs, Rng* rng) {
   // The query tables are hundreds of thousands of independent fixed-base
   // multiplications; each slot is written exactly once, so any partition
   // yields identical tables.
+  // Query tables are built as Jacobian temporaries (the fixed-base table
+  // yields Jacobian points), then converted to affine in one batched pass
+  // each -- the representation the MSM kernel consumes.
   ThreadPool& pool = ThreadPool::Global();
   constexpr size_t kSetupMinChunk = 64;
-  pk.a_query.resize(num_vars);
-  pk.b_g1_query.resize(num_vars);
-  pk.b_g2_query.resize(num_vars);
-  pool.ParallelFor(0, num_vars, kSetupMinChunk, [&](size_t lo, size_t hi) {
+  std::vector<G1> a_jac(num_vars);
+  std::vector<G1> b_g1_jac(num_vars);
+  std::vector<G2> b_g2_jac(num_vars);
+  pool.ParallelFor(0, num_vars,
+                   ThreadPool::ComputeMinChunk(num_vars, kSetupMinChunk),
+                   [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
-      pk.a_query[i] = t1.Mul(a_tau[i].ToBigUInt());
-      pk.b_g1_query[i] = t1.Mul(b_tau[i].ToBigUInt());
-      pk.b_g2_query[i] = t2.Mul(b_tau[i].ToBigUInt());
+      a_jac[i] = t1.Mul(a_tau[i].ToBigUInt());
+      b_g1_jac[i] = t1.Mul(b_tau[i].ToBigUInt());
+      b_g2_jac[i] = t2.Mul(b_tau[i].ToBigUInt());
     }
   });
+  pk.a_query = BatchToAffine(a_jac);
+  pk.b_g1_query = BatchToAffine(b_g1_jac);
+  pk.b_g2_query = BatchToAffine(b_g2_jac);
 
   pk.vk.ic.reserve(num_public);
   for (size_t i = 0; i < num_public; ++i) {
     Fr k = (beta * a_tau[i] + alpha * b_tau[i] + c_tau[i]) * gamma_inv;
     pk.vk.ic.push_back(t1.Mul(k.ToBigUInt()));
   }
-  pk.l_query.resize(num_vars - num_public);
-  pool.ParallelFor(num_public, num_vars, kSetupMinChunk,
+  std::vector<G1> l_jac(num_vars - num_public);
+  pool.ParallelFor(num_public, num_vars,
+                   ThreadPool::ComputeMinChunk(num_vars - num_public,
+                                               kSetupMinChunk),
                    [&](size_t lo, size_t hi) {
                      for (size_t i = lo; i < hi; ++i) {
                        Fr k = (beta * a_tau[i] + alpha * b_tau[i] + c_tau[i]) *
                               delta_inv;
-                       pk.l_query[i - num_public] = t1.Mul(k.ToBigUInt());
+                       l_jac[i - num_public] = t1.Mul(k.ToBigUInt());
                      }
                    });
+  pk.l_query = BatchToAffine(l_jac);
 
   Fr z_tau = domain.EvaluateVanishing(tau);
   Fr h_base = z_tau * delta_inv;
-  pk.h_query.resize(domain.size() - 1);
-  pool.ParallelFor(0, domain.size() - 1, kSetupMinChunk,
+  std::vector<G1> h_jac(domain.size() - 1);
+  pool.ParallelFor(0, domain.size() - 1,
+                   ThreadPool::ComputeMinChunk(domain.size() - 1,
+                                               kSetupMinChunk),
                    [&](size_t lo, size_t hi) {
                      Fr power =
                          h_base * tau.Pow(BigUInt(static_cast<uint64_t>(lo)));
                      for (size_t i = lo; i < hi; ++i) {
-                       pk.h_query[i] = t1.Mul(power.ToBigUInt());
+                       h_jac[i] = t1.Mul(power.ToBigUInt());
                        power = power * tau;
                      }
                    });
+  pk.h_query = BatchToAffine(h_jac);
   return pk;
 }
 
@@ -424,7 +439,9 @@ ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
   std::vector<Fr> c_vals(n, Fr::Zero());
   const auto& constraints = cs.constraints();
   ThreadPool& pool = ThreadPool::Global();
-  pool.ParallelFor(0, constraints.size(), kProveMinChunk,
+  pool.ParallelFor(0, constraints.size(),
+                   ThreadPool::ComputeMinChunk(constraints.size(),
+                                               kProveMinChunk),
                    [&](size_t lo, size_t hi) {
                      for (size_t j = lo; j < hi; ++j) {
                        a_vals[j] = cs.Eval(constraints[j].a);
@@ -451,7 +468,8 @@ ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
   }
   Fr z_inv = domain.VanishingOnCoset().Inverse();
   std::vector<Fr> h(n);
-  pool.ParallelFor(0, n, kProveMinChunk, [&](size_t lo, size_t hi) {
+  pool.ParallelFor(0, n, ThreadPool::ComputeMinChunk(n, kProveMinChunk),
+                   [&](size_t lo, size_t hi) {
     for (size_t k = lo; k < hi; ++k) {
       h[k] = (a_vals[k] * b_vals[k] - c_vals[k]) * z_inv;
     }
@@ -465,7 +483,8 @@ ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
   std::vector<BigUInt> z_all = ToScalars(values, 0, values.size());
   std::vector<BigUInt> z_wit = ToScalars(values, pk.num_public, values.size());
   std::vector<BigUInt> h_scalars(n - 1);
-  pool.ParallelFor(0, n - 1, kProveMinChunk, [&](size_t lo, size_t hi) {
+  pool.ParallelFor(0, n - 1, ThreadPool::ComputeMinChunk(n - 1, kProveMinChunk),
+                   [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       h_scalars[i] = h[i].ToBigUInt();
     }
@@ -479,18 +498,18 @@ ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
   Fr r = Fr::Random(rng);
   Fr s = Fr::Random(rng);
 
-  G1 a = pk.vk.alpha_g1.Add(Msm(pk.a_query, z_all, &cancel))
+  G1 a = pk.vk.alpha_g1.Add(MsmAffine(pk.a_query, z_all, &cancel))
              .Add(pk.delta_g1.ScalarMul(r.ToBigUInt()));
-  G2 b = pk.vk.beta_g2.Add(Msm(pk.b_g2_query, z_all, &cancel))
+  G2 b = pk.vk.beta_g2.Add(MsmAffine(pk.b_g2_query, z_all, &cancel))
              .Add(pk.vk.delta_g2.ScalarMul(s.ToBigUInt()));
-  G1 b_g1 = pk.beta_g1.Add(Msm(pk.b_g1_query, z_all, &cancel))
+  G1 b_g1 = pk.beta_g1.Add(MsmAffine(pk.b_g1_query, z_all, &cancel))
                 .Add(pk.delta_g1.ScalarMul(s.ToBigUInt()));
   if (cancel.cancelled()) {
     return ProveResult{ProveStatus::kCancelled, Proof{}};
   }
 
-  G1 c = Msm(pk.l_query, z_wit, &cancel)
-             .Add(Msm(pk.h_query, h_scalars, &cancel))
+  G1 c = MsmAffine(pk.l_query, z_wit, &cancel)
+             .Add(MsmAffine(pk.h_query, h_scalars, &cancel))
              .Add(a.ScalarMul(s.ToBigUInt()))
              .Add(b_g1.ScalarMul(r.ToBigUInt()))
              .Add(pk.delta_g1.ScalarMul((r * s).ToBigUInt()).Negate());

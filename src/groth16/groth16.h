@@ -54,11 +54,14 @@ struct ProvingKey {
   VerifyingKey vk;
   G1 beta_g1;
   G1 delta_g1;
-  std::vector<G1> a_query;     // [A_i(tau)]1, all variables
-  std::vector<G1> b_g1_query;  // [B_i(tau)]1
-  std::vector<G2> b_g2_query;  // [B_i(tau)]2
-  std::vector<G1> l_query;     // [(beta A_i + alpha B_i + C_i)/delta]1, witness vars
-  std::vector<G1> h_query;     // [tau^i Z(tau)/delta]1, i < domain-1
+  // Query tables are stored affine: the MSM kernel consumes affine bases
+  // directly (mixed additions), the per-element memory drops by a third, and
+  // the conversion happens once at Setup via BatchToAffine.
+  std::vector<G1Affine> a_query;     // [A_i(tau)]1, all variables
+  std::vector<G1Affine> b_g1_query;  // [B_i(tau)]1
+  std::vector<G2Affine> b_g2_query;  // [B_i(tau)]2
+  std::vector<G1Affine> l_query;     // [(beta A_i + alpha B_i + C_i)/delta]1, witness vars
+  std::vector<G1Affine> h_query;     // [tau^i Z(tau)/delta]1, i < domain-1
   size_t num_public = 0;
   size_t num_constraints = 0;
   size_t domain_size = 0;

@@ -1,0 +1,318 @@
+// Differential and unit coverage for the signed-digit batch-affine MSM
+// kernel and its building blocks: AddMixed vs Add, BatchToAffine vs
+// per-point ToAffine (infinities at block boundaries), GLV decomposition
+// round-trip and endomorphism eigenvalue, signed-digit recoding exactness,
+// and the full kernel against naive double-and-add / the retained Jacobian
+// reference kernel under adversarial inputs (zero scalars, one, r-1,
+// duplicated scalars, duplicated bases, all-zero vectors).
+#include "src/ec/msm.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/ec/batch_affine.h"
+#include "src/ec/bn254.h"
+#include "src/ec/glv.h"
+
+namespace nope {
+namespace {
+
+template <typename Point>
+Point NaiveMsm(const std::vector<Point>& bases,
+               const std::vector<BigUInt>& scalars) {
+  Point acc = Point::Infinity();
+  for (size_t i = 0; i < bases.size(); ++i) {
+    acc = acc.Add(bases[i].ScalarMul(scalars[i]));
+  }
+  return acc;
+}
+
+std::vector<G1> RandomG1Bases(Rng* rng, size_t n) {
+  std::vector<G1> out;
+  out.reserve(n);
+  G1 p = G1Generator();
+  for (size_t i = 0; i < n; ++i) {
+    p = p.ScalarMul(BigUInt(2 + (rng->NextU64() % 1000)));
+    out.push_back(p);
+  }
+  return out;
+}
+
+// --- AddMixed ---------------------------------------------------------------
+
+TEST(AddMixed, MatchesFullAddOnGenericPoints) {
+  Rng rng(11);
+  G1 p = G1Generator();
+  for (int i = 0; i < 20; ++i) {
+    G1 q = G1Generator().ScalarMul(BigUInt(3 + rng.NextU64() % 5000));
+    // Give p a non-trivial z so the mixed path is actually exercised.
+    p = p.Add(q).Double();
+    G1::Affine qa = q.ToAffine();
+    EXPECT_TRUE(p.AddMixed(qa).Equals(p.Add(q))) << "iteration " << i;
+  }
+}
+
+TEST(AddMixed, HandlesDegenerateCases) {
+  G1 g = G1Generator();
+  G1 p = g.Double().Add(g);  // 3G with z != 1
+  G1::Affine pa = p.ToAffine();
+
+  // P + P must fall through to the doubling formula.
+  EXPECT_TRUE(p.AddMixed(pa).Equals(p.Double()));
+  // P + (-P) == infinity.
+  EXPECT_TRUE(p.AddMixed(pa.Negate()).IsInfinity());
+  // infinity + P == P.
+  EXPECT_TRUE(G1::Infinity().AddMixed(pa).Equals(p));
+  // P + infinity == P.
+  EXPECT_TRUE(p.AddMixed(G1::Affine::Infinity()).Equals(p));
+}
+
+TEST(AddMixed, WorksOnG2) {
+  G2 p = G2Generator().Double();
+  G2 q = G2Generator().Double().Add(G2Generator());
+  EXPECT_TRUE(p.AddMixed(q.ToAffine()).Equals(p.Add(q)));
+}
+
+// --- BatchToAffine ----------------------------------------------------------
+
+TEST(BatchToAffine, MatchesPerPointToAffineWithInfinities) {
+  // Sizes straddle the 1024 block grid; infinities land on block boundaries.
+  for (size_t n : {size_t{5}, size_t{1023}, size_t{1024}, size_t{1025},
+                   size_t{3000}}) {
+    std::vector<G1> jac;
+    jac.reserve(n);
+    G1 p = G1Generator();
+    for (size_t i = 0; i < n; ++i) {
+      if (i == 0 || i == 1023 || i == 1024 || i + 1 == n) {
+        jac.push_back(G1::Infinity());
+      } else {
+        p = p.Double();
+        jac.push_back(p);
+      }
+    }
+    std::vector<G1Affine> got = BatchToAffine(jac);
+    ASSERT_EQ(got.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      G1::Affine want = jac[i].ToAffine();
+      ASSERT_EQ(got[i].infinity, want.infinity) << "n=" << n << " i=" << i;
+      if (!want.infinity) {
+        ASSERT_EQ(got[i].x, want.x) << "n=" << n << " i=" << i;
+        ASSERT_EQ(got[i].y, want.y) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BatchToAffine, AllInfinitiesAndEmpty) {
+  EXPECT_TRUE(BatchToAffine(std::vector<G1>{}).empty());
+  std::vector<G1Affine> got = BatchToAffine(std::vector<G1>(7, G1::Infinity()));
+  for (const auto& a : got) {
+    EXPECT_TRUE(a.infinity);
+  }
+}
+
+// --- Signed digits ----------------------------------------------------------
+
+TEST(SignedDigits, RecodingIsExactAndBounded) {
+  Rng rng(21);
+  for (size_t c : {size_t{2}, size_t{5}, size_t{10}, size_t{16}}) {
+    const int64_t half = int64_t{1} << (c - 1);
+    for (int iter = 0; iter < 25; ++iter) {
+      BigUInt k = iter == 0 ? BigUInt() : BigUInt::RandomBelow(&rng, Bn254Order());
+      size_t max_bits = k.BitLength() > 0 ? k.BitLength() : 1;
+      size_t windows = (max_bits + c - 1) / c + 1;
+      std::vector<int32_t> digits(windows);
+      msm_detail::SignedDigits(k, c, windows, digits.data());
+      // Reconstruct sum digit_w * 2^(c*w) as (pos, neg) magnitudes.
+      BigUInt pos, neg;
+      for (size_t w = 0; w < windows; ++w) {
+        ASSERT_GE(digits[w], -half) << "c=" << c;
+        ASSERT_LT(digits[w], half) << "c=" << c;
+        if (digits[w] > 0) {
+          pos = pos + (BigUInt(static_cast<uint64_t>(digits[w])) << (c * w));
+        } else if (digits[w] < 0) {
+          neg = neg + (BigUInt(static_cast<uint64_t>(-digits[w])) << (c * w));
+        }
+      }
+      ASSERT_TRUE(pos >= neg);
+      ASSERT_EQ(pos - neg, k) << "c=" << c << " iter=" << iter;
+    }
+  }
+}
+
+// --- GLV --------------------------------------------------------------------
+
+TEST(Glv, LambdaIsCubeRootOfUnity) {
+  const BigUInt& r = Bn254Order();
+  const BigUInt& lambda = GlvLambda();
+  EXPECT_EQ(lambda.MulMod(lambda, r).MulMod(lambda, r), BigUInt(1));
+  EXPECT_NE(lambda, BigUInt(1));
+  // lambda^2 + lambda + 1 == 0 (mod r): primitive, not just any cube root.
+  EXPECT_TRUE(lambda.MulMod(lambda, r).AddMod(lambda, r).AddMod(BigUInt(1), r)
+                  .IsZero());
+}
+
+TEST(Glv, EndomorphismActsAsLambda) {
+  Rng rng(31);
+  for (int i = 0; i < 10; ++i) {
+    G1 p = G1Generator().ScalarMul(BigUInt::RandomBelow(&rng, Bn254Order()));
+    G1Affine phi = GlvEndomorphism(p.ToAffine());
+    EXPECT_TRUE(G1::FromAffinePoint(phi).Equals(p.ScalarMul(GlvLambda())))
+        << "iteration " << i;
+  }
+  EXPECT_TRUE(GlvEndomorphism(G1Affine::Infinity()).infinity);
+}
+
+TEST(Glv, DecompositionRoundTripsAndIsHalfSize) {
+  const BigUInt& r = Bn254Order();
+  const BigUInt& lambda = GlvLambda();
+  Rng rng(41);
+  std::vector<BigUInt> cases = {BigUInt(),     BigUInt(1), BigUInt(2),
+                                r - BigUInt(1), lambda,     r - lambda};
+  for (int i = 0; i < 50; ++i) {
+    cases.push_back(BigUInt::RandomBelow(&rng, r));
+  }
+  for (const BigUInt& k : cases) {
+    GlvDecomposition d = GlvDecompose(k);
+    EXPECT_LE(d.k1.BitLength(), 129u) << "k=" << k.ToHex();
+    EXPECT_LE(d.k2.BitLength(), 129u) << "k=" << k.ToHex();
+    // k1 + lambda*k2 == k (mod r), signs folded in.
+    BigUInt acc = d.k1_neg ? r - (d.k1 % r) : d.k1 % r;
+    BigUInt lk2 = lambda.MulMod(d.k2, r);
+    acc = d.k2_neg ? acc.AddMod(r - lk2, r) : acc.AddMod(lk2, r);
+    EXPECT_EQ(acc, k % r) << "k=" << k.ToHex();
+  }
+}
+
+// --- Full kernel differentials ----------------------------------------------
+
+// Adversarial scalar mix: 0, 1, r-1, duplicated scalars on distinct bases,
+// identical bases with distinct scalars, plus random fill.
+void FillAdversarial(Rng* rng, size_t n, std::vector<G1>* bases,
+                     std::vector<BigUInt>* scalars) {
+  const BigUInt& r = Bn254Order();
+  *bases = RandomG1Bases(rng, n);
+  scalars->assign(n, BigUInt());
+  for (size_t i = 0; i < n; ++i) {
+    switch (i % 7) {
+      case 0:
+        (*scalars)[i] = BigUInt();  // zero
+        break;
+      case 1:
+        (*scalars)[i] = BigUInt(1);
+        break;
+      case 2:
+        (*scalars)[i] = r - BigUInt(1);
+        break;
+      case 3:
+        (*scalars)[i] = BigUInt(0xdeadbeef);  // duplicated scalar
+        break;
+      case 4:
+        (*bases)[i] = G1Generator();  // duplicated base
+        (*scalars)[i] = BigUInt::RandomBelow(rng, r);
+        break;
+      case 5:
+        (*bases)[i] = G1::Infinity();  // infinity base
+        (*scalars)[i] = BigUInt::RandomBelow(rng, r);
+        break;
+      default:
+        (*scalars)[i] = BigUInt::RandomBelow(rng, r);
+    }
+  }
+}
+
+TEST(MsmKernel, MatchesNaiveOnAdversarialInputs) {
+  Rng rng(51);
+  for (size_t n : {size_t{1}, size_t{2}, size_t{255}, size_t{256},
+                   size_t{257}}) {
+    std::vector<G1> bases;
+    std::vector<BigUInt> scalars;
+    FillAdversarial(&rng, n, &bases, &scalars);
+    G1 want = NaiveMsm(bases, scalars);
+    EXPECT_TRUE(Msm(bases, scalars).Equals(want)) << "n=" << n;
+    EXPECT_TRUE(MsmJacobian(bases, scalars).Equals(want)) << "n=" << n;
+  }
+}
+
+TEST(MsmKernel, MatchesJacobianReferenceAt4096) {
+  Rng rng(61);
+  const size_t n = 4096;
+  std::vector<G1> bases = RandomG1Bases(&rng, n);
+  std::vector<BigUInt> scalars;
+  scalars.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scalars.push_back(BigUInt::RandomBelow(&rng, Bn254Order()));
+  }
+  EXPECT_TRUE(Msm(bases, scalars).Equals(MsmJacobian(bases, scalars)));
+}
+
+TEST(MsmKernel, AllZeroScalarsAndAllInfinityBases) {
+  Rng rng(71);
+  std::vector<G1> bases = RandomG1Bases(&rng, 600);
+  std::vector<BigUInt> zeros(600);
+  EXPECT_TRUE(Msm(bases, zeros).IsInfinity());
+
+  std::vector<G1> inf(600, G1::Infinity());
+  std::vector<BigUInt> scalars;
+  for (size_t i = 0; i < 600; ++i) {
+    scalars.push_back(BigUInt::RandomBelow(&rng, Bn254Order()));
+  }
+  EXPECT_TRUE(Msm(inf, scalars).IsInfinity());
+}
+
+// The signed kernel must treat scalars as plain integers (no mod-r
+// assumption): scalars >= r are legal for G2 callers too.
+TEST(MsmKernel, G2MatchesNaive) {
+  Rng rng(81);
+  const size_t n = 40;
+  std::vector<G2> bases;
+  G2 p = G2Generator();
+  for (size_t i = 0; i < n; ++i) {
+    p = p.Double().Add(G2Generator());
+    bases.push_back(p);
+  }
+  std::vector<BigUInt> scalars;
+  for (size_t i = 0; i < n; ++i) {
+    scalars.push_back(i == 0 ? BigUInt() : BigUInt::RandomBelow(&rng, Bn254Order()));
+  }
+  G2 want = NaiveMsm(bases, scalars);
+  EXPECT_TRUE(Msm(bases, scalars).Equals(want));
+  EXPECT_TRUE(MsmSignedAffine(BatchToAffine(bases), scalars).Equals(want));
+}
+
+// Scalars above r: G1's GLV path reduces mod r (cofactor 1 makes that
+// sound); the result must match naive double-and-add with the raw scalar.
+TEST(MsmKernel, ScalarsAboveGroupOrder) {
+  Rng rng(91);
+  std::vector<G1> bases = RandomG1Bases(&rng, 5);
+  std::vector<BigUInt> scalars;
+  const BigUInt& r = Bn254Order();
+  scalars.push_back(r);                  // == 0 on the group
+  scalars.push_back(r + BigUInt(5));     // == 5
+  scalars.push_back(r * BigUInt(3));     // == 0
+  scalars.push_back(r + r - BigUInt(1)); // == r - 1
+  scalars.push_back(BigUInt::RandomBelow(&rng, r) + r);
+  EXPECT_TRUE(Msm(bases, scalars).Equals(NaiveMsm(bases, scalars)));
+}
+
+TEST(MsmKernel, MsmAffineMatchesMsmOnJacobianInputs) {
+  Rng rng(101);
+  const size_t n = 700;
+  std::vector<G1> bases = RandomG1Bases(&rng, n);
+  std::vector<BigUInt> scalars;
+  for (size_t i = 0; i < n; ++i) {
+    scalars.push_back(BigUInt::RandomBelow(&rng, Bn254Order()));
+  }
+  G1 via_wrapper = Msm(bases, scalars);
+  G1 via_affine = MsmAffine(BatchToAffine(bases), scalars);
+  // Identical code path underneath: results are bit-identical, not merely
+  // equal as group elements.
+  EXPECT_EQ(via_wrapper.x, via_affine.x);
+  EXPECT_EQ(via_wrapper.y, via_affine.y);
+  EXPECT_EQ(via_wrapper.z, via_affine.z);
+  EXPECT_TRUE(via_wrapper.Equals(MsmJacobian(bases, scalars)));
+}
+
+}  // namespace
+}  // namespace nope

@@ -3,8 +3,10 @@
 // canonical (fully reduced Montgomery form), so any Fr mismatch or any
 // Jacobian-coordinate mismatch in an MSM result indicates the chunk grid or
 // merge order leaked the thread count. Sizes deliberately straddle the
-// serial/parallel cutoffs (msm_detail::kParallelCutoff, the ParallelFor
-// min-chunk sizes, and BatchInvert's 2*1024 block threshold).
+// serial/parallel cutoffs (msm_detail::kParallelCutoff for the Jacobian
+// reference kernel, the signed-affine kernel's fixed chunk grid of
+// max(512, 8 * 2^(c-1)) points, the ParallelFor min-chunk sizes, and
+// BatchInvert's 2*1024 block threshold).
 #include <gtest/gtest.h>
 
 #include <functional>
@@ -12,6 +14,7 @@
 #include <vector>
 
 #include "src/base/threadpool.h"
+#include "src/ec/batch_affine.h"
 #include "src/ec/bn254.h"
 #include "src/ec/msm.h"
 #include "src/groth16/groth16.h"
@@ -37,6 +40,13 @@ template <typename Point>
 bool PointRepEq(const Point& a, const Point& b) {
   return FieldRepEq(a.x, b.x) && FieldRepEq(a.y, b.y) && FieldRepEq(a.z, b.z);
 }
+template <typename Affine>
+bool AffineRepEq(const Affine& a, const Affine& b) {
+  if (a.infinity || b.infinity) {
+    return a.infinity == b.infinity;
+  }
+  return FieldRepEq(a.x, b.x) && FieldRepEq(a.y, b.y);
+}
 
 class ParallelDeterminism : public ::testing::Test {
  protected:
@@ -45,8 +55,9 @@ class ParallelDeterminism : public ::testing::Test {
 
 TEST_F(ParallelDeterminism, MsmG1BitIdenticalAcrossThreadCounts) {
   Rng rng(4242);
-  // 255/256/257 straddle msm_detail::kParallelCutoff; 1500 spans multiple
-  // chunks of the fixed grid.
+  // 255/256/257 straddle the reference kernel's kParallelCutoff; 1500 spans
+  // multiple chunks of both kernels' fixed grids (the GLV path doubles n,
+  // so 1500 becomes a 3000-point signed-affine instance).
   for (size_t n : {3u, 100u, 255u, 256u, 257u, 1500u}) {
     std::vector<G1> bases;
     std::vector<BigUInt> scalars;
@@ -85,6 +96,77 @@ TEST_F(ParallelDeterminism, MsmG2BitIdenticalAcrossThreadCounts) {
       ThreadPool::SetGlobalThreads(t);
       EXPECT_TRUE(PointRepEq(reference, Msm(bases, scalars)))
           << "n=" << n << " threads=" << t;
+    }
+  }
+}
+
+// The signed-digit + GLV path specifically: affine bases straddling the
+// signed kernel's chunk grid (512-point chunks at small c; the GLV expansion
+// doubles the instance size on top).
+TEST_F(ParallelDeterminism, MsmAffineGlvG1BitIdenticalAcrossThreadCounts) {
+  Rng rng(60321);
+  for (size_t n : {5u, 511u, 512u, 513u, 1500u}) {
+    std::vector<G1> jac;
+    std::vector<BigUInt> scalars;
+    G1 p = G1Generator();
+    for (size_t i = 0; i < n; ++i) {
+      jac.push_back(p);
+      p = p.Add(G1Generator());
+      scalars.push_back(BigUInt::RandomBelow(&rng, Bn254Order()));
+    }
+    std::vector<G1Affine> bases = BatchToAffine(jac);
+    ThreadPool::SetGlobalThreads(1);
+    G1 reference = MsmAffine(bases, scalars);
+    for (size_t t : ThreadCounts()) {
+      ThreadPool::SetGlobalThreads(t);
+      EXPECT_TRUE(PointRepEq(reference, MsmAffine(bases, scalars)))
+          << "n=" << n << " threads=" << t;
+    }
+  }
+}
+
+// G2 runs the signed-digit kernel without the endomorphism; cover it (and
+// the no-GLV MsmSignedAffine entry point) separately.
+TEST_F(ParallelDeterminism, MsmSignedAffineG2BitIdenticalAcrossThreadCounts) {
+  Rng rng(60322);
+  for (size_t n : {10u, 600u}) {
+    std::vector<G2> jac;
+    std::vector<BigUInt> scalars;
+    G2 p = G2Generator();
+    for (size_t i = 0; i < n; ++i) {
+      jac.push_back(p);
+      p = p.Add(G2Generator());
+      scalars.push_back(BigUInt::RandomBelow(&rng, Bn254Order()));
+    }
+    std::vector<G2Affine> bases = BatchToAffine(jac);
+    ThreadPool::SetGlobalThreads(1);
+    G2 reference = MsmSignedAffine(bases, scalars);
+    for (size_t t : ThreadCounts()) {
+      ThreadPool::SetGlobalThreads(t);
+      EXPECT_TRUE(PointRepEq(reference, MsmSignedAffine(bases, scalars)))
+          << "n=" << n << " threads=" << t;
+    }
+  }
+}
+
+// BatchToAffine's block grid (1024) is fixed, so conversion itself must be
+// thread-count independent too -- Setup's affine tables depend on it.
+TEST_F(ParallelDeterminism, BatchToAffineBitIdenticalAcrossThreadCounts) {
+  std::vector<G1> jac;
+  G1 p = G1Generator();
+  for (size_t i = 0; i < 2500; ++i) {
+    jac.push_back(p);
+    p = p.Double();
+  }
+  ThreadPool::SetGlobalThreads(1);
+  std::vector<G1Affine> reference = BatchToAffine(jac);
+  for (size_t t : ThreadCounts()) {
+    ThreadPool::SetGlobalThreads(t);
+    std::vector<G1Affine> got = BatchToAffine(jac);
+    ASSERT_EQ(reference.size(), got.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_TRUE(AffineRepEq(reference[i], got[i]))
+          << "index=" << i << " threads=" << t;
     }
   }
 }
@@ -226,16 +308,16 @@ TEST_F(ParallelDeterminism, SetupQueryTablesIdenticalAcrossThreadCounts) {
     groth16::ProvingKey got = groth16::Setup(cs, &rng);
     ASSERT_EQ(reference.a_query.size(), got.a_query.size());
     for (size_t i = 0; i < reference.a_query.size(); ++i) {
-      ASSERT_TRUE(PointRepEq(reference.a_query[i], got.a_query[i]))
+      ASSERT_TRUE(AffineRepEq(reference.a_query[i], got.a_query[i]))
           << "a_query[" << i << "] threads=" << t;
     }
     ASSERT_EQ(reference.h_query.size(), got.h_query.size());
     for (size_t i = 0; i < reference.h_query.size(); ++i) {
-      ASSERT_TRUE(PointRepEq(reference.h_query[i], got.h_query[i]))
+      ASSERT_TRUE(AffineRepEq(reference.h_query[i], got.h_query[i]))
           << "h_query[" << i << "] threads=" << t;
     }
     for (size_t i = 0; i < reference.l_query.size(); ++i) {
-      ASSERT_TRUE(PointRepEq(reference.l_query[i], got.l_query[i]))
+      ASSERT_TRUE(AffineRepEq(reference.l_query[i], got.l_query[i]))
           << "l_query[" << i << "] threads=" << t;
     }
   }
