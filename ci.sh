@@ -21,7 +21,8 @@ cmake -B build-san -S . -DNOPE_SANITIZE=address,undefined >/dev/null
 SAN_TARGETS=(biguint_test hash_test field_test curve_test rsa_test ecdsa_test
              constraint_system_test groth16_test msm_kernel_test dns_test
              pki_test analysis_test fault_injection_test
-             clock_test cancellation_test renewal_sim_test)
+             clock_test cancellation_test renewal_sim_test
+             key_cache_test service_test)
 cmake --build build-san -j "$(nproc)" --target "${SAN_TARGETS[@]}"
 
 echo "=== stage 4: sanitized tests ==="
@@ -33,7 +34,7 @@ done
 echo "=== stage 5: TSan build (parallel proving) ==="
 cmake -B build-tsan -S . -DNOPE_SANITIZE=thread >/dev/null
 TSAN_TARGETS=(threadpool_test msm_kernel_test parallel_determinism_test
-              cancellation_test renewal_sim_test)
+              cancellation_test renewal_sim_test key_cache_test service_test)
 cmake --build build-tsan -j "$(nproc)" --target "${TSAN_TARGETS[@]}"
 
 echo "=== stage 6: TSan tests ==="

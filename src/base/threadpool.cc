@@ -40,31 +40,51 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) {
     t.join();
   }
+  // Workers exit immediately on stop_, so tasks that never started may still
+  // sit in the queue (a ParallelFor racing shutdown after its cancellation
+  // token fired). Their bodies must NOT run once destruction began, but
+  // their owners are blocked waiting on the completion protocol — complete
+  // them body-free so no waiter deadlocks.
+  std::deque<Task> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphans.swap(queue_);
+  }
+  for (Task& task : orphans) {
+    task.complete();
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   tls_in_worker = true;
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        return;  // stop_ set and queue drained
+      if (stop_) {
+        return;  // shutdown: leftover tasks are completed by the destructor
       }
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    task.run();
+    task.complete();
   }
 }
 
-void ThreadPool::Enqueue(std::function<void()> task) {
+void ThreadPool::Enqueue(Task task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    if (!stop_) {
+      queue_.push_back(std::move(task));
+      cv_.notify_one();
+      return;
+    }
   }
-  cv_.notify_one();
+  // Pool already shutting down: never run the body, but never strand the
+  // owner either.
+  task.complete();
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_chunk,
@@ -114,7 +134,8 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_chunk,
 
   for (size_t i = 1; i < shares; ++i) {
     auto [lo, hi] = share_bounds(i);
-    Enqueue([state, &fn, cancel, lo, hi] {
+    Task task;
+    task.run = [state, &fn, cancel, lo, hi] {
       try {
         if (cancel == nullptr || !cancel->cancelled()) {
           fn(lo, hi);
@@ -125,11 +146,14 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_chunk,
           state->first_error = std::current_exception();
         }
       }
+    };
+    task.complete = [state] {
       std::lock_guard<std::mutex> lock(state->mu);
       if (--state->pending == 0) {
         state->cv.notify_all();
       }
-    });
+    };
+    Enqueue(std::move(task));
   }
 
   auto [lo0, hi0] = share_bounds(0);

@@ -122,12 +122,25 @@ class ThreadPool {
   static size_t ParseThreadCount(const char* value, size_t fallback);
 
  private:
+  // Queue entries split the body from the completion protocol so shutdown
+  // can honor one without the other: `run` is the share's work (skippable),
+  // `complete` signals the owning ParallelFor and is invoked exactly once no
+  // matter how the task leaves the queue. Once the destructor has set stop_,
+  // queued-but-unstarted tasks are completed WITHOUT running their bodies —
+  // a ParallelFor racing shutdown (legal only with a fired
+  // CancellationToken, whose shares skip fn anyway) can therefore neither
+  // deadlock the join nor observe fn running after destruction began.
+  struct Task {
+    std::function<void()> run;
+    std::function<void()> complete;
+  };
+
   void WorkerLoop();
-  void Enqueue(std::function<void()> task);
+  void Enqueue(Task task);
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -31,6 +31,10 @@ const char* RenewalEventKindName(RenewalEventKind kind) {
       return "recovered";
     case RenewalEventKind::kCertLapsed:
       return "cert_lapsed";
+    case RenewalEventKind::kKeyCacheHit:
+      return "key_cache_hit";
+    case RenewalEventKind::kKeyCacheMiss:
+      return "key_cache_miss";
   }
   return "unknown";
 }
@@ -39,7 +43,20 @@ RenewalManager::RenewalManager(const RenewalConfig& config, Clock* clock,
                                IssuancePipeline* pipeline, uint64_t seed)
     : config_(config), clock_(clock), pipeline_(pipeline), rng_(seed) {}
 
+void RenewalManager::AttachKeyCache(KeyCache* cache, std::string circuit_id,
+                                    KeyCache::Loader loader) {
+  key_cache_ = cache;
+  key_circuit_id_ = std::move(circuit_id);
+  key_loader_ = std::move(loader);
+}
+
+void RenewalManager::AttachMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
 void RenewalManager::Emit(RenewalEventKind kind, std::string detail) {
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter(std::string("renewal.") + RenewalEventKindName(kind))
+        ->Increment();
+  }
   events_.push_back(RenewalEvent{clock_->NowMs(), kind, std::move(detail)});
 }
 
@@ -95,9 +112,22 @@ Status RenewalManager::TryNopeIssuance(const Deadline& budget) {
   NOPE_RETURN_IF_ERROR(RunStage("resolve", budget, [this](const Deadline& d) {
     return pipeline_->ResolveChain(d);
   }));
-  NOPE_RETURN_IF_ERROR(RunStage("prove", budget, [this](const Deadline& d) {
-    return pipeline_->GenerateProof(d);
-  }));
+  {
+    // Pin the shared proving key for the proving stage (and all its
+    // retries): Setup query tables stay resident across renewals instead of
+    // being rebuilt per cycle, and concurrent tenants can't evict them
+    // mid-prove. The pin drops when the stage ends, whatever its outcome.
+    KeyCache::Handle key;
+    if (key_cache_ != nullptr) {
+      key = key_cache_->Checkout(key_circuit_id_, key_loader_);
+      Emit(key.was_hit() ? RenewalEventKind::kKeyCacheHit
+                         : RenewalEventKind::kKeyCacheMiss,
+           key_circuit_id_);
+    }
+    NOPE_RETURN_IF_ERROR(RunStage("prove", budget, [this](const Deadline& d) {
+      return pipeline_->GenerateProof(d);
+    }));
+  }
   return RunStage("acme", budget, [this](const Deadline& d) {
     return pipeline_->FinalizeCertificate(d, /*with_proof=*/true);
   });

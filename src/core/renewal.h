@@ -28,6 +28,8 @@
 #include "src/base/clock.h"
 #include "src/dns/flaky_resolver.h"
 #include "src/pki/flaky_ca.h"
+#include "src/service/key_cache.h"
+#include "src/service/metrics.h"
 
 namespace nope {
 
@@ -59,8 +61,10 @@ enum class RenewalEventKind {
   kDegraded,       // entered degraded mode (downgrade reason recorded)
   kRecovered,      // proof path healthy again; left degraded mode
   kCertLapsed,     // the previous certificate expired before re-issuance
+  kKeyCacheHit,    // proving key found resident in the shared KeyCache
+  kKeyCacheMiss,   // proving key loaded (Setup re-ran) into the KeyCache
 };
-constexpr int kNumRenewalEventKinds = static_cast<int>(RenewalEventKind::kCertLapsed) + 1;
+constexpr int kNumRenewalEventKinds = static_cast<int>(RenewalEventKind::kKeyCacheMiss) + 1;
 const char* RenewalEventKindName(RenewalEventKind kind);
 
 struct RenewalEvent {
@@ -104,6 +108,19 @@ class RenewalManager {
   RenewalManager(const RenewalConfig& config, Clock* clock,
                  IssuancePipeline* pipeline, uint64_t seed);
 
+  // Shares the proving service's key cache instead of holding a private
+  // proving key: every proving stage checks out `circuit_id` (pinning it for
+  // the stage's duration) and records the hit/miss in the EventLog and, when
+  // metrics are attached, in renewal.key_cache_{hit,miss}. Unset (the
+  // default), the event log is byte-identical to the pre-cache behavior.
+  // cache must outlive the manager; loader runs on the first checkout.
+  void AttachKeyCache(KeyCache* cache, std::string circuit_id,
+                      KeyCache::Loader loader);
+
+  // Mirrors every emitted event into `renewal.<event_name>` counters.
+  // metrics must outlive the manager.
+  void AttachMetrics(MetricsRegistry* metrics);
+
   // Drives the lifecycle until the clock passes `until_ms`: sleeps to each
   // scheduled attempt, runs cycles, reschedules. Under SimClock this is the
   // whole multi-day scenario in one call.
@@ -140,6 +157,11 @@ class RenewalManager {
   Clock* clock_;
   IssuancePipeline* pipeline_;
   Rng rng_;
+
+  KeyCache* key_cache_ = nullptr;
+  std::string key_circuit_id_;
+  KeyCache::Loader key_loader_;
+  MetricsRegistry* metrics_ = nullptr;
 
   bool degraded_ = false;
   std::string degrade_reason_;

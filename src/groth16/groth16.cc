@@ -415,6 +415,23 @@ Proof Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng) {
 
 ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
                   const CancellationToken& cancel) {
+  return Prove(pk, cs, rng, cancel, nullptr);
+}
+
+ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
+                  const CancellationToken& cancel, const ProveStageHooks* hooks) {
+  // Stage timing is observation-only: it draws on the hook's clock, never on
+  // the Rng, and a disabled hook costs two branches per stage.
+  const bool timed = hooks != nullptr && hooks->on_stage != nullptr;
+  uint64_t stage_start = timed && hooks->clock != nullptr ? hooks->clock->NowMs() : 0;
+  auto stage_done = [&](const char* stage) {
+    if (!timed) {
+      return;
+    }
+    uint64_t now = hooks->clock != nullptr ? hooks->clock->NowMs() : 0;
+    hooks->on_stage(stage, now - stage_start);
+    stage_start = now;
+  };
   if (cs.mode() != ConstraintSystem::Mode::kProve) {
     throw std::invalid_argument("Prove requires a materialized constraint system");
   }
@@ -456,6 +473,7 @@ ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
   if (cancel.cancelled()) {
     return ProveResult{ProveStatus::kCancelled, Proof{}};
   }
+  stage_done("witness");
 
   domain.Ifft(&a_vals, &cancel);
   domain.Ifft(&b_vals, &cancel);
@@ -466,6 +484,7 @@ ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
   if (cancel.cancelled()) {
     return ProveResult{ProveStatus::kCancelled, Proof{}};
   }
+  stage_done("fft");
   Fr z_inv = domain.VanishingOnCoset().Inverse();
   std::vector<Fr> h(n);
   pool.ParallelFor(0, n, ThreadPool::ComputeMinChunk(n, kProveMinChunk),
@@ -478,6 +497,7 @@ ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
   if (cancel.cancelled()) {
     return ProveResult{ProveStatus::kCancelled, Proof{}};
   }
+  stage_done("h_poly");
 
   const std::vector<Fr>& values = cs.values();
   std::vector<BigUInt> z_all = ToScalars(values, 0, values.size());
@@ -492,6 +512,7 @@ ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
   if (cancel.cancelled()) {
     return ProveResult{ProveStatus::kCancelled, Proof{}};
   }
+  stage_done("scalars");
 
   // The Rng draws happen unconditionally past this point, so a quiet token
   // leaves the caller's Rng in the same state as the uncancellable overload.
@@ -516,6 +537,7 @@ ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
   if (cancel.cancelled()) {
     return ProveResult{ProveStatus::kCancelled, Proof{}};
   }
+  stage_done("msm");
 
   return ProveResult{ProveStatus::kOk, Proof{a, b, c}};
 }

@@ -12,6 +12,7 @@
 #ifndef SRC_GROTH16_GROTH16_H_
 #define SRC_GROTH16_GROTH16_H_
 
+#include <functional>
 #include <vector>
 
 #include "src/base/cancellation.h"
@@ -94,6 +95,26 @@ struct ProveResult {
 };
 ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
                   const CancellationToken& cancel);
+
+// Optional per-stage instrumentation for the cancellable prover. When hooks
+// is non-null and on_stage is set, the prover invokes it on the calling
+// thread at each completed stage boundary with the stage name and the
+// elapsed milliseconds measured on `clock` (stages completed before a
+// cancellation still report). Stage names, in order:
+//   "witness"  — satisfaction check + per-wire QAP evaluations
+//   "fft"      — the six iFFT/coset-FFT transforms
+//   "h_poly"   — quotient evaluation + coset iFFT
+//   "scalars"  — Montgomery-to-integer scalar conversions
+//   "msm"      — the five MSMs + final group arithmetic
+// The hook observes; it must not mutate prover inputs or call back into the
+// prover. With a null clock, elapsed_ms is always 0. Hook invocations never
+// touch the Rng, so instrumented and bare runs produce bit-identical proofs.
+struct ProveStageHooks {
+  const Clock* clock = nullptr;
+  std::function<void(const char* stage, uint64_t elapsed_ms)> on_stage;
+};
+ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
+                  const CancellationToken& cancel, const ProveStageHooks* hooks);
 
 // public_inputs excludes the constant 1 (so its length is vk.ic.size() - 1).
 bool Verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs, const Proof& proof);

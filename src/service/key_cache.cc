@@ -1,0 +1,148 @@
+#include "src/service/key_cache.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace nope {
+
+// Shared between the cache map and outstanding Handles; the entry object
+// (and the artifact it owns) lives until both the map slot and every pin
+// are gone.
+struct KeyCacheEntry {
+  std::string id;
+  std::shared_ptr<const CachedKey> key;
+  size_t bytes = 0;
+  size_t pins = 0;
+  uint64_t last_used = 0;
+  bool resident = true;  // false once evicted from the map
+};
+
+KeyCache::KeyCache(size_t byte_budget, MetricsRegistry* metrics)
+    : byte_budget_(byte_budget), metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    hits_ = metrics_->GetCounter("keycache.hits");
+    misses_ = metrics_->GetCounter("keycache.misses");
+    evictions_ = metrics_->GetCounter("keycache.evictions");
+    bytes_gauge_ = metrics_->GetGauge("keycache.bytes");
+    entries_gauge_ = metrics_->GetGauge("keycache.entries");
+  }
+}
+
+KeyCache::~KeyCache() = default;
+
+KeyCache::Handle& KeyCache::Handle::operator=(Handle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    cache_ = other.cache_;
+    entry_ = std::move(other.entry_);
+    hit_ = other.hit_;
+    other.cache_ = nullptr;
+    other.entry_ = nullptr;
+    other.hit_ = false;
+  }
+  return *this;
+}
+
+const CachedKey* KeyCache::Handle::get() const {
+  return entry_ ? entry_->key.get() : nullptr;
+}
+
+void KeyCache::Handle::Release() {
+  if (entry_ != nullptr && cache_ != nullptr) {
+    cache_->Unpin(entry_);
+  }
+  entry_ = nullptr;
+  cache_ = nullptr;
+  hit_ = false;
+}
+
+KeyCache::Handle KeyCache::Checkout(const std::string& circuit_id,
+                                    const Loader& loader) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Handle handle;
+  handle.cache_ = this;
+  auto it = entries_.find(circuit_id);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    if (hits_ != nullptr) {
+      hits_->Increment();
+    }
+    handle.hit_ = true;
+    handle.entry_ = it->second;
+  } else {
+    ++stats_.misses;
+    if (misses_ != nullptr) {
+      misses_->Increment();
+    }
+    NOPE_INVARIANT(loader != nullptr, "KeyCache: miss with no loader");
+    std::shared_ptr<const CachedKey> key = loader();
+    NOPE_INVARIANT(key != nullptr, "KeyCache: loader returned null");
+    auto entry = std::make_shared<KeyCacheEntry>();
+    entry->id = circuit_id;
+    entry->bytes = key->SizeBytes();
+    entry->key = std::move(key);
+    stats_.resident_bytes += entry->bytes;
+    ++stats_.resident_entries;
+    entries_.emplace(circuit_id, entry);
+    handle.entry_ = std::move(entry);
+  }
+  handle.entry_->last_used = ++use_clock_;
+  ++handle.entry_->pins;
+  EvictToBudgetLocked();
+  UpdateGaugesLocked();
+  return handle;
+}
+
+void KeyCache::Unpin(const std::shared_ptr<KeyCacheEntry>& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NOPE_INVARIANT(entry->pins > 0, "KeyCache: unpin without a pin");
+  --entry->pins;
+  // The unpin may have made the LRU candidate evictable.
+  EvictToBudgetLocked();
+  UpdateGaugesLocked();
+}
+
+void KeyCache::EvictToBudgetLocked() {
+  while (stats_.resident_bytes > byte_budget_) {
+    // Strict LRU over unpinned resident entries.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second->pins != 0) {
+        continue;
+      }
+      if (victim == entries_.end() ||
+          it->second->last_used < victim->second->last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) {
+      return;  // everything is pinned; allow the transient overshoot
+    }
+    victim->second->resident = false;
+    stats_.resident_bytes -= victim->second->bytes;
+    --stats_.resident_entries;
+    ++stats_.evictions;
+    if (evictions_ != nullptr) {
+      evictions_->Increment();
+    }
+    entries_.erase(victim);
+  }
+}
+
+void KeyCache::UpdateGaugesLocked() {
+  if (bytes_gauge_ != nullptr) {
+    bytes_gauge_->Set(static_cast<int64_t>(stats_.resident_bytes));
+  }
+  if (entries_gauge_ != nullptr) {
+    entries_gauge_->Set(static_cast<int64_t>(stats_.resident_entries));
+  }
+}
+
+KeyCache::Stats KeyCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace nope

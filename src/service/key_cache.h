@@ -1,0 +1,128 @@
+// Ref-counted LRU cache for proving keys and Setup query tables (ISSUE 5).
+//
+// groth16::Setup is the single most expensive step of the proving pipeline
+// (it materializes every query table), so a multi-circuit workload — the
+// RSA-vs-ECDSA chain matrix of Fig. 3 — must not re-run it per request.
+// KeyCache holds one entry per circuit id under a byte budget:
+//
+//   - Checkout(id, loader) pins the entry (hit) or runs the loader, inserts,
+//     and pins (miss). The returned Handle is an RAII pin: a pinned entry is
+//     never evicted, and an entry evicted while pinned stays alive through
+//     the Handle's shared_ptr until the last pin drops.
+//   - Eviction is strict LRU over unpinned entries, triggered whenever
+//     resident bytes exceed the budget (after an insert, and after an unpin
+//     makes a candidate eligible). Pinned bytes may transiently exceed the
+//     budget — shedding a running job to satisfy a byte budget would be
+//     worse than briefly overshooting it.
+//
+// The cache serializes everything (including the loader call) under one
+// mutex: concurrent checkouts of the same missing id run the loader exactly
+// once, and the hit/miss/evict sequence for a given request order is
+// deterministic — which the service's cross-thread-count determinism
+// contract depends on.
+#ifndef SRC_SERVICE_KEY_CACHE_H_
+#define SRC_SERVICE_KEY_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/service/metrics.h"
+
+namespace nope {
+
+// Type-erased cached artifact. Concrete entries wrap a groth16::ProvingKey
+// (see ProvingKeyEntry in proving_service.h) or a simulated stand-in;
+// SizeBytes() feeds the budget accounting and must be stable for the entry's
+// lifetime.
+class CachedKey {
+ public:
+  virtual ~CachedKey() = default;
+  virtual size_t SizeBytes() const = 0;
+};
+
+class KeyCache {
+ public:
+  // Builds the artifact for a missing circuit id. Runs under the cache lock
+  // (see header comment); must return non-null.
+  using Loader = std::function<std::shared_ptr<const CachedKey>()>;
+
+  // metrics may be null. When set, the cache maintains:
+  //   keycache.hits / keycache.misses / keycache.evictions  (counters)
+  //   keycache.bytes / keycache.entries                      (gauges)
+  explicit KeyCache(size_t byte_budget, MetricsRegistry* metrics = nullptr);
+  ~KeyCache();
+
+  KeyCache(const KeyCache&) = delete;
+  KeyCache& operator=(const KeyCache&) = delete;
+
+  class Handle {
+   public:
+    Handle() = default;
+    ~Handle() { Release(); }
+    Handle(Handle&& other) noexcept { *this = std::move(other); }
+    Handle& operator=(Handle&& other) noexcept;
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    bool valid() const { return entry_ != nullptr; }
+    // The cached artifact; null for a default-constructed Handle.
+    const CachedKey* get() const;
+    template <typename T>
+    const T* As() const {
+      return static_cast<const T*>(get());
+    }
+    // True when this checkout found the entry already resident.
+    bool was_hit() const { return hit_; }
+
+    // Drops the pin early (idempotent; the destructor calls it too).
+    void Release();
+
+   private:
+    friend class KeyCache;
+    KeyCache* cache_ = nullptr;
+    std::shared_ptr<struct KeyCacheEntry> entry_;
+    bool hit_ = false;
+  };
+
+  // Pins and returns the entry for `circuit_id`, running `loader` on a miss.
+  Handle Checkout(const std::string& circuit_id, const Loader& loader);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t resident_bytes = 0;
+    size_t resident_entries = 0;
+  };
+  Stats stats() const;
+  size_t byte_budget() const { return byte_budget_; }
+
+ private:
+  void Unpin(const std::shared_ptr<KeyCacheEntry>& entry);
+  // Evicts unpinned LRU entries until resident bytes fit the budget. Caller
+  // holds mu_.
+  void EvictToBudgetLocked();
+  void UpdateGaugesLocked();
+
+  const size_t byte_budget_;
+  MetricsRegistry* const metrics_;
+  Counter* hits_ = nullptr;
+  Counter* misses_ = nullptr;
+  Counter* evictions_ = nullptr;
+  Gauge* bytes_gauge_ = nullptr;
+  Gauge* entries_gauge_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<KeyCacheEntry>> entries_;
+  uint64_t use_clock_ = 0;  // recency stamps for LRU ordering
+  Stats stats_;
+};
+
+}  // namespace nope
+
+#endif  // SRC_SERVICE_KEY_CACHE_H_

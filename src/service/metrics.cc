@@ -1,0 +1,165 @@
+#include "src/service/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/base/check.h"
+
+namespace nope {
+
+Histogram::Histogram(std::vector<uint64_t> bounds) : bounds_(std::move(bounds)) {
+  NOPE_INVARIANT(!bounds_.empty(), "Histogram: bounds must be non-empty");
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    NOPE_INVARIANT(bounds_[i - 1] < bounds_[i],
+                   "Histogram: bounds must be strictly increasing");
+  }
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Record(uint64_t v) {
+  size_t idx = std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot.reset(new Counter());
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot.reset(new Gauge());
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<uint64_t>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot.reset(new Histogram(bounds));
+  }
+  return slot.get();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendU64Json(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+void AppendI64Json(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  *out += buf;
+}
+
+void AppendU64Array(std::string* out, const std::vector<uint64_t>& values) {
+  *out += '[';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) {
+      *out += ',';
+    }
+    AppendU64Json(out, values[i]);
+  }
+  *out += ']';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    out += JsonEscape(name);
+    out += "\":";
+    AppendU64Json(&out, counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    out += JsonEscape(name);
+    out += "\":";
+    AppendI64Json(&out, gauge->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    out += JsonEscape(name);
+    out += "\":{\"bounds\":";
+    AppendU64Array(&out, hist->bounds());
+    out += ",\"buckets\":";
+    AppendU64Array(&out, hist->bucket_counts());
+    out += ",\"count\":";
+    AppendU64Json(&out, hist->count());
+    out += ",\"sum\":";
+    AppendU64Json(&out, hist->sum());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace nope

@@ -1,0 +1,109 @@
+// Process-local metrics for the proving service (ISSUE 5).
+//
+// Three metric kinds, all integer-valued so snapshots never depend on
+// floating-point formatting:
+//   Counter   — monotone uint64 (admission outcomes, cache hits, shed jobs)
+//   Gauge     — signed instantaneous value (queue depth, cache bytes)
+//   Histogram — fixed upper-bound buckets + sum + count (latencies in ms)
+//
+// MetricsRegistry owns every metric; Get* returns a stable pointer that
+// stays valid for the registry's lifetime, so hot paths hold the pointer and
+// never touch the name map again. Updates are relaxed atomics — safe to call
+// from ThreadPool workers — while SnapshotJson() serializes everything with
+// stable key ordering (std::map) and full JSON string escaping, so two runs
+// that record the same values produce byte-identical snapshots (the CI
+// golden test and the cross-thread-count determinism test both diff these).
+#ifndef SRC_SERVICE_METRICS_H_
+#define SRC_SERVICE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nope {
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram: bucket i counts samples v <= bounds[i] (first
+// matching bound wins); one implicit overflow bucket counts the rest. Bounds
+// are fixed at registration so the snapshot shape never changes at runtime.
+class Histogram {
+ public:
+  void Record(uint64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  // counts()[i] pairs with bounds()[i]; the final entry is the overflow bucket.
+  std::vector<uint64_t> bucket_counts() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<uint64_t> bounds);
+  std::vector<uint64_t> bounds_;  // strictly increasing upper bounds
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Finds or creates. Names are unique per kind; re-registering a histogram
+  // returns the existing one (first registration's bounds win — bounds are
+  // part of the metric's identity, so call sites must agree).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  // `bounds` must be non-empty and strictly increasing (NOPE_INVARIANT).
+  Histogram* GetHistogram(const std::string& name, const std::vector<uint64_t>& bounds);
+
+  // Canonical one-line JSON:
+  //   {"counters":{...},"gauges":{...},"histograms":{"h":{"bounds":[...],
+  //    "buckets":[...],"count":N,"sum":S}}}
+  // Keys sorted (std::map iteration), values integer-only, strings escaped
+  // (\" \\ and \u00XX for control bytes) — byte-stable across runs and
+  // diffable in CI.
+  std::string SnapshotJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// JSON string escaping used by SnapshotJson; exposed for tests and for other
+// JSON emitters that must stay byte-compatible with the snapshot format.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace nope
+
+#endif  // SRC_SERVICE_METRICS_H_

@@ -6,10 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "src/base/cancellation.h"
 
 namespace nope {
 namespace {
@@ -183,6 +187,92 @@ TEST(ThreadPool, SetGlobalThreadsResizesGlobalPool) {
   }
   ThreadPool::SetGlobalThreads(0);  // restore the environment default
   EXPECT_EQ(ThreadPool::GlobalThreads(), ThreadPool::DefaultThreadCount());
+}
+
+// Regression (ISSUE 5): destroying a pool that still holds queued-but-
+// unstarted tasks must neither run their bodies after the destructor began
+// nor strand the ParallelFor waiting on their completion. Loop A pins the
+// single worker inside its share; loop B's worker share therefore sits
+// queued when the destructor starts. The destructor must complete B's share
+// body-free: B's fn runs exactly once (its caller-thread share), and every
+// thread joins (a deadlock here trips the ctest timeout).
+TEST(ThreadPool, DestructorCompletesQueuedSharesWithoutRunningThem) {
+  auto pool = std::make_unique<ThreadPool>(2);  // one worker lane
+  // The loop threads hold a raw pointer: the unique_ptr slot itself is only
+  // touched by this thread and td (which it spawns), never concurrently.
+  ThreadPool* raw = pool.get();
+  std::atomic<int> a_started{0};
+  std::atomic<bool> release_a{false};
+  std::thread ta([&] {
+    raw->ParallelFor(0, 2, 1, [&](size_t, size_t) {
+      ++a_started;
+      while (!release_a.load()) {
+        std::this_thread::yield();
+      }
+    });
+  });
+  while (a_started.load() < 2) {
+    std::this_thread::yield();  // both A shares running: worker is pinned
+  }
+
+  std::atomic<int> b_ran{0};
+  std::atomic<bool> b_submitted{false};
+  std::thread tb([&] {
+    b_submitted = true;
+    raw->ParallelFor(0, 2, 1, [&](size_t, size_t) { ++b_ran; });
+  });
+  while (!b_submitted.load()) {
+    std::this_thread::yield();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::thread td([&] { pool.reset(); });  // sets stop_, joins, drains queue
+  // Give the destructor a head start so stop_ is set before the worker can
+  // leave A's share and steal B's queued task.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  release_a = true;
+  ta.join();
+  tb.join();
+  td.join();
+  EXPECT_EQ(b_ran.load(), 1);  // caller share only; queued share never ran
+}
+
+// Same shutdown race with a fired CancellationSource (the renewal manager's
+// abandon-everything path): every B share skips its body, the destructor
+// still unblocks B's completion wait, and nothing deadlocks.
+TEST(ThreadPool, ShutdownAfterCancellationFiresDoesNotDeadlock) {
+  auto pool = std::make_unique<ThreadPool>(2);
+  ThreadPool* raw = pool.get();
+  std::atomic<int> a_started{0};
+  std::atomic<bool> release_a{false};
+  std::thread ta([&] {
+    raw->ParallelFor(0, 2, 1, [&](size_t, size_t) {
+      ++a_started;
+      while (!release_a.load()) {
+        std::this_thread::yield();
+      }
+    });
+  });
+  while (a_started.load() < 2) {
+    std::this_thread::yield();
+  }
+
+  CancellationSource src;
+  src.Cancel();  // fires before the loop is even issued
+  CancellationToken token = src.token();
+  std::atomic<int> b_ran{0};
+  std::thread tb([&] {
+    raw->ParallelFor(0, 2, 1, [&](size_t, size_t) { ++b_ran; }, &token);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::thread td([&] { pool.reset(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release_a = true;
+  ta.join();
+  tb.join();
+  td.join();
+  EXPECT_EQ(b_ran.load(), 0);  // cancelled shares never ran anywhere
 }
 
 }  // namespace
