@@ -1,8 +1,9 @@
 #!/bin/bash
 # CI entry point: plain tier-1 build + tests, then an ASan/UBSan build that
 # re-runs the fast tests plus the fault-injection and renewal-simulation
-# harnesses, then a TSan build (NOPE_SANITIZE=thread) that runs the
-# thread-pool, cross-thread-count determinism, and cancellation tests.
+# harnesses and a seeded ~200-scenario sweep of the scenario zoo, then a
+# TSan build (NOPE_SANITIZE=thread) that runs the thread-pool,
+# cross-thread-count determinism, and cancellation tests.
 # Fails fast and names the failing stage.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -22,14 +23,31 @@ SAN_TARGETS=(biguint_test hash_test field_test curve_test rsa_test ecdsa_test
              constraint_system_test groth16_test msm_kernel_test dns_test
              pki_test analysis_test fault_injection_test
              clock_test cancellation_test renewal_sim_test
-             key_cache_test service_test)
-cmake --build build-san -j "$(nproc)" --target "${SAN_TARGETS[@]}"
+             key_cache_test service_test scenario_test)
+cmake --build build-san -j "$(nproc)" --target "${SAN_TARGETS[@]}" bench_scenario_sweep
 
 echo "=== stage 4: sanitized tests ==="
 for t in "${SAN_TARGETS[@]}"; do
   echo "--- $t (ASan/UBSan) ---"
   ./build-san/tests/"$t"
 done
+
+echo "=== stage 4b: seeded scenario sweep smoke (ASan/UBSan) ==="
+# ~200 generated DNSSEC/PKI scenarios through the full issuance/renewal/
+# verification lifecycle: any crash, sanitizer report, or per-class invariant
+# abort fails CI. Run twice and require byte-identical outcome matrices — the
+# sweep's replayability contract.
+sweep_digest() {
+  ./build-san/bench/bench_scenario_sweep --scenarios=200 --seed=6 \
+    | grep '^matrix digest'
+}
+d1="$(sweep_digest)"
+d2="$(sweep_digest)"
+echo "sweep: $d1"
+if [ "$d1" != "$d2" ]; then
+  echo "FAILED: scenario sweep is not deterministic ($d1 vs $d2)" >&2
+  exit 1
+fi
 
 echo "=== stage 5: TSan build (parallel proving) ==="
 cmake -B build-tsan -S . -DNOPE_SANITIZE=thread >/dev/null

@@ -32,6 +32,8 @@ const char* ErrorCodeName(ErrorCode code) {
       return "unavailable";
     case ErrorCode::kCancelled:
       return "cancelled";
+    case ErrorCode::kInsecure:
+      return "insecure";
   }
   return "unknown";
 }

@@ -35,8 +35,11 @@ enum class ErrorCode {
   kTimedOut,        // a dependency did not answer within its deadline
   kUnavailable,     // a dependency answered with a failure (SERVFAIL, throttle)
   kCancelled,       // the operation was cancelled (deadline or explicit)
+  // DNSSEC validation taxonomy (RFC 4035 §4.3): the chain of trust ends at an
+  // unsigned delegation, so the answer is neither secure nor bogus.
+  kInsecure,
 };
-constexpr int kNumErrorCodes = static_cast<int>(ErrorCode::kCancelled) + 1;
+constexpr int kNumErrorCodes = static_cast<int>(ErrorCode::kInsecure) + 1;
 
 const char* ErrorCodeName(ErrorCode code);
 

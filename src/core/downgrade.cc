@@ -1,0 +1,70 @@
+#include "src/core/downgrade.h"
+
+#include <string>
+
+namespace nope {
+
+const char* DowngradeReasonName(DowngradeReason reason) {
+  switch (reason) {
+    case DowngradeReason::kNone:
+      return "none";
+    case DowngradeReason::kNoProof:
+      return "no_proof";
+    case DowngradeReason::kBadProofEncoding:
+      return "bad_proof_encoding";
+    case DowngradeReason::kUnsignedZone:
+      return "unsigned_zone";
+    case DowngradeReason::kUnsignedDelegation:
+      return "unsigned_delegation";
+    case DowngradeReason::kRrsigExpired:
+      return "rrsig_expired";
+    case DowngradeReason::kRrsigNotYetValid:
+      return "rrsig_not_yet_valid";
+    case DowngradeReason::kChainBogus:
+      return "chain_bogus";
+    case DowngradeReason::kDependencyUnavailable:
+      return "dependency_unavailable";
+    case DowngradeReason::kDependencyTimeout:
+      return "dependency_timeout";
+    case DowngradeReason::kProofDeadlineExceeded:
+      return "proof_deadline_exceeded";
+  }
+  return "unknown";
+}
+
+DowngradeReason ClassifyDowngrade(const Error& error) {
+  switch (error.code) {
+    case ErrorCode::kInsecure:
+      // TryBuildChain marks the ancestor case "unsigned delegation (island of
+      // security)" and the leaf case "unsigned zone". Substring search, not a
+      // prefix match: retry wrappers prepend their own context.
+      return error.context.find("unsigned delegation") != std::string::npos
+                 ? DowngradeReason::kUnsignedDelegation
+                 : DowngradeReason::kUnsignedZone;
+    case ErrorCode::kOutOfRange:
+      return error.context.find("expired") != std::string::npos
+                 ? DowngradeReason::kRrsigExpired
+                 : DowngradeReason::kRrsigNotYetValid;
+    case ErrorCode::kBadSignature:
+    case ErrorCode::kBadChecksum:
+    case ErrorCode::kMismatch:
+    case ErrorCode::kBadEncoding:
+    case ErrorCode::kBadLength:
+    case ErrorCode::kTruncated:
+    case ErrorCode::kTrailingBytes:
+    case ErrorCode::kNotOnCurve:
+    case ErrorCode::kNotInSubgroup:
+      return DowngradeReason::kChainBogus;
+    case ErrorCode::kUnavailable:
+      return DowngradeReason::kDependencyUnavailable;
+    case ErrorCode::kTimedOut:
+      return DowngradeReason::kDependencyTimeout;
+    case ErrorCode::kCancelled:
+      return DowngradeReason::kProofDeadlineExceeded;
+    case ErrorCode::kMissing:
+      return DowngradeReason::kNoProof;
+  }
+  return DowngradeReason::kChainBogus;
+}
+
+}  // namespace nope

@@ -1,0 +1,56 @@
+// Typed downgrade reasons for §7 graceful degradation.
+//
+// Both degradation surfaces — the client (NopeClientVerify falling back to
+// legacy-only validation) and the server (RenewalManager falling back to
+// proof-less issuance) — previously recorded free-form strings. The scenario
+// zoo needs a closed taxonomy so per-scenario-class invariants can assert
+// "degraded WITH THIS reason" rather than substring-matching log text, and so
+// the sweep's degrade-reason histogram has stable bucket names.
+//
+// The taxonomy mirrors where in the pipeline the proof path died:
+//   * proof-shaped causes (kNoProof, kBadProofEncoding) — the §7 client cases;
+//   * DNSSEC-shaped causes (kUnsignedZone, kUnsignedDelegation, kRrsig*,
+//     kChainBogus) — the RFC 4035 insecure/bogus split, surfaced when chain
+//     construction or validation fails during issuance;
+//   * dependency-shaped causes (kDependencyUnavailable, kDependencyTimeout,
+//     kProofDeadlineExceeded) — transient-world failures from ISSUE 3.
+#ifndef SRC_CORE_DOWNGRADE_H_
+#define SRC_CORE_DOWNGRADE_H_
+
+#include "src/base/result.h"
+
+namespace nope {
+
+enum class DowngradeReason {
+  kNone,                // not degraded
+  kNoProof,             // certificate carries no NOPE SANs at all
+  kBadProofEncoding,    // NOPE SANs present but malformed (§7: degrade, not fail)
+  kUnsignedZone,        // the domain's own zone publishes no RRSIGs
+  kUnsignedDelegation,  // an ancestor zone is unsigned (island of security)
+  kRrsigExpired,        // a chain RRSIG's validity window has lapsed
+  kRrsigNotYetValid,    // a chain RRSIG's inception is in the future (skew)
+  kChainBogus,          // chain data present but cryptographically invalid
+  kDependencyUnavailable,  // DNS SERVFAIL / CA throttle during the proof path
+  kDependencyTimeout,      // a dependency blew its deadline
+  kProofDeadlineExceeded,  // proving was cancelled at the attempt budget
+};
+constexpr int kNumDowngradeReasons =
+    static_cast<int>(DowngradeReason::kProofDeadlineExceeded) + 1;
+
+const char* DowngradeReasonName(DowngradeReason reason);
+
+// Maps a proof-path Error (from chain resolution, validation, proving, or
+// issuance) to the downgrade reason the degradation surfaces record. The
+// context string disambiguates codes that fold two causes together (matched
+// as substrings, since retry wrappers prepend their own context):
+//   * kInsecure: a context mentioning "unsigned delegation" is an unsigned
+//     ancestor (kUnsignedDelegation); any other kInsecure context is the
+//     leaf's own zone (kUnsignedZone). TryBuildChain emits these markers.
+//   * kOutOfRange: ValidateChainTimes says "expired" for a lapsed window and
+//     "in the future" otherwise; the former maps to kRrsigExpired, the
+//     latter to kRrsigNotYetValid.
+DowngradeReason ClassifyDowngrade(const Error& error);
+
+}  // namespace nope
+
+#endif  // SRC_CORE_DOWNGRADE_H_

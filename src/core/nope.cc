@@ -192,6 +192,11 @@ NopeClientResult NopeClientVerify(const NopeDeployment& deployment,
     result.status = proof_bytes.error().code == ErrorCode::kMissing
                         ? NopeVerifyStatus::kNoNopeProof
                         : NopeVerifyStatus::kBadProofEncoding;
+    // The client-side taxonomy is proof-shaped, not chain-shaped: anything
+    // decodable-but-wrong is a bad encoding regardless of the error code.
+    result.downgrade_kind = proof_bytes.error().code == ErrorCode::kMissing
+                                ? DowngradeReason::kNoProof
+                                : DowngradeReason::kBadProofEncoding;
     result.accepted = true;
     result.downgrade_reason = proof_bytes.error().ToString();
     return result;
@@ -199,6 +204,7 @@ NopeClientResult NopeClientVerify(const NopeDeployment& deployment,
   Result<groth16::Proof> proof = groth16::Proof::TryFromBytes(proof_bytes.value());
   if (!proof.ok()) {
     result.status = NopeVerifyStatus::kBadProofEncoding;
+    result.downgrade_kind = DowngradeReason::kBadProofEncoding;
     result.accepted = true;
     result.downgrade_reason = proof.error().ToString();
     return result;

@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 
+#include "src/core/downgrade.h"
 #include "src/core/statement.h"
 #include "src/groth16/groth16.h"
 #include "src/pki/san_encoding.h"
@@ -99,7 +100,10 @@ struct NopeClientResult {
   // True only when the NOPE proof itself verified (status == kOk).
   bool nope_validated = false;
   // Non-empty when NOPE validation was skipped and the client fell back to
-  // legacy-only; records why the downgrade happened.
+  // legacy-only; records why the downgrade happened. downgrade_kind is the
+  // typed bucket (kNone unless the client degraded), downgrade_reason the
+  // human-readable detail.
+  DowngradeReason downgrade_kind = DowngradeReason::kNone;
   std::string downgrade_reason;
 };
 

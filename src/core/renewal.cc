@@ -158,6 +158,7 @@ bool RenewalManager::RunOneCycle() {
       Emit(RenewalEventKind::kRecovered,
            "proof path healthy again (was: " + degrade_reason_ + ")");
       degrade_reason_.clear();
+      degrade_reason_kind_ = DowngradeReason::kNone;
     }
     ++stats_.nope_issued;
     Emit(RenewalEventKind::kIssuedNope, "");
@@ -171,7 +172,9 @@ bool RenewalManager::RunOneCycle() {
              " consecutive): " + proof_path.ToString());
     if (!degraded_ && consecutive_proof_failures_ >= config_.degrade_after) {
       degraded_ = true;
-      degrade_reason_ = "proof path failed " +
+      degrade_reason_kind_ = ClassifyDowngrade(proof_path.error());
+      degrade_reason_ = std::string(DowngradeReasonName(degrade_reason_kind_)) +
+                        ": proof path failed " +
                         std::to_string(consecutive_proof_failures_) +
                         "x consecutively; last: " + proof_path.ToString();
       ++stats_.downgrades;

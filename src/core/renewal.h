@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/base/clock.h"
+#include "src/core/downgrade.h"
 #include "src/dns/flaky_resolver.h"
 #include "src/pki/flaky_ca.h"
 #include "src/service/key_cache.h"
@@ -133,6 +134,9 @@ class RenewalManager {
 
   bool degraded() const { return degraded_; }
   const std::string& degrade_reason() const { return degrade_reason_; }
+  // Typed bucket for the degradation cause, classified from the proof-path
+  // error that tripped the degrade threshold; kNone while healthy.
+  DowngradeReason degrade_reason_kind() const { return degrade_reason_kind_; }
   size_t consecutive_proof_failures() const { return consecutive_proof_failures_; }
   uint64_t cert_expires_at_ms() const { return cert_expires_at_ms_; }
   uint64_t next_attempt_at_ms() const { return next_attempt_at_ms_; }
@@ -165,6 +169,7 @@ class RenewalManager {
 
   bool degraded_ = false;
   std::string degrade_reason_;
+  DowngradeReason degrade_reason_kind_ = DowngradeReason::kNone;
   size_t consecutive_proof_failures_ = 0;
   uint64_t cert_expires_at_ms_ = 0;  // 0 = no certificate yet
   uint64_t next_attempt_at_ms_ = 0;

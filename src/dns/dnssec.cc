@@ -132,32 +132,71 @@ bool VerifyWithDnskey(const CryptoSuite& suite, const DnskeyRdata& key, const By
 }
 
 Zone::Zone(const DnsName& name, const CryptoSuite& suite, Rng* rng, bool rsa_zsk)
-    : name_(name), suite_(&suite) {
-  NativeCurve curve(suite.curve);
-  auto make_ec_key = [&] {
-    ZoneKey key;
-    key.is_rsa = false;
-    key.ec_priv = BigUInt::RandomBelow(rng, suite.curve.n - BigUInt(1)) + BigUInt(1);
-    key.ec_pub = curve.ScalarMul(key.ec_priv, curve.Generator());
+    : Zone(name, suite, rng, [&] {
+        ZoneConfig config;
+        config.rsa_zsk = rsa_zsk;
+        return config;
+      }()) {}
+
+Zone::Zone(const DnsName& name, const CryptoSuite& suite, Rng* rng,
+           const ZoneConfig& config)
+    : name_(name), suite_(&suite), config_(config) {
+  // Unsigned zones still carry (unpublished) keys so that signing them later
+  // — e.g., a zone that enables DNSSEC mid-scenario — needs no regeneration;
+  // the is_signed flag alone decides whether the chain may pass through.
+  ksk_ = MakeKey(rng, /*rsa=*/false);
+  zsk_ = MakeKey(rng, config.rsa_zsk);
+}
+
+ZoneKey Zone::MakeKey(Rng* rng, bool rsa) const {
+  ZoneKey key;
+  if (rsa) {
+    key.is_rsa = true;
+    key.rsa = GenerateRsaKey(rng, suite_->rsa_bits);
     return key;
-  };
-  ksk_ = make_ec_key();
-  if (rsa_zsk) {
-    zsk_.is_rsa = true;
-    zsk_.rsa = GenerateRsaKey(rng, suite.rsa_bits);
-  } else {
-    zsk_ = make_ec_key();
   }
+  NativeCurve curve(suite_->curve);
+  key.is_rsa = false;
+  key.ec_priv = BigUInt::RandomBelow(rng, suite_->curve.n - BigUInt(1)) + BigUInt(1);
+  key.ec_pub = curve.ScalarMul(key.ec_priv, curve.Generator());
+  return key;
 }
 
-DnskeyRdata Zone::KskRdata() const {
-  return DnskeyRdata{kDnskeyFlagsKsk, kDnskeyProtocol, ksk_.Algorithm(*suite_),
-                     ksk_.PublicKeyWire(*suite_)};
+void Zone::SetRrsigWindow(uint32_t inception, uint32_t expiration) {
+  config_.rrsig_inception = inception;
+  config_.rrsig_expiration = expiration;
 }
 
-DnskeyRdata Zone::ZskRdata() const {
-  return DnskeyRdata{kDnskeyFlagsZsk, kDnskeyProtocol, zsk_.Algorithm(*suite_),
-                     zsk_.PublicKeyWire(*suite_)};
+void Zone::RotateKsk(Rng* rng) {
+  old_ksk_ = ksk_;
+  ksk_ = MakeKey(rng, /*rsa=*/false);
+  stale_ds_ = true;
+}
+
+void Zone::RotateZsk(Rng* rng) {
+  old_zsk_ = zsk_;
+  zsk_ = MakeKey(rng, zsk_.is_rsa);
+  stale_zsk_sigs_ = true;
+}
+
+void Zone::FinishRollover() {
+  stale_ds_ = false;
+  stale_zsk_sigs_ = false;
+}
+
+namespace {
+DnskeyRdata RdataForKey(const CryptoSuite& suite, const ZoneKey& key, bool ksk) {
+  return DnskeyRdata{ksk ? kDnskeyFlagsKsk : kDnskeyFlagsZsk, kDnskeyProtocol,
+                     key.Algorithm(suite), key.PublicKeyWire(suite)};
+}
+}  // namespace
+
+DnskeyRdata Zone::KskRdata() const { return RdataForKey(*suite_, ksk_, true); }
+
+DnskeyRdata Zone::ZskRdata() const { return RdataForKey(*suite_, zsk_, false); }
+
+DnskeyRdata Zone::DsKskRdata() const {
+  return RdataForKey(*suite_, stale_ds_ ? old_ksk_ : ksk_, true);
 }
 
 Rrset Zone::DnskeyRrset() const {
@@ -167,35 +206,57 @@ Rrset Zone::DnskeyRrset() const {
   return out;
 }
 
-SignedRrset Zone::Sign(const Rrset& rrset, Rng* rng) const {
+Result<SignedRrset> Zone::TrySign(const Rrset& rrset, Rng* rng) const {
+  if (!config_.is_signed) {
+    return Error(ErrorCode::kInsecure,
+                 "unsigned zone " + name_.ToString() + " publishes no RRSIGs");
+  }
   bool with_ksk = rrset.type == RrType::kDnskey;
-  const ZoneKey& key = with_ksk ? ksk_ : zsk_;
-  DnskeyRdata key_rdata = with_ksk ? KskRdata() : ZskRdata();
+  // Mid-ZSK-rollover, non-DNSKEY RRsets still carry signatures from the old
+  // ZSK (stale cache) while the DNSKEY RRset advertises the new one.
+  const ZoneKey& key =
+      with_ksk ? ksk_ : (stale_zsk_sigs_ ? old_zsk_ : zsk_);
+  DnskeyRdata key_rdata = RdataForKey(*suite_, key, with_ksk);
 
   RrsigRdata rrsig;
   rrsig.type_covered = static_cast<uint16_t>(rrset.type);
   rrsig.algorithm = key.Algorithm(*suite_);
   rrsig.labels = static_cast<uint8_t>(rrset.name.NumLabels());
   rrsig.original_ttl = rrset.ttl;
-  rrsig.inception = 1700000000;   // fixed simulation epoch
-  rrsig.expiration = 1800000000;
+  rrsig.inception = config_.rrsig_inception;
+  rrsig.expiration = config_.rrsig_expiration;
   rrsig.key_tag = ComputeKeyTag(key_rdata.Encode());
   rrsig.signer = name_;
 
   Bytes buffer = BuildSigningBuffer(rrsig, rrset);
   if (buffer.size() > suite_->max_signing_buffer) {
-    throw std::length_error("signing buffer exceeds suite bound");
+    return Error(ErrorCode::kBadLength,
+                 "signing buffer for " + rrset.name.ToString() +
+                     " exceeds suite bound (" +
+                     std::to_string(buffer.size()) + " > " +
+                     std::to_string(suite_->max_signing_buffer) + ")");
   }
   rrsig.signature = key.SignBuffer(*suite_, buffer, rng);
   return SignedRrset{rrset.Canonical(), rrsig};
 }
 
+SignedRrset Zone::Sign(const Rrset& rrset, Rng* rng) const {
+  Result<SignedRrset> signed_set = TrySign(rrset, rng);
+  if (!signed_set.ok()) {
+    throw std::length_error(signed_set.error().ToString());
+  }
+  return std::move(signed_set).value();
+}
+
 DsRdata Zone::MakeDsForChild(const Zone& child) const {
-  Bytes child_ksk = child.KskRdata().Encode();
+  // DsKskRdata: mid-KSK-rollover the parent's DS still commits to the
+  // child's previous KSK (the parent has not re-signed yet).
+  DnskeyRdata child_rdata = child.DsKskRdata();
+  Bytes child_ksk = child_rdata.Encode();
   Bytes input = BuildDsDigestInput(child.name(), child_ksk);
   DsRdata ds;
   ds.key_tag = ComputeKeyTag(child_ksk);
-  ds.algorithm = child.ksk().Algorithm(*suite_);
+  ds.algorithm = child_rdata.algorithm;
   ds.digest_type = suite_->ds_digest_type;
   ds.digest = suite_->Digest32(input);
   return ds;
@@ -207,14 +268,14 @@ DnssecHierarchy::DnssecHierarchy(const CryptoSuite& suite, uint64_t seed)
                  std::make_unique<Zone>(DnsName::Root(), suite, &rng_, /*rsa_zsk=*/true));
 }
 
-Zone& DnssecHierarchy::AddZone(const DnsName& name) {
+Zone& DnssecHierarchy::AddZone(const DnsName& name, const ZoneConfig& config) {
   if (zones_.count(name) != 0) {
     return *zones_.at(name);
   }
   if (zones_.count(name.Parent()) == 0) {
     throw std::invalid_argument("parent zone does not exist: " + name.Parent().ToString());
   }
-  auto zone = std::make_unique<Zone>(name, *suite_, &rng_, /*rsa_zsk=*/false);
+  auto zone = std::make_unique<Zone>(name, *suite_, &rng_, config);
   Zone& ref = *zone;
   zones_.emplace(name, std::move(zone));
   return ref;
@@ -231,9 +292,21 @@ const Zone* DnssecHierarchy::Find(const DnsName& name) const {
 }
 
 ChainOfTrust DnssecHierarchy::BuildChain(const DnsName& domain) {
+  Result<ChainOfTrust> chain = TryBuildChain(domain);
+  if (!chain.ok()) {
+    throw std::invalid_argument(chain.error().ToString());
+  }
+  return std::move(chain).value();
+}
+
+Result<ChainOfTrust> DnssecHierarchy::TryBuildChain(const DnsName& domain) {
   Zone* leaf = Find(domain);
   if (leaf == nullptr) {
-    throw std::invalid_argument("domain is not a zone: " + domain.ToString());
+    return Error(ErrorCode::kMissing, "domain is not a zone: " + domain.ToString());
+  }
+  if (!leaf->is_signed()) {
+    return Error(ErrorCode::kInsecure,
+                 "unsigned zone (no DNSSEC): " + domain.ToString());
   }
   ChainOfTrust chain;
   chain.domain = domain;
@@ -243,23 +316,33 @@ ChainOfTrust DnssecHierarchy::BuildChain(const DnsName& domain) {
   // D's DS RRset lives in the parent and is ZSK-signed there.
   Zone* parent = Find(domain.Parent());
   if (parent == nullptr) {
-    throw std::invalid_argument("parent zone missing");
+    return Error(ErrorCode::kMissing, "parent zone missing for " + domain.ToString());
+  }
+  if (!parent->is_signed()) {
+    return Error(ErrorCode::kInsecure,
+                 "unsigned delegation (island of security) at " +
+                     parent->name().ToString());
   }
   Rrset leaf_ds_set{domain, RrType::kDs, 3600, {parent->MakeDsForChild(*leaf).Encode()}};
-  chain.leaf_ds = parent->Sign(leaf_ds_set, &rng_);
+  NOPE_ASSIGN_OR_RETURN(chain.leaf_ds, parent->TrySign(leaf_ds_set, &rng_));
 
   // Ancestor levels: C = parent(D), ..., up to (but excluding) the root.
   for (DnsName c = domain.Parent(); !c.IsRoot(); c = c.Parent()) {
     Zone* zone_c = Find(c);
     Zone* zone_p = Find(c.Parent());
     if (zone_c == nullptr || zone_p == nullptr) {
-      throw std::invalid_argument("broken hierarchy at " + c.ToString());
+      return Error(ErrorCode::kMissing, "broken hierarchy at " + c.ToString());
+    }
+    if (!zone_p->is_signed()) {
+      return Error(ErrorCode::kInsecure,
+                   "unsigned delegation (island of security) at " +
+                       zone_p->name().ToString());
     }
     ChainLink link;
     link.zone = c;
-    link.dnskey = zone_c->Sign(zone_c->DnskeyRrset(), &rng_);
+    NOPE_ASSIGN_OR_RETURN(link.dnskey, zone_c->TrySign(zone_c->DnskeyRrset(), &rng_));
     Rrset ds_set{c, RrType::kDs, 3600, {zone_p->MakeDsForChild(*zone_c).Encode()}};
-    link.ds = zone_p->Sign(ds_set, &rng_);
+    NOPE_ASSIGN_OR_RETURN(link.ds, zone_p->TrySign(ds_set, &rng_));
     chain.levels.push_back(link);
   }
   return chain;

@@ -70,30 +70,85 @@ struct SignedRrset {
   RrsigRdata rrsig;
 };
 
+// Per-zone knobs for the scenario zoo: algorithm choice, signedness (islands
+// of security), and the RRSIG validity window the zone's signer stamps.
+// The defaults reproduce the historical happy-path hierarchy exactly.
+struct ZoneConfig {
+  bool rsa_zsk = false;   // RSA (RFC 3110) ZSK instead of ECDSA
+  // An unsigned zone participates in the name tree (it can hold TXT records
+  // and delegate children) but publishes no DNSKEY/DS/RRSIG records; a chain
+  // of trust cannot pass through it (an "island of security" boundary).
+  bool is_signed = true;
+  // RRSIG validity window stamped by Sign (RFC 4034 §3.1.5). The defaults
+  // are the fixed simulation epoch the seed hierarchy always used.
+  uint32_t rrsig_inception = 1700000000;
+  uint32_t rrsig_expiration = 1800000000;
+};
+
 class Zone {
  public:
   Zone(const DnsName& name, const CryptoSuite& suite, Rng* rng, bool rsa_zsk);
+  Zone(const DnsName& name, const CryptoSuite& suite, Rng* rng,
+       const ZoneConfig& config);
 
   const DnsName& name() const { return name_; }
   const ZoneKey& ksk() const { return ksk_; }
   const ZoneKey& zsk() const { return zsk_; }
+  bool is_signed() const { return config_.is_signed; }
+
+  // Adjusts the RRSIG validity window for every signature this zone produces
+  // from now on (expired / not-yet-valid scenarios, re-signing cadence).
+  void SetRrsigWindow(uint32_t inception, uint32_t expiration);
+  uint32_t rrsig_inception() const { return config_.rrsig_inception; }
+  uint32_t rrsig_expiration() const { return config_.rrsig_expiration; }
+
+  // --- Key rollover (RFC 6781) ----------------------------------------------
+  // RotateKsk/RotateZsk generate a fresh key of the same algorithm. Until
+  // FinishRollover() is called the zone models the awkward middle of the
+  // rollover window:
+  //   * after RotateKsk, DsKskRdata() still returns the OLD KSK — the parent
+  //     has not re-signed its DS yet — while DnskeyRrset() already advertises
+  //     the new one, so a freshly built chain fails the DS-digest check;
+  //   * after RotateZsk, non-DNSKEY RRsets are still signed with the OLD ZSK
+  //     (stale cached RRSIGs) while DnskeyRrset() advertises the new one, so
+  //     downstream RRSIG validation fails with a key-tag/signature mismatch.
+  // FinishRollover() completes the rollover: parent DS and signatures all
+  // reflect the current keys again.
+  void RotateKsk(Rng* rng);
+  void RotateZsk(Rng* rng);
+  void FinishRollover();
+  bool rollover_in_progress() const { return stale_ds_ || stale_zsk_sigs_; }
 
   DnskeyRdata KskRdata() const;
   DnskeyRdata ZskRdata() const;
+  // The KSK rdata the parent's DS record currently commits to (equals
+  // KskRdata() except mid-KSK-rollover).
+  DnskeyRdata DsKskRdata() const;
   Rrset DnskeyRrset() const;
 
   // Signs an RRset (DNSKEY RRsets with the KSK, everything else with the
-  // ZSK), producing a complete RRSIG.
+  // ZSK), producing a complete RRSIG. Throws std::length_error when the
+  // signing buffer exceeds the suite bound (trusted-path misuse).
   SignedRrset Sign(const Rrset& rrset, Rng* rng) const;
+  // Non-throwing variant for chain construction over generated topologies.
+  Result<SignedRrset> TrySign(const Rrset& rrset, Rng* rng) const;
 
   // DS RDATA for a child zone's KSK, to be placed (and ZSK-signed) here.
   DsRdata MakeDsForChild(const Zone& child) const;
 
  private:
+  ZoneKey MakeKey(Rng* rng, bool rsa) const;
+
   DnsName name_;
   const CryptoSuite* suite_;
+  ZoneConfig config_;
   ZoneKey ksk_;
   ZoneKey zsk_;
+  // Pre-rollover keys, live until FinishRollover().
+  ZoneKey old_ksk_;
+  ZoneKey old_zsk_;
+  bool stale_ds_ = false;        // parent DS still commits to old_ksk_
+  bool stale_zsk_sigs_ = false;  // RRSIGs still produced with old_zsk_
 };
 
 // One level of the NOPE chain: zone C's DNSKEY RRset (KSK-signed) and C's DS
@@ -123,14 +178,23 @@ class DnssecHierarchy {
   Rng* rng() { return &rng_; }
 
   // Creates a zone whose parent already exists; returns it. The root exists
-  // from construction (RSA ZSK, per the paper's measurement setup).
-  Zone& AddZone(const DnsName& name);
+  // from construction (RSA ZSK, per the paper's measurement setup). The
+  // config selects the ZSK algorithm, signedness, and RRSIG window; the
+  // default reproduces the historical ECDSA signed zone.
+  Zone& AddZone(const DnsName& name, const ZoneConfig& config = {});
   Zone* Find(const DnsName& name);
   const Zone* Find(const DnsName& name) const;
   Zone& root() { return *zones_.at(DnsName::Root()); }
 
   // The full chain of trust for `domain` (which must be a zone here).
+  // Throws std::invalid_argument on any chain-construction failure; use
+  // TryBuildChain when the topology is generated rather than hand-written.
   ChainOfTrust BuildChain(const DnsName& domain);
+  // Non-throwing chain construction: kMissing when the domain is not a zone,
+  // kInsecure when the chain of trust would cross an unsigned zone (the
+  // domain itself or an ancestor — an island of security), kBadLength when a
+  // signing buffer exceeds the suite bound.
+  Result<ChainOfTrust> TryBuildChain(const DnsName& domain);
 
   // Unauthenticated TXT records (ACME challenges live here).
   void SetTxt(const DnsName& name, const std::string& value);

@@ -73,7 +73,11 @@ Result<ChainOfTrust> FlakyResolver::BuildChain(const DnsName& domain) {
       break;
   }
 
-  ChainOfTrust chain = dns_->BuildChain(domain);
+  // TryBuildChain, not BuildChain: a generated topology can legitimately have
+  // an unsigned delegation (kInsecure) or an oversized signing buffer
+  // (kBadLength); the throwing variant would tear the process down instead of
+  // letting the caller degrade (found by the scenario sweep).
+  NOPE_ASSIGN_OR_RETURN(ChainOfTrust chain, dns_->TryBuildChain(domain));
   uint64_t now_s = clock_->NowMs() / 1000;
   switch (fault) {
     case DnsFault::kTruncatedRrsig: {

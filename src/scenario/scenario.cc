@@ -1,0 +1,210 @@
+#include "src/scenario/scenario.h"
+
+#include "src/base/bytes.h"
+
+namespace nope {
+
+const char* ScenarioClassName(ScenarioClass cls) {
+  switch (cls) {
+    case ScenarioClass::kHealthyEcdsa:
+      return "healthy_ecdsa";
+    case ScenarioClass::kHealthyMixed:
+      return "healthy_mixed";
+    case ScenarioClass::kDeepDelegation:
+      return "deep_delegation";
+    case ScenarioClass::kUnsignedLeaf:
+      return "unsigned_leaf";
+    case ScenarioClass::kUnsignedParent:
+      return "unsigned_parent";
+    case ScenarioClass::kExpiredRrsig:
+      return "expired_rrsig";
+    case ScenarioClass::kNotYetValidRrsig:
+      return "not_yet_valid_rrsig";
+    case ScenarioClass::kSkewWithinTolerance:
+      return "skew_within_tolerance";
+    case ScenarioClass::kKskRollover:
+      return "ksk_rollover";
+    case ScenarioClass::kZskRollover:
+      return "zsk_rollover";
+    case ScenarioClass::kFlakyDependencies:
+      return "flaky_dependencies";
+    case ScenarioClass::kCaOutage:
+      return "ca_outage";
+    case ScenarioClass::kMauledProof:
+      return "mauled_proof";
+  }
+  return "unknown";
+}
+
+const char* ScenarioOutcomeName(ScenarioOutcome outcome) {
+  switch (outcome) {
+    case ScenarioOutcome::kProved:
+      return "proved";
+    case ScenarioOutcome::kDegraded:
+      return "degraded";
+    case ScenarioOutcome::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+DnsName ScenarioSpec::Domain() const {
+  DnsName name = DnsName::Root();
+  for (const ZoneSpec& zone : zones) {
+    name = name.Child(zone.label);
+  }
+  return name;
+}
+
+std::string ScenarioSpec::Describe() const {
+  std::string out = "scenario[" + std::to_string(index) + "] class=" +
+                    ScenarioClassName(cls) + " seed=" + std::to_string(seed) +
+                    " domain=" + Domain().ToString() + " zones=";
+  for (size_t i = 0; i < zones.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += zones[i].label;
+    out += zones[i].rsa_zsk ? "/rsa" : "/ec";
+    if (!zones[i].is_signed) {
+      out += "/unsigned";
+    }
+  }
+  if (rollover != RolloverKind::kNone) {
+    out += rollover == RolloverKind::kKsk ? " rollover=ksk@" : " rollover=zsk@";
+    out += std::to_string(rollover_zone);
+    out += rollover_heals ? "/heals" : "/stuck";
+  }
+  if (dns_fault_rate > 0 || ca_fault_rate > 0) {
+    out += " flaky";
+  }
+  if (ca_outage) {
+    out += " ca_outage";
+  }
+  if (maul_proof) {
+    out += " mauled";
+  }
+  if (use_proving_service) {
+    out += " via_service";
+  }
+  return out;
+}
+
+namespace {
+
+// The sim epoch shared with the runner (tests/renewal_sim_test.cc uses the
+// same instant): 1'750'000'000 unix seconds.
+constexpr uint32_t kEpochS = 1'750'000'000;
+constexpr uint32_t kDay = 24 * 3600;
+
+// splitmix64 finalizer: decorrelates (sweep_seed, index) pairs so adjacent
+// indices draw unrelated shape randomness.
+uint64_t DeriveSeed(uint64_t sweep_seed, uint64_t index) {
+  uint64_t z = sweep_seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Short single-char-per-position labels keep every signing buffer far below
+// the toy suite's 192-byte bound even at depth 6.
+std::string LabelFor(size_t level, Rng* rng) {
+  std::string label(1, static_cast<char>('a' + rng->NextBelow(26)));
+  label += static_cast<char>('a' + level);
+  return label;
+}
+
+}  // namespace
+
+ScenarioSpec GenerateScenario(uint64_t sweep_seed, uint64_t index) {
+  ScenarioSpec spec;
+  spec.sweep_seed = sweep_seed;
+  spec.index = index;
+  spec.seed = DeriveSeed(sweep_seed, index);
+  // Round-robin classes for even coverage at any sweep size; everything else
+  // is drawn from the per-scenario Rng.
+  spec.cls = static_cast<ScenarioClass>(index % kNumScenarioClasses);
+  Rng rng(spec.seed);
+
+  size_t depth = 1 + rng.NextBelow(6);  // 1..6
+  if (spec.cls == ScenarioClass::kDeepDelegation) {
+    depth = 4 + rng.NextBelow(3);  // 4..6
+  } else if (spec.cls == ScenarioClass::kUnsignedParent ||
+             spec.cls == ScenarioClass::kZskRollover) {
+    // Both need a non-leaf generated zone: an island boundary must sit above
+    // the leaf, and a leaf's ZSK signs nothing in the chain of trust (only
+    // ancestors ZSK-sign DS RRsets), so a leaf ZSK rollover breaks nothing.
+    depth = 2 + rng.NextBelow(5);  // 2..6
+  }
+  bool mixed = spec.cls == ScenarioClass::kHealthyMixed;
+  for (size_t i = 0; i < depth; ++i) {
+    ZoneSpec zone;
+    zone.label = LabelFor(i, &rng);
+    // Mixed chains flip a per-zone coin; at least the leaf goes RSA so the
+    // class never degenerates to all-ECDSA.
+    zone.rsa_zsk = mixed && (i + 1 == depth || rng.NextBelow(2) == 0);
+    spec.zones.push_back(zone);
+  }
+
+  // Healthy window: opened well before the epoch, closes far past the 30-day
+  // horizon. Classes below override one edge.
+  spec.rrsig_inception = kEpochS - 30 * kDay;
+  spec.rrsig_expiration = kEpochS + 365 * kDay;
+
+  switch (spec.cls) {
+    case ScenarioClass::kHealthyEcdsa:
+    case ScenarioClass::kHealthyMixed:
+    case ScenarioClass::kDeepDelegation:
+      break;
+    case ScenarioClass::kUnsignedLeaf:
+      spec.zones.back().is_signed = false;
+      break;
+    case ScenarioClass::kUnsignedParent:
+      // Any strict ancestor of the leaf.
+      spec.zones[rng.NextBelow(depth - 1)].is_signed = false;
+      break;
+    case ScenarioClass::kExpiredRrsig:
+      // Lapsed before the epoch and never re-signed: stays expired through
+      // the whole sim, so the degradation must persist to the horizon.
+      spec.rrsig_expiration =
+          kEpochS - 1 - static_cast<uint32_t>(rng.NextBelow(30 * kDay));
+      break;
+    case ScenarioClass::kNotYetValidRrsig:
+      // Inception far past the horizon: never becomes valid mid-sim.
+      spec.rrsig_inception =
+          kEpochS + 90 * kDay + static_cast<uint32_t>(rng.NextBelow(30 * kDay));
+      break;
+    case ScenarioClass::kSkewWithinTolerance:
+      // Signed "in the future" by under five minutes; the resolver's
+      // tolerance must absorb it (RFC 4035 boundary behavior).
+      spec.rrsig_inception =
+          kEpochS + 30 + static_cast<uint32_t>(rng.NextBelow(240));
+      spec.skew_tolerance_s = 300;
+      break;
+    case ScenarioClass::kKskRollover:
+      spec.rollover = RolloverKind::kKsk;
+      spec.rollover_zone = rng.NextBelow(depth);
+      spec.rollover_heals = rng.NextBelow(2) == 0;
+      break;
+    case ScenarioClass::kZskRollover:
+      spec.rollover = RolloverKind::kZsk;
+      spec.rollover_zone = rng.NextBelow(depth - 1);  // strict ancestor of leaf
+      spec.rollover_heals = rng.NextBelow(2) == 0;
+      break;
+    case ScenarioClass::kFlakyDependencies:
+      spec.dns_fault_rate = 0.05 + 0.01 * static_cast<double>(rng.NextBelow(25));
+      spec.ca_fault_rate = 0.05 + 0.01 * static_cast<double>(rng.NextBelow(25));
+      break;
+    case ScenarioClass::kCaOutage:
+      spec.ca_outage = true;
+      break;
+    case ScenarioClass::kMauledProof:
+      spec.maul_proof = true;
+      break;
+  }
+
+  spec.use_proving_service = rng.NextBelow(2) == 0;
+  return spec;
+}
+
+}  // namespace nope

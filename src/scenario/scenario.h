@@ -1,0 +1,110 @@
+// Internet-shaped scenario zoo: a seeded generator of DNSSEC/PKI topology
+// configurations (ROADMAP item 4; paper §5, §7, §8 deployment story).
+//
+// Every benched pipeline so far ran one happy-path root→TLD→SLD ECDSA chain.
+// The real deployment surface spans RSA-2048 zones, mixed-algorithm chains,
+// delegations up to six labels deep, KSK/ZSK rollovers caught mid-renewal,
+// stale or not-yet-valid RRSIG windows, unsigned subtrees ("islands of
+// security", PAPERS.md), and CAs that throttle or lose orders. The generator
+// emits *semantically structured* adversarial inputs — valid-shaped
+// hierarchies whose meaning stresses the §7 degradation logic — as opposed
+// to the PR 1 harness's byte mutants.
+//
+// Determinism contract: a ScenarioSpec is a pure function of
+// (sweep_seed, index), and running it (see runner.h) touches no wall clock
+// and no global state, so any scenario replays exactly from those two
+// numbers alone.
+#ifndef SRC_SCENARIO_SCENARIO_H_
+#define SRC_SCENARIO_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dns/name.h"
+
+namespace nope {
+
+// The class taxonomy drives both generation (what gets randomized) and the
+// per-class invariants the runner asserts (DESIGN.md "Scenario generator").
+enum class ScenarioClass {
+  kHealthyEcdsa,        // all-ECDSA signed chain, no faults -> must prove
+  kHealthyMixed,        // some zones carry RSA ZSKs -> must prove (native path)
+  kDeepDelegation,      // depth 4-6 all-ECDSA chain -> must prove
+  kUnsignedLeaf,        // the domain's own zone is unsigned -> degrade
+  kUnsignedParent,      // an ancestor is unsigned (island of security) -> degrade
+  kExpiredRrsig,        // every RRSIG window lapsed before the sim epoch
+  kNotYetValidRrsig,    // every RRSIG inception far in the future
+  kSkewWithinTolerance, // inception slightly ahead, absorbed by skew tolerance
+  kKskRollover,         // KSK rotated mid-renewal; parent DS goes stale
+  kZskRollover,         // ZSK rotated mid-renewal; cached RRSIGs go stale
+  kFlakyDependencies,   // random DNS + CA fault rates (ISSUE 3 world)
+  kCaOutage,            // CA throttles every request for the whole sim
+  kMauledProof,         // proof SAN tampered in flight -> must never prove
+};
+constexpr int kNumScenarioClasses = static_cast<int>(ScenarioClass::kMauledProof) + 1;
+const char* ScenarioClassName(ScenarioClass cls);
+
+enum class ScenarioOutcome {
+  kProved,    // NOPE-proof certificate live at the horizon, client-verified
+  kDegraded,  // legacy certificate live, downgrade reason recorded
+  kRejected,  // no acceptable certificate at the horizon
+};
+constexpr int kNumScenarioOutcomes = static_cast<int>(ScenarioOutcome::kRejected) + 1;
+const char* ScenarioOutcomeName(ScenarioOutcome outcome);
+
+struct ZoneSpec {
+  std::string label;       // one DNS label; kept short for the toy suite bound
+  bool rsa_zsk = false;    // RSA ZSK (RFC 3110) instead of ECDSA
+  bool is_signed = true;   // false models an island-of-security boundary
+};
+
+enum class RolloverKind { kNone, kKsk, kZsk };
+
+struct ScenarioSpec {
+  uint64_t sweep_seed = 0;
+  uint64_t index = 0;
+  uint64_t seed = 0;  // derived: every per-scenario Rng seeds from this
+  ScenarioClass cls = ScenarioClass::kHealthyEcdsa;
+
+  // Zones from the TLD down to the leaf (depth = zones.size(), 1..6); the
+  // RSA-ZSK root above them is implicit (the paper's measurement setup).
+  std::vector<ZoneSpec> zones;
+
+  // RRSIG validity window applied to every generated zone (unix seconds).
+  uint32_t rrsig_inception = 0;
+  uint32_t rrsig_expiration = 0;
+  // Resolver-side tolerance handed to ValidateChainTimes.
+  uint64_t skew_tolerance_s = 0;
+
+  // Rollover event applied mid-simulation (RFC 6781 mid-window state).
+  RolloverKind rollover = RolloverKind::kNone;
+  size_t rollover_zone = 0;     // index into `zones`
+  bool rollover_heals = false;  // FinishRollover before the horizon?
+
+  // Dependency-failure knobs (FlakyResolver / FlakyCa draw rates).
+  double dns_fault_rate = 0.0;
+  double ca_fault_rate = 0.0;
+  bool ca_outage = false;   // FlakyCa throttles every call, whole sim
+  bool maul_proof = false;  // tamper one proof SAN client-side
+
+  // Route proving stages through a per-scenario ProvingService (admission +
+  // DRR + shedding) instead of burning time inline; seed-chosen so the sweep
+  // exercises both paths.
+  bool use_proving_service = false;
+
+  // The leaf domain (labels joined under the root).
+  DnsName Domain() const;
+  // One-line canonical description (stable across runs; used in logs and in
+  // the replay instructions in EXPERIMENTS.md).
+  std::string Describe() const;
+};
+
+// The generator: pure function of (sweep_seed, index). Classes round-robin
+// on the index so every class gets even coverage at any sweep size; all
+// shape randomness (depth, algorithms, which zone is unsigned/rotated, fault
+// rates) derives from the per-scenario seed.
+ScenarioSpec GenerateScenario(uint64_t sweep_seed, uint64_t index);
+
+}  // namespace nope
+
+#endif  // SRC_SCENARIO_SCENARIO_H_

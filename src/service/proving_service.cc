@@ -391,4 +391,24 @@ ProveStatement MakeGroth16Statement(const ConstraintSystem* cs, Rng* rng,
   };
 }
 
+ProveStatement MakeSimulatedStatement(Clock* clock, uint64_t cost_ms,
+                                      uint64_t slice_ms) {
+  return [clock, cost_ms, slice_ms](const CachedKey* /*key*/,
+                                    const CancellationToken& cancel) -> Status {
+    uint64_t remaining = cost_ms;
+    while (remaining > 0) {
+      if (cancel.cancelled()) {
+        return Error(ErrorCode::kCancelled, "simulated prove cancelled mid-run");
+      }
+      uint64_t slice = std::min(slice_ms, remaining);
+      clock->SleepMs(slice);
+      remaining -= slice;
+    }
+    if (cancel.cancelled()) {
+      return Error(ErrorCode::kCancelled, "simulated prove cancelled at completion");
+    }
+    return Status::Ok();
+  };
+}
+
 }  // namespace nope

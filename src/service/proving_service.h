@@ -224,6 +224,14 @@ ProveStatement MakeGroth16Statement(const ConstraintSystem* cs, Rng* rng,
 groth16::ProveStageHooks MakeMetricsProveHooks(MetricsRegistry* metrics,
                                                const Clock* clock);
 
+// Statement that burns cost_ms of clock time in slice_ms slices, polling the
+// token at each slice boundary — the SimulatedPipeline::GenerateProof model
+// as a service job. Lets scenario fleets route their proving stages through
+// a ProvingService (admission, fair scheduling, shedding) without paying for
+// a real Groth16 prove per scenario. clock must outlive the job.
+ProveStatement MakeSimulatedStatement(Clock* clock, uint64_t cost_ms,
+                                      uint64_t slice_ms);
+
 }  // namespace nope
 
 #endif  // SRC_SERVICE_PROVING_SERVICE_H_

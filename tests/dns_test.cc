@@ -316,6 +316,53 @@ TEST(Hierarchy, RootZskIsRsa) {
   EXPECT_EQ(hierarchy.root().ZskRdata().public_key.size(), 260u);
 }
 
+// RFC 4034 §3.1.5 boundary behavior at a re-signing (rollover) instant T:
+// the outgoing RRSIGs expire exactly at T and the incoming ones begin
+// exactly at T. Both windows are inclusive, so at exactly T either chain
+// validates even with zero tolerance; one second to either side needs
+// clock_skew_tolerance_s to absorb it.
+TEST(ChainTimes, RolloverInstantBoundaries) {
+  constexpr uint64_t kT = 1'750'000'000;
+  const DnsName leaf = DnsName::FromString("example.com");
+
+  DnssecHierarchy hierarchy(CryptoSuite::Toy(), 2010);
+  ZoneConfig outgoing;
+  outgoing.rrsig_inception = kT - 3600;
+  outgoing.rrsig_expiration = kT;
+  hierarchy.root().SetRrsigWindow(kT - 3600, kT);
+  hierarchy.AddZone(DnsName::FromString("com"), outgoing);
+  hierarchy.AddZone(leaf, outgoing);
+  ChainOfTrust old_chain = hierarchy.BuildChain(leaf);
+
+  // Inclusive at expiration: still valid at exactly T, strict tolerance.
+  EXPECT_TRUE(ValidateChainTimes(old_chain, kT, 0).ok());
+  Status late = ValidateChainTimes(old_chain, kT + 1, 0);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.error().code, ErrorCode::kOutOfRange);
+  EXPECT_NE(late.error().context.find("expired"), std::string::npos);
+  EXPECT_TRUE(ValidateChainTimes(old_chain, kT + 1, 1).ok());
+
+  // Re-sign everything with the post-rollover window starting exactly at T.
+  hierarchy.root().SetRrsigWindow(kT, kT + 3600);
+  hierarchy.Find(DnsName::FromString("com"))->SetRrsigWindow(kT, kT + 3600);
+  hierarchy.Find(leaf)->SetRrsigWindow(kT, kT + 3600);
+  ChainOfTrust new_chain = hierarchy.BuildChain(leaf);
+
+  // Inclusive at inception: already valid at exactly T, strict tolerance.
+  EXPECT_TRUE(ValidateChainTimes(new_chain, kT, 0).ok());
+  Status early = ValidateChainTimes(new_chain, kT - 1, 0);
+  ASSERT_FALSE(early.ok());
+  EXPECT_EQ(early.error().code, ErrorCode::kOutOfRange);
+  EXPECT_NE(early.error().context.find("future"), std::string::npos);
+  EXPECT_TRUE(ValidateChainTimes(new_chain, kT - 1, 1).ok());
+
+  // The tolerance widens both edges symmetrically — and no further.
+  EXPECT_TRUE(ValidateChainTimes(old_chain, kT + 300, 300).ok());
+  EXPECT_FALSE(ValidateChainTimes(old_chain, kT + 301, 300).ok());
+  EXPECT_TRUE(ValidateChainTimes(new_chain, kT - 300, 300).ok());
+  EXPECT_FALSE(ValidateChainTimes(new_chain, kT - 301, 300).ok());
+}
+
 TEST(Hierarchy, AddZoneRequiresParent) {
   DnssecHierarchy hierarchy(CryptoSuite::Toy(), 2009);
   EXPECT_THROW(hierarchy.AddZone(DnsName::FromString("example.com")), std::invalid_argument);

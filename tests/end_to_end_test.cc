@@ -195,6 +195,74 @@ TEST(EndToEnd, MauledProofStillVerifiesButBindingHolds) {
 }
 
 
+TEST(EndToEndDeep, FourLabelDelegationProvesWithRealProof) {
+  // Deep delegation (≥4 labels): the chain crosses three intermediate zones,
+  // so the circuit must thread three DS/DNSKEY levels — the depth the
+  // scenario sweep exercises with placeholder proofs, here with a real one.
+  Rng rng(5200);
+  DnssecHierarchy dns(CryptoSuite::Toy(), 5201);
+  dns.AddZone(DnsName::FromString("com"));
+  dns.AddZone(DnsName::FromString("example.com"));
+  dns.AddZone(DnsName::FromString("corp.example.com"));
+  DnsName domain = DnsName::FromString("www.corp.example.com");
+  dns.AddZone(domain);
+
+  ChainOfTrust chain = dns.BuildChain(domain);
+  EXPECT_EQ(chain.levels.size(), 3u);
+  ASSERT_TRUE(ValidateChain(CryptoSuite::Toy(), chain, chain.root_zsk).ok());
+
+  CtLog log(11, &rng);
+  CertificateAuthority ca("lets-encrypt-sim", {&log}, &rng);
+  EcdsaKeyPair tls_key = GenerateEcdsaKey(&rng);
+  NopeDeployment deployment =
+      NopeTrustedSetup(&dns, domain, StatementOptions::Full(), &rng);
+  auto result = IssueCertificate(&deployment, &dns, &ca, domain, tls_key.pub.Encode(),
+                                 kNow, &rng, /*with_nope=*/true);
+  ASSERT_TRUE(result.has_value());
+
+  TrustStore trust{ca.root_public_key(), 1};
+  NopeClientResult verdict =
+      NopeClientVerify(deployment, result->chain, trust, domain, kNow + 60, nullptr);
+  EXPECT_EQ(verdict.status, NopeVerifyStatus::kOk) << NopeVerifyStatusName(verdict.status);
+}
+
+TEST(EndToEndRsa, Rsa2048ZoneValidatesNativelyAndDegradesGracefully) {
+  // An RSA-2048 intermediate zone (RFC 3110, common in real TLDs): native
+  // chain validation accepts it, but the circuit constrains non-root zone
+  // keys to ECDSA, so there is no proof path — issuance stays legacy and a
+  // NOPE client degrades with a recorded reason (§7) instead of failing.
+  Rng rng(5300);
+  DnssecHierarchy dns(CryptoSuite::Real(), 5301);
+  ZoneConfig rsa_cfg;
+  rsa_cfg.rsa_zsk = true;
+  dns.AddZone(DnsName::FromString("bank"), rsa_cfg);
+  DnsName domain = DnsName::FromString("example.bank");
+  dns.AddZone(domain);
+
+  ChainOfTrust chain = dns.BuildChain(domain);
+  EXPECT_EQ(dns.Find(DnsName::FromString("bank"))->ZskRdata().algorithm,
+            kAlgRsaSha256);
+  EXPECT_TRUE(ValidateChain(CryptoSuite::Real(), chain, chain.root_zsk).ok());
+  // Temporal validation holds across the default window too.
+  EXPECT_TRUE(ValidateChainTimes(chain, 1750000000, 0).ok());
+
+  CtLog log(12, &rng);
+  CertificateAuthority ca("lets-encrypt-sim", {&log}, &rng);
+  EcdsaKeyPair tls_key = GenerateEcdsaKey(&rng);
+  auto result = IssueCertificate(nullptr, &dns, &ca, domain, tls_key.pub.Encode(),
+                                 kNow, &rng, /*with_nope=*/false);
+  ASSERT_TRUE(result.has_value());
+
+  TrustStore trust{ca.root_public_key(), 1};
+  NopeDeployment no_deployment;  // never consulted on the degradation path
+  NopeClientResult verdict = NopeClientVerify(no_deployment, result->chain, trust,
+                                              domain, kNow + 60, nullptr);
+  EXPECT_EQ(verdict.legacy, LegacyStatus::kOk);
+  EXPECT_EQ(verdict.status, NopeVerifyStatus::kNoNopeProof);
+  EXPECT_EQ(verdict.downgrade_kind, DowngradeReason::kNoProof);
+  EXPECT_TRUE(verdict.accepted);
+}
+
 TEST(EndToEndManaged, ManagedProofIssuesAndVerifies) {
   // NOPE-managed (Appendix A): the domain owner never touches the KSK
   // private key; a ZSK-signed TXT record carries the binding.
