@@ -23,7 +23,8 @@ SAN_TARGETS=(biguint_test hash_test field_test curve_test rsa_test ecdsa_test
              constraint_system_test groth16_test msm_kernel_test dns_test
              pki_test analysis_test fault_injection_test
              clock_test cancellation_test renewal_sim_test
-             key_cache_test service_test scenario_test)
+             key_cache_test service_test scenario_test
+             verifier_soundness_test batch_verify_test)
 cmake --build build-san -j "$(nproc)" --target "${SAN_TARGETS[@]}" bench_scenario_sweep
 
 echo "=== stage 4: sanitized tests ==="
@@ -52,7 +53,8 @@ fi
 echo "=== stage 5: TSan build (parallel proving) ==="
 cmake -B build-tsan -S . -DNOPE_SANITIZE=thread >/dev/null
 TSAN_TARGETS=(threadpool_test msm_kernel_test parallel_determinism_test
-              cancellation_test renewal_sim_test key_cache_test service_test)
+              cancellation_test renewal_sim_test key_cache_test service_test
+              batch_verify_test)
 cmake --build build-tsan -j "$(nproc)" --target "${TSAN_TARGETS[@]}"
 
 echo "=== stage 6: TSan tests ==="

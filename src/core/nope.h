@@ -10,6 +10,7 @@
 #include "src/core/statement.h"
 #include "src/groth16/groth16.h"
 #include "src/pki/san_encoding.h"
+#include "src/service/pvk_cache.h"
 #include "src/tls/handshake.h"
 
 namespace nope {
@@ -110,6 +111,17 @@ struct NopeClientResult {
 // Full NOPE-aware client verification: legacy checks, proof extraction from
 // the SANs, N/TS binding, SCT-timestamp cross-check, and Groth16
 // verification. Exception-free on every byte of the presented chain.
+//
+// When pvk_cache is non-null, the Groth16 check runs against a prepared
+// verifying key checked out from the cache under the domain name —
+// identical verdict (the prepared path is an exact rearrangement of the
+// pairing equation), roughly half the pairing cost after the first
+// handshake with a domain. A null cache uses the unprepared Verify.
+NopeClientResult NopeClientVerify(const NopeDeployment& deployment,
+                                  const CertificateChain& chain, const TrustStore& trust,
+                                  const DnsName& domain, uint64_t now,
+                                  const OcspResponse* stapled_ocsp,
+                                  PreparedVkCache* pvk_cache);
 NopeClientResult NopeClientVerify(const NopeDeployment& deployment,
                                   const CertificateChain& chain, const TrustStore& trust,
                                   const DnsName& domain, uint64_t now,

@@ -1,5 +1,7 @@
 #include "src/ec/bn254.h"
 
+#include "src/base/check.h"
+
 namespace nope {
 
 namespace {
@@ -53,9 +55,12 @@ Pt12 Untwist(const G2::Affine& q) {
   return {EmbedFp2(q.x) * WSquared(), EmbedFp2(q.y) * WCubed()};
 }
 
-// Line through a and b (or tangent when a == b), evaluated at p.
-// Returns the line value; updates *a to a+b (or 2a).
-Fp12 LineAndStep(Pt12* a, const Pt12& b, const Fp12& px, const Fp12& py, bool doubling) {
+// Slope of the line through a and b (or the tangent at a when doubling),
+// captured together with the anchor point *before* stepping; updates *a to
+// a+b (or 2a). Splitting the slope computation from the evaluation is what
+// lets PrepareG2 record the G1-independent coefficients once and replay
+// them against many first arguments with bit-identical results.
+G2PreparedLine LineAndStep(Pt12* a, const Pt12& b, bool doubling) {
   Fp12 lambda;
   if (doubling) {
     Fp12 x2 = a->x.Square();
@@ -63,12 +68,32 @@ Fp12 LineAndStep(Pt12* a, const Pt12& b, const Fp12& px, const Fp12& py, bool do
   } else {
     lambda = (b.y - a->y) * (b.x - a->x).Inverse();
   }
-  Fp12 line = py - a->y - lambda * (px - a->x);
+  G2PreparedLine line{lambda, a->x, a->y};
   Fp12 x3 = lambda.Square() - a->x - b.x;
   Fp12 y3 = lambda * (a->x - x3) - a->y;
   a->x = x3;
   a->y = y3;
   return line;
+}
+
+// Line evaluated at p = (px, py): py - ay - lambda (px - ax).
+Fp12 EvalLine(const G2PreparedLine& line, const Fp12& px, const Fp12& py) {
+  return py - line.ay - line.lambda * (px - line.ax);
+}
+
+// psi coefficients: the Frobenius of an untwisted coordinate x w^2 is
+// conj(x) xi^((p-1)/3) w^2 (and conj(y) xi^((p-1)/2) w^3 for the y side),
+// so on the twist psi(x, y) = (c_x conj(x), c_y conj(y)).
+const Fp2& PsiCoeffX() {
+  static const Fp2 c =
+      Xi().Pow((Fq::params().modulus_big - BigUInt(1)) / BigUInt(3));
+  return c;
+}
+
+const Fp2& PsiCoeffY() {
+  static const Fp2 c =
+      Xi().Pow((Fq::params().modulus_big - BigUInt(1)) / BigUInt(2));
+  return c;
 }
 
 }  // namespace
@@ -102,7 +127,45 @@ bool G1InSubgroup(const G1& p) {
   return p.IsOnCurve();
 }
 
+G2 G2Psi(const G2& p) {
+  if (p.IsInfinity()) {
+    return G2::Infinity();
+  }
+  // Conjugation is a field automorphism, so it commutes with the Jacobian
+  // projection (X/Z^2, Y/Z^3); scaling X by c_x and Y by c_y in Jacobian
+  // coordinates applies the affine psi without an inversion.
+  return {p.x.Conjugate() * PsiCoeffX(), p.y.Conjugate() * PsiCoeffY(),
+          p.z.Conjugate()};
+}
+
+const BigUInt& Bn254PsiEigenvalue() {
+  // t - 1 = 6u^2 for the BN trace t = 6u^2 + 1; this is the eigenvalue of
+  // psi on the order-r subgroup, as an integer below r.
+  static const BigUInt e = [] {
+    BigUInt u = BigUInt::FromDecimal(kBnXDecimal);
+    return u * u * BigUInt(6);
+  }();
+  return e;
+}
+
 bool G2InSubgroup(const G2& p) {
+  if (!p.IsOnCurve()) {
+    return false;
+  }
+  if (p.IsInfinity()) {
+    return true;
+  }
+  // Soundness: psi satisfies its characteristic equation
+  //   psi^2 - [t] psi + [p] = 0
+  // on all of E'(Fp2). If psi(P) = [6u^2]P then substituting gives
+  // [36u^4 - 6u^2 t + p]P = O, and with t = 6u^2 + 1 the scalar collapses
+  // to p - 6u^2 = r, so P has order dividing the prime r. Completeness: on
+  // the order-r subgroup psi acts as [p mod r] = [6u^2]. Differentially
+  // tested against G2InSubgroupReference.
+  return G2Psi(p).Equals(p.ScalarMul(Bn254PsiEigenvalue()));
+}
+
+bool G2InSubgroupReference(const G2& p) {
   return p.IsOnCurve() && p.ScalarMul(Bn254Order()).IsInfinity();
 }
 
@@ -121,18 +184,75 @@ Fp12 MillerLoop(const G1& p, const G2& q) {
 
   const BigUInt& s = AteLoopCount();
   for (size_t i = s.BitLength() - 1; i-- > 0;) {
-    f = f.Square() * LineAndStep(&t, t, px, py, /*doubling=*/true);
+    f = f.Square() * EvalLine(LineAndStep(&t, t, /*doubling=*/true), px, py);
     if (s.Bit(i)) {
-      f = f * LineAndStep(&t, q12, px, py, /*doubling=*/false);
+      f = f * EvalLine(LineAndStep(&t, q12, /*doubling=*/false), px, py);
     }
   }
 
   // Frobenius correction steps of the optimal ate pairing.
   Pt12 q1{q12.x.Frobenius(1), q12.y.Frobenius(1)};
   Pt12 q2{q12.x.Frobenius(2), q12.y.Frobenius(2)};
-  f = f * LineAndStep(&t, q1, px, py, /*doubling=*/false);
+  f = f * EvalLine(LineAndStep(&t, q1, /*doubling=*/false), px, py);
   Pt12 neg_q2{q2.x, -q2.y};
-  f = f * LineAndStep(&t, neg_q2, px, py, /*doubling=*/false);
+  f = f * EvalLine(LineAndStep(&t, neg_q2, /*doubling=*/false), px, py);
+  return f;
+}
+
+G2Prepared PrepareG2(const G2& q) {
+  G2Prepared out;
+  if (q.IsInfinity()) {
+    return out;
+  }
+  out.infinity = false;
+  G2::Affine qa = q.ToAffine();
+  Pt12 q12 = Untwist(qa);
+  Pt12 t = q12;
+
+  const BigUInt& s = AteLoopCount();
+  // One line per doubling, one per set loop bit, two correction lines.
+  size_t bits = s.BitLength() - 1;
+  size_t adds = 0;
+  for (size_t i = 0; i + 1 < s.BitLength(); ++i) {
+    adds += s.Bit(i) ? 1 : 0;
+  }
+  out.lines.reserve(bits + adds + 2);
+
+  for (size_t i = s.BitLength() - 1; i-- > 0;) {
+    out.lines.push_back(LineAndStep(&t, t, /*doubling=*/true));
+    if (s.Bit(i)) {
+      out.lines.push_back(LineAndStep(&t, q12, /*doubling=*/false));
+    }
+  }
+  Pt12 q1{q12.x.Frobenius(1), q12.y.Frobenius(1)};
+  Pt12 q2{q12.x.Frobenius(2), q12.y.Frobenius(2)};
+  out.lines.push_back(LineAndStep(&t, q1, /*doubling=*/false));
+  Pt12 neg_q2{q2.x, -q2.y};
+  out.lines.push_back(LineAndStep(&t, neg_q2, /*doubling=*/false));
+  return out;
+}
+
+Fp12 MillerLoop(const G1& p, const G2Prepared& q) {
+  if (p.IsInfinity() || q.infinity) {
+    return Fp12::One();
+  }
+  G1::Affine pa = p.ToAffine();
+  Fp12 px = EmbedFq(pa.x);
+  Fp12 py = EmbedFq(pa.y);
+
+  Fp12 f = Fp12::One();
+  size_t k = 0;
+  const BigUInt& s = AteLoopCount();
+  for (size_t i = s.BitLength() - 1; i-- > 0;) {
+    f = f.Square() * EvalLine(q.lines[k++], px, py);
+    if (s.Bit(i)) {
+      f = f * EvalLine(q.lines[k++], px, py);
+    }
+  }
+  f = f * EvalLine(q.lines[k++], px, py);
+  f = f * EvalLine(q.lines[k++], px, py);
+  NOPE_INVARIANT(k == q.lines.size(),
+                 "G2Prepared line schedule out of sync with the ate loop");
   return f;
 }
 

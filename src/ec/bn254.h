@@ -35,19 +35,78 @@ const BigUInt& Bn254Order();
 G1 G1Generator();
 G2 G2Generator();
 
+// The untwist-Frobenius-twist endomorphism psi on the twist E'(Fp2):
+//   psi(x, y) = (c_x * conj(x), c_y * conj(y))
+// with c_x = xi^((p-1)/3), c_y = xi^((p-1)/2). On the order-r subgroup psi
+// acts as multiplication by the Frobenius eigenvalue p === 6u^2 (mod r),
+// where u is the BN parameter; outside it the eigenvalue relation fails,
+// which is what makes the fast subgroup check below sound.
+G2 G2Psi(const G2& p);
+
+// 6u^2 = t - 1 for the BN trace t: the eigenvalue of psi on G2 as an
+// integer (it is < r, so no reduction is needed). Exposed for tests.
+const BigUInt& Bn254PsiEigenvalue();
+
 // Subgroup membership checks for deserialized (untrusted) points. BN254 G1
 // has cofactor 1, so the curve equation alone proves membership; G2 sits on
-// a twist with a large cofactor, so an explicit order-r scalar check is
+// a twist with a large cofactor, so an explicit order-r membership check is
 // required before feeding a decoded point into a pairing.
+//
+// G2InSubgroup is the fast path: on-curve plus psi(P) == [6u^2]P. The
+// eigenvalue relation implies [r]P = O (see bn254.cc), and [6u^2] is a
+// 127-bit scalar versus the 254-bit order, so the check costs roughly half
+// a ScalarMul(r). G2InSubgroupReference is the direct order-r scalar
+// multiplication, kept as the differential-testing reference.
 bool G1InSubgroup(const G1& p);
 bool G2InSubgroup(const G2& p);
+bool G2InSubgroupReference(const G2& p);
 
 // Optimal ate pairing e: G1 x G2 -> Fp12. Identity inputs map to 1.
+//
+// Contract for degenerate inputs: MillerLoop (all variants) and Pairing
+// return 1 when either argument is the point at infinity. That makes an
+// infinity factor vanish from any pairing-product equation, so callers
+// performing a soundness-critical product check MUST reject infinity inputs
+// at their own boundary before calling in (groth16::Verify/BatchVerify do).
 Fp12 Pairing(const G1& p, const G2& q);
 
 // Miller loop without the final exponentiation (for multi-pairing).
 Fp12 MillerLoop(const G1& p, const G2& q);
 Fp12 FinalExponentiation(const Fp12& f);
+
+// One precomputed line of a Miller loop with fixed second argument: the
+// slope plus the running point (ax, ay) at which the line was anchored.
+// Evaluating the line at a G1 point (px, py) is
+//   py - ay - lambda * (px - ax),
+// exactly the expression the on-the-fly loop computes, so the prepared path
+// reproduces the unprepared path bit for bit.
+struct G2PreparedLine {
+  Fp12 lambda;
+  Fp12 ax;
+  Fp12 ay;
+};
+
+// All line coefficients of MillerLoop(*, q) for a fixed q: one entry per
+// doubling step, one per addition step (set bits of the ate loop count) and
+// two for the Frobenius correction steps. The fixed-input G2 elements of a
+// Groth16 verifying key (beta, gamma, delta) are prepared once per key and
+// amortized over every subsequent verification.
+struct G2Prepared {
+  bool infinity = true;
+  std::vector<G2PreparedLine> lines;
+
+  size_t SizeBytes() const {
+    return sizeof(*this) + lines.capacity() * sizeof(G2PreparedLine);
+  }
+};
+
+G2Prepared PrepareG2(const G2& q);
+
+// Miller loop consuming precomputed lines; bit-identical to
+// MillerLoop(p, q) for q the point PrepareG2 was given (asserted by the
+// differential tests). Same degenerate-input contract: returns 1 when p or
+// the prepared point is infinity.
+Fp12 MillerLoop(const G1& p, const G2Prepared& q);
 
 // Checks prod_i e(p_i, q_i) == 1, sharing one final exponentiation.
 bool PairingProductIsOne(const std::vector<std::pair<G1, G2>>& pairs);

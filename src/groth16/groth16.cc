@@ -1,5 +1,6 @@
 #include "src/groth16/groth16.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "src/base/threadpool.h"
@@ -542,26 +543,172 @@ ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
   return ProveResult{ProveStatus::kOk, Proof{a, b, c}};
 }
 
-bool Verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs, const Proof& proof) {
-  if (public_inputs.size() + 1 != vk.ic.size()) {
+namespace {
+
+// The point-check contract shared by every Verify entry point (see the
+// header). The parse path enforces the same rules, but a Proof constructed
+// in-process bypasses it, so the verifier re-checks: an infinity A/B/C
+// would trivialize its pairing factor (MillerLoop maps identity inputs to
+// 1), and an out-of-subgroup B breaks bilinearity.
+bool ProofPointsOk(const Proof& proof) {
+  if (proof.a.IsInfinity() || proof.b.IsInfinity() || proof.c.IsInfinity()) {
     return false;
   }
-  if (!proof.a.IsOnCurve() || !proof.b.IsOnCurve() || !proof.c.IsOnCurve()) {
+  if (!proof.a.IsOnCurve() || !proof.c.IsOnCurve()) {
     return false;
   }
+  return G2InSubgroup(proof.b);
+}
+
+// [IC]1 = ic[0] + sum_j x_j ic[j+1], the public-input linear combination.
+G1 IcCombination(const VerifyingKey& vk, const std::vector<Fr>& public_inputs) {
   std::vector<G1> bases(vk.ic.begin() + 1, vk.ic.end());
   std::vector<BigUInt> scalars;
   scalars.reserve(public_inputs.size());
   for (const Fr& x : public_inputs) {
     scalars.push_back(x.ToBigUInt());
   }
-  G1 ic = vk.ic[0].Add(Msm(bases, scalars));
+  return vk.ic[0].Add(Msm(bases, scalars));
+}
+
+}  // namespace
+
+bool Verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs, const Proof& proof) {
+  if (public_inputs.size() + 1 != vk.ic.size()) {
+    return false;
+  }
+  if (!ProofPointsOk(proof)) {
+    return false;
+  }
+  G1 ic = IcCombination(vk, public_inputs);
 
   // e(A, B) = e(alpha, beta) e(IC, gamma) e(C, delta).
   return PairingProductIsOne({{proof.a, proof.b},
                               {ic.Negate(), vk.gamma_g2},
                               {proof.c.Negate(), vk.delta_g2},
                               {vk.alpha_g1.Negate(), vk.beta_g2}});
+}
+
+size_t PreparedVerifyingKey::SizeBytes() const {
+  return sizeof(*this) + vk.ic.capacity() * sizeof(G1) +
+         beta_prep.SizeBytes() + gamma_prep.SizeBytes() +
+         delta_prep.SizeBytes();
+}
+
+PreparedVerifyingKey PrepareVerifyingKey(const VerifyingKey& vk) {
+  PreparedVerifyingKey pvk;
+  pvk.vk = vk;
+  pvk.beta_prep = PrepareG2(vk.beta_g2);
+  pvk.gamma_prep = PrepareG2(vk.gamma_g2);
+  pvk.delta_prep = PrepareG2(vk.delta_g2);
+  pvk.alpha_beta = Pairing(vk.alpha_g1, vk.beta_g2);
+  return pvk;
+}
+
+bool Verify(const PreparedVerifyingKey& pvk, const std::vector<Fr>& public_inputs,
+            const Proof& proof) {
+  if (public_inputs.size() + 1 != pvk.vk.ic.size()) {
+    return false;
+  }
+  if (!ProofPointsOk(proof)) {
+    return false;
+  }
+  G1 ic = IcCombination(pvk.vk, public_inputs);
+
+  // e(A, B) e(-IC, gamma) e(-C, delta) = e(alpha, beta), the unprepared
+  // equation with the constant factor moved to the right-hand side (exact
+  // rearrangement: the final exponentiation is a homomorphism).
+  Fp12 f = MillerLoop(proof.a, proof.b) *
+           MillerLoop(ic.Negate(), pvk.gamma_prep) *
+           MillerLoop(proof.c.Negate(), pvk.delta_prep);
+  return FinalExponentiation(f) == pvk.alpha_beta;
+}
+
+BatchVerifyResult BatchVerify(const PreparedVerifyingKey& pvk,
+                              const std::vector<BatchEntry>& batch, Rng* rng) {
+  BatchVerifyResult out;
+  if (batch.empty()) {
+    out.all_ok = true;
+    return out;
+  }
+
+  // Structural pass: input arity and point membership per member. Offenders
+  // are identified immediately and excluded from the combined check.
+  std::vector<size_t> candidates;
+  candidates.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].public_inputs.size() + 1 != pvk.vk.ic.size() ||
+        !ProofPointsOk(batch[i].proof)) {
+      out.rejected.push_back(i);
+    } else {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    return out;
+  }
+
+  // Random linear combination: raise member i's equation to z_i. Drawing
+  // per-candidate keeps the draw sequence a pure function of (seed,
+  // candidate count), so batches replay deterministically.
+  std::vector<Fr> z(candidates.size());
+  Fr z_sum = Fr::Zero();
+  for (Fr& zi : z) {
+    zi = RandomNonZero(rng);
+    z_sum = z_sum + zi;
+  }
+
+  // Aggregate the fixed-G2 sides in the exponent (cheap Fr arithmetic), so
+  // the whole batch pays one IC MSM, one C MSM and two line-replay Miller
+  // loops:
+  //   prod_i e(A_i, B_i)^{z_i}
+  //     = e(alpha, beta)^{sum z_i} e(sum z_i IC_i, gamma) e(sum z_i C_i, delta).
+  std::vector<Fr> ic_scalars(pvk.vk.ic.size(), Fr::Zero());
+  std::vector<G1> c_bases;
+  std::vector<BigUInt> c_scalars;
+  c_bases.reserve(candidates.size());
+  c_scalars.reserve(candidates.size());
+  for (size_t k = 0; k < candidates.size(); ++k) {
+    const BatchEntry& e = batch[candidates[k]];
+    ic_scalars[0] = ic_scalars[0] + z[k];
+    for (size_t j = 0; j < e.public_inputs.size(); ++j) {
+      ic_scalars[j + 1] = ic_scalars[j + 1] + z[k] * e.public_inputs[j];
+    }
+    c_bases.push_back(e.proof.c);
+    c_scalars.push_back(z[k].ToBigUInt());
+  }
+  std::vector<BigUInt> ic_big;
+  ic_big.reserve(ic_scalars.size());
+  for (const Fr& s : ic_scalars) {
+    ic_big.push_back(s.ToBigUInt());
+  }
+  G1 ic_agg = Msm(pvk.vk.ic, ic_big);
+  G1 c_agg = Msm(c_bases, c_scalars);
+
+  Fp12 f = Fp12::One();
+  for (size_t k = 0; k < candidates.size(); ++k) {
+    const Proof& proof = batch[candidates[k]].proof;
+    f = f * MillerLoop(proof.a.ScalarMul(z[k].ToBigUInt()), proof.b);
+  }
+  f = f * MillerLoop(ic_agg.Negate(), pvk.gamma_prep) *
+      MillerLoop(c_agg.Negate(), pvk.delta_prep);
+  bool combined = FinalExponentiation(f) == pvk.alpha_beta.Pow(z_sum.ToBigUInt());
+
+  if (combined) {
+    // Completeness of the combined check is exact, so structural rejects
+    // are the only possible offenders here.
+    out.all_ok = out.rejected.empty();
+    return out;
+  }
+  // The combined product failed: at least one member's equation is wrong.
+  // Fall back to per-proof verification to name the offenders.
+  for (size_t i : candidates) {
+    if (!Verify(pvk, batch[i].public_inputs, batch[i].proof)) {
+      out.rejected.push_back(i);
+    }
+  }
+  std::sort(out.rejected.begin(), out.rejected.end());
+  return out;
 }
 
 Proof RandomizeProof(const VerifyingKey& vk, const Proof& proof, Rng* rng) {

@@ -117,7 +117,80 @@ ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
                   const CancellationToken& cancel, const ProveStageHooks* hooks);
 
 // public_inputs excludes the constant 1 (so its length is vk.ic.size() - 1).
+//
+// Point-check contract (all Verify entry points, prepared or not): proofs
+// are rejected unless A and C are on the curve (G1 has cofactor 1, so that
+// is full membership), B is in the order-r G2 subgroup, and none of A/B/C
+// is the point at infinity. The parse path (Proof::TryFromBytes) enforces
+// the same membership rules, but in-process callers can construct a Proof
+// directly, so Verify must not trust its inputs: an infinity factor would
+// trivialize one pairing in the product (MillerLoop maps identity inputs
+// to 1), and an out-of-subgroup B would leave the pairing undefined as a
+// bilinear map.
 bool Verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs, const Proof& proof);
+
+// Precomputed verifier state for one verifying key (ROADMAP item 1). The G2
+// inputs of the pairing product — beta, gamma, delta — never change per
+// deployment, so their Miller-loop line coefficients are computed once
+// here; e(alpha, beta) is fully paired. A prepared verification then costs
+// one fresh Miller loop (A, B), two line-replay loops (gamma, delta), and
+// one final exponentiation, against four fresh loops for the unprepared
+// path. Verdicts are identical to the unprepared path on every input
+// (asserted by the mutation harness): the checks differ only by moving the
+// constant e(alpha, beta) to the right-hand side, which is exact, not
+// probabilistic.
+struct PreparedVerifyingKey {
+  VerifyingKey vk;      // retained for the IC combination and fallback
+  G2Prepared beta_prep;   // lines for beta_g2 (differential tests; the
+                          // verification equation uses alpha_beta instead)
+  G2Prepared gamma_prep;  // lines for gamma_g2
+  G2Prepared delta_prep;  // lines for delta_g2
+  Fp12 alpha_beta;        // e(alpha_g1, beta_g2)
+
+  // Resident footprint for cache byte budgeting (service KeyCache).
+  size_t SizeBytes() const;
+};
+
+PreparedVerifyingKey PrepareVerifyingKey(const VerifyingKey& vk);
+
+// Single-proof verification against a prepared key. Same point-check
+// contract and same verdict as Verify(vk, ...), at roughly half the cost.
+bool Verify(const PreparedVerifyingKey& pvk, const std::vector<Fr>& public_inputs,
+            const Proof& proof);
+
+// One member of a verification batch.
+struct BatchEntry {
+  Proof proof;
+  std::vector<Fr> public_inputs;
+};
+
+struct BatchVerifyResult {
+  // True iff every member of the batch verifies individually.
+  bool all_ok = false;
+  // When all_ok is false: the indices of the offending members, in
+  // ascending order. Structural rejects (wrong input count, bad points) are
+  // identified directly; if the combined pairing check fails, each
+  // remaining member is re-verified individually to name the offenders.
+  std::vector<size_t> rejected;
+};
+
+// Random-linear-combination batch verification: N proofs cost N Miller
+// loops (z_i A_i, B_i), two line-replay loops over the aggregated gamma and
+// delta G1 sides, one final exponentiation and one Fp12 exponentiation of
+// the precomputed e(alpha, beta) — versus 4N loops and N final
+// exponentiations unbatched.
+//
+// Soundness: each member's pairing equation is raised to an independent
+// uniformly random nonzero z_i drawn from `rng`; a batch containing an
+// invalid member passes with probability at most ~1/r (~2^-254) over the
+// choice of z. The caller owns the seeding policy: verification-time
+// batching should seed from entropy the prover cannot predict (or, for
+// deterministic replay, from a transcript hash over the batch — the
+// scenario/bench harnesses derive the seed from their sweep seed so runs
+// replay byte-identically). Completeness is exact: a batch whose members
+// all verify always passes, for every z.
+BatchVerifyResult BatchVerify(const PreparedVerifyingKey& pvk,
+                              const std::vector<BatchEntry>& batch, Rng* rng);
 
 // Groth16 proofs are re-randomizable: returns a different proof for the same
 // statement that still verifies. This is the proof-malleability the paper's

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/base/check.h"
+#include "src/core/nope.h"
 #include "src/pki/ca.h"
 #include "src/pki/ct_log.h"
 #include "src/pki/flaky_ca.h"
@@ -101,6 +102,44 @@ class ScenarioPipeline : public SimulatedPipeline {
   uint64_t slice_ms_;
 };
 
+// Classes whose chains the real circuit supports: every zone signed and
+// ECDSA end to end (the circuit constrains non-root keys to ECDSA).
+bool RealProofEligible(const ScenarioSpec& spec) {
+  if (spec.cls != ScenarioClass::kHealthyEcdsa &&
+      spec.cls != ScenarioClass::kDeepDelegation) {
+    return false;
+  }
+  for (const ZoneSpec& zone : spec.zones) {
+    if (!zone.is_signed || zone.rsa_zsk) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Real Groth16 pass over the scenario's own (live) hierarchy: trusted
+// setup, one issuance, and a full NopeClientVerify — through the prepared-VK
+// cache when one is supplied. Returns whether the client accepted the proof.
+bool RealProofSpotCheck(const ScenarioSpec& spec, DnssecHierarchy* dns,
+                        const DnsName& domain, CertificateAuthority* ca,
+                        uint64_t now_s, PreparedVkCache* pvk_cache) {
+  Rng rng(spec.seed ^ 0x9f'0008);
+  EcdsaKeyPair tls_key = GenerateEcdsaKey(&rng);
+  NopeDeployment deployment =
+      NopeTrustedSetup(dns, domain, StatementOptions::Full(), &rng);
+  std::optional<IssuanceResult> issued =
+      IssueCertificate(&deployment, dns, ca, domain, tls_key.pub.Encode(),
+                       now_s, &rng, /*with_nope=*/true);
+  if (!issued.has_value()) {
+    return false;
+  }
+  TrustStore trust{ca->root_public_key(), 1};
+  NopeClientResult verdict =
+      NopeClientVerify(deployment, issued->chain, trust, domain, now_s + 60,
+                       /*stapled_ocsp=*/nullptr, pvk_cache);
+  return verdict.status == NopeVerifyStatus::kOk;
+}
+
 void CheckInvariants(const ScenarioSpec& spec, const ScenarioResult& result) {
   // Universal: degraded implies a recorded reason; proved implies none.
   if (result.outcome == ScenarioOutcome::kDegraded) {
@@ -171,6 +210,10 @@ void CheckInvariants(const ScenarioSpec& spec, const ScenarioResult& result) {
 }  // namespace
 
 ScenarioResult RunScenario(const ScenarioSpec& spec) {
+  return RunScenario(spec, RunnerOptions{});
+}
+
+ScenarioResult RunScenario(const ScenarioSpec& spec, const RunnerOptions& options) {
   const CryptoSuite& suite = CryptoSuite::Toy();
   SimClock clock(kStartMs);
 
@@ -291,6 +334,17 @@ ScenarioResult RunScenario(const ScenarioSpec& spec) {
     }
   }
 
+  if (options.real_proof_check && result.outcome == ScenarioOutcome::kProved &&
+      RealProofEligible(spec)) {
+    if (!RealProofSpotCheck(spec, &dns, domain, &ca, clock.NowMs() / 1000,
+                            options.pvk_cache)) {
+      // Demotion trips the healthy-class invariant below: a placeholder
+      // "proved" that the real circuit cannot back is a runner bug.
+      result.outcome = ScenarioOutcome::kRejected;
+      result.detail = "real-proof spot check failed";
+    }
+  }
+
   CheckInvariants(spec, result);
   return result;
 }
@@ -337,11 +391,16 @@ uint64_t OutcomeMatrix::Digest() const {
 }
 
 OutcomeMatrix RunSweep(uint64_t sweep_seed, size_t count) {
+  return RunSweep(sweep_seed, count, RunnerOptions{});
+}
+
+OutcomeMatrix RunSweep(uint64_t sweep_seed, size_t count,
+                       const RunnerOptions& options) {
   OutcomeMatrix matrix;
   matrix.sweep_seed = sweep_seed;
   for (size_t i = 0; i < count; ++i) {
     ScenarioSpec spec = GenerateScenario(sweep_seed, i);
-    ScenarioResult result = RunScenario(spec);
+    ScenarioResult result = RunScenario(spec, options);
     matrix.Record(spec, result);
   }
   return matrix;

@@ -19,6 +19,7 @@
 #include "src/core/downgrade.h"
 #include "src/core/renewal.h"
 #include "src/scenario/scenario.h"
+#include "src/service/pvk_cache.h"
 
 namespace nope {
 
@@ -30,9 +31,28 @@ struct ScenarioResult {
   std::string detail;  // human-readable classification note
 };
 
+// Optional extras for a run. The defaults reproduce the historical
+// behavior byte for byte (the sweep digest contract depends on that).
+struct RunnerOptions {
+  // When non-null, the real-proof spot-check below verifies through this
+  // cache (prepared-VK path, keyed by the scenario's domain).
+  PreparedVkCache* pvk_cache = nullptr;
+  // Spot-check a kProved outcome with a REAL Groth16 deployment: for
+  // scenario classes whose chains the circuit supports (all-ECDSA, fully
+  // signed — kHealthyEcdsa and kDeepDelegation), run trusted setup +
+  // issuance + NopeClientVerify against the scenario's own hierarchy and
+  // demote the outcome to kRejected if the real verification fails (which
+  // then trips the healthy-class invariant). Expensive — a full setup and
+  // proof per scenario — so it is opt-in for targeted tests, never the
+  // sweep default.
+  bool real_proof_check = false;
+};
+
 // Runs the scenario end to end (30 simulated days) and checks its class
-// invariants. Deterministic: byte-identical results for the same spec.
+// invariants. Deterministic: byte-identical results for the same spec
+// (and, with default options, byte-identical to the historical runner).
 ScenarioResult RunScenario(const ScenarioSpec& spec);
+ScenarioResult RunScenario(const ScenarioSpec& spec, const RunnerOptions& options);
 
 // Coverage/outcome matrix accumulated over a sweep. Canonical() is a
 // fixed-format text rendering (every class x outcome cell and every reason
@@ -52,6 +72,7 @@ struct OutcomeMatrix {
 
 // Generates and runs `count` scenarios for `sweep_seed`.
 OutcomeMatrix RunSweep(uint64_t sweep_seed, size_t count);
+OutcomeMatrix RunSweep(uint64_t sweep_seed, size_t count, const RunnerOptions& options);
 
 }  // namespace nope
 

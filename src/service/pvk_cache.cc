@@ -1,0 +1,13 @@
+#include "src/service/pvk_cache.h"
+
+namespace nope {
+
+KeyCache::Handle PreparedVkCache::Checkout(const std::string& domain,
+                                           const groth16::VerifyingKey& vk) {
+  return cache_.Checkout(domain, [&vk] {
+    return std::make_shared<const PreparedVkEntry>(
+        groth16::PrepareVerifyingKey(vk));
+  });
+}
+
+}  // namespace nope

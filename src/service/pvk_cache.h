@@ -1,0 +1,56 @@
+// Per-domain prepared-verifying-key cache (ROADMAP item 1, client side).
+//
+// PrepareVerifyingKey runs three G2 line precomputations plus one full
+// pairing — worth amortizing, but only when the same deployment's key is
+// verified repeatedly, which is exactly the client's situation: every
+// handshake with a domain re-verifies against that domain's (fixed) NOPE
+// verifying key. PreparedVkCache keys prepared keys by domain name on top
+// of the service KeyCache, inheriting its byte budget, strict-LRU
+// eviction, RAII pinning, and deterministic hit/miss/evict sequencing.
+#ifndef SRC_SERVICE_PVK_CACHE_H_
+#define SRC_SERVICE_PVK_CACHE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/groth16/groth16.h"
+#include "src/service/key_cache.h"
+
+namespace nope {
+
+// KeyCache artifact wrapping a PreparedVerifyingKey.
+class PreparedVkEntry : public CachedKey {
+ public:
+  explicit PreparedVkEntry(groth16::PreparedVerifyingKey pvk)
+      : pvk_(std::move(pvk)) {}
+
+  const groth16::PreparedVerifyingKey& pvk() const { return pvk_; }
+  size_t SizeBytes() const override { return pvk_.SizeBytes(); }
+
+ private:
+  groth16::PreparedVerifyingKey pvk_;
+};
+
+class PreparedVkCache {
+ public:
+  // metrics may be null; when set the underlying KeyCache exports its
+  // keycache.* counters and gauges.
+  explicit PreparedVkCache(size_t byte_budget,
+                           MetricsRegistry* metrics = nullptr)
+      : cache_(byte_budget, metrics) {}
+
+  // Pins the prepared key for `domain`, preparing `vk` on a miss. Access
+  // the result via handle.As<PreparedVkEntry>()->pvk(). The caller must
+  // pass the same vk for the same domain (the cache trusts the first).
+  KeyCache::Handle Checkout(const std::string& domain,
+                            const groth16::VerifyingKey& vk);
+
+  KeyCache::Stats stats() const { return cache_.stats(); }
+
+ private:
+  KeyCache cache_;
+};
+
+}  // namespace nope
+
+#endif  // SRC_SERVICE_PVK_CACHE_H_

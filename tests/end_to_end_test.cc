@@ -195,6 +195,72 @@ TEST(EndToEnd, MauledProofStillVerifiesButBindingHolds) {
 }
 
 
+TEST(EndToEnd, InfinityAProofRejectedEndToEnd) {
+  // Degenerate-point tampering (ISSUE 7): the wire format encodes the point
+  // at infinity canonically, so Proof::TryFromBytes accepts an A = infinity
+  // proof — the verifier's own point checks are the line of defense. A rogue
+  // CA splices such a proof into an otherwise-valid certificate; the client
+  // must hard-fail (active tampering), never downgrade.
+  Environment* e = env();
+  auto victim = IssueCertificate(&e->deployment, &e->dns, &e->ca, e->domain,
+                                 e->tls_key.pub.Encode(), kNow, &e->rng, true);
+  ASSERT_TRUE(victim.has_value());
+  auto proof_bytes = DecodeProofSans(victim->chain.leaf.body.sans, e->domain);
+  ASSERT_TRUE(proof_bytes.has_value());
+  groth16::Proof proof = groth16::Proof::FromBytes(*proof_bytes);
+  proof.a = G1::Infinity();
+  Bytes tampered_bytes = proof.ToBytes();
+  // The canonical infinity encoding survives the strict decoder...
+  ASSERT_TRUE(groth16::Proof::TryFromBytes(tampered_bytes).ok());
+
+  CertificateSigningRequest csr;
+  csr.subject = e->domain;
+  csr.public_key = e->tls_key.pub.Encode();
+  csr.sans = EncodeProofSans(tampered_bytes, e->domain);
+  Certificate resigned = e->ca.IssueWithoutValidation(csr, kNow);
+  CertificateChain chain{resigned, e->ca.intermediate()};
+
+  // ...but the verifier rejects it, on both the unprepared and the
+  // prepared-cache client paths.
+  NopeClientResult verdict =
+      NopeClientVerify(e->deployment, chain, e->Trust(), e->domain, kNow + 10, nullptr);
+  EXPECT_EQ(verdict.legacy, LegacyStatus::kOk);
+  EXPECT_EQ(verdict.status, NopeVerifyStatus::kProofRejected);
+  EXPECT_FALSE(verdict.accepted);
+
+  PreparedVkCache cache(64 << 20);
+  NopeClientResult cached_verdict = NopeClientVerify(
+      e->deployment, chain, e->Trust(), e->domain, kNow + 10, nullptr, &cache);
+  EXPECT_EQ(cached_verdict.status, NopeVerifyStatus::kProofRejected);
+  EXPECT_FALSE(cached_verdict.accepted);
+}
+
+TEST(EndToEnd, PreparedVkCacheClientPathMatchesUnprepared) {
+  Environment* e = env();
+  auto result = IssueCertificate(&e->deployment, &e->dns, &e->ca, e->domain,
+                                 e->tls_key.pub.Encode(), kNow, &e->rng, true);
+  ASSERT_TRUE(result.has_value());
+
+  PreparedVkCache cache(64 << 20);
+  NopeClientResult first = NopeClientVerify(e->deployment, result->chain, e->Trust(),
+                                            e->domain, kNow + 60, nullptr, &cache);
+  EXPECT_EQ(first.status, NopeVerifyStatus::kOk);
+  EXPECT_TRUE(first.nope_validated);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // Second handshake with the same domain: served from the cache, same
+  // verdict.
+  NopeClientResult second = NopeClientVerify(e->deployment, result->chain, e->Trust(),
+                                             e->domain, kNow + 60, nullptr, &cache);
+  EXPECT_EQ(second.status, NopeVerifyStatus::kOk);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  NopeClientResult plain = NopeClientVerify(e->deployment, result->chain, e->Trust(),
+                                            e->domain, kNow + 60, nullptr);
+  EXPECT_EQ(plain.status, second.status);
+  EXPECT_EQ(plain.accepted, second.accepted);
+}
+
 TEST(EndToEndDeep, FourLabelDelegationProvesWithRealProof) {
   // Deep delegation (≥4 labels): the chain crosses three intermediate zones,
   // so the circuit must thread three DS/DNSKEY levels — the depth the
