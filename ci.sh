@@ -3,7 +3,8 @@
 # re-runs the fast tests plus the fault-injection and renewal-simulation
 # harnesses and a seeded ~200-scenario sweep of the scenario zoo, then a
 # TSan build (NOPE_SANITIZE=thread) that runs the thread-pool,
-# cross-thread-count determinism, and cancellation tests.
+# cross-thread-count determinism, and cancellation tests plus a small-fleet
+# replay of the fleet simulator.
 # Fails fast and names the failing stage.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -22,8 +23,8 @@ cmake -B build-san -S . -DNOPE_SANITIZE=address,undefined >/dev/null
 SAN_TARGETS=(biguint_test hash_test field_test curve_test rsa_test ecdsa_test
              constraint_system_test groth16_test msm_kernel_test dns_test
              pki_test analysis_test fault_injection_test
-             clock_test cancellation_test renewal_sim_test
-             key_cache_test service_test scenario_test
+             clock_test timer_wheel_test cancellation_test renewal_sim_test
+             key_cache_test service_test scenario_test fleet_sim_test
              verifier_soundness_test batch_verify_test)
 cmake --build build-san -j "$(nproc)" --target "${SAN_TARGETS[@]}" bench_scenario_sweep
 
@@ -55,12 +56,19 @@ cmake -B build-tsan -S . -DNOPE_SANITIZE=thread >/dev/null
 TSAN_TARGETS=(threadpool_test msm_kernel_test parallel_determinism_test
               cancellation_test renewal_sim_test key_cache_test service_test
               batch_verify_test)
-cmake --build build-tsan -j "$(nproc)" --target "${TSAN_TARGETS[@]}"
+cmake --build build-tsan -j "$(nproc)" --target "${TSAN_TARGETS[@]}" fleet_sim_test
 
 echo "=== stage 6: TSan tests ==="
 for t in "${TSAN_TARGETS[@]}"; do
   echo "--- $t (TSan) ---"
   ./build-tsan/tests/"$t"
 done
+
+echo "=== stage 6b: TSan small-fleet replay (10^3 domains, bursts on) ==="
+# The fleet simulator's determinism contract, exercised with the race
+# detector watching the prover worker / pump interactions: a 1000-domain,
+# 20-day fleet with Poisson bursts must replay byte-identically.
+./build-tsan/tests/fleet_sim_test \
+  --gtest_filter='FleetSim.SmallFleetReplaysByteIdentically:FaultBurstDriver.*'
 
 echo "CI OK"

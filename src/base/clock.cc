@@ -1,5 +1,6 @@
 #include "src/base/clock.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -29,24 +30,50 @@ uint64_t Deadline::RemainingMs() const {
 }
 
 uint64_t RetryPolicy::BackoffMs(size_t attempt) const {
-  // Walk the geometric sequence in integer space, clamping as soon as the
-  // cap is reached so large attempt counts cannot overflow.
-  double delay = static_cast<double>(initial_delay_ms);
+  // Walk the geometric sequence, checking the cap BEFORE each multiply: once
+  // the cap is reached the answer is known, so no intermediate value ever
+  // exceeds it and a double near 2^64 is never cast to uint64_t (UB). This
+  // makes max_delay_ms = UINT64_MAX (effectively uncapped budgets) and
+  // astronomically large attempt counts safe: growth reaches any cap in
+  // O(log(cap/initial)) iterations.
+  uint64_t delay = initial_delay_ms;
+  if (delay >= max_delay_ms) {
+    return max_delay_ms;
+  }
+  if (delay == 0 || multiplier == 1.0) {
+    return delay;  // non-growing sequence: attempt count is irrelevant
+  }
   for (size_t i = 0; i < attempt; ++i) {
-    delay *= multiplier;
-    if (delay >= static_cast<double>(max_delay_ms)) {
+    double next = static_cast<double>(delay) * multiplier;
+    // >= catches inf from huge multipliers too. Comparing in double is safe
+    // here: when next is below the cap it is also well below 2^63, where
+    // every integer-valued double converts exactly.
+    if (next >= static_cast<double>(max_delay_ms)) {
       return max_delay_ms;
     }
+    delay = static_cast<uint64_t>(next);
+    if (delay == 0) {
+      return 0;  // shrinking multiplier underflowed: it stays 0 forever
+    }
   }
-  uint64_t out = static_cast<uint64_t>(delay);
-  return out > max_delay_ms ? max_delay_ms : out;
+  return delay;
 }
 
 uint64_t RetryPolicy::DelayMs(size_t attempt, Rng* rng) const {
   uint64_t base = BackoffMs(attempt);
-  uint64_t width = static_cast<uint64_t>(static_cast<double>(base) * jitter_fraction);
+  double width_fp = static_cast<double>(base) * jitter_fraction;
+  // jitter_fraction <= 1 bounds width by base, but the double product can
+  // round up to 2^64 when base is near UINT64_MAX — clamp in floating point
+  // before the cast, then clamp so base + width cannot wrap. Both clamps
+  // keep the window inside [0, UINT64_MAX] without touching the common case.
+  uint64_t width = width_fp >= static_cast<double>(UINT64_MAX)
+                       ? base
+                       : static_cast<uint64_t>(width_fp);
+  width = std::min(width, base);              // jitter window never negative
+  width = std::min(width, UINT64_MAX - base); // upper edge never wraps
   // Uniform in [base - width, base + width]; one draw regardless of width so
-  // the Rng stream stays aligned across policies.
+  // the Rng stream stays aligned across policies. With width <= base and
+  // width <= UINT64_MAX - base, 2 * width + 1 cannot overflow.
   uint64_t offset = rng->NextBelow(2 * width + 1);
   return base - width + offset;
 }
@@ -56,7 +83,10 @@ std::vector<uint64_t> RetryPolicy::Schedule(uint64_t budget_ms, Rng* rng) const 
   uint64_t spent = 0;
   for (size_t attempt = 0; attempt + 1 < max_attempts; ++attempt) {
     uint64_t d = DelayMs(attempt, rng);
-    if (spent + d > budget_ms) {
+    // spent <= budget_ms is a loop invariant, so this comparison is the
+    // overflow-free form of `spent + d > budget_ms` even at UINT64_MAX
+    // budgets and delays.
+    if (d > budget_ms - spent) {
       break;
     }
     spent += d;

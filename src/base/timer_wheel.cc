@@ -1,0 +1,175 @@
+#include "src/base/timer_wheel.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace nope {
+
+namespace {
+constexpr uint64_t kSlotMask = TimerWheel::kSlots - 1;
+// The top level's reach in ticks: one full rotation of all levels.
+constexpr uint64_t kHorizonTicks = 1ull
+                                   << (TimerWheel::kLevels * TimerWheel::kSlotBits);
+}  // namespace
+
+TimerWheel::TimerWheel(uint64_t start_ms, uint64_t tick_ms)
+    : tick_ms_(tick_ms), current_tick_(start_ms / (tick_ms == 0 ? 1 : tick_ms)) {
+  NOPE_INVARIANT(tick_ms > 0, "TimerWheel: tick_ms must be > 0");
+}
+
+TimerWheel::TimerId TimerWheel::Schedule(uint64_t due_ms, uint64_t payload) {
+  // Quantize UP to a tick boundary (never fire before the requested time),
+  // then clamp past-due times forward so they fire on the next AdvanceTo.
+  uint64_t due_tick = due_ms / tick_ms_ + (due_ms % tick_ms_ != 0 ? 1 : 0);
+  uint64_t fire_tick = std::max(due_tick, current_tick_ + 1);
+  Entry entry{fire_tick, due_ms, next_seq_, payload};
+  TimerId id = next_seq_++;
+  alive_.push_back(true);
+  ++pending_;
+  Place(entry);
+  return id;
+}
+
+bool TimerWheel::Cancel(TimerId id) {
+  if (id == kInvalidId || !Alive(id)) {
+    return false;
+  }
+  // Lazy: the slot entry stays put and is dropped when its slot is next
+  // visited (fire or cascade). pending_ is accounted here, once.
+  MarkDead(id);
+  --pending_;
+  return true;
+}
+
+void TimerWheel::Place(Entry entry) {
+  uint64_t delta = entry.fire_tick - current_tick_;
+  for (int level = 0; level < kLevels; ++level) {
+    uint64_t span = 1ull << ((level + 1) * kSlotBits);
+    if (delta < span) {
+      uint64_t slot = (entry.fire_tick >> (level * kSlotBits)) & kSlotMask;
+      slots_[level][slot].push_back(entry);
+      occupancy_[level][slot >> 6] |= 1ull << (slot & 63);
+      return;
+    }
+  }
+  overflow_floor_tick_ = std::min(overflow_floor_tick_, entry.fire_tick);
+  overflow_.push_back(entry);
+}
+
+void TimerWheel::Cascade(int level, uint64_t slot, std::vector<Entry>* due_now) {
+  std::vector<Entry> moved;
+  moved.swap(slots_[level][slot]);
+  occupancy_[level][slot >> 6] &= ~(1ull << (slot & 63));
+  for (Entry& entry : moved) {
+    if (!Alive(entry.seq)) {
+      continue;  // cancelled while parked; pending_ was adjusted at Cancel
+    }
+    if (entry.fire_tick <= current_tick_) {
+      due_now->push_back(entry);
+    } else {
+      Place(entry);
+    }
+  }
+}
+
+uint64_t TimerWheel::NextOccupiedTick(int level) const {
+  uint64_t cur = current_tick_ >> (level * kSlotBits);
+  for (uint64_t d = 1; d <= kSlots; ++d) {
+    uint64_t slot = (cur + d) & kSlotMask;
+    if (occupancy_[level][slot >> 6] & (1ull << (slot & 63))) {
+      return (cur + d) << (level * kSlotBits);
+    }
+  }
+  return UINT64_MAX;
+}
+
+uint64_t TimerWheel::NextDueLowerBoundMs() const {
+  if (pending_ == 0) {
+    return UINT64_MAX;
+  }
+  uint64_t next = UINT64_MAX;
+  for (int level = 0; level < kLevels; ++level) {
+    next = std::min(next, NextOccupiedTick(level));
+  }
+  if (!overflow_.empty()) {
+    // The earliest instant an overflow entry can re-enter the wheel proper.
+    uint64_t entry_at = overflow_floor_tick_ >= kHorizonTicks - 1
+                            ? overflow_floor_tick_ - (kHorizonTicks - 1)
+                            : 1;
+    next = std::min(next, std::max(entry_at, current_tick_ + 1));
+  }
+  if (next == UINT64_MAX || next > UINT64_MAX / tick_ms_) {
+    return UINT64_MAX;
+  }
+  return next * tick_ms_;
+}
+
+size_t TimerWheel::AdvanceTo(
+    uint64_t now_ms,
+    const std::function<void(uint64_t payload, uint64_t due_ms)>& fire) {
+  uint64_t target_tick = now_ms / tick_ms_;
+  size_t fired = 0;
+  std::vector<Entry> due;
+  while (current_tick_ < target_tick) {
+    uint64_t next = UINT64_MAX;
+    for (int level = 0; level < kLevels; ++level) {
+      next = std::min(next, NextOccupiedTick(level));
+    }
+    if (!overflow_.empty()) {
+      uint64_t entry_at = overflow_floor_tick_ >= kHorizonTicks - 1
+                              ? overflow_floor_tick_ - (kHorizonTicks - 1)
+                              : 1;
+      next = std::min(next, std::max(entry_at, current_tick_ + 1));
+    }
+    if (next > target_tick) {
+      current_tick_ = target_tick;
+      break;
+    }
+    current_tick_ = next;
+
+    // Re-admit parked far-future timers once the wheel's horizon reaches
+    // them. Entries still beyond the horizon just park again.
+    if (!overflow_.empty() &&
+        overflow_floor_tick_ - current_tick_ < kHorizonTicks) {
+      std::vector<Entry> parked;
+      parked.swap(overflow_);
+      overflow_floor_tick_ = UINT64_MAX;
+      for (Entry& entry : parked) {
+        if (Alive(entry.seq)) {
+          Place(entry);
+        }
+      }
+    }
+
+    // Cascade every coarse level whose rotation boundary is this tick, then
+    // collect the exact-tick level-0 slot. due entries all share this fire
+    // tick, so seq alone reconstructs the deterministic order — regardless
+    // of which level each entry cascaded down from.
+    due.clear();
+    for (int level = kLevels - 1; level >= 1; --level) {
+      uint64_t below = (1ull << (level * kSlotBits)) - 1;
+      if ((current_tick_ & below) == 0) {
+        Cascade(level, (current_tick_ >> (level * kSlotBits)) & kSlotMask, &due);
+      }
+    }
+    Cascade(0, current_tick_ & kSlotMask, &due);
+
+    std::sort(due.begin(), due.end(),
+              [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+    for (const Entry& entry : due) {
+      // Re-check liveness: an earlier same-tick callback may have cancelled
+      // this one.
+      if (!Alive(entry.seq)) {
+        continue;
+      }
+      MarkDead(entry.seq);
+      --pending_;
+      ++fired;
+      fire(entry.payload, entry.due_ms);
+    }
+  }
+  return fired;
+}
+
+}  // namespace nope

@@ -1,0 +1,132 @@
+// Hierarchical timer wheel: the O(1) event core of the fleet simulator
+// (ISSUE 8), replacing per-cycle polling for renewal leads, retry backoffs,
+// and deadline expiries.
+//
+// A fleet of 10^6 domains keeps ~10^6 timers live at once and schedules tens
+// of millions over a simulated month; a sorted structure pays O(log n) per
+// operation and a polling loop pays O(n) per tick. The wheel pays O(1) per
+// Schedule/Cancel and amortized O(1) per fired timer: kLevels levels of
+// kSlots slots each, where level L buckets due times by bits
+// [L*kSlotBits, (L+1)*kSlotBits) of the absolute tick. Coarse-level slots
+// cascade into finer levels as the wheel reaches them, so an entry touches at
+// most kLevels slots over its lifetime.
+//
+// Determinism contract (what the fleet's byte-identical replay rests on):
+//   * Fire order is exactly (fire_tick, seq) — seq is the schedule-order
+//     sequence number, so two timers due the same tick fire in the order they
+//     were scheduled, independent of cascade history. The differential test
+//     (tests/timer_wheel_test.cc) checks this against a naive sorted
+//     scheduler on seeded random schedules.
+//   * A due time at or before the wheel's current time is clamped to the
+//     next tick: it fires on the next AdvanceTo, never silently drops, and
+//     never fires "in the past".
+//   * AdvanceTo jumps from occupied slot to occupied slot (it never iterates
+//     empty ticks), so advancing a week of idle simulated time costs a few
+//     bitmap scans, not 6x10^8 tick steps.
+//
+// Single-threaded by design: the simulation thread owns the wheel the same
+// way it owns SimClock advancement. Thread safety lives a layer up.
+#ifndef SRC_BASE_TIMER_WHEEL_H_
+#define SRC_BASE_TIMER_WHEEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace nope {
+
+class TimerWheel {
+ public:
+  using TimerId = uint64_t;
+  static constexpr TimerId kInvalidId = 0;
+
+  // Levels x slots: 4 x 256 covers 2^32 ticks (~49.7 days at 1 ms/tick);
+  // farther-out timers park in an overflow list that re-enters the wheel
+  // when the top level wraps. tick_ms sets the firing granularity: due times
+  // are quantized to ticks (a 10 ms tick covers 497 days per rotation, which
+  // is what the 90-day-lifetime fleet uses).
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 8;
+  static constexpr uint64_t kSlots = 1ull << kSlotBits;
+
+  explicit TimerWheel(uint64_t start_ms, uint64_t tick_ms = 1);
+
+  // Registers `payload` to fire at `due_ms` (clamped to the next tick when
+  // not in the future). Ids are dense and start at 1; id order IS schedule
+  // order, which is what makes same-tick firing order reproducible.
+  TimerId Schedule(uint64_t due_ms, uint64_t payload);
+
+  // True when the timer was still pending (it will not fire). Cancellation
+  // is lazy: the slot entry is skipped at fire/cascade time, so Cancel is
+  // O(1) and never reshuffles slot contents.
+  bool Cancel(TimerId id);
+
+  // Fires every pending timer with fire tick <= now_ms/tick_ms, in
+  // (fire_tick, seq) order, then sets the wheel's current time. The callback
+  // receives (payload, due_ms as scheduled). Callbacks may Schedule new
+  // timers — including for already-passed times, which clamp to the NEXT
+  // tick: they fire later in the same call when the target covers them
+  // (never re-entering the tick being fired, so self-scheduling cannot
+  // loop), otherwise on the next AdvanceTo. Callbacks may also Cancel
+  // not-yet-fired timers. Returns the number fired.
+  size_t AdvanceTo(uint64_t now_ms,
+                   const std::function<void(uint64_t payload, uint64_t due_ms)>& fire);
+
+  // Earliest time (ms) at which AdvanceTo could fire or cascade something:
+  // a lower bound on the next interesting instant, never later than the true
+  // next fire time. UINT64_MAX when nothing is pending. The fleet loop
+  // fast-forwards SimClock here instead of polling; because coarse slots
+  // only bound their entries' due times, callers loop
+  // {advance clock to bound; AdvanceTo} until something fires.
+  uint64_t NextDueLowerBoundMs() const;
+
+  size_t pending() const { return pending_; }
+  uint64_t now_ms() const { return current_tick_ * tick_ms_; }
+  // Total timers ever scheduled (== highest id).
+  uint64_t scheduled_total() const { return next_seq_ - 1; }
+
+ private:
+  struct Entry {
+    uint64_t fire_tick;  // due quantized + past-clamped: when it actually fires
+    uint64_t due_ms;     // as scheduled, reported to the callback
+    uint64_t seq;        // == TimerId
+    uint64_t payload;
+  };
+
+  // Places an entry at the level whose window contains fire_tick (or the
+  // overflow list), relative to current_tick_.
+  void Place(Entry entry);
+  // Moves every entry of (level, slot) one level down (or fires it into
+  // `due_now` when its tick has arrived). Caller owns ordering concerns.
+  void Cascade(int level, uint64_t slot, std::vector<Entry>* due_now);
+  // Next tick at which `level` has an occupied slot strictly after
+  // current_tick_ (in that level's units); UINT64_MAX if none this rotation.
+  uint64_t NextOccupiedTick(int level) const;
+  bool Alive(uint64_t seq) const {
+    return seq < alive_.size() && alive_[seq];
+  }
+  void MarkDead(uint64_t seq) { alive_[seq] = false; }
+
+  const uint64_t tick_ms_;
+  uint64_t current_tick_;
+  uint64_t next_seq_ = 1;
+  size_t pending_ = 0;
+
+  // slots_[level][slot]: unordered bag; order is reconstructed from seq at
+  // fire time. occupancy_[level][word] mirrors non-emptiness for the
+  // jump-scan (a bit may be stale-set for slots holding only cancelled
+  // entries; it clears when the slot is visited).
+  std::vector<Entry> slots_[kLevels][kSlots];
+  uint64_t occupancy_[kLevels][kSlots / 64] = {};
+  std::vector<Entry> overflow_;  // fire_tick beyond the top level's horizon
+  uint64_t overflow_floor_tick_ = UINT64_MAX;  // min fire_tick parked there
+
+  // Liveness journal keyed by seq (append-only; grows one bit per Schedule
+  // for the wheel's lifetime — sized for simulation runs, where total
+  // schedules are bounded and 10^7 timers cost ~1.2 MB).
+  std::vector<bool> alive_{false};  // index 0 unused (kInvalidId)
+};
+
+}  // namespace nope
+
+#endif  // SRC_BASE_TIMER_WHEEL_H_

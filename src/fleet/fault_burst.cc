@@ -1,0 +1,100 @@
+#include "src/fleet/fault_burst.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nope {
+
+const char* FaultBurstDriver::DepName(Dep dep) {
+  switch (dep) {
+    case Dep::kDns:
+      return "dns";
+    case Dep::kCa:
+      return "ca";
+    case Dep::kProver:
+      return "prover";
+  }
+  return "unknown";
+}
+
+FaultBurstDriver::FaultBurstDriver(const FaultBurstConfig& config, uint64_t seed,
+                                   uint64_t start_ms)
+    : config_(config),
+      // Distinct odd stride per dependency keeps the three processes
+      // independent while derived from one fleet seed.
+      rngs_{Rng(seed * 3 + 1), Rng(seed * 3 + 2), Rng(seed * 3 + 3)} {
+  if (config_.bursts_per_day > 0) {
+    mean_gap_ms_ = 86'400'000.0 / config_.bursts_per_day;
+  }
+  for (int dep = 0; dep < kNumDeps; ++dep) {
+    next_start_ms_[dep] = config_.bursts_per_day > 0
+                              ? start_ms + ExpDrawMs(&rngs_[dep], mean_gap_ms_)
+                              : UINT64_MAX;
+  }
+}
+
+uint64_t FaultBurstDriver::ExpDrawMs(Rng* rng, double mean_ms) {
+  // Inverse-CDF exponential from a 53-bit uniform in (0, 1]; the +1 keeps
+  // log() away from zero. Clamped to [1, 8 * mean].
+  double u = static_cast<double>((rng->NextU64() >> 11) + 1) / 9007199254740992.0;
+  double draw = -mean_ms * std::log(u);
+  draw = std::min(draw, 8.0 * mean_ms);
+  return std::max<uint64_t>(1, static_cast<uint64_t>(draw));
+}
+
+uint64_t FaultBurstDriver::NextTransitionMs() const {
+  uint64_t next = UINT64_MAX;
+  for (int dep = 0; dep < kNumDeps; ++dep) {
+    next = std::min(next, active_[dep] ? end_ms_[dep] : next_start_ms_[dep]);
+  }
+  return next;
+}
+
+void FaultBurstDriver::AdvanceTo(uint64_t now_ms, const TransitionHook& hook) {
+  while (true) {
+    int best = -1;
+    uint64_t best_t = UINT64_MAX;
+    for (int dep = 0; dep < kNumDeps; ++dep) {
+      uint64_t t = active_[dep] ? end_ms_[dep] : next_start_ms_[dep];
+      if (t < best_t) {  // strict <: ties resolve to the lowest dep index
+        best_t = t;
+        best = dep;
+      }
+    }
+    if (best < 0 || best_t > now_ms) {
+      return;
+    }
+    if (active_[best]) {
+      active_[best] = false;
+      next_start_ms_[best] = best_t + ExpDrawMs(&rngs_[best], mean_gap_ms_);
+      if (hook) {
+        hook(best_t, static_cast<Dep>(best), false);
+      }
+    } else {
+      active_[best] = true;
+      end_ms_[best] =
+          best_t + ExpDrawMs(&rngs_[best],
+                             static_cast<double>(config_.mean_burst_ms));
+      ++bursts_started_;
+      if (hook) {
+        hook(best_t, static_cast<Dep>(best), true);
+      }
+    }
+  }
+}
+
+double FaultBurstDriver::DnsFaultRate() const {
+  return active(Dep::kDns) ? config_.dns_burst_fault_rate
+                           : config_.dns_baseline_fault_rate;
+}
+
+double FaultBurstDriver::CaFaultRate() const {
+  return active(Dep::kCa) ? config_.ca_burst_fault_rate
+                          : config_.ca_baseline_fault_rate;
+}
+
+double FaultBurstDriver::ProverCostMultiplier() const {
+  return active(Dep::kProver) ? config_.brownout_cost_multiplier : 1.0;
+}
+
+}  // namespace nope

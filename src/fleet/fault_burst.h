@@ -1,0 +1,87 @@
+// Seeded Poisson fault bursts over the fleet's three dependency axes
+// (ISSUE 8): DNS resolution, CA issuance, and prover capacity (brownout).
+//
+// Each dependency runs an independent marked Poisson process: exponential
+// inter-arrival times between bursts, exponential burst durations, all drawn
+// from a per-dependency seeded Rng — so a (seed, start_ms) pair reproduces
+// the exact outage schedule, and querying the driver never perturbs it. A
+// burst is *correlated* within its dependency: while a DNS burst is active,
+// every domain in the fleet sees the elevated DNS fault rate, which is what
+// separates fleet behavior under outages from the independent per-call
+// flakiness the baseline rates model.
+//
+// The driver is pull-based to fit the timer-wheel event loop: the simulator
+// asks NextTransitionMs() for the next instant the fault state changes,
+// schedules a timer there, and calls AdvanceTo() when it fires. AdvanceTo
+// replays every start/end transition up to `now` in chronological order
+// (ties break by dependency index), invoking the hook for each — the hook is
+// where the simulator re-rates its FlakyResolver/FlakyCa canaries and
+// digests a burst event line.
+#ifndef SRC_FLEET_FAULT_BURST_H_
+#define SRC_FLEET_FAULT_BURST_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/base/bytes.h"
+
+namespace nope {
+
+struct FaultBurstConfig {
+  // Poisson arrival rate per dependency. 0 disables bursts entirely (the
+  // baseline rates still apply).
+  double bursts_per_day = 0.5;
+  // Mean of the exponential burst duration (clamped to 8x the mean so a
+  // pathological tail cannot swallow the whole horizon).
+  uint64_t mean_burst_ms = 2ull * 3600 * 1000;
+  // Per-call fault probability during a burst vs. quiet baseline.
+  double dns_burst_fault_rate = 0.85;
+  double ca_burst_fault_rate = 0.85;
+  double dns_baseline_fault_rate = 0.01;
+  double ca_baseline_fault_rate = 0.005;
+  // Prover brownout: jobs running during the burst cost this multiple of
+  // their healthy time (capacity loss, not hard failure).
+  double brownout_cost_multiplier = 3.0;
+};
+
+class FaultBurstDriver {
+ public:
+  enum class Dep { kDns = 0, kCa = 1, kProver = 2 };
+  static constexpr int kNumDeps = 3;
+  static const char* DepName(Dep dep);
+
+  // `hook(t_ms, dep, active)` fires once per transition, in time order.
+  using TransitionHook = std::function<void(uint64_t t_ms, Dep dep, bool active)>;
+
+  FaultBurstDriver(const FaultBurstConfig& config, uint64_t seed,
+                   uint64_t start_ms);
+
+  // Earliest instant at which any dependency starts or ends a burst;
+  // UINT64_MAX when bursts are disabled.
+  uint64_t NextTransitionMs() const;
+
+  // Replays every transition with t <= now_ms (hook may be null).
+  void AdvanceTo(uint64_t now_ms, const TransitionHook& hook);
+
+  bool active(Dep dep) const { return active_[static_cast<int>(dep)]; }
+  double DnsFaultRate() const;
+  double CaFaultRate() const;
+  // 1.0 when the prover is healthy.
+  double ProverCostMultiplier() const;
+  size_t bursts_started() const { return bursts_started_; }
+
+ private:
+  uint64_t ExpDrawMs(Rng* rng, double mean_ms);
+
+  FaultBurstConfig config_;
+  double mean_gap_ms_ = 0;
+  Rng rngs_[kNumDeps];
+  bool active_[kNumDeps] = {};
+  uint64_t next_start_ms_[kNumDeps];
+  uint64_t end_ms_[kNumDeps] = {};
+  size_t bursts_started_ = 0;
+};
+
+}  // namespace nope
+
+#endif  // SRC_FLEET_FAULT_BURST_H_

@@ -1,0 +1,224 @@
+// Deterministic fleet simulator (ISSUE 8 tentpole): one operator renewing
+// ~10^6 domains with staggered 90-day certificate lifetimes, composed from
+// the pieces the previous PRs built — ProvingService (admission + weighted
+// fair scheduling + shedding), KeyCache, MetricsRegistry, RenewalManager —
+// all under SimClock, driven by the hierarchical TimerWheel instead of
+// per-cycle polling.
+//
+// Two tiers of fidelity share one world:
+//
+//   * Flyweight domains (the 10^5..10^6 bulk): a 16-byte struct per domain.
+//     Stage outcomes are drawn from a per-domain splitmix hash stream
+//     consulting the FaultBurstDriver's current rates, stage latencies are
+//     timer-wheel delays, and the proving stage is a REAL ProvingService job
+//     (EWMA-priced, deadline-checked at admission and dequeue, DRR-scheduled
+//     across tenants) whose statement burns SimClock time — so the prover is
+//     the genuinely shared, genuinely serial bottleneck resource.
+//   * Canary domains (a handful): full RenewalManager + SimulatedPipeline
+//     over a real DNSSEC hierarchy and CA, with FlakyResolver/FlakyCa wired
+//     to the same burst driver — the high-fidelity cross-check that the
+//     flyweight model and the real state machine see the same world.
+//
+// Determinism contract: FleetReport's event digest, metrics snapshot, and
+// every stat are byte-identical across repeated runs and across
+// NOPE_THREADS — per-domain draws hash (seed, domain, counter) rather than
+// sharing a sequential stream, the service pumps on one logical thread, and
+// nothing consults wall-clock time. A 30-day, 10^5-domain fleet replays in
+// seconds of real time.
+//
+// Degradation story (the robustness acceptance gate): at 1x offered load the
+// fleet issues every renewal before expiry (zero cert lapses). At 4x load
+// plus fault bursts, admission control sheds what cannot meet its deadline,
+// domains degrade to legacy (proof-less) issuance after degrade_after
+// consecutive proof-path failures, and every lapse/degrade/shed is RECORDED
+// in the stats and digest — overload bends the fleet, it never crashes it.
+#ifndef SRC_FLEET_FLEET_SIM_H_
+#define SRC_FLEET_FLEET_SIM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/timer_wheel.h"
+#include "src/fleet/fault_burst.h"
+#include "src/service/key_cache.h"
+#include "src/service/metrics.h"
+#include "src/service/proving_service.h"
+
+namespace nope {
+
+struct FleetConfig {
+  size_t domains = 100'000;
+  size_t tenants = 8;  // domain i belongs to tenant i % tenants
+  // Per-tenant DRR weights (cycled when shorter than `tenants`); empty means
+  // weight 1 for everyone.
+  std::vector<uint32_t> tenant_weights;
+
+  // The simulated hierarchy signs RRSIGs with a validity window around epoch
+  // 1.7e9-1.8e9 s; the canaries need the clock to live inside it.
+  uint64_t start_ms = 1'750'000'000'000ull;
+  uint64_t horizon_ms = 30ull * 24 * 3600 * 1000;
+  uint64_t cert_lifetime_ms = 90ull * 24 * 3600 * 1000;
+  uint64_t renew_lead_ms = 7ull * 24 * 3600 * 1000;
+  double lead_jitter_fraction = 0.1;
+  uint64_t tick_ms = 100;  // wheel granularity; one rotation covers 497 days
+  uint64_t seed = 1;
+
+  // Flyweight stage latency model.
+  uint64_t resolve_ms = 200;
+  uint64_t dns_timeout_ms = 5'000;
+  uint64_t acme_ms = 6'000;
+  uint64_t ca_timeout_ms = 5'000;
+
+  // Healthy single-prover cost per proof job. 0 = derive from load_factor so
+  // that offered proving load is load_factor x prover capacity:
+  //   cost = load_factor * cert_lifetime_ms / domains
+  // (each domain demands one prove per lifetime; the prover serves one job
+  // at a time).
+  uint64_t prove_cost_ms = 0;
+  double load_factor = 1.0;
+  uint64_t prove_slice_ms = 1'000;  // cancellation-poll granularity
+  // Deadline budget for one proof job, measured from submission (also capped
+  // by the domain's certificate expiry).
+  uint64_t prove_budget_ms = 6ull * 3600 * 1000;
+
+  // Admission / fair scheduling (forwarded to ProvingServiceConfig).
+  size_t max_queue_depth = 256;
+  uint64_t quantum_ms = 10'000;
+
+  // Cycle-level retry policy for flyweight domains: capped exponential
+  // backoff plus a coordinated jitter spread that widens with the number of
+  // domains already waiting to retry (anti-stampede: a burst that fails 10^4
+  // domains at once must not re-synchronize them into one retry wave).
+  uint64_t retry_base_ms = 10ull * 60 * 1000;
+  uint64_t retry_max_ms = 6ull * 3600 * 1000;
+  size_t degrade_after = 3;
+
+  FaultBurstConfig bursts;
+
+  // High-fidelity RenewalManager canaries sharing the clock, metrics, key
+  // cache, and burst schedule.
+  size_t canaries = 2;
+
+  // Key cache sizing: distinct proving-key circuits across the fleet and a
+  // byte budget that intentionally fits only ~half of them resident, so the
+  // cache's hit/evict behavior shows up at fleet scale.
+  size_t key_circuits = 16;
+  size_t key_entry_bytes = 1 << 16;
+  size_t key_cache_budget_bytes = 8ull << 16;
+
+  // Periodic "sample" digest lines + gauge updates (0 disables).
+  uint64_t sample_interval_ms = 24ull * 3600 * 1000;
+  // Keep the first N formatted event lines in the report for debugging; the
+  // digest always covers ALL lines.
+  size_t keep_events = 0;
+};
+
+struct FleetStats {
+  uint64_t cycles_started = 0;
+  uint64_t nope_issued = 0;
+  uint64_t legacy_issued = 0;
+  uint64_t cycle_failures = 0;
+  uint64_t retries_scheduled = 0;
+  uint64_t degradations = 0;
+  uint64_t recoveries = 0;
+  uint64_t cert_misses = 0;       // certificate expired before re-issuance
+  uint64_t lapse_recoveries = 0;  // lapsed domain later re-issued
+  uint64_t dns_stage_faults = 0;
+  uint64_t ca_stage_faults = 0;
+  uint64_t submit_rejected_queue_full = 0;
+  uint64_t submit_rejected_infeasible = 0;
+  uint64_t jobs_ok = 0;
+  uint64_t jobs_failed = 0;
+  uint64_t jobs_cancelled = 0;
+  uint64_t jobs_shed = 0;
+  uint64_t bursts = 0;
+  uint64_t canary_cycles = 0;
+  uint64_t canary_lapses = 0;
+  uint64_t max_retry_backlog = 0;
+};
+
+struct FleetReport {
+  FleetStats stats;
+  KeyCache::Stats cache;
+  std::string metrics_json;  // canonical MetricsRegistry::SnapshotJson
+  uint64_t event_count = 0;
+  uint64_t event_digest = 0;  // FNV-1a over every formatted event line
+  std::vector<std::string> events;  // first keep_events lines
+  uint64_t end_ms = 0;
+  uint64_t prove_cost_ms = 0;  // the resolved healthy per-job cost
+
+  // One-line JSON summary (bench + scenario tooling).
+  std::string SummaryJson() const;
+};
+
+class FleetSimulator {
+ public:
+  explicit FleetSimulator(const FleetConfig& config);
+  ~FleetSimulator();
+
+  // Runs the full horizon and returns the report. Call once per instance.
+  FleetReport Run();
+
+ private:
+  struct Domain;        // 16-byte flyweight (fleet_sim.cc)
+  struct CanaryWorld;   // full-fidelity RenewalManager world (fleet_sim.cc)
+
+  enum class Ev : uint8_t;  // timer payload kinds (fleet_sim.cc)
+
+  void SeedInitialSchedule();
+  void HandleTimer(uint64_t payload, uint64_t due_ms);
+  void StartCycle(uint32_t idx);
+  void OnResolveOk(uint32_t idx);
+  void OnStageFailed(uint32_t idx, bool dns_fault);
+  void StartLegacyAttempt(uint32_t idx);
+  void OnAcmeOk(uint32_t idx);
+  void OnIssued(uint32_t idx);
+  void OnJobResult(const JobResult& result);
+  void PumpProver();
+  void OnBurstTransition(uint64_t t_ms, FaultBurstDriver::Dep dep, bool active);
+  void RunCanary(size_t which);
+  void Sample();
+
+  void ScheduleEv(uint64_t due_ms, Ev kind, uint64_t index);
+  // Formats "t=<due> <line>", folds it into the digest, optionally retains it.
+  void Digest(uint64_t t_ms, const std::string& line);
+  uint64_t DomainDraw(uint32_t idx);
+  bool DrawFault(uint32_t idx, double rate);
+  uint64_t ProveCostMs() const { return prove_cost_ms_; }
+
+  FleetConfig config_;
+  SimClock clock_;
+  TimerWheel wheel_;
+  MetricsRegistry metrics_;
+  KeyCache key_cache_;
+  std::unique_ptr<ProvingService> service_;
+  FaultBurstDriver driver_;
+
+  std::vector<Domain> domains_;
+  std::vector<std::unique_ptr<CanaryWorld>> canaries_;
+  std::map<uint64_t, uint32_t> job_to_domain_;
+
+  FleetStats stats_;
+  uint64_t prove_cost_ms_ = 0;
+  uint64_t end_ms_ = 0;
+  size_t retry_backlog_ = 0;
+  bool pump_scheduled_ = false;
+
+  uint64_t event_count_ = 0;
+  uint64_t event_digest_ = 14695981039346656037ull;  // FNV-1a offset basis
+  std::vector<std::string> kept_events_;
+
+  Gauge* lapsed_gauge_ = nullptr;
+  Gauge* backlog_gauge_ = nullptr;
+  Gauge* degraded_gauge_ = nullptr;
+  uint64_t lapsed_now_ = 0;
+  uint64_t degraded_now_ = 0;
+};
+
+}  // namespace nope
+
+#endif  // SRC_FLEET_FLEET_SIM_H_

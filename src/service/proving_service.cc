@@ -57,6 +57,10 @@ ProvingService::ProvingService(const ProvingServiceConfig& config, Clock* clock,
   for (const auto& [domain, weight] : config_.domain_weights) {
     NOPE_INVARIANT(weight > 0, "ProvingService: domain weight must be > 0");
   }
+  NOPE_INVARIANT(config_.cost_ewma_den > 0,
+                 "ProvingService: cost_ewma_den must be > 0");
+  NOPE_INVARIANT(config_.cost_ewma_num <= config_.cost_ewma_den,
+                 "ProvingService: cost_ewma_num must be <= cost_ewma_den");
   if (metrics_ != nullptr) {
     admitted_ = metrics_->GetCounter("service.admitted");
     rejected_queue_full_ = metrics_->GetCounter("service.rejected_queue_full");
@@ -85,7 +89,34 @@ void ProvingService::Emit(const char* event, const std::string& detail) {
     line += ' ';
     line += detail;
   }
-  events_.push_back(ServiceEvent{clock_->NowMs(), std::move(line)});
+  uint64_t now = clock_->NowMs();
+  if (event_sink_) {
+    event_sink_(now, line);
+  }
+  if (config_.record_events) {
+    events_.push_back(ServiceEvent{now, std::move(line)});
+  }
+}
+
+uint64_t ProvingService::CostEstimateMs(const std::string& circuit_id) const {
+  auto it = cost_ewma_.find(circuit_id);
+  return it != cost_ewma_.end() ? it->second : config_.cost_prior_ms;
+}
+
+uint64_t ProvingService::EffectiveCostMs(const ProveRequest& req) const {
+  if (config_.use_cost_model && req.cost_estimate_ms == 0) {
+    return CostEstimateMs(req.circuit_id);
+  }
+  return req.cost_estimate_ms;
+}
+
+void ProvingService::RecordResult(JobResult result) {
+  if (result_sink_) {
+    result_sink_(result);
+  }
+  if (config_.record_results) {
+    results_.push_back(std::move(result));
+  }
 }
 
 std::string ProvingService::EventLog() const {
@@ -111,14 +142,16 @@ ProvingService::SubmitResult ProvingService::Submit(ProveRequest req) {
     Emit("rejected_queue_full", tag + " depth=" + std::to_string(queued_));
     return SubmitResult{Admission::kRejectedQueueFull, 0};
   }
+  uint64_t cost = EffectiveCostMs(req);
+  bool model_cost = cost != req.cost_estimate_ms;
   if (config_.reject_infeasible && req.deadline_ms != 0 &&
-      now + req.cost_estimate_ms > req.deadline_ms) {
+      now + cost > req.deadline_ms) {
     if (rejected_infeasible_ != nullptr) {
       rejected_infeasible_->Increment();
     }
     Emit("rejected_infeasible",
          tag + " deadline=" + std::to_string(req.deadline_ms) + " cost=" +
-             std::to_string(req.cost_estimate_ms));
+             std::to_string(cost) + (model_cost ? " cost_src=ewma" : ""));
     return SubmitResult{Admission::kRejectedInfeasible, 0};
   }
 
@@ -139,7 +172,8 @@ ProvingService::SubmitResult ProvingService::Submit(ProveRequest req) {
   uint64_t id = job->id;
   std::string detail = "job=" + std::to_string(id) + " " + tag +
                        " priority=" + std::to_string(job->req.priority) +
-                       " cost=" + std::to_string(job->req.cost_estimate_ms);
+                       " cost=" + std::to_string(cost) +
+                       (model_cost ? " cost_src=ewma" : "");
   if (job->req.deadline_ms != 0) {
     detail += " deadline=" + std::to_string(job->req.deadline_ms);
   }
@@ -186,13 +220,17 @@ bool ProvingService::PumpOne() {
     }
     Job* head = domain.queue.front().get();
     uint64_t now = clock_->NowMs();
+    // Re-read the effective cost at dequeue: a model-priced job admitted
+    // under an optimistic estimate is shed here once completions have taught
+    // the EWMA that it can no longer make its deadline.
+    uint64_t head_cost = EffectiveCostMs(head->req);
     // Infeasible-at-dequeue uses the same predicate as admission: a job that
     // can no longer finish by its deadline is shed before it burns prover
     // time it would only throw away at the cancellation boundary. Without
     // this, sustained overload livelocks: every dequeue picks the oldest,
     // nearly-expired job, runs it for almost its full cost, and cancels.
     bool expired = head->req.deadline_ms != 0 &&
-                   now + head->req.cost_estimate_ms > head->req.deadline_ms;
+                   now + head_cost > head->req.deadline_ms;
     if (expired || head->cancel_src.cancelled()) {
       // Shed at dequeue: the domain is not charged for work never done.
       std::unique_ptr<Job> job = std::move(domain.queue.front());
@@ -205,11 +243,11 @@ bool ProvingService::PumpOne() {
                                    : JobOutcome::kShedCancelled);
       return true;
     }
-    if (head->req.cost_estimate_ms <= domain.deficit_ms) {
+    if (head_cost <= domain.deficit_ms) {
       std::unique_ptr<Job> job = std::move(domain.queue.front());
       domain.queue.pop_front();
       --queued_;
-      domain.deficit_ms -= job->req.cost_estimate_ms;
+      domain.deficit_ms -= head_cost;
       if (domain.queue.empty()) {
         domain.deficit_ms = 0;
       }
@@ -255,7 +293,7 @@ void ProvingService::Shed(std::unique_ptr<Job> job, JobOutcome outcome) {
   result.submitted_ms = job->submitted_ms;
   result.started_ms = now;
   result.finished_ms = now;
-  results_.push_back(std::move(result));
+  RecordResult(std::move(result));
 }
 
 void ProvingService::RunJob(std::unique_ptr<Job> job, DomainState* /*domain*/) {
@@ -303,6 +341,20 @@ void ProvingService::FinishJob(std::unique_ptr<Job> job, JobOutcome outcome,
       if (jobs_ok_ != nullptr) {
         jobs_ok_->Increment();
       }
+      if (config_.use_cost_model) {
+        // Learn only from completions — a shed or cancelled job's elapsed
+        // time is an artifact of the deadline, not the circuit. Single pump
+        // thread + completion order makes the model state deterministic.
+        uint64_t observed = finished - started_ms;
+        uint64_t old = CostEstimateMs(job->req.circuit_id);
+        uint64_t updated = (config_.cost_ewma_num * observed +
+                            (config_.cost_ewma_den - config_.cost_ewma_num) * old) /
+                           config_.cost_ewma_den;
+        cost_ewma_[job->req.circuit_id] = updated;
+        Emit("cost_model",
+             "circuit=" + job->req.circuit_id + " observed=" +
+                 std::to_string(observed) + " estimate=" + std::to_string(updated));
+      }
       break;
     case JobOutcome::kFailed:
       if (jobs_failed_ != nullptr) {
@@ -340,7 +392,7 @@ void ProvingService::FinishJob(std::unique_ptr<Job> job, JobOutcome outcome,
   result.started_ms = started_ms;
   result.finished_ms = finished;
   result.key_cache_hit = cache_hit;
-  results_.push_back(std::move(result));
+  RecordResult(std::move(result));
 }
 
 // --- groth16 integration ----------------------------------------------------

@@ -67,7 +67,10 @@ struct ProveRequest {
   uint64_t deadline_ms = 0;     // absolute on the service clock; 0 = none
   int priority = 0;             // higher runs earlier within its domain
   // Expected service time; drives admission feasibility and the fair-share
-  // charge. An estimate, not a limit — the deadline is the limit.
+  // charge. An estimate, not a limit — the deadline is the limit. When the
+  // service runs with use_cost_model and this is 0, the per-circuit EWMA
+  // estimate is used instead (re-read at dequeue, so a queued job's
+  // feasibility tracks the model as it learns).
   uint64_t cost_estimate_ms = 1'000;
 };
 
@@ -111,6 +114,21 @@ struct ProvingServiceConfig {
   // When false, deadline feasibility is not checked at admission (jobs are
   // still shed at dequeue once expired).
   bool reject_infeasible = true;
+  // Per-circuit EWMA of observed prove cost, substituted for requests that
+  // submit cost_estimate_ms == 0. Updated only from kOk completions (shed
+  // and cancelled jobs reveal nothing about true cost), on the single pump
+  // thread, in completion order — so the model state is a deterministic
+  // function of the job history. Fixed-point update:
+  //   new = (num * observed + (den - num) * old) / den
+  bool use_cost_model = false;
+  uint32_t cost_ewma_num = 1;
+  uint32_t cost_ewma_den = 4;
+  uint64_t cost_prior_ms = 1'000;  // estimate for never-observed circuits
+  // Fleet-scale runs process 10^6+ jobs; keeping every JobResult and event
+  // line in memory defeats the point of a flyweight simulator. When false,
+  // results()/EventLog() stay empty and only the sinks observe the stream.
+  bool record_results = true;
+  bool record_events = true;
 };
 
 class ProvingService {
@@ -140,6 +158,22 @@ class ProvingService {
   size_t queue_depth() const { return queued_; }
   const std::vector<JobResult>& results() const { return results_; }
 
+  // Streaming observers for fleet-scale runs (see record_results /
+  // record_events). Called synchronously on the pump thread, in the same
+  // order the vectors would have recorded; the sink sees every result/event
+  // regardless of the record_* flags.
+  void SetResultSink(std::function<void(const JobResult&)> sink) {
+    result_sink_ = std::move(sink);
+  }
+  void SetEventSink(std::function<void(uint64_t t_ms, const std::string& line)> sink) {
+    event_sink_ = std::move(sink);
+  }
+
+  // Current per-circuit cost estimate (cost_prior_ms when never observed).
+  // This is what a cost_estimate_ms == 0 request will be charged and what
+  // its feasibility check uses.
+  uint64_t CostEstimateMs(const std::string& circuit_id) const;
+
   // Canonical fixed-format transcript, byte-identical across runs and
   // NOPE_THREADS values for the same scenario under SimClock (same format
   // discipline as RenewalManager::EventLog).
@@ -164,6 +198,10 @@ class ProvingService {
   void FinishJob(std::unique_ptr<Job> job, JobOutcome outcome,
                  const std::string& error, uint64_t started_ms, bool cache_hit);
   uint32_t WeightOf(const std::string& domain) const;
+  // The cost used for admission, dequeue-shed, and the DRR charge: the
+  // request's own estimate, or the EWMA model when it submitted 0.
+  uint64_t EffectiveCostMs(const ProveRequest& req) const;
+  void RecordResult(JobResult result);
 
   ProvingServiceConfig config_;
   Clock* clock_;
@@ -199,6 +237,9 @@ class ProvingService {
     std::string line;  // "<event> <detail>"
   };
   std::vector<ServiceEvent> events_;
+  std::function<void(const JobResult&)> result_sink_;
+  std::function<void(uint64_t, const std::string&)> event_sink_;
+  std::map<std::string, uint64_t> cost_ewma_;  // circuit_id -> estimate (ms)
 };
 
 // --- groth16 integration ----------------------------------------------------

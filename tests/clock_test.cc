@@ -138,5 +138,94 @@ TEST(RetryPolicy, GenerousBudgetYieldsFullSchedule) {
   EXPECT_EQ(schedule.size(), policy.max_attempts - 1);
 }
 
+// --- overflow boundaries (ISSUE 8): huge budgets, caps, and attempt counts
+// must never wrap, stall, or hit float->int UB. The backoff walk checks its
+// cap BEFORE multiplying, so no intermediate ever exceeds max_delay_ms.
+
+TEST(RetryPolicy, UncappedMaxDelayNeverOverflows) {
+  RetryPolicy policy;
+  policy.initial_delay_ms = 1;
+  policy.multiplier = 2.0;
+  policy.max_delay_ms = UINT64_MAX;  // effectively uncapped
+  EXPECT_EQ(policy.BackoffMs(10), 1024u);
+  EXPECT_EQ(policy.BackoffMs(62), 1ull << 62);
+  // Past 2^63 the double walk would previously round through 2^64 and the
+  // final cast was UB; now the pre-multiply cap check returns the cap.
+  EXPECT_EQ(policy.BackoffMs(64), UINT64_MAX);
+  EXPECT_EQ(policy.BackoffMs(200), UINT64_MAX);
+}
+
+TEST(RetryPolicy, ExtremeAttemptCountsTerminateQuickly) {
+  RetryPolicy policy;
+  policy.initial_delay_ms = 100;
+  policy.multiplier = 2.0;
+  policy.max_delay_ms = 30'000;
+  // O(log(cap/initial)) regardless of attempt: SIZE_MAX must return
+  // immediately with the cap, not iterate 2^64 times.
+  EXPECT_EQ(policy.BackoffMs(SIZE_MAX), 30'000u);
+
+  // A non-growing multiplier can never reach the cap; it must short-circuit
+  // instead of walking `attempt` iterations.
+  policy.multiplier = 1.0;
+  EXPECT_EQ(policy.BackoffMs(SIZE_MAX), 100u);
+
+  // A shrinking multiplier underflows to zero and stays there.
+  policy.multiplier = 0.5;
+  EXPECT_EQ(policy.BackoffMs(7), 0u);
+  EXPECT_EQ(policy.BackoffMs(SIZE_MAX), 0u);
+
+  // Huge multipliers saturate to the cap instead of casting inf.
+  policy.multiplier = 1e300;
+  EXPECT_EQ(policy.BackoffMs(SIZE_MAX), 30'000u);
+
+  // Zero initial delay is degenerate but legal: always zero.
+  policy.initial_delay_ms = 0;
+  policy.multiplier = 2.0;
+  EXPECT_EQ(policy.BackoffMs(SIZE_MAX), 0u);
+}
+
+TEST(RetryPolicy, FullJitterAtExtremeDelaysStaysInRange) {
+  RetryPolicy policy;
+  policy.initial_delay_ms = UINT64_MAX;
+  policy.max_delay_ms = UINT64_MAX;
+  policy.jitter_fraction = 1.0;
+  // base == UINT64_MAX: the upper-edge clamp forces width to 0, so the
+  // jittered delay is exactly the base instead of wrapping.
+  Rng rng(3);
+  for (size_t attempt = 0; attempt < 4; ++attempt) {
+    EXPECT_EQ(policy.DelayMs(attempt, &rng), UINT64_MAX);
+  }
+
+  // base == 2^63: width clamps to UINT64_MAX - base, keeping both the
+  // 2*width+1 draw bound and base+width inside uint64 range.
+  policy.initial_delay_ms = 1ull << 63;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng r(seed);
+    uint64_t delay = policy.DelayMs(0, &r);
+    EXPECT_GE(delay, (1ull << 63) - ((1ull << 63) - 1));
+    EXPECT_LE(delay, UINT64_MAX);
+  }
+}
+
+TEST(RetryPolicy, ScheduleAtUint64MaxBudgetDoesNotWrap) {
+  RetryPolicy policy;
+  policy.initial_delay_ms = UINT64_MAX / 4;
+  policy.max_delay_ms = UINT64_MAX;
+  policy.multiplier = 2.0;
+  policy.jitter_fraction = 0.0;
+  policy.max_attempts = 10;
+  Rng rng(9);
+  // Delays: U/4, then ~2^63 (U/4 rounds up to 2^62 in double before the
+  // multiply), then the cap U — the running sum would wrap uint64 after the
+  // third entry; the budget comparison must stop it instead of wrapping into
+  // "affordable" territory.
+  std::vector<uint64_t> schedule = policy.Schedule(UINT64_MAX, &rng);
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_EQ(schedule[0], UINT64_MAX / 4);
+  EXPECT_EQ(schedule[1], 1ull << 63);
+  uint64_t total = schedule[0] + schedule[1];
+  EXPECT_LE(total, UINT64_MAX - schedule[0]);  // no wrap happened
+}
+
 }  // namespace
 }  // namespace nope

@@ -200,5 +200,100 @@ TEST(KeyCache, RefCountPinningUnderConcurrentCheckout) {
   EXPECT_EQ(stats.misses, stats.evictions + stats.resident_entries);
 }
 
+// Fleet-scale churn (ISSUE 8): 2*10^4 distinct keys swept through a budget
+// that holds 512, verifying exact byte accounting, strict LRU recency at
+// scale, and pinned entries surviving sustained multi-threaded pressure.
+// Runs under TSan in the ci.sh sanitizer stage.
+TEST(KeyCache, FleetScaleChurnKeepsBooksExactAndPinsSurvive) {
+  constexpr size_t kEntryBytes = 64;
+  constexpr size_t kResidentCap = 512;
+  constexpr size_t kSweep = 20'000;
+  KeyCache cache(kResidentCap * kEntryBytes);
+
+  // Single-threaded sweep: every insertion past capacity evicts exactly one
+  // entry, so the books stay exact at every step.
+  for (size_t i = 0; i < kSweep; ++i) {
+    cache.Checkout("k" + std::to_string(i),
+                   MakeLoader(kEntryBytes, static_cast<int>(i)))
+        .Release();
+    ASSERT_LE(cache.stats().resident_bytes, kResidentCap * kEntryBytes);
+  }
+  KeyCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.resident_entries, kResidentCap);
+  EXPECT_EQ(stats.resident_bytes, kResidentCap * kEntryBytes);
+  EXPECT_EQ(stats.misses, kSweep);
+  EXPECT_EQ(stats.evictions, kSweep - kResidentCap);
+
+  // Strict LRU: exactly the last kResidentCap keys are resident. Hits don't
+  // change byte pressure, so probing them evicts nothing.
+  for (size_t i = kSweep - kResidentCap; i < kSweep; ++i) {
+    EXPECT_TRUE(
+        cache.Checkout("k" + std::to_string(i), MakeLoader(kEntryBytes))
+            .was_hit())
+        << "k" << i;
+  }
+  EXPECT_EQ(cache.stats().evictions, kSweep - kResidentCap);
+  // The ascending probe left k{kSweep-kResidentCap} as LRU; one older miss
+  // displaces precisely it, cascading exactly one eviction per reload.
+  EXPECT_FALSE(cache.Checkout("k0", MakeLoader(kEntryBytes)).was_hit());
+  EXPECT_FALSE(cache.Checkout("k" + std::to_string(kSweep - kResidentCap),
+                              MakeLoader(kEntryBytes))
+                   .was_hit());
+  EXPECT_TRUE(cache.Checkout("k" + std::to_string(kSweep - 1),
+                             MakeLoader(kEntryBytes))
+                  .was_hit());
+
+  // Pinned survivors under multi-threaded churn: 8 pinned keys, 4 threads
+  // sweeping disjoint key ranges hard enough to turn the cache over many
+  // times. The pinned artifacts must stay valid and tagged throughout.
+  constexpr int kPins = 8;
+  std::vector<KeyCache::Handle> pins;
+  pins.reserve(kPins);
+  for (int p = 0; p < kPins; ++p) {
+    pins.push_back(cache.Checkout("pin" + std::to_string(p),
+                                  MakeLoader(kEntryBytes, 100 + p)));
+  }
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5'000;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &failures, t] {
+      for (int i = 0; i < kIters; ++i) {
+        std::string id = "churn" + std::to_string(t) + "_" + std::to_string(i);
+        auto h = cache.Checkout(id, MakeLoader(kEntryBytes, t));
+        const auto* key = h.As<TestKey>();
+        if (key == nullptr || key->tag != t) {
+          ++failures;
+        }
+        h.Release();
+        if (i % 64 == 0) {
+          auto p = cache.Checkout("pin" + std::to_string(i % kPins),
+                                  MakeLoader(kEntryBytes, -1));
+          if (!p.was_hit()) {
+            ++failures;  // a pinned entry was evicted
+          }
+          p.Release();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  for (int p = 0; p < kPins; ++p) {
+    ASSERT_TRUE(pins[p].valid());
+    EXPECT_EQ(pins[p].As<TestKey>()->tag, 100 + p);
+    pins[p].Release();
+  }
+  stats = cache.stats();
+  EXPECT_LE(stats.resident_bytes, kResidentCap * kEntryBytes);
+  EXPECT_EQ(stats.resident_bytes, stats.resident_entries * kEntryBytes);
+  // Every entry ever loaded is either still resident or was evicted.
+  EXPECT_EQ(stats.misses, stats.evictions + stats.resident_entries);
+}
+
 }  // namespace
 }  // namespace nope

@@ -468,6 +468,106 @@ ScenarioArtifacts RunMixedScenario() {
   return art;
 }
 
+// EWMA cost model regression (ISSUE 8): when the true prove cost shifts, the
+// per-circuit estimate converges toward the observed cost, and shedding
+// decisions follow the estimate — both at admission and for already-queued
+// jobs re-priced at dequeue.
+TEST(ProvingService, CostModelConvergesAndDrivesShedding) {
+  SimClock clock(1'000'000);
+  MetricsRegistry metrics;
+  ProvingServiceConfig config;
+  config.use_cost_model = true;
+  config.cost_prior_ms = 500;   // optimistic prior
+  config.cost_ewma_num = 1;
+  config.cost_ewma_den = 2;     // fast-converging half/half blend for the test
+  config.quantum_ms = 100'000;  // fairness not under test: always affordable
+  ProvingService service(config, &clock, nullptr, &metrics);
+
+  // Model-priced request: cost_estimate_ms == 0 defers to the EWMA.
+  auto model_req = [&](uint64_t deadline_ms) {
+    ProveRequest req = MakeRequest("a", SimProve(&clock, /*total_ms=*/2000),
+                                   /*cost_ms=*/0, deadline_ms);
+    return req;
+  };
+
+  EXPECT_EQ(service.CostEstimateMs("sim"), 500u);  // prior before any evidence
+
+  // Under the optimistic prior, a deadline of now + 600 looks feasible even
+  // though the statement actually burns 2000 ms.
+  EXPECT_EQ(service.Submit(model_req(clock.NowMs() + 600)).admission,
+            Admission::kAdmitted);
+  ASSERT_TRUE(service.PumpOne());
+  // The job ran (and overran its deadline — cancelled at a slice boundary),
+  // but only kOk completions teach the model, so run some to convergence.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(service.Submit(model_req(/*deadline_ms=*/0)).admission,
+              Admission::kAdmitted);
+    ASSERT_TRUE(service.PumpOne());
+  }
+  // Estimate walked 500 -> 1250 -> 1625 -> ... toward 2000; with num/den =
+  // 1/2 six completions land within 3% of the true cost.
+  uint64_t learned = service.CostEstimateMs("sim");
+  EXPECT_GE(learned, 1950u);
+  EXPECT_LE(learned, 2000u);
+
+  // The same deadline that was admitted under the prior is now rejected as
+  // infeasible: the shedding decision converged with the cost estimate.
+  EXPECT_EQ(service.Submit(model_req(clock.NowMs() + 600)).admission,
+            Admission::kRejectedInfeasible);
+  EXPECT_EQ(metrics.GetCounter("service.rejected_infeasible")->value(), 1u);
+
+  // Feasible under the learned estimate still admits.
+  EXPECT_EQ(service.Submit(model_req(clock.NowMs() + 2500)).admission,
+            Admission::kAdmitted);
+  service.RunUntilIdle();
+
+  // Dequeue re-pricing: queue a model-priced job behind a long-running one.
+  // At admission the estimate (~2000) fits its deadline; by the time it
+  // reaches the head, now + estimate > deadline and it sheds without running.
+  uint64_t t0 = clock.NowMs();
+  EXPECT_EQ(service
+                .Submit(MakeRequest("a", SimProve(&clock, 2000), /*cost_ms=*/2000,
+                                    /*deadline_ms=*/t0 + 10'000))
+                .admission,
+            Admission::kAdmitted);
+  EXPECT_EQ(service.Submit(model_req(t0 + 2100)).admission, Admission::kAdmitted);
+  ASSERT_TRUE(service.PumpOne());  // runs the first job: 2000 ms pass
+  ASSERT_TRUE(service.PumpOne());  // second job now infeasible: shed, not run
+  const JobResult& shed = service.results().back();
+  EXPECT_EQ(shed.outcome, JobOutcome::kShedExpired);
+  EXPECT_EQ(shed.started_ms, shed.finished_ms);  // never ran
+  EXPECT_NE(service.EventLog().find("cost_src=ewma"), std::string::npos);
+  EXPECT_NE(service.EventLog().find("cost_model circuit=sim"), std::string::npos);
+}
+
+// Streaming sinks + bounded recording (ISSUE 8): with record_results and
+// record_events off, the vectors stay empty (fleet-scale memory bound) while
+// the sinks observe the identical stream.
+TEST(ProvingService, SinksObserveStreamWhenRecordingDisabled) {
+  SimClock clock(1000);
+  ProvingServiceConfig config;
+  config.record_results = false;
+  config.record_events = false;
+  ProvingService service(config, &clock, nullptr, nullptr);
+
+  std::vector<JobResult> seen;
+  size_t event_lines = 0;
+  service.SetResultSink([&](const JobResult& r) { seen.push_back(r); });
+  service.SetEventSink([&](uint64_t, const std::string&) { ++event_lines; });
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(service.Submit(MakeRequest("a", OkStatement())).admission,
+              Admission::kAdmitted);
+  }
+  EXPECT_EQ(service.RunUntilIdle(), 3u);
+
+  EXPECT_TRUE(service.results().empty());
+  EXPECT_TRUE(service.EventLog().empty());
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].outcome, JobOutcome::kOk);
+  EXPECT_GT(event_lines, 0u);  // submitted/started/done all flowed through
+}
+
 // The acceptance gate: with the global pool at 1, 2, and 7 threads, the same
 // scenario yields a byte-identical event log, metrics snapshot, and proof
 // bytes. Jobs run serially on the pump; NOPE_THREADS only changes the
