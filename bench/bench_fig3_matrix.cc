@@ -23,5 +23,12 @@ int main() {
   printf("Attacker subsets defeating DV:   %d / 16\n", dv_falls);
   printf("Attacker subsets defeating NOPE: %d / 16 (requires cert-side AND DNSSEC attackers)\n",
          nope_falls);
+
+  // Machine-readable records for BENCH_results.json: the security matrix is
+  // a correctness artifact, so the counts double as a regression tripwire.
+  printf("{\"bench\": \"fig3_matrix\", \"metric\": \"subsets_defeating_dv\", "
+         "\"value\": %d}\n", dv_falls);
+  printf("{\"bench\": \"fig3_matrix\", \"metric\": \"subsets_defeating_nope\", "
+         "\"value\": %d}\n", nope_falls);
   return 0;
 }

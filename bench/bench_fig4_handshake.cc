@@ -133,5 +133,15 @@ int main() {
          "    dominated by one Groth16 verification (four pairings).\n");
   printf("  * Legacy cells are unchanged whether or not the counterparty is\n"
          "    NOPE-aware (compatibility).\n");
+
+  // Machine-readable records for BENCH_results.json.
+  printf("{\"bench\": \"fig4_handshake\", \"metric\": \"nope_nope_verify_ms\", "
+         "\"value\": %.4f}\n", nope_nope.mean_ms);
+  printf("{\"bench\": \"fig4_handshake\", \"metric\": \"legacy_legacy_verify_ms\", "
+         "\"value\": %.4f}\n", legacy_legacy.mean_ms);
+  printf("{\"bench\": \"fig4_handshake\", \"metric\": \"nope_chain_bytes\", "
+         "\"value\": %zu}\n", nope_bytes);
+  printf("{\"bench\": \"fig4_handshake\", \"metric\": \"legacy_chain_bytes\", "
+         "\"value\": %zu}\n", legacy_bytes);
   return 0;
 }

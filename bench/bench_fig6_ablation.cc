@@ -161,5 +161,12 @@ int main(int argc, char** argv) {
 
   printf("\nPaper reference (Fig. 6): Baseline 10.15M/486s/17.8GB -> +design 5.33M\n");
   printf("-> +parsing 3.60M -> +crypto 1.19M -> +misc 1.13M/54s/1.99GB.\n");
+
+  // Machine-readable records for BENCH_results.json: constraint counts for
+  // the toy suite's ablation endpoints (cheap to compute in --quick runs).
+  printf("{\"bench\": \"fig6_ablation\", \"metric\": \"toy_m_baseline\", "
+         "\"value\": %zu}\n", count_for(CryptoSuite::Toy(), rows.front().options));
+  printf("{\"bench\": \"fig6_ablation\", \"metric\": \"toy_m_final\", "
+         "\"value\": %zu}\n", count_for(CryptoSuite::Toy(), rows.back().options));
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <memory>
@@ -274,6 +275,10 @@ void EmitThreadsComparison() {
   EmitJson("msm_kernel_speedup", minimum(old_ms) / minimum(msm_ms[0]));
 
   EmitJson("threads_n", static_cast<double>(hw));
+  EmitJson("simd_lanes", static_cast<double>(Fr::SimdLanes()));
+  std::printf("{\"bench\": \"groth16\", \"metric\": \"simd_backend_%s\", "
+              "\"value\": 1}\n",
+              Fr::SimdBackendName());
   EmitJson("prove_speedup_4t", p1 / p4);
   EmitJson("msm_fft_speedup_4t",
            (minimum(msm_ms[0]) + minimum(fft_ms[0])) /
@@ -284,10 +289,68 @@ void EmitThreadsComparison() {
                (minimum(msm_ms[2]) + minimum(fft_ms[2])));
 }
 
+// Offline sweep behind NOPE_MSM_AUTOTUNE=1: times MsmSignedAffine directly
+// for every (n, c) cell and prints the best window width per size. The
+// workload mirrors what the kernel actually sees after GLV splitting
+// (~130-bit scalars), since that is what PickSignedWindow keys on. The
+// winning widths are PINNED into msm_detail::kSignedWindowTable by hand --
+// never measured at runtime -- so window choice stays a pure function of
+// input size and the determinism contract holds on every host.
+void RunMsmAutotune() {
+  ThreadPool::SetGlobalThreads(1);
+  Rng rng(1234);
+  const size_t kMaxN = size_t{1} << 16;
+  std::vector<G1> jac;
+  jac.reserve(kMaxN);
+  G1 p = G1Generator();
+  for (size_t i = 0; i < kMaxN; ++i) {
+    jac.push_back(p);
+    p = p.Double().Add(G1Generator());
+  }
+  std::vector<G1Affine> bases = BatchToAffine(jac);
+  const BigUInt half_bound = BigUInt(1) << 130;
+  std::vector<BigUInt> scalars(kMaxN);
+  for (auto& s : scalars) {
+    s = BigUInt::RandomBelow(&rng, half_bound);
+  }
+
+  std::printf("# autotune: best signed-window width per kernel-visible n "
+              "(backend=%s)\n", Fr::SimdBackendName());
+  for (size_t n = 128; n <= kMaxN; n *= 2) {
+    std::vector<G1Affine> b(bases.begin(), bases.begin() + n);
+    std::vector<BigUInt> s(scalars.begin(), scalars.begin() + n);
+    size_t best_c = 0;
+    double best_ms = 0;
+    for (size_t c = 2; c <= 14; ++c) {
+      const int reps = n <= 2048 ? 9 : (n <= 16384 ? 5 : 3);
+      double ms = 1e300;
+      for (int r = 0; r < reps; ++r) {
+        auto start = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(MsmSignedAffine(b, s, nullptr, c));
+        ms = std::min(ms, std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+      }
+      std::printf("#   n=%-7zu c=%-2zu %.3f ms\n", n, c, ms);
+      if (best_c == 0 || ms < best_ms) {
+        best_c = c;
+        best_ms = ms;
+      }
+    }
+    std::printf("# best: {%zu, %zu}  (%.3f ms)\n", n, best_c, best_ms);
+  }
+  ThreadPool::SetGlobalThreads(0);
+}
+
 }  // namespace
 }  // namespace nope
 
 int main(int argc, char** argv) {
+  const char* autotune = std::getenv("NOPE_MSM_AUTOTUNE");
+  if (autotune != nullptr && autotune[0] != '\0' && autotune[0] != '0') {
+    nope::RunMsmAutotune();
+    return 0;
+  }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;

@@ -3,8 +3,10 @@
 // verification (256-bit vs. GLV), and RSA, at both P-256/RSA-2048 scale and
 // the toy demo scale. Reproduces the §8.3 claims that NOPE's techniques cut
 // ECDSA from ~17x RSA to 3-4x RSA.
+#include <chrono>
 #include <cstdio>
 
+#include "src/ec/batch_affine.h"
 #include "src/r1cs/ecdsa_gadget.h"
 #include "src/r1cs/rsa_gadget.h"
 #include "src/r1cs/toy_curve.h"
@@ -13,6 +15,122 @@
 using namespace nope;
 
 namespace {
+
+void EmitJson(const char* metric, double value) {
+  std::printf("{\"bench\": \"micro_crypto\", \"metric\": \"%s\", \"value\": %.4f}\n",
+              metric, value);
+}
+
+// --- Field-op throughput (scalar CIOS vs SIMD batch kernels) --------------
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Each measurement folds its results into a checksum that is printed at the
+// end, so the optimizer cannot delete the timed loops.
+uint64_t g_checksum = 0;
+
+template <typename F>
+void BenchFieldOps(const char* name) {
+  constexpr size_t kN = 4096;     // elements per pass (fits in L1/L2)
+  constexpr int kReps = 200;      // passes per timed measurement
+  Rng rng(0xbe);
+  std::vector<F> a(kN);
+  std::vector<F> b(kN);
+  std::vector<F> out(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    a[i] = F::Random(&rng);
+    b[i] = F::Random(&rng);
+  }
+  char metric[96];
+  auto emit_ns_per_op = [&](const char* op, double ms, double ops) {
+    std::snprintf(metric, sizeof(metric), "%s_%s", name, op);
+    EmitJson(metric, ms * 1e6 / ops);
+  };
+
+  // Scalar multiply / square: element-at-a-time through the CIOS path.
+  double t0 = NowMs();
+  for (int r = 0; r < kReps; ++r) {
+    for (size_t i = 0; i < kN; ++i) {
+      out[i] = a[i] * b[i];
+    }
+  }
+  emit_ns_per_op("mul_ns_scalar", NowMs() - t0, double(kN) * kReps);
+  g_checksum ^= out[kN - 1].limbs()[0];
+
+  t0 = NowMs();
+  for (int r = 0; r < kReps; ++r) {
+    for (size_t i = 0; i < kN; ++i) {
+      out[i] = a[i].Square();
+    }
+  }
+  emit_ns_per_op("sqr_ns_scalar", NowMs() - t0, double(kN) * kReps);
+  g_checksum ^= out[kN - 1].limbs()[0];
+
+  // Batch multiply / square: whatever backend the process selected
+  // (NOPE_SIMD env). With NOPE_SIMD=off these measure the batch-API
+  // overhead over the scalar path.
+  t0 = NowMs();
+  for (int r = 0; r < kReps; ++r) {
+    F::MulBatch(a.data(), b.data(), out.data(), kN);
+  }
+  emit_ns_per_op("mul_ns_simd", NowMs() - t0, double(kN) * kReps);
+  g_checksum ^= out[kN - 1].limbs()[0];
+
+  t0 = NowMs();
+  for (int r = 0; r < kReps; ++r) {
+    F::SquareBatch(a.data(), out.data(), kN);
+  }
+  emit_ns_per_op("sqr_ns_simd", NowMs() - t0, double(kN) * kReps);
+  g_checksum ^= out[kN - 1].limbs()[0];
+
+  // Single inversion (Fermat ladder), and the amortized per-element cost of
+  // batch inversion, serial vs lane-parallel.
+  constexpr size_t kInvN = 256;
+  t0 = NowMs();
+  for (size_t i = 0; i < kInvN; ++i) {
+    out[i] = a[i].Inverse();
+  }
+  emit_ns_per_op("inv_ns", NowMs() - t0, double(kInvN));
+  g_checksum ^= out[kInvN - 1].limbs()[0];
+
+  constexpr int kInvReps = 50;
+  std::vector<F> vals(kN);
+  t0 = NowMs();
+  for (int r = 0; r < kInvReps; ++r) {
+    for (size_t i = 0; i < kN; ++i) {
+      vals[i] = a[i];
+    }
+    batch_affine_detail::BatchInvertSerial(vals.data(), kN);
+  }
+  emit_ns_per_op("batchinv_ns_scalar", NowMs() - t0, double(kN) * kInvReps);
+  g_checksum ^= vals[kN - 1].limbs()[0];
+
+  t0 = NowMs();
+  for (int r = 0; r < kInvReps; ++r) {
+    for (size_t i = 0; i < kN; ++i) {
+      vals[i] = a[i];
+    }
+    BatchInvertField(&vals);
+  }
+  emit_ns_per_op("batchinv_ns_simd", NowMs() - t0, double(kN) * kInvReps);
+  g_checksum ^= vals[kN - 1].limbs()[0];
+}
+
+void BenchAllFields() {
+  printf("\n=== Field-op throughput (backend=%s, lanes=%zu) ===\n",
+         Fr::SimdBackendName(), Fr::SimdLanes());
+  EmitJson("simd_lanes", static_cast<double>(Fr::SimdLanes()));
+  BenchFieldOps<Fq>("fq");
+  BenchFieldOps<Fr>("fr");
+  BenchFieldOps<P256Fq>("p256fq");
+  BenchFieldOps<P256Fn>("p256fn");
+  printf("checksum: %016llx\n",
+         static_cast<unsigned long long>(g_checksum));
+}
 
 size_t MulModCost(const BigUInt& q, bool naive) {
   ConstraintSystem cs;
@@ -81,7 +199,9 @@ size_t RsaCost(size_t bits, RsaTechnique tech) {
 }  // namespace
 
 int main() {
-  printf("=== Cryptography representations: constraint counts (paper §5, §8.3) ===\n\n");
+  BenchAllFields();
+
+  printf("\n=== Cryptography representations: constraint counts (paper §5, §8.3) ===\n\n");
 
   BigUInt p256 = CurveSpec::P256().p;
   printf("Modular multiplication (one mulmod):\n");

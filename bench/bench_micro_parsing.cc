@@ -88,12 +88,28 @@ int main() {
          "  constraint in our compiler. Same linear shape.)\n");
 
   printf("\nsuffixSum: 0 constraints at any size (linear forms are free, §4.3).\n");
+  size_t suffix_cost;
   {
     ConstraintSystem cs;
     std::vector<Var> arr = AllocateBytesUnchecked(&cs, Bytes(1024, 1));
     size_t before = cs.NumConstraints();
     SuffixSum(&cs, arr);
-    printf("  measured at L=1024: %zu constraints\n", cs.NumConstraints() - before);
+    suffix_cost = cs.NumConstraints() - before;
+    printf("  measured at L=1024: %zu constraints\n", suffix_cost);
   }
+
+  // Machine-readable records for BENCH_results.json: constraint counts are
+  // deterministic, so these double as compiler-cost regression tripwires.
+  {
+    LC start = LC::Constant(Fr::FromU64(128));
+    size_t slice_cost =
+        CostOf(512, [&](ConstraintSystem* cs, const std::vector<LC>& a) {
+          SliceNope(cs, a, start, 32);
+        });
+    printf("{\"bench\": \"micro_parsing\", \"metric\": \"slice_nope_m512_constraints\", "
+           "\"value\": %zu}\n", slice_cost);
+  }
+  printf("{\"bench\": \"micro_parsing\", \"metric\": \"suffix_sum_l1024_constraints\", "
+         "\"value\": %zu}\n", suffix_cost);
   return 0;
 }

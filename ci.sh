@@ -20,7 +20,8 @@ echo "=== stage 3: ASan/UBSan build ==="
 cmake -B build-san -S . -DNOPE_SANITIZE=address,undefined >/dev/null
 # The sanitizer run covers the untrusted-input surface: every unit-test
 # binary that feeds parsers, plus the fault-injection campaigns.
-SAN_TARGETS=(biguint_test hash_test field_test curve_test rsa_test ecdsa_test
+SAN_TARGETS=(biguint_test hash_test field_test fp_simd_test curve_test
+             rsa_test ecdsa_test
              constraint_system_test groth16_test msm_kernel_test dns_test
              pki_test analysis_test fault_injection_test
              clock_test timer_wheel_test cancellation_test renewal_sim_test
@@ -51,9 +52,52 @@ if [ "$d1" != "$d2" ]; then
   exit 1
 fi
 
+echo "=== stage 4c: SIMD off/on digest identity ==="
+# The determinism contract across SIMD backends is cross-PROCESS (the
+# NOPE_SIMD env is read once per process), so it cannot live in a gtest:
+# run the digest binary under every backend x thread-count combination and
+# require bit-identical stdout. Covers MSM result bytes and full Groth16
+# proof bytes.
+cmake --build build -j "$(nproc)" --target simd_determinism_main >/dev/null
+ref="$(NOPE_SIMD=off NOPE_THREADS=1 ./build/tests/simd_determinism_main 2>/dev/null)"
+for simd in off on; do
+  for threads in 1 2 7; do
+    got="$(NOPE_SIMD=$simd NOPE_THREADS=$threads ./build/tests/simd_determinism_main 2>/dev/null)"
+    if [ "$got" != "$ref" ]; then
+      echo "FAILED: digest mismatch at NOPE_SIMD=$simd NOPE_THREADS=$threads" >&2
+      echo "want: $ref" >&2
+      echo "got:  $got" >&2
+      exit 1
+    fi
+  done
+done
+echo "digests identical across NOPE_SIMD={off,on} x NOPE_THREADS={1,2,7}"
+
+echo "=== stage 4d: NOPE_SIMD=off build ==="
+# The scalar-only configuration must build and pass the field/MSM/Groth16
+# tests on its own: hosts without AVX2/NEON compile no SIMD translation
+# units at all, and this leg keeps that path honest.
+cmake -B build-nosimd -S . -DNOPE_SIMD=OFF >/dev/null
+NOSIMD_TARGETS=(field_test fp_simd_test msm_kernel_test groth16_test)
+cmake --build build-nosimd -j "$(nproc)" --target "${NOSIMD_TARGETS[@]}" \
+  simd_determinism_main
+for t in "${NOSIMD_TARGETS[@]}"; do
+  echo "--- $t (NOPE_SIMD=OFF) ---"
+  ./build-nosimd/tests/"$t"
+done
+# Cross-BUILD digest identity: a binary with no SIMD kernels compiled in
+# must produce the same proof bytes as the SIMD build.
+got="$(./build-nosimd/tests/simd_determinism_main 2>/dev/null)"
+if [ "$got" != "$ref" ]; then
+  echo "FAILED: NOPE_SIMD=OFF build digest mismatch" >&2
+  exit 1
+fi
+echo "NOPE_SIMD=OFF build digests match the SIMD build"
+
 echo "=== stage 5: TSan build (parallel proving) ==="
 cmake -B build-tsan -S . -DNOPE_SANITIZE=thread >/dev/null
-TSAN_TARGETS=(threadpool_test msm_kernel_test parallel_determinism_test
+TSAN_TARGETS=(threadpool_test fp_simd_test msm_kernel_test
+              parallel_determinism_test
               cancellation_test renewal_sim_test key_cache_test service_test
               batch_verify_test)
 cmake --build build-tsan -j "$(nproc)" --target "${TSAN_TARGETS[@]}" fleet_sim_test

@@ -23,9 +23,15 @@ for b in build/bench/*; do
       echo "FAILED: $b" >&2
       exit 1
     fi
-    # Stamp each record with the commit it measured.
-    grep '^{"bench"' "$bench_out" \
-      | sed "s/^{/{\"commit\": \"$commit\", /" >> "$json_lines" || true
+    # Stamp each record with the commit it measured. A bench that emits no
+    # records is a regression (every bench is required to report at least
+    # one metric), as is a record line that fails to parse as JSON: both
+    # used to scroll by silently and leave holes in BENCH_results.json.
+    if ! grep '^{"bench"' "$bench_out" \
+        | sed "s/^{/{\"commit\": \"$commit\", /" >> "$json_lines"; then
+      echo "FAILED: $b emitted no JSON records" >&2
+      exit 1
+    fi
     echo
   fi
 done
@@ -33,4 +39,27 @@ done
 awk 'BEGIN { print "[" }
      { printf "%s  %s", (NR > 1 ? ",\n" : ""), $0 }
      END { if (NR > 0) printf "\n"; print "]" }' "$json_lines" > BENCH_results.json
+
+# Validate the aggregate file: every record must be well-formed JSON with
+# the bench/metric/value triple. jq if present, python3 otherwise.
+if command -v jq > /dev/null 2>&1; then
+  if ! jq -e 'all(.[]; has("bench") and has("metric") and has("value"))' \
+      BENCH_results.json > /dev/null; then
+    echo "FAILED: BENCH_results.json is malformed" >&2
+    exit 1
+  fi
+elif command -v python3 > /dev/null 2>&1; then
+  if ! python3 - << 'EOF'
+import json, sys
+with open("BENCH_results.json") as f:
+    recs = json.load(f)
+sys.exit(0 if all(
+    isinstance(r, dict) and "bench" in r and "metric" in r and "value" in r
+    for r in recs) else 1)
+EOF
+  then
+    echo "FAILED: BENCH_results.json is malformed" >&2
+    exit 1
+  fi
+fi
 echo "wrote BENCH_results.json ($(grep -c '"bench"' BENCH_results.json || true) records)"

@@ -55,6 +55,13 @@ BigUInt BigUInt::FromBytes(const Bytes& bytes) {
   return out;
 }
 
+BigUInt BigUInt::FromLimbsLE(const uint64_t* limbs, size_t n) {
+  BigUInt out;
+  out.limbs_.assign(limbs, limbs + n);
+  out.Normalize();
+  return out;
+}
+
 BigUInt BigUInt::Random(Rng* rng, size_t bits) {
   if (bits == 0) {
     return BigUInt();

@@ -30,6 +30,8 @@ class BigUInt {
   static BigUInt FromDecimal(const std::string& dec);
   // Big-endian byte deserialization.
   static BigUInt FromBytes(const Bytes& bytes);
+  // Little-endian 64-bit limb deserialization (trailing zero limbs allowed).
+  static BigUInt FromLimbsLE(const uint64_t* limbs, size_t n);
   // Uniform random value with exactly `bits` bits (top bit set) for key
   // generation, or uniform below a bound for nonces.
   static BigUInt Random(Rng* rng, size_t bits);

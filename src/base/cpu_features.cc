@@ -1,0 +1,30 @@
+#include "src/base/cpu_features.h"
+
+namespace nope {
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx512F() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
+bool CpuHasNeon() {
+#if defined(__aarch64__)
+  // Advanced SIMD is architecturally mandatory on AArch64.
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace nope

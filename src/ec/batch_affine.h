@@ -4,10 +4,19 @@
 // 3(k-1) multiplications, so converting MSM bases and Setup query tables to
 // affine in bulk is effectively free per point.
 //
+// The multiplications inside the trick are independent across chain steps
+// only in a restructured form: BatchInvertField splits large inputs into W
+// contiguous per-lane chains (W = SIMD lane width), advances all chains with
+// one vectorized multiply per step, then stitches the W chain totals (plus a
+// scalar tail chain) together with a single field inversion. Inverses are
+// unique, so the restructured walk produces bit-identical canonical values
+// to the serial chain it replaces.
+//
 // Determinism contract: the block grid is a pure function of the input size
-// (fixed kBatchAffineBlock), each block's inversion chain is serial within
-// the block, and blocks write disjoint output ranges of canonical affine
-// coordinates -- so the result is bit-identical for any thread count.
+// (fixed kBatchAffineBlock), the lane split is a pure function of block
+// length and the process-wide lane width, and blocks write disjoint output
+// ranges of canonical affine coordinates -- so the result is bit-identical
+// for any thread count, and bit-identical between SIMD and scalar backends.
 #ifndef SRC_EC_BATCH_AFFINE_H_
 #define SRC_EC_BATCH_AFFINE_H_
 
@@ -16,8 +25,34 @@
 
 #include "src/base/threadpool.h"
 #include "src/ec/curve.h"
+#include "src/ff/fp.h"
 
 namespace nope {
+
+namespace batch_affine_detail {
+
+// Serial Montgomery trick; also the tail/fallback path of the lane version.
+template <typename Field>
+void BatchInvertSerial(Field* v, size_t n) {
+  std::vector<Field> prefix(n);
+  Field acc = Field::One();
+  for (size_t i = 0; i < n; ++i) {
+    prefix[i] = acc;
+    if (!v[i].IsZero()) {
+      acc = acc * v[i];
+    }
+  }
+  Field inv = acc.Inverse();
+  for (size_t i = n; i-- > 0;) {
+    if (!v[i].IsZero()) {
+      Field orig = v[i];
+      v[i] = inv * prefix[i];
+      inv = inv * orig;
+    }
+  }
+}
+
+}  // namespace batch_affine_detail
 
 // Replaces each non-zero element of *vals with its inverse using a single
 // field inversion (Montgomery's trick). Zero elements are left untouched --
@@ -26,20 +61,74 @@ namespace nope {
 template <typename Field>
 void BatchInvertField(std::vector<Field>* vals) {
   std::vector<Field>& v = *vals;
-  std::vector<Field> prefix(v.size());
-  Field acc = Field::One();
-  for (size_t i = 0; i < v.size(); ++i) {
-    prefix[i] = acc;
+  const size_t n = v.size();
+  const size_t w = FieldSimdLanes<Field>();
+  if (w < 2 || n < 8 * w) {
+    batch_affine_detail::BatchInvertSerial(v.data(), n);
+    return;
+  }
+
+  // Lane split: lane l owns the contiguous run [l*len, (l+1)*len); the
+  // remainder [w*len, n) is a scalar tail chain. Zeros are replaced by One()
+  // in the vector multiplies (x1 = no-op on the running product) so every
+  // lane advances in lockstep with uniform control flow.
+  const size_t len = n / w;
+  std::vector<Field> prefix(w * len);
+  std::vector<Field> acc(w, Field::One());
+  std::vector<Field> gathered(w);
+  for (size_t s = 0; s < len; ++s) {
+    for (size_t l = 0; l < w; ++l) {
+      const Field& x = v[l * len + s];
+      prefix[l * len + s] = acc[l];
+      gathered[l] = x.IsZero() ? Field::One() : x;
+    }
+    FieldMulBatch(acc.data(), gathered.data(), acc.data(), w);
+  }
+
+  Field tail_acc = Field::One();
+  std::vector<Field> tail_prefix(n - w * len);
+  for (size_t i = w * len; i < n; ++i) {
+    tail_prefix[i - w * len] = tail_acc;
     if (!v[i].IsZero()) {
-      acc = acc * v[i];
+      tail_acc = tail_acc * v[i];
     }
   }
-  Field inv = acc.Inverse();
-  for (size_t i = v.size(); i-- > 0;) {
+
+  // One real inversion for the whole input: mini batch-invert of the w lane
+  // totals plus the tail total (all non-zero by construction).
+  std::vector<Field> totals(w + 1);
+  for (size_t l = 0; l < w; ++l) {
+    totals[l] = acc[l];
+  }
+  totals[w] = tail_acc;
+  batch_affine_detail::BatchInvertSerial(totals.data(), w + 1);
+
+  Field inv = totals[w];
+  for (size_t i = n; i-- > w * len;) {
     if (!v[i].IsZero()) {
       Field orig = v[i];
-      v[i] = inv * prefix[i];
+      v[i] = inv * tail_prefix[i - w * len];
       inv = inv * orig;
+    }
+  }
+
+  std::vector<Field> laneinv(w);
+  for (size_t l = 0; l < w; ++l) {
+    laneinv[l] = totals[l];
+  }
+  std::vector<Field> res(w);
+  for (size_t s = len; s-- > 0;) {
+    for (size_t l = 0; l < w; ++l) {
+      const Field& x = v[l * len + s];
+      gathered[l] = x.IsZero() ? Field::One() : x;
+      res[l] = prefix[l * len + s];
+    }
+    FieldMulBatch(laneinv.data(), res.data(), res.data(), w);
+    FieldMulBatch(laneinv.data(), gathered.data(), laneinv.data(), w);
+    for (size_t l = 0; l < w; ++l) {
+      if (!v[l * len + s].IsZero()) {
+        v[l * len + s] = res[l];
+      }
     }
   }
 }
@@ -66,19 +155,35 @@ std::vector<AffinePoint<Config>> BatchToAffine(
   auto convert_block = [&](size_t b) {
     size_t lo = b * kBlock;
     size_t hi = lo + kBlock < n ? lo + kBlock : n;
+    const size_t m = hi - lo;
     // zs holds z for finite points and 0 (skipped) for infinities.
-    std::vector<Field> zs(hi - lo);
-    for (size_t i = lo; i < hi; ++i) {
-      zs[i - lo] = points[i].IsInfinity() ? Field::Zero() : points[i].z;
+    std::vector<Field> zs(m);
+    for (size_t i = 0; i < m; ++i) {
+      zs[i] = points[lo + i].IsInfinity() ? Field::Zero() : points[lo + i].z;
     }
     BatchInvertField(&zs);
-    for (size_t i = lo; i < hi; ++i) {
-      if (points[i].IsInfinity()) {
-        out[i] = AffinePoint<Config>::Infinity();
+    // x' = x / z^2, y' = y / z^3, vectorized across the block. Infinities
+    // ride along on their (canonical) stored coordinates and are overwritten
+    // below; y*(zinv2*zinv) associates differently from the old serial
+    // (y*zinv2)*zinv but field multiplication is exactly associative, so the
+    // canonical results are identical.
+    std::vector<Field> zinv2(m);
+    std::vector<Field> zinv3(m);
+    std::vector<Field> xs(m);
+    std::vector<Field> ys(m);
+    FieldSquareBatch(zs.data(), zinv2.data(), m);
+    FieldMulBatch(zinv2.data(), zs.data(), zinv3.data(), m);
+    for (size_t i = 0; i < m; ++i) {
+      xs[i] = points[lo + i].x;
+      ys[i] = points[lo + i].y;
+    }
+    FieldMulBatch(xs.data(), zinv2.data(), xs.data(), m);
+    FieldMulBatch(ys.data(), zinv3.data(), ys.data(), m);
+    for (size_t i = 0; i < m; ++i) {
+      if (points[lo + i].IsInfinity()) {
+        out[lo + i] = AffinePoint<Config>::Infinity();
       } else {
-        Field zinv = zs[i - lo];
-        Field zinv2 = zinv.Square();
-        out[i] = {points[i].x * zinv2, points[i].y * zinv2 * zinv, false};
+        out[lo + i] = {xs[i], ys[i], false};
       }
     }
   };

@@ -9,12 +9,16 @@
 #define SRC_FF_FP_H_
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <type_traits>
 
 #include "src/base/biguint.h"
 #include "src/base/bytes.h"
+#include "src/base/check.h"
+#include "src/ff/fp_simd.h"
 
 namespace nope {
 
@@ -33,22 +37,20 @@ namespace fp_detail {
 using uint128 = unsigned __int128;
 
 inline std::array<uint64_t, 4> ToLimbs(const BigUInt& v) {
-  std::array<uint64_t, 4> out{0, 0, 0, 0};
   const auto& limbs = v.limbs();
-  for (size_t i = 0; i < limbs.size() && i < 4; ++i) {
+  // BigUInt is normalized (no leading zero limbs), so a fifth limb means
+  // v >= 2^256 and the copy below would silently drop its top bits. Every
+  // caller must reduce first.
+  NOPE_INVARIANT(limbs.size() <= 4, "ToLimbs: value does not fit in 4 limbs");
+  std::array<uint64_t, 4> out{0, 0, 0, 0};
+  for (size_t i = 0; i < limbs.size(); ++i) {
     out[i] = limbs[i];
   }
   return out;
 }
 
 inline BigUInt FromLimbs(const std::array<uint64_t, 4>& limbs) {
-  Bytes be(32);
-  for (size_t i = 0; i < 4; ++i) {
-    for (int b = 0; b < 8; ++b) {
-      be[31 - (8 * i + b)] = static_cast<uint8_t>(limbs[i] >> (8 * b));
-    }
-  }
-  return BigUInt::FromBytes(be);
+  return BigUInt::FromLimbsLE(limbs.data(), 4);
 }
 }  // namespace fp_detail
 
@@ -94,6 +96,10 @@ class Fp {
   bool operator==(const Fp& o) const { return limbs_ == o.limbs_; }
   bool operator!=(const Fp& o) const { return !(*this == o); }
 
+  // Add/sub are branchless: the value-dependent compare-and-correct is done
+  // with borrow masks instead of branches. These run in the MSM batch-affine
+  // fold loops on effectively random field elements, where a 50/50 branch
+  // mispredicts every other call and costs more than the whole subtraction.
   Fp operator+(const Fp& o) const {
     Fp out;
     fp_detail::uint128 carry = 0;
@@ -102,24 +108,45 @@ class Fp {
       out.limbs_[i] = static_cast<uint64_t>(sum);
       carry = sum >> 64;
     }
-    if (carry != 0 || GreaterEqual(out.limbs_, params().modulus)) {
-      SubLimbs(&out.limbs_, params().modulus);
+    // d = (a + b) - p; keep it unless the subtraction borrowed past the
+    // carry-out (i.e. a + b < p).
+    const std::array<uint64_t, 4>& p = params().modulus;
+    std::array<uint64_t, 4> d;
+    fp_detail::uint128 borrow = 0;
+    for (int i = 0; i < 4; ++i) {
+      fp_detail::uint128 cur =
+          static_cast<fp_detail::uint128>(out.limbs_[i]) - p[i] - borrow;
+      d[i] = static_cast<uint64_t>(cur);
+      borrow = (cur >> 64) & 1;
+    }
+    const uint64_t take_d =
+        static_cast<uint64_t>(carry) | (static_cast<uint64_t>(borrow) ^ 1);
+    const uint64_t mask = 0 - take_d;
+    for (int i = 0; i < 4; ++i) {
+      out.limbs_[i] = (d[i] & mask) | (out.limbs_[i] & ~mask);
     }
     return out;
   }
 
   Fp operator-(const Fp& o) const {
-    Fp out = *this;
-    if (GreaterEqual(out.limbs_, o.limbs_)) {
-      SubLimbsFrom(&out.limbs_, o.limbs_);
-    } else {
-      // out = out + p - o
-      std::array<uint64_t, 4> tmp = o.limbs_;
-      // tmp = o - out  (o > out here)
-      SubLimbsFrom(&tmp, out.limbs_);
-      // out = p - tmp
-      out.limbs_ = params().modulus;
-      SubLimbsFrom(&out.limbs_, tmp);
+    Fp out;
+    fp_detail::uint128 borrow = 0;
+    for (int i = 0; i < 4; ++i) {
+      fp_detail::uint128 cur =
+          static_cast<fp_detail::uint128>(limbs_[i]) - o.limbs_[i] - borrow;
+      out.limbs_[i] = static_cast<uint64_t>(cur);
+      borrow = (cur >> 64) & 1;
+    }
+    // If a < b the wrapped difference is off by exactly 2^256 - p; adding
+    // p (masked by the final borrow) lands on a - b + p < p.
+    const uint64_t mask = 0 - static_cast<uint64_t>(borrow);
+    const std::array<uint64_t, 4>& p = params().modulus;
+    fp_detail::uint128 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      fp_detail::uint128 sum =
+          static_cast<fp_detail::uint128>(out.limbs_[i]) + (p[i] & mask) + carry;
+      out.limbs_[i] = static_cast<uint64_t>(sum);
+      carry = sum >> 64;
     }
     return out;
   }
@@ -154,6 +181,68 @@ class Fp {
   const std::array<uint64_t, 4>& limbs() const { return limbs_; }
 
   std::string ToString() const { return ToBigUInt().ToDecimal(); }
+
+  // --- Batch (SIMD-dispatched) operations ---------------------------------
+  //
+  // out[i] = a[i] * b[i] for i in [0, n). The lane-aligned prefix goes
+  // through the process-wide SIMD backend (src/ff/fp_simd.h); the tail uses
+  // the scalar CIOS path. Outputs are bit-identical either way, so callers
+  // never need to care which kernel ran. Elementwise aliasing (out == a,
+  // out == b) is allowed.
+  static void MulBatch(const Fp* a, const Fp* b, Fp* out, size_t n) {
+    static_assert(sizeof(Fp) == 4 * sizeof(uint64_t),
+                  "batch kernels assume Fp is 4 packed limbs");
+    static_assert(std::is_standard_layout<Fp>::value,
+                  "batch kernels reinterpret Fp arrays as limb arrays");
+    const fp_simd::Backend& be = fp_simd::ActiveBackend();
+    const size_t main = be.mont_mul == nullptr ? 0 : n - n % be.lanes;
+    if (main != 0) {
+      be.mont_mul(reinterpret_cast<const uint64_t*>(a),
+                  reinterpret_cast<const uint64_t*>(b),
+                  reinterpret_cast<uint64_t*>(out), main,
+                  params().modulus.data(), params().inv);
+    }
+    for (size_t i = main; i < n; ++i) {
+      out[i].limbs_ = MontMul(a[i].limbs_, b[i].limbs_);
+    }
+  }
+
+  static void SquareBatch(const Fp* a, Fp* out, size_t n) {
+    MulBatch(a, a, out, n);
+  }
+
+  // Montgomery -> standard form for n elements (the batch analogue of the
+  // conversion inside ToBigUInt): out[i] = in[i] * 2^-256 mod p.
+  static void ToStdLimbsBatch(const Fp* in, std::array<uint64_t, 4>* out,
+                              size_t n) {
+    constexpr size_t kBlock = 64;
+    Fp ones[kBlock];
+    Fp res[kBlock];
+    for (size_t i = 0; i < kBlock; ++i) {
+      ones[i].limbs_ = {1, 0, 0, 0};  // raw 1: MontMul(x, 1) leaves Montgomery form
+    }
+    for (size_t base = 0; base < n; base += kBlock) {
+      const size_t len = n - base < kBlock ? n - base : kBlock;
+      MulBatch(in + base, ones, res, len);
+      for (size_t i = 0; i < len; ++i) {
+        out[base + i] = res[i].limbs_;
+      }
+    }
+  }
+
+  // Adopts raw Montgomery-form limbs (test and differential-harness hook).
+  static Fp FromMontLimbs(const std::array<uint64_t, 4>& limbs) {
+    NOPE_INVARIANT(!GreaterEqual(limbs, params().modulus),
+                   "FromMontLimbs: limbs must be canonical (< p)");
+    Fp out;
+    out.limbs_ = limbs;
+    return out;
+  }
+
+  // Lane width / name of the process-wide SIMD backend (1 / "scalar" when
+  // vector kernels are compiled out, disabled, or unsupported by the CPU).
+  static size_t SimdLanes() { return fp_simd::ActiveBackend().lanes; }
+  static const char* SimdBackendName() { return fp_simd::ActiveBackend().name; }
 
  private:
   static bool GreaterEqual(const std::array<uint64_t, 4>& a, const std::array<uint64_t, 4>& b) {
@@ -256,6 +345,53 @@ using Fq = Fp<Bn254FqTag>;    // BN254 base field
 using Fr = Fp<Bn254FrTag>;    // BN254 scalar field (R1CS constraint field)
 using P256Fq = Fp<P256FqTag>; // P-256 base field
 using P256Fn = Fp<P256FnTag>; // P-256 group order field
+
+// --- Generic batch helpers -------------------------------------------------
+//
+// Templated batch consumers (batch inversion, MSM bucket folds) run over
+// both the prime fields above and composite fields like Fp2 that have no
+// SIMD batch API. These helpers dispatch to the field's batch entry points
+// when they exist and fall back to elementwise operations otherwise.
+
+template <typename F, typename = void>
+struct FieldHasBatchOps : std::false_type {};
+template <typename F>
+struct FieldHasBatchOps<
+    F, std::void_t<decltype(F::MulBatch(static_cast<const F*>(nullptr),
+                                        static_cast<const F*>(nullptr),
+                                        static_cast<F*>(nullptr), size_t{0}))>>
+    : std::true_type {};
+
+template <typename F>
+inline void FieldMulBatch(const F* a, const F* b, F* out, size_t n) {
+  if constexpr (FieldHasBatchOps<F>::value) {
+    F::MulBatch(a, b, out, n);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = a[i] * b[i];
+    }
+  }
+}
+
+template <typename F>
+inline void FieldSquareBatch(const F* a, F* out, size_t n) {
+  if constexpr (FieldHasBatchOps<F>::value) {
+    F::SquareBatch(a, out, n);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = a[i].Square();
+    }
+  }
+}
+
+template <typename F>
+inline size_t FieldSimdLanes() {
+  if constexpr (FieldHasBatchOps<F>::value) {
+    return F::SimdLanes();
+  } else {
+    return 1;
+  }
+}
 
 }  // namespace nope
 

@@ -1,0 +1,67 @@
+// Runtime-dispatched interleaved Montgomery kernels for the 4x64-limb prime
+// fields (src/ff/fp.h).
+//
+// The kernels multiply several independent field elements per pass — lanes
+// of a vector register each carry one element — so they accelerate *batches*
+// of independent multiplications (MSM bucket folds, batch inversion, batch
+// Jacobian->affine, per-wire Montgomery conversions), not a single serial
+// chain. The backend is picked once per process from CPU features and the
+// NOPE_SIMD environment variable; the scalar CIOS path in fp.h remains
+// compiled-in as the differential reference and as the tail/fallback path.
+//
+// Bit-identity contract: every kernel computes a*b*2^-256 mod p with a final
+// conditional subtraction to the canonical representative < p, exactly like
+// the scalar MontMul. The internal radix (2^32 for AVX2/AVX-512/NEON vs the
+// scalar 2^64) does not change the result, so outputs are bit-identical
+// limb-for-limb across backends for every input — pinned by
+// tests/fp_simd_test.cc across all four moduli.
+#ifndef SRC_FF_FP_SIMD_H_
+#define SRC_FF_FP_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nope {
+namespace fp_simd {
+
+// One interleaved Montgomery-multiplication kernel: computes
+// out[e] = a[e] * b[e] * 2^-256 mod p for e in [0, count), where each
+// element is 4 little-endian uint64 limbs, canonical (< p), and count is a
+// multiple of the backend's lane width. `p` points at the 4 modulus limbs
+// and `inv` is -p^{-1} mod 2^64 (FpParams::inv). Elementwise aliasing of
+// out with a and/or b is allowed.
+using MontMulBatchFn = void (*)(const uint64_t* a, const uint64_t* b,
+                                uint64_t* out, size_t count,
+                                const uint64_t* p, uint64_t inv);
+
+struct Backend {
+  MontMulBatchFn mont_mul;  // null for the scalar backend
+  size_t lanes;             // elements per kernel pass (1 for scalar)
+  const char* name;         // "scalar", "avx2", "avx512", "neon"
+};
+
+// The backend selected for this process: the widest kernel both compiled in
+// (CMake option NOPE_SIMD) and supported by the running CPU, unless the
+// NOPE_SIMD environment variable narrows it:
+//   off / 0 / scalar  -> force the scalar CIOS path
+//   avx2 / avx512 / neon -> request that kernel, falling back to the next
+//                           narrower available one
+//   on / auto / unset -> widest available
+// Initialization is a C++11 magic static: concurrent first calls are safe
+// (pinned under TSan by tests/fp_simd_test.cc).
+const Backend& ActiveBackend();
+
+// Kernel entry points. Definitions exist only when the matching translation
+// unit is compiled in (gated on architecture and the NOPE_SIMD build
+// option); they are referenced only by the dispatcher under the same gates.
+void MontMulBatchAvx2(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                      size_t count, const uint64_t* p, uint64_t inv);
+void MontMulBatchAvx512(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                        size_t count, const uint64_t* p, uint64_t inv);
+void MontMulBatchNeon(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                      size_t count, const uint64_t* p, uint64_t inv);
+
+}  // namespace fp_simd
+}  // namespace nope
+
+#endif  // SRC_FF_FP_SIMD_H_

@@ -1,0 +1,168 @@
+// 4-way interleaved Montgomery multiplication for AVX2.
+//
+// The four multiplications run "vertically": vector j holds 32-bit limb j of
+// all four operands (zero-extended into the 64-bit lanes), and one CIOS
+// schedule advances all four multiplications together. Radix 2^32 (8 limbs
+// per 256-bit element) is what makes this possible on AVX2: vpmuludq
+// multiplies the low 32 bits of each 64-bit lane into a full 64-bit product,
+// and a partial sum t[j] + a_j*b_i + carry is at most
+// (2^32-1)^2 + 2*(2^32-1) = 2^64 - 1, so it never overflows a lane.
+//
+// The radix does not change results: CIOS with beta = 2^32 over 8 limbs
+// computes the same a*b*2^-256 mod p, with the same final conditional
+// subtraction to the canonical representative, as the scalar beta = 2^64
+// path — outputs are bit-identical limb-for-limb (tests/fp_simd_test.cc).
+//
+// The extra carry limb (t[8], one 32-bit digit above the 256-bit result)
+// matters for P-256's base field: p is within 2^-32 of 2^256, so the
+// pre-subtraction value t < 2p genuinely occupies 257 bits.
+//
+// I/O runs through full-width 4x4 transposes (unpack + 128-bit permutes)
+// rather than per-lane scalar gathers, and the conditional subtraction is a
+// branchless borrow-propagated vector subtract + blend — see the AVX-512
+// kernel for the same structure at 8 lanes.
+#include <cstddef>
+#include <cstdint>
+
+#include "src/ff/fp_simd.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace nope {
+namespace fp_simd {
+namespace {
+
+// Loads 4 elements (16 consecutive limbs) and returns them limb-major:
+// lv[t] holds limb t of all four elements.
+inline void LoadTransposed(const uint64_t* src, __m256i lv[4]) {
+  const __m256i v0 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src));  // e0
+  const __m256i v1 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 4));  // e1
+  const __m256i v2 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 8));  // e2
+  const __m256i v3 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 12));  // e3
+  const __m256i t0 = _mm256_unpacklo_epi64(v0, v1);  // [e0l0 e1l0 e0l2 e1l2]
+  const __m256i t1 = _mm256_unpackhi_epi64(v0, v1);  // [e0l1 e1l1 e0l3 e1l3]
+  const __m256i t2 = _mm256_unpacklo_epi64(v2, v3);
+  const __m256i t3 = _mm256_unpackhi_epi64(v2, v3);
+  lv[0] = _mm256_permute2x128_si256(t0, t2, 0x20);
+  lv[1] = _mm256_permute2x128_si256(t1, t3, 0x20);
+  lv[2] = _mm256_permute2x128_si256(t0, t2, 0x31);
+  lv[3] = _mm256_permute2x128_si256(t1, t3, 0x31);
+}
+
+// Inverse of LoadTransposed.
+inline void StoreTransposed(uint64_t* dst, const __m256i lv[4]) {
+  const __m256i t0 = _mm256_unpacklo_epi64(lv[0], lv[1]);  // [e0l0 e0l1 e2l0 e2l1]
+  const __m256i t1 = _mm256_unpackhi_epi64(lv[0], lv[1]);  // [e1l0 e1l1 e3l0 e3l1]
+  const __m256i t2 = _mm256_unpacklo_epi64(lv[2], lv[3]);
+  const __m256i t3 = _mm256_unpackhi_epi64(lv[2], lv[3]);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                      _mm256_permute2x128_si256(t0, t2, 0x20));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 4),
+                      _mm256_permute2x128_si256(t1, t3, 0x20));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 8),
+                      _mm256_permute2x128_si256(t0, t2, 0x31));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 12),
+                      _mm256_permute2x128_si256(t1, t3, 0x31));
+}
+
+}  // namespace
+
+void MontMulBatchAvx2(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                      size_t count, const uint64_t* p, uint64_t inv) {
+  const __m256i mask32 = _mm256_set1_epi64x(0xffffffffll);
+  __m256i pv[8];
+  for (int t = 0; t < 4; ++t) {
+    pv[2 * t] = _mm256_set1_epi64x(static_cast<long long>(p[t] & 0xffffffffu));
+    pv[2 * t + 1] = _mm256_set1_epi64x(static_cast<long long>(p[t] >> 32));
+  }
+  const __m256i invv =
+      _mm256_set1_epi64x(static_cast<long long>(inv & 0xffffffffu));
+
+  for (size_t g = 0; g + 4 <= count; g += 4) {
+    __m256i al[4];
+    __m256i bl[4];
+    LoadTransposed(a + 4 * g, al);
+    LoadTransposed(b + 4 * g, bl);
+    __m256i av[8];
+    __m256i bv[8];
+#pragma GCC unroll 4
+    for (int t = 0; t < 4; ++t) {
+      av[2 * t] = _mm256_and_si256(al[t], mask32);
+      av[2 * t + 1] = _mm256_srli_epi64(al[t], 32);
+      bv[2 * t] = _mm256_and_si256(bl[t], mask32);
+      bv[2 * t + 1] = _mm256_srli_epi64(bl[t], 32);
+    }
+
+    __m256i tv[10];
+    for (int j = 0; j < 10; ++j) {
+      tv[j] = _mm256_setzero_si256();
+    }
+#pragma GCC unroll 8
+    for (int i = 0; i < 8; ++i) {
+      // Multiplication step: t += a * b_i.
+      __m256i bi = bv[i];
+      __m256i carry = _mm256_setzero_si256();
+#pragma GCC unroll 8
+      for (int j = 0; j < 8; ++j) {
+        __m256i cur = _mm256_add_epi64(
+            _mm256_add_epi64(tv[j], _mm256_mul_epu32(av[j], bi)), carry);
+        tv[j] = _mm256_and_si256(cur, mask32);
+        carry = _mm256_srli_epi64(cur, 32);
+      }
+      __m256i cur = _mm256_add_epi64(tv[8], carry);
+      tv[8] = _mm256_and_si256(cur, mask32);
+      tv[9] = _mm256_srli_epi64(cur, 32);
+
+      // Reduction step: add m*p so t becomes divisible by 2^32.
+      __m256i m = _mm256_and_si256(_mm256_mul_epu32(tv[0], invv), mask32);
+      cur = _mm256_add_epi64(tv[0], _mm256_mul_epu32(m, pv[0]));
+      carry = _mm256_srli_epi64(cur, 32);
+#pragma GCC unroll 7
+      for (int j = 1; j < 8; ++j) {
+        cur = _mm256_add_epi64(
+            _mm256_add_epi64(tv[j], _mm256_mul_epu32(m, pv[j])), carry);
+        tv[j - 1] = _mm256_and_si256(cur, mask32);
+        carry = _mm256_srli_epi64(cur, 32);
+      }
+      cur = _mm256_add_epi64(tv[8], carry);
+      tv[7] = _mm256_and_si256(cur, mask32);
+      tv[8] = _mm256_add_epi64(tv[9], _mm256_srli_epi64(cur, 32));
+    }
+
+    // Branchless conditional subtraction in the digit domain: d = t - p with
+    // borrow propagation; keep t in lanes where t < p (d went negative),
+    // take d elsewhere. t < 2p, so t[8] and the borrows are 0 or 1.
+    __m256i borrow = _mm256_setzero_si256();
+    __m256i d[8];
+#pragma GCC unroll 8
+    for (int j = 0; j < 8; ++j) {
+      __m256i sub = _mm256_sub_epi64(_mm256_sub_epi64(tv[j], pv[j]), borrow);
+      borrow = _mm256_srli_epi64(sub, 63);
+      d[j] = _mm256_and_si256(sub, mask32);
+    }
+    const __m256i fin = _mm256_sub_epi64(tv[8], borrow);
+    // All-ones in lanes where fin < 0 (t < p): keep the unsubtracted t.
+    const __m256i keep = _mm256_cmpgt_epi64(_mm256_setzero_si256(), fin);
+#pragma GCC unroll 8
+    for (int j = 0; j < 8; ++j) {
+      tv[j] = _mm256_blendv_epi8(d[j], tv[j], keep);
+    }
+
+    __m256i rl[4];
+    for (int t = 0; t < 4; ++t) {
+      rl[t] = _mm256_or_si256(tv[2 * t], _mm256_slli_epi64(tv[2 * t + 1], 32));
+    }
+    StoreTransposed(out + 4 * g, rl);
+  }
+}
+
+}  // namespace fp_simd
+}  // namespace nope
+
+#endif  // __AVX2__

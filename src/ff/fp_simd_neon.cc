@@ -1,0 +1,131 @@
+// 2-way interleaved Montgomery multiplication for AArch64 NEON.
+//
+// Same vertical radix-2^32 CIOS schedule as the AVX2 kernel (see
+// fp_simd_avx2.cc for the carry analysis and the bit-identity argument).
+// NEON's 128-bit registers carry two elements per pass: the 32-bit input
+// digits live in uint32x2_t vectors and vmull_u32 widens each 32x32 product
+// into a uint64x2_t accumulator lane.
+#include <cstddef>
+#include <cstdint>
+
+#include "src/ff/fp_simd.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace nope {
+namespace fp_simd {
+namespace {
+
+inline bool GeLimbs(const uint64_t a[4], const uint64_t p[4]) {
+  for (int i = 3; i >= 0; --i) {
+    if (a[i] != p[i]) {
+      return a[i] > p[i];
+    }
+  }
+  return true;
+}
+
+inline void SubLimbs(uint64_t a[4], const uint64_t p[4]) {
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 rhs = static_cast<unsigned __int128>(p[i]) + borrow;
+    unsigned __int128 lhs = a[i];
+    if (lhs >= rhs) {
+      a[i] = static_cast<uint64_t>(lhs - rhs);
+      borrow = 0;
+    } else {
+      a[i] = static_cast<uint64_t>((static_cast<unsigned __int128>(1) << 64) +
+                                   lhs - rhs);
+      borrow = 1;
+    }
+  }
+}
+
+inline uint32x2_t Lo32Pair(uint64_t e0, uint64_t e1) {
+  uint64x2_t wide = {e0, e1};
+  return vmovn_u64(wide);
+}
+
+}  // namespace
+
+void MontMulBatchNeon(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                      size_t count, const uint64_t* p, uint64_t inv) {
+  const uint64x2_t mask32 = vdupq_n_u64(0xffffffffull);
+  uint32x2_t pv[8];
+  for (int t = 0; t < 4; ++t) {
+    pv[2 * t] = vdup_n_u32(static_cast<uint32_t>(p[t] & 0xffffffffu));
+    pv[2 * t + 1] = vdup_n_u32(static_cast<uint32_t>(p[t] >> 32));
+  }
+  const uint32x2_t invv = vdup_n_u32(static_cast<uint32_t>(inv & 0xffffffffu));
+
+  for (size_t g = 0; g + 2 <= count; g += 2) {
+    const uint64_t* ag = a + 4 * g;
+    const uint64_t* bg = b + 4 * g;
+    uint32x2_t av[8];
+    uint32x2_t bv[8];
+    for (int t = 0; t < 4; ++t) {
+      av[2 * t] = Lo32Pair(ag[t] & 0xffffffffu, ag[4 + t] & 0xffffffffu);
+      av[2 * t + 1] = Lo32Pair(ag[t] >> 32, ag[4 + t] >> 32);
+      bv[2 * t] = Lo32Pair(bg[t] & 0xffffffffu, bg[4 + t] & 0xffffffffu);
+      bv[2 * t + 1] = Lo32Pair(bg[t] >> 32, bg[4 + t] >> 32);
+    }
+
+    uint64x2_t tv[10];
+    for (int j = 0; j < 10; ++j) {
+      tv[j] = vdupq_n_u64(0);
+    }
+    for (int i = 0; i < 8; ++i) {
+      // Multiplication step: t += a * b_i.
+      uint32x2_t bi = bv[i];
+      uint64x2_t carry = vdupq_n_u64(0);
+      for (int j = 0; j < 8; ++j) {
+        uint64x2_t cur = vaddq_u64(vaddq_u64(tv[j], vmull_u32(av[j], bi)),
+                                   carry);
+        tv[j] = vandq_u64(cur, mask32);
+        carry = vshrq_n_u64(cur, 32);
+      }
+      uint64x2_t cur = vaddq_u64(tv[8], carry);
+      tv[8] = vandq_u64(cur, mask32);
+      tv[9] = vshrq_n_u64(cur, 32);
+
+      // Reduction step: add m*p so t becomes divisible by 2^32.
+      uint32x2_t m = vmovn_u64(vmull_u32(vmovn_u64(tv[0]), invv));
+      cur = vaddq_u64(tv[0], vmull_u32(m, pv[0]));
+      carry = vshrq_n_u64(cur, 32);
+      for (int j = 1; j < 8; ++j) {
+        cur = vaddq_u64(vaddq_u64(tv[j], vmull_u32(m, pv[j])), carry);
+        tv[j - 1] = vandq_u64(cur, mask32);
+        carry = vshrq_n_u64(cur, 32);
+      }
+      cur = vaddq_u64(tv[8], carry);
+      tv[7] = vandq_u64(cur, mask32);
+      tv[8] = vaddq_u64(tv[9], vshrq_n_u64(cur, 32));
+    }
+
+    uint64_t r[4][2];
+    uint64_t c8[2];
+    for (int t = 0; t < 4; ++t) {
+      uint64x2_t limb = vorrq_u64(tv[2 * t], vshlq_n_u64(tv[2 * t + 1], 32));
+      vst1q_u64(r[t], limb);
+    }
+    vst1q_u64(c8, tv[8]);
+    for (int e = 0; e < 2; ++e) {
+      uint64_t res[4] = {r[0][e], r[1][e], r[2][e], r[3][e]};
+      if (c8[e] != 0 || GeLimbs(res, p)) {
+        SubLimbs(res, p);
+      }
+      uint64_t* o = out + 4 * (g + e);
+      o[0] = res[0];
+      o[1] = res[1];
+      o[2] = res[2];
+      o[3] = res[3];
+    }
+  }
+}
+
+}  // namespace fp_simd
+}  // namespace nope
+
+#endif  // __aarch64__

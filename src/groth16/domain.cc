@@ -4,6 +4,7 @@
 
 #include "src/base/check.h"
 #include "src/base/threadpool.h"
+#include "src/ec/batch_affine.h"
 
 namespace nope {
 
@@ -112,24 +113,10 @@ void FftInternal(std::vector<Fr>* a, size_t log_n, const Fr& omega,
 void BatchInvert(std::vector<Fr>* values) {
   const size_t n = values->size();
   if (n < 2 * kBatchInvertBlock) {
-    // Serial Montgomery trick.
-    std::vector<Fr> prefix(n);
-    Fr acc = Fr::One();
-    for (size_t i = 0; i < n; ++i) {
-      prefix[i] = acc;
-      if (!(*values)[i].IsZero()) {
-        acc = acc * (*values)[i];
-      }
-    }
-    Fr inv = acc.Inverse();
-    for (size_t i = n; i-- > 0;) {
-      if ((*values)[i].IsZero()) {
-        continue;
-      }
-      Fr orig = (*values)[i];
-      (*values)[i] = inv * prefix[i];
-      inv = inv * orig;
-    }
+    // Single-threaded Montgomery trick; BatchInvertField splits the chain
+    // across SIMD lanes when a vector backend is active. Inverses are
+    // unique, so the outputs cannot depend on the chain layout.
+    BatchInvertField(values);
     return;
   }
 

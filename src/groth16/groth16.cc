@@ -1,6 +1,7 @@
 #include "src/groth16/groth16.h"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 #include "src/base/threadpool.h"
@@ -212,13 +213,24 @@ G2 DecodeG2(const Bytes& bytes) {
 // output bytes.
 constexpr size_t kProveMinChunk = 256;
 
+// Montgomery -> standard-form conversion of a whole wire vector. The
+// conversion is one Montgomery multiply by 1 per element, so it batches
+// through the SIMD backend (Fr::ToStdLimbsBatch) in fixed-size blocks;
+// values are canonical either way, so output bytes cannot depend on the
+// backend or the partitioning.
 std::vector<BigUInt> ToScalars(const std::vector<Fr>& values, size_t begin, size_t end) {
+  constexpr size_t kBlock = 64;
   std::vector<BigUInt> out(end - begin);
   ThreadPool::Global().ParallelFor(
       0, end - begin, ThreadPool::ComputeMinChunk(end - begin, kProveMinChunk),
       [&](size_t lo, size_t hi) {
-        for (size_t i = lo; i < hi; ++i) {
-          out[i] = values[begin + i].ToBigUInt();
+        std::array<uint64_t, 4> limbs[kBlock];
+        for (size_t i = lo; i < hi; i += kBlock) {
+          const size_t cnt = std::min(kBlock, hi - i);
+          Fr::ToStdLimbsBatch(&values[begin + i], limbs, cnt);
+          for (size_t j = 0; j < cnt; ++j) {
+            out[i + j] = BigUInt::FromLimbsLE(limbs[j].data(), 4);
+          }
         }
       });
   return out;
@@ -506,8 +518,14 @@ ProveResult Prove(const ProvingKey& pk, const ConstraintSystem& cs, Rng* rng,
   std::vector<BigUInt> h_scalars(n - 1);
   pool.ParallelFor(0, n - 1, ThreadPool::ComputeMinChunk(n - 1, kProveMinChunk),
                    [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      h_scalars[i] = h[i].ToBigUInt();
+    constexpr size_t kBlock = 64;
+    std::array<uint64_t, 4> limbs[kBlock];
+    for (size_t i = lo; i < hi; i += kBlock) {
+      const size_t cnt = std::min(kBlock, hi - i);
+      Fr::ToStdLimbsBatch(&h[i], limbs, cnt);
+      for (size_t j = 0; j < cnt; ++j) {
+        h_scalars[i + j] = BigUInt::FromLimbsLE(limbs[j].data(), 4);
+      }
     }
   }, &cancel);
   if (cancel.cancelled()) {

@@ -1,0 +1,76 @@
+// Prints FNV-1a digests of (a) a seeded 512-point G1 MSM's affine result and
+// (b) a seeded Groth16 proof's 128-byte encoding. Not a gtest: ci.sh runs
+// this binary under different NOPE_SIMD / NOPE_THREADS environments and
+// diffs the stdout, pinning the cross-process determinism contract (proof
+// bytes bit-identical across SIMD backends and thread counts). The env is
+// read once per process, so the comparison must span processes.
+#include <cstdint>
+#include <cstdio>
+
+#include "src/ec/msm.h"
+#include "src/groth16/groth16.h"
+
+namespace nope {
+namespace {
+
+uint64_t Fnv1a(const uint8_t* data, size_t n, uint64_t h = 0xcbf29ce484222325ull) {
+  for (size_t i = 0; i < n; ++i) {
+    h = (h ^ data[i]) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t MsmDigest() {
+  Rng rng(424242);
+  const size_t n = 512;
+  std::vector<G1> bases(n);
+  std::vector<BigUInt> scalars(n);
+  G1 acc = G1Generator();
+  for (size_t i = 0; i < n; ++i) {
+    bases[i] = acc;
+    acc = acc.Double().Add(G1Generator());
+    scalars[i] = BigUInt::RandomBelow(&rng, Fr::params().modulus_big);
+  }
+  G1Affine res = Msm(bases, scalars).ToAffine();
+  Bytes enc = res.x.ToBigUInt().ToBytes(32);
+  Bytes enc_y = res.y.ToBigUInt().ToBytes(32);
+  uint64_t h = Fnv1a(enc.data(), enc.size());
+  h = Fnv1a(enc_y.data(), enc_y.size(), h);
+  return h;
+}
+
+uint64_t ProofDigest() {
+  ConstraintSystem cs;
+  Var x = cs.AddPublicInput(Fr::FromU64(35));
+  Var w = cs.AddWitness(Fr::FromU64(3));
+  Fr w_fr = Fr::FromU64(3);
+  Var w2 = cs.AddWitness(w_fr * w_fr);
+  Var w3 = cs.AddWitness(w_fr * w_fr * w_fr);
+  cs.Enforce(LC(w), LC(w), LC(w2));
+  cs.Enforce(LC(w2), LC(w), LC(w3));
+  cs.EnforceEqual(LC(w3) + LC(w) + LC::Constant(Fr::FromU64(5)), LC(x));
+
+  Rng rng(98765);
+  auto pk = groth16::Setup(cs, &rng);
+  auto proof = groth16::Prove(pk, cs, &rng);
+  if (!groth16::Verify(pk.vk, {Fr::FromU64(35)}, proof)) {
+    std::fprintf(stderr, "proof failed to verify\n");
+    std::exit(2);
+  }
+  Bytes enc = proof.ToBytes();
+  return Fnv1a(enc.data(), enc.size());
+}
+
+}  // namespace
+}  // namespace nope
+
+int main() {
+  // Backend name goes to stderr: stdout must be identical across backends
+  // so ci.sh can diff it directly.
+  std::fprintf(stderr, "backend=%s\n", nope::Fr::SimdBackendName());
+  std::printf("msm_digest=%016llx\n",
+              static_cast<unsigned long long>(nope::MsmDigest()));
+  std::printf("proof_digest=%016llx\n",
+              static_cast<unsigned long long>(nope::ProofDigest()));
+  return 0;
+}
