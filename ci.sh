@@ -1,7 +1,8 @@
 #!/bin/bash
 # CI entry point: plain tier-1 build + tests, then an ASan/UBSan build that
 # re-runs the fast tests plus the fault-injection and renewal-simulation
-# harnesses and a seeded ~200-scenario sweep of the scenario zoo, then a
+# harnesses, the R1CS optimizer-equivalence tests and reduced-budget gadget
+# audit, and a seeded ~200-scenario sweep of the scenario zoo, then a
 # TSan build (NOPE_SANITIZE=thread) that runs the thread-pool,
 # cross-thread-count determinism, and cancellation tests plus a small-fleet
 # replay of the fleet simulator.
@@ -27,13 +28,24 @@ SAN_TARGETS=(biguint_test hash_test field_test fp_simd_test curve_test
              clock_test timer_wheel_test cancellation_test renewal_sim_test
              key_cache_test service_test scenario_test fleet_sim_test
              verifier_soundness_test batch_verify_test)
-cmake --build build-san -j "$(nproc)" --target "${SAN_TARGETS[@]}" bench_scenario_sweep
+cmake --build build-san -j "$(nproc)" --target "${SAN_TARGETS[@]}" \
+  r1cs_opt_test gadget_audit_test bench_scenario_sweep
 
 echo "=== stage 4: sanitized tests ==="
 for t in "${SAN_TARGETS[@]}"; do
   echo "--- $t (ASan/UBSan) ---"
   ./build-san/tests/"$t"
 done
+
+echo "=== stage 4a: R1CS optimizer equivalence + gadget audit (ASan/UBSan) ==="
+# Optimizer unit + Map/Lift equivalence tests under the sanitizers; the
+# OptimizerStatement.* suite (full-statement builds plus Groth16 proving) is
+# minutes-long even unsanitized, so it runs in the plain tier-1 stage only.
+./build-san/tests/r1cs_opt_test --gtest_filter='Optimizer.*'
+# Full per-gadget mutation audit with a reduced per-gadget assignment budget
+# (the plain ctest run uses the default 1000); still runs every registered
+# gadget pre- and post-optimization and both broken fixtures.
+NOPE_AUDIT_BUDGET=100 ./build-san/tests/gadget_audit_test
 
 echo "=== stage 4b: seeded scenario sweep smoke (ASan/UBSan) ==="
 # ~200 generated DNSSEC/PKI scenarios through the full issuance/renewal/

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "src/r1cs/opt/optimizer.h"
+
 namespace nope {
 
 namespace {
@@ -76,7 +78,14 @@ NopeDeployment NopeTrustedSetup(DnssecHierarchy* dns, const DnsName& domain,
   }
   ConstraintSystem cs;
   BuildNopeStatement(&cs, deployment.params, sample);
-  deployment.pk = groth16::Setup(cs, rng);
+  if (options.optimize_circuit) {
+    // The optimizer is a pure function of the matrices, so the system built
+    // here from the sample witness and the one built at proving time from
+    // the real witness reduce to identical matrices (see src/r1cs/opt).
+    deployment.pk = groth16::Setup(Optimize(cs).cs, rng);
+  } else {
+    deployment.pk = groth16::Setup(cs, rng);
+  }
   return deployment;
 }
 
@@ -93,7 +102,11 @@ NopeProofBundle GenerateNopeProof(const NopeDeployment& deployment, DnssecHierar
   ConstraintSystem cs;
   BuildNopeStatement(&cs, deployment.params, witness);
   NopeProofBundle bundle;
-  bundle.proof = groth16::Prove(deployment.pk, cs, rng);
+  if (deployment.params.options.optimize_circuit) {
+    bundle.proof = groth16::Prove(deployment.pk, Optimize(cs).cs, rng);
+  } else {
+    bundle.proof = groth16::Prove(deployment.pk, cs, rng);
+  }
   bundle.sans = EncodeProofSans(bundle.proof.ToBytes(), domain);
   bundle.proof_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();

@@ -152,6 +152,7 @@ NativeCurve::Pt PointFromWire(const CryptoSuite& suite, const Bytes& key_bytes) 
 DnskeyParse ProcessDnskeyBuffer(Ctx* ctx, const SignedRrset& dnskey,
                                 const std::vector<LC>& d_bytes, const LC& name_off,
                                 const LC& snl) {
+  GadgetScope scope(ctx->cs, "DnskeyBuffer");
   size_t max_name = ctx->params->max_name_len;
   size_t kb = ctx->kb;
   Bytes buffer = BuildSigningBuffer(dnskey.rrsig, dnskey.rrset);
@@ -221,6 +222,7 @@ void ProcessDsBuffer(Ctx* ctx, const SignedRrset& ds, const std::vector<LC>& d_b
                      const LC& owner_off, const LC& owner_snl, const LC& signer_off,
                      const LC& signer_snl, const std::vector<LC>& child_ksk_rdata,
                      const EcGadget::Point* parent_zsk, const DnskeyRdata* root_rsa) {
+  GadgetScope scope(ctx->cs, "DsBuffer");
   size_t max_name = ctx->params->max_name_len;
   Bytes buffer = BuildSigningBuffer(ds.rrsig, ds.rrset);
 
@@ -318,6 +320,7 @@ void ProcessManagedTxt(Ctx* ctx, const SignedRrset& txt, const std::vector<LC>& 
                        const std::vector<LC>& binding) {
   constexpr size_t kMaxTxtRecords = 4;
   ConstraintSystem* cs = ctx->cs;
+  GadgetScope scope(cs, "ManagedTxt");
   size_t max_name = ctx->params->max_name_len;
   if (txt.rrset.rdatas.size() > kMaxTxtRecords) {
     throw std::length_error("too many TXT records for the managed statement");

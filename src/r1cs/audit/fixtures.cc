@@ -1,0 +1,61 @@
+#include "src/r1cs/audit/fixtures.h"
+
+#include "src/r1cs/parse_gadgets.h"
+
+namespace nope {
+namespace {
+
+class BrokenIsNonZero : public Gadget {
+ public:
+  std::string name() const override { return "broken_is_nonzero"; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    Fr xv = rng->NextBelow(2) == 0 ? Fr::Zero() : Fr::FromU64(1 + rng->NextBelow(1000));
+    Var x = cs->AddWitness(xv);
+    Var out = cs->AddWitness(xv.IsZero() ? Fr::Zero() : Fr::One());
+    // BUG (intentional): booleanity alone; the x*(out-1)==0 / MapNonZeroToZero
+    // linkage a real is-nonzero gadget needs is missing.
+    cs->EnforceBoolean(out);
+    return GadgetIo{{LC(x)}, {LC(out)}};
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    Fr x = EvalLc(io.inputs[0], values);
+    Fr out = EvalLc(io.outputs[0], values);
+    return out == (x.IsZero() ? Fr::Zero() : Fr::One());
+  }
+};
+
+class BrokenRangeCheck : public Gadget {
+ public:
+  std::string name() const override { return "broken_range_check"; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    // Spec-valid domain is any byte; draw from the top half, which is where
+    // the bug bites, so the fixture reproduces on every seed.
+    uint64_t v = 128 + rng->NextBelow(128);
+    Var x = cs->AddWitness(Fr::FromU64(v));
+    // BUG (intentional): one bit short — the recomposition equality rejects
+    // every honest value >= 128.
+    ToBits(cs, LC(x), 7);
+    return GadgetIo{{}, {LC(x)}};
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    return EvalLc(io.outputs[0], values).ToBigUInt() <= BigUInt(255);
+  }
+};
+
+}  // namespace
+
+const Gadget& BrokenIsNonZeroGadget() {
+  static const BrokenIsNonZero g;
+  return g;
+}
+
+const Gadget& BrokenRangeCheckGadget() {
+  static const BrokenRangeCheck g;
+  return g;
+}
+
+}  // namespace nope

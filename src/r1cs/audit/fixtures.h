@@ -1,0 +1,25 @@
+// Deliberately broken gadgets used to prove the audit harness has teeth.
+// Both are negative fixtures for tests and CI only — never registered in
+// StandardGadgets().
+#ifndef SRC_R1CS_AUDIT_FIXTURES_H_
+#define SRC_R1CS_AUDIT_FIXTURES_H_
+
+#include "src/r1cs/gadget.h"
+
+namespace nope {
+
+// Soundness hole (under-constrained): claims out == (x != 0), but only
+// enforces that `out` is boolean — nothing ties it to x. A one-variable
+// mutation flipping `out` satisfies the constraints and violates the spec;
+// the harness must report kSoundnessHole.
+const Gadget& BrokenIsNonZeroGadget();
+
+// Completeness hole (over-constrained): claims to range-check any byte in
+// [0, 256) but decomposes into only 7 bits, so every honest instance with a
+// value >= 128 has no satisfying witness; the harness must report
+// kHonestUnsatisfied.
+const Gadget& BrokenRangeCheckGadget();
+
+}  // namespace nope
+
+#endif  // SRC_R1CS_AUDIT_FIXTURES_H_

@@ -104,6 +104,7 @@ ModularGadget::Num ModularGadget::AllocWithValue(const BigUInt& v, size_t limbs,
 }
 
 ModularGadget::Num ModularGadget::Alloc(const BigUInt& v) {
+  GadgetScope scope(cs_, "BignumAlloc");
   return AllocWithValue(v % modulus_, num_limbs_, limb_bits_);
 }
 
@@ -478,6 +479,7 @@ void ModularGadget::EnforceEqualMod(const Num& x, const Num& y) {
 void ModularGadget::EnforceZeroMod(const Num& x) { EnforceBilinearZero({}, {x}, {}); }
 
 ModularGadget::Num ModularGadget::MulMod(const Num& x, const Num& y) {
+  GadgetScope scope(cs_, "BignumMulMod");
   BigUInt value = (ValueOf(x) * ValueOf(y)) % modulus_;
   Num z = Alloc(value);
   EnforceBilinearZero({{x, y}}, {}, {z});
@@ -485,6 +487,7 @@ ModularGadget::Num ModularGadget::MulMod(const Num& x, const Num& y) {
 }
 
 ModularGadget::Num ModularGadget::NaiveMulMod(const Num& x, const Num& y) {
+  GadgetScope scope(cs_, "BignumNaiveMulMod");
   // Schoolbook limb products.
   size_t nx = x.limbs.size();
   size_t ny = y.limbs.size();

@@ -27,7 +27,8 @@ using Var = uint32_t;
 constexpr Var kOneVar = 0;
 
 // Sparse linear combination sum_i coeff_i * var_i. Kept unsorted; duplicate
-// variables are allowed (they add).
+// variables are allowed (they add). Canonicalize() produces the sorted,
+// merged, zero-free form the optimizer passes operate on.
 class LinearCombination {
  public:
   LinearCombination() = default;
@@ -38,6 +39,16 @@ class LinearCombination {
   LinearCombination operator+(const LinearCombination& o) const;
   LinearCombination operator-(const LinearCombination& o) const;
   LinearCombination operator*(const Fr& s) const;
+
+  // Sorts terms by variable id, merges duplicates, drops zero coefficients.
+  // Evaluation under any assignment is unchanged.
+  LinearCombination& Canonicalize();
+
+  // True when every term is on the constant-one variable (vacuously for the
+  // empty combination); such a combination evaluates to ConstantValue()
+  // under every assignment.
+  bool IsConstant() const;
+  Fr ConstantValue() const;
 
   const std::vector<std::pair<Var, Fr>>& terms() const { return terms_; }
   bool IsEmpty() const { return terms_.empty(); }
@@ -52,6 +63,24 @@ struct Constraint {
   LC a;
   LC b;
   LC c;
+};
+
+// Evaluates a linear combination under an explicit assignment (values[v] for
+// every variable the combination mentions; values[0] must be 1).
+Fr EvalLc(const LC& lc, const std::vector<Fr>& values);
+
+// A named half-open region of constraints and variables, recorded by
+// BeginScope/EndScope. Gadgets annotate their synthesis with scopes so the
+// optimizer's density report (and the audit harness) can attribute
+// constraints and aux wires to the gadget instance that emitted them.
+// Spans nest properly; `depth` is 0 for top-level scopes.
+struct ScopeSpan {
+  std::string name;
+  size_t depth = 0;
+  size_t first_constraint = 0;
+  size_t num_constraints = 0;
+  size_t first_var = 0;
+  size_t num_vars = 0;
 };
 
 class ConstraintSystem {
@@ -88,6 +117,18 @@ class ConstraintSystem {
   // first violated constraint in *bad if non-null.
   bool IsSatisfied(size_t* bad = nullptr) const;
 
+  // Like IsSatisfied but against an externally supplied assignment using the
+  // same variable indexing (values.size() == NumVariables(), values[0] == 1).
+  // The audit harness uses this to test mutated assignments without touching
+  // the system's own witness.
+  bool SatisfiedBy(const std::vector<Fr>& values, size_t* bad = nullptr) const;
+
+  // Scope annotations: cheap bookkeeping in both modes. Every BeginScope
+  // must be matched by an EndScope; unbalanced calls throw.
+  void BeginScope(std::string name);
+  void EndScope();
+  const std::vector<ScopeSpan>& scopes() const { return scopes_; }
+
   // Overwrites the value of a variable. Used by negative tests to corrupt a
   // witness and check that proofs over it are rejected.
   void SetValueForTest(Var v, const Fr& value) { values_[v] = value; }
@@ -99,6 +140,23 @@ class ConstraintSystem {
   size_t num_constraints_ = 0;
   std::vector<Fr> values_;
   std::vector<Constraint> constraints_;
+  std::vector<ScopeSpan> scopes_;
+  std::vector<size_t> open_scopes_;  // indices into scopes_, innermost last
+};
+
+// RAII scope annotation: `GadgetScope scope(cs, "ToBits");` marks every
+// constraint and variable emitted until the end of the block.
+class GadgetScope {
+ public:
+  GadgetScope(ConstraintSystem* cs, std::string name) : cs_(cs) {
+    cs_->BeginScope(std::move(name));
+  }
+  ~GadgetScope() { cs_->EndScope(); }
+  GadgetScope(const GadgetScope&) = delete;
+  GadgetScope& operator=(const GadgetScope&) = delete;
+
+ private:
+  ConstraintSystem* cs_;
 };
 
 }  // namespace nope

@@ -108,6 +108,7 @@ EcGadget::EcGadget(ConstraintSystem* cs, const CurveSpec& spec, Technique techni
       aux_seed_(aux_seed) {}
 
 EcGadget::Point EcGadget::AllocPoint(const NativeCurve::Pt& value) {
+  GadgetScope scope(cs_, "EcAllocPoint");
   if (value.infinity) {
     throw std::invalid_argument("cannot allocate the point at infinity");
   }
@@ -156,6 +157,7 @@ EcGadget::Point EcGadget::AddInternal(const Point& p, const Point& q, bool doubl
 }
 
 EcGadget::Point EcGadget::AddHint(const Point& p, const Point& q, bool doubling) {
+  GadgetScope scope(cs_, "EcAddHint");
   NativeCurve::Pt r_val = doubling ? native_.Double(p.value) : native_.Add(p.value, q.value);
   // The prover supplies R; constraints check collinearity/tangency plus that
   // R lies on the curve (§5.2).
@@ -192,6 +194,7 @@ EcGadget::Point EcGadget::AddHint(const Point& p, const Point& q, bool doubling)
 }
 
 EcGadget::Point EcGadget::AddNaive(const Point& p, const Point& q, bool doubling) {
+  GadgetScope scope(cs_, "EcAddNaive");
   // Classic affine formulas with witnessed inverse and a full modular
   // reduction after every multiplication (the pre-NOPE baseline).
   const BigUInt& prime = spec_.p;
@@ -345,6 +348,7 @@ void EcGadget::EnforceMsmZero(const std::vector<std::vector<Var>>& bits_msb,
   if (bits_msb.size() != points.size() || points.empty() || points.size() > 6) {
     throw std::invalid_argument("Msm shape mismatch");
   }
+  GadgetScope scope(cs_, "EcMsmZero");
   size_t m = points.size();
   size_t nbits = bits_msb[0].size();
   for (const auto& b : bits_msb) {

@@ -33,6 +33,7 @@ void PadBitsMsb(ConstraintSystem* cs, std::vector<std::vector<Var>>* bit_sets) {
 void EnforceEcdsaVerify(EcGadget* ec, const EcGadget::Point& pub_key,
                         const ModularGadget::Num& z, const ModularGadget::Num& r,
                         const ModularGadget::Num& s, EcdsaMsmMode mode) {
+  GadgetScope scope(ec->field().cs(), "EcdsaVerify");
   ModularGadget& fn = ec->scalar_field();
   ModularGadget& fp = ec->field();
   const CurveSpec& spec = ec->native().spec();
@@ -131,6 +132,7 @@ void EnforceEcdsaVerify(EcGadget* ec, const EcGadget::Point& pub_key,
 
 void EnforceKnowledgeOfPrivateKey(EcGadget* ec, const EcGadget::Point& pub_key,
                                   const BigUInt& private_key) {
+  GadgetScope scope(ec->field().cs(), "KskKnowledge");
   ModularGadget& fn = ec->scalar_field();
   ModularGadget::Num d = fn.Alloc(private_key);
   std::vector<std::vector<Var>> bits = {ec->ScalarBitsMsb(d)};

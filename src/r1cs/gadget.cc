@@ -1,0 +1,857 @@
+#include "src/r1cs/gadget.h"
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "src/base/biguint.h"
+#include "src/base/sha256.h"
+#include "src/r1cs/bignum_gadget.h"
+#include "src/r1cs/ec_gadget.h"
+#include "src/r1cs/ecdsa_gadget.h"
+#include "src/r1cs/mimc_gadget.h"
+#include "src/r1cs/parse_gadgets.h"
+#include "src/r1cs/rsa_gadget.h"
+#include "src/r1cs/sha256_gadget.h"
+#include "src/r1cs/toy_curve.h"
+#include "src/sig/rsa.h"
+
+namespace nope {
+namespace {
+
+// Decodes v as a small integer; false when v > limit (e.g. a mutated field
+// element outside the gadget's documented domain).
+bool AsSmallU64(const Fr& v, uint64_t limit, uint64_t* out) {
+  BigUInt b = v.ToBigUInt();
+  if (b > BigUInt(limit)) {
+    return false;
+  }
+  *out = b.LowU64();
+  return true;
+}
+
+Fr U64Fr(uint64_t v) { return Fr::FromU64(v); }
+
+// Integer value of a bignum under an explicit assignment (limbs are
+// little-endian with weight 2^(limb_bits * i)).
+BigUInt NumValue(const ModularGadget::Num& num, const std::vector<Fr>& values,
+                 size_t limb_bits) {
+  BigUInt acc;
+  for (size_t i = num.limbs.size(); i-- > 0;) {
+    acc = (acc << limb_bits) + EvalLc(num.limbs[i], values).ToBigUInt();
+  }
+  return acc;
+}
+
+// Reconstructs a Num view over a contiguous run of io wires.
+ModularGadget::Num NumFromWires(const std::vector<LC>& wires, size_t offset, size_t limbs) {
+  ModularGadget::Num num;
+  for (size_t i = 0; i < limbs; ++i) {
+    num.limbs.push_back(wires[offset + i]);
+  }
+  return num;
+}
+
+bool OnCurveResidues(const CurveSpec& spec, const BigUInt& x, const BigUInt& y) {
+  BigUInt lhs = y.MulMod(y, spec.p);
+  BigUInt rhs = x.MulMod(x, spec.p).MulMod(x, spec.p);
+  rhs = rhs.AddMod(spec.a.MulMod(x, spec.p), spec.p).AddMod(spec.b, spec.p);
+  return lhs == rhs;
+}
+
+const CurveSpec& AuditCurve() {
+  static const CurveSpec spec = FindToyCurve(42);
+  return spec;
+}
+
+// --- parsing/bit primitives -------------------------------------------------
+
+class BooleanGadget : public Gadget {
+ public:
+  std::string name() const override { return "boolean"; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    Var v = cs->AddWitness(U64Fr(rng->NextBelow(2)));
+    cs->EnforceBoolean(v);
+    return GadgetIo{{}, {LC(v)}};
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    Fr v = EvalLc(io.outputs[0], values);
+    return v == Fr::Zero() || v == Fr::One();
+  }
+};
+
+class ToBitsGadget : public Gadget {
+ public:
+  static constexpr size_t kBits = 16;
+  std::string name() const override { return "to_bits"; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    Var x = cs->AddWitness(U64Fr(rng->NextBelow(uint64_t{1} << kBits)));
+    std::vector<Var> bits = ToBits(cs, LC(x), kBits);
+    GadgetIo io;
+    io.inputs.emplace_back(x);
+    for (Var b : bits) {
+      io.outputs.emplace_back(b);
+    }
+    return io;
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    uint64_t x = 0;
+    if (!AsSmallU64(EvalLc(io.inputs[0], values), (uint64_t{1} << kBits) - 1, &x)) {
+      return false;  // the decomposition itself must force x < 2^kBits
+    }
+    for (size_t i = 0; i < kBits; ++i) {
+      if (EvalLc(io.outputs[i], values) != U64Fr((x >> i) & 1)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+class AllocBytesGadget : public Gadget {
+ public:
+  static constexpr size_t kLen = 8;
+  std::string name() const override { return "alloc_bytes"; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    std::vector<Var> bytes = AllocateBytes(cs, rng->NextBytes(kLen));
+    GadgetIo io;
+    for (Var b : bytes) {
+      io.outputs.emplace_back(b);
+    }
+    return io;
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    for (const LC& b : io.outputs) {
+      uint64_t v = 0;
+      if (!AsSmallU64(EvalLc(b, values), 255, &v)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+class IndicatorGadget : public Gadget {
+ public:
+  static constexpr size_t kLen = 8;
+  std::string name() const override { return "indicator"; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    Var idx = cs->AddWitness(U64Fr(rng->NextBelow(kLen)));
+    std::vector<Var> res = Indicator(cs, LC(idx), kLen);
+    GadgetIo io;
+    io.inputs.emplace_back(idx);
+    for (Var r : res) {
+      io.outputs.emplace_back(r);
+    }
+    return io;
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    uint64_t idx = 0;
+    if (!AsSmallU64(EvalLc(io.inputs[0], values), kLen - 1, &idx)) {
+      return false;  // indicator must reject out-of-range indices
+    }
+    for (size_t j = 0; j < kLen; ++j) {
+      if (EvalLc(io.outputs[j], values) != U64Fr(j == idx ? 1 : 0)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+class MapNonZeroToZeroGadget : public Gadget {
+ public:
+  std::string name() const override { return "map_nonzero_to_zero"; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    Fr xv = rng->NextBelow(2) == 0 ? Fr::Zero() : U64Fr(1 + rng->NextBelow(1000));
+    Var x = cs->AddWitness(xv);
+    Var z = MapNonZeroToZero(cs, LC(x));
+    return GadgetIo{{LC(x)}, {LC(z)}};
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    // The gadget's only guarantee: x != 0 forces z == 0 (z is deliberately
+    // unconstrained when x == 0; callers pin it via a sum, cf. Indicator).
+    Fr x = EvalLc(io.inputs[0], values);
+    Fr z = EvalLc(io.outputs[0], values);
+    return x.IsZero() || z.IsZero();
+  }
+};
+
+class IsEqualGadget : public Gadget {
+ public:
+  std::string name() const override { return "is_equal"; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    Fr xv = U64Fr(rng->NextBelow(16));
+    Fr yv = rng->NextBelow(2) == 0 ? xv : U64Fr(rng->NextBelow(16));
+    Var x = cs->AddWitness(xv);
+    Var y = cs->AddWitness(yv);
+    Var z = IsEqual(cs, LC(x), LC(y));
+    return GadgetIo{{LC(x), LC(y)}, {LC(z)}};
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    Fr x = EvalLc(io.inputs[0], values);
+    Fr y = EvalLc(io.inputs[1], values);
+    return EvalLc(io.outputs[0], values) == (x == y ? Fr::One() : Fr::Zero());
+  }
+};
+
+class IsLessOrEqualGadget : public Gadget {
+ public:
+  static constexpr size_t kBits = 8;
+  std::string name() const override { return "is_less_or_equal"; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    Var a = cs->AddWitness(U64Fr(rng->NextBelow(256)));
+    Var b = cs->AddWitness(U64Fr(rng->NextBelow(256)));
+    Var z = IsLessOrEqual(cs, LC(a), LC(b), kBits);
+    return GadgetIo{{LC(a), LC(b)}, {LC(z)}};
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    Fr z = EvalLc(io.outputs[0], values);
+    if (z != Fr::Zero() && z != Fr::One()) {
+      return false;
+    }
+    uint64_t a = 0;
+    uint64_t b = 0;
+    // Contract: both operands are known (range-checked by the caller) to fit
+    // in kBits bits; outside that domain the comparison promises nothing.
+    if (!AsSmallU64(EvalLc(io.inputs[0], values), 255, &a) ||
+        !AsSmallU64(EvalLc(io.inputs[1], values), 255, &b)) {
+      return true;
+    }
+    return z == (a <= b ? Fr::One() : Fr::Zero());
+  }
+};
+
+// --- mask / slice / scan ----------------------------------------------------
+
+// Common shape: unchecked byte array + witnessed length/index input.
+struct ArrayIo {
+  static GadgetIo Make(const std::vector<Var>& arr, Var scalar, const std::vector<LC>& out) {
+    GadgetIo io;
+    for (Var v : arr) {
+      io.inputs.emplace_back(v);
+    }
+    io.inputs.emplace_back(scalar);
+    io.outputs = out;
+    return io;
+  }
+};
+
+class MaskGadget : public Gadget {
+ public:
+  static constexpr size_t kLen = 8;
+  explicit MaskGadget(bool nope) : nope_(nope) {}
+  std::string name() const override { return nope_ ? "mask_nope" : "mask_naive"; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    std::vector<Var> arr = AllocateBytesUnchecked(cs, rng->NextBytes(kLen));
+    Var len = cs->AddWitness(U64Fr(rng->NextBelow(kLen + 1)));
+    std::vector<LC> arr_lcs(arr.begin(), arr.end());
+    std::vector<LC> out =
+        nope_ ? MaskNope(cs, arr_lcs, LC(len)) : MaskNaive(cs, arr_lcs, LC(len));
+    return ArrayIo::Make(arr, len, out);
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    uint64_t len = 0;
+    // Contract: len is a length in [0, kLen], range-checked by the caller
+    // (the NOPE form's indicator happens to enforce this itself).
+    if (!AsSmallU64(EvalLc(io.inputs[kLen], values), kLen, &len)) {
+      return true;
+    }
+    for (size_t i = 0; i < kLen; ++i) {
+      Fr expect = i < len ? EvalLc(io.inputs[i], values) : Fr::Zero();
+      if (EvalLc(io.outputs[i], values) != expect) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  bool nope_;
+};
+
+class SliceGadget : public Gadget {
+ public:
+  enum class Flavor { kNaive, kNope, kNopePacked };
+  explicit SliceGadget(Flavor flavor) : flavor_(flavor) {}
+  std::string name() const override {
+    switch (flavor_) {
+      case Flavor::kNaive:
+        return "slice_naive";
+      case Flavor::kNope:
+        return "slice_nope";
+      case Flavor::kNopePacked:
+        return "slice_nope_packed";
+    }
+    return "slice";
+  }
+  size_t ArrLen() const { return flavor_ == Flavor::kNopePacked ? 32 : 16; }
+  size_t OutLen() const { return flavor_ == Flavor::kNopePacked ? 16 : 4; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    std::vector<Var> arr = AllocateBytesUnchecked(cs, rng->NextBytes(ArrLen()));
+    Var start = cs->AddWitness(U64Fr(rng->NextBelow(ArrLen())));
+    std::vector<LC> arr_lcs(arr.begin(), arr.end());
+    std::vector<LC> out;
+    switch (flavor_) {
+      case Flavor::kNaive:
+        out = SliceNaive(cs, arr_lcs, LC(start), OutLen());
+        break;
+      case Flavor::kNope:
+        out = SliceNope(cs, arr_lcs, LC(start), OutLen());
+        break;
+      case Flavor::kNopePacked:
+        out = SliceNopePacked(cs, arr_lcs, LC(start), OutLen());
+        break;
+    }
+    return ArrayIo::Make(arr, start, out);
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    size_t m = ArrLen();
+    uint64_t start = 0;
+    // Contract: start is an index into arr (callers constrain it; the naive
+    // form's indicator enforces it outright).
+    if (!AsSmallU64(EvalLc(io.inputs[m], values), m - 1, &start)) {
+      return true;
+    }
+    auto byte_at = [&](size_t i) {
+      return i < m ? EvalLc(io.inputs[i], values) : Fr::Zero();
+    };
+    if (flavor_ != Flavor::kNopePacked) {
+      for (size_t j = 0; j < OutLen(); ++j) {
+        if (EvalLc(io.outputs[j], values) != byte_at(start + j)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    // Packed: each output wire holds 16 sliced bytes big-endian.
+    for (size_t t = 0; t < OutLen() / 16; ++t) {
+      Fr expect = Fr::Zero();
+      for (size_t j = 0; j < 16; ++j) {
+        expect = expect * U64Fr(256) + byte_at(start + 16 * t + j);
+      }
+      if (EvalLc(io.outputs[t], values) != expect) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  Flavor flavor_;
+};
+
+class CondShiftGadget : public Gadget {
+ public:
+  static constexpr size_t kLen = 8;
+  static constexpr size_t kShift = 3;
+  std::string name() const override { return "cond_shift"; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    std::vector<Var> arr = AllocateBytesUnchecked(cs, rng->NextBytes(kLen));
+    Var flag = cs->AddWitness(U64Fr(rng->NextBelow(2)));
+    cs->EnforceBoolean(flag);
+    std::vector<LC> arr_lcs(arr.begin(), arr.end());
+    std::vector<LC> out = CondShift(cs, arr_lcs, kShift, flag);
+    return ArrayIo::Make(arr, flag, out);
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    Fr flag = EvalLc(io.inputs[kLen], values);
+    if (flag != Fr::Zero() && flag != Fr::One()) {
+      return false;
+    }
+    bool shifted = flag == Fr::One();
+    for (size_t i = 0; i < kLen; ++i) {
+      size_t src = shifted ? i + kShift : i;
+      Fr expect = src < kLen ? EvalLc(io.inputs[src], values) : Fr::Zero();
+      if (EvalLc(io.outputs[i], values) != expect) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+class PlaceAtGadget : public Gadget {
+ public:
+  static constexpr size_t kArrLen = 4;
+  static constexpr size_t kOutLen = 16;
+  std::string name() const override { return "place_at"; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    std::vector<Var> arr = AllocateBytesUnchecked(cs, rng->NextBytes(kArrLen));
+    Var offset = cs->AddWitness(U64Fr(rng->NextBelow(kOutLen - kArrLen + 1)));
+    std::vector<LC> arr_lcs(arr.begin(), arr.end());
+    std::vector<LC> out = PlaceAt(cs, arr_lcs, LC(offset), kOutLen);
+    return ArrayIo::Make(arr, offset, out);
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    uint64_t offset = 0;
+    // Contract: offset + len(arr) <= out_len.
+    if (!AsSmallU64(EvalLc(io.inputs[kArrLen], values), kOutLen - kArrLen, &offset)) {
+      return true;
+    }
+    for (size_t i = 0; i < kOutLen; ++i) {
+      Fr expect = (i >= offset && i < offset + kArrLen)
+                      ? EvalLc(io.inputs[i - offset], values)
+                      : Fr::Zero();
+      if (EvalLc(io.outputs[i], values) != expect) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+class ScanRecordsGadget : public Gadget {
+ public:
+  static constexpr size_t kHeader = 2;
+  static constexpr size_t kLen = 24;
+  std::string name() const override { return "scan_records"; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    // Well-formed toy stream: header, then records [len][type][data...].
+    Bytes msg(kHeader, 0);
+    std::vector<size_t> starts;
+    while (msg.size() + 2 <= kLen) {
+      starts.push_back(msg.size());
+      size_t max_rec = kLen - msg.size();
+      size_t rec = 2 + rng->NextBelow(std::min<size_t>(max_rec - 1, 6));
+      msg.push_back(static_cast<uint8_t>(rec));
+      for (size_t i = 1; i < rec; ++i) {
+        msg.push_back(static_cast<uint8_t>(rng->NextBelow(256)));
+      }
+    }
+    msg.resize(kLen);  // the loop never overshoots; keep the shape explicit
+    std::vector<Var> vars = AllocateBytes(cs, msg);
+    size_t start_val = starts[rng->NextBelow(starts.size())];
+    Var start = cs->AddWitness(U64Fr(start_val));
+    std::vector<LC> msg_lcs(vars.begin(), vars.end());
+    ScanResult res = ScanRecords(cs, msg_lcs, LC(start), LC::Constant(U64Fr(kHeader)));
+    GadgetIo io = ArrayIo::Make(vars, start, {res.length});
+    return io;
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    // Contract: all msg bytes are range-checked bytes (AllocateBytes); the
+    // gadget then forces `start` onto a record boundary of the stream and
+    // `length` to the record's length byte.
+    uint64_t bytes[kLen];
+    for (size_t i = 0; i < kLen; ++i) {
+      if (!AsSmallU64(EvalLc(io.inputs[i], values), 255, &bytes[i])) {
+        return true;
+      }
+    }
+    uint64_t start = 0;
+    if (!AsSmallU64(EvalLc(io.inputs[kLen], values), kLen - 1, &start)) {
+      return false;  // the in-circuit indicator must keep start in range
+    }
+    std::set<uint64_t> boundaries;
+    uint64_t pos = kHeader;
+    while (pos < kLen) {
+      boundaries.insert(pos);
+      if (bytes[pos] == 0) {
+        break;  // malformed record; the walk cannot continue
+      }
+      pos += bytes[pos];
+    }
+    if (boundaries.find(start) == boundaries.end()) {
+      return false;
+    }
+    return EvalLc(io.outputs[0], values) == U64Fr(bytes[start]);
+  }
+};
+
+// --- hashes -----------------------------------------------------------------
+
+class MimcDynamicHashGadget : public Gadget {
+ public:
+  static constexpr size_t kMaxLen = 32;
+  std::string name() const override { return "mimc_dynamic"; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    Bytes data = rng->NextBytes(kMaxLen);
+    std::vector<Var> arr = AllocateBytes(cs, data);
+    Var len = cs->AddWitness(U64Fr(rng->NextBelow(kMaxLen + 1)));
+    std::vector<LC> arr_lcs(arr.begin(), arr.end());
+    std::vector<LC> masked = MaskNope(cs, arr_lcs, LC(len));
+    std::vector<LC> digest = MimcDynamicGadget(cs, masked, LC(len));
+    GadgetIo io = ArrayIo::Make(arr, len, digest);
+    return io;
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    Bytes data;
+    for (size_t i = 0; i < kMaxLen; ++i) {
+      uint64_t b = 0;
+      if (!AsSmallU64(EvalLc(io.inputs[i], values), 255, &b)) {
+        return true;
+      }
+      data.push_back(static_cast<uint8_t>(b));
+    }
+    uint64_t len = 0;
+    if (!AsSmallU64(EvalLc(io.inputs[kMaxLen], values), kMaxLen, &len)) {
+      return true;
+    }
+    data.resize(len);
+    Bytes digest = MimcHashBytes(data);
+    for (size_t i = 0; i < digest.size(); ++i) {
+      if (EvalLc(io.outputs[i], values) != U64Fr(digest[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+class Sha256FixedHashGadget : public Gadget {
+ public:
+  static constexpr size_t kMsgLen = 16;
+  std::string name() const override { return "sha256_fixed"; }
+  bool IsExpensive() const override { return true; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    Bytes msg = rng->NextBytes(kMsgLen);
+    std::vector<Var> vars = AllocateBytes(cs, msg);
+    std::vector<LC> msg_lcs(vars.begin(), vars.end());
+    std::vector<LC> digest = Sha256FixedGadget(cs, msg_lcs);
+    GadgetIo io;
+    for (Var v : vars) {
+      io.inputs.emplace_back(v);
+    }
+    io.outputs = digest;
+    return io;
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    Bytes msg;
+    for (const LC& in : io.inputs) {
+      uint64_t b = 0;
+      if (!AsSmallU64(EvalLc(in, values), 255, &b)) {
+        return true;
+      }
+      msg.push_back(static_cast<uint8_t>(b));
+    }
+    Bytes digest = Sha256::Hash(msg);
+    for (size_t i = 0; i < digest.size(); ++i) {
+      if (EvalLc(io.outputs[i], values) != U64Fr(digest[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// --- bignum -----------------------------------------------------------------
+
+class BignumMulModGadget : public Gadget {
+ public:
+  explicit BignumMulModGadget(bool nope) : nope_(nope) {
+    modulus_ = BigUInt::FromHex("ffffffffffffffc5");  // 2^64 - 59, prime
+  }
+  std::string name() const override { return nope_ ? "bignum_mulmod_nope" : "bignum_mulmod_naive"; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    ModularGadget g(cs, modulus_);
+    ModularGadget::Num x = g.Alloc(BigUInt::RandomBelow(rng, modulus_));
+    ModularGadget::Num y = g.Alloc(BigUInt::RandomBelow(rng, modulus_));
+    ModularGadget::Num z = nope_ ? g.MulMod(x, y) : g.NaiveMulMod(x, y);
+    GadgetIo io;
+    for (const ModularGadget::Num* n : {&x, &y}) {
+      for (const LC& limb : n->limbs) {
+        io.inputs.push_back(limb);
+      }
+    }
+    io.outputs = z.limbs;
+    return io;
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    size_t nl = io.inputs.size() / 2;
+    ModularGadget::Num x = NumFromWires(io.inputs, 0, nl);
+    ModularGadget::Num y = NumFromWires(io.inputs, nl, nl);
+    ModularGadget::Num z;
+    z.limbs = io.outputs;
+    BigUInt xv = NumValue(x, values, 32) % modulus_;
+    BigUInt yv = NumValue(y, values, 32) % modulus_;
+    BigUInt zv = NumValue(z, values, 32) % modulus_;
+    return zv == xv.MulMod(yv, modulus_);
+  }
+
+ private:
+  bool nope_;
+  BigUInt modulus_;
+};
+
+// --- elliptic curve / signatures -------------------------------------------
+
+class EcOnCurveGadget : public Gadget {
+ public:
+  std::string name() const override { return "ec_on_curve"; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    const CurveSpec& spec = AuditCurve();
+    NativeCurve curve(spec);
+    BigUInt k = BigUInt::RandomBelow(rng, spec.n - BigUInt(2)) + BigUInt(1);
+    EcGadget ec(cs, spec, EcGadget::Technique::kNopeHints);
+    EcGadget::Point p = ec.AllocPoint(curve.ScalarMul(k, curve.Generator()));
+    GadgetIo io;
+    for (const LC& limb : p.x.limbs) {
+      io.outputs.push_back(limb);
+    }
+    for (const LC& limb : p.y.limbs) {
+      io.outputs.push_back(limb);
+    }
+    return io;
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    const CurveSpec& spec = AuditCurve();
+    size_t nl = io.outputs.size() / 2;
+    BigUInt x = NumValue(NumFromWires(io.outputs, 0, nl), values, 32) % spec.p;
+    BigUInt y = NumValue(NumFromWires(io.outputs, nl, nl), values, 32) % spec.p;
+    return OnCurveResidues(spec, x, y);
+  }
+};
+
+class EcAddGadget : public Gadget {
+ public:
+  explicit EcAddGadget(EcGadget::Technique technique) : technique_(technique) {}
+  std::string name() const override {
+    return technique_ == EcGadget::Technique::kNopeHints ? "ec_add_hint" : "ec_add_naive";
+  }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    const CurveSpec& spec = AuditCurve();
+    NativeCurve curve(spec);
+    NativeCurve::Pt pv;
+    NativeCurve::Pt qv;
+    do {
+      BigUInt k1 = BigUInt::RandomBelow(rng, spec.n - BigUInt(2)) + BigUInt(1);
+      BigUInt k2 = BigUInt::RandomBelow(rng, spec.n - BigUInt(2)) + BigUInt(1);
+      pv = curve.ScalarMul(k1, curve.Generator());
+      qv = curve.ScalarMul(k2, curve.Generator());
+    } while (curve.AddIsDegenerate(pv, qv));
+    EcGadget ec(cs, spec, technique_);
+    EcGadget::Point p = ec.AllocPoint(pv);
+    EcGadget::Point q = ec.AllocPoint(qv);
+    EcGadget::Point r = ec.Add(p, q);
+    GadgetIo io;
+    for (const EcGadget::Point* pt : {&p, &q}) {
+      for (const LC& limb : pt->x.limbs) {
+        io.inputs.push_back(limb);
+      }
+      for (const LC& limb : pt->y.limbs) {
+        io.inputs.push_back(limb);
+      }
+    }
+    for (const LC& limb : r.x.limbs) {
+      io.outputs.push_back(limb);
+    }
+    for (const LC& limb : r.y.limbs) {
+      io.outputs.push_back(limb);
+    }
+    return io;
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    const CurveSpec& spec = AuditCurve();
+    size_t nl = io.inputs.size() / 4;
+    BigUInt px = NumValue(NumFromWires(io.inputs, 0, nl), values, 32) % spec.p;
+    BigUInt py = NumValue(NumFromWires(io.inputs, nl, nl), values, 32) % spec.p;
+    BigUInt qx = NumValue(NumFromWires(io.inputs, 2 * nl, nl), values, 32) % spec.p;
+    BigUInt qy = NumValue(NumFromWires(io.inputs, 3 * nl, nl), values, 32) % spec.p;
+    size_t ol = io.outputs.size() / 2;
+    BigUInt rx = NumValue(NumFromWires(io.outputs, 0, ol), values, 32) % spec.p;
+    BigUInt ry = NumValue(NumFromWires(io.outputs, ol, ol), values, 32) % spec.p;
+    if (!OnCurveResidues(spec, px, py) || !OnCurveResidues(spec, qx, qy) ||
+        !OnCurveResidues(spec, rx, ry) || px == qx) {
+      return false;
+    }
+    if (technique_ == EcGadget::Technique::kNaive) {
+      // The naive form pins R = P + Q exactly (witnessed slope + inverse).
+      NativeCurve curve(spec);
+      NativeCurve::Pt sum = curve.Add({px, py, false}, {qx, qy, false});
+      return rx == sum.x && ry == sum.y;
+    }
+    // Hint form (§5.2): R lies on the curve and its reflection is collinear
+    // with P and Q, i.e. R is one of the line's three curve intersections
+    // {P+Q, -P, -Q}. The statement layer pins the choice via its final
+    // fixed-point equality; per-gadget that IS the contract.
+    BigUInt lhs = qy.SubMod(py, spec.p).MulMod(rx.SubMod(qx, spec.p), spec.p);
+    BigUInt rhs = ry.AddMod(qy, spec.p).MulMod(qx.SubMod(px, spec.p), spec.p);
+    return lhs.AddMod(rhs, spec.p).IsZero();
+  }
+
+ private:
+  EcGadget::Technique technique_;
+};
+
+class EcdsaVerifyGadget : public Gadget {
+ public:
+  explicit EcdsaVerifyGadget(EcdsaMsmMode mode) : mode_(mode) {}
+  std::string name() const override {
+    return mode_ == EcdsaMsmMode::kGlvMsm ? "ecdsa_verify_glv" : "ecdsa_verify_256";
+  }
+  bool IsExpensive() const override { return true; }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    const CurveSpec& spec = AuditCurve();
+    NativeCurve curve(spec);
+    BigUInt priv = BigUInt::RandomBelow(rng, spec.n - BigUInt(1)) + BigUInt(1);
+    NativeCurve::Pt pub_val = curve.ScalarMul(priv, curve.Generator());
+    Bytes digest = rng->NextBytes(31);
+    ToyEcdsaSignature sig = ToyEcdsaSign(spec, priv, digest, rng);
+
+    EcGadget ec(cs, spec, EcGadget::Technique::kNopeHints);
+    EcGadget::Point pub = ec.AllocPoint(pub_val);
+    ModularGadget::Num z = ec.scalar_field().Alloc(BigUInt::FromBytes(digest) % spec.n);
+    ModularGadget::Num r = ec.scalar_field().Alloc(sig.r);
+    ModularGadget::Num s = ec.scalar_field().Alloc(sig.s);
+    EnforceEcdsaVerify(&ec, pub, z, r, s, mode_);
+    GadgetIo io;
+    for (const ModularGadget::Num* n : {&pub.x, &pub.y, &z, &r, &s}) {
+      for (const LC& limb : n->limbs) {
+        io.inputs.push_back(limb);
+      }
+    }
+    return io;
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    const CurveSpec& spec = AuditCurve();
+    size_t nl = io.inputs.size() / 5;
+    BigUInt px = NumValue(NumFromWires(io.inputs, 0, nl), values, 32) % spec.p;
+    BigUInt py = NumValue(NumFromWires(io.inputs, nl, nl), values, 32) % spec.p;
+    BigUInt z = NumValue(NumFromWires(io.inputs, 2 * nl, nl), values, 32) % spec.n;
+    BigUInt r = NumValue(NumFromWires(io.inputs, 3 * nl, nl), values, 32) % spec.n;
+    BigUInt s = NumValue(NumFromWires(io.inputs, 4 * nl, nl), values, 32) % spec.n;
+    if (!OnCurveResidues(spec, px, py)) {
+      return false;
+    }
+    if (r.IsZero() || s.IsZero()) {
+      return false;
+    }
+    NativeCurve curve(spec);
+    BigUInt s_inv = s.InvMod(spec.n);
+    NativeCurve::Pt x =
+        curve.Add(curve.ScalarMul(z.MulMod(s_inv, spec.n), curve.Generator()),
+                  curve.ScalarMul(r.MulMod(s_inv, spec.n), {px, py, false}));
+    return !x.infinity && x.x % spec.n == r;
+  }
+
+ private:
+  EcdsaMsmMode mode_;
+};
+
+class RsaVerifyGadget : public Gadget {
+ public:
+  std::string name() const override { return "rsa_verify"; }
+  bool IsExpensive() const override { return true; }
+  const RsaPrivateKey& Key() const {
+    static const RsaPrivateKey key = [] {
+      Rng rng(0x5245534131ull);  // one shared toy key; instances vary the digest
+      return GenerateRsaKey(&rng, 512);
+    }();
+    return key;
+  }
+  GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const override {
+    GadgetScope scope(cs, name());
+    const RsaPrivateKey& key = Key();
+    Bytes digest = rng->NextBytes(32);
+    Bytes sig = RsaSignDigest32(key, digest);
+    ModularGadget g(cs, key.pub.n);
+    ModularGadget::Num sig_num = g.Alloc(BigUInt::FromBytes(sig));
+    std::vector<Var> digest_vars = AllocateBytes(cs, digest);
+    std::vector<LC> digest_lcs(digest_vars.begin(), digest_vars.end());
+    ModularGadget::Num em = BuildPkcs1Em(&g, digest_lcs);
+    EnforceRsaVerify(&g, sig_num, em, RsaTechnique::kNope);
+    GadgetIo io;
+    for (const LC& limb : sig_num.limbs) {
+      io.inputs.push_back(limb);
+    }
+    for (Var v : digest_vars) {
+      io.inputs.emplace_back(v);
+    }
+    io.outputs = em.limbs;
+    return io;
+  }
+  bool SpecHolds(const ConstraintSystem&, const GadgetIo& io,
+                 const std::vector<Fr>& values) const override {
+    const BigUInt& n = Key().pub.n;
+    size_t nl = io.inputs.size() - 32;
+    ModularGadget::Num sig = NumFromWires(io.inputs, 0, nl);
+    ModularGadget::Num em;
+    em.limbs = io.outputs;
+    BigUInt sig_v = NumValue(sig, values, 32) % n;
+    BigUInt em_v = NumValue(em, values, 32) % n;
+    return sig_v.PowMod(BigUInt(65537), n) == em_v;
+  }
+};
+
+std::vector<std::unique_ptr<Gadget>> MakeRegistry() {
+  std::vector<std::unique_ptr<Gadget>> v;
+  v.push_back(std::make_unique<BooleanGadget>());
+  v.push_back(std::make_unique<ToBitsGadget>());
+  v.push_back(std::make_unique<AllocBytesGadget>());
+  v.push_back(std::make_unique<IndicatorGadget>());
+  v.push_back(std::make_unique<MapNonZeroToZeroGadget>());
+  v.push_back(std::make_unique<IsEqualGadget>());
+  v.push_back(std::make_unique<IsLessOrEqualGadget>());
+  v.push_back(std::make_unique<MaskGadget>(/*nope=*/false));
+  v.push_back(std::make_unique<MaskGadget>(/*nope=*/true));
+  v.push_back(std::make_unique<SliceGadget>(SliceGadget::Flavor::kNaive));
+  v.push_back(std::make_unique<SliceGadget>(SliceGadget::Flavor::kNope));
+  v.push_back(std::make_unique<SliceGadget>(SliceGadget::Flavor::kNopePacked));
+  v.push_back(std::make_unique<CondShiftGadget>());
+  v.push_back(std::make_unique<PlaceAtGadget>());
+  v.push_back(std::make_unique<ScanRecordsGadget>());
+  v.push_back(std::make_unique<MimcDynamicHashGadget>());
+  v.push_back(std::make_unique<Sha256FixedHashGadget>());
+  v.push_back(std::make_unique<BignumMulModGadget>(/*nope=*/true));
+  v.push_back(std::make_unique<BignumMulModGadget>(/*nope=*/false));
+  v.push_back(std::make_unique<EcOnCurveGadget>());
+  v.push_back(std::make_unique<EcAddGadget>(EcGadget::Technique::kNopeHints));
+  v.push_back(std::make_unique<EcAddGadget>(EcGadget::Technique::kNaive));
+  v.push_back(std::make_unique<EcdsaVerifyGadget>(EcdsaMsmMode::k256Msm));
+  v.push_back(std::make_unique<EcdsaVerifyGadget>(EcdsaMsmMode::kGlvMsm));
+  v.push_back(std::make_unique<RsaVerifyGadget>());
+  return v;
+}
+
+}  // namespace
+
+const std::vector<const Gadget*>& StandardGadgets() {
+  static const std::vector<std::unique_ptr<Gadget>> owned = MakeRegistry();
+  static const std::vector<const Gadget*> view = [] {
+    std::vector<const Gadget*> out;
+    for (const auto& g : owned) {
+      out.push_back(g.get());
+    }
+    return out;
+  }();
+  return view;
+}
+
+}  // namespace nope

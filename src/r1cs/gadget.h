@@ -1,0 +1,69 @@
+// Uniform gadget interface (ROADMAP item 3; shaped after zkinterface's
+// num_inputs/num_outputs + constraints-vs-witness split).
+//
+// A Gadget wraps one family from the library (mask/slice/bignum/EC/ECDSA/
+// RSA/SHA-256/MiMC/...) behind three things the optimizer and audit harness
+// need uniformly:
+//   * Synthesize: build one seeded instance into a ConstraintSystem, drawing
+//     spec-valid inputs from the Rng, and declare the input/output wires;
+//   * SpecHolds: the gadget's semantics as a predicate over an arbitrary
+//     assignment (not just the honest one);
+//   * name: stable identifier used in reports, bench JSON and findings.
+//
+// Spec convention: SpecHolds is an implication precondition => guarantee.
+// Inputs outside the gadget's documented domain (e.g. a "length" that is not
+// a small integer, when the gadget's contract says the caller range-checks
+// it) make the spec vacuously true; inside the domain the spec states
+// exactly what the constraints are supposed to force. The audit harness
+// searches for assignments where the constraints hold but SpecHolds fails
+// (soundness hole) and for drawn inputs whose honest witness the
+// constraints reject (completeness hole).
+#ifndef SRC_R1CS_GADGET_H_
+#define SRC_R1CS_GADGET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/r1cs/constraint_system.h"
+
+namespace nope {
+
+// Declared wires of one synthesized instance. Inputs are the wires the
+// enclosing circuit would drive; outputs are the wires it would consume.
+// Both are linear combinations over the instance's variables.
+struct GadgetIo {
+  std::vector<LC> inputs;
+  std::vector<LC> outputs;
+};
+
+class Gadget {
+ public:
+  virtual ~Gadget() = default;
+
+  virtual std::string name() const = 0;
+
+  // Builds one instance into *cs (annotated with a GadgetScope carrying
+  // name()) and returns its declared wires. Drawing different seeds yields
+  // different spec-valid instances. May throw on degenerate draws (e.g. EC
+  // hint collisions); callers retry with a fresh seed.
+  virtual GadgetIo Synthesize(ConstraintSystem* cs, Rng* rng) const = 0;
+
+  // The gadget's declared semantics under an explicit assignment (same
+  // indexing as cs; values[0] == 1). See the spec convention above.
+  virtual bool SpecHolds(const ConstraintSystem& cs, const GadgetIo& io,
+                         const std::vector<Fr>& values) const = 0;
+
+  // Expensive gadgets (full hash compressions, signature verifications) get
+  // fewer audit instances; the per-gadget assignment budget is unchanged.
+  virtual bool IsExpensive() const { return false; }
+};
+
+// Every shipped gadget family wrapped in the interface. Pointers are owned
+// by the registry and live for the process lifetime.
+const std::vector<const Gadget*>& StandardGadgets();
+
+}  // namespace nope
+
+#endif  // SRC_R1CS_GADGET_H_

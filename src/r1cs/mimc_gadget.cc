@@ -71,6 +71,7 @@ Bytes MimcHashBytes(const Bytes& data) {
 
 std::vector<LC> MimcDynamicGadget(ConstraintSystem* cs, const std::vector<LC>& masked_bytes,
                                   const LC& len) {
+  GadgetScope scope(cs, "MimcDynamic");
   // Pack masked bytes into 16-byte chunks (free).
   std::vector<LC> padded = masked_bytes;
   while (padded.size() % kMimcChunkSize != 0) {

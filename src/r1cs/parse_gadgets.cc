@@ -20,6 +20,10 @@ size_t CeilLog2(size_t v) {
 }  // namespace
 
 std::vector<Var> ToBits(ConstraintSystem* cs, const LC& value, size_t nbits) {
+  // '~' marks a shared-primitive span: transparent to density reports but
+  // visible to the optimizer's span-unification pass, which merges repeated
+  // decompositions of the same value.
+  GadgetScope scope(cs, "~ToBits");
   BigUInt v = cs->Eval(value).ToBigUInt();
   std::vector<Var> bits;
   bits.reserve(nbits);
@@ -89,6 +93,7 @@ std::vector<Fr> PackBytesValues(const Bytes& data, size_t chunk_size) {
 }
 
 Var MapNonZeroToZero(ConstraintSystem* cs, const LC& x) {
+  GadgetScope scope(cs, "~MapNonZeroToZero");
   Fr xv = cs->Eval(x);
   Var z = cs->AddWitness(xv.IsZero() ? Fr::One() : Fr::Zero());
   cs->Enforce(x, LC(z), LC());
@@ -96,6 +101,7 @@ Var MapNonZeroToZero(ConstraintSystem* cs, const LC& x) {
 }
 
 std::vector<Var> Indicator(ConstraintSystem* cs, const LC& index, size_t len) {
+  GadgetScope scope(cs, "~Indicator");
   std::vector<Var> res;
   res.reserve(len);
   LC sum;
@@ -129,6 +135,7 @@ std::vector<LC> SuffixSum(ConstraintSystem* cs, const std::vector<Var>& arr) {
 }
 
 Var IsEqual(ConstraintSystem* cs, const LC& x, const LC& y) {
+  GadgetScope scope(cs, "~IsEqual");
   LC d = x - y;
   Fr dv = cs->Eval(d);
   Var z = cs->AddWitness(dv.IsZero() ? Fr::One() : Fr::Zero());
@@ -139,6 +146,7 @@ Var IsEqual(ConstraintSystem* cs, const LC& x, const LC& y) {
 }
 
 Var IsLessOrEqual(ConstraintSystem* cs, const LC& a, const LC& b, size_t bits) {
+  GadgetScope scope(cs, "~IsLessOrEqual");
   // c = b - a + 2^bits; the top bit of c is 1 iff a <= b.
   Fr offset = Fr::FromBigUInt(BigUInt(1) << bits);
   LC c = b - a + LC::Constant(offset);
@@ -147,6 +155,7 @@ Var IsLessOrEqual(ConstraintSystem* cs, const LC& a, const LC& b, size_t bits) {
 }
 
 std::vector<LC> MaskNaive(ConstraintSystem* cs, const std::vector<LC>& arr, const LC& len) {
+  GadgetScope scope(cs, "MaskNaive");
   size_t bits = CeilLog2(arr.size() + 1) + 1;
   std::vector<LC> res;
   res.reserve(arr.size());
@@ -162,6 +171,7 @@ std::vector<LC> MaskNaive(ConstraintSystem* cs, const std::vector<LC>& arr, cons
 }
 
 std::vector<LC> MaskNope(ConstraintSystem* cs, const std::vector<LC>& arr, const LC& len) {
+  GadgetScope scope(cs, "MaskNope");
   // indicator over [0, L] of `len`, suffix-summed shifted by one: keep[i] = 1
   // iff len > i. The suffix sums are free linear forms (§4.3).
   std::vector<Var> ind = Indicator(cs, len, arr.size() + 1);
@@ -185,6 +195,7 @@ std::vector<LC> MaskNope(ConstraintSystem* cs, const std::vector<LC>& arr, const
 
 std::vector<LC> CondShift(ConstraintSystem* cs, const std::vector<LC>& arr, size_t shift,
                           Var flag) {
+  GadgetScope scope(cs, "~CondShift");
   size_t n = arr.size();
   Fr flag_val = cs->ValueOf(flag);
   std::vector<LC> res;
@@ -201,6 +212,7 @@ std::vector<LC> CondShift(ConstraintSystem* cs, const std::vector<LC>& arr, size
 
 std::vector<LC> CondShiftRight(ConstraintSystem* cs, const std::vector<LC>& arr, size_t shift,
                                Var flag) {
+  GadgetScope scope(cs, "~CondShift");
   size_t n = arr.size();
   Fr flag_val = cs->ValueOf(flag);
   std::vector<LC> res;
@@ -217,6 +229,7 @@ std::vector<LC> CondShiftRight(ConstraintSystem* cs, const std::vector<LC>& arr,
 
 std::vector<LC> PlaceAt(ConstraintSystem* cs, const std::vector<LC>& arr, const LC& offset,
                         size_t out_len) {
+  GadgetScope scope(cs, "PlaceAt");
   size_t nbits = CeilLog2(out_len) + 1;
   std::vector<Var> bits = ToBits(cs, offset, nbits);
   std::vector<LC> cur = arr;
@@ -229,6 +242,7 @@ std::vector<LC> PlaceAt(ConstraintSystem* cs, const std::vector<LC>& arr, const 
 
 std::vector<LC> SliceNaive(ConstraintSystem* cs, const std::vector<LC>& arr, const LC& start,
                            size_t out_len) {
+  GadgetScope scope(cs, "SliceNaive");
   size_t m = arr.size();
   std::vector<Var> ind = Indicator(cs, start, m);
   std::vector<LC> res;
@@ -248,6 +262,7 @@ std::vector<LC> SliceNaive(ConstraintSystem* cs, const std::vector<LC>& arr, con
 
 std::vector<LC> SliceNope(ConstraintSystem* cs, const std::vector<LC>& arr, const LC& start,
                           size_t out_len) {
+  GadgetScope scope(cs, "SliceNope");
   size_t m = arr.size();
   size_t nbits = CeilLog2(m) + 1;
   std::vector<Var> bits = ToBits(cs, start, nbits);
@@ -271,6 +286,7 @@ std::vector<LC> SliceNopePacked(ConstraintSystem* cs, const std::vector<LC>& arr
   if (out_len % (size_t{1} << kPackLevels) != 0) {
     throw std::invalid_argument("packed slice output must be a multiple of 16");
   }
+  GadgetScope scope(cs, "SliceNopePacked");
   size_t m = arr.size();
   size_t nbits = CeilLog2(m) + 1;
   std::vector<Var> bits = ToBits(cs, start, nbits);
@@ -302,6 +318,7 @@ std::vector<LC> SliceNopePacked(ConstraintSystem* cs, const std::vector<LC>& arr
 
 ScanResult ScanRecords(ConstraintSystem* cs, const std::vector<LC>& msg, const LC& start,
                        const LC& header_len) {
+  GadgetScope scope(cs, "ScanRecords");
   size_t m = msg.size();
   std::vector<Var> loc = Indicator(cs, start, m);
 

@@ -9,6 +9,7 @@ namespace nope {
 
 void EnforceRsaVerify(ModularGadget* gadget, const ModularGadget::Num& sig,
                       const ModularGadget::Num& em, RsaTechnique technique) {
+  GadgetScope scope(gadget->cs(), "RsaVerify");
   // 65537 = 2^16 + 1.
   ModularGadget::Num acc = sig;
   for (int i = 0; i < 16; ++i) {

@@ -210,6 +210,7 @@ std::array<W32, 8> InitialState() {
 }  // namespace
 
 std::vector<LC> Sha256FixedGadget(ConstraintSystem* cs, const std::vector<LC>& msg_bytes) {
+  GadgetScope scope(cs, "Sha256Fixed");
   // Classic padding, all positions known at build time.
   size_t len = msg_bytes.size();
   size_t total = ((len + 8) / 64 + 1) * 64;
@@ -236,6 +237,7 @@ std::vector<LC> Sha256FixedGadget(ConstraintSystem* cs, const std::vector<LC>& m
 
 std::vector<LC> Sha256DynamicGadget(ConstraintSystem* cs, const std::vector<LC>& masked_bytes,
                                     const LC& len) {
+  GadgetScope scope(cs, "Sha256Dynamic");
   size_t max_len = masked_bytes.size();
   size_t max_blocks = (max_len + 8) / 64 + 1;
   size_t total = max_blocks * 64;

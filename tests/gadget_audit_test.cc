@@ -1,0 +1,139 @@
+// Audit harness tests: every shipped gadget must come back clean (no
+// soundness/completeness holes, no optimizer equivalence violations, count
+// parity between kCount and kProve), and the two deliberately broken
+// fixtures must be flagged with the expected finding kinds.
+//
+// NOPE_AUDIT_BUDGET (assignments per gadget) lets ci.sh run the suite under
+// ASan/UBSan with a reduced budget; the default meets the 10^3 acceptance
+// bar.
+#include "src/r1cs/audit/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/r1cs/audit/fixtures.h"
+
+namespace nope {
+namespace {
+
+size_t BudgetFromEnv() {
+  const char* env = std::getenv("NOPE_AUDIT_BUDGET");
+  if (env == nullptr || *env == '\0') return 1000;
+  long v = std::atol(env);
+  return v > 0 ? static_cast<size_t>(v) : 1000;
+}
+
+AuditOptions TestOptions() {
+  AuditOptions options;
+  options.seed = 0x4e4f5045ull;  // "NOPE"
+  options.min_assignments = BudgetFromEnv();
+  return options;
+}
+
+bool HasKind(const GadgetAuditResult& result, AuditFinding::Kind kind) {
+  for (const AuditFinding& f : result.findings) {
+    if (f.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(GadgetAudit, AllStandardGadgetsCleanPreAndPostOptimization) {
+  AuditOptions options = TestOptions();
+  std::vector<GadgetAuditResult> results = AuditAll(options);
+  ASSERT_EQ(results.size(), StandardGadgets().size());
+  for (const GadgetAuditResult& r : results) {
+    EXPECT_TRUE(r.Clean()) << AuditSummary({r});
+    EXPECT_GE(r.assignments_checked, options.min_assignments) << r.name;
+    EXPECT_GT(r.instances, 0u) << r.name;
+    EXPECT_GT(r.constraints_pre, 0u) << r.name;
+    // The optimizer must never grow a gadget.
+    EXPECT_LE(r.constraints_post, r.constraints_pre) << r.name;
+  }
+}
+
+TEST(GadgetAudit, RegistryCoversTheLibrary) {
+  // Spot-check that the registry spans the gadget families the statement
+  // uses: parsing, masking, hashing, bignum, EC, and both signature schemes.
+  std::vector<std::string> expected = {
+      "boolean",          "to_bits",       "mask_nope",  "slice_nope",
+      "scan_records",     "mimc_dynamic",  "sha256_fixed", "bignum_mulmod_nope",
+      "ec_add_hint",      "ecdsa_verify_256", "rsa_verify",
+  };
+  std::vector<std::string> names;
+  for (const Gadget* g : StandardGadgets()) {
+    names.push_back(g->name());
+  }
+  for (const std::string& want : expected) {
+    bool found = false;
+    for (const std::string& have : names) {
+      if (have == want) found = true;
+    }
+    EXPECT_TRUE(found) << "registry is missing gadget " << want;
+  }
+  EXPECT_GE(names.size(), 20u);
+}
+
+TEST(GadgetAudit, CountModeMatchesProveModeForEveryGadget) {
+  // Satellite: every gadget reports the identical constraint count when
+  // synthesized in kCount mode and in kProve mode. The harness checks this
+  // per instance and reports kCountModeMismatch; re-assert it directly here
+  // with a couple of fresh seeds per gadget.
+  for (const Gadget* gadget : StandardGadgets()) {
+    for (uint64_t seed : {101ull, 202ull}) {
+      ConstraintSystem prove_cs(ConstraintSystem::Mode::kProve);
+      ConstraintSystem count_cs(ConstraintSystem::Mode::kCount);
+      Rng r1(seed), r2(seed);
+      try {
+        gadget->Synthesize(&prove_cs, &r1);
+      } catch (const std::exception&) {
+        continue;  // degenerate draw (EC hint collision); harness retries
+      }
+      ASSERT_NO_THROW(gadget->Synthesize(&count_cs, &r2)) << gadget->name();
+      EXPECT_EQ(prove_cs.NumConstraints(), count_cs.NumConstraints()) << gadget->name();
+      EXPECT_EQ(prove_cs.NumVariables(), count_cs.NumVariables()) << gadget->name();
+      EXPECT_TRUE(count_cs.constraints().empty()) << gadget->name();
+    }
+  }
+}
+
+TEST(GadgetAudit, FlagsUnderConstrainedFixture) {
+  AuditOptions options = TestOptions();
+  GadgetAuditResult result = AuditGadget(BrokenIsNonZeroGadget(), options);
+  EXPECT_FALSE(result.Clean());
+  EXPECT_TRUE(HasKind(result, AuditFinding::Kind::kSoundnessHole)) << AuditSummary({result});
+}
+
+TEST(GadgetAudit, FlagsOverConstrainedFixture) {
+  AuditOptions options = TestOptions();
+  GadgetAuditResult result = AuditGadget(BrokenRangeCheckGadget(), options);
+  EXPECT_FALSE(result.Clean());
+  EXPECT_TRUE(HasKind(result, AuditFinding::Kind::kHonestUnsatisfied)) << AuditSummary({result});
+}
+
+TEST(GadgetAudit, FindingsCarryGadgetNameAndSeed) {
+  AuditOptions options = TestOptions();
+  options.min_assignments = 200;  // plenty for a one-bit hole
+  GadgetAuditResult result = AuditGadget(BrokenIsNonZeroGadget(), options);
+  ASSERT_FALSE(result.findings.empty());
+  for (const AuditFinding& f : result.findings) {
+    EXPECT_EQ(f.gadget, BrokenIsNonZeroGadget().name());
+    EXPECT_FALSE(f.detail.empty());
+  }
+  // The summary names the kind so CI logs are greppable.
+  std::string summary = AuditSummary({result});
+  EXPECT_NE(summary.find("soundness_hole"), std::string::npos) << summary;
+}
+
+TEST(GadgetAudit, AuditWithoutOptimizerStillFindsHoles) {
+  AuditOptions options = TestOptions();
+  options.with_optimizer = false;
+  GadgetAuditResult broken = AuditGadget(BrokenIsNonZeroGadget(), options);
+  EXPECT_TRUE(HasKind(broken, AuditFinding::Kind::kSoundnessHole));
+  GadgetAuditResult clean = AuditGadget(*StandardGadgets()[0], options);
+  EXPECT_TRUE(clean.Clean()) << AuditSummary({clean});
+  EXPECT_EQ(clean.constraints_post, 0u);  // no optimizer ran
+}
+
+}  // namespace
+}  // namespace nope
